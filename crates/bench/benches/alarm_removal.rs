@@ -1,0 +1,29 @@
+//! T6 — the headline claim: repair removes every false alarm. Measures
+//! full verification (repair included) on the fixed corpus; the alarm
+//! counts themselves are printed by `bench_tables`.
+
+use air_bench::{alarm_corpus, int_domain};
+use air_core::Verifier;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_alarm_removal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alarm_removal");
+    group.sample_size(10);
+    for (name, prog, u, input, spec) in alarm_corpus() {
+        let dom = int_domain(&u);
+        group.bench_with_input(BenchmarkId::new("backward_verify", name), &name, |b, _| {
+            b.iter(|| {
+                let v = Verifier::new(&u)
+                    .backward(dom.clone(), &prog, &input, &spec)
+                    .expect("verification runs");
+                assert!(v.is_proved());
+                black_box(v.added_points().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alarm_removal);
+criterion_main!(benches);

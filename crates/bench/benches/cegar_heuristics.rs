@@ -1,0 +1,31 @@
+//! T4 — CEGAR heuristic comparison on the two-lane family: classic vs
+//! forward-AIR vs backward-AIR (Theorems 6.2/6.4). Backward repairs the
+//! whole counterexample at once (Fig. 3) and converges in the fewest
+//! rounds.
+
+use air_bench::two_lane;
+use air_cegar::driver::{Cegar, Heuristic};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cegar_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cegar_heuristics");
+    for n in [8usize, 16, 32] {
+        let (ts, init, bad, pairs) = two_lane(n);
+        for h in Heuristic::ALL {
+            group.bench_with_input(BenchmarkId::new(h.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    let res = Cegar::new(&ts, &init, &bad, h)
+                        .initial_partition(pairs.clone())
+                        .run();
+                    assert!(res.is_safe());
+                    black_box(res.stats().iterations)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cegar_heuristics);
+criterion_main!(benches);

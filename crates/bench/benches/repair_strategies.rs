@@ -1,0 +1,42 @@
+//! T1 — forward vs backward repair cost as programs grow.
+//!
+//! Forward repair restarts the whole analysis after each pointed-shell
+//! refinement; backward repair continues along the existing abstract
+//! computation (paper, Section 5 (iv)). On branch chains of length n the
+//! gap widens with n.
+
+use air_bench::{branch_chain_program, branch_chain_workload, int_domain};
+use air_core::{BackwardRepair, ForwardRepair};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_repair_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_strategies");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let (u, input, spec) = branch_chain_workload(n);
+        let prog = branch_chain_program(n);
+        let dom = int_domain(&u);
+
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let out = ForwardRepair::new(&u)
+                    .repair(dom.clone(), &prog, &input)
+                    .expect("repair succeeds");
+                black_box(out.repairs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("backward", n), &n, |b, _| {
+            b.iter(|| {
+                let out = BackwardRepair::new(&u)
+                    .repair(&dom, &input, &prog, &spec)
+                    .expect("repair succeeds");
+                black_box(out.calls)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_strategies);
+criterion_main!(benches);

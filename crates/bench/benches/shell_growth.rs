@@ -1,0 +1,62 @@
+//! T3 — pointed shells vs global refinements: the cost of closing a
+//! refined domain. The pointed refinement `A ⊞ N` adds a handful of
+//! points; the disjunctive (Boolean) completion tracks exponentially many
+//! minterm combinations. We measure the closure cost on each.
+
+use air_bench::{absval_program, int_domain};
+use air_core::{BackwardRepair, EnumDomain};
+use air_domains::BooleanPredicateDomain;
+use air_lang::{parse_bexp, Universe};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_shell_growth(c: &mut Criterion) {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let prog = absval_program();
+    let odd = u.filter(|s| s[0] % 2 != 0);
+    let spec = u.filter(|s| s[0] != 0);
+
+    // The repaired pointed domain.
+    let base = int_domain(&u);
+    let out = BackwardRepair::new(&u)
+        .repair(&base, &odd, &prog, &spec)
+        .expect("repair succeeds");
+    let pointed = out.domain(&base);
+
+    // A Boolean predicate "completion" over sign/parity/threshold
+    // predicates (the global-refinement style).
+    let boolean = BooleanPredicateDomain::new(
+        &u,
+        vec![
+            parse_bexp("x > 0").unwrap(),
+            parse_bexp("x = 0").unwrap(),
+            parse_bexp("x > 3").unwrap(),
+            parse_bexp("x < 0 - 3").unwrap(),
+        ],
+    );
+    let bool_dom = EnumDomain::from_abstraction(&u, boolean);
+
+    let probes: Vec<_> = (0..64u64)
+        .map(|seed| air_bench::random_state_set(&u, seed))
+        .collect();
+
+    let mut group = c.benchmark_group("shell_growth");
+    group.bench_function("pointed_closure", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(pointed.close(p));
+            }
+        })
+    });
+    group.bench_function("boolean_completion_closure", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(bool_dom.close(p));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shell_growth);
+criterion_main!(benches);

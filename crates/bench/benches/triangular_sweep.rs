@@ -1,0 +1,31 @@
+//! T2 — the Section 2 sweep: backward repair of the triangular program
+//! for K = 3..8, Spec = (j ≤ T_K). The time grows with the universe, but
+//! the number of added points stays constant (the paper's five-ish).
+
+use air_bench::{int_domain, triangular_number, triangular_program, triangular_universe};
+use air_core::BackwardRepair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_triangular_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangular_sweep");
+    group.sample_size(10);
+    for k in [3i64, 4, 5, 6, 8] {
+        let u = triangular_universe(k);
+        let prog = triangular_program(k);
+        let spec = u.filter(|s| s[1] <= triangular_number(k));
+        let dom = int_domain(&u);
+        group.bench_with_input(BenchmarkId::new("backward", k), &k, |b, _| {
+            b.iter(|| {
+                let out = BackwardRepair::new(&u)
+                    .repair(&dom, &u.full(), &prog, &spec)
+                    .expect("repair succeeds");
+                black_box(out.points.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangular_sweep);
+criterion_main!(benches);

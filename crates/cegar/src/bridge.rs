@@ -1,0 +1,162 @@
+//! The `r_π` correspondence (Section 7 of the paper).
+//!
+//! Given a CEGAR abstract counterexample `π = ⟨B₁, …, Bₙ⟩`, the paper
+//! defines the regular command `r_π = e₁; …; e_{n−1}` whose basic
+//! semantics are the path transformers `post_{π_k}(X) = post(X) ∩ B_{k+1}`,
+//! takes `P = B₁` and `Spec = ⊥`, and observes that `⟦r_π⟧P ≤ Spec` iff
+//! `π` is spurious. Running *backward repair* (Algorithm 2, sequential +
+//! basic cases) on `r_π` then produces exactly the `V_k` points of
+//! Theorem 6.4.
+//!
+//! This module implements Algorithm 2 for such transformer sequences and
+//! verifies the correspondence; the CEGAR heuristics in
+//! [`refine`](crate::refine) are thereby literally instances of `bRepair`.
+
+use air_lattice::BitVecSet;
+
+use crate::ts::TransitionSystem;
+
+/// The outcome of running `bRepair_A(∅, B₁, r_π, ⊥)`.
+#[derive(Clone, Debug)]
+pub struct PathRepair {
+    /// The greatest valid input `V₁` (paper: `V_k` at `k = 1`).
+    pub valid_input: BitVecSet,
+    /// The valid-input sets `V₁ … Vₙ` discovered along the path (the
+    /// candidate refinement points, in path order).
+    pub points: Vec<BitVecSet>,
+}
+
+/// Runs the sequential/basic fragment of Algorithm 2 on the transformer
+/// sequence of an abstract path, with specification `⊥`:
+///
+/// ```text
+/// bRepair(N, P, e_k; …; e_{n−1}, ∅)
+///   = let ⟨V_{k+1}, N'⟩ = bRepair(N, post_{π_k}(P), tail, ∅)
+///     in  ⟨P ∩ wlp(post_{π_k}, V_{k+1}), N' ∪ {V_k}⟩
+/// ```
+///
+/// `wlp(post ∩ B, Z) = {s | post({s}) ∩ B ⊆ Z}` is computed by singleton
+/// enumeration (the transformers are additive).
+///
+/// # Panics
+///
+/// Panics if `path_blocks` is empty.
+pub fn brepair_path(ts: &TransitionSystem, path_blocks: &[BitVecSet]) -> PathRepair {
+    assert!(!path_blocks.is_empty(), "empty abstract path");
+    let n = ts.num_states();
+    let last = path_blocks.len() - 1;
+    // V_n = ∅ (the spec): valid final states are none — the path must die.
+    let mut v = vec![BitVecSet::new(n); path_blocks.len()];
+    // Backward pass: V_k = B_k-input ∩ wlp(post_{π_k}, V_{k+1}); the
+    // "input" at stage k is the abstract element B_k itself (the paper's
+    // P̂ = B₁ with bca's keeping every stage inside its block).
+    for k in (0..last).rev() {
+        let next_block = &path_blocks[k + 1];
+        let mut wlp = BitVecSet::new(n);
+        for s in path_blocks[k].iter() {
+            let single = BitVecSet::from_indices(n, [s]);
+            let post = ts.post(&single).intersection(next_block);
+            if post.is_subset(&v[k + 1]) {
+                wlp.insert(s);
+            }
+        }
+        v[k] = wlp;
+    }
+    // V at the last stage: states of B_n that are "valid" w.r.t. ⊥ — none
+    // (they are already at the bad block).
+    PathRepair {
+        valid_input: v[0].clone(),
+        points: v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use crate::spurious::SpuriousAnalysis;
+
+    fn fig2() -> (TransitionSystem, Partition) {
+        let mut ts = TransitionSystem::new(6);
+        ts.add_edge(0, 2);
+        ts.add_edge(1, 2);
+        ts.add_edge(3, 5);
+        let p = Partition::from_key(6, |s| match s {
+            0 | 1 => 0,
+            2..=4 => 1,
+            _ => 2,
+        });
+        (ts, p)
+    }
+
+    /// Theorem 6.4 via Algorithm 2: the path-repair points coincide with
+    /// the backward sets' complements `V_k = B_k ∖ T_k`.
+    #[test]
+    fn brepair_path_matches_theorem_6_4() {
+        let (ts, p) = fig2();
+        let path = [0usize, 1, 2];
+        let blocks: Vec<BitVecSet> = path.iter().map(|&b| p.block(b).clone()).collect();
+        let analysis = SpuriousAnalysis::analyze(&ts, &p, &path);
+        let repair = brepair_path(&ts, &blocks);
+        for k in 0..path.len() {
+            assert_eq!(
+                repair.points[k],
+                analysis.v(k),
+                "V_{k} mismatch between Algorithm 2 and Theorem 6.4"
+            );
+        }
+    }
+
+    /// The §7 correspondence: ⟦r_π⟧B₁ ≤ ⊥ iff π is spurious, decided by
+    /// `B₁ ⊆ V₁` (Corollary 7.7 with Spec = ⊥).
+    #[test]
+    fn spuriousness_decided_by_valid_input() {
+        let (ts, p) = fig2();
+        // The spurious path ⟨B0, B1, B2⟩.
+        let blocks: Vec<BitVecSet> = [0usize, 1, 2].iter().map(|&b| p.block(b).clone()).collect();
+        let analysis = SpuriousAnalysis::analyze(&ts, &p, &[0, 1, 2]);
+        assert!(analysis.is_spurious());
+        let repair = brepair_path(&ts, &blocks);
+        assert!(blocks[0].is_subset(&repair.valid_input));
+        // A real path on the identity partition: B₁ ⊄ V₁.
+        let exact = Partition::from_key(6, |s| s);
+        let real_blocks: Vec<BitVecSet> = [3usize, 5]
+            .iter()
+            .map(|&s| exact.block(exact.block_of(s)).clone())
+            .collect();
+        let analysis2 = SpuriousAnalysis::analyze_blocks(&ts, real_blocks.clone());
+        assert!(!analysis2.is_spurious());
+        let repair2 = brepair_path(&ts, &real_blocks);
+        assert!(!real_blocks[0].is_subset(&repair2.valid_input));
+    }
+
+    /// Randomized agreement between the Algorithm-2 view and the direct
+    /// T-set computation on seeded sparse systems.
+    #[test]
+    fn randomized_agreement_with_t_sets() {
+        for seed in 0..20u64 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let n = 12;
+            let mut ts = TransitionSystem::new(n);
+            for _ in 0..18 {
+                let a = (next() % n as u64) as usize;
+                let b = (next() % n as u64) as usize;
+                ts.add_edge(a, b);
+            }
+            let p = Partition::from_key(n, |s| s / 3);
+            let path: Vec<usize> = (0..p.num_blocks()).collect();
+            let blocks: Vec<BitVecSet> = path.iter().map(|&b| p.block(b).clone()).collect();
+            let analysis = SpuriousAnalysis::analyze(&ts, &p, &path);
+            let repair = brepair_path(&ts, &blocks);
+            for k in 0..path.len() {
+                assert_eq!(repair.points[k], analysis.v(k), "seed {seed}, k {k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! CEGAR as Abstract Interpretation Repair (Section 6 of the paper).
+//!
+//! This crate provides the abstract-model-checking substrate the paper
+//! relates AIR to:
+//!
+//! - [`ts`] — finite transition systems with `post`/`pre` transformers;
+//! - [`partition`] — partitioning abstractions (unions of blocks);
+//! - [`amc`] — the existential abstract transition system and abstract
+//!   counterexample search;
+//! - [`spurious`] — the forward sets `S_k` of eq. (2), the backward sets
+//!   `T_k`, the dead/bad/irrelevant split, and the spuriousness check
+//!   (Lemmas 6.1 and 6.3);
+//! - [`shell`] — pointed shells for arbitrary additive set transformers
+//!   (the Section 4 theory specialized to `post`);
+//! - [`refine`] — the three refinement heuristics: classic CEGAR,
+//!   forward-AIR (Theorem 6.2) and backward-AIR (Theorem 6.4);
+//! - [`driver`] — the CEGAR loop with statistics;
+//! - [`program_ts`] — compiling a regular command over a finite universe
+//!   into a transition system, so the same programs drive both AIR and
+//!   CEGAR.
+//!
+//! # Example
+//!
+//! ```
+//! use air_cegar::driver::{Cegar, CegarResult, Heuristic};
+//! use air_cegar::ts::TransitionSystem;
+//! use air_lattice::BitVecSet;
+//!
+//! // A 4-state system: 0 → 1 → 2, and 3 isolated; is state 3 reachable
+//! // from 0? (No.)
+//! let mut ts = TransitionSystem::new(4);
+//! ts.add_edge(0, 1);
+//! ts.add_edge(1, 2);
+//! let init = BitVecSet::from_indices(4, [0]);
+//! let bad = BitVecSet::from_indices(4, [3]);
+//! let result = Cegar::new(&ts, &init, &bad, Heuristic::BackwardAir).run();
+//! assert!(matches!(result, CegarResult::Safe { .. }));
+//! ```
+
+pub mod amc;
+pub mod bridge;
+pub mod driver;
+pub mod moore;
+pub mod partition;
+pub mod program_ts;
+pub mod refine;
+pub mod shell;
+pub mod spurious;
+pub mod ts;
+
+pub use driver::{Cegar, CegarResult, Heuristic};
+pub use moore::{MooreAbstraction, MooreCegar, MooreResult};
+pub use partition::Partition;
+pub use program_ts::ProgramTs;
+pub use spurious::SpuriousAnalysis;
+pub use ts::TransitionSystem;

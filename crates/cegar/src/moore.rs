@@ -1,0 +1,379 @@
+//! Abstraction-refinement model checking with *Moore-family* abstractions.
+//!
+//! Section 6 of the paper stresses that AIR "can be applied to arbitrary
+//! Galois connection-based abstract domains … hence going beyond the
+//! state partitions used in early abstract model checking." This module
+//! realizes that claim: the abstraction is an arbitrary Moore family of
+//! state sets (any upper closure of `℘(Σ)`), abstract reachability is the
+//! closure-based fixpoint `X_{k+1} = A(X_k ∪ post(X_k))`, and spurious
+//! abstract traces are repaired by adding the backward points
+//! `V_k = X_k ∖ T_k` — the Theorem 6.4 pointed shells, now with no
+//! partition structure in sight.
+//!
+//! Each repair round provably discharges the current abstract trace
+//! (every `V_k` added makes the next cumulative sequence stay inside the
+//! `V`s, whose last element avoids `bad`), so the loop terminates on
+//! finite systems; a round cap guards against misuse.
+
+use air_lattice::BitVecSet;
+
+use crate::partition::Partition;
+use crate::ts::TransitionSystem;
+
+/// A Moore-family abstraction of `℘(Σ)`: an explicit meet-closed family
+/// containing `Σ`, applied lazily like the enumerative domains of
+/// `air-core`.
+#[derive(Clone, Debug)]
+pub struct MooreAbstraction {
+    n: usize,
+    points: Vec<BitVecSet>,
+}
+
+impl MooreAbstraction {
+    /// The trivial abstraction `{Σ}`.
+    pub fn trivial(num_states: usize) -> Self {
+        MooreAbstraction {
+            n: num_states,
+            points: Vec::new(),
+        }
+    }
+
+    /// The abstraction induced by a partition: one generator per block —
+    /// its complement (the union of all other blocks). Meets of those
+    /// complements produce exactly the unions of blocks, i.e. the
+    /// partition closure.
+    pub fn from_partition(p: &Partition) -> Self {
+        let mut abs = MooreAbstraction::trivial(p.num_states());
+        for b in p.blocks() {
+            abs.add_point(b.complement());
+        }
+        abs
+    }
+
+    /// Number of stored generator points.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `A(c) = ⋀{p ∈ points ∪ {Σ} | c ⊆ p}`.
+    pub fn close(&self, c: &BitVecSet) -> BitVecSet {
+        let mut acc = BitVecSet::full(self.n);
+        for p in &self.points {
+            if c.is_subset(p) {
+                acc.intersect_with(p);
+            }
+        }
+        acc
+    }
+
+    /// Returns `true` if `c` is expressible.
+    pub fn is_expressible(&self, c: &BitVecSet) -> bool {
+        self.close(c) == *c
+    }
+
+    /// Adds a point (pointed refinement `A ⊞ {p}`); returns `false` if it
+    /// was already expressible.
+    pub fn add_point(&mut self, p: BitVecSet) -> bool {
+        if self.is_expressible(&p) {
+            return false;
+        }
+        self.points.push(p);
+        true
+    }
+}
+
+/// Statistics of a Moore-family run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MooreStats {
+    /// Abstract reachability rounds.
+    pub rounds: usize,
+    /// Points added across all repairs.
+    pub points_added: usize,
+}
+
+/// The result of a Moore-family model-checking run.
+#[derive(Clone, Debug)]
+pub enum MooreResult {
+    /// `bad` unreachable; the refined abstraction certifies it.
+    Safe {
+        /// The final abstraction.
+        abstraction: MooreAbstraction,
+        /// Run statistics.
+        stats: MooreStats,
+    },
+    /// A concrete counterexample path (with stuttering allowed).
+    Unsafe {
+        /// Concrete states from `init` to `bad`.
+        path: Vec<usize>,
+        /// Run statistics.
+        stats: MooreStats,
+    },
+}
+
+impl MooreResult {
+    /// Returns `true` for [`MooreResult::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, MooreResult::Safe { .. })
+    }
+
+    /// The run statistics.
+    pub fn stats(&self) -> MooreStats {
+        match self {
+            MooreResult::Safe { stats, .. } | MooreResult::Unsafe { stats, .. } => *stats,
+        }
+    }
+}
+
+/// Closure-based abstraction-refinement reachability.
+///
+/// # Example
+///
+/// ```
+/// use air_cegar::moore::{MooreAbstraction, MooreCegar};
+/// use air_cegar::ts::TransitionSystem;
+/// use air_lattice::BitVecSet;
+///
+/// let mut ts = TransitionSystem::new(4);
+/// ts.add_edge(0, 1);
+/// ts.add_edge(2, 3);
+/// let init = BitVecSet::from_indices(4, [0]);
+/// let bad = BitVecSet::from_indices(4, [3]);
+/// let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(4)).run();
+/// assert!(res.is_safe());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MooreCegar<'t> {
+    ts: &'t TransitionSystem,
+    init: BitVecSet,
+    bad: BitVecSet,
+    abstraction: MooreAbstraction,
+    max_rounds: usize,
+}
+
+impl<'t> MooreCegar<'t> {
+    /// Creates a run checking that `bad` is unreachable from `init`.
+    pub fn new(
+        ts: &'t TransitionSystem,
+        init: &BitVecSet,
+        bad: &BitVecSet,
+        abstraction: MooreAbstraction,
+    ) -> Self {
+        MooreCegar {
+            ts,
+            init: init.clone(),
+            bad: bad.clone(),
+            abstraction,
+            max_rounds: 10_000,
+        }
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round cap is exhausted (cannot happen on finite
+    /// systems: every repair adds at least one point).
+    pub fn run(mut self) -> MooreResult {
+        let mut stats = MooreStats::default();
+        for _ in 0..self.max_rounds {
+            stats.rounds += 1;
+            // Cumulative abstract reachability, keeping the whole chain.
+            let mut chain = vec![self.abstraction.close(&self.init)];
+            let trace_end = loop {
+                let last = chain.last().expect("non-empty chain");
+                if !last.is_disjoint(&self.bad) {
+                    break Some(chain.len() - 1);
+                }
+                let next = self.abstraction.close(&last.union(&self.ts.post(last)));
+                if next == *last {
+                    break None;
+                }
+                chain.push(next);
+            };
+            let Some(end) = trace_end else {
+                return MooreResult::Safe {
+                    abstraction: self.abstraction,
+                    stats,
+                };
+            };
+            // Backward concrete sets with stuttering: T_end = X_end ∩ bad,
+            // T_k = X_k ∩ (T_{k+1} ∪ pre(T_{k+1})).
+            let mut t = vec![BitVecSet::new(self.ts.num_states()); end + 1];
+            t[end] = chain[end].intersection(&self.bad);
+            for k in (0..end).rev() {
+                t[k] = chain[k].intersection(&t[k + 1].union(&self.ts.pre(&t[k + 1])));
+            }
+            if !self.init.is_disjoint(&t[0]) {
+                // Real counterexample: walk forward through the T's.
+                let path = self.extract_path(&t);
+                return MooreResult::Unsafe { path, stats };
+            }
+            // Spurious: add the Theorem 6.4 points V_k = X_k ∖ T_k.
+            for k in 0..=end {
+                let v = chain[k].difference(&t[k]);
+                if self.abstraction.add_point(v) {
+                    stats.points_added += 1;
+                }
+            }
+        }
+        unreachable!("round cap exhausted: repair must make progress on finite systems")
+    }
+
+    fn extract_path(&self, t: &[BitVecSet]) -> Vec<usize> {
+        let mut cur = self
+            .init
+            .intersection(&t[0])
+            .min_index()
+            .expect("non-spurious trace starts in init");
+        let mut path = vec![cur];
+        for next_t in &t[1..] {
+            if self.bad.contains(cur) {
+                break;
+            }
+            if next_t.contains(cur) {
+                continue; // stutter
+            }
+            cur = self
+                .ts
+                .succs_of(cur)
+                .find(|&s| next_t.contains(s))
+                .expect("T-sets form a path");
+            path.push(cur);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+
+    fn two_lane(n: usize) -> (TransitionSystem, BitVecSet, BitVecSet) {
+        let states = 2 * n + 1;
+        let mut ts = TransitionSystem::new(states);
+        for i in 0..n - 1 {
+            ts.add_edge(2 * i, 2 * (i + 1));
+            ts.add_edge(2 * i + 1, 2 * (i + 1) + 1);
+        }
+        ts.add_edge(2 * (n - 1) + 1, 2 * n);
+        (
+            ts,
+            BitVecSet::from_indices(states, [0]),
+            BitVecSet::from_indices(states, [2 * n]),
+        )
+    }
+
+    #[test]
+    fn moore_closure_is_a_uco() {
+        let mut a = MooreAbstraction::trivial(6);
+        a.add_point(BitVecSet::from_indices(6, [0, 1, 2]));
+        a.add_point(BitVecSet::from_indices(6, [1, 2, 3]));
+        let probes: Vec<BitVecSet> = (0..16u32)
+            .map(|m| BitVecSet::from_indices(6, (0..4).filter(move |i| m & (1 << i) != 0)))
+            .collect();
+        for c in &probes {
+            let cc = a.close(c);
+            assert!(c.is_subset(&cc));
+            assert_eq!(a.close(&cc), cc);
+            for d in &probes {
+                if c.is_subset(d) {
+                    assert!(a.close(c).is_subset(&a.close(d)));
+                }
+            }
+        }
+        // Meets of points are expressible via laziness.
+        assert!(a.is_expressible(&BitVecSet::from_indices(6, [1, 2])));
+    }
+
+    #[test]
+    fn from_partition_expresses_blocks() {
+        let p = Partition::from_key(6, |s| s % 3);
+        let a = MooreAbstraction::from_partition(&p);
+        for b in p.blocks() {
+            // Each block is the meet of the complements of the others.
+            assert!(a.is_expressible(b), "{b:?}");
+        }
+        // Unions of two blocks are expressible (complement of the third).
+        let union01 = p.block(0).union(p.block(1));
+        assert!(a.is_expressible(&union01));
+    }
+
+    #[test]
+    fn safe_two_lane_from_trivial_abstraction() {
+        for n in 2..6 {
+            let (ts, init, bad) = two_lane(n);
+            let res =
+                MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(ts.num_states())).run();
+            assert!(res.is_safe(), "n = {n}");
+            let stats = res.stats();
+            assert!(stats.points_added > 0, "trivial start must refine");
+        }
+    }
+
+    #[test]
+    fn unsafe_system_gives_concrete_path() {
+        let mut ts = TransitionSystem::new(5);
+        ts.add_edge(0, 1);
+        ts.add_edge(1, 2);
+        ts.add_edge(2, 4);
+        let init = BitVecSet::from_indices(5, [0]);
+        let bad = BitVecSet::from_indices(5, [4]);
+        let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(5)).run();
+        let MooreResult::Unsafe { path, .. } = res else {
+            panic!("must be unsafe");
+        };
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&4));
+        // Consecutive states are connected.
+        for w in path.windows(2) {
+            assert!(ts.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn init_overlapping_bad_is_unsafe_immediately() {
+        let ts = TransitionSystem::new(3);
+        let init = BitVecSet::from_indices(3, [1]);
+        let bad = BitVecSet::from_indices(3, [1]);
+        let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(3)).run();
+        let MooreResult::Unsafe { path, .. } = res else {
+            panic!("must be unsafe");
+        };
+        assert_eq!(path, vec![1]);
+    }
+
+    #[test]
+    fn partition_start_also_converges() {
+        // Moore refinement is not monotone in the starting abstraction
+        // (a finer start explores different spurious traces), but both
+        // starts must prove safety by adding backward points.
+        let (ts, init, bad) = two_lane(5);
+        let trivial =
+            MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(ts.num_states())).run();
+        let mut pairs = Partition::from_key(ts.num_states(), |s| s / 2);
+        pairs.split_by(&init);
+        pairs.split_by(&bad);
+        let parted =
+            MooreCegar::new(&ts, &init, &bad, MooreAbstraction::from_partition(&pairs)).run();
+        assert!(trivial.is_safe() && parted.is_safe());
+        assert!(trivial.stats().points_added > 0);
+        assert!(parted.stats().rounds <= trivial.stats().rounds + 2);
+    }
+
+    #[test]
+    fn cycles_are_handled() {
+        // A safe cycle: 0 → 1 → 0, bad state 2 unreachable.
+        let mut ts = TransitionSystem::new(3);
+        ts.add_edge(0, 1);
+        ts.add_edge(1, 0);
+        let res = MooreCegar::new(
+            &ts,
+            &BitVecSet::from_indices(3, [0]),
+            &BitVecSet::from_indices(3, [2]),
+            MooreAbstraction::trivial(3),
+        )
+        .run();
+        assert!(res.is_safe());
+    }
+}

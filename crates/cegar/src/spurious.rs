@@ -1,0 +1,212 @@
+//! Spurious-counterexample analysis (Section 6, eq. (2), Lemmas 6.1/6.3).
+//!
+//! Given an abstract path `π = ⟨B₁, …, Bₙ⟩`:
+//!
+//! - the forward sets `S₁ = B₁`, `Sᵢ₊₁ = post(Sᵢ) ∩ Bᵢ₊₁` — `π` is
+//!   spurious iff some `Sₖ₊₁ = ∅` (least such `k`);
+//! - the backward sets `Tₙ = Bₙ`, `Tᵢ = pre(Tᵢ₊₁) ∩ Bᵢ` — the states with
+//!   a real path to `Bₙ`; `Vₖ = Bₖ ∖ Tₖ`;
+//! - the dead/bad/irrelevant split of the failure block `Bₖ`:
+//!   `B^dead = Sₖ`, `B^bad = Bₖ ∩ pre(Bₖ₊₁)`, `B^irr` the rest.
+
+use air_lattice::BitVecSet;
+
+use crate::partition::Partition;
+use crate::ts::TransitionSystem;
+
+/// The full spuriousness analysis of one abstract path.
+#[derive(Clone, Debug)]
+pub struct SpuriousAnalysis {
+    /// The blocks of the path (as state sets).
+    pub blocks: Vec<BitVecSet>,
+    /// Forward sets `S₁…Sₙ` of eq. (2).
+    pub forward: Vec<BitVecSet>,
+    /// Backward sets `T₁…Tₙ`.
+    pub backward: Vec<BitVecSet>,
+    /// The least `k` (0-based index into `blocks`) with `Sₖ₊₁ = ∅`, if
+    /// the path is spurious.
+    pub failure_index: Option<usize>,
+}
+
+impl SpuriousAnalysis {
+    /// Analyzes the abstract path `π` (block indices into `partition`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty.
+    pub fn analyze(ts: &TransitionSystem, partition: &Partition, path: &[usize]) -> Self {
+        assert!(!path.is_empty(), "empty abstract path");
+        let blocks: Vec<BitVecSet> = path.iter().map(|&b| partition.block(b).clone()).collect();
+        Self::analyze_blocks(ts, blocks)
+    }
+
+    /// Analyzes a path given directly as block state-sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn analyze_blocks(ts: &TransitionSystem, blocks: Vec<BitVecSet>) -> Self {
+        assert!(!blocks.is_empty(), "empty abstract path");
+        let n = blocks.len();
+        // Forward sets.
+        let mut forward = Vec::with_capacity(n);
+        forward.push(blocks[0].clone());
+        let mut failure_index = None;
+        for i in 1..n {
+            let s = ts.post(&forward[i - 1]).intersection(&blocks[i]);
+            if s.is_empty() && failure_index.is_none() {
+                failure_index = Some(i - 1);
+            }
+            forward.push(s);
+        }
+        // Backward sets.
+        let mut backward = vec![BitVecSet::new(ts.num_states()); n];
+        backward[n - 1] = blocks[n - 1].clone();
+        for i in (0..n - 1).rev() {
+            backward[i] = ts.pre(&backward[i + 1]).intersection(&blocks[i]);
+        }
+        SpuriousAnalysis {
+            blocks,
+            forward,
+            backward,
+            failure_index,
+        }
+    }
+
+    /// Lemma 4.10 of \[11\] / Section 6: the path is spurious iff some
+    /// forward set is empty.
+    pub fn is_spurious(&self) -> bool {
+        self.failure_index.is_some()
+    }
+
+    /// `B^dead_k = S_k` at the failure index.
+    pub fn dead(&self, ts: &TransitionSystem) -> Option<BitVecSet> {
+        let _ = ts;
+        self.failure_index.map(|k| self.forward[k].clone())
+    }
+
+    /// `B^bad_k = B_k ∩ pre(B_{k+1})` at the failure index.
+    pub fn bad(&self, ts: &TransitionSystem) -> Option<BitVecSet> {
+        self.failure_index
+            .map(|k| self.blocks[k].intersection(&ts.pre(&self.blocks[k + 1])))
+    }
+
+    /// `B^irr_k = B_k ∖ (dead ∪ bad)` at the failure index.
+    pub fn irrelevant(&self, ts: &TransitionSystem) -> Option<BitVecSet> {
+        let k = self.failure_index?;
+        let dead = self.dead(ts)?;
+        let bad = self.bad(ts)?;
+        Some(self.blocks[k].difference(&dead.union(&bad)))
+    }
+
+    /// `V_k = B_k ∖ T_k` — the largest subset of `B_k` with no path of
+    /// length `n − k` into `B_n` (the backward-repair points, Thm. 6.4).
+    pub fn v(&self, k: usize) -> BitVecSet {
+        self.blocks[k].difference(&self.backward[k])
+    }
+
+    /// A concrete underlying path, if the abstract path is *not* spurious.
+    pub fn concrete_witness(&self, ts: &TransitionSystem) -> Option<Vec<usize>> {
+        if self.is_spurious() {
+            return None;
+        }
+        // Walk backward through forward ∩ backward sets: states on real
+        // paths.
+        let n = self.blocks.len();
+        let live: Vec<BitVecSet> = (0..n)
+            .map(|i| self.forward[i].intersection(&self.backward[i]))
+            .collect();
+        let mut path = Vec::with_capacity(n);
+        let mut cur = live[0].min_index()?;
+        path.push(cur);
+        for item in live.iter().take(n).skip(1) {
+            let next = ts
+                .succs_of(cur)
+                .find(|&t| item.contains(t))
+                .expect("non-spurious path must continue");
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 2 shape: blocks B1 → B2 → B3 where B2 splits into
+    /// dead/bad/irrelevant states.
+    ///
+    /// States: B1 = {0, 1}, B2 = {2 (dead), 3 (bad), 4 (irr)}, B3 = {5}.
+    /// Edges: 0→2, 1→2 (reachable dead ends), 3→5 (bad, but unreachable
+    /// from B1), 4 isolated.
+    fn fig2() -> (TransitionSystem, Partition) {
+        let mut ts = TransitionSystem::new(6);
+        ts.add_edge(0, 2);
+        ts.add_edge(1, 2);
+        ts.add_edge(3, 5);
+        let p = Partition::from_key(6, |s| match s {
+            0 | 1 => 0,
+            2..=4 => 1,
+            _ => 2,
+        });
+        (ts, p)
+    }
+
+    #[test]
+    fn forward_sets_and_failure_index() {
+        let (ts, p) = fig2();
+        let a = SpuriousAnalysis::analyze(&ts, &p, &[0, 1, 2]);
+        assert!(a.is_spurious());
+        assert_eq!(a.failure_index, Some(1));
+        assert_eq!(a.forward[1], BitVecSet::from_indices(6, [2]));
+        assert!(a.forward[2].is_empty());
+    }
+
+    #[test]
+    fn dead_bad_irrelevant_split() {
+        let (ts, p) = fig2();
+        let a = SpuriousAnalysis::analyze(&ts, &p, &[0, 1, 2]);
+        assert_eq!(a.dead(&ts).unwrap(), BitVecSet::from_indices(6, [2]));
+        assert_eq!(a.bad(&ts).unwrap(), BitVecSet::from_indices(6, [3]));
+        assert_eq!(a.irrelevant(&ts).unwrap(), BitVecSet::from_indices(6, [4]));
+    }
+
+    #[test]
+    fn backward_sets_and_v() {
+        let (ts, p) = fig2();
+        let a = SpuriousAnalysis::analyze(&ts, &p, &[0, 1, 2]);
+        // T3 = {5}; T2 = pre({5}) ∩ B2 = {3}; T1 = pre({3}) ∩ B1 = ∅.
+        assert_eq!(a.backward[2], BitVecSet::from_indices(6, [5]));
+        assert_eq!(a.backward[1], BitVecSet::from_indices(6, [3]));
+        assert!(a.backward[0].is_empty());
+        // V2 = B2 ∖ T2 = {2, 4}; V1 = B1.
+        assert_eq!(a.v(1), BitVecSet::from_indices(6, [2, 4]));
+        assert_eq!(a.v(0), BitVecSet::from_indices(6, [0, 1]));
+    }
+
+    #[test]
+    fn non_spurious_path_yields_concrete_witness() {
+        let mut ts = TransitionSystem::new(4);
+        ts.add_edge(0, 1);
+        ts.add_edge(1, 2);
+        ts.add_edge(2, 3);
+        let p = Partition::from_key(4, |s| s); // identity
+        let a = SpuriousAnalysis::analyze(&ts, &p, &[0, 1, 2, 3]);
+        assert!(!a.is_spurious());
+        assert_eq!(a.concrete_witness(&ts).unwrap(), vec![0, 1, 2, 3]);
+        // Spurious paths have no witness.
+        let (ts2, p2) = fig2();
+        let a2 = SpuriousAnalysis::analyze(&ts2, &p2, &[0, 1, 2]);
+        assert!(a2.concrete_witness(&ts2).is_none());
+    }
+
+    #[test]
+    fn singleton_path_never_spurious() {
+        let (ts, p) = fig2();
+        let a = SpuriousAnalysis::analyze(&ts, &p, &[1]);
+        assert!(!a.is_spurious());
+        assert_eq!(a.concrete_witness(&ts).unwrap().len(), 1);
+    }
+}

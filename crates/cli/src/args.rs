@@ -1,0 +1,322 @@
+//! Command-line argument parsing (dependency-free).
+
+use std::fmt;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  air verify  --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP
+              [--domain int|oct|sign|parity|const|cong|karr] [--strategy backward|forward]
+  air analyze --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP [--domain ...]
+  air prove   --vars SPEC --code PROG|--file PATH --pre BEXP [--spec BEXP] [--domain ...]
+
+  --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
+  PROG is the Imp-like surface syntax, e.g. \"while (x > 0) do { x := x - 1 }\"
+  BEXP is a boolean expression over the variables, e.g. \"x != 0 && y <= 5\"";
+
+/// The base abstract domain to start from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DomainKind {
+    /// Intervals (the paper's `Int`). Default.
+    #[default]
+    Int,
+    /// Octagons.
+    Oct,
+    /// Signs.
+    Sign,
+    /// Parity.
+    Parity,
+    /// Constant propagation.
+    Const,
+    /// Congruences.
+    Cong,
+    /// Karr's affine equalities.
+    Karr,
+}
+
+impl DomainKind {
+    fn parse(s: &str) -> Result<Self, ArgError> {
+        Ok(match s {
+            "int" => DomainKind::Int,
+            "oct" => DomainKind::Oct,
+            "sign" => DomainKind::Sign,
+            "parity" => DomainKind::Parity,
+            "const" => DomainKind::Const,
+            "cong" => DomainKind::Cong,
+            "karr" => DomainKind::Karr,
+            other => return Err(ArgError(format!("unknown domain `{other}`"))),
+        })
+    }
+}
+
+/// The repair strategy for `verify`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StrategyKind {
+    /// Backward repair (Algorithm 2). Default.
+    #[default]
+    Backward,
+    /// Forward repair (Algorithm 1).
+    Forward,
+}
+
+/// A declared variable with bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Lower bound.
+    pub lo: i64,
+    /// Upper bound.
+    pub hi: i64,
+}
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `air verify` — repair until proved or refuted.
+    Verify(Task),
+    /// `air analyze` — plain analysis, report alarm counts.
+    Analyze(Task),
+    /// `air prove` — print the LCL_A derivation (with repair).
+    Prove(Task),
+}
+
+/// The common task payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Task {
+    /// Declared variables.
+    pub vars: Vec<VarDecl>,
+    /// Program source text.
+    pub code: String,
+    /// Precondition source (boolean expression).
+    pub pre: String,
+    /// Specification source (empty for `prove`).
+    pub spec: Option<String>,
+    /// Base domain.
+    pub domain: DomainKind,
+    /// Repair strategy.
+    pub strategy: StrategyKind,
+}
+
+/// A parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `--vars "x:-8..8,y:0..20"`.
+pub fn parse_vars(spec: &str) -> Result<Vec<VarDecl>, ArgError> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, range) = part
+            .split_once(':')
+            .ok_or_else(|| ArgError(format!("variable `{part}` lacks `:lo..hi`")))?;
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| ArgError(format!("range `{range}` lacks `..`")))?;
+        let lo: i64 = lo
+            .trim()
+            .parse()
+            .map_err(|_| ArgError(format!("bad lower bound `{lo}`")))?;
+        let hi: i64 = hi
+            .trim()
+            .parse()
+            .map_err(|_| ArgError(format!("bad upper bound `{hi}`")))?;
+        out.push(VarDecl {
+            name: name.trim().to_owned(),
+            lo,
+            hi,
+        });
+    }
+    if out.is_empty() {
+        return Err(ArgError("--vars declared no variables".into()));
+    }
+    Ok(out)
+}
+
+/// Parses a full argv (without the binary name).
+pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
+    let mut it = argv.iter();
+    let sub = it
+        .next()
+        .ok_or_else(|| ArgError("missing subcommand".into()))?;
+    if sub == "--help" || sub == "-h" {
+        return Err(ArgError("help requested".into()));
+    }
+    let mut vars = None;
+    let mut code = None;
+    let mut file = None;
+    let mut pre = None;
+    let mut spec = None;
+    let mut domain = DomainKind::default();
+    let mut strategy = StrategyKind::default();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("flag `{flag}` needs a value")))
+        };
+        match flag.as_str() {
+            "--vars" => vars = Some(parse_vars(&value()?)?),
+            "--code" => code = Some(value()?),
+            "--file" => file = Some(value()?),
+            "--pre" => pre = Some(value()?),
+            "--spec" => spec = Some(value()?),
+            "--domain" => domain = DomainKind::parse(&value()?)?,
+            "--strategy" => {
+                strategy = match value()?.as_str() {
+                    "backward" => StrategyKind::Backward,
+                    "forward" => StrategyKind::Forward,
+                    other => return Err(ArgError(format!("unknown strategy `{other}`"))),
+                }
+            }
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+    let code = match (code, file) {
+        (Some(c), None) => c,
+        (None, Some(path)) => std::fs::read_to_string(&path)
+            .map_err(|e| ArgError(format!("cannot read `{path}`: {e}")))?,
+        (Some(_), Some(_)) => return Err(ArgError("--code and --file are exclusive".into())),
+        (None, None) => return Err(ArgError("one of --code or --file is required".into())),
+    };
+    let task = Task {
+        vars: vars.ok_or_else(|| ArgError("--vars is required".into()))?,
+        code,
+        pre: pre.ok_or_else(|| ArgError("--pre is required".into()))?,
+        spec: spec.clone(),
+        domain,
+        strategy,
+    };
+    match sub.as_str() {
+        "verify" | "analyze" => {
+            if task.spec.is_none() {
+                return Err(ArgError(format!("`{sub}` requires --spec")));
+            }
+            Ok(if sub == "verify" {
+                Command::Verify(task)
+            } else {
+                Command::Analyze(task)
+            })
+        }
+        "prove" => Ok(Command::Prove(task)),
+        other => Err(ArgError(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_vars_spec() {
+        let vars = parse_vars("x:-8..8, y:0..20").unwrap();
+        assert_eq!(vars.len(), 2);
+        assert_eq!(
+            vars[0],
+            VarDecl {
+                name: "x".into(),
+                lo: -8,
+                hi: 8
+            }
+        );
+        assert_eq!(vars[1].name, "y");
+        assert!(parse_vars("x").is_err());
+        assert!(parse_vars("x:1-2").is_err());
+        assert!(parse_vars("x:a..b").is_err());
+        assert!(parse_vars("").is_err());
+    }
+
+    #[test]
+    fn parses_full_verify() {
+        let cmd = parse(&argv(&[
+            "verify",
+            "--vars",
+            "x:-8..8",
+            "--code",
+            "skip",
+            "--pre",
+            "x > 0",
+            "--spec",
+            "x > 0",
+            "--domain",
+            "oct",
+            "--strategy",
+            "forward",
+        ]))
+        .unwrap();
+        let Command::Verify(task) = cmd else {
+            panic!("expected verify");
+        };
+        assert_eq!(task.domain, DomainKind::Oct);
+        assert_eq!(task.strategy, StrategyKind::Forward);
+        assert_eq!(task.code, "skip");
+    }
+
+    #[test]
+    fn prove_does_not_need_spec() {
+        let cmd = parse(&argv(&[
+            "prove", "--vars", "x:0..3", "--code", "skip", "--pre", "true",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Prove(_)));
+        // verify without --spec is rejected.
+        assert!(parse(&argv(&[
+            "verify", "--vars", "x:0..3", "--code", "skip", "--pre", "true",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_flags_and_missing_values() {
+        assert!(parse(&argv(&["verify", "--bogus"])).is_err());
+        assert!(parse(&argv(&["verify", "--vars"])).is_err());
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+        assert!(parse(&argv(&[])).is_err());
+        assert!(
+            parse(&argv(&[
+                "verify", "--vars", "x:0..1", "--pre", "true", "--spec", "true",
+            ]))
+            .is_err(),
+            "missing --code/--file"
+        );
+        assert!(
+            parse(&argv(&[
+                "verify", "--vars", "x:0..1", "--code", "skip", "--file", "f", "--pre", "true",
+                "--spec", "true",
+            ]))
+            .is_err(),
+            "--code and --file are exclusive"
+        );
+    }
+
+    #[test]
+    fn all_domains_parse() {
+        for (name, kind) in [
+            ("int", DomainKind::Int),
+            ("oct", DomainKind::Oct),
+            ("sign", DomainKind::Sign),
+            ("parity", DomainKind::Parity),
+            ("const", DomainKind::Const),
+            ("cong", DomainKind::Cong),
+            ("karr", DomainKind::Karr),
+        ] {
+            assert_eq!(DomainKind::parse(name).unwrap(), kind);
+        }
+        assert!(DomainKind::parse("poly").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! `air` — a command-line verifier based on Abstract Interpretation
+//! Repair.
+//!
+//! ```text
+//! air verify  --vars "x:-8..8" --code "if (x >= 1) then { skip } else { x := 1 - x }" \
+//!             --pre "x != 0" --spec "x >= 1" [--domain int] [--strategy backward]
+//! air analyze --vars ... --code ... --pre ... --spec ...      # alarms, no repair
+//! air prove   --vars ... --code ... --pre ...                 # LCL_A derivation
+//! ```
+//!
+//! Exit codes: 0 = proved / no alarms, 1 = refuted / alarms, 2 = usage or
+//! runtime error.
+
+use std::process::ExitCode;
+
+mod args;
+mod run;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run::run(command) {
+        Ok(run::Outcome::Positive) => ExitCode::SUCCESS,
+        Ok(run::Outcome::Negative) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

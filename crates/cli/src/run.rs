@@ -1,0 +1,286 @@
+//! Executing parsed CLI commands against the AIR engine.
+
+use std::error::Error;
+
+use air_core::summarize::display_set;
+use air_core::{EnumDomain, Lcl, Verdict, Verifier};
+use air_domains::{
+    AffineDomain, CongruenceEnv, ConstantEnv, IntervalEnv, OctagonDomain, ParityEnv, SignEnv,
+};
+use air_lang::{parse_bexp, parse_program, Concrete, StateSet, Universe};
+
+use crate::args::{Command, DomainKind, StrategyKind, Task};
+
+/// The sign of a completed run (drives the exit code).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Proved / no alarms.
+    Positive,
+    /// Refuted / alarms present.
+    Negative,
+}
+
+fn build_universe(task: &Task) -> Result<Universe, Box<dyn Error>> {
+    let decls: Vec<(&str, i64, i64)> = task
+        .vars
+        .iter()
+        .map(|v| (v.name.as_str(), v.lo, v.hi))
+        .collect();
+    Ok(Universe::new(&decls)?)
+}
+
+fn build_domain(task: &Task, u: &Universe) -> EnumDomain {
+    match task.domain {
+        DomainKind::Int => EnumDomain::from_abstraction(u, IntervalEnv::new(u)),
+        DomainKind::Oct => EnumDomain::from_abstraction(u, OctagonDomain::new(u)),
+        DomainKind::Sign => EnumDomain::from_abstraction(u, SignEnv::new(u)),
+        DomainKind::Parity => EnumDomain::from_abstraction(u, ParityEnv::new(u)),
+        DomainKind::Const => EnumDomain::from_abstraction(u, ConstantEnv::new(u)),
+        DomainKind::Cong => EnumDomain::from_abstraction(u, CongruenceEnv::new(u)),
+        DomainKind::Karr => EnumDomain::from_abstraction(u, AffineDomain::new(u)),
+    }
+}
+
+fn build_sets(
+    task: &Task,
+    u: &Universe,
+) -> Result<(air_lang::Reg, StateSet, Option<StateSet>), Box<dyn Error>> {
+    let prog = parse_program(&task.code)?;
+    let sem = Concrete::new(u);
+    let pre = sem.sat(&parse_bexp(&task.pre)?)?;
+    let spec = match &task.spec {
+        Some(s) => Some(sem.sat(&parse_bexp(s)?)?),
+        None => None,
+    };
+    Ok((prog, pre, spec))
+}
+
+/// Runs a command to completion, printing a human-readable report.
+///
+/// # Errors
+///
+/// Any parse, universe or engine error, boxed.
+pub fn run(command: Command) -> Result<Outcome, Box<dyn Error>> {
+    match command {
+        Command::Verify(task) => verify(task),
+        Command::Analyze(task) => analyze(task),
+        Command::Prove(task) => prove(task),
+    }
+}
+
+fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
+    let u = build_universe(&task)?;
+    let dom = build_domain(&task, &u);
+    let (prog, pre, spec) = build_sets(&task, &u)?;
+    let spec = spec.expect("verify requires a spec");
+    println!("program:   {prog}");
+    println!("input:     {}", display_set(&u, &pre));
+    println!("universe:  {} stores", u.size());
+    println!("domain:    {}\n", dom.base_name());
+    let verifier = Verifier::new(&u);
+    let verdict = match task.strategy {
+        StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec)?,
+        StrategyKind::Forward => verifier.forward(dom, &prog, &pre, &spec)?,
+    };
+    print!("{}", verdict.report(&u));
+    if !verdict.is_proved() {
+        println!(
+            "valid inputs: {}",
+            display_set(&u, &verdict.valid_input().intersection(&pre))
+        );
+    }
+    Ok(match verdict {
+        Verdict::Proved { .. } => Outcome::Positive,
+        Verdict::Refuted { .. } => Outcome::Negative,
+    })
+}
+
+fn analyze(task: Task) -> Result<Outcome, Box<dyn Error>> {
+    let u = build_universe(&task)?;
+    let dom = build_domain(&task, &u);
+    let (prog, pre, spec) = build_sets(&task, &u)?;
+    let spec = spec.expect("analyze requires a spec");
+    let verifier = Verifier::new(&u);
+    let counts = verifier.alarm_counts(&dom, &prog, &pre, &spec)?;
+    println!("program:      {prog}");
+    println!("domain:       {}", dom.base_name());
+    println!("alarms:       {}", counts.total);
+    println!("true alarms:  {}", counts.true_alarms);
+    println!("false alarms: {}", counts.false_alarms);
+    Ok(if counts.total == 0 {
+        Outcome::Positive
+    } else {
+        Outcome::Negative
+    })
+}
+
+fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
+    let u = build_universe(&task)?;
+    let dom = build_domain(&task, &u);
+    let (prog, pre, spec) = build_sets(&task, &u)?;
+    let lcl = Lcl::new(&u);
+    // With a spec, decide it through the logic; otherwise just derive.
+    if let Some(spec) = spec {
+        let verdict = lcl.prove_spec(dom, &pre, &prog, &spec)?;
+        let (derivation, repaired, outcome) = match &verdict {
+            air_core::SpecVerdict::Valid { derivation, domain } => {
+                println!("SPEC VALID");
+                (derivation, domain, Outcome::Positive)
+            }
+            air_core::SpecVerdict::TrueAlarm {
+                derivation,
+                domain,
+                witness,
+            } => {
+                println!(
+                    "TRUE ALARM: reachable store {} violates the spec",
+                    u.display_store(&u.store_at(*witness))
+                );
+                (derivation, domain, Outcome::Negative)
+            }
+        };
+        println!(
+            "\nLCL_A derivation ({} rule applications):\n",
+            derivation.size()
+        );
+        print!("{}", derivation.render(&u));
+        println!(
+            "\nrepaired domain: {} (points added: {})",
+            repaired.base_name(),
+            repaired.num_points()
+        );
+        return Ok(outcome);
+    }
+    let (derivation, repaired) = lcl.derive_with_repair(dom, &pre, &prog)?;
+    println!(
+        "LCL_A derivation ({} rule applications):\n",
+        derivation.size()
+    );
+    print!("{}", derivation.render(&u));
+    println!(
+        "\nrepaired domain: {} (points added: {})",
+        repaired.base_name(),
+        repaired.num_points()
+    );
+    println!("post: {}", display_set(&u, &derivation.triple().post));
+    Ok(Outcome::Positive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::VarDecl;
+
+    fn task(code: &str, pre: &str, spec: Option<&str>) -> Task {
+        Task {
+            vars: vec![VarDecl {
+                name: "x".into(),
+                lo: -8,
+                hi: 8,
+            }],
+            code: code.into(),
+            pre: pre.into(),
+            spec: spec.map(str::to_owned),
+            domain: DomainKind::Int,
+            strategy: StrategyKind::Backward,
+        }
+    }
+
+    #[test]
+    fn verify_proved_and_refuted() {
+        let proved = verify(task(
+            "if (x >= 1) then { skip } else { x := 1 - x }",
+            "x != 0",
+            Some("x >= 1"),
+        ))
+        .unwrap();
+        assert_eq!(proved, Outcome::Positive);
+        let refuted = verify(task("x := x + 1", "x >= 0 && x <= 5", Some("x <= 3"))).unwrap();
+        assert_eq!(refuted, Outcome::Negative);
+    }
+
+    #[test]
+    fn forward_strategy_runs() {
+        let mut t = task(
+            "if (x >= 1) then { skip } else { x := 1 - x }",
+            "x != 0",
+            Some("x >= 1"),
+        );
+        t.strategy = StrategyKind::Forward;
+        assert_eq!(verify(t).unwrap(), Outcome::Positive);
+    }
+
+    #[test]
+    fn analyze_counts_alarms() {
+        // Classic AbsVal: A(x ≠ 0) = [-8,8], so the then-branch spuriously
+        // lets 0 through — a false alarm against spec x ≠ 0.
+        let out = analyze(task(
+            "if (x >= 0) then { skip } else { x := 0 - x }",
+            "x != 0",
+            Some("x != 0"),
+        ))
+        .unwrap();
+        assert_eq!(out, Outcome::Negative);
+        let clean = analyze(task("skip", "x > 0", Some("x > 0"))).unwrap();
+        assert_eq!(clean, Outcome::Positive);
+    }
+
+    #[test]
+    fn prove_renders_derivation() {
+        let out = prove(task(
+            "if (x >= 1) then { skip } else { x := 1 - x }",
+            "x != 0",
+            None,
+        ))
+        .unwrap();
+        assert_eq!(out, Outcome::Positive);
+    }
+
+    #[test]
+    fn prove_with_spec_decides() {
+        let valid = prove(task(
+            "if (x >= 0) then { skip } else { x := 0 - x }",
+            "x != 0",
+            Some("x != 0"),
+        ))
+        .unwrap();
+        assert_eq!(valid, Outcome::Positive);
+        let alarm = prove(task(
+            "if (x >= 0) then { skip } else { x := 0 - x }",
+            "x != 0",
+            Some("x >= 2"),
+        ))
+        .unwrap();
+        assert_eq!(alarm, Outcome::Negative);
+    }
+
+    #[test]
+    fn every_domain_kind_builds() {
+        for d in [
+            DomainKind::Int,
+            DomainKind::Oct,
+            DomainKind::Sign,
+            DomainKind::Parity,
+            DomainKind::Const,
+            DomainKind::Cong,
+            DomainKind::Karr,
+        ] {
+            let mut t = task("x := x + 1", "x = 0", Some("x = 1"));
+            t.domain = d;
+            assert_eq!(verify(t).unwrap(), Outcome::Positive, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(verify(task("x := (", "true", Some("true"))).is_err());
+        assert!(verify(task("skip", "x <", Some("true"))).is_err());
+        let mut t = task("skip", "true", Some("true"));
+        t.vars = vec![VarDecl {
+            name: "x".into(),
+            lo: 5,
+            hi: 0,
+        }];
+        assert!(verify(t).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! The abstract semantics `⟦·⟧♯_{A⊞N}` over enumerated domains.
+//!
+//! Basic commands are interpreted by their *best correct approximation*
+//! `⟦e⟧_A = A ∘ ⟦e⟧ ∘ γ` (paper, Section 3.2) — on an [`EnumDomain`] whose
+//! elements are already concretized state sets this is just
+//! `A_N(⟦e⟧(a))`. Kleene stars iterate to the least fixpoint, optionally
+//! accelerated by the pointed widening `∇_N` (Definition 7.11) to mirror
+//! the paper's widened analyses.
+
+use air_lang::ast::Reg;
+use air_lang::{Concrete, SemError, StateSet};
+
+use crate::domain::EnumDomain;
+
+/// Star acceleration strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StarStrategy {
+    /// Exact least fixpoint by Kleene iteration (always terminates on a
+    /// finite universe).
+    #[default]
+    Lfp,
+    /// Pointed widening `X ∇_N (X ∨ step)` per Definition 7.11 — converges
+    /// faster and reproduces the paper's widened invariants.
+    PointedWidening,
+}
+
+/// An abstract interpreter over an [`EnumDomain`].
+///
+/// # Example
+///
+/// ```
+/// use air_core::{AbstractSemantics, EnumDomain};
+/// use air_domains::IntervalEnv;
+/// use air_lang::{parse_program, Universe};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let u = Universe::new(&[("x", -8, 8)])?;
+/// let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+/// let sem = AbstractSemantics::new(&u);
+/// let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }")?;
+/// let odd = u.filter(|s| s[0] % 2 != 0);
+/// let out = sem.exec(&dom, &prog, &dom.close(&odd))?;
+/// // The false alarm of the paper's introduction: 0 is included.
+/// assert!(out.contains(u.store_index(&[0]).unwrap()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AbstractSemantics<'u> {
+    sem: Concrete<'u>,
+    strategy: StarStrategy,
+}
+
+impl<'u> AbstractSemantics<'u> {
+    /// Creates the abstract interpreter with exact star fixpoints.
+    pub fn new(universe: &'u air_lang::Universe) -> Self {
+        AbstractSemantics {
+            sem: Concrete::new(universe),
+            strategy: StarStrategy::Lfp,
+        }
+    }
+
+    /// Selects the star acceleration strategy.
+    pub fn star_strategy(mut self, strategy: StarStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// `⟦r⟧♯_{A⊞N} a` for an expressible `a` (callers pass `dom.close`d
+    /// inputs; the function also accepts raw sets and closes basic-command
+    /// outputs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`] from concrete transfer functions (universe
+    /// escapes, overflow).
+    pub fn exec(&self, dom: &EnumDomain, r: &Reg, a: &StateSet) -> Result<StateSet, SemError> {
+        match r {
+            Reg::Basic(e) => Ok(dom.close(&self.sem.exec_exp(e, a)?)),
+            Reg::Seq(r1, r2) => {
+                let mid = self.exec(dom, r1, a)?;
+                self.exec(dom, r2, &mid)
+            }
+            Reg::Choice(r1, r2) => {
+                let l = self.exec(dom, r1, a)?;
+                let rr = self.exec(dom, r2, a)?;
+                Ok(dom.close(&l.union(&rr)))
+            }
+            Reg::Star(body) => {
+                let mut x = dom.close(a);
+                // Strictly increasing on a finite lattice: ≤ |Σ|+1 rounds
+                // for Lfp; pointed widening converges at least as fast.
+                for _ in 0..=self.sem.universe().size() {
+                    let step = self.exec(dom, body, &x)?;
+                    let grown = dom.close(&x.union(&step));
+                    if grown.is_subset(&x) {
+                        return Ok(x);
+                    }
+                    x = match self.strategy {
+                        StarStrategy::Lfp => grown,
+                        StarStrategy::PointedWidening => dom.pointed_widen(&x, &grown),
+                    };
+                }
+                Err(SemError::Divergence)
+            }
+        }
+    }
+
+    /// The underlying concrete semantics.
+    pub fn concrete(&self) -> &Concrete<'u> {
+        &self.sem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_domains::IntervalEnv;
+    use air_lang::{parse_program, Universe};
+
+    fn setup() -> (Universe, EnumDomain) {
+        let u = Universe::new(&[("i", 0, 8), ("j", 0, 20)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        (u, dom)
+    }
+
+    #[test]
+    fn abstract_exec_is_sound() {
+        let (u, dom) = setup();
+        let sem = AbstractSemantics::new(&u);
+        let prog =
+            parse_program("i := 1; j := 0; while (i <= 5) do { j := j + i; i := i + 1 }").unwrap();
+        let conc = sem.concrete().exec(&prog, &u.full()).unwrap();
+        let abst = sem.exec(&dom, &prog, &u.full()).unwrap();
+        assert!(conc.is_subset(&abst));
+        // The Int analysis loses the i-j relation: j's upper bound at exit
+        // covers the whole enumerated range, like the paper's [0, ∞].
+        assert!(abst.contains(u.store_index(&[6, 20]).unwrap()));
+    }
+
+    #[test]
+    fn bca_of_basic_commands() {
+        let (u, dom) = setup();
+        let sem = AbstractSemantics::new(&u);
+        let guard = parse_program("assume i <= 5").unwrap();
+        let input = dom.close(&u.filter(|s| s[0] == 2 || s[0] == 7));
+        let out = sem.exec(&dom, &guard, &input).unwrap();
+        // bca: A(⟦b?⟧([2,7]×…)) = i ∈ [2,5].
+        assert_eq!(out, u.filter(|s| (2..=5).contains(&s[0])));
+    }
+
+    #[test]
+    fn repaired_domain_changes_abstract_output() {
+        let (u, dom) = setup();
+        let sem = AbstractSemantics::new(&u);
+        let prog = parse_program("assume i <= 5").unwrap();
+        let odd = u.filter(|s| s[0] % 2 == 1);
+        // Base Int: closure of odd inputs includes evens.
+        let base_out = sem.exec(&dom, &prog, &dom.close(&odd)).unwrap();
+        assert!(base_out.contains(u.store_index(&[2, 0]).unwrap()));
+        // After adding the odd set as a point, the guard stays exact.
+        let dom2 = dom.with_point(odd.clone());
+        let refined_out = sem.exec(&dom2, &prog, &dom2.close(&odd)).unwrap();
+        assert!(!refined_out.contains(u.store_index(&[2, 0]).unwrap()));
+    }
+
+    #[test]
+    fn star_lfp_and_widened_agree_in_inclusion() {
+        let (u, dom) = setup();
+        let prog = parse_program("star { assume i < 5; i := i + 1 }").unwrap();
+        let input = u.filter(|s| s[0] == 0 && s[1] == 0);
+        let exact = AbstractSemantics::new(&u)
+            .exec(&dom, &prog, &dom.close(&input))
+            .unwrap();
+        let widened = AbstractSemantics::new(&u)
+            .star_strategy(StarStrategy::PointedWidening)
+            .exec(&dom, &prog, &dom.close(&input))
+            .unwrap();
+        assert!(exact.is_subset(&widened));
+    }
+}

@@ -1,0 +1,443 @@
+//! Backward repair — Algorithm 2 of the paper (`bRepair` and `inv`).
+//!
+//! Backward repair works on *abstract* inputs and weakest liberal
+//! preconditions: it never needs the concrete trajectory, and after a
+//! repair it continues along the existing abstract computation instead of
+//! restarting (the key advantage over forward repair, Section 5 (iv)).
+//!
+//! The implementation follows the paper's pseudocode line by line; the
+//! Kleene-star unroll can use either the abstract join (the printed
+//! algorithm) or the pointed widening `∇_N` of Definition 7.11 (the
+//! widened variant of Section 7.2, Example 7.13).
+
+use air_lang::ast::Reg;
+use air_lang::{StateSet, Universe, Wlp};
+
+use crate::absint::AbstractSemantics;
+use crate::domain::EnumDomain;
+use crate::forward::RepairError;
+
+/// How the star case grows its unrolled input (line 20 of Algorithm 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UnrollStrategy {
+    /// `P ∨_{A⊞N} R` — the printed algorithm; exact on finite universes.
+    #[default]
+    Join,
+    /// `P ∇_N (P ∨_{A⊞N} R)` — the pointed-widening variant
+    /// (Definition 7.11), guaranteeing termination on non-ACC domains.
+    PointedWidening,
+}
+
+/// The outcome of a backward repair (Theorem 7.6).
+#[derive(Clone, Debug)]
+pub struct BackwardOutcome {
+    /// The greatest valid input `V = V⟨P, r, S⟩`, expressible in `A ⊞ N'`.
+    pub valid_input: StateSet,
+    /// The added points `N'` (in discovery order, deduplicated).
+    pub points: Vec<StateSet>,
+    /// Number of recursive `bRepair` calls.
+    pub calls: usize,
+    /// Number of `inv` fixpoint iterations across all loops.
+    pub inv_iterations: usize,
+}
+
+impl BackwardOutcome {
+    /// The repaired domain `A ⊞ N'`.
+    pub fn domain(&self, base: &EnumDomain) -> EnumDomain {
+        base.with_points(self.points.iter().cloned())
+    }
+}
+
+/// The backward repair strategy (Algorithm 2).
+///
+/// # Example
+///
+/// ```
+/// use air_core::{BackwardRepair, EnumDomain};
+/// use air_domains::IntervalEnv;
+/// use air_lang::{parse_program, Universe};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Example 7.8: while (x > 0) { x := x - 1; y := y - 1 } with
+/// // Spec = (y = 0). Backward repair discovers the relational invariant
+/// // y = x that intervals cannot express.
+/// let u = Universe::new(&[("x", -1, 8), ("y", -1, 8)])?;
+/// let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+/// let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }")?;
+/// let pre = u.filter(|s| s[0] > 0 && s[0] <= 5);
+/// let spec = u.filter(|s| s[0] <= 0 || s[1] != 0 || s[1] == 0); // ⊤ here; see tests
+/// let out = BackwardRepair::new(&u).repair(&dom, &u.full(), &prog, &spec)?;
+/// assert!(out.valid_input.is_subset(&u.full()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BackwardRepair<'u> {
+    universe: &'u Universe,
+    wlp: Wlp<'u>,
+    strategy: UnrollStrategy,
+    max_calls: usize,
+}
+
+struct Ctx {
+    calls: usize,
+    inv_iterations: usize,
+    max_calls: usize,
+}
+
+impl<'u> BackwardRepair<'u> {
+    /// Creates the strategy with exact joins and a generous call budget.
+    pub fn new(universe: &'u Universe) -> Self {
+        BackwardRepair {
+            universe,
+            wlp: Wlp::new(universe),
+            strategy: UnrollStrategy::Join,
+            max_calls: 1_000_000,
+        }
+    }
+
+    /// Selects the star unroll strategy.
+    pub fn unroll_strategy(mut self, strategy: UnrollStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the recursion budget.
+    pub fn max_calls(mut self, max: usize) -> Self {
+        self.max_calls = max;
+        self
+    }
+
+    /// Algorithm 2 entry point: `bRepair_A(∅, A(P), r, S)`.
+    ///
+    /// `p` is closed in the base domain first (Lemma 7.5 suggests starting
+    /// from an expressible input; passing any `p` analyzes `A(p)`).
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::Sem`] on evaluation failures, [`RepairError::Budget`]
+    /// if the call budget is exhausted.
+    pub fn repair(
+        &self,
+        base: &EnumDomain,
+        p: &StateSet,
+        r: &Reg,
+        spec: &StateSet,
+    ) -> Result<BackwardOutcome, RepairError> {
+        let mut ctx = Ctx {
+            calls: 0,
+            inv_iterations: 0,
+            max_calls: self.max_calls,
+        };
+        let p_hat = base.close(p);
+        let (valid_input, points) = self.brepair(base, Vec::new(), p_hat, r, spec, &mut ctx)?;
+        Ok(BackwardOutcome {
+            valid_input,
+            points,
+            calls: ctx.calls,
+            inv_iterations: ctx.inv_iterations,
+        })
+    }
+
+    /// `⟦r⟧♯_{A⊞N} P` in the current refinement.
+    fn abs_exec(
+        &self,
+        base: &EnumDomain,
+        n: &[StateSet],
+        r: &Reg,
+        p: &StateSet,
+    ) -> Result<StateSet, RepairError> {
+        let dom = base.with_points(n.iter().cloned());
+        let sem = AbstractSemantics::new(self.universe);
+        Ok(sem.exec(&dom, r, &dom.close(p))?)
+    }
+
+    fn push(n: &mut Vec<StateSet>, p: StateSet) {
+        if !n.contains(&p) {
+            n.push(p);
+        }
+    }
+
+    fn union_points(mut a: Vec<StateSet>, b: Vec<StateSet>) -> Vec<StateSet> {
+        for p in b {
+            Self::push(&mut a, p);
+        }
+        a
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn brepair(
+        &self,
+        base: &EnumDomain,
+        mut n: Vec<StateSet>,
+        p: StateSet,
+        r: &Reg,
+        s: &StateSet,
+        ctx: &mut Ctx,
+    ) -> Result<(StateSet, Vec<StateSet>), RepairError> {
+        ctx.calls += 1;
+        if ctx.calls > ctx.max_calls {
+            return Err(RepairError::Budget {
+                max_repairs: ctx.max_calls,
+            });
+        }
+        // Line 2: if ⟦r⟧♯_{A⊞N} P ≤ S then return ⟨P, N⟩.
+        if self.abs_exec(base, &n, r, &p)?.is_subset(s) {
+            return Ok((p, n));
+        }
+        match r {
+            // Lines 4–6: basic expression.
+            Reg::Basic(_) => {
+                let v = self.wlp.valid_input(&p, r, s)?;
+                let q = s.intersection(&self.abs_exec(base, &n, r, &p)?);
+                Self::push(&mut n, v.clone());
+                Self::push(&mut n, q);
+                Ok((v, n))
+            }
+            // Lines 7–10: sequential composition.
+            Reg::Seq(r0, r1) => {
+                let mid = self.abs_exec(base, &n, r0, &p)?;
+                let (v1, n1) = self.brepair(base, n.clone(), mid, r1, s, ctx)?;
+                let (v0, n0) = self.brepair(base, n, p, r0, &v1, ctx)?;
+                Ok((v0, Self::union_points(n0, n1)))
+            }
+            // Lines 11–15: choice.
+            Reg::Choice(r0, r1) => {
+                let (v0, n0) = self.brepair(base, n.clone(), p.clone(), r0, s, ctx)?;
+                let (v1, n1) = self.brepair(base, n.clone(), p.clone(), r1, s, ctx)?;
+                let q = s.intersection(&self.abs_exec(base, &n, r, &p)?);
+                let mut out = Self::union_points(n0, n1);
+                Self::push(&mut out, q);
+                Ok((v0.intersection(&v1), out))
+            }
+            // Lines 16–21: Kleene star.
+            Reg::Star(r0) => {
+                let r_step = self.abs_exec(base, &n, r0, &p)?;
+                if r_step.is_subset(&p) {
+                    self.inv(base, n, p, r0, s.clone(), ctx)
+                } else {
+                    let dom = base.with_points(n.iter().cloned());
+                    let grown = dom.join(&p, &r_step);
+                    let unrolled = match self.strategy {
+                        UnrollStrategy::Join => grown,
+                        UnrollStrategy::PointedWidening => dom.pointed_widen(&p, &grown),
+                    };
+                    let (v1, n1) = self.brepair(base, n, unrolled, r, s, ctx)?;
+                    Ok((p.intersection(&v1), n1))
+                }
+            }
+        }
+    }
+
+    /// Lines 22–27: the loop-invariant fixpoint `inv_A`.
+    fn inv(
+        &self,
+        base: &EnumDomain,
+        n: Vec<StateSet>,
+        p: StateSet,
+        r: &Reg,
+        mut v1: StateSet,
+        ctx: &mut Ctx,
+    ) -> Result<(StateSet, Vec<StateSet>), RepairError> {
+        loop {
+            ctx.inv_iterations += 1;
+            let v0 = p.intersection(&v1);
+            let mut n0 = n.clone();
+            Self::push(&mut n0, v0.clone());
+            let (next_v1, n1) = self.brepair(base, n0, v0.clone(), r, &v0, ctx)?;
+            if next_v1 == v0 {
+                return Ok((next_v1, n1));
+            }
+            v1 = next_v1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalCompleteness;
+    use air_domains::{IntervalEnv, OctagonDomain};
+    use air_lang::{parse_program, Concrete};
+
+    /// Example 7.8: the countdown loop. Backward repair on Int discovers
+    /// the relational invariant x ∈ [0, K] ∧ y = x and its companions.
+    #[test]
+    fn example_7_8_countdown() {
+        // Scaled-down bounds (the paper uses 0 < x ≤ 100). The universe
+        // gives y enough headroom below (−10 ≤ −2 − K) that no run from
+        // A(pre) is truncated by the universe restriction.
+        let k = 8;
+        let u = Universe::new(&[("x", -2, 10), ("y", -10, 10)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+        // P = 0 < x ≤ K ∧ y ≥ −2, Spec = y = 0.
+        let pre = u.filter(|s| s[0] > 0 && s[0] <= k && s[1] >= -2);
+        let spec = u.filter(|s| s[1] == 0);
+        let out = BackwardRepair::new(&u)
+            .repair(&dom, &pre, &prog, &spec)
+            .unwrap();
+        // The expected greatest valid input within A(pre):
+        // A(pre) = x ∈ [1, K] × y ∈ [-2, 10]; valid iff y = x.
+        let expected = u.filter(|s| s[0] >= 1 && s[0] <= k && s[1] == s[0]);
+        assert_eq!(out.valid_input, expected, "R1 = x ∈ [1,K] ∧ y = x");
+        // The relational invariant P̄ = x ∈ [0, K] ∧ y = x is among the
+        // added points, up to the universe-restriction fringe (stores whose
+        // run would fall below y = −10 have no behaviour and are vacuously
+        // valid, so wlp-derived points include them).
+        let escape_fringe = u.filter(|s| s[0] > 0 && s[1] - s[0] < -10);
+        let p_bar = u.filter(|s| (0..=k).contains(&s[0]) && s[1] == s[0]);
+        assert!(
+            out.points
+                .iter()
+                .any(|p| p.difference(&escape_fringe) == p_bar),
+            "P̄ missing among {} points",
+            out.points.len()
+        );
+        // Theorem 7.6(b): ⟦r⟧♯_{A⊞N'} V ≤ S.
+        let repaired = out.domain(&dom);
+        let asem = AbstractSemantics::new(&u);
+        let abs_out = asem
+            .exec(&repaired, &prog, &repaired.close(&out.valid_input))
+            .unwrap();
+        assert!(abs_out.is_subset(&spec));
+        // Theorem 7.6(a): V is expressible in A ⊞ N'.
+        assert!(repaired.is_expressible(&out.valid_input));
+        // Theorem 7.6(c): V = V⟨P̂, r, S⟩ — checked against brute force.
+        let wlp = Wlp::new(&u);
+        let brute = wlp.valid_input(&dom.close(&pre), &prog, &spec).unwrap();
+        assert_eq!(out.valid_input, brute);
+    }
+
+    /// Corollary 7.7: for any P' ≤ P̂, ⟦r⟧P' ≤ Spec ⇔ P' ≤ V.
+    #[test]
+    fn corollary_7_7_decides_all_subinputs() {
+        let u = Universe::new(&[("x", -2, 6), ("y", -2, 6)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+        let pre = u.filter(|s| s[0] > 0 && s[0] <= 3);
+        let spec = u.filter(|s| s[1] == 0);
+        let out = BackwardRepair::new(&u)
+            .repair(&dom, &pre, &prog, &spec)
+            .unwrap();
+        let sem = Concrete::new(&u);
+        // Sample sub-inputs of A(pre).
+        let p_hat = dom.close(&pre);
+        let samples = [
+            u.filter(|s| s[0] == 2 && s[1] == 2),
+            u.filter(|s| s[0] == 2 && s[1] == 3),
+            u.filter(|s| s[0] >= 1 && s[0] <= 3 && s[1] == s[0]),
+            u.filter(|s| s[0] == 1 && s[1] <= 1),
+        ];
+        for p_prime in samples {
+            let p_prime = p_prime.intersection(&p_hat);
+            let concrete_ok = sem.exec(&prog, &p_prime).unwrap().is_subset(&spec);
+            let decided_ok = p_prime.is_subset(&out.valid_input);
+            assert_eq!(concrete_ok, decided_ok);
+        }
+    }
+
+    /// The AbsVal introduction by backward repair: proves x ≠ 0 on odds.
+    #[test]
+    fn absval_backward() {
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let odd = u.filter(|s| s[0] % 2 != 0);
+        let spec = u.filter(|s| s[0] != 0);
+        let out = BackwardRepair::new(&u)
+            .repair(&dom, &odd, &prog, &spec)
+            .unwrap();
+        // A(odd) = [-7,7]; the valid inputs are exactly the nonzero ones.
+        assert_eq!(out.valid_input, u.filter(|s| s[0] != 0 && s[0].abs() <= 7));
+        // odd ⊆ V ⇒ the spec holds on the original input (Cor. 7.7).
+        assert!(odd.is_subset(&out.valid_input));
+    }
+
+    /// An invalid spec is refuted: V < P and a violating sub-input exists.
+    #[test]
+    fn refutation_produces_strict_valid_input() {
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("x := x + 1").unwrap();
+        let pre = u.filter(|s| (0..=5).contains(&s[0]));
+        let spec = u.filter(|s| s[0] <= 3);
+        let out = BackwardRepair::new(&u)
+            .repair(&dom, &pre, &prog, &spec)
+            .unwrap();
+        assert_eq!(out.valid_input, u.filter(|s| (0..=2).contains(&s[0])));
+        assert!(!pre.is_subset(&out.valid_input)); // refuted
+    }
+
+    /// The strategy repairs locally: every added point makes some proof
+    /// obligation complete; the final domain is locally complete for the
+    /// program on the valid input.
+    #[test]
+    fn final_domain_locally_complete_on_valid_input() {
+        let u = Universe::new(&[("x", -2, 6), ("y", -2, 6)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+        let pre = u.filter(|s| s[0] > 0 && s[0] <= 3);
+        let spec = u.filter(|s| s[1] == 0);
+        let out = BackwardRepair::new(&u)
+            .repair(&dom, &pre, &prog, &spec)
+            .unwrap();
+        let repaired = out.domain(&dom);
+        let lc = LocalCompleteness::new(&u);
+        assert!(lc.check(&repaired, &prog, &out.valid_input).unwrap());
+    }
+
+    /// Pointed widening (Definition 7.11 / Example 7.13) yields the same
+    /// verdicts, possibly with different intermediate points.
+    #[test]
+    fn widened_unroll_agrees_on_verdict() {
+        let u = Universe::new(&[("i", 0, 8), ("j", 0, 20)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog =
+            parse_program("i := 1; j := 0; while (i <= 5) do { j := j + i; i := i + 1 }").unwrap();
+        let spec = u.filter(|s| s[1] <= 15);
+        let exact = BackwardRepair::new(&u)
+            .repair(&dom, &u.full(), &prog, &spec)
+            .unwrap();
+        let widened = BackwardRepair::new(&u)
+            .unroll_strategy(UnrollStrategy::PointedWidening)
+            .repair(&dom, &u.full(), &prog, &spec)
+            .unwrap();
+        assert_eq!(exact.valid_input, u.full());
+        assert_eq!(widened.valid_input, u.full());
+    }
+
+    /// Octagons start closer to complete: fewer points are needed for the
+    /// countdown loop than with intervals.
+    #[test]
+    fn octagon_base_needs_fewer_points() {
+        let u = Universe::new(&[("x", -2, 6), ("y", -2, 6)]).unwrap();
+        let int_dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let oct_dom = EnumDomain::from_abstraction(&u, OctagonDomain::new(&u));
+        let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+        let pre = u.filter(|s| s[0] > 0 && s[0] <= 3);
+        let spec = u.filter(|s| s[1] == 0);
+        let br = BackwardRepair::new(&u);
+        let int_out = br.repair(&int_dom, &pre, &prog, &spec).unwrap();
+        let oct_out = br.repair(&oct_dom, &pre, &prog, &spec).unwrap();
+        assert_eq!(int_out.valid_input, oct_out.valid_input);
+        assert!(
+            oct_out.points.len() <= int_out.points.len(),
+            "Oct should need no more points than Int ({} vs {})",
+            oct_out.points.len(),
+            int_out.points.len()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let u = Universe::new(&[("x", 0, 4)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("while (x < 4) do { x := x + 1 }").unwrap();
+        let err = BackwardRepair::new(&u)
+            .max_calls(1)
+            .repair(&dom, &u.of_values([0]), &prog, &u.empty())
+            .unwrap_err();
+        assert!(matches!(err, RepairError::Budget { .. }));
+    }
+}

@@ -1,0 +1,380 @@
+//! Forward repair — Algorithm 1 of the paper (`fRepair`).
+//!
+//! The `find` oracle walks the program alongside the *concrete* semantics,
+//! checking one local completeness proof obligation per basic command; the
+//! first violated obligation `⟨R, e⟩` is repaired by a pointed shell
+//! (Theorem 4.11 for guards — always exists; Theorem 4.9 for assignments,
+//! falling back to the most concrete refinement `A ⊞ {R}` when no shell
+//! exists), and the analysis is restarted in the refined domain, exactly
+//! as the paper prescribes ("after any repair, the forward strategy must
+//! redo the abstract interpretation").
+
+use std::fmt;
+
+use air_lang::ast::{Exp, Reg};
+use air_lang::{SemError, StateSet, Universe};
+
+use crate::domain::EnumDomain;
+use crate::local::{LocalCompleteness, ShellResult};
+
+/// Errors from the repair algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// Concrete or abstract evaluation failed.
+    Sem(SemError),
+    /// The repair loop exceeded its iteration budget.
+    Budget {
+        /// The configured maximum number of repairs.
+        max_repairs: usize,
+    },
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Sem(e) => write!(f, "semantic evaluation failed: {e}"),
+            RepairError::Budget { max_repairs } => {
+                write!(f, "repair budget of {max_repairs} refinements exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<SemError> for RepairError {
+    fn from(e: SemError) -> Self {
+        RepairError::Sem(e)
+    }
+}
+
+/// Which construction produced a repair point (provenance for reports).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RepairRule {
+    /// Theorem 4.11 — the always-existing Boolean-guard shell.
+    GuardShell,
+    /// Theorem 4.9 — the pointed shell `u = ∨L`.
+    PointedShell,
+    /// No shell exists; the most concrete pointed refinement `A ⊞ {c}`
+    /// was used (Section 5's fallback).
+    MostConcrete,
+}
+
+impl fmt::Display for RepairRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RepairRule::GuardShell => "guard shell (Thm 4.11)",
+            RepairRule::PointedShell => "pointed shell (Thm 4.9)",
+            RepairRule::MostConcrete => "most concrete refinement",
+        })
+    }
+}
+
+/// The outcome of a successful forward repair.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// The repaired domain `A ⊞ N'` — locally complete for the program on
+    /// the input.
+    pub domain: EnumDomain,
+    /// The under-approximation `Q ≤ ⟦r⟧P` with `A_{N'}(Q) = A_{N'}(⟦r⟧P)`
+    /// (Theorem 7.1). With the concrete `find` oracle this is exact.
+    pub under: StateSet,
+    /// Number of pointed-shell refinements performed.
+    pub repairs: usize,
+    /// Number of `find` restarts (= repairs + 1 on success).
+    pub analysis_runs: usize,
+    /// Local completeness proof obligations checked across all runs.
+    pub obligations_checked: usize,
+    /// For each added point (in order): the rule that produced it and the
+    /// basic command whose obligation it repaired.
+    pub provenance: Vec<(RepairRule, Exp)>,
+}
+
+/// One violated proof obligation found by the oracle.
+struct Obligation {
+    input: StateSet,
+    exp: Exp,
+}
+
+enum FindOutcome {
+    Under(StateSet),
+    Incomplete(Obligation),
+}
+
+/// The forward repair strategy (Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use air_core::{EnumDomain, ForwardRepair};
+/// use air_domains::IntervalEnv;
+/// use air_lang::{parse_program, Universe};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let u = Universe::new(&[("x", -8, 8)])?;
+/// let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+/// let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }")?;
+/// let odd = u.filter(|s| s[0] % 2 != 0);
+///
+/// let outcome = ForwardRepair::new(&u).repair(dom, &prog, &odd)?;
+/// // One guard repair (the paper's Example 7.2) suffices.
+/// assert_eq!(outcome.repairs, 1);
+/// assert!(!outcome.domain.close(&outcome.under).contains(u.store_index(&[0]).unwrap()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardRepair<'u> {
+    universe: &'u Universe,
+    lc: LocalCompleteness<'u>,
+    max_repairs: usize,
+}
+
+impl<'u> ForwardRepair<'u> {
+    /// Creates the strategy with a default budget of 10 000 refinements.
+    pub fn new(universe: &'u Universe) -> Self {
+        ForwardRepair {
+            universe,
+            lc: LocalCompleteness::new(universe),
+            max_repairs: 10_000,
+        }
+    }
+
+    /// Sets the refinement budget.
+    pub fn max_repairs(mut self, max: usize) -> Self {
+        self.max_repairs = max;
+        self
+    }
+
+    /// Algorithm 1: repairs `dom` until every local completeness proof
+    /// obligation raised by `r` on input `p` holds. Returns the repaired
+    /// domain and the exact under-approximation of `⟦r⟧p`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::Sem`] on evaluation failures (universe escape,
+    /// overflow) and [`RepairError::Budget`] if the budget is exhausted.
+    pub fn repair(
+        &self,
+        mut dom: EnumDomain,
+        r: &Reg,
+        p: &StateSet,
+    ) -> Result<RepairOutcome, RepairError> {
+        let mut repairs = 0;
+        let mut analysis_runs = 0;
+        let mut obligations_checked = 0;
+        let mut provenance = Vec::new();
+        loop {
+            analysis_runs += 1;
+            match self.find(&dom, r, p, &mut obligations_checked)? {
+                FindOutcome::Under(q) => {
+                    return Ok(RepairOutcome {
+                        domain: dom,
+                        under: q,
+                        repairs,
+                        analysis_runs,
+                        obligations_checked,
+                        provenance,
+                    });
+                }
+                FindOutcome::Incomplete(ob) => {
+                    if repairs >= self.max_repairs {
+                        return Err(RepairError::Budget {
+                            max_repairs: self.max_repairs,
+                        });
+                    }
+                    let (point, rule) = self.refine_point(&dom, &ob)?;
+                    provenance.push((rule, ob.exp.clone()));
+                    dom.add_point(point);
+                    repairs += 1;
+                }
+            }
+        }
+    }
+
+    /// `refine_A(N, R, e)`: the pointed shell for the violated obligation.
+    fn refine_point(
+        &self,
+        dom: &EnumDomain,
+        ob: &Obligation,
+    ) -> Result<(StateSet, RepairRule), RepairError> {
+        match &ob.exp {
+            // Theorem 4.11: guards always have a pointed shell.
+            Exp::Assume(b) => Ok((
+                self.lc.guard_shell(dom, b, &ob.input)?,
+                RepairRule::GuardShell,
+            )),
+            // Theorem 4.9 for assignments (skip is globally complete and
+            // never raises an obligation).
+            e => {
+                let r = Reg::Basic(e.clone());
+                match self.lc.pointed_shell(dom, &r, &ob.input)? {
+                    ShellResult::Shell { point } => Ok((point, RepairRule::PointedShell)),
+                    // No shell: take the most concrete pointed refinement,
+                    // as the paper suggests (Section 5).
+                    ShellResult::NoShell { .. } => Ok((ob.input.clone(), RepairRule::MostConcrete)),
+                }
+            }
+        }
+    }
+
+    /// The structural `find_A` oracle: returns an under-approximation when
+    /// every obligation along the (concrete) computation holds, or the
+    /// first violated obligation.
+    fn find(
+        &self,
+        dom: &EnumDomain,
+        r: &Reg,
+        p: &StateSet,
+        checked: &mut usize,
+    ) -> Result<FindOutcome, RepairError> {
+        let sem = air_lang::Concrete::new(self.universe);
+        match r {
+            Reg::Basic(e) => {
+                *checked += 1;
+                if self.lc.check_exp(dom, e, p)? {
+                    Ok(FindOutcome::Under(sem.exec_exp(e, p)?))
+                } else {
+                    Ok(FindOutcome::Incomplete(Obligation {
+                        input: p.clone(),
+                        exp: e.clone(),
+                    }))
+                }
+            }
+            Reg::Seq(r1, r2) => match self.find(dom, r1, p, checked)? {
+                FindOutcome::Under(q) => self.find(dom, r2, &q, checked),
+                incomplete => Ok(incomplete),
+            },
+            Reg::Choice(r1, r2) => {
+                let q1 = match self.find(dom, r1, p, checked)? {
+                    FindOutcome::Under(q) => q,
+                    incomplete => return Ok(incomplete),
+                };
+                let q2 = match self.find(dom, r2, p, checked)? {
+                    FindOutcome::Under(q) => q,
+                    incomplete => return Ok(incomplete),
+                };
+                Ok(FindOutcome::Under(q1.union(&q2)))
+            }
+            Reg::Star(body) => {
+                // Concrete unrolling: obligations are raised on every
+                // intermediate input until the concrete fixpoint.
+                let mut acc = p.clone();
+                for _ in 0..=self.universe.size() {
+                    let step = match self.find(dom, body, &acc, checked)? {
+                        FindOutcome::Under(q) => q,
+                        incomplete => return Ok(incomplete),
+                    };
+                    let next = acc.union(&step);
+                    if next == acc {
+                        return Ok(FindOutcome::Under(acc));
+                    }
+                    acc = next;
+                }
+                Err(RepairError::Sem(SemError::Divergence))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::AbstractSemantics;
+    use air_domains::IntervalEnv;
+    use air_lang::{parse_program, Universe};
+
+    fn setup() -> (Universe, EnumDomain) {
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        (u, dom)
+    }
+
+    /// Example 7.2: forward repair of AbsVal on odd inputs adds Z≠0 (the
+    /// guard shell) and the repaired analysis proves x ≠ 0.
+    #[test]
+    fn example_7_2_absval_forward_repair() {
+        let (u, dom) = setup();
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let odd = u.filter(|s| s[0] % 2 != 0);
+        let fr = ForwardRepair::new(&u);
+        let out = fr.repair(dom, &prog, &odd).unwrap();
+        assert_eq!(out.repairs, 1);
+        // Provenance: the single repair came from the guard shell.
+        assert_eq!(out.provenance.len(), 1);
+        assert_eq!(out.provenance[0].0, RepairRule::GuardShell);
+        assert!(matches!(out.provenance[0].1, Exp::Assume(_)));
+        // The added point is the guard shell: hull(odd>0)∩(x≥0) ∪ hull(odd<0)∩(x<0)
+        // = [1,7] ∪ [-7,-1] — the finite-universe rendering of Z≠0.
+        let zneq0 = u.filter(|s| s[0] != 0 && s[0].abs() <= 7);
+        assert_eq!(out.domain.points(), &[zneq0]);
+        // Q = ⟦AbsVal⟧(odd) exactly; its closure excludes 0.
+        let sem = air_lang::Concrete::new(&u);
+        assert_eq!(out.under, sem.exec(&prog, &odd).unwrap());
+        let closure = out.domain.close(&out.under);
+        assert!(!closure.contains(u.store_index(&[0]).unwrap()));
+        // Theorem 7.1 postconditions: C^{A_N'}_P(r) and A(Q) = A(⟦r⟧P).
+        let lc = LocalCompleteness::new(&u);
+        assert!(lc.check(&out.domain, &prog, &odd).unwrap());
+    }
+
+    #[test]
+    fn already_complete_program_needs_no_repair() {
+        let (u, dom) = setup();
+        let prog = parse_program("x := x + 1").unwrap();
+        let p = u.filter(|s| (-3..=3).contains(&s[0]));
+        let out = ForwardRepair::new(&u).repair(dom, &prog, &p).unwrap();
+        assert_eq!(out.repairs, 0);
+        assert_eq!(out.analysis_runs, 1);
+    }
+
+    #[test]
+    fn repaired_abstract_analysis_loses_no_precision() {
+        // After repair, the abstract analysis in the refined domain equals
+        // the closure of the concrete output (no false alarms).
+        let (u, dom) = setup();
+        let prog = parse_program("if (0 < x) then { x := x - 2 } else { x := x + 1 }").unwrap();
+        let p = u.of_values([0, 3]);
+        let out = ForwardRepair::new(&u).repair(dom, &prog, &p).unwrap();
+        let asem = AbstractSemantics::new(&u);
+        let abstract_out = asem
+            .exec(&out.domain, &prog, &out.domain.close(&p))
+            .unwrap();
+        assert_eq!(abstract_out, out.domain.close(&out.under));
+    }
+
+    #[test]
+    fn loop_repair_terminates() {
+        let u = Universe::new(&[("i", 0, 8), ("j", 0, 20)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog =
+            parse_program("i := 1; j := 0; while (i <= 5) do { j := j + i; i := i + 1 }").unwrap();
+        let p = u.filter(|s| s[0] == 0 && s[1] == 0);
+        let out = ForwardRepair::new(&u).repair(dom, &prog, &p).unwrap();
+        // The concrete result is i=6, j=15.
+        assert_eq!(out.under, u.filter(|s| s[0] == 6 && s[1] == 15));
+        let lc = LocalCompleteness::new(&u);
+        assert!(lc.check(&out.domain, &prog, &p).unwrap());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_error() {
+        let (u, dom) = setup();
+        let prog = parse_program("if (0 < x) then { x := x - 2 } else { x := x + 1 }").unwrap();
+        let p = u.of_values([0, 3]);
+        let err = ForwardRepair::new(&u)
+            .max_repairs(0)
+            .repair(dom, &prog, &p)
+            .unwrap_err();
+        assert_eq!(err, RepairError::Budget { max_repairs: 0 });
+    }
+
+    #[test]
+    fn obligations_counted() {
+        let (u, dom) = setup();
+        let prog = parse_program("skip; x := x + 1").unwrap();
+        let p = u.of_values([0]);
+        let out = ForwardRepair::new(&u).repair(dom, &prog, &p).unwrap();
+        assert_eq!(out.obligations_checked, 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Global complete shells (Giacobazzi–Ranzato–Scozzari 2000), for
+//! comparison with pointed shells.
+//!
+//! The *complete shell* of `A` w.r.t. a transfer function `f` is the most
+//! abstract refinement of `A` that is complete for `f` on **all** inputs
+//! (paper, Section 1 and Related Work). Constructively, for additive `f`
+//! it is the closure of `γ(A)` under `wlp(f, ·)` and meets: completeness
+//! `A f = A f A` holds iff `γ(A)` is closed under maximal inverse images
+//! `wlp(f, a)` for every `a ∈ γ(A)`.
+//!
+//! The paper's motivation for AIR is precisely that this global
+//! construction "yields an abstract domain that is often way too fine
+//! grained, possibly blowing up to the whole concrete domain", while the
+//! pointed shell adds *one* element per failing obligation. This module
+//! makes that comparison measurable: [`complete_shell`] materializes the
+//! shell over a finite universe (with a size cap), and the T3 experiment
+//! reports its cardinality against the pointed repair's.
+
+use std::collections::BTreeSet;
+
+use air_lang::ast::{Exp, Reg};
+use air_lang::{SemError, StateSet, Universe, Wlp};
+
+use crate::domain::EnumDomain;
+
+/// The outcome of a complete-shell construction.
+#[derive(Clone, Debug)]
+pub enum ShellOutcome {
+    /// The shell was materialized: every element of the refined domain,
+    /// including `Σ`.
+    Family(Vec<StateSet>),
+    /// The construction exceeded `max_size` elements — the blow-up the
+    /// paper warns about.
+    Overflow {
+        /// Elements materialized before giving up.
+        reached: usize,
+    },
+}
+
+impl ShellOutcome {
+    /// The family size, if materialized.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            ShellOutcome::Family(f) => Some(f.len()),
+            ShellOutcome::Overflow { .. } => None,
+        }
+    }
+}
+
+/// Collects the basic commands of a program (the transfer functions whose
+/// completeness the shell must guarantee).
+pub fn basic_commands(r: &Reg) -> Vec<Exp> {
+    fn go(r: &Reg, out: &mut Vec<Exp>) {
+        match r {
+            Reg::Basic(e) => {
+                if !out.contains(e) {
+                    out.push(e.clone());
+                }
+            }
+            Reg::Seq(a, b) | Reg::Choice(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            Reg::Star(a) => go(a, out),
+        }
+    }
+    let mut out = Vec::new();
+    go(r, &mut out);
+    out
+}
+
+/// Materializes the γ-image of `dom`: every closure of a subset of `Σ`.
+/// Since ucos satisfy `A(A(X) ∪ Y) = A(X ∪ Y)`, the image is generated
+/// from the closures of `∅` and the singletons by iterating the *closed
+/// join* `(x, y) ↦ A(x ∪ y)`.
+fn materialize_family(
+    universe: &Universe,
+    dom: &EnumDomain,
+    max_size: usize,
+) -> Option<BTreeSet<StateSet>> {
+    let mut family: BTreeSet<StateSet> = BTreeSet::new();
+    family.insert(universe.full());
+    family.insert(dom.close(&universe.empty()));
+    for i in 0..universe.size() {
+        let single = StateSet::from_indices(universe.size(), [i]);
+        family.insert(dom.close(&single));
+    }
+    let mut worklist: Vec<StateSet> = family.iter().cloned().collect();
+    while let Some(x) = worklist.pop() {
+        let snapshot: Vec<StateSet> = family.iter().cloned().collect();
+        for y in snapshot {
+            let j = dom.close(&x.union(&y));
+            if !family.contains(&j) {
+                if family.len() >= max_size {
+                    return None;
+                }
+                family.insert(j.clone());
+                worklist.push(j);
+            }
+        }
+    }
+    Some(family)
+}
+
+/// Closes a family under binary meets; `None` on overflow.
+fn close_under_meets(family: &mut BTreeSet<StateSet>, max_size: usize) -> Option<()> {
+    let mut worklist: Vec<StateSet> = family.iter().cloned().collect();
+    while let Some(x) = worklist.pop() {
+        let snapshot: Vec<StateSet> = family.iter().cloned().collect();
+        for y in snapshot {
+            let m = x.intersection(&y);
+            if !family.contains(&m) {
+                if family.len() >= max_size {
+                    return None;
+                }
+                family.insert(m.clone());
+                worklist.push(m);
+            }
+        }
+    }
+    Some(())
+}
+
+/// Computes the complete shell of `dom` for the basic commands of `r`:
+/// the closure of `γ(A)` under every `wlp(⟦e⟧, ·)` and meets, capped at
+/// `max_size` elements.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from wlp computation.
+pub fn complete_shell(
+    universe: &Universe,
+    dom: &EnumDomain,
+    r: &Reg,
+    max_size: usize,
+) -> Result<ShellOutcome, SemError> {
+    let wlp = Wlp::new(universe);
+    let exps = basic_commands(r);
+    let Some(mut family) = materialize_family(universe, dom, max_size) else {
+        return Ok(ShellOutcome::Overflow { reached: max_size });
+    };
+    // Iterate: add wlp(e, a) for every member a and every transfer e,
+    // re-closing under meets, until stable.
+    loop {
+        let mut fresh: Vec<StateSet> = Vec::new();
+        for a in family.iter() {
+            for e in &exps {
+                let w = wlp.exp(e, a)?;
+                if !family.contains(&w) && !fresh.contains(&w) {
+                    fresh.push(w);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        for w in fresh {
+            if family.len() >= max_size {
+                return Ok(ShellOutcome::Overflow {
+                    reached: family.len(),
+                });
+            }
+            family.insert(w);
+        }
+        if close_under_meets(&mut family, max_size).is_none() {
+            return Ok(ShellOutcome::Overflow {
+                reached: family.len(),
+            });
+        }
+    }
+    Ok(ShellOutcome::Family(family.into_iter().collect()))
+}
+
+/// Checks *global* completeness of a family-presented domain for a basic
+/// command: `A(⟦e⟧(A(c))) = A(⟦e⟧(c))` for every probe input.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn globally_complete_on(
+    universe: &Universe,
+    family: &[StateSet],
+    e: &Exp,
+    probes: &[StateSet],
+) -> Result<bool, SemError> {
+    let sem = air_lang::Concrete::new(universe);
+    let close = |c: &StateSet| -> StateSet {
+        let mut acc = universe.full();
+        for m in family {
+            if c.is_subset(m) {
+                acc.intersect_with(m);
+            }
+        }
+        acc
+    };
+    for p in probes {
+        let exact = close(&sem.exec_exp(e, p)?);
+        let through = close(&sem.exec_exp(e, &close(p))?);
+        if exact != through {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_domains::IntervalEnv;
+    use air_lang::parse_program;
+
+    fn setup() -> (Universe, EnumDomain) {
+        let u = Universe::new(&[("x", -6, 6)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        (u, dom)
+    }
+
+    #[test]
+    fn basic_commands_deduplicated() {
+        let r = parse_program("x := x + 1; x := x + 1; assume x > 0").unwrap();
+        assert_eq!(basic_commands(&r).len(), 2);
+    }
+
+    #[test]
+    fn interval_family_materializes() {
+        let (u, dom) = setup();
+        let fam = materialize_family(&u, &dom, 10_000).unwrap();
+        // Intervals over 13 points: 13·14/2 = 91 non-empty + ∅ = 92.
+        assert_eq!(fam.len(), 92);
+    }
+
+    #[test]
+    fn complete_shell_makes_guards_globally_complete() {
+        let (u, dom) = setup();
+        let r = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let shell = complete_shell(&u, &dom, &r, 1 << 14).unwrap();
+        let ShellOutcome::Family(family) = shell else {
+            panic!("shell should fit for one variable");
+        };
+        // Probe with assorted inputs, including the paper's odd set.
+        let probes = vec![
+            u.filter(|s| s[0] % 2 != 0),
+            u.of_values([0, 3]),
+            u.of_values([-5, -1, 2]),
+            u.full(),
+            u.empty(),
+        ];
+        for e in basic_commands(&r) {
+            assert!(
+                globally_complete_on(&u, &family, &e, &probes).unwrap(),
+                "shell not complete for {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_shell_is_much_larger_than_pointed_repair() {
+        // The paper's §1 claim, measured: the pointed repair for AbsVal
+        // adds 2 points; the complete shell multiplies the domain.
+        let (u, dom) = setup();
+        let r = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let base_size = materialize_family(&u, &dom, 1 << 14).unwrap().len();
+        let shell = complete_shell(&u, &dom, &r, 1 << 14).unwrap();
+        let shell_size = shell.size().expect("fits");
+        let odd = u.filter(|s| s[0] % 2 != 0);
+        let spec = u.filter(|s| s[0] != 0);
+        let v = crate::verify::Verifier::new(&u)
+            .backward(dom, &r, &odd, &spec)
+            .unwrap();
+        let pointed_added = v.added_points().len();
+        assert!(shell_size > base_size, "{shell_size} vs {base_size}");
+        assert!(
+            shell_size - base_size > 5 * pointed_added,
+            "shell grew by {} elements, pointed repair by {pointed_added}",
+            shell_size - base_size
+        );
+    }
+
+    #[test]
+    fn overflow_reported_when_capped() {
+        let (u, dom) = setup();
+        let r = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let out = complete_shell(&u, &dom, &r, 50).unwrap();
+        assert!(matches!(out, ShellOutcome::Overflow { reached } if reached <= 50));
+        assert_eq!(out.size(), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Rendering state sets as unions of interval boxes.
+//!
+//! Repaired abstract elements are plain state sets; to present them like
+//! the paper's symbolic points (`P̄ = i ∈ [1,6] ∧ j ∈ [0, T_{i-1}]`,
+//! `V̄ = (i ∈ [1,5] ∧ j ∈ [0,∞]) ∨ (i = 6 ∧ j ∈ [0,15])`, …), this module
+//! greedily covers a set with maximal axis-aligned boxes and pretty-prints
+//! the disjunction. The cover is exact (its union is the set), not
+//! necessarily minimal.
+
+use air_lang::{StateSet, Universe};
+
+/// One axis-aligned box: a closed interval per variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoxSummary {
+    /// Per-variable `[lo, hi]` bounds, in universe variable order.
+    pub bounds: Vec<(i64, i64)>,
+}
+
+impl BoxSummary {
+    /// Renders against the universe's variable names, eliding variables
+    /// that span their full declared range.
+    pub fn display(&self, universe: &Universe) -> String {
+        let parts: Vec<String> = universe
+            .var_names()
+            .enumerate()
+            .filter_map(|(i, name)| {
+                let (lo, hi) = self.bounds[i];
+                let (ulo, uhi) = universe.var_range(i);
+                if (lo, hi) == (ulo, uhi) {
+                    None // unconstrained
+                } else if lo == hi {
+                    Some(format!("{name} = {lo}"))
+                } else {
+                    Some(format!("{name} ∈ [{lo}, {hi}]"))
+                }
+            })
+            .collect();
+        if parts.is_empty() {
+            "⊤".to_owned()
+        } else {
+            parts.join(" ∧ ")
+        }
+    }
+
+    /// Membership test for the box.
+    pub fn contains(&self, store: &[i64]) -> bool {
+        self.bounds
+            .iter()
+            .zip(store)
+            .all(|(&(lo, hi), &v)| lo <= v && v <= hi)
+    }
+}
+
+/// Greedily covers `set` with maximal boxes: repeatedly grow a box from
+/// the smallest uncovered store, expanding one dimension at a time as far
+/// as the set allows.
+///
+/// # Example
+///
+/// ```
+/// use air_core::summarize;
+/// use air_lang::Universe;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let u = Universe::new(&[("x", -4, 4)])?;
+/// let z_nonzero = u.filter(|s| s[0] != 0);
+/// let boxes = summarize(&u, &z_nonzero);
+/// assert_eq!(boxes.len(), 2); // [-4,-1] ∪ [1,4]
+/// # Ok(())
+/// # }
+/// ```
+pub fn summarize(universe: &Universe, set: &StateSet) -> Vec<BoxSummary> {
+    let mut remaining = set.clone();
+    let mut boxes = Vec::new();
+    while let Some(seed_idx) = remaining.min_index() {
+        let seed = universe.store_at(seed_idx);
+        let mut bounds: Vec<(i64, i64)> = seed.iter().map(|&v| (v, v)).collect();
+        // Expand each dimension upward and downward while the whole grown
+        // box stays inside the *original* set (maximality w.r.t. the set,
+        // not the remainder, gives nicer overlapping covers).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for d in 0..bounds.len() {
+                let (ulo, uhi) = universe.var_range(d);
+                while bounds[d].1 < uhi && slab_inside(universe, set, &bounds, d, bounds[d].1 + 1) {
+                    bounds[d].1 += 1;
+                    changed = true;
+                }
+                while bounds[d].0 > ulo && slab_inside(universe, set, &bounds, d, bounds[d].0 - 1) {
+                    bounds[d].0 -= 1;
+                    changed = true;
+                }
+            }
+        }
+        let bx = BoxSummary { bounds };
+        // Remove the covered stores from the remainder.
+        let mut store = vec![0i64; universe.num_vars()];
+        remove_box(universe, &mut remaining, &bx, &mut store, 0);
+        boxes.push(bx);
+    }
+    boxes
+}
+
+/// Checks that the slab `bounds` with dimension `d` pinned to `v` lies
+/// inside `set`.
+fn slab_inside(
+    universe: &Universe,
+    set: &StateSet,
+    bounds: &[(i64, i64)],
+    d: usize,
+    v: i64,
+) -> bool {
+    let mut store = vec![0i64; bounds.len()];
+    slab_rec(universe, set, bounds, d, v, &mut store, 0)
+}
+
+fn slab_rec(
+    universe: &Universe,
+    set: &StateSet,
+    bounds: &[(i64, i64)],
+    d: usize,
+    v: i64,
+    store: &mut Vec<i64>,
+    dim: usize,
+) -> bool {
+    if dim == bounds.len() {
+        return match universe.store_index(store) {
+            Some(i) => set.contains(i),
+            None => false,
+        };
+    }
+    if dim == d {
+        store[dim] = v;
+        return slab_rec(universe, set, bounds, d, v, store, dim + 1);
+    }
+    let (lo, hi) = bounds[dim];
+    for x in lo..=hi {
+        store[dim] = x;
+        if !slab_rec(universe, set, bounds, d, v, store, dim + 1) {
+            return false;
+        }
+    }
+    true
+}
+
+fn remove_box(
+    universe: &Universe,
+    remaining: &mut StateSet,
+    bx: &BoxSummary,
+    store: &mut Vec<i64>,
+    dim: usize,
+) {
+    if dim == bx.bounds.len() {
+        if let Some(i) = universe.store_index(store) {
+            remaining.remove(i);
+        }
+        return;
+    }
+    let (lo, hi) = bx.bounds[dim];
+    for v in lo..=hi {
+        store[dim] = v;
+        remove_box(universe, remaining, bx, store, dim + 1);
+    }
+}
+
+/// Renders a full summary as a disjunction of boxes.
+pub fn display_set(universe: &Universe, set: &StateSet) -> String {
+    if set.is_empty() {
+        return "⊥".to_owned();
+    }
+    let boxes = summarize(universe, set);
+    boxes
+        .iter()
+        .map(|b| {
+            let s = b.display(universe);
+            if boxes.len() > 1 && s.contains('∧') {
+                format!("({s})")
+            } else {
+                s
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ∨ ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_box_summary() {
+        let u = Universe::new(&[("x", 0, 9), ("y", 0, 9)]).unwrap();
+        let s = u.filter(|st| (2..=4).contains(&st[0]) && (1..=3).contains(&st[1]));
+        let boxes = summarize(&u, &s);
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0].bounds, vec![(2, 4), (1, 3)]);
+        assert_eq!(boxes[0].display(&u), "x ∈ [2, 4] ∧ y ∈ [1, 3]");
+    }
+
+    #[test]
+    fn hole_produces_two_boxes() {
+        let u = Universe::new(&[("x", -4, 4)]).unwrap();
+        let s = u.filter(|st| st[0] != 0);
+        let boxes = summarize(&u, &s);
+        assert_eq!(boxes.len(), 2);
+        assert_eq!(display_set(&u, &s), "x ∈ [-4, -1] ∨ x ∈ [1, 4]");
+    }
+
+    #[test]
+    fn cover_is_exact() {
+        let u = Universe::new(&[("x", 0, 5), ("y", 0, 5)]).unwrap();
+        // A diagonal: stress the box cover.
+        let s = u.filter(|st| st[0] == st[1]);
+        let boxes = summarize(&u, &s);
+        let covered = u.filter(|st| boxes.iter().any(|b| b.contains(st)));
+        assert_eq!(covered, s);
+        assert_eq!(boxes.len(), 6); // each diagonal point is its own box
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let u = Universe::new(&[("x", 0, 3)]).unwrap();
+        assert_eq!(display_set(&u, &u.full()), "⊤");
+        assert_eq!(display_set(&u, &u.empty()), "⊥");
+    }
+
+    #[test]
+    fn singleton_renders_as_equality() {
+        let u = Universe::new(&[("x", 0, 3), ("y", 0, 3)]).unwrap();
+        let s = u.filter(|st| st[0] == 2 && st[1] == 2);
+        assert_eq!(display_set(&u, &s), "x = 2 ∧ y = 2");
+    }
+
+    #[test]
+    fn three_variable_boxes() {
+        let u = Universe::new(&[("a", 0, 2), ("b", 0, 2), ("c", 0, 2)]).unwrap();
+        let s = u.filter(|st| st[0] == 1 && st[2] >= 1);
+        let boxes = summarize(&u, &s);
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0].display(&u), "a = 1 ∧ c ∈ [1, 2]");
+        // An L-shaped region needs two boxes but stays exact.
+        let l = u.filter(|st| st[0] == 0 || st[1] == 0);
+        let cover = summarize(&u, &l);
+        let covered = u.filter(|st| cover.iter().any(|b| b.contains(st)));
+        assert_eq!(covered, l);
+        assert!(cover.len() >= 2);
+    }
+
+    #[test]
+    fn paper_v_element_shape() {
+        // V̄ = (i ∈ [1,5] ∧ j ∈ [0,∞]) ∨ (i = 6 ∧ j ∈ [0,15]) over a
+        // finite universe: j's "∞" is the universe top 20.
+        let u = Universe::new(&[("i", 0, 8), ("j", 0, 20)]).unwrap();
+        let v = u.filter(|s| ((1..=5).contains(&s[0])) || (s[0] == 6 && s[1] <= 15));
+        let shown = display_set(&u, &v);
+        // The greedy cover renders the same region as
+        // (i ∈ [1,6] ∧ j ∈ [0,15]) ∨ (i ∈ [1,5]) — equivalent to the
+        // paper's two disjuncts.
+        assert!(shown.contains("i ∈ [1, 5]"), "{shown}");
+        assert!(shown.contains("j ∈ [0, 15]"), "{shown}");
+        let boxes = summarize(&u, &v);
+        let covered = u.filter(|st| boxes.iter().any(|b| b.contains(st)));
+        assert_eq!(covered, v);
+    }
+}

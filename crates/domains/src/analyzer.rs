@@ -1,0 +1,312 @@
+//! The generic abstract interpreter `⟦·⟧♯_A` over regular commands.
+//!
+//! This is the *standard analyzer* of the paper (Section 3.2):
+//!
+//! ```text
+//! ⟦e⟧♯a       = e♯(a)                 (the domain's transfer function)
+//! ⟦r1; r2⟧♯a  = ⟦r2⟧♯(⟦r1⟧♯a)
+//! ⟦r1 ⊕ r2⟧♯a = ⟦r1⟧♯a ∨ ⟦r2⟧♯a
+//! ⟦r*⟧♯a      = lfp(λX. X ∇ (a ∨ ⟦r⟧♯X))   (with widening, Section 7)
+//! ```
+//!
+//! It is sound but in general *locally incomplete* — exactly the analyses
+//! that `air-core` repairs.
+
+use std::fmt;
+
+use air_lang::ast::{Exp, Reg};
+
+use crate::traits::Transfer;
+
+/// Errors from abstract interpretation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The star iteration exceeded the configured bound (the supplied
+    /// widening does not enforce convergence).
+    Divergence {
+        /// The bound that was exhausted.
+        max_iters: usize,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Divergence { max_iters } => {
+                write!(f, "abstract star iteration exceeded {max_iters} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// A configurable abstract interpreter over a [`Transfer`] domain.
+///
+/// # Example
+///
+/// ```
+/// use air_domains::{Abstraction, Analyzer, IntervalEnv};
+/// use air_lang::{parse_program, Universe};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let u = Universe::new(&[("i", 0, 10), ("j", 0, 31)])?;
+/// let dom = IntervalEnv::new(&u);
+/// let prog = parse_program(
+///     "i := 1; j := 0; while (i <= 5) do { j := j + i; i := i + 1 }",
+/// )?;
+/// let out = Analyzer::new(&dom).exec(&prog, &dom.top())?;
+/// // The interval analysis proves i = 6 on exit but loses j's bound
+/// // (the widening pushes it to +∞): j ∈ [0, +∞] as in the paper §2.
+/// assert!(dom.gamma_contains(&out, &[6, 31]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Analyzer<'d, D> {
+    domain: &'d D,
+    /// Number of plain-join iterations before widening kicks in.
+    widening_delay: usize,
+    /// Hard bound on star iterations.
+    max_iters: usize,
+    /// Decreasing (narrowing) iterations after a star stabilizes.
+    narrowing_iters: usize,
+}
+
+impl<'d, D: Transfer> Analyzer<'d, D> {
+    /// Creates an analyzer with a small widening delay (2) and a generous
+    /// iteration bound.
+    pub fn new(domain: &'d D) -> Self {
+        Analyzer {
+            domain,
+            widening_delay: 2,
+            max_iters: 1_000,
+            narrowing_iters: 2,
+        }
+    }
+
+    /// Sets the number of join-only iterations before widening.
+    pub fn widening_delay(mut self, delay: usize) -> Self {
+        self.widening_delay = delay;
+        self
+    }
+
+    /// Sets the hard iteration bound for stars.
+    pub fn max_iters(mut self, max: usize) -> Self {
+        self.max_iters = max;
+        self
+    }
+
+    /// Sets the number of narrowing iterations after a star stabilizes
+    /// (0 disables narrowing).
+    pub fn narrowing_iters(mut self, iters: usize) -> Self {
+        self.narrowing_iters = iters;
+        self
+    }
+
+    /// The abstract semantics of a basic command.
+    pub fn exec_exp(&self, e: &Exp, a: &D::Elem) -> D::Elem {
+        match e {
+            Exp::Skip => a.clone(),
+            Exp::Assign(x, expr) => self.domain.assign(a, x, expr),
+            Exp::Havoc(x) => self.domain.havoc(a, x),
+            Exp::Assume(b) => self.domain.assume(a, b),
+        }
+    }
+
+    /// The abstract semantics `⟦r⟧♯a`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Divergence`] if a star fails to stabilize within
+    /// the iteration bound.
+    pub fn exec(&self, r: &Reg, a: &D::Elem) -> Result<D::Elem, AnalysisError> {
+        match r {
+            Reg::Basic(e) => Ok(self.exec_exp(e, a)),
+            Reg::Seq(r1, r2) => {
+                let mid = self.exec(r1, a)?;
+                self.exec(r2, &mid)
+            }
+            Reg::Choice(r1, r2) => {
+                let l = self.exec(r1, a)?;
+                let rr = self.exec(r2, a)?;
+                Ok(self.domain.join(&l, &rr))
+            }
+            Reg::Star(body) => {
+                let mut x = a.clone();
+                let mut stabilized = false;
+                for k in 0..self.max_iters {
+                    let step = self.exec(body, &x)?;
+                    let grown = self.domain.join(&x, &self.domain.join(a, &step));
+                    if self.domain.leq(&grown, &x) {
+                        stabilized = true;
+                        break;
+                    }
+                    x = if k < self.widening_delay {
+                        grown
+                    } else {
+                        self.domain.widen(&x, &grown)
+                    };
+                }
+                if !stabilized {
+                    return Err(AnalysisError::Divergence {
+                        max_iters: self.max_iters,
+                    });
+                }
+                // Decreasing iteration from the post-fixpoint recovers
+                // bounds lost to widening (e.g. the paper's loop invariant
+                // i ∈ [1, 6] in Section 2).
+                for _ in 0..self.narrowing_iters {
+                    let step = self.exec(body, &x)?;
+                    let refined = self.domain.join(a, &step);
+                    let next = self.domain.narrow(&x, &refined);
+                    if next == x {
+                        break;
+                    }
+                    x = next;
+                }
+                Ok(x)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{IntervalEnv, SignEnv};
+    use crate::interval::Interval;
+    use crate::octagon::OctagonDomain;
+    use crate::traits::Abstraction;
+    use air_lang::{parse_program, Concrete, Universe};
+
+    #[test]
+    fn straight_line_interval_analysis() {
+        let u = Universe::new(&[("x", -10, 10)]).unwrap();
+        let dom = IntervalEnv::new(&u);
+        let prog = parse_program("x := 1; x := x + 2").unwrap();
+        let out = Analyzer::new(&dom).exec(&prog, &dom.top()).unwrap();
+        assert_eq!(out.get(0), Some(&Interval::of(3, 3)));
+    }
+
+    #[test]
+    fn choice_joins() {
+        let u = Universe::new(&[("x", -10, 10)]).unwrap();
+        let dom = IntervalEnv::new(&u);
+        let prog = parse_program("either { x := 1 } or { x := 5 }").unwrap();
+        let out = Analyzer::new(&dom).exec(&prog, &dom.top()).unwrap();
+        assert_eq!(out.get(0), Some(&Interval::of(1, 5)));
+    }
+
+    #[test]
+    fn loop_with_widening_stabilizes_and_is_sound() {
+        let u = Universe::new(&[("i", 0, 10), ("j", 0, 31)]).unwrap();
+        let dom = IntervalEnv::new(&u);
+        let prog =
+            parse_program("i := 1; j := 0; while (i <= 5) do { j := j + i; i := i + 1 }").unwrap();
+        let out = Analyzer::new(&dom).exec(&prog, &dom.top()).unwrap();
+        // Paper §2: Int infers i ∈ [6,6] and j ∈ [0,∞] (widened away).
+        assert_eq!(out.get(0), Some(&Interval::of(6, 6)));
+        assert_eq!(
+            out.get(1).and_then(|iv| iv.hi()),
+            Some(crate::interval::IntervalBound::PosInf)
+        );
+        // Soundness against the concrete semantics.
+        let sem = Concrete::new(&u);
+        let conc = sem.exec(&prog, &u.full()).unwrap();
+        let gamma = dom.gamma_set(&u, &out);
+        assert!(conc.is_subset(&gamma));
+    }
+
+    #[test]
+    fn absval_on_intervals_raises_false_alarm() {
+        // The paper's introduction: Int(AbsVal(Int(odd))) = [0, +hull].
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = IntervalEnv::new(&u);
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let odd = u.filter(|s| s[0] % 2 != 0);
+        let input = dom.alpha_set(&u, &odd);
+        let out = Analyzer::new(&dom).exec(&prog, &input).unwrap();
+        // 0 is spuriously included: the division-by-zero false alarm.
+        assert!(dom.gamma_contains(&out, &[0]));
+        // Concretely, 0 is not reachable.
+        let sem = Concrete::new(&u);
+        let conc = sem.exec(&prog, &odd).unwrap();
+        assert!(!conc.contains(u.store_index(&[0]).unwrap()));
+    }
+
+    #[test]
+    fn sign_analysis_of_absval() {
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = SignEnv::new(&u);
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let out = Analyzer::new(&dom).exec(&prog, &dom.top()).unwrap();
+        // Sign proves x ≥ 0 afterwards (0 - x of a negative is positive).
+        assert!(!dom.gamma_contains(&out, &[-1]));
+        assert!(dom.gamma_contains(&out, &[0]));
+    }
+
+    #[test]
+    fn octagon_keeps_loop_relation() {
+        // Example 7.8's program shape: x and y decrease together.
+        let u = Universe::new(&[("x", -2, 8), ("y", -2, 8)]).unwrap();
+        let dom = OctagonDomain::new(&u);
+        let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+        let start = dom.assume(
+            &dom.top(),
+            &air_lang::parse_bexp("x = y && x >= 0 && x <= 5").unwrap(),
+        );
+        let out = Analyzer::new(&dom).exec(&prog, &start).unwrap();
+        // Octagons track x − y = 0 through the loop; on exit x ≤ 0.
+        assert!(dom.gamma_contains(&out, &[0, 0]));
+        assert!(!dom.gamma_contains(&out, &[0, 3]));
+    }
+
+    #[test]
+    fn havoc_forgets_in_every_domain() {
+        let u = Universe::new(&[("x", -5, 5), ("y", -5, 5)]).unwrap();
+        let prog = parse_program("x := 2; y := x; x := ?").unwrap();
+        // Interval env: x back to ⊤, y stays 2.
+        let env = IntervalEnv::new(&u);
+        let out = Analyzer::new(&env).exec(&prog, &env.top()).unwrap();
+        assert!(env.gamma_contains(&out, &[-5, 2]));
+        assert!(!env.gamma_contains(&out, &[0, 3]));
+        // Octagon: the x−y relation is dropped, y's bound kept.
+        let oct = OctagonDomain::new(&u);
+        let out2 = Analyzer::new(&oct).exec(&prog, &oct.top()).unwrap();
+        assert!(oct.gamma_contains(&out2, &[5, 2]));
+        assert!(!oct.gamma_contains(&out2, &[5, 1]));
+        // Affine: projection keeps y = 2 as an equation.
+        let aff = crate::affine::AffineDomain::new(&u);
+        let out3 = Analyzer::new(&aff).exec(&prog, &aff.top()).unwrap();
+        assert!(aff.gamma_contains(&out3, &[-3, 2]));
+        assert!(!aff.gamma_contains(&out3, &[-3, 0]));
+    }
+
+    #[test]
+    fn divergence_reported_with_degenerate_widening() {
+        // A widening that never widens on an infinite-height chain would
+        // diverge; the bound catches it.
+        let u = Universe::new(&[("x", 0, 5)]).unwrap();
+        let dom = IntervalEnv::new(&u);
+        let prog = parse_program("star { x := x + 1 }").unwrap();
+        let res = Analyzer::new(&dom)
+            .widening_delay(usize::MAX)
+            .max_iters(3)
+            .exec(&prog, &dom.alpha_store(&[0]));
+        assert_eq!(res, Err(AnalysisError::Divergence { max_iters: 3 }));
+    }
+
+    #[test]
+    fn star_without_widening_on_finite_chain() {
+        let u = Universe::new(&[("x", 0, 5)]).unwrap();
+        let dom = SignEnv::new(&u);
+        let prog = parse_program("star { x := x + 1 }").unwrap();
+        let out = Analyzer::new(&dom)
+            .exec(&prog, &dom.alpha_store(&[1]))
+            .unwrap();
+        // From >0, adding 1 stays >0.
+        assert!(dom.gamma_contains(&out, &[3]));
+        assert!(!dom.gamma_contains(&out, &[0]));
+    }
+}

@@ -1,0 +1,66 @@
+//! Abstract domains for the AIR workspace, built from scratch.
+//!
+//! Two layers are provided:
+//!
+//! 1. **Value domains** ([`AbstractValue`]) abstract single integers:
+//!    [`Interval`], [`Sign`], [`Parity`], [`Constant`], [`Congruence`].
+//!    They are lifted pointwise to program stores by the nonrelational
+//!    environment domain [`EnvDomain`].
+//! 2. **Store domains** ([`Abstraction`]) abstract sets of stores: every
+//!    `EnvDomain<V>`, the relational [`OctagonDomain`], the Cartesian
+//!    [`PredicateDomain`] and its Boolean (disjunctive) completion
+//!    [`BooleanPredicateDomain`]. Domains that additionally implement
+//!    [`Transfer`] can drive the generic abstract interpreter
+//!    [`Analyzer`] — the standard, possibly *locally incomplete*, analysis
+//!    that Abstract Interpretation Repair fixes.
+//!
+//! # Example: the paper's introductory false alarm
+//!
+//! ```
+//! use air_domains::{Analyzer, IntervalEnv, Abstraction};
+//! use air_lang::{parse_program, Universe};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let u = Universe::new(&[("x", -8, 8)])?;
+//! let dom = IntervalEnv::new(&u);
+//! let absval = parse_program("if (x >= 0) then { skip } else { x := 0 - x }")?;
+//!
+//! // α({odd x}) = [-7, 7]; the interval analysis of AbsVal yields [0, 7],
+//! // which wrongly includes 0 — the paper's division-by-zero false alarm.
+//! let odd = u.filter(|s| s[0] % 2 != 0);
+//! let input = dom.alpha_set(&u, &odd);
+//! let out = Analyzer::new(&dom).exec(&absval, &input)?;
+//! assert!(dom.gamma_contains(&out, &[0]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod affine;
+pub mod analyzer;
+pub mod congruence;
+pub mod constant;
+pub mod disjunctive;
+pub mod env;
+pub mod interval;
+pub mod octagon;
+pub mod parity;
+pub mod predicate;
+pub mod product;
+pub mod sign;
+pub mod traits;
+pub mod value;
+
+pub use affine::AffineDomain;
+pub use analyzer::{AnalysisError, Analyzer};
+pub use congruence::Congruence;
+pub use constant::Constant;
+pub use disjunctive::Disjunctive;
+pub use env::{CongruenceEnv, ConstantEnv, EnvDomain, EnvElem, IntervalEnv, ParityEnv, SignEnv};
+pub use interval::{Interval, IntervalBound};
+pub use octagon::{Oct, OctagonDomain};
+pub use parity::Parity;
+pub use predicate::{BooleanPredicateDomain, PredicateDomain};
+pub use product::Product;
+pub use sign::Sign;
+pub use traits::{Abstraction, Transfer};
+pub use value::AbstractValue;

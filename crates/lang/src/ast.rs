@@ -1,0 +1,513 @@
+//! Abstract syntax of regular commands.
+//!
+//! The grammar follows the paper's Section 3.2 exactly:
+//!
+//! ```text
+//! AExp ∋ a ::= v ∈ ℤ | x ∈ Var | a + a | a - a | a * a
+//! BExp ∋ b ::= tt | ff | a = a | a < a | a ≤ a | b ∧ b | ¬b   (∨ added for convenience)
+//! Exp  ∋ e ::= skip | x := a | b?
+//! Reg  ∋ r ::= e | r; r | r ⊕ r | r*
+//! ```
+//!
+//! `if`/`while`/`do-while` are provided as smart constructors that desugar
+//! to regular commands, mirroring the paper:
+//!
+//! ```text
+//! if (b) then c1 else c2  ≜  (b?; c1) ⊕ (¬b?; c2)
+//! while (b) do c          ≜  (b?; c)*; ¬b?
+//! do c while (b)          ≜  c; (b?; c)*; ¬b?
+//! ```
+
+use std::sync::Arc;
+
+/// Arithmetic expressions over integer variables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AExp {
+    /// Integer literal.
+    Num(i64),
+    /// Variable read.
+    Var(Arc<str>),
+    /// Addition.
+    Add(Box<AExp>, Box<AExp>),
+    /// Subtraction.
+    Sub(Box<AExp>, Box<AExp>),
+    /// Multiplication.
+    Mul(Box<AExp>, Box<AExp>),
+}
+
+// The builder names deliberately mirror the constructors (`add`, `sub`,
+// `mul`, `neg`): they build syntax, not values, so implementing the
+// `std::ops` traits would be misleading.
+#[allow(clippy::should_implement_trait)]
+impl AExp {
+    /// Variable-read constructor.
+    pub fn var(name: &str) -> AExp {
+        AExp::Var(Arc::from(name))
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: AExp) -> AExp {
+        AExp::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: AExp) -> AExp {
+        AExp::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: AExp) -> AExp {
+        AExp::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// Unary negation, desugared to `0 - self`.
+    pub fn neg(self) -> AExp {
+        AExp::Num(0).sub(self)
+    }
+
+    /// Collects the variables read by this expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            AExp::Num(_) => {}
+            AExp::Var(x) => {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+            AExp::Add(l, r) | AExp::Sub(l, r) | AExp::Mul(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl From<i64> for AExp {
+    fn from(v: i64) -> AExp {
+        AExp::Num(v)
+    }
+}
+
+/// Comparison operators of the surface syntax.
+///
+/// The paper's core only has `=`, `<`, `≤`; the others are derived but kept
+/// primitive in the AST so that pretty-printing round-trips.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on concrete values.
+    pub fn eval(self, l: i64, r: i64) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+
+    /// The negated comparison (`¬(a < b)` is `a >= b`, etc.).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` iff `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            eq => eq,
+        }
+    }
+
+    /// The operator's source text.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Boolean expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BExp {
+    /// `true`.
+    Tt,
+    /// `false`.
+    Ff,
+    /// Comparison of two arithmetic expressions.
+    Cmp(CmpOp, Box<AExp>, Box<AExp>),
+    /// Conjunction.
+    And(Box<BExp>, Box<BExp>),
+    /// Disjunction.
+    Or(Box<BExp>, Box<BExp>),
+    /// Negation.
+    Not(Box<BExp>),
+}
+
+impl BExp {
+    /// Comparison constructor.
+    pub fn cmp(op: CmpOp, l: AExp, r: AExp) -> BExp {
+        BExp::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    /// `l <= r`.
+    pub fn le(l: AExp, r: AExp) -> BExp {
+        BExp::cmp(CmpOp::Le, l, r)
+    }
+
+    /// `l < r`.
+    pub fn lt(l: AExp, r: AExp) -> BExp {
+        BExp::cmp(CmpOp::Lt, l, r)
+    }
+
+    /// `l = r`.
+    pub fn eq(l: AExp, r: AExp) -> BExp {
+        BExp::cmp(CmpOp::Eq, l, r)
+    }
+
+    /// `l >= r`.
+    pub fn ge(l: AExp, r: AExp) -> BExp {
+        BExp::cmp(CmpOp::Ge, l, r)
+    }
+
+    /// `l > r`.
+    pub fn gt(l: AExp, r: AExp) -> BExp {
+        BExp::cmp(CmpOp::Gt, l, r)
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: BExp) -> BExp {
+        BExp::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: BExp) -> BExp {
+        BExp::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Logical negation. Pushed one level when cheap (`¬¬b = b`,
+    /// comparisons negate their operator) so that desugared `else` branches
+    /// print readably; otherwise wraps in [`BExp::Not`].
+    pub fn negate(&self) -> BExp {
+        match self {
+            BExp::Tt => BExp::Ff,
+            BExp::Ff => BExp::Tt,
+            BExp::Cmp(op, l, r) => BExp::Cmp(op.negate(), l.clone(), r.clone()),
+            BExp::Not(b) => (**b).clone(),
+            other => BExp::Not(Box::new(other.clone())),
+        }
+    }
+
+    /// Collects the variables read by this expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            BExp::Tt | BExp::Ff => {}
+            BExp::Cmp(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            BExp::And(l, r) | BExp::Or(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            BExp::Not(b) => b.collect_vars(out),
+        }
+    }
+}
+
+/// Basic transfer expressions — the leaves of regular commands.
+///
+/// The paper's basic expressions "can be instantiated, e.g., with
+/// (deterministic or nondeterministic …) assignments, Boolean guards"
+/// (Section 3.2); [`Exp::Havoc`] is the nondeterministic assignment
+/// `x := ?`, ranging over the variable's declared universe interval.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Exp {
+    /// `skip` — the identity.
+    Skip,
+    /// Assignment `x := a`.
+    Assign(Arc<str>, AExp),
+    /// Nondeterministic assignment `x := ?`.
+    Havoc(Arc<str>),
+    /// Boolean guard `b?` — filters the incoming states.
+    Assume(BExp),
+}
+
+impl Exp {
+    /// Assignment constructor.
+    pub fn assign(x: &str, a: AExp) -> Exp {
+        Exp::Assign(Arc::from(x), a)
+    }
+
+    /// Nondeterministic-assignment constructor.
+    pub fn havoc(x: &str) -> Exp {
+        Exp::Havoc(Arc::from(x))
+    }
+
+    /// Guard constructor.
+    pub fn assume(b: BExp) -> Exp {
+        Exp::Assume(b)
+    }
+
+    /// Collects the variables mentioned by this command into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            Exp::Skip => {}
+            Exp::Assign(x, a) => {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+                a.collect_vars(out);
+            }
+            Exp::Havoc(x) => {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+            Exp::Assume(b) => b.collect_vars(out),
+        }
+    }
+}
+
+/// Regular commands: `r ::= e | r; r | r ⊕ r | r*`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Reg {
+    /// A basic command.
+    Basic(Exp),
+    /// Sequential composition `r1; r2`.
+    Seq(Box<Reg>, Box<Reg>),
+    /// Nondeterministic choice `r1 ⊕ r2`.
+    Choice(Box<Reg>, Box<Reg>),
+    /// Kleene iteration `r*` — zero or any finite number of repetitions.
+    Star(Box<Reg>),
+}
+
+impl Reg {
+    /// `skip` as a regular command.
+    pub fn skip() -> Reg {
+        Reg::Basic(Exp::Skip)
+    }
+
+    /// Assignment `x := a` as a regular command.
+    pub fn assign(x: &str, a: AExp) -> Reg {
+        Reg::Basic(Exp::assign(x, a))
+    }
+
+    /// Nondeterministic assignment `x := ?` as a regular command.
+    pub fn havoc(x: &str) -> Reg {
+        Reg::Basic(Exp::havoc(x))
+    }
+
+    /// Guard `b?` as a regular command.
+    pub fn assume(b: BExp) -> Reg {
+        Reg::Basic(Exp::Assume(b))
+    }
+
+    /// Sequential composition.
+    pub fn seq(self, other: Reg) -> Reg {
+        Reg::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Right-associated sequence of a non-empty list of commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmds` is empty.
+    pub fn seq_all<I: IntoIterator<Item = Reg>>(cmds: I) -> Reg {
+        let mut cmds: Vec<Reg> = cmds.into_iter().collect();
+        let mut acc = cmds.pop().expect("seq_all requires at least one command");
+        while let Some(r) = cmds.pop() {
+            acc = r.seq(acc);
+        }
+        acc
+    }
+
+    /// Nondeterministic choice.
+    pub fn choice(self, other: Reg) -> Reg {
+        Reg::Choice(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene star.
+    pub fn star(self) -> Reg {
+        Reg::Star(Box::new(self))
+    }
+
+    /// `if (b) then c1 else c2 ≜ (b?; c1) ⊕ (¬b?; c2)`.
+    pub fn ite(b: BExp, then_c: Reg, else_c: Reg) -> Reg {
+        let not_b = b.negate();
+        Reg::assume(b)
+            .seq(then_c)
+            .choice(Reg::assume(not_b).seq(else_c))
+    }
+
+    /// `while (b) do c ≜ (b?; c)*; ¬b?`.
+    pub fn while_do(b: BExp, body: Reg) -> Reg {
+        let not_b = b.negate();
+        Reg::assume(b).seq(body).star().seq(Reg::assume(not_b))
+    }
+
+    /// `do c while (b) ≜ c; (b?; c)*; ¬b?`.
+    pub fn do_while(body: Reg, b: BExp) -> Reg {
+        let not_b = b.negate();
+        body.clone()
+            .seq(Reg::assume(b).seq(body).star())
+            .seq(Reg::assume(not_b))
+    }
+
+    /// Number of AST nodes (a rough program-size measure for benchmarks).
+    pub fn size(&self) -> usize {
+        match self {
+            Reg::Basic(_) => 1,
+            Reg::Seq(l, r) | Reg::Choice(l, r) => 1 + l.size() + r.size(),
+            Reg::Star(r) => 1 + r.size(),
+        }
+    }
+
+    /// Number of basic commands (the `n` of the repair proof obligations).
+    pub fn basic_count(&self) -> usize {
+        match self {
+            Reg::Basic(_) => 1,
+            Reg::Seq(l, r) | Reg::Choice(l, r) => l.basic_count() + r.basic_count(),
+            Reg::Star(r) => r.basic_count(),
+        }
+    }
+
+    /// All variables mentioned by the program, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Arc<str>> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Collects mentioned variables into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            Reg::Basic(e) => e.collect_vars(out),
+            Reg::Seq(l, r) | Reg::Choice(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Reg::Star(r) => r.collect_vars(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_build_expected_shapes() {
+        let p = Reg::assign("x", AExp::var("x").add(AExp::Num(1)));
+        assert_eq!(p.size(), 1);
+        let ite = Reg::ite(BExp::gt(AExp::var("x"), 0.into()), Reg::skip(), p);
+        assert!(matches!(ite, Reg::Choice(_, _)));
+        assert_eq!(ite.basic_count(), 4); // two guards + skip + assignment
+    }
+
+    #[test]
+    fn while_desugars_per_paper() {
+        let w = Reg::while_do(BExp::le(AExp::var("i"), 5.into()), Reg::skip());
+        // (b?; skip)*; ¬b?
+        match &w {
+            Reg::Seq(star, exit) => {
+                assert!(matches!(**star, Reg::Star(_)));
+                match &**exit {
+                    Reg::Basic(Exp::Assume(BExp::Cmp(CmpOp::Gt, _, _))) => {}
+                    other => panic!("exit guard should be i > 5, got {other:?}"),
+                }
+            }
+            other => panic!("unexpected desugar {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_while_runs_body_at_least_once() {
+        let d = Reg::do_while(Reg::skip(), BExp::Ff);
+        assert_eq!(d.basic_count(), 4); // skip; (ff?; skip)*; tt?
+    }
+
+    #[test]
+    fn negate_pushes_through_comparisons() {
+        let b = BExp::lt(AExp::var("x"), 0.into());
+        assert_eq!(b.negate(), BExp::ge(AExp::var("x"), 0.into()));
+        assert_eq!(b.negate().negate(), b);
+        let n = BExp::Tt.and(BExp::Ff).negate();
+        assert!(matches!(n, BExp::Not(_)));
+        assert_eq!(n.negate(), BExp::Tt.and(BExp::Ff));
+    }
+
+    #[test]
+    fn cmp_op_eval_and_duality() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for l in -2..=2i64 {
+                for r in -2..=2i64 {
+                    assert_eq!(op.eval(l, r), !op.negate().eval(l, r));
+                    assert_eq!(op.eval(l, r), op.flip().eval(r, l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vars_in_first_occurrence_order() {
+        let p = Reg::assign("y", AExp::var("x"))
+            .seq(Reg::assume(BExp::eq(AExp::var("z"), AExp::var("x"))));
+        let vars = p.vars();
+        let names: Vec<&str> = vars.iter().map(|v| &**v).collect();
+        assert_eq!(names, vec!["y", "x", "z"]);
+    }
+
+    #[test]
+    fn seq_all_associates_right() {
+        let cmds = vec![Reg::skip(), Reg::skip(), Reg::skip()];
+        let s = Reg::seq_all(cmds);
+        assert_eq!(s.basic_count(), 3);
+        assert!(matches!(s, Reg::Seq(_, _)));
+        let single = Reg::seq_all([Reg::skip()]);
+        assert_eq!(single, Reg::skip());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one command")]
+    fn seq_all_empty_panics() {
+        Reg::seq_all(std::iter::empty::<Reg>());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the language crate: parser round-trips, semantic
+//! algebra, and wlp adjunction on randomly generated programs.
+
+use air_lang::gen::{GenConfig, ProgramGen, XorShift};
+use air_lang::{parse_bexp, Concrete, StateSet, Universe, Wlp};
+use proptest::prelude::*;
+
+fn universe() -> Universe {
+    Universe::new(&[("x", -5, 5), ("y", -5, 5)]).unwrap()
+}
+
+fn gen_config(star: bool) -> GenConfig {
+    GenConfig {
+        vars: vec!["x".into(), "y".into()],
+        const_bound: 3,
+        max_depth: 3,
+        allow_star: star,
+    }
+}
+
+fn random_set(u: &Universe, seed: u64) -> StateSet {
+    let mut rng = XorShift::new(seed + 7);
+    let mut s = u.empty();
+    for i in 0..u.size() {
+        if rng.chance(1, 3) {
+            s.insert(i);
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Boolean expressions survive a print/parse round trip.
+    #[test]
+    fn bexp_display_roundtrips(seed in 0u64..5000) {
+        let b = ProgramGen::new(seed, gen_config(false)).bexp(3);
+        let printed = b.to_string();
+        let reparsed = parse_bexp(&printed).unwrap();
+        prop_assert_eq!(b, reparsed, "source: {}", printed);
+    }
+
+    /// Arithmetic expressions survive a print/parse round trip (embedded
+    /// in a trivial comparison, since the grammar has no standalone aexp
+    /// entry point).
+    #[test]
+    fn aexp_display_roundtrips(seed in 0u64..5000) {
+        let a = ProgramGen::new(seed, gen_config(false)).aexp(3);
+        let printed = format!("{a} = 0");
+        let reparsed = parse_bexp(&printed).unwrap();
+        let air_lang::BExp::Cmp(_, lhs, _) = reparsed else {
+            panic!("comparison expected");
+        };
+        prop_assert_eq!(a, *lhs, "source: {}", printed);
+    }
+
+    /// The collecting semantics of whole programs is additive.
+    #[test]
+    fn exec_is_additive(seed in 0u64..800, m1 in 0u64..800, m2 in 0u64..800) {
+        let u = universe();
+        let sem = Concrete::new(&u);
+        let r = ProgramGen::new(seed, gen_config(true)).reg();
+        let s1 = random_set(&u, m1);
+        let s2 = random_set(&u, m2);
+        let lhs = sem.exec(&r, &s1.union(&s2)).unwrap();
+        let rhs = sem.exec(&r, &s1).unwrap().union(&sem.exec(&r, &s2).unwrap());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Monotonicity of the collecting semantics.
+    #[test]
+    fn exec_is_monotone(seed in 0u64..800, m1 in 0u64..800, m2 in 0u64..800) {
+        let u = universe();
+        let sem = Concrete::new(&u);
+        let r = ProgramGen::new(seed, gen_config(true)).reg();
+        let small = random_set(&u, m1).intersection(&random_set(&u, m2));
+        let big = random_set(&u, m1);
+        prop_assert!(sem.exec(&r, &small).unwrap().is_subset(&sem.exec(&r, &big).unwrap()));
+    }
+
+    /// The wlp adjunction `⟦r⟧P ⊆ Z ⇔ P ⊆ wlp(r, Z)` on random programs.
+    #[test]
+    fn wlp_adjunction(seed in 0u64..500, mp in 0u64..500, mz in 0u64..500) {
+        let u = universe();
+        let sem = Concrete::new(&u);
+        let wlp = Wlp::new(&u);
+        let r = ProgramGen::new(seed, gen_config(true)).reg();
+        let p = random_set(&u, mp);
+        let z = random_set(&u, mz);
+        let lhs = sem.exec(&r, &p).unwrap().is_subset(&z);
+        let rhs = p.is_subset(&wlp.reg(&r, &z).unwrap());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Star semantics: ⟦r*⟧S contains S, is a fixpoint of one more
+    /// unrolling, and equals ⟦r*;r*⟧S (idempotency of iteration).
+    #[test]
+    fn star_algebra(seed in 0u64..500, mask in 0u64..500) {
+        let u = universe();
+        let sem = Concrete::new(&u);
+        let body = ProgramGen::new(seed, gen_config(false)).reg();
+        let star = body.clone().star();
+        let s = random_set(&u, mask);
+        let out = sem.exec(&star, &s).unwrap();
+        prop_assert!(s.is_subset(&out));
+        let once_more = sem.exec(&body, &out).unwrap();
+        prop_assert!(once_more.is_subset(&out));
+        let twice = sem.exec(&star.clone().seq(star), &s).unwrap();
+        prop_assert_eq!(twice, out);
+    }
+
+    /// Guard semantics: ⟦b?⟧S ∪ ⟦¬b?⟧S = S and the two parts are disjoint.
+    #[test]
+    fn guards_partition(seed in 0u64..800, mask in 0u64..800) {
+        let u = universe();
+        let sem = Concrete::new(&u);
+        let b = ProgramGen::new(seed, gen_config(false)).bexp(2);
+        let s = random_set(&u, mask);
+        let pos = sem.exec_exp(&air_lang::ast::Exp::Assume(b.clone()), &s).unwrap();
+        let neg = sem.exec_exp(&air_lang::ast::Exp::Assume(b.negate()), &s).unwrap();
+        prop_assert_eq!(pos.union(&neg), s);
+        prop_assert!(pos.is_disjoint(&neg));
+    }
+}

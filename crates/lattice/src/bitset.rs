@@ -1,0 +1,459 @@
+//! A compact dynamic bitset.
+//!
+//! [`BitVecSet`] is the backing representation for sets of states over a
+//! finite universe: each state has an index, and a concrete property is the
+//! bitset of indices it contains. All binary operations require both
+//! operands to have the same capacity (they always do in practice because a
+//! universe fixes the capacity once).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::order::{JoinSemilattice, MeetSemilattice, Poset};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` indices backed by a `Vec<u64>`.
+///
+/// # Example
+///
+/// ```
+/// use air_lattice::bitset::BitVecSet;
+///
+/// let mut s = BitVecSet::new(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(97));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitVecSet {
+    nbits: usize,
+    words: Vec<u64>,
+}
+
+impl BitVecSet {
+    /// Creates an empty set with capacity for indices `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        BitVecSet {
+            nbits,
+            words: vec![0; nbits.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates the full set `{0, …, nbits-1}`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::new(nbits);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Creates a set from an iterator of indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= nbits`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(nbits: usize, indices: I) -> Self {
+        let mut s = Self::new(nbits);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The capacity (number of representable indices).
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Zeroes any bits beyond `nbits` in the last word.
+    fn trim(&mut self) {
+        let rem = self.nbits % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Inserts `index`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity()`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(
+            index < self.nbits,
+            "index {index} out of capacity {}",
+            self.nbits
+        );
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `index`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity()`.
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(
+            index < self.nbits,
+            "index {index} out of capacity {}",
+            self.nbits
+        );
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Returns `true` if `index` is in the set.
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.nbits {
+            return false;
+        }
+        self.words[index / WORD_BITS] & (1 << (index % WORD_BITS)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if the set contains every index in `0..capacity()`.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.nbits
+    }
+
+    fn check_same_capacity(&self, other: &Self) {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "bitset capacity mismatch: {} vs {}",
+            self.nbits, other.nbits
+        );
+    }
+
+    /// Set union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union(&self, other: &Self) -> Self {
+        self.check_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        BitVecSet {
+            nbits: self.nbits,
+            words,
+        }
+    }
+
+    /// Set intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.check_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        BitVecSet {
+            nbits: self.nbits,
+            words,
+        }
+    }
+
+    /// Set difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn difference(&self, other: &Self) -> Self {
+        self.check_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        BitVecSet {
+            nbits: self.nbits,
+            words,
+        }
+    }
+
+    /// Complement within the capacity.
+    pub fn complement(&self) -> Self {
+        let mut s = BitVecSet {
+            nbits: self.nbits,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        s.trim();
+        s
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.check_same_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the sets share no element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.check_same_capacity(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &Self) {
+        self.check_same_capacity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &Self) {
+        self.check_same_capacity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates over the indices in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest index in the set, if any.
+    pub fn min_index(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for BitVecSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Hash for BitVecSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.nbits.hash(state);
+        self.words.hash(state);
+    }
+}
+
+impl PartialOrd for BitVecSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic order on the word representation — a total order used only
+/// for deterministic sorting and map keys, *not* the subset order (use
+/// [`Poset::leq`] for that).
+impl Ord for BitVecSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.nbits
+            .cmp(&other.nbits)
+            .then_with(|| self.words.cmp(&other.words))
+    }
+}
+
+/// Iterator over set indices in ascending order.
+pub struct Iter<'a> {
+    set: &'a BitVecSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitVecSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl Poset for BitVecSet {
+    fn leq(&self, other: &Self) -> bool {
+        self.is_subset(other)
+    }
+}
+
+impl JoinSemilattice for BitVecSet {
+    fn join(&self, other: &Self) -> Self {
+        self.union(other)
+    }
+}
+
+impl MeetSemilattice for BitVecSet {
+    fn meet(&self, other: &Self) -> Self {
+        self.intersection(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::laws;
+
+    #[test]
+    fn empty_and_full() {
+        let e = BitVecSet::new(130);
+        let f = BitVecSet::full(130);
+        assert!(e.is_empty());
+        assert!(f.is_full());
+        assert_eq!(f.len(), 130);
+        assert_eq!(e.complement(), f);
+        assert_eq!(f.complement(), e);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitVecSet::new(70);
+        assert!(s.insert(0));
+        assert!(s.insert(69));
+        assert!(!s.insert(69));
+        assert!(s.contains(0) && s.contains(69) && !s.contains(35));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitVecSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        assert!(!BitVecSet::full(4).contains(100));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitVecSet::from_indices(100, [1, 2, 3, 64, 65]);
+        let b = BitVecSet::from_indices(100, [3, 64, 99]);
+        assert_eq!(a.intersection(&b), BitVecSet::from_indices(100, [3, 64]));
+        assert_eq!(
+            a.union(&b),
+            BitVecSet::from_indices(100, [1, 2, 3, 64, 65, 99])
+        );
+        assert_eq!(a.difference(&b), BitVecSet::from_indices(100, [1, 2, 65]));
+        assert!(BitVecSet::from_indices(100, [3]).is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_disjoint(&BitVecSet::from_indices(100, [0, 50])));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn complement_respects_capacity() {
+        // Capacity not a multiple of 64: complement must not set ghost bits.
+        let s = BitVecSet::from_indices(67, [0, 66]);
+        let c = s.complement();
+        assert_eq!(c.len(), 65);
+        assert!(!c.contains(66));
+        assert!(c.contains(65));
+        assert_eq!(c.complement(), s);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = BitVecSet::from_indices(200, [199, 0, 63, 64, 128]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128, 199]);
+        assert_eq!(s.min_index(), Some(0));
+        assert_eq!(BitVecSet::new(8).min_index(), None);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = BitVecSet::from_indices(10, [1, 2]);
+        a.union_with(&BitVecSet::from_indices(10, [2, 3]));
+        assert_eq!(a, BitVecSet::from_indices(10, [1, 2, 3]));
+        a.intersect_with(&BitVecSet::from_indices(10, [3, 4]));
+        assert_eq!(a, BitVecSet::from_indices(10, [3]));
+    }
+
+    #[test]
+    fn lattice_laws_on_small_powerset() {
+        let sample: Vec<BitVecSet> = (0u8..16)
+            .map(|m| BitVecSet::from_indices(4, (0..4).filter(move |i| m & (1 << i) != 0)))
+            .collect();
+        laws::check_poset(&sample).unwrap();
+        laws::check_join(&sample).unwrap();
+        laws::check_meet(&sample).unwrap();
+        laws::check_absorption(&sample).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn capacity_mismatch_panics() {
+        BitVecSet::new(4).union(&BitVecSet::new(5));
+    }
+}

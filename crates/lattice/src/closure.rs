@@ -1,0 +1,254 @@
+//! Upper closure operators and Moore families.
+//!
+//! Abstract domains are equivalently presented as *upper closure operators*
+//! (ucos) on the concrete lattice, or as their fixpoint images — *Moore
+//! families*, i.e. meet-closed subsets containing `⊤` (paper, Section 3.1).
+//! The enumerative AIR engine manipulates abstract domains exactly this way:
+//! an explicit family of concrete elements closed under meets, to which
+//! domain repair adds new points via [`MooreFamily::add_point`]
+//! (the `A ⊞ N` refinement).
+
+use crate::order::{BoundedLattice, MeetSemilattice, Poset};
+
+/// An upper closure operator on a lattice of elements `T`.
+///
+/// Implementations must be monotone, idempotent and extensive; these laws
+/// are checked on finite samples by [`check_uco`].
+pub trait ClosureOperator<T: Poset> {
+    /// Applies the closure: the least fixpoint of the operator above `c`.
+    fn close(&self, c: &T) -> T;
+
+    /// Returns `true` if `c` is a fixpoint of the closure, i.e. `c` is
+    /// *expressible* in the abstract domain induced by this operator.
+    fn is_closed(&self, c: &T) -> bool {
+        self.close(c) == *c
+    }
+}
+
+impl<T: Poset, F: Fn(&T) -> T> ClosureOperator<T> for F {
+    fn close(&self, c: &T) -> T {
+        self(c)
+    }
+}
+
+/// Checks the three uco laws (extensive, monotone, idempotent) on a sample.
+pub fn check_uco<T: Poset>(op: &impl ClosureOperator<T>, sample: &[T]) -> Result<(), String> {
+    for a in sample {
+        let ca = op.close(a);
+        if !a.leq(&ca) {
+            return Err(format!("closure not extensive at {a:?}"));
+        }
+        if op.close(&ca) != ca {
+            return Err(format!("closure not idempotent at {a:?}"));
+        }
+        for b in sample {
+            if a.leq(b) && !ca.leq(&op.close(b)) {
+                return Err(format!("closure not monotone at {a:?} ≤ {b:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An explicit Moore family: a finite, meet-closed set of elements
+/// containing `⊤`, uniquely determining an upper closure operator.
+///
+/// # Example
+///
+/// ```
+/// use air_lattice::bitset::BitVecSet;
+/// use air_lattice::closure::{ClosureOperator, MooreFamily};
+/// use air_lattice::powerset::Elt;
+///
+/// // The toy domain A = {Z, [0,4], [1,3]} of the paper's Example 4.6,
+/// // over the universe {0..5} (Z truncated for the example).
+/// let top = Elt(BitVecSet::full(6));
+/// let mid = Elt(BitVecSet::from_indices(6, 0..=4));
+/// let low = Elt(BitVecSet::from_indices(6, 1..=3));
+/// let family = MooreFamily::from_points(top.clone(), [mid, low.clone()]);
+///
+/// // A({2}) = [1,3]
+/// let c = Elt(BitVecSet::from_indices(6, [2]));
+/// assert_eq!(family.close(&c), low);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MooreFamily<T> {
+    /// All members, kept meet-closed and deduplicated; `top` is members[0].
+    members: Vec<T>,
+}
+
+impl<T: MeetSemilattice> MooreFamily<T> {
+    /// Builds the Moore closure of `points ∪ {top}`.
+    pub fn from_points<I: IntoIterator<Item = T>>(top: T, points: I) -> Self {
+        let mut family = MooreFamily { members: vec![top] };
+        for p in points {
+            family.add_point(&p);
+        }
+        family
+    }
+
+    /// The number of abstract elements in the family.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the family is just `{⊤}`.
+    pub fn is_trivial(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Always `false`: a Moore family contains at least `⊤`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the members (first element is `⊤`).
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.members.iter()
+    }
+
+    /// Returns `true` if `x` is a member (expressible in the domain).
+    pub fn contains(&self, x: &T) -> bool {
+        self.members.iter().any(|m| m == x)
+    }
+
+    /// Adds a new point and re-closes under binary meets (the pointed
+    /// refinement `A ⊞ {p}` of the paper, Section 3.1). Returns `true` if
+    /// the family grew.
+    pub fn add_point(&mut self, p: &T) -> bool {
+        if self.contains(p) {
+            return false;
+        }
+        // Meet-closure: meets of the new point with every existing member.
+        // Binary meets suffice because the existing family is meet-closed:
+        // any finite meet involving p equals p ∧ m for some member m.
+        let mut fresh = vec![p.clone()];
+        for m in &self.members {
+            let pm = p.meet(m);
+            if !self.contains(&pm) && !fresh.contains(&pm) {
+                fresh.push(pm);
+            }
+        }
+        self.members.extend(fresh);
+        true
+    }
+
+    /// Adds each point in `points` (the refinement `A ⊞ N`). Returns how
+    /// many points actually enlarged the family.
+    pub fn add_points<'a, I>(&mut self, points: I) -> usize
+    where
+        T: 'a,
+        I: IntoIterator<Item = &'a T>,
+    {
+        points.into_iter().filter(|p| self.add_point(p)).count()
+    }
+}
+
+impl<T: MeetSemilattice + Poset> ClosureOperator<T> for MooreFamily<T> {
+    /// `A(c) = ∧{y ∈ A | c ≤ y}` — well-defined because the family is
+    /// meet-closed and contains `⊤`.
+    fn close(&self, c: &T) -> T {
+        let mut acc: Option<T> = None;
+        for m in &self.members {
+            if c.leq(m) {
+                acc = Some(match acc {
+                    None => m.clone(),
+                    Some(a) => a.meet(m),
+                });
+            }
+        }
+        acc.expect("Moore family always contains ⊤ above any element")
+    }
+}
+
+/// Builds the full Moore closure of an arbitrary finite family (including
+/// meets of all subsets) for a bounded lattice, mostly useful in tests and
+/// for the CEGAR partition-to-family conversion.
+pub fn moore_closure<T: BoundedLattice>(points: &[T]) -> MooreFamily<T> {
+    MooreFamily::from_points(T::top(), points.iter().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitVecSet;
+    use crate::powerset::Elt;
+
+    fn set(idx: impl IntoIterator<Item = usize>) -> Elt {
+        Elt(BitVecSet::from_indices(8, idx))
+    }
+
+    fn top() -> Elt {
+        Elt(BitVecSet::full(8))
+    }
+
+    #[test]
+    fn closure_of_member_is_itself() {
+        let fam = MooreFamily::from_points(top(), [set(0..4), set(2..6)]);
+        assert_eq!(fam.close(&set(0..4)), set(0..4));
+        assert!(fam.is_closed(&set(0..4)));
+    }
+
+    #[test]
+    fn family_is_meet_closed_after_construction() {
+        let fam = MooreFamily::from_points(top(), [set(0..4), set(2..6)]);
+        // Meet of the two generators must be a member.
+        assert!(fam.contains(&set(2..4)));
+        assert_eq!(fam.len(), 4); // ⊤, 0..4, 2..6, 2..4
+    }
+
+    #[test]
+    fn close_picks_least_member_above() {
+        let fam = MooreFamily::from_points(top(), [set(0..4), set(2..6)]);
+        assert_eq!(fam.close(&set([3])), set(2..4));
+        assert_eq!(fam.close(&set([0, 5])), top());
+        assert_eq!(fam.close(&set([5])), set(2..6));
+    }
+
+    #[test]
+    fn add_point_grows_and_recloses() {
+        let mut fam = MooreFamily::from_points(top(), [set(0..4)]);
+        assert_eq!(fam.len(), 2);
+        assert!(fam.add_point(&set(2..6)));
+        assert!(fam.contains(&set(2..4)));
+        assert!(!fam.add_point(&set(2..6)));
+        assert_eq!(fam.add_points([&set(0..4), &set([7])]), 1);
+    }
+
+    #[test]
+    fn uco_laws_hold_for_moore_closure() {
+        let fam = MooreFamily::from_points(top(), [set(0..4), set(2..6), set([1])]);
+        let sample: Vec<Elt> = vec![
+            set([]),
+            set([1]),
+            set([3]),
+            set(0..4),
+            set(2..6),
+            set([0, 7]),
+            top(),
+        ];
+        check_uco(&fam, &sample).unwrap();
+    }
+
+    #[test]
+    fn trivial_family_maps_everything_to_top() {
+        let fam: MooreFamily<Elt> = MooreFamily::from_points(top(), []);
+        assert!(fam.is_trivial());
+        assert!(!fam.is_empty());
+        assert_eq!(fam.close(&set([2])), top());
+    }
+
+    #[test]
+    fn closure_via_fn_impl() {
+        // A closure given as a plain function also implements the trait.
+        let op = |c: &Elt| -> Elt {
+            if c.0.is_empty() {
+                c.clone()
+            } else {
+                top()
+            }
+        };
+        assert_eq!(op.close(&set([1])), top());
+        assert!(op.is_closed(&set([])));
+    }
+}

@@ -1,0 +1,242 @@
+//! Galois connections and insertions.
+//!
+//! A Galois connection `⟨α : C → A, γ : A → C⟩` between complete lattices
+//! relates concrete and abstract domains: `α(c) ≤_A a ⇔ c ≤_C γ(a)`. When
+//! additionally `α∘γ = id_A`, it is a Galois *insertion* and `γ∘α` is an
+//! upper closure operator on `C` whose image is (isomorphic to) `A`
+//! (paper, Section 3.1).
+//!
+//! This module provides the connection as a trait plus finite-sample
+//! validity checkers used by every abstract-domain test in the workspace.
+
+use crate::closure::ClosureOperator;
+use crate::order::Poset;
+
+/// A Galois connection between a concrete poset `C` (the `Conc` associated
+/// type) and an abstract poset `A` (the `Abs` associated type).
+pub trait GaloisConnection {
+    /// Concrete elements.
+    type Conc: Poset;
+    /// Abstract elements.
+    type Abs: Poset;
+
+    /// The abstraction map `α`.
+    fn alpha(&self, c: &Self::Conc) -> Self::Abs;
+
+    /// The concretization map `γ`.
+    fn gamma(&self, a: &Self::Abs) -> Self::Conc;
+
+    /// The induced closure `γ∘α` on the concrete domain. By the uco ↔ GI
+    /// isomorphism this *is* the abstract domain, viewed concretely.
+    fn closure(&self, c: &Self::Conc) -> Self::Conc {
+        self.gamma(&self.alpha(c))
+    }
+
+    /// Returns `true` if `c` is expressible in the abstract domain, i.e.
+    /// `γ(α(c)) = c`.
+    fn expressible(&self, c: &Self::Conc) -> bool {
+        self.closure(&c.clone()) == *c
+    }
+
+    /// The best correct approximation `f^A = α∘f∘γ` of a concrete `f`.
+    fn bca<'a>(
+        &'a self,
+        f: impl Fn(&Self::Conc) -> Self::Conc + 'a,
+    ) -> impl Fn(&Self::Abs) -> Self::Abs + 'a {
+        move |a| self.alpha(&f(&self.gamma(a)))
+    }
+}
+
+/// Wraps a Galois connection's `γ∘α` as a [`ClosureOperator`].
+pub struct InducedClosure<'a, G>(pub &'a G);
+
+impl<G: GaloisConnection> ClosureOperator<G::Conc> for InducedClosure<'_, G> {
+    fn close(&self, c: &G::Conc) -> G::Conc {
+        self.0.closure(c)
+    }
+}
+
+/// Checks the adjunction law `α(c) ≤ a ⇔ c ≤ γ(a)` on finite samples.
+pub fn check_connection<G: GaloisConnection>(
+    g: &G,
+    concs: &[G::Conc],
+    abss: &[G::Abs],
+) -> Result<(), String> {
+    for c in concs {
+        for a in abss {
+            let lhs = g.alpha(c).leq(a);
+            let rhs = c.leq(&g.gamma(a));
+            if lhs != rhs {
+                return Err(format!(
+                    "adjunction fails at c={c:?}, a={a:?}: α(c)≤a is {lhs} but c≤γ(a) is {rhs}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the insertion law `α(γ(a)) = a` on a finite sample of abstract
+/// elements.
+pub fn check_insertion<G: GaloisConnection>(g: &G, abss: &[G::Abs]) -> Result<(), String> {
+    for a in abss {
+        let back = g.alpha(&g.gamma(a));
+        if back != *a {
+            return Err(format!("α(γ(a)) = {back:?} ≠ a = {a:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks soundness of an abstract transformer: `α(f(c)) ≤ f♯(α(c))` on a
+/// finite sample of concrete elements.
+pub fn check_sound_transformer<G: GaloisConnection>(
+    g: &G,
+    concs: &[G::Conc],
+    f: impl Fn(&G::Conc) -> G::Conc,
+    f_sharp: impl Fn(&G::Abs) -> G::Abs,
+) -> Result<(), String> {
+    for c in concs {
+        let exact = g.alpha(&f(c));
+        let approx = f_sharp(&g.alpha(c));
+        if !exact.leq(&approx) {
+            return Err(format!(
+                "unsound transformer at {c:?}: α(f(c)) = {exact:?} ≰ f♯(α(c)) = {approx:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks *global* completeness `α∘f = f♯∘α` of an abstract transformer on
+/// a finite sample (paper, Section 3.1). Returns the first witness of
+/// incompleteness, if any.
+pub fn find_incompleteness<G: GaloisConnection>(
+    g: &G,
+    concs: &[G::Conc],
+    f: impl Fn(&G::Conc) -> G::Conc,
+    f_sharp: impl Fn(&G::Abs) -> G::Abs,
+) -> Option<G::Conc> {
+    concs
+        .iter()
+        .find(|c| g.alpha(&f(c)) != f_sharp(&g.alpha(c)))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitVecSet;
+    use crate::order::JoinSemilattice;
+    use crate::powerset::{Elt, PowersetLattice};
+
+    /// Tiny "interval" abstraction of ℘({0..7}): α(S) = the contiguous
+    /// range hull of S, represented concretely (γ = identity on hulls).
+    struct Hull {
+        lat: PowersetLattice,
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct Range(Option<(usize, usize)>);
+
+    impl Poset for Range {
+        fn leq(&self, other: &Self) -> bool {
+            match (&self.0, &other.0) {
+                (None, _) => true,
+                (_, None) => false,
+                (Some((a, b)), Some((c, d))) => c <= a && b <= d,
+            }
+        }
+    }
+
+    impl GaloisConnection for Hull {
+        type Conc = Elt;
+        type Abs = Range;
+
+        fn alpha(&self, c: &Elt) -> Range {
+            let lo = c.0.iter().next();
+            let hi = c.0.iter().last();
+            Range(lo.zip(hi))
+        }
+
+        fn gamma(&self, a: &Range) -> Elt {
+            match a.0 {
+                None => self.lat.bottom(),
+                Some((lo, hi)) => self.lat.from_indices(lo..=hi),
+            }
+        }
+    }
+
+    fn hull() -> Hull {
+        Hull {
+            lat: PowersetLattice::new(8),
+        }
+    }
+
+    fn all_concs() -> Vec<Elt> {
+        (0u16..256)
+            .map(|m| {
+                Elt(BitVecSet::from_indices(
+                    8,
+                    (0..8).filter(move |i| m & (1 << i) != 0),
+                ))
+            })
+            .collect()
+    }
+
+    fn all_abs() -> Vec<Range> {
+        let mut v = vec![Range(None)];
+        for lo in 0..8 {
+            for hi in lo..8 {
+                v.push(Range(Some((lo, hi))));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn hull_is_a_galois_insertion() {
+        let g = hull();
+        check_connection(&g, &all_concs(), &all_abs()).unwrap();
+        check_insertion(&g, &all_abs()).unwrap();
+    }
+
+    #[test]
+    fn induced_closure_is_a_uco() {
+        let g = hull();
+        crate::closure::check_uco(&InducedClosure(&g), &all_concs()).unwrap();
+    }
+
+    #[test]
+    fn expressibility() {
+        let g = hull();
+        assert!(g.expressible(&g.lat.from_indices(2..=5)));
+        assert!(!g.expressible(&g.lat.from_indices([2, 5])));
+        assert!(g.expressible(&g.lat.bottom()));
+    }
+
+    #[test]
+    fn bca_soundness_and_completeness_witnesses() {
+        let g = hull();
+        // f(S) = S ∪ {0} is globally complete for the hull: both sides give
+        // the range [0, max S].
+        let f = |s: &Elt| {
+            let lat = PowersetLattice::new(8);
+            s.join(&lat.singleton(0))
+        };
+        let fa = g.bca(f);
+        check_sound_transformer(&g, &all_concs(), f, &fa).unwrap();
+        assert!(find_incompleteness(&g, &all_concs(), f, &fa).is_none());
+        // The truncated successor f2(S) = {x+1 | x ∈ S, x+1 < 8} is
+        // incomplete: on S = {0, 7} the top value is silently dropped, so
+        // α(f2(S)) = [1,1] while f2♯(α(S)) = [1,7].
+        let f2 = |s: &Elt| {
+            let lat = PowersetLattice::new(8);
+            lat.from_indices(s.0.iter().filter_map(|i| (i + 1 < 8).then_some(i + 1)))
+        };
+        let fa2 = g.bca(f2);
+        check_sound_transformer(&g, &all_concs(), f2, &fa2).unwrap();
+        let witness = find_incompleteness(&g, &all_concs(), f2, &fa2);
+        assert!(witness.is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! Order theory for abstract interpretation.
+//!
+//! This crate provides the lattice-theoretic substrate used by the rest of
+//! the Abstract Interpretation Repair (AIR) workspace:
+//!
+//! - [`order`] — partial orders and (bounded) lattices as element traits,
+//!   together with executable law checkers used by the test suites of every
+//!   downstream domain.
+//! - [`closure`] — upper closure operators and explicit [Moore
+//!   families](closure::MooreFamily), the representation of abstract domains
+//!   used by the paper's enumerative repair engine.
+//! - [`galois`] — Galois connections/insertions and the uco ↔ GI
+//!   isomorphism, plus finite-carrier validity checks.
+//! - [`fixpoint`] — Kleene least-fixpoint iteration, optionally accelerated
+//!   by widening and refined by narrowing.
+//! - [`bitset`] — a compact dynamic bitset, the backing store for powerset
+//!   lattices over finite universes.
+//! - [`powerset`] — the powerset lattice `℘(U)` of a finite universe.
+//!
+//! # Example
+//!
+//! ```
+//! use air_lattice::bitset::BitVecSet;
+//! use air_lattice::order::{JoinSemilattice, Poset};
+//!
+//! let a = BitVecSet::from_indices(8, [1, 3]);
+//! let b = BitVecSet::from_indices(8, [3, 5]);
+//! assert!(a.join(&b).contains(5));
+//! assert!(!a.leq(&b));
+//! ```
+
+pub mod bitset;
+pub mod closure;
+pub mod fixpoint;
+pub mod galois;
+pub mod order;
+pub mod powerset;
+
+pub use bitset::BitVecSet;
+pub use closure::{ClosureOperator, MooreFamily};
+pub use fixpoint::{lfp, lfp_widen, FixpointError};
+pub use galois::GaloisConnection;
+pub use order::{BoundedLattice, JoinSemilattice, Lattice, MeetSemilattice, Poset};
+pub use powerset::PowersetLattice;

@@ -1,0 +1,357 @@
+//! Partial orders and lattices as element traits.
+//!
+//! The traits here model the complete-lattice vocabulary of the paper
+//! (Section 3) specialized to the finite/effective setting of the
+//! reproduction: every lattice we manipulate is either finite or has
+//! computable binary joins and meets.
+//!
+//! Downstream crates implement these traits for abstract-domain elements
+//! (intervals, octagon DBMs, predicate vectors, …) and for concrete state
+//! sets. The [`laws`] module provides executable checks of the algebraic
+//! laws, used by unit and property tests throughout the workspace.
+
+use std::fmt;
+
+/// A partially ordered set.
+///
+/// `leq` must be reflexive, transitive and antisymmetric with respect to
+/// `==`. This is checked (on finite samples) by [`laws::check_poset`].
+pub trait Poset: Clone + PartialEq + fmt::Debug {
+    /// Returns `true` if `self ≤ other` in the partial order.
+    fn leq(&self, other: &Self) -> bool;
+
+    /// Strict order: `self ≤ other` and `self ≠ other`.
+    fn lt(&self, other: &Self) -> bool {
+        self.leq(other) && self != other
+    }
+
+    /// Returns `true` if `self` and `other` are comparable.
+    fn comparable(&self, other: &Self) -> bool {
+        self.leq(other) || other.leq(self)
+    }
+}
+
+/// A poset with all binary least upper bounds.
+pub trait JoinSemilattice: Poset {
+    /// Least upper bound of `self` and `other`.
+    fn join(&self, other: &Self) -> Self;
+
+    /// Joins an iterator of elements onto `self`.
+    fn join_all<'a, I>(&self, items: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        items.into_iter().fold(self.clone(), |acc, x| acc.join(x))
+    }
+}
+
+/// A poset with all binary greatest lower bounds.
+pub trait MeetSemilattice: Poset {
+    /// Greatest lower bound of `self` and `other`.
+    fn meet(&self, other: &Self) -> Self;
+
+    /// Meets an iterator of elements onto `self`.
+    fn meet_all<'a, I>(&self, items: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        items.into_iter().fold(self.clone(), |acc, x| acc.meet(x))
+    }
+}
+
+/// A lattice: both binary joins and meets exist.
+///
+/// This trait is blanket-implemented; implement [`JoinSemilattice`] and
+/// [`MeetSemilattice`] instead.
+pub trait Lattice: JoinSemilattice + MeetSemilattice {}
+
+impl<T: JoinSemilattice + MeetSemilattice> Lattice for T {}
+
+/// A lattice with greatest and least elements.
+///
+/// For the finite lattices of this workspace, `top`/`bottom` make every
+/// finite meet and join defined, which is all the "complete lattice"
+/// structure the algorithms need.
+pub trait BoundedLattice: Lattice {
+    /// The greatest element `⊤`.
+    fn top() -> Self;
+
+    /// The least element `⊥`.
+    fn bottom() -> Self;
+
+    /// Returns `true` if `self` is the greatest element.
+    fn is_top(&self) -> bool {
+        *self == Self::top()
+    }
+
+    /// Returns `true` if `self` is the least element.
+    fn is_bottom(&self) -> bool {
+        *self == Self::bottom()
+    }
+}
+
+/// Least upper bound of an iterator of elements, starting from `⊥`.
+pub fn join_iter<T, I>(items: I) -> T
+where
+    T: BoundedLattice,
+    I: IntoIterator<Item = T>,
+{
+    items.into_iter().fold(T::bottom(), |acc, x| acc.join(&x))
+}
+
+/// Greatest lower bound of an iterator of elements, starting from `⊤`.
+///
+/// Note that `meet_iter([]) = ⊤`, matching the convention `∧∅ = ⊤` used for
+/// Moore closures in the paper (Section 3.1).
+pub fn meet_iter<T, I>(items: I) -> T
+where
+    T: BoundedLattice,
+    I: IntoIterator<Item = T>,
+{
+    items.into_iter().fold(T::top(), |acc, x| acc.meet(&x))
+}
+
+/// Executable lattice-law checks over finite samples.
+///
+/// Each function returns `Err` with a human-readable description of the
+/// first violated law, which makes property-test failures actionable.
+pub mod laws {
+    use super::*;
+
+    /// Checks reflexivity, antisymmetry and transitivity of `leq` over the
+    /// given sample.
+    pub fn check_poset<T: Poset>(sample: &[T]) -> Result<(), String> {
+        for a in sample {
+            if !a.leq(a) {
+                return Err(format!("leq not reflexive at {a:?}"));
+            }
+        }
+        for a in sample {
+            for b in sample {
+                if a.leq(b) && b.leq(a) && a != b {
+                    return Err(format!("leq not antisymmetric at {a:?}, {b:?}"));
+                }
+                for c in sample {
+                    if a.leq(b) && b.leq(c) && !a.leq(c) {
+                        return Err(format!("leq not transitive at {a:?}, {b:?}, {c:?}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that `join` is the least upper bound w.r.t. `leq` over the
+    /// sample (bounding + minimality among sample elements), plus
+    /// commutativity, associativity and idempotency.
+    pub fn check_join<T: JoinSemilattice>(sample: &[T]) -> Result<(), String> {
+        for a in sample {
+            if a.join(a) != *a {
+                return Err(format!("join not idempotent at {a:?}"));
+            }
+            for b in sample {
+                let j = a.join(b);
+                if !a.leq(&j) || !b.leq(&j) {
+                    return Err(format!("join not an upper bound at {a:?}, {b:?}"));
+                }
+                if j != b.join(a) {
+                    return Err(format!("join not commutative at {a:?}, {b:?}"));
+                }
+                for c in sample {
+                    if a.leq(c) && b.leq(c) && !j.leq(c) {
+                        return Err(format!(
+                            "join not least among upper bounds at {a:?}, {b:?}, {c:?}"
+                        ));
+                    }
+                    if a.join(&b.join(c)) != a.join(b).join(c) {
+                        return Err(format!("join not associative at {a:?}, {b:?}, {c:?}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dual of [`check_join`] for meets.
+    pub fn check_meet<T: MeetSemilattice>(sample: &[T]) -> Result<(), String> {
+        for a in sample {
+            if a.meet(a) != *a {
+                return Err(format!("meet not idempotent at {a:?}"));
+            }
+            for b in sample {
+                let m = a.meet(b);
+                if !m.leq(a) || !m.leq(b) {
+                    return Err(format!("meet not a lower bound at {a:?}, {b:?}"));
+                }
+                if m != b.meet(a) {
+                    return Err(format!("meet not commutative at {a:?}, {b:?}"));
+                }
+                for c in sample {
+                    if c.leq(a) && c.leq(b) && !c.leq(&m) {
+                        return Err(format!(
+                            "meet not greatest among lower bounds at {a:?}, {b:?}, {c:?}"
+                        ));
+                    }
+                    if a.meet(&b.meet(c)) != a.meet(b).meet(c) {
+                        return Err(format!("meet not associative at {a:?}, {b:?}, {c:?}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the absorption laws connecting join and meet.
+    pub fn check_absorption<T: Lattice>(sample: &[T]) -> Result<(), String> {
+        for a in sample {
+            for b in sample {
+                if a.join(&a.meet(b)) != *a {
+                    return Err(format!("absorption a∨(a∧b) ≠ a at {a:?}, {b:?}"));
+                }
+                if a.meet(&a.join(b)) != *a {
+                    return Err(format!("absorption a∧(a∨b) ≠ a at {a:?}, {b:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that `⊥ ≤ x ≤ ⊤` and that the bounds are join/meet units.
+    pub fn check_bounds<T: BoundedLattice>(sample: &[T]) -> Result<(), String> {
+        let top = T::top();
+        let bot = T::bottom();
+        if !bot.leq(&top) {
+            return Err("⊥ ≰ ⊤".to_owned());
+        }
+        for a in sample {
+            if !bot.leq(a) || !a.leq(&top) {
+                return Err(format!("bounds do not bound {a:?}"));
+            }
+            if a.join(&bot) != *a || a.meet(&top) != *a {
+                return Err(format!("⊥/⊤ not join/meet units at {a:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs every lattice law check on the sample.
+    pub fn check_bounded_lattice<T: BoundedLattice>(sample: &[T]) -> Result<(), String> {
+        check_poset(sample)?;
+        check_join(sample)?;
+        check_meet(sample)?;
+        check_absorption(sample)?;
+        check_bounds(sample)
+    }
+
+    /// Checks that `f` is monotone over the sample.
+    pub fn check_monotone<T: Poset>(sample: &[T], f: impl Fn(&T) -> T) -> Result<(), String> {
+        for a in sample {
+            for b in sample {
+                if a.leq(b) && !f(a).leq(&f(b)) {
+                    return Err(format!("function not monotone at {a:?} ≤ {b:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The four-element diamond lattice ⊥ < a,b < ⊤.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum Diamond {
+        Bot,
+        A,
+        B,
+        Top,
+    }
+
+    impl Poset for Diamond {
+        fn leq(&self, other: &Self) -> bool {
+            use Diamond::*;
+            matches!((self, other), (Bot, _) | (_, Top) | (A, A) | (B, B))
+        }
+    }
+
+    impl JoinSemilattice for Diamond {
+        fn join(&self, other: &Self) -> Self {
+            use Diamond::*;
+            match (self, other) {
+                (Bot, x) | (x, Bot) => *x,
+                (x, y) if x == y => *x,
+                _ => Top,
+            }
+        }
+    }
+
+    impl MeetSemilattice for Diamond {
+        fn meet(&self, other: &Self) -> Self {
+            use Diamond::*;
+            match (self, other) {
+                (Top, x) | (x, Top) => *x,
+                (x, y) if x == y => *x,
+                _ => Bot,
+            }
+        }
+    }
+
+    impl BoundedLattice for Diamond {
+        fn top() -> Self {
+            Diamond::Top
+        }
+        fn bottom() -> Self {
+            Diamond::Bot
+        }
+    }
+
+    const ALL: [Diamond; 4] = [Diamond::Bot, Diamond::A, Diamond::B, Diamond::Top];
+
+    #[test]
+    fn diamond_satisfies_all_lattice_laws() {
+        laws::check_bounded_lattice(&ALL).unwrap();
+    }
+
+    #[test]
+    fn diamond_incomparable_elements() {
+        assert!(!Diamond::A.comparable(&Diamond::B));
+        assert!(Diamond::A.comparable(&Diamond::Top));
+        assert!(Diamond::Bot.lt(&Diamond::A));
+        assert!(!Diamond::A.lt(&Diamond::A));
+    }
+
+    #[test]
+    fn join_iter_over_empty_is_bottom() {
+        assert_eq!(join_iter::<Diamond, _>(std::iter::empty()), Diamond::Bot);
+    }
+
+    #[test]
+    fn meet_iter_over_empty_is_top() {
+        assert_eq!(meet_iter::<Diamond, _>(std::iter::empty()), Diamond::Top);
+    }
+
+    #[test]
+    fn join_all_and_meet_all_fold_correctly() {
+        let a = Diamond::A;
+        assert_eq!(a.join_all([&Diamond::B]), Diamond::Top);
+        assert_eq!(a.meet_all([&Diamond::B]), Diamond::Bot);
+        assert_eq!(a.join_all(std::iter::empty()), Diamond::A);
+    }
+
+    #[test]
+    fn monotone_check_flags_nonmonotone_function() {
+        // Constant functions are monotone.
+        laws::check_monotone(&ALL, |_| Diamond::A).unwrap();
+        // The "swap A/Top" function is not monotone: A ≤ Top but f(A)=Top ≰ f(Top)=A.
+        let swap = |x: &Diamond| match x {
+            Diamond::A => Diamond::Top,
+            Diamond::Top => Diamond::A,
+            other => *other,
+        };
+        assert!(laws::check_monotone(&ALL, swap).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! The powerset lattice `℘(U)` of a finite universe.
+//!
+//! [`Elt`] is a newtype over [`BitVecSet`] that
+//! serves as a *bounded* lattice element once a capacity is fixed by a
+//! [`PowersetLattice`] context. The newtype exists because `⊤ = U` depends
+//! on the universe size, so `BitVecSet` alone cannot implement
+//! [`BoundedLattice`](crate::order::BoundedLattice); the context hands out
+//! correctly-sized tops and bottoms instead.
+
+use crate::bitset::BitVecSet;
+use crate::order::{JoinSemilattice, MeetSemilattice, Poset};
+
+/// A powerset element: a set of indices into a fixed universe.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Elt(pub BitVecSet);
+
+impl Poset for Elt {
+    fn leq(&self, other: &Self) -> bool {
+        self.0.is_subset(&other.0)
+    }
+}
+
+impl JoinSemilattice for Elt {
+    fn join(&self, other: &Self) -> Self {
+        Elt(self.0.union(&other.0))
+    }
+}
+
+impl MeetSemilattice for Elt {
+    fn meet(&self, other: &Self) -> Self {
+        Elt(self.0.intersection(&other.0))
+    }
+}
+
+/// The complete lattice `⟨℘({0..size-1}), ⊆⟩`.
+///
+/// # Example
+///
+/// ```
+/// use air_lattice::powerset::PowersetLattice;
+/// use air_lattice::order::Poset;
+///
+/// let lat = PowersetLattice::new(5);
+/// let a = lat.singleton(2);
+/// assert!(a.leq(&lat.top()));
+/// assert!(lat.bottom().leq(&a));
+/// assert_eq!(lat.complement(&a).0.len(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowersetLattice {
+    size: usize,
+}
+
+impl PowersetLattice {
+    /// Creates the powerset lattice over a universe of `size` elements.
+    pub fn new(size: usize) -> Self {
+        PowersetLattice { size }
+    }
+
+    /// The universe size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The greatest element: the whole universe.
+    pub fn top(&self) -> Elt {
+        Elt(BitVecSet::full(self.size))
+    }
+
+    /// The least element: the empty set.
+    pub fn bottom(&self) -> Elt {
+        Elt(BitVecSet::new(self.size))
+    }
+
+    /// The singleton `{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= size`.
+    pub fn singleton(&self, i: usize) -> Elt {
+        Elt(BitVecSet::from_indices(self.size, [i]))
+    }
+
+    /// Builds an element from an iterator of indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= size`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(&self, indices: I) -> Elt {
+        Elt(BitVecSet::from_indices(self.size, indices))
+    }
+
+    /// Complement within the universe (powersets are Boolean algebras).
+    pub fn complement(&self, e: &Elt) -> Elt {
+        Elt(e.0.complement())
+    }
+
+    /// All elements satisfying a predicate on indices.
+    pub fn filter(&self, pred: impl Fn(usize) -> bool) -> Elt {
+        self.from_indices((0..self.size).filter(|&i| pred(i)))
+    }
+
+    /// Join of an iterator of elements (`∨∅ = ⊥`).
+    pub fn join_iter<'a, I: IntoIterator<Item = &'a Elt>>(&self, items: I) -> Elt {
+        items.into_iter().fold(self.bottom(), |acc, e| acc.join(e))
+    }
+
+    /// Meet of an iterator of elements (`∧∅ = ⊤`).
+    pub fn meet_iter<'a, I: IntoIterator<Item = &'a Elt>>(&self, items: I) -> Elt {
+        items.into_iter().fold(self.top(), |acc, e| acc.meet(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::laws;
+
+    #[test]
+    fn lattice_laws_on_powerset_of_three() {
+        let lat = PowersetLattice::new(3);
+        let sample: Vec<Elt> = (0u8..8)
+            .map(|m| lat.from_indices((0..3).filter(move |i| m & (1 << i) != 0)))
+            .collect();
+        laws::check_poset(&sample).unwrap();
+        laws::check_join(&sample).unwrap();
+        laws::check_meet(&sample).unwrap();
+        laws::check_absorption(&sample).unwrap();
+    }
+
+    #[test]
+    fn bounds_and_complement() {
+        let lat = PowersetLattice::new(4);
+        assert!(lat.bottom().0.is_empty());
+        assert!(lat.top().0.is_full());
+        let a = lat.from_indices([0, 2]);
+        assert_eq!(lat.complement(&a), lat.from_indices([1, 3]));
+        assert_eq!(a.meet(&lat.complement(&a)), lat.bottom());
+        assert_eq!(a.join(&lat.complement(&a)), lat.top());
+    }
+
+    #[test]
+    fn filter_and_iter_folds() {
+        let lat = PowersetLattice::new(10);
+        let evens = lat.filter(|i| i % 2 == 0);
+        assert_eq!(evens.0.len(), 5);
+        let odds = lat.filter(|i| i % 2 == 1);
+        assert_eq!(lat.join_iter([&evens, &odds]), lat.top());
+        assert_eq!(lat.meet_iter([&evens, &odds]), lat.bottom());
+        assert_eq!(lat.meet_iter([]), lat.top());
+        assert_eq!(lat.join_iter([]), lat.bottom());
+    }
+}

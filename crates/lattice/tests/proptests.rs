@@ -1,0 +1,97 @@
+//! Property tests for the lattice crate: bitsets against a `BTreeSet`
+//! model, and Moore-family closure laws on random families.
+
+use std::collections::BTreeSet;
+
+use air_lattice::closure::{check_uco, ClosureOperator, MooreFamily};
+use air_lattice::order::Poset;
+use air_lattice::powerset::Elt;
+use air_lattice::BitVecSet;
+use proptest::prelude::*;
+
+const CAP: usize = 96;
+
+fn indices() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..CAP, 0..24)
+}
+
+fn model(v: &[usize]) -> BTreeSet<usize> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    /// BitVecSet mirrors the BTreeSet model on every operation.
+    #[test]
+    fn bitset_matches_model(a in indices(), b in indices()) {
+        let sa = BitVecSet::from_indices(CAP, a.iter().copied());
+        let sb = BitVecSet::from_indices(CAP, b.iter().copied());
+        let (ma, mb) = (model(&a), model(&b));
+        prop_assert_eq!(sa.len(), ma.len());
+        prop_assert_eq!(
+            sa.union(&sb).iter().collect::<Vec<_>>(),
+            ma.union(&mb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            sa.intersection(&sb).iter().collect::<Vec<_>>(),
+            ma.intersection(&mb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            sa.difference(&sb).iter().collect::<Vec<_>>(),
+            ma.difference(&mb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+        for i in 0..CAP {
+            prop_assert_eq!(sa.contains(i), ma.contains(&i));
+        }
+        // Complement involutes and partitions.
+        prop_assert_eq!(sa.complement().complement(), sa.clone());
+        prop_assert!(sa.complement().is_disjoint(&sa));
+        prop_assert_eq!(sa.complement().union(&sa), BitVecSet::full(CAP));
+    }
+
+    /// Insert/remove behave like the model.
+    #[test]
+    fn bitset_insert_remove(a in indices(), x in 0..CAP) {
+        let mut s = BitVecSet::from_indices(CAP, a.iter().copied());
+        let mut m = model(&a);
+        prop_assert_eq!(s.insert(x), m.insert(x));
+        prop_assert_eq!(s.remove(x), m.remove(&x));
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), m.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Moore families built from random generator points satisfy the uco
+    /// laws and express all pairwise meets of their generators.
+    #[test]
+    fn moore_family_laws(
+        gens in proptest::collection::vec(indices(), 1..5),
+        probes in proptest::collection::vec(indices(), 1..6),
+    ) {
+        let top = Elt(BitVecSet::full(CAP));
+        let points: Vec<Elt> = gens
+            .iter()
+            .map(|g| Elt(BitVecSet::from_indices(CAP, g.iter().copied())))
+            .collect();
+        let fam = MooreFamily::from_points(top, points.clone());
+        let sample: Vec<Elt> = probes
+            .iter()
+            .map(|p| Elt(BitVecSet::from_indices(CAP, p.iter().copied())))
+            .collect();
+        check_uco(&fam, &sample).unwrap();
+        for a in &points {
+            for b in &points {
+                let meet = Elt(a.0.intersection(&b.0));
+                prop_assert!(fam.contains(&meet), "missing meet of generators");
+            }
+        }
+        // Closure is the least member above the argument.
+        for probe in &sample {
+            let c = fam.close(probe);
+            for m in fam.iter() {
+                if probe.leq(m) {
+                    prop_assert!(c.leq(m));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Example 7.8: the countdown loop needs relational information.
+//!
+//! `c = while (x > 0) do { x := x − 1; y := y − 1 }` with input
+//! `0 < x ≤ K` and `Spec = (y = 0)`. Neither `Int` nor `Oct` proves or
+//! refutes the spec. Backward repair characterizes the *greatest valid
+//! input* — exactly `y = x` — adding the relational points `P̄, R₁…R₃` to
+//! the nonrelational interval domain (paper: "backward repair is able to
+//! add the minimal relational information in a nonrelational domain").
+//!
+//! Run with `cargo run --example countdown`.
+
+use air::core::summarize::display_set;
+use air::core::{BackwardRepair, EnumDomain, Verifier};
+use air::domains::{IntervalEnv, OctagonDomain};
+use air::lang::{parse_program, Concrete, Universe};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Scaled-down bounds (the paper uses K = 100); y has headroom below so
+    // no run from the analyzed inputs is truncated by the finite universe.
+    let k = 6;
+    let universe = Universe::new(&[("x", -2, 8), ("y", -10, 8)])?;
+    let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }")?;
+    let pre = universe.filter(|s| s[0] > 0 && s[0] <= k && s[1] >= -2);
+    let spec = universe.filter(|s| s[1] == 0);
+
+    println!("program: {prog}");
+    println!("input P: 0 < x <= {k} ∧ y >= -2");
+    println!("spec:    y = 0\n");
+
+    // 1. Backward repair on Int.
+    let int_domain = EnumDomain::from_abstraction(&universe, IntervalEnv::new(&universe));
+    let out = BackwardRepair::new(&universe).repair(&int_domain, &pre, &prog, &spec)?;
+    println!(
+        "greatest valid input V = {}",
+        display_set(&universe, &out.valid_input)
+    );
+    println!("points added: {}", out.points.len());
+    for (i, p) in out.points.iter().enumerate().take(4) {
+        println!("  N{} = {}", i + 1, display_set(&universe, p));
+    }
+
+    // V is exactly the diagonal y = x within A(P).
+    let diagonal = universe.filter(|s| (1..=k).contains(&s[0]) && s[1] == s[0]);
+    assert_eq!(out.valid_input, diagonal);
+
+    // 2. Corollary 7.7 in action: decide three sub-inputs instantly.
+    let sem = Concrete::new(&universe);
+    println!("\nCorollary 7.7 — deciding sub-inputs against V:");
+    for (desc, p_prime) in [
+        ("x = 3 ∧ y = 3", universe.filter(|s| s[0] == 3 && s[1] == 3)),
+        ("x = 3 ∧ y = 4", universe.filter(|s| s[0] == 3 && s[1] == 4)),
+        (
+            "1 ≤ x ≤ 4 ∧ y = x",
+            universe.filter(|s| (1..=4).contains(&s[0]) && s[1] == s[0]),
+        ),
+    ] {
+        let decided = p_prime.is_subset(&out.valid_input);
+        let concrete = sem.exec(&prog, &p_prime)?.is_subset(&spec);
+        println!("  {desc}: decided {decided}, concrete {concrete}");
+        assert_eq!(decided, concrete);
+    }
+
+    // 3. The paper's closing remark: all the new points are octagons, so
+    //    the Oct analysis on the repaired input V also proves the spec.
+    let oct_domain = EnumDomain::from_abstraction(&universe, OctagonDomain::new(&universe));
+    let verdict = Verifier::new(&universe).backward(oct_domain, &prog, &diagonal, &spec)?;
+    println!(
+        "\nOct on input V (= R1): {} with {} extra points",
+        if verdict.is_proved() {
+            "PROVED"
+        } else {
+            "refuted"
+        },
+        verdict.added_points().len()
+    );
+    assert!(verdict.is_proved());
+
+    println!("\nExample 7.8 reproduced: minimal relational repair of Int.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! LCL_A derivations with on-demand repair (Section 9's proposal).
+//!
+//! The local completeness logic of [8] derives triples `⊢_A [P] r [Q]`
+//! certifying `Q ≤ ⟦r⟧P ≤ A(Q)`: every alarm in `Q` is true, and a spec
+//! expressible in `A` holds iff `Q ≤ Spec`. Derivations get stuck on
+//! violated local completeness obligations; AIR repairs the domain and
+//! resumes — turning the logic into a push-button prover over the
+//! enumerative engine.
+//!
+//! Run with `cargo run --example lcl_proof`.
+
+use air::core::lcl::Lcl;
+use air::core::summarize::display_set;
+use air::core::EnumDomain;
+use air::domains::product::Product;
+use air::domains::{IntervalEnv, ParityEnv};
+use air::lang::{parse_program, Universe};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let u = Universe::new(&[("x", -8, 8)])?;
+    let lcl = Lcl::new(&u);
+    let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }")?;
+    let odd = u.filter(|s| s[0] % 2 != 0);
+
+    // 1. On plain Int the derivation gets stuck on the guard obligation.
+    let int_dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    match lcl.derive(&int_dom, &odd, &prog) {
+        Err(e) => println!("Int derivation stuck: {e}"),
+        Ok(_) => unreachable!("Int is locally incomplete here"),
+    }
+
+    // 2. derive_with_repair settles the obligation with a pointed shell.
+    let (derivation, repaired) = lcl.derive_with_repair(int_dom, &odd, &prog)?;
+    println!(
+        "\nrepaired with {} point(s); derivation ({} rules):\n",
+        repaired.num_points(),
+        derivation.size()
+    );
+    print!("{}", derivation.render(&u));
+    println!(
+        "\nQ = {}   (0 is excluded: the alarm was false)",
+        display_set(&u, &derivation.triple().post)
+    );
+    assert!(lcl.check(&repaired, &derivation).is_ok());
+
+    // 3. A domain that already expresses the input needs no repair: the
+    //    reduced product Int ⊗ Parity.
+    let prod = Product::reduced_interval(IntervalEnv::new(&u), ParityEnv::new(&u));
+    let prod_dom = EnumDomain::from_abstraction(&u, prod);
+    let direct = lcl.derive(&prod_dom, &odd, &prog)?;
+    println!(
+        "\nInt⊗Par derives directly ({} rules), no repair needed.",
+        direct.size()
+    );
+
+    Ok(())
+}

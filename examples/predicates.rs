@@ -1,0 +1,96 @@
+//! Example 7.9: predicate abstraction repaired more abstractly than the
+//! Boolean completion.
+//!
+//! For the do-while program of Ball–Podelski–Rajamani and the Cartesian
+//! predicate abstraction over `p = (z = 0)`, `q = (x = y)`:
+//!
+//! - the literature's refinement is the *Boolean completion* `B`, which
+//!   behaves like adding `p ↔ q`;
+//! - backward repair instead adds the strictly more abstract point
+//!   `q → p`, and the repaired analysis proves `⟦c⟧⊤ ≤ p`.
+//!
+//! Run with `cargo run --example predicates`.
+
+use air::core::summarize::display_set;
+use air::core::{AbstractSemantics, BackwardRepair, EnumDomain};
+use air::domains::{BooleanPredicateDomain, PredicateDomain};
+use air::lang::{parse_bexp, parse_program, Universe};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Variables: w (branch selector), x, y, z. Small ranges keep the
+    // universe compact; the predicates only compare x=y and z=0.
+    let universe = Universe::new(&[("w", 0, 1), ("x", 0, 3), ("y", 0, 2), ("z", 0, 1)])?;
+    let prog = parse_program(
+        "do { z := 0; x := y; if (w != 0) then { x := x + 1; z := 1 } } while (x != y)",
+    )?;
+    let p = parse_bexp("z = 0")?;
+    let q = parse_bexp("x = y")?;
+    println!("program: {prog}\n");
+
+    let spec = universe.filter(|s| s[3] == 0); // p = (z = 0)
+
+    // 1. The Cartesian predicate abstraction cannot prove ⟦c⟧⊤ ≤ p.
+    let cart = PredicateDomain::new(&universe, vec![("p", p.clone()), ("q", q.clone())]);
+    let cart_dom = EnumDomain::from_abstraction(&universe, cart);
+    let asem = AbstractSemantics::new(&universe);
+    let out = asem.exec(&cart_dom, &prog, &universe.full())?;
+    println!(
+        "Cartesian analysis output: {}",
+        display_set(&universe, &out)
+    );
+    println!("  proves z = 0: {}\n", out.is_subset(&spec));
+    assert!(!out.is_subset(&spec));
+
+    // 2. The Boolean completion B proves it, at the cost of tracking all
+    //    minterms (isomorphic to adding p ↔ q).
+    let boolean = BooleanPredicateDomain::new(&universe, vec![p.clone(), q.clone()]);
+    let bool_dom = EnumDomain::from_abstraction(&universe, boolean);
+    let out_b = asem.exec(&bool_dom, &prog, &universe.full())?;
+    println!(
+        "Boolean-completion output: {}",
+        display_set(&universe, &out_b)
+    );
+    println!("  proves z = 0: {}\n", out_b.is_subset(&spec));
+    assert!(out_b.is_subset(&spec));
+
+    // 3. Backward repair of the Cartesian domain adds q → p — strictly
+    //    more abstract than p ↔ q — and proves the spec.
+    let out_r = BackwardRepair::new(&universe).repair(&cart_dom, &universe.full(), &prog, &spec)?;
+    println!("backward repair added {} point(s):", out_r.points.len());
+    for (i, pt) in out_r.points.iter().enumerate() {
+        println!("  N{} = {}", i + 1, display_set(&universe, pt));
+    }
+    assert_eq!(
+        universe.full(),
+        out_r.valid_input,
+        "⟦c⟧⊤ ≤ p must be proved"
+    );
+
+    // The key point is q → p, i.e. ¬q ∨ p as a state set.
+    let sem = air::lang::Concrete::new(&universe);
+    let sat_p = sem.sat(&p)?;
+    let sat_q = sem.sat(&q)?;
+    let q_implies_p = sat_q.complement().union(&sat_p);
+    let p_iff_q = sat_p
+        .intersection(&sat_q)
+        .union(&sat_p.complement().intersection(&sat_q.complement()));
+    let repaired = out_r.domain(&cart_dom);
+    assert!(
+        repaired.is_expressible(&q_implies_p),
+        "q → p must be expressible after repair"
+    );
+    // q → p is strictly more abstract than p ↔ q.
+    assert!(p_iff_q.is_subset(&q_implies_p) && p_iff_q != q_implies_p);
+    println!("\nq → p is expressible in the repaired domain and strictly");
+    println!("more abstract than the Boolean completion's p ↔ q.");
+
+    // 4. The repaired Cartesian analysis proves the spec.
+    let out_fixed = asem.exec(&repaired, &prog, &universe.full())?;
+    println!(
+        "\nrepaired analysis output: {}",
+        display_set(&universe, &out_fixed)
+    );
+    assert!(out_fixed.is_subset(&spec));
+    println!("Example 7.9 reproduced.");
+    Ok(())
+}

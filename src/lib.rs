@@ -1,0 +1,44 @@
+//! Umbrella crate for the Abstract Interpretation Repair (AIR) workspace.
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can refer to everything through a single dependency:
+//!
+//! - [`lattice`] — order theory: lattices, closure operators, Galois
+//!   connections, fixpoint engines.
+//! - [`lang`] — the regular-command language `Reg`, an Imp-like surface
+//!   syntax with a parser, stores, finite universes and the concrete
+//!   collecting semantics.
+//! - [`domains`] — abstract domains (intervals, octagons, signs, parity,
+//!   constants, congruences, Cartesian predicates) and a generic abstract
+//!   interpreter.
+//! - [`core`] — the paper's contribution: local completeness, pointed
+//!   shells, forward/backward repair, pointed widening and the verifier.
+//! - [`cegar`] — finite transition systems, abstract model checking and the
+//!   CEGAR-as-AIR refinement heuristics of Section 6.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use air::core::{EnumDomain, Verifier};
+//! use air::domains::IntervalEnv;
+//! use air::lang::{parse_program, Universe};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // AbsVal from the paper's introduction: |x| of an odd input is never 0.
+//! let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }")?;
+//! let universe = Universe::new(&[("x", -8, 8)])?;
+//! let input = universe.filter(|s| s[0] % 2 != 0);
+//! let spec = universe.filter(|s| s[0] != 0);
+//!
+//! let domain = EnumDomain::from_abstraction(&universe, IntervalEnv::new(&universe));
+//! let verdict = Verifier::new(&universe).backward(domain, &prog, &input, &spec)?;
+//! assert!(verdict.is_proved());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use air_cegar as cegar;
+pub use air_core as core;
+pub use air_domains as domains;
+pub use air_lang as lang;
+pub use air_lattice as lattice;

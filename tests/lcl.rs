@@ -1,0 +1,111 @@
+//! Integration tests for the LCL_A proof system and its AIR integration
+//! (Section 9's proposed combination), across base domains including the
+//! reduced products and disjunctive completions.
+
+use air::core::lcl::LclError;
+use air::core::{EnumDomain, Lcl};
+use air::domains::disjunctive::Disjunctive;
+use air::domains::product::Product;
+use air::domains::{IntervalEnv, ParityEnv, SignEnv};
+use air::lang::gen::{GenConfig, ProgramGen};
+use air::lang::{parse_program, Concrete, Universe};
+use proptest::prelude::*;
+
+#[test]
+fn absval_derivation_across_domains() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let lcl = Lcl::new(&u);
+    let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+    let odd = u.filter(|s| s[0] % 2 != 0);
+
+    // Int: fails, then repairs with one point.
+    let int_dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    assert!(matches!(
+        lcl.derive(&int_dom, &odd, &prog),
+        Err(LclError::Obligation { .. })
+    ));
+    let (d, repaired) = lcl.derive_with_repair(int_dom, &odd, &prog).unwrap();
+    assert!(repaired.num_points() >= 1);
+    lcl.check(&repaired, &d).unwrap();
+
+    // The reduced product Int⊗Sign expresses nonzero-ness natively: the
+    // guard obligation may still fail on the odd input (odd is not
+    // expressible), but fewer/equal points are needed than for plain Int.
+    let prod = Product::reduced_interval(IntervalEnv::new(&u), SignEnv::new(&u));
+    let prod_dom = EnumDomain::from_abstraction(&u, prod);
+    let (dp, rp) = lcl.derive_with_repair(prod_dom, &odd, &prog).unwrap();
+    lcl.check(&rp, &dp).unwrap();
+    assert!(rp.num_points() <= repaired.num_points());
+
+    // Int⊗Parity expresses odd exactly: no repair needed at all.
+    let par = Product::reduced_interval(IntervalEnv::new(&u), ParityEnv::new(&u));
+    let par_dom = EnumDomain::from_abstraction(&u, par);
+    let dpar = lcl.derive(&par_dom, &odd, &prog).unwrap();
+    lcl.check(&par_dom, &dpar).unwrap();
+}
+
+#[test]
+fn disjunctive_base_reduces_obligations() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let lcl = Lcl::new(&u);
+    let prog = parse_program("if (0 < x) then { x := x - 2 } else { x := x + 1 }").unwrap();
+    let p = u.of_values([0, 3]);
+    // Plain Int is locally incomplete on {0,3} (Example 4.5) …
+    let int_dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    assert!(lcl.derive(&int_dom, &p, &prog).is_err());
+    // … but the disjunctive completion (width 4) expresses {0} ∨ {3}.
+    let disj = EnumDomain::from_abstraction(&u, Disjunctive::new(IntervalEnv::new(&u), 4));
+    let d = lcl.derive(&disj, &p, &prog).unwrap();
+    lcl.check(&disj, &d).unwrap();
+}
+
+#[test]
+fn derivation_post_decides_specs() {
+    let u = Universe::new(&[("i", 0, 8), ("j", 0, 24)]).unwrap();
+    let lcl = Lcl::new(&u);
+    let prog =
+        parse_program("i := 1; j := 0; while (i <= 5) do { j := j + i; i := i + 1 }").unwrap();
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let (d, repaired) = lcl.derive_with_repair(dom, &u.full(), &prog).unwrap();
+    lcl.check(&repaired, &d).unwrap();
+    let q = &d.triple().post;
+    // Q is exact: {i = 6, j = 15}; its abstraction decides j ≤ 15.
+    assert_eq!(q, &u.filter(|s| s[0] == 6 && s[1] == 15));
+    assert!(repaired.close(q).is_subset(&u.filter(|s| s[1] <= 15)));
+    // j ≤ 14 is refuted by the under-approximation: a true alarm.
+    assert!(!q.is_subset(&u.filter(|s| s[1] <= 14)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every derivation produced by derive_with_repair checks, satisfies
+    /// the soundness invariant Q ≤ ⟦r⟧P ≤ A(Q), and yields a locally
+    /// complete repaired domain.
+    #[test]
+    fn derive_with_repair_sound_on_random_programs(seed in 0u64..300, mask in 0u64..300) {
+        let u = Universe::new(&[("x", -4, 4), ("y", -4, 4)]).unwrap();
+        let r = ProgramGen::new(seed, GenConfig {
+            vars: vec!["x".into(), "y".into()],
+            const_bound: 2,
+            max_depth: 3,
+            allow_star: true,
+        }).reg();
+        let mut rng = air::lang::gen::XorShift::new(mask + 1);
+        let mut p = u.empty();
+        for i in 0..u.size() {
+            if rng.chance(1, 4) {
+                p.insert(i);
+            }
+        }
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let lcl = Lcl::new(&u);
+        let (d, repaired) = lcl.derive_with_repair(dom, &p, &r).unwrap();
+        prop_assert!(lcl.check(&repaired, &d).is_ok());
+        prop_assert!(lcl.triple_sound(&repaired, d.triple()).unwrap());
+        // Q must be the exact concrete post (the automatic derivation
+        // carries no slack).
+        let sem = Concrete::new(&u);
+        prop_assert_eq!(&d.triple().post, &sem.exec(&r, &p).unwrap());
+    }
+}

@@ -1,0 +1,267 @@
+//! Integration tests reproducing the paper's worked examples end to end
+//! through the public API (experiment rows E1, E4, E5, E6 of DESIGN.md).
+
+use air::core::summarize::display_set;
+use air::core::{
+    AbstractSemantics, BackwardRepair, EnumDomain, ForwardRepair, LocalCompleteness, ShellResult,
+    Verifier,
+};
+use air::domains::{IntervalEnv, OctagonDomain, ParityEnv};
+use air::lang::{parse_bexp, parse_program, Concrete, Universe};
+
+fn int_dom(u: &Universe) -> EnumDomain {
+    EnumDomain::from_abstraction(u, IntervalEnv::new(u))
+}
+
+/// E1 — the introduction's AbsVal example: incompleteness of Int, the
+/// pointed repair Z≠0, and the verified spec, by both strategies.
+#[test]
+fn e1_absval_end_to_end() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let dom = int_dom(&u);
+    let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+    let odd = u.filter(|s| s[0] % 2 != 0);
+    let spec = u.filter(|s| s[0] != 0);
+
+    // Int(AbsVal(I)) = [1, 7] (0 not a possible result) …
+    let sem = Concrete::new(&u);
+    let exact = dom.close(&sem.exec(&prog, &odd).unwrap());
+    assert_eq!(exact, u.filter(|s| (1..=7).contains(&s[0])));
+    // … but the best correct approximation includes 0.
+    let asem = AbstractSemantics::new(&u);
+    let bca = asem.exec(&dom, &prog, &dom.close(&odd)).unwrap();
+    assert_eq!(bca, u.filter(|s| (0..=7).contains(&s[0])));
+
+    // Both repair strategies prove the spec and add Z≠0 (as a hull).
+    let verifier = Verifier::new(&u);
+    let zneq0 = u.filter(|s| s[0] != 0 && s[0].abs() <= 7);
+    let vb = verifier.backward(dom.clone(), &prog, &odd, &spec).unwrap();
+    assert!(vb.is_proved());
+    let vf = verifier.forward(dom, &prog, &odd, &spec).unwrap();
+    assert!(vf.is_proved());
+    assert!(vf.added_points().contains(&zneq0));
+    // The repaired analysis has no false alarm.
+    let out = asem
+        .exec(vf.domain(), &prog, &vf.domain().close(&odd))
+        .unwrap();
+    assert_eq!(out, exact);
+}
+
+/// E1 variant — parity expresses odd inputs exactly, so the *original*
+/// analysis is already locally complete there: no repair needed.
+#[test]
+fn e1_parity_needs_no_repair() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let dom = EnumDomain::from_abstraction(&u, ParityEnv::new(&u));
+    let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+    let odd = u.filter(|s| s[0] % 2 != 0);
+    let fr = ForwardRepair::new(&u).repair(dom, &prog, &odd).unwrap();
+    assert_eq!(fr.repairs, 0);
+    // Parity of |odd| is still odd, which excludes 0 — but note parity
+    // cannot *state* x ≠ 0 as a spec check via intervals; the closure of
+    // the output simply never contains 0.
+    assert!(!fr
+        .domain
+        .close(&fr.under)
+        .contains(u.store_index(&[0]).unwrap()));
+}
+
+/// E4 — Examples 4.2/4.5: non-compositionality of local completeness and
+/// the ∨L characterization.
+#[test]
+fn e4_local_completeness_not_compositional() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let dom = int_dom(&u);
+    let lc = LocalCompleteness::new(&u);
+    let c = parse_program("if (0 < x) then { x := x - 2 } else { x := x + 1 }").unwrap();
+    let cc = c.clone().seq(c.clone());
+    let p1 = u.of_values([2, 5]);
+    let p2 = u.of_values([0, 3]);
+
+    assert!(lc.check(&dom, &c, &p1).unwrap());
+    assert!(!lc.check(&dom, &c, &p2).unwrap());
+    assert!(!lc.check(&dom, &cc, &p1).unwrap(), "composition breaks it");
+
+    // Example 4.5: ∨L values.
+    assert_eq!(
+        lc.sup_l(&dom, &c, &p1).unwrap(),
+        u.filter(|s| (2..=5).contains(&s[0]))
+    );
+    assert_eq!(lc.sup_l(&dom, &c, &p2).unwrap(), p2);
+    // Theorem 4.4(ii): completeness ⇔ ∨L expressible.
+    assert!(dom.is_expressible(&lc.sup_l(&dom, &c, &p1).unwrap()));
+    assert!(!dom.is_expressible(&lc.sup_l(&dom, &c, &p2).unwrap()));
+}
+
+/// E5 — Examples 4.6/4.10: exact shells may not exist, pointed shells do.
+#[test]
+fn e5_toy_domain_shells() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let toy = EnumDomain::from_family(
+        &u,
+        "Toy",
+        [
+            u.filter(|s| (0..=4).contains(&s[0])),
+            u.filter(|s| (1..=3).contains(&s[0])),
+        ],
+    );
+    let lc = LocalCompleteness::new(&u);
+    let f = parse_program("x := x + 1").unwrap();
+    let p = u.of_values([0, 2]);
+
+    // Incomplete: A f(P) = [1,3] vs A f A(P) = Z.
+    assert!(!lc.check(&toy, &f, &p).unwrap());
+    let sem = Concrete::new(&u);
+    assert_eq!(toy.close(&sem.exec(&f, &toy.close(&p)).unwrap()), u.full());
+
+    // Example 4.6: both A_[0,2] and A_{0,2} are locally complete pointed
+    // refinements …
+    let interval_point = u.filter(|s| (0..=2).contains(&s[0]));
+    let set_point = p.clone();
+    assert!(lc
+        .check(&toy.with_point(interval_point.clone()), &f, &p)
+        .unwrap());
+    assert!(lc
+        .check(&toy.with_point(set_point.clone()), &f, &p)
+        .unwrap());
+
+    // … and Theorem 4.9 picks the more abstract one: u = [0,2].
+    let ShellResult::Shell { point } = lc.pointed_shell(&toy, &f, &p).unwrap() else {
+        panic!("shell must exist");
+    };
+    assert_eq!(point, interval_point);
+    assert!(set_point.is_subset(&point) && set_point != point);
+}
+
+/// E5 — a case where the pointed shell does NOT exist (Theorem 4.9's
+/// condition fails), exercising the fallback path.
+#[test]
+fn e5_shell_nonexistence_detected() {
+    // f = x := x + 1 on the parity-of-interval style domain: craft
+    // A = {Z, [0,3]} and P = {0,2}: u = ∨L = [0,2] with f(P) = {1,3}.
+    // f(P) ⊆ u fails… choose instead P = {0,1}: f(P) = {1,2} ⊆ A f(P) =
+    // [1,2]; u = [0,1]∩wlp = [0,1]; f(P) ⊆ u? {1,2} ⊄ [0,1] → shell
+    // exists. Getting non-existence needs f(c) ≤ u and f(u) ≰ u:
+    // Example: A = {Z}, f = x := x * 0 − wait, stay close to 4.9: use
+    // f = x := x (skip-like) never fails. Use a two-step function through
+    // choice: f(X) = X+1 ∪ {0}:
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let f = parse_program("either { x := x + 1 } or { x := 0 }").unwrap();
+    // Domain: {Z, [0,6]}; P = {0,2}: A(P) = [0,6];
+    // f(P) = {1,3,0}; A f(P) = [0,6]... expressible → complete. Use
+    // narrower: A = {Z, [0,2]}:
+    let toy = EnumDomain::from_family(&u, "Toy2", [u.filter(|s| (0..=2).contains(&s[0]))]);
+    let lc = LocalCompleteness::new(&u);
+    let p = u.of_values([0, 1]);
+    // A(P) = [0,2]; f(P) = {0,1,2} ⊆ [0,2]: A f(P) = [0,2].
+    // L = {x ⊆ [0,2] | f(x) ⊆ [0,2]} : f({2}) = {3,0} ⊄ [0,2] so 2 ∉ u;
+    // u = {0,1}. f(P) = {0,1,2} ⊄ u → premise fails → shell exists = {0,1}.
+    // Tweak to force non-existence: P = {0}: f(P) = {0,1} ⊆ u = {0,1}?
+    // f(u) = f({0,1}) = {0,1,2} ⊄ u → shell does NOT exist.
+    let p0 = u.of_values([0]);
+    match lc.pointed_shell(&toy, &f, &p0).unwrap() {
+        ShellResult::NoShell { candidate } => {
+            assert_eq!(candidate, u.of_values([0, 1]));
+        }
+        ShellResult::Shell { point } => panic!("unexpected shell {point:?}"),
+    }
+    let _ = lc.pointed_shell(&toy, &f, &p).unwrap();
+}
+
+/// E6 — Example 4.12: the Boolean-guard shell and its meet closure.
+#[test]
+fn e6_guard_shell_meet_closure() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let dom = int_dom(&u);
+    let lc = LocalCompleteness::new(&u);
+    let b = parse_bexp("x > 0").unwrap();
+    let p = u.of_values([-3, -1, 2]);
+    let shell = lc.guard_shell(&dom, &b, &p).unwrap();
+    assert_eq!(shell, u.of_values([-3, -2, -1, 2]));
+    // The closure of the refined domain realizes the paper's meet-closure
+    // members [-2,-1] ∪ {2} and {-1, 2}.
+    let refined = dom.with_point(shell);
+    assert_eq!(
+        refined.close(&u.of_values([-2, -1, 2])),
+        u.of_values([-2, -1, 2])
+    );
+    assert_eq!(refined.close(&u.of_values([-1, 2])), u.of_values([-1, 2]));
+    // But not arbitrary subsets: {-3, 2} closes to [-3,-1] ∪ {2}.
+    assert_eq!(
+        refined.close(&u.of_values([-3, 2])),
+        u.of_values([-3, -2, -1, 2])
+    );
+}
+
+/// Octagons vs intervals on the same repair task: Oct starts strictly more
+/// precise, so backward repair needs no more points (Section 2's "if we
+/// started the repair in Oct, we would have obtained a more concrete
+/// result" corresponds to the repaired Int points being Oct-expressible).
+#[test]
+fn octagon_comparison_on_countdown() {
+    let u = Universe::new(&[("x", -2, 6), ("y", -8, 6)]).unwrap();
+    let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+    let pre = u.filter(|s| s[0] > 0 && s[0] <= 4 && s[1] >= -2);
+    let spec = u.filter(|s| s[1] == 0);
+    let br = BackwardRepair::new(&u);
+    let int_out = br.repair(&int_dom(&u), &pre, &prog, &spec).unwrap();
+    let oct = EnumDomain::from_abstraction(&u, OctagonDomain::new(&u));
+    let oct_out = br.repair(&oct, &pre, &prog, &spec).unwrap();
+    assert_eq!(int_out.valid_input, oct_out.valid_input);
+    assert!(oct_out.points.len() <= int_out.points.len());
+    // Every Int-repair point is expressible in *some* octagon sense:
+    // specifically the diagonal y = x restricted to a box is an octagon.
+    let diag = u.filter(|s| (1..=4).contains(&s[0]) && s[1] == s[0]);
+    assert!(oct.is_expressible(&diag));
+}
+
+/// Karr's affine domain starts with the countdown invariant `y = x`
+/// built in: backward repair needs strictly fewer points than on Int.
+#[test]
+fn karr_base_domain_on_countdown() {
+    use air::domains::AffineDomain;
+    let u = Universe::new(&[("x", -2, 6), ("y", -8, 6)]).unwrap();
+    let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+    let pre = u.filter(|s| s[0] > 0 && s[0] <= 4 && s[1] >= -2);
+    let spec = u.filter(|s| s[1] == 0);
+    let br = BackwardRepair::new(&u);
+    let int_out = br.repair(&int_dom(&u), &pre, &prog, &spec).unwrap();
+    let karr = EnumDomain::from_abstraction(&u, AffineDomain::new(&u));
+    let karr_out = br.repair(&karr, &pre, &prog, &spec).unwrap();
+    // Karr's A(pre) is the whole plane (pre is full-dimensional), so its
+    // greatest valid input covers Int's and they agree on pre itself.
+    assert!(int_out.valid_input.is_subset(&karr_out.valid_input));
+    assert_eq!(
+        int_out.valid_input.intersection(&pre),
+        karr_out.valid_input.intersection(&pre)
+    );
+    assert!(
+        karr_out.points.len() < int_out.points.len(),
+        "Karr ({}) should beat Int ({})",
+        karr_out.points.len(),
+        int_out.points.len()
+    );
+    // The diagonal invariant is natively expressible in Karr.
+    let diag = u.filter(|s| s[0] == s[1]);
+    assert!(karr.is_expressible(&diag));
+}
+
+/// The verifier's report renders the repaired points readably.
+#[test]
+fn verdict_reports_are_presentable() {
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+    let odd = u.filter(|s| s[0] % 2 != 0);
+    let spec = u.filter(|s| s[0] != 0);
+    let v = Verifier::new(&u)
+        .backward(int_dom(&u), &prog, &odd, &spec)
+        .unwrap();
+    let report = v.report(&u);
+    assert!(report.contains("PROVED"));
+    assert!(report.contains("point 1:"), "{report}");
+    // And the summarizer prints the hole-at-zero shape.
+    assert_eq!(
+        display_set(&u, &u.filter(|s| s[0] != 0)),
+        "x ∈ [-8, -1] ∨ x ∈ [1, 8]"
+    );
+}

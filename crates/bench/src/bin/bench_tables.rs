@@ -442,6 +442,201 @@ fn t8_random_corpus() {
     assert_eq!(repaired, n as usize);
 }
 
+/// One corpus program's cached-vs-uncached measurement.
+struct RepairBenchRow {
+    name: String,
+    proved: bool,
+    points: usize,
+    uncached_ms: f64,
+    cached_ms: f64,
+    exec_hits: u64,
+    exec_misses: u64,
+    closure_hits: u64,
+    closure_misses: u64,
+}
+
+impl RepairBenchRow {
+    fn speedup(&self) -> f64 {
+        if self.cached_ms > 0.0 {
+            self.uncached_ms / self.cached_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+fn json_rate(hits: u64, misses: u64) -> f64 {
+    let lookups = hits + misses;
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
+}
+
+/// T9 — the memoization benchmark behind `BENCH_repair.json`: for each
+/// corpus program, backward repair with the semantic caches disabled (the
+/// seed's sequential path) vs enabled, best-of-`RUNS` wall times, plus a
+/// whole-corpus sweep sequential-uncached vs parallel-cached. Caches are
+/// built fresh for every run, so hit counts measure within-run reuse only.
+fn t9_repair_benchmark() {
+    const RUNS: usize = 7;
+    const SWEEP_RUNS: usize = 3;
+    println!("\nT9 — memoized repair vs the uncached baseline (corpus/)");
+    let corpus = air_bench::verification_corpus();
+    let mut rows: Vec<RepairBenchRow> = Vec::new();
+    for task in &corpus {
+        let mut uncached_ms = f64::INFINITY;
+        for _ in 0..RUNS {
+            let dom = int_domain(&task.universe);
+            let (v, ms) = timed(|| {
+                Verifier::uncached(&task.universe)
+                    .backward(dom, &task.prog, &task.pre, &task.spec)
+                    .expect("corpus program verifies")
+            });
+            assert!(v.is_proved(), "{}", task.name);
+            uncached_ms = uncached_ms.min(ms);
+        }
+        let mut cached_ms = f64::INFINITY;
+        let mut row = None;
+        for _ in 0..RUNS {
+            let dom = int_domain(&task.universe);
+            let verifier = Verifier::new(&task.universe);
+            let (v, ms) = timed(|| {
+                verifier
+                    .backward(dom, &task.prog, &task.pre, &task.spec)
+                    .expect("corpus program verifies")
+            });
+            cached_ms = cached_ms.min(ms);
+            let exec = verifier.cache().expect("cached verifier").exec_stats();
+            let closure = v.domain().cache_stats();
+            row = Some(RepairBenchRow {
+                name: task.name.clone(),
+                proved: v.is_proved(),
+                points: v.added_points().len(),
+                uncached_ms,
+                cached_ms: 0.0,
+                exec_hits: exec.hits,
+                exec_misses: exec.misses,
+                closure_hits: closure.hits,
+                closure_misses: closure.misses,
+            });
+        }
+        let mut row = row.expect("at least one run");
+        row.cached_ms = cached_ms;
+        rows.push(row);
+    }
+
+    let sweep_jobs = air_lattice::available_jobs();
+    let mut sweep_uncached_ms = f64::INFINITY;
+    for _ in 0..SWEEP_RUNS {
+        let (_, ms) = timed(|| {
+            for task in &corpus {
+                let dom = int_domain(&task.universe);
+                let v = Verifier::uncached(&task.universe)
+                    .backward(dom, &task.prog, &task.pre, &task.spec)
+                    .expect("corpus program verifies");
+                assert!(v.is_proved());
+            }
+        });
+        sweep_uncached_ms = sweep_uncached_ms.min(ms);
+    }
+    let mut sweep_cached_ms = f64::INFINITY;
+    for _ in 0..SWEEP_RUNS {
+        let (results, ms) = timed(|| {
+            air_lattice::par_map(sweep_jobs, &corpus, |task| {
+                let dom = int_domain(&task.universe);
+                Verifier::new(&task.universe)
+                    .backward(dom, &task.prog, &task.pre, &task.spec)
+                    .expect("corpus program verifies")
+                    .is_proved()
+            })
+        });
+        assert!(results.iter().all(|&p| p));
+        sweep_cached_ms = sweep_cached_ms.min(ms);
+    }
+    let sweep_speedup = sweep_uncached_ms / sweep_cached_ms.max(1e-9);
+
+    let widths = [14, 14, 12, 10, 16, 16];
+    println!(
+        "{}",
+        table_row(
+            &[
+                "program".into(),
+                "uncached ms".into(),
+                "cached ms".into(),
+                "speedup".into(),
+                "exec hit rate".into(),
+                "closure hit rate".into(),
+            ],
+            &widths
+        )
+    );
+    for row in &rows {
+        println!(
+            "{}",
+            table_row(
+                &[
+                    row.name.clone(),
+                    format!("{:.3}", row.uncached_ms),
+                    format!("{:.3}", row.cached_ms),
+                    format!("{:.2}x", row.speedup()),
+                    format!("{:.1}%", 100.0 * json_rate(row.exec_hits, row.exec_misses)),
+                    format!(
+                        "{:.1}%",
+                        100.0 * json_rate(row.closure_hits, row.closure_misses)
+                    ),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "corpus sweep ({} jobs): sequential uncached {:.3} ms, parallel cached {:.3} ms ({:.2}x)",
+        sweep_jobs, sweep_uncached_ms, sweep_cached_ms, sweep_speedup
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"repair\",\n");
+    json.push_str(&format!("  \"cores\": {},\n", sweep_jobs));
+    json.push_str(&format!("  \"runs_per_measurement\": {RUNS},\n"));
+    json.push_str("  \"programs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"proved\": {}, \"points\": {}, \
+             \"uncached_ms\": {:.3}, \"cached_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"exec_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}, \
+             \"closure_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}}}{}\n",
+            row.name,
+            row.proved,
+            row.points,
+            row.uncached_ms,
+            row.cached_ms,
+            row.speedup(),
+            row.exec_hits,
+            row.exec_misses,
+            json_rate(row.exec_hits, row.exec_misses),
+            row.closure_hits,
+            row.closure_misses,
+            json_rate(row.closure_hits, row.closure_misses),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"corpus_sweep\": {{\"programs\": {}, \"jobs\": {}, \
+         \"sequential_uncached_ms\": {:.3}, \"parallel_cached_ms\": {:.3}, \"speedup\": {:.3}}}\n",
+        rows.len(),
+        sweep_jobs,
+        sweep_uncached_ms,
+        sweep_cached_ms,
+        sweep_speedup
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_repair.json", &json).expect("BENCH_repair.json writes");
+    println!("wrote BENCH_repair.json");
+}
+
 fn main() {
     println!("AIR reproduction — measured tables (see EXPERIMENTS.md)");
     t1_repair_strategies();
@@ -452,5 +647,6 @@ fn main() {
     t6_alarm_removal();
     t7_ablations();
     t8_random_corpus();
+    t9_repair_benchmark();
     println!("\nall tables generated.");
 }

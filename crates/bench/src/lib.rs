@@ -1,8 +1,12 @@
 //! Shared workloads and table helpers for the AIR benchmark harness.
 //!
-//! Every measured experiment of EXPERIMENTS.md (tables T1–T8) builds its
+//! Every measured experiment of EXPERIMENTS.md (tables T1–T9) builds its
 //! inputs from this crate so that the criterion benches and the
 //! deterministic `bench_tables` binary agree exactly on the workloads.
+//! T9 ([`verification_corpus`]) measures the memoized engines against the
+//! uncached reference path and emits `BENCH_repair.json`. Paper↔code
+//! correspondences are catalogued in `PAPER_MAP.md` at the repository
+//! root.
 
 use air_cegar::partition::Partition;
 use air_cegar::ts::TransitionSystem;
@@ -125,6 +129,92 @@ pub fn alarm_corpus() -> Vec<(&'static str, Reg, Universe, StateSet, StateSet)> 
     corpus
 }
 
+/// One corpus verification task, loaded from `corpus/*.imp`.
+pub struct CorpusTask {
+    /// Program name (file stem).
+    pub name: String,
+    /// Parsed program.
+    pub prog: Reg,
+    /// The bounded universe from the header's `vars` clause.
+    pub universe: Universe,
+    /// Input property (header `pre`).
+    pub pre: StateSet,
+    /// Specification (header `spec`).
+    pub spec: StateSet,
+}
+
+fn header_clause(header: &str, key: &str) -> Option<String> {
+    let pat = format!("{key} \"");
+    let start = header.find(&pat)? + pat.len();
+    let rest = &header[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Loads every program of the repository `corpus/` directory with its
+/// `# Verified with:` header — the same tasks the CLI `air corpus`
+/// subcommand sweeps, so benchmark and CLI numbers describe identical
+/// workloads.
+pub fn verification_corpus() -> Vec<CorpusTask> {
+    let dir = format!("{}/../../corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "imp"))
+        .collect();
+    files.sort();
+    files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).expect("corpus file reads");
+            let header = text
+                .lines()
+                .find(|l| l.contains("Verified with:"))
+                .expect("corpus header present");
+            let decls: Vec<(String, i64, i64)> = header_clause(header, "vars")
+                .expect("vars clause")
+                .split(',')
+                .map(|part| {
+                    let (name, range) = part.trim().split_once(':').expect("name:lo..hi");
+                    let (lo, hi) = range.split_once("..").expect("lo..hi");
+                    (
+                        name.to_string(),
+                        lo.parse().expect("lower bound"),
+                        hi.parse().expect("upper bound"),
+                    )
+                })
+                .collect();
+            let borrowed: Vec<(&str, i64, i64)> = decls
+                .iter()
+                .map(|(n, lo, hi)| (n.as_str(), *lo, *hi))
+                .collect();
+            let universe = Universe::new(&borrowed).expect("corpus universe");
+            let sem = air_lang::Concrete::new(&universe);
+            let pre = sem
+                .sat(
+                    &air_lang::parse_bexp(&header_clause(header, "pre").expect("pre clause"))
+                        .expect("pre parses"),
+                )
+                .expect("pre evaluates");
+            let spec = sem
+                .sat(
+                    &air_lang::parse_bexp(&header_clause(header, "spec").expect("spec clause"))
+                        .expect("spec parses"),
+                )
+                .expect("spec evaluates");
+            CorpusTask {
+                name: path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+                prog: parse_program(&text).expect("corpus program parses"),
+                universe,
+                pre,
+                spec,
+            }
+        })
+        .collect()
+}
+
 /// A reproducible random state set (density ~1/3) for closure probing.
 pub fn random_state_set(u: &Universe, seed: u64) -> StateSet {
     let mut rng = air_lang::gen::XorShift::new(seed + 1);
@@ -173,6 +263,21 @@ mod tests {
             assert!(
                 out.is_subset(&spec),
                 "{name}: corpus specs must hold concretely"
+            );
+        }
+    }
+
+    #[test]
+    fn verification_corpus_loads_and_holds() {
+        let corpus = verification_corpus();
+        assert_eq!(corpus.len(), 6);
+        for task in &corpus {
+            let sem = Concrete::new(&task.universe);
+            let out = sem.exec(&task.prog, &task.pre).unwrap();
+            assert!(
+                out.is_subset(&task.spec),
+                "{}: corpus specs must hold concretely",
+                task.name
             );
         }
     }

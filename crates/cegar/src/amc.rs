@@ -4,7 +4,7 @@
 //! `B ⇝♯ B'  iff  ∃x ∈ B. ∃y ∈ B'. x ⇝ y`, and shortest abstract
 //! counterexample search from initial to bad blocks.
 
-use air_lattice::BitVecSet;
+use air_lattice::{par_map, BitVecSet};
 
 use crate::partition::Partition;
 use crate::ts::TransitionSystem;
@@ -19,14 +19,21 @@ pub struct AbstractTs {
 impl AbstractTs {
     /// Builds the existential abstraction of `ts` under `partition`.
     pub fn build(ts: &TransitionSystem, partition: &Partition) -> AbstractTs {
-        let nb = partition.num_blocks();
-        let mut succs = vec![Vec::new(); nb];
-        for (b, block) in partition.blocks().enumerate() {
-            let post = ts.post(block);
-            for b2 in partition.blocks_of_set(&post) {
-                succs[b].push(b2);
-            }
-        }
+        Self::build_with_jobs(ts, partition, 1)
+    }
+
+    /// Builds the abstraction fanning out over partition blocks on up to
+    /// `jobs` worker threads. Each block's successor list is independent of
+    /// the others and results are collected in block order, so the output
+    /// is identical to the sequential [`AbstractTs::build`].
+    pub fn build_with_jobs(
+        ts: &TransitionSystem,
+        partition: &Partition,
+        jobs: usize,
+    ) -> AbstractTs {
+        let succs = par_map(jobs, partition.blocks_slice(), |block| {
+            partition.blocks_of_set(&ts.post(block))
+        });
         AbstractTs { succs }
     }
 

@@ -125,6 +125,7 @@ pub struct Cegar<'t> {
     bad: BitVecSet,
     heuristic: Heuristic,
     initial_partition: Option<Partition>,
+    jobs: usize,
 }
 
 impl<'t> Cegar<'t> {
@@ -141,6 +142,7 @@ impl<'t> Cegar<'t> {
             bad: bad.clone(),
             heuristic,
             initial_partition: None,
+            jobs: 1,
         }
     }
 
@@ -150,6 +152,29 @@ impl<'t> Cegar<'t> {
     pub fn initial_partition(mut self, partition: Partition) -> Self {
         self.initial_partition = Some(partition);
         self
+    }
+
+    /// Fans the abstraction build (per-block successor computation) and
+    /// backward-AIR split-set computation out over up to `jobs` worker
+    /// threads. The result is bitwise identical to the sequential run for
+    /// any `jobs ≥ 1`.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Runs all three heuristics on the same problem, each on its own
+    /// worker thread, for comparative experiments.
+    pub fn compare(
+        ts: &TransitionSystem,
+        init: &BitVecSet,
+        bad: &BitVecSet,
+        jobs: usize,
+    ) -> Vec<(Heuristic, CegarResult)> {
+        let results = air_lattice::par_map(jobs, &Heuristic::ALL, |&h| {
+            Cegar::new(ts, init, bad, h).run()
+        });
+        Heuristic::ALL.into_iter().zip(results).collect()
     }
 
     /// Runs the loop to completion.
@@ -163,7 +188,7 @@ impl<'t> Cegar<'t> {
         let mut stats = CegarStats::default();
         loop {
             stats.iterations += 1;
-            let abs = AbstractTs::build(self.ts, &partition);
+            let abs = AbstractTs::build_with_jobs(self.ts, &partition, self.jobs);
             let init_blocks = partition.blocks_of_set(&self.init);
             let bad_blocks = partition.blocks_of_set(&self.bad);
             let Some(path) = abs.find_counterexample(&init_blocks, &bad_blocks) else {
@@ -188,9 +213,13 @@ impl<'t> Cegar<'t> {
                 Heuristic::ForwardAir => {
                     refine::forward_air(self.ts, &mut partition, &analysis, &path)
                 }
-                Heuristic::BackwardAir => {
-                    refine::backward_air(self.ts, &mut partition, &analysis, &path)
-                }
+                Heuristic::BackwardAir => refine::backward_air_with_jobs(
+                    self.ts,
+                    &mut partition,
+                    &analysis,
+                    &path,
+                    self.jobs,
+                ),
             };
         }
     }
@@ -264,6 +293,34 @@ mod tests {
                 panic!("{} should find the real counterexample", h.label());
             };
             assert_eq!(path, vec![0, 1, 2, 4]);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let (ts, init, bad) = ladder(6);
+        let pair = Partition::from_key(13, |s| s / 2);
+        for h in Heuristic::ALL {
+            let seq = Cegar::new(&ts, &init, &bad, h)
+                .initial_partition(pair.clone())
+                .run();
+            let par = Cegar::new(&ts, &init, &bad, h)
+                .initial_partition(pair.clone())
+                .jobs(4)
+                .run();
+            assert_eq!(seq.is_safe(), par.is_safe());
+            assert_eq!(seq.stats(), par.stats());
+            assert_eq!(seq.partition(), par.partition(), "{}", h.label());
+        }
+    }
+
+    #[test]
+    fn compare_runs_all_heuristics() {
+        let (ts, init, bad) = ladder(4);
+        let results = Cegar::compare(&ts, &init, &bad, 3);
+        assert_eq!(results.len(), 3);
+        for (h, res) in &results {
+            assert!(res.is_safe(), "{} failed", h.label());
         }
     }
 

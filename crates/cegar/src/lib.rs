@@ -19,6 +19,12 @@
 //!   into a transition system, so the same programs drive both AIR and
 //!   CEGAR.
 //!
+//! The Section 6 artifacts (Lemma 6.1, Theorems 6.2/6.4, the three
+//! refinement heuristics) are mapped to their functions in `PAPER_MAP.md`
+//! at the repository root. The abstraction build and backward-AIR splits
+//! optionally fan out over worker threads ([`Cegar::jobs`]) with bitwise
+//! identical results.
+//!
 //! # Example
 //!
 //! ```

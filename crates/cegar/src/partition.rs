@@ -98,6 +98,28 @@ impl Partition {
         self.blocks.iter()
     }
 
+    /// The blocks as a slice (for parallel fan-out over blocks).
+    pub fn blocks_slice(&self) -> &[BitVecSet] {
+        &self.blocks
+    }
+
+    /// Applies a sequence of splits in order, returning how many actually
+    /// split a block. Centralizing the mutation keeps parallel refinement
+    /// deterministic: split *sets* may be computed concurrently, but they
+    /// are always applied in this fixed order.
+    pub fn split_many<'a>(
+        &mut self,
+        splits: impl IntoIterator<Item = (usize, &'a BitVecSet)>,
+    ) -> usize {
+        let mut count = 0;
+        for (b, part) in splits {
+            if self.split(b, part) {
+                count += 1;
+            }
+        }
+        count
+    }
+
     /// The block indices covering a set of states.
     pub fn blocks_of_set(&self, set: &BitVecSet) -> Vec<usize> {
         let mut out: Vec<usize> = set.iter().map(|s| self.block_of(s)).collect();

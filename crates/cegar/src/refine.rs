@@ -58,19 +58,29 @@ pub fn forward_air(
 /// blocks, and every `V_k` block has no abstract edge into the
 /// `T_{k+1}`-side of `B_{k+1}`.
 pub fn backward_air(
-    _ts: &TransitionSystem,
+    ts: &TransitionSystem,
     partition: &mut Partition,
     analysis: &SpuriousAnalysis,
     path: &[usize],
 ) -> usize {
-    let mut splits = 0;
-    for k in (0..path.len()).rev() {
-        let v = analysis.v(k);
-        if partition.split(path[k], &v) {
-            splits += 1;
-        }
-    }
-    splits
+    backward_air_with_jobs(ts, partition, analysis, path, 1)
+}
+
+/// [`backward_air`] with the `V_k` split sets computed on up to `jobs`
+/// worker threads. The sets are independent of one another (each depends
+/// only on the spurious analysis), so they fan out freely; the splits are
+/// then applied in the same descending-`k` order as the sequential
+/// version, making the refined partition bitwise identical.
+pub fn backward_air_with_jobs(
+    _ts: &TransitionSystem,
+    partition: &mut Partition,
+    analysis: &SpuriousAnalysis,
+    path: &[usize],
+    jobs: usize,
+) -> usize {
+    let ks: Vec<usize> = (0..path.len()).rev().collect();
+    let vs = air_lattice::par_map(jobs, &ks, |&k| analysis.v(k));
+    partition.split_many(ks.iter().zip(&vs).map(|(&k, v)| (path[k], v)))
 }
 
 #[cfg(test)]

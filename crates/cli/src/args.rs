@@ -7,12 +7,20 @@ pub const USAGE: &str = "\
 usage:
   air verify  --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP
               [--domain int|oct|sign|parity|const|cong|karr] [--strategy backward|forward]
+              [--stats] [--uncached]
   air analyze --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP [--domain ...]
+              [--stats] [--uncached]
   air prove   --vars SPEC --code PROG|--file PATH --pre BEXP [--spec BEXP] [--domain ...]
+              [--stats] [--uncached]
+  air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--stats] [--uncached]
 
   --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
   PROG is the Imp-like surface syntax, e.g. \"while (x > 0) do { x := x - 1 }\"
-  BEXP is a boolean expression over the variables, e.g. \"x != 0 && y <= 5\"";
+  BEXP is a boolean expression over the variables, e.g. \"x != 0 && y <= 5\"
+  corpus sweeps every *.imp under --dir (default `corpus/`), reading each
+  file's `# Verified with:` header, fanning programs out over --jobs threads
+  --stats prints cache hit/miss counters and timings; --uncached disables
+  the memo tables (the reference path)";
 
 /// The base abstract domain to start from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -35,7 +43,7 @@ pub enum DomainKind {
 }
 
 impl DomainKind {
-    fn parse(s: &str) -> Result<Self, ArgError> {
+    pub(crate) fn parse(s: &str) -> Result<Self, ArgError> {
         Ok(match s {
             "int" => DomainKind::Int,
             "oct" => DomainKind::Oct,
@@ -79,6 +87,8 @@ pub enum Command {
     Analyze(Task),
     /// `air prove` — print the LCL_A derivation (with repair).
     Prove(Task),
+    /// `air corpus` — verify every program in a corpus directory.
+    Corpus(CorpusTask),
 }
 
 /// The common task payload.
@@ -96,6 +106,27 @@ pub struct Task {
     pub domain: DomainKind,
     /// Repair strategy.
     pub strategy: StrategyKind,
+    /// Print cache hit/miss counters and timings after the run.
+    pub stats: bool,
+    /// Disable memoization (the reference path).
+    pub uncached: bool,
+}
+
+/// The corpus-sweep payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusTask {
+    /// Directory holding `*.imp` programs with `# Verified with:` headers.
+    pub dir: String,
+    /// Worker threads for the program fan-out (`0` = one per program).
+    pub jobs: usize,
+    /// Base domain (overridden per-file by a `domain` header clause).
+    pub domain: DomainKind,
+    /// Repair strategy.
+    pub strategy: StrategyKind,
+    /// Print per-program timings and cache counters.
+    pub stats: bool,
+    /// Disable memoization (the reference path).
+    pub uncached: bool,
 }
 
 /// A parse failure.
@@ -160,6 +191,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut spec = None;
     let mut domain = DomainKind::default();
     let mut strategy = StrategyKind::default();
+    let mut stats = false;
+    let mut uncached = false;
+    let mut dir = String::from("corpus");
+    let mut jobs = 0usize;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -180,8 +215,27 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
                     other => return Err(ArgError(format!("unknown strategy `{other}`"))),
                 }
             }
+            "--stats" => stats = true,
+            "--uncached" => uncached = true,
+            "--dir" => dir = value()?,
+            "--jobs" => {
+                let v = value()?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --jobs value `{v}`")))?;
+            }
             other => return Err(ArgError(format!("unknown flag `{other}`"))),
         }
+    }
+    if sub == "corpus" {
+        return Ok(Command::Corpus(CorpusTask {
+            dir,
+            jobs,
+            domain,
+            strategy,
+            stats,
+            uncached,
+        }));
     }
     let code = match (code, file) {
         (Some(c), None) => c,
@@ -197,6 +251,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
         spec: spec.clone(),
         domain,
         strategy,
+        stats,
+        uncached,
     };
     match sub.as_str() {
         "verify" | "analyze" => {
@@ -302,6 +358,51 @@ mod tests {
             .is_err(),
             "--code and --file are exclusive"
         );
+    }
+
+    #[test]
+    fn parses_corpus_subcommand() {
+        let cmd = parse(&argv(&[
+            "corpus",
+            "--dir",
+            "progs",
+            "--jobs",
+            "4",
+            "--domain",
+            "karr",
+            "--stats",
+            "--uncached",
+        ]))
+        .unwrap();
+        let Command::Corpus(task) = cmd else {
+            panic!("expected corpus");
+        };
+        assert_eq!(task.dir, "progs");
+        assert_eq!(task.jobs, 4);
+        assert_eq!(task.domain, DomainKind::Karr);
+        assert!(task.stats && task.uncached);
+        // Defaults.
+        let Command::Corpus(task) = parse(&argv(&["corpus"])).unwrap() else {
+            panic!("expected corpus");
+        };
+        assert_eq!(task.dir, "corpus");
+        assert_eq!(task.jobs, 0);
+        assert!(!task.stats && !task.uncached);
+        assert!(parse(&argv(&["corpus", "--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn stats_flag_on_verify() {
+        let cmd = parse(&argv(&[
+            "verify", "--vars", "x:0..3", "--code", "skip", "--pre", "true", "--spec", "true",
+            "--stats",
+        ]))
+        .unwrap();
+        let Command::Verify(task) = cmd else {
+            panic!("expected verify");
+        };
+        assert!(task.stats);
+        assert!(!task.uncached);
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //!             --pre "x != 0" --spec "x >= 1" [--domain int] [--strategy backward]
 //! air analyze --vars ... --code ... --pre ... --spec ...      # alarms, no repair
 //! air prove   --vars ... --code ... --pre ...                 # LCL_A derivation
+//! air corpus  [--dir corpus] [--jobs N] [--stats] [--uncached] # parallel sweep
 //! ```
 //!
-//! Exit codes: 0 = proved / no alarms, 1 = refuted / alarms, 2 = usage or
-//! runtime error.
+//! `--stats` prints cache hit/miss counters and wall times; `--uncached`
+//! disables the memo tables (the reference path — results are bitwise
+//! identical either way). Exit codes: 0 = proved / no alarms, 1 = refuted
+//! / alarms, 2 = usage or runtime error. The paper↔code map behind the
+//! engine is `PAPER_MAP.md` at the repository root.
 
 use std::process::ExitCode;
 

@@ -1,15 +1,17 @@
 //! Executing parsed CLI commands against the AIR engine.
 
 use std::error::Error;
+use std::time::Instant;
 
 use air_core::summarize::display_set;
 use air_core::{EnumDomain, Lcl, Verdict, Verifier};
 use air_domains::{
     AffineDomain, CongruenceEnv, ConstantEnv, IntervalEnv, OctagonDomain, ParityEnv, SignEnv,
 };
-use air_lang::{parse_bexp, parse_program, Concrete, StateSet, Universe};
+use air_lang::{parse_bexp, parse_program, Concrete, SemCache, StateSet, Universe};
+use air_lattice::par_map;
 
-use crate::args::{Command, DomainKind, StrategyKind, Task};
+use crate::args::{Command, CorpusTask, DomainKind, StrategyKind, Task};
 
 /// The sign of a completed run (drives the exit code).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,7 +67,31 @@ pub fn run(command: Command) -> Result<Outcome, Box<dyn Error>> {
         Command::Verify(task) => verify(task),
         Command::Analyze(task) => analyze(task),
         Command::Prove(task) => prove(task),
+        Command::Corpus(task) => corpus(task),
     }
+}
+
+fn build_verifier<'u>(u: &'u Universe, uncached: bool) -> Verifier<'u> {
+    if uncached {
+        Verifier::uncached(u)
+    } else {
+        Verifier::new(u)
+    }
+}
+
+fn print_stats(label: &str, cache: Option<&SemCache>, dom: &EnumDomain, elapsed: f64) {
+    println!("\n--- stats: {label} ---");
+    println!("wall time:      {:.3} ms", elapsed * 1e3);
+    match cache {
+        Some(c) => {
+            println!("exec cache:     {}", c.exec_stats());
+            println!("wlp cache:      {}", c.wlp_stats());
+            println!("sat cache:      {}", c.sat_stats());
+        }
+        None => println!("semantic cache: disabled (--uncached)"),
+    }
+    println!("closure cache:  {}", dom.cache_stats());
+    println!("interner:       {}", dom.interner_stats());
 }
 
 fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
@@ -77,17 +103,22 @@ fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
     println!("input:     {}", display_set(&u, &pre));
     println!("universe:  {} stores", u.size());
     println!("domain:    {}\n", dom.base_name());
-    let verifier = Verifier::new(&u);
+    let verifier = build_verifier(&u, task.uncached);
+    let started = Instant::now();
     let verdict = match task.strategy {
         StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec)?,
         StrategyKind::Forward => verifier.forward(dom, &prog, &pre, &spec)?,
     };
+    let elapsed = started.elapsed().as_secs_f64();
     print!("{}", verdict.report(&u));
     if !verdict.is_proved() {
         println!(
             "valid inputs: {}",
             display_set(&u, &verdict.valid_input().intersection(&pre))
         );
+    }
+    if task.stats {
+        print_stats("verify", verifier.cache(), verdict.domain(), elapsed);
     }
     Ok(match verdict {
         Verdict::Proved { .. } => Outcome::Positive,
@@ -100,13 +131,18 @@ fn analyze(task: Task) -> Result<Outcome, Box<dyn Error>> {
     let dom = build_domain(&task, &u);
     let (prog, pre, spec) = build_sets(&task, &u)?;
     let spec = spec.expect("analyze requires a spec");
-    let verifier = Verifier::new(&u);
+    let verifier = build_verifier(&u, task.uncached);
+    let started = Instant::now();
     let counts = verifier.alarm_counts(&dom, &prog, &pre, &spec)?;
+    let elapsed = started.elapsed().as_secs_f64();
     println!("program:      {prog}");
     println!("domain:       {}", dom.base_name());
     println!("alarms:       {}", counts.total);
     println!("true alarms:  {}", counts.true_alarms);
     println!("false alarms: {}", counts.false_alarms);
+    if task.stats {
+        print_stats("analyze", verifier.cache(), &dom, elapsed);
+    }
     Ok(if counts.total == 0 {
         Outcome::Positive
     } else {
@@ -118,7 +154,12 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
     let u = build_universe(&task)?;
     let dom = build_domain(&task, &u);
     let (prog, pre, spec) = build_sets(&task, &u)?;
-    let lcl = Lcl::new(&u);
+    let lcl = if task.uncached {
+        Lcl::uncached(&u)
+    } else {
+        Lcl::new(&u)
+    };
+    let started = Instant::now();
     // With a spec, decide it through the logic; otherwise just derive.
     if let Some(spec) = spec {
         let verdict = lcl.prove_spec(dom, &pre, &prog, &spec)?;
@@ -149,6 +190,14 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
             repaired.base_name(),
             repaired.num_points()
         );
+        if task.stats {
+            print_stats(
+                "prove",
+                lcl.cache(),
+                repaired,
+                started.elapsed().as_secs_f64(),
+            );
+        }
         return Ok(outcome);
     }
     let (derivation, repaired) = lcl.derive_with_repair(dom, &pre, &prog)?;
@@ -163,7 +212,174 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
         repaired.num_points()
     );
     println!("post: {}", display_set(&u, &derivation.triple().post));
+    if task.stats {
+        print_stats(
+            "prove",
+            lcl.cache(),
+            &repaired,
+            started.elapsed().as_secs_f64(),
+        );
+    }
     Ok(Outcome::Positive)
+}
+
+/// One corpus program's result row.
+struct ProgramReport {
+    name: String,
+    proved: bool,
+    points: usize,
+    millis: f64,
+    exec_cache: String,
+    closure_cache: String,
+}
+
+/// Extracts the quoted value of `key "..."` from a corpus header line.
+fn header_clause(header: &str, key: &str) -> Option<String> {
+    let pat = format!("{key} \"");
+    let start = header.find(&pat)? + pat.len();
+    let rest = &header[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Reads one `*.imp` file into a verification [`Task`] using its
+/// `# Verified with:` header (vars/pre/spec, optional domain override).
+fn parse_corpus_file(
+    path: &std::path::Path,
+    task: &CorpusTask,
+) -> Result<(String, Task), Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let header = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with('#'))
+        .find(|l| l.contains("Verified with:"))
+        .ok_or_else(|| format!("{}: missing `# Verified with:` header", path.display()))?;
+    let missing = |key: &str| format!("{}: header lacks `{key} \"...\"`", path.display());
+    let vars = header_clause(header, "vars").ok_or_else(|| missing("vars"))?;
+    let pre = header_clause(header, "pre").ok_or_else(|| missing("pre"))?;
+    let spec = header_clause(header, "spec").ok_or_else(|| missing("spec"))?;
+    let domain = match header_clause(header, "domain") {
+        Some(d) => DomainKind::parse(&d)?,
+        None => task.domain,
+    };
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    Ok((
+        name,
+        Task {
+            vars: crate::args::parse_vars(&vars)?,
+            code: text,
+            pre,
+            spec: Some(spec),
+            domain,
+            strategy: task.strategy,
+            stats: task.stats,
+            uncached: task.uncached,
+        },
+    ))
+}
+
+/// Verifies one corpus program, returning a report row. Each program gets
+/// its own universe and therefore its own caches — semantic caches must
+/// never be shared across universes (equal-looking state sets would alias
+/// different store enumerations).
+fn run_corpus_program(name: &str, task: &Task) -> Result<ProgramReport, String> {
+    let err = |e: Box<dyn Error>| format!("{name}: {e}");
+    let u = build_universe(task).map_err(err)?;
+    let dom = build_domain(task, &u);
+    let (prog, pre, spec) = build_sets(task, &u).map_err(err)?;
+    let spec = spec.expect("corpus headers always carry a spec");
+    let verifier = build_verifier(&u, task.uncached);
+    let started = Instant::now();
+    let verdict = match task.strategy {
+        StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec),
+        StrategyKind::Forward => verifier.forward(dom, &prog, &pre, &spec),
+    }
+    .map_err(|e| format!("{name}: {e}"))?;
+    let millis = started.elapsed().as_secs_f64() * 1e3;
+    let exec_cache = match verifier.cache() {
+        Some(c) => c.exec_stats().to_string(),
+        None => "disabled".into(),
+    };
+    Ok(ProgramReport {
+        name: name.to_string(),
+        proved: verdict.is_proved(),
+        points: verdict.added_points().len(),
+        millis,
+        exec_cache,
+        closure_cache: verdict.domain().cache_stats().to_string(),
+    })
+}
+
+/// Sweeps every `*.imp` program under `task.dir`, fanning the programs out
+/// over worker threads (`--jobs`). Results are printed in file order
+/// regardless of scheduling, so the output is deterministic.
+fn corpus(task: CorpusTask) -> Result<Outcome, Box<dyn Error>> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&task.dir)
+        .map_err(|e| format!("cannot read corpus dir `{}`: {e}", task.dir))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "imp"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no *.imp programs under `{}`", task.dir).into());
+    }
+    let programs: Vec<(String, Task)> = files
+        .iter()
+        .map(|p| parse_corpus_file(p, &task))
+        .collect::<Result<_, _>>()?;
+    let jobs = if task.jobs == 0 {
+        programs.len()
+    } else {
+        task.jobs
+    };
+    println!(
+        "corpus sweep: {} programs, {} job(s), strategy {:?}{}",
+        programs.len(),
+        jobs,
+        task.strategy,
+        if task.uncached { ", uncached" } else { "" }
+    );
+    let started = Instant::now();
+    let results = par_map(jobs, &programs, |(name, t)| run_corpus_program(name, t));
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut all_proved = true;
+    let mut failures = Vec::new();
+    for result in &results {
+        match result {
+            Ok(report) => {
+                let verdict = if report.proved { "PROVED " } else { "REFUTED" };
+                all_proved &= report.proved;
+                print!(
+                    "  {:<14} {} {:>2} point(s) {:>9.3} ms",
+                    report.name, verdict, report.points, report.millis
+                );
+                if task.stats {
+                    print!(
+                        "  exec cache: {}; closure cache: {}",
+                        report.exec_cache, report.closure_cache
+                    );
+                }
+                println!();
+            }
+            Err(msg) => {
+                all_proved = false;
+                failures.push(msg.clone());
+                println!("  error: {msg}");
+            }
+        }
+    }
+    println!("total: {total_ms:.3} ms");
+    if !failures.is_empty() {
+        return Err(failures.join("; ").into());
+    }
+    Ok(if all_proved {
+        Outcome::Positive
+    } else {
+        Outcome::Negative
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +399,63 @@ mod tests {
             spec: spec.map(str::to_owned),
             domain: DomainKind::Int,
             strategy: StrategyKind::Backward,
+            stats: false,
+            uncached: false,
         }
+    }
+
+    fn corpus_dir() -> String {
+        format!("{}/../../corpus", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn header_clause_extracts_quoted_values() {
+        let h = r#"# Verified with: vars "x:-8..8", pre "x != 0", spec "x >= 1"."#;
+        assert_eq!(header_clause(h, "vars").as_deref(), Some("x:-8..8"));
+        assert_eq!(header_clause(h, "pre").as_deref(), Some("x != 0"));
+        assert_eq!(header_clause(h, "spec").as_deref(), Some("x >= 1"));
+        assert_eq!(header_clause(h, "domain"), None);
+    }
+
+    #[test]
+    fn corpus_sweep_proves_all_programs() {
+        let out = corpus(CorpusTask {
+            dir: corpus_dir(),
+            jobs: 0, // one worker per program
+            domain: DomainKind::Int,
+            strategy: StrategyKind::Backward,
+            stats: true,
+            uncached: false,
+        })
+        .unwrap();
+        assert_eq!(out, Outcome::Positive);
+    }
+
+    #[test]
+    fn corpus_sequential_uncached_matches() {
+        let out = corpus(CorpusTask {
+            dir: corpus_dir(),
+            jobs: 1,
+            domain: DomainKind::Int,
+            strategy: StrategyKind::Backward,
+            stats: false,
+            uncached: true,
+        })
+        .unwrap();
+        assert_eq!(out, Outcome::Positive);
+    }
+
+    #[test]
+    fn corpus_missing_dir_errors() {
+        assert!(corpus(CorpusTask {
+            dir: "/nonexistent-air-corpus".into(),
+            jobs: 1,
+            domain: DomainKind::Int,
+            strategy: StrategyKind::Backward,
+            stats: false,
+            uncached: false,
+        })
+        .is_err());
     }
 
     #[test]

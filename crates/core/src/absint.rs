@@ -8,7 +8,7 @@
 //! the paper's widened analyses.
 
 use air_lang::ast::Reg;
-use air_lang::{Concrete, SemError, StateSet};
+use air_lang::{Concrete, SemCache, SemError, StateSet};
 
 use crate::domain::EnumDomain;
 
@@ -45,18 +45,36 @@ pub enum StarStrategy {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AbstractSemantics<'u> {
     sem: Concrete<'u>,
     strategy: StarStrategy,
+    cache: Option<SemCache>,
 }
 
 impl<'u> AbstractSemantics<'u> {
-    /// Creates the abstract interpreter with exact star fixpoints.
+    /// Creates the abstract interpreter with exact star fixpoints and a
+    /// fresh transfer-function cache.
     pub fn new(universe: &'u air_lang::Universe) -> Self {
+        Self::with_cache(universe, SemCache::new())
+    }
+
+    /// Creates the interpreter memoizing concrete transfer images into
+    /// `cache` (shareable across engines and threads).
+    pub fn with_cache(universe: &'u air_lang::Universe, cache: SemCache) -> Self {
         AbstractSemantics {
             sem: Concrete::new(universe),
             strategy: StarStrategy::Lfp,
+            cache: Some(cache),
+        }
+    }
+
+    /// Creates the interpreter without memoization (the reference path).
+    pub fn uncached(universe: &'u air_lang::Universe) -> Self {
+        AbstractSemantics {
+            sem: Concrete::new(universe),
+            strategy: StarStrategy::Lfp,
+            cache: None,
         }
     }
 
@@ -64,6 +82,13 @@ impl<'u> AbstractSemantics<'u> {
     pub fn star_strategy(mut self, strategy: StarStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    fn exec_exp(&self, e: &air_lang::ast::Exp, a: &StateSet) -> Result<StateSet, SemError> {
+        match &self.cache {
+            Some(cache) => cache.exec_exp(&self.sem, e, a),
+            None => self.sem.exec_exp(e, a),
+        }
     }
 
     /// `⟦r⟧♯_{A⊞N} a` for an expressible `a` (callers pass `dom.close`d
@@ -76,7 +101,7 @@ impl<'u> AbstractSemantics<'u> {
     /// escapes, overflow).
     pub fn exec(&self, dom: &EnumDomain, r: &Reg, a: &StateSet) -> Result<StateSet, SemError> {
         match r {
-            Reg::Basic(e) => Ok(dom.close(&self.sem.exec_exp(e, a)?)),
+            Reg::Basic(e) => Ok(dom.close(&self.exec_exp(e, a)?)),
             Reg::Seq(r1, r2) => {
                 let mid = self.exec(dom, r1, a)?;
                 self.exec(dom, r2, &mid)

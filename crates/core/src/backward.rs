@@ -11,7 +11,7 @@
 //! widened variant of Section 7.2, Example 7.13).
 
 use air_lang::ast::Reg;
-use air_lang::{StateSet, Universe, Wlp};
+use air_lang::{SemCache, StateSet, Universe, Wlp};
 
 use crate::absint::AbstractSemantics;
 use crate::domain::EnumDomain;
@@ -71,11 +71,12 @@ impl BackwardOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BackwardRepair<'u> {
     universe: &'u Universe,
     wlp: Wlp<'u>,
     strategy: UnrollStrategy,
+    cache: Option<SemCache>,
     max_calls: usize,
 }
 
@@ -86,14 +87,38 @@ struct Ctx {
 }
 
 impl<'u> BackwardRepair<'u> {
-    /// Creates the strategy with exact joins and a generous call budget.
+    /// Creates the strategy with exact joins, a generous call budget and a
+    /// fresh shared cache (the recursive `bRepair` calls re-derive the
+    /// same `wlp` and transfer images constantly).
     pub fn new(universe: &'u Universe) -> Self {
+        Self::with_cache(universe, SemCache::new())
+    }
+
+    /// Creates the strategy memoizing into `cache`.
+    pub fn with_cache(universe: &'u Universe, cache: SemCache) -> Self {
         BackwardRepair {
             universe,
             wlp: Wlp::new(universe),
             strategy: UnrollStrategy::Join,
+            cache: Some(cache),
             max_calls: 1_000_000,
         }
+    }
+
+    /// Creates the strategy without memoization (the reference path).
+    pub fn uncached(universe: &'u Universe) -> Self {
+        BackwardRepair {
+            universe,
+            wlp: Wlp::new(universe),
+            strategy: UnrollStrategy::Join,
+            cache: None,
+            max_calls: 1_000_000,
+        }
+    }
+
+    /// The shared semantic cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&SemCache> {
+        self.cache.as_ref()
     }
 
     /// Selects the star unroll strategy.
@@ -148,8 +173,20 @@ impl<'u> BackwardRepair<'u> {
         p: &StateSet,
     ) -> Result<StateSet, RepairError> {
         let dom = base.with_points(n.iter().cloned());
-        let sem = AbstractSemantics::new(self.universe);
+        let sem = match &self.cache {
+            Some(cache) => AbstractSemantics::with_cache(self.universe, cache.clone()),
+            None => AbstractSemantics::uncached(self.universe),
+        };
         Ok(sem.exec(&dom, r, &dom.close(p))?)
+    }
+
+    /// `V⟨P, r, S⟩ = P ∩ wlp(r, S)`, through the cache when enabled.
+    fn valid_input(&self, p: &StateSet, r: &Reg, s: &StateSet) -> Result<StateSet, RepairError> {
+        let w = match &self.cache {
+            Some(cache) => cache.wlp_reg(&self.wlp, r, s)?,
+            None => self.wlp.reg(r, s)?,
+        };
+        Ok(p.intersection(&w))
     }
 
     fn push(n: &mut Vec<StateSet>, p: StateSet) {
@@ -188,7 +225,7 @@ impl<'u> BackwardRepair<'u> {
         match r {
             // Lines 4–6: basic expression.
             Reg::Basic(_) => {
-                let v = self.wlp.valid_input(&p, r, s)?;
+                let v = self.valid_input(&p, r, s)?;
                 let q = s.intersection(&self.abs_exec(base, &n, r, &p)?);
                 Self::push(&mut n, v.clone());
                 Self::push(&mut n, q);

@@ -11,19 +11,24 @@
 //! ```
 //!
 //! so the Moore closure of `γ(A) ∪ N` never needs to be materialized.
+//!
+//! Domains are `Send + Sync`: the base-closure memo table is a sharded
+//! [`MemoTable`] whose values are hash-consed through an [`Interner`]
+//! (closures map many inputs to few fixpoints, so distinct cache entries
+//! share one allocation), and clones share both — which is how a single
+//! abstraction cache serves every worker of a parallel corpus sweep.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use air_domains::Abstraction;
 use air_lang::{StateSet, Universe};
+use air_lattice::{CacheStats, Interner, MemoTable};
 
 /// A unary operator on state sets (the base closure).
-type SetOp = Box<dyn Fn(&StateSet) -> StateSet>;
+type SetOp = Box<dyn Fn(&StateSet) -> StateSet + Send + Sync>;
 /// A binary operator on state sets (the base widening).
-type SetOp2 = Box<dyn Fn(&StateSet, &StateSet) -> StateSet>;
+type SetOp2 = Box<dyn Fn(&StateSet, &StateSet) -> StateSet + Send + Sync>;
 
 /// A closure function on state sets plus an optional base widening.
 struct Base {
@@ -64,8 +69,10 @@ struct Base {
 #[derive(Clone)]
 pub struct EnumDomain {
     universe: Universe,
-    base: Rc<Base>,
-    memo: Rc<RefCell<HashMap<StateSet, StateSet>>>,
+    base: Arc<Base>,
+    /// Memoized base closure `c ↦ A(c)`; values hash-consed via `interner`.
+    memo: MemoTable<StateSet, Arc<StateSet>>,
+    interner: Interner<StateSet>,
     points: Vec<StateSet>,
 }
 
@@ -87,15 +94,18 @@ impl fmt::Display for EnumDomain {
 impl EnumDomain {
     /// Wraps a symbolic abstraction (any [`Abstraction`] from
     /// `air-domains`) as an enumerated closure over `universe`.
-    pub fn from_abstraction<A: Abstraction + 'static>(universe: &Universe, abs: A) -> EnumDomain {
+    pub fn from_abstraction<A: Abstraction + Send + Sync + 'static>(
+        universe: &Universe,
+        abs: A,
+    ) -> EnumDomain {
         let u1 = universe.clone();
         let u2 = universe.clone();
-        let abs = Rc::new(abs);
-        let abs2 = Rc::clone(&abs);
+        let abs = Arc::new(abs);
+        let abs2 = Arc::clone(&abs);
         let name = abs.name().to_owned();
         EnumDomain {
             universe: universe.clone(),
-            base: Rc::new(Base {
+            base: Arc::new(Base {
                 name,
                 close: Box::new(move |c| abs.closure_set(&u1, c)),
                 widen: Some(Box::new(move |x, y| {
@@ -104,7 +114,8 @@ impl EnumDomain {
                     abs2.gamma_set(&u2, &abs2.widen(&ax, &ay))
                 })),
             }),
-            memo: Rc::new(RefCell::new(HashMap::new())),
+            memo: MemoTable::new(),
+            interner: Interner::new(),
             points: Vec::new(),
         }
     }
@@ -122,7 +133,7 @@ impl EnumDomain {
         let name = name.to_owned();
         EnumDomain {
             universe: universe.clone(),
-            base: Rc::new(Base {
+            base: Arc::new(Base {
                 name,
                 close: Box::new(move |c| {
                     let mut acc = full.clone();
@@ -135,7 +146,8 @@ impl EnumDomain {
                 }),
                 widen: None,
             }),
-            memo: Rc::new(RefCell::new(HashMap::new())),
+            memo: MemoTable::new(),
+            interner: Interner::new(),
             points: Vec::new(),
         }
     }
@@ -165,14 +177,38 @@ impl EnumDomain {
         self.points.len()
     }
 
-    /// The base closure `A(c)` (without added points), memoized.
+    /// The base closure `A(c)` (without added points), memoized in a
+    /// thread-safe table shared by all clones; results are hash-consed so
+    /// the many inputs collapsing to one fixpoint share storage.
     pub fn base_close(&self, c: &StateSet) -> StateSet {
-        if let Some(hit) = self.memo.borrow().get(c) {
-            return hit.clone();
+        let shared = self
+            .memo
+            .get_or_insert_with(c, || self.interner.intern((self.base.close)(c)));
+        (*shared).clone()
+    }
+
+    /// Hit/miss/entry counters of the base-closure memo table.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.memo.stats()
+    }
+
+    /// Hit/miss/entry counters of the closure-result hash-consing pool (a
+    /// hit means a structurally equal closure result already existed).
+    pub fn interner_stats(&self) -> CacheStats {
+        self.interner.stats()
+    }
+
+    /// A clone sharing the base closure and points but starting from empty
+    /// memo and interner tables — the reference domain for differential
+    /// tests (a memo entry gone stale would make the two clones diverge).
+    pub fn clone_fresh_caches(&self) -> EnumDomain {
+        EnumDomain {
+            universe: self.universe.clone(),
+            base: Arc::clone(&self.base),
+            memo: MemoTable::new(),
+            interner: Interner::new(),
+            points: self.points.clone(),
         }
-        let out = (self.base.close)(c);
-        self.memo.borrow_mut().insert(c.clone(), out.clone());
-        out
     }
 
     /// The refined closure `A_N(c) = A(c) ∩ ⋂{p ∈ N | c ⊆ p}`.
@@ -401,6 +437,27 @@ mod tests {
             dom.base_close(&u.of_values([2])),
             d2.base_close(&u.of_values([2]))
         );
+    }
+
+    #[test]
+    fn enum_domain_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EnumDomain>();
+    }
+
+    #[test]
+    fn base_close_memo_counts_and_interns() {
+        let u = universe();
+        let dom = EnumDomain::from_abstraction(&u, SignEnv::new(&u));
+        // Two distinct inputs with the same Sign closure (>0).
+        dom.base_close(&u.of_values([1]));
+        dom.base_close(&u.of_values([2]));
+        dom.base_close(&u.of_values([1])); // memo hit
+        let memo = dom.cache_stats();
+        assert_eq!((memo.hits, memo.misses, memo.entries), (1, 2, 2));
+        // The two entries collapse to one interned closure result.
+        let pool = dom.interner_stats();
+        assert_eq!((pool.hits, pool.entries), (1, 1));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::fmt;
 
 use air_lang::ast::{Exp, Reg};
-use air_lang::{SemError, StateSet, Universe};
+use air_lang::{SemCache, SemError, StateSet, Universe};
 
 use crate::domain::EnumDomain;
 use crate::local::{LocalCompleteness, ShellResult};
@@ -123,21 +123,45 @@ enum FindOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ForwardRepair<'u> {
     universe: &'u Universe,
     lc: LocalCompleteness<'u>,
+    cache: Option<SemCache>,
     max_repairs: usize,
 }
 
 impl<'u> ForwardRepair<'u> {
-    /// Creates the strategy with a default budget of 10 000 refinements.
+    /// Creates the strategy with a default budget of 10 000 refinements
+    /// and a fresh shared cache (obligations re-checked across the
+    /// restarts of Algorithm 1 hit the memoized images).
     pub fn new(universe: &'u Universe) -> Self {
+        Self::with_cache(universe, SemCache::new())
+    }
+
+    /// Creates the strategy memoizing into `cache`.
+    pub fn with_cache(universe: &'u Universe, cache: SemCache) -> Self {
         ForwardRepair {
             universe,
-            lc: LocalCompleteness::new(universe),
+            lc: LocalCompleteness::with_cache(universe, cache.clone()),
+            cache: Some(cache),
             max_repairs: 10_000,
         }
+    }
+
+    /// Creates the strategy without memoization (the reference path).
+    pub fn uncached(universe: &'u Universe) -> Self {
+        ForwardRepair {
+            universe,
+            lc: LocalCompleteness::uncached(universe),
+            cache: None,
+            max_repairs: 10_000,
+        }
+    }
+
+    /// The shared semantic cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&SemCache> {
+        self.cache.as_ref()
     }
 
     /// Sets the refinement budget.
@@ -233,7 +257,11 @@ impl<'u> ForwardRepair<'u> {
             Reg::Basic(e) => {
                 *checked += 1;
                 if self.lc.check_exp(dom, e, p)? {
-                    Ok(FindOutcome::Under(sem.exec_exp(e, p)?))
+                    let image = match &self.cache {
+                        Some(cache) => cache.exec_exp(&sem, e, p)?,
+                        None => sem.exec_exp(e, p)?,
+                    };
+                    Ok(FindOutcome::Under(image))
                 } else {
                     Ok(FindOutcome::Incomplete(Obligation {
                         input: p.clone(),

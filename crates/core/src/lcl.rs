@@ -37,7 +37,7 @@
 use std::fmt;
 
 use air_lang::ast::{Exp, Reg};
-use air_lang::{Concrete, SemError, StateSet, Universe};
+use air_lang::{Concrete, SemCache, SemError, StateSet, Universe};
 
 use crate::domain::EnumDomain;
 use crate::forward::RepairError;
@@ -256,20 +256,57 @@ impl From<SemError> for LclError {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Lcl<'u> {
     universe: &'u Universe,
     sem: Concrete<'u>,
     lc: LocalCompleteness<'u>,
+    cache: Option<SemCache>,
 }
 
 impl<'u> Lcl<'u> {
-    /// Creates the proof system for a universe.
+    /// Creates the proof system for a universe with a fresh shared cache
+    /// (derivation attempts repeated across repairs hit memoized images).
     pub fn new(universe: &'u Universe) -> Self {
+        Self::with_cache(universe, SemCache::new())
+    }
+
+    /// Creates the proof system memoizing into `cache`.
+    pub fn with_cache(universe: &'u Universe, cache: SemCache) -> Self {
         Lcl {
             universe,
             sem: Concrete::new(universe),
-            lc: LocalCompleteness::new(universe),
+            lc: LocalCompleteness::with_cache(universe, cache.clone()),
+            cache: Some(cache),
+        }
+    }
+
+    /// Creates the proof system without memoization (the reference path).
+    pub fn uncached(universe: &'u Universe) -> Self {
+        Lcl {
+            universe,
+            sem: Concrete::new(universe),
+            lc: LocalCompleteness::uncached(universe),
+            cache: None,
+        }
+    }
+
+    /// The shared semantic cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&SemCache> {
+        self.cache.as_ref()
+    }
+
+    fn exec_exp(&self, e: &Exp, p: &StateSet) -> Result<StateSet, SemError> {
+        match &self.cache {
+            Some(cache) => cache.exec_exp(&self.sem, e, p),
+            None => self.sem.exec_exp(e, p),
+        }
+    }
+
+    fn exec(&self, r: &Reg, p: &StateSet) -> Result<StateSet, SemError> {
+        match &self.cache {
+            Some(cache) => cache.exec(&self.sem, r, p),
+            None => self.sem.exec(r, p),
         }
     }
 
@@ -295,7 +332,7 @@ impl<'u> Lcl<'u> {
                         exp: e.clone(),
                     });
                 }
-                let post = self.sem.exec_exp(e, &triple.pre)?;
+                let post = self.exec_exp(e, &triple.pre)?;
                 if post != triple.post {
                     return Err(LclError::SideCondition {
                         rule: "transfer",
@@ -468,7 +505,7 @@ impl<'u> Lcl<'u> {
                         exp: e.clone(),
                     });
                 }
-                let post = self.sem.exec_exp(e, p)?;
+                let post = self.exec_exp(e, p)?;
                 Ok(Derivation::Transfer {
                     triple: Triple {
                         pre: p.clone(),
@@ -596,7 +633,7 @@ impl<'u> Lcl<'u> {
     ///
     /// Propagates evaluation errors.
     pub fn triple_sound(&self, dom: &EnumDomain, t: &Triple) -> Result<bool, SemError> {
-        let post = self.sem.exec(&t.reg, &t.pre)?;
+        let post = self.exec(&t.reg, &t.pre)?;
         Ok(t.post.is_subset(&post) && post.is_subset(&dom.close(&t.post)))
     }
 
@@ -628,7 +665,10 @@ impl<'u> Lcl<'u> {
                 witness,
             });
         }
-        debug_assert!(repaired.close(q).is_subset(spec), "A(Q) ≤ Spec after tightening");
+        debug_assert!(
+            repaired.close(q).is_subset(spec),
+            "A(Q) ≤ Spec after tightening"
+        );
         Ok(SpecVerdict::Valid {
             derivation,
             domain: repaired,

@@ -26,6 +26,13 @@
 //! - [`summarize`](mod@summarize) — renders repaired abstract elements as unions of boxes
 //!   so they print like the paper's `P̄`, `R₁…R₃`, `V̄`.
 //!
+//! Every definition, theorem and algorithm this crate implements
+//! (Definitions 4.1/4.3, Theorems 4.4/4.9/4.11, Algorithms 1–2,
+//! Definition 7.11, Corollary 7.7) is mapped to its function in
+//! `PAPER_MAP.md` at the repository root. All engines memoize through
+//! [`air_lang::SemCache`] by default; `uncached()` constructors give the
+//! bitwise-identical reference path.
+//!
 //! # Quickstart (the paper's introduction, mechanized)
 //!
 //! ```

@@ -13,7 +13,7 @@
 //!   `u = (A(P∩b)∩b) ∪ (A(P∩¬b)∩¬b)`.
 
 use air_lang::ast::{BExp, Exp, Reg};
-use air_lang::{Concrete, SemError, StateSet, Universe, Wlp};
+use air_lang::{Concrete, SemCache, SemError, StateSet, Universe, Wlp};
 
 use crate::domain::EnumDomain;
 
@@ -45,20 +45,70 @@ impl ShellResult {
 }
 
 /// Local-completeness queries over a universe.
-#[derive(Clone, Copy, Debug)]
+///
+/// Created [`cached`](LocalCompleteness::new) by default: concrete
+/// images, `wlp`s and guard sets are memoized in a [`SemCache`] shared
+/// by all clones. Use [`uncached`](LocalCompleteness::uncached) for the
+/// reference path (differential tests, baseline benchmarks).
+#[derive(Clone, Debug)]
 pub struct LocalCompleteness<'u> {
     universe: &'u Universe,
     sem: Concrete<'u>,
     wlp: Wlp<'u>,
+    cache: Option<SemCache>,
 }
 
 impl<'u> LocalCompleteness<'u> {
-    /// Creates the query context.
+    /// Creates the query context with a fresh shared cache.
     pub fn new(universe: &'u Universe) -> Self {
+        Self::with_cache(universe, SemCache::new())
+    }
+
+    /// Creates the query context memoizing into `cache` (share one cache
+    /// across engines and threads working on the same universe).
+    pub fn with_cache(universe: &'u Universe, cache: SemCache) -> Self {
         LocalCompleteness {
             universe,
             sem: Concrete::new(universe),
             wlp: Wlp::new(universe),
+            cache: Some(cache),
+        }
+    }
+
+    /// Creates the query context without any memoization — every image is
+    /// recomputed. The reference path for differential tests.
+    pub fn uncached(universe: &'u Universe) -> Self {
+        LocalCompleteness {
+            universe,
+            sem: Concrete::new(universe),
+            wlp: Wlp::new(universe),
+            cache: None,
+        }
+    }
+
+    /// The shared semantic cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&SemCache> {
+        self.cache.as_ref()
+    }
+
+    fn exec(&self, r: &Reg, c: &StateSet) -> Result<StateSet, SemError> {
+        match &self.cache {
+            Some(cache) => cache.exec(&self.sem, r, c),
+            None => self.sem.exec(r, c),
+        }
+    }
+
+    fn wlp_reg(&self, r: &Reg, post: &StateSet) -> Result<StateSet, SemError> {
+        match &self.cache {
+            Some(cache) => cache.wlp_reg(&self.wlp, r, post),
+            None => self.wlp.reg(r, post),
+        }
+    }
+
+    fn sat(&self, b: &BExp) -> Result<StateSet, SemError> {
+        match &self.cache {
+            Some(cache) => cache.sat(&self.sem, b),
+            None => self.sem.sat(b),
         }
     }
 
@@ -79,8 +129,8 @@ impl<'u> LocalCompleteness<'u> {
     ///
     /// Propagates [`SemError`].
     pub fn defect(&self, dom: &EnumDomain, r: &Reg, c: &StateSet) -> Result<StateSet, SemError> {
-        let exact = dom.close(&self.sem.exec(r, c)?);
-        let through = dom.close(&self.sem.exec(r, &dom.close(c))?);
+        let exact = dom.close(&self.exec(r, c)?);
+        let through = dom.close(&self.exec(r, &dom.close(c))?);
         Ok(through.difference(&exact))
     }
 
@@ -91,8 +141,8 @@ impl<'u> LocalCompleteness<'u> {
     ///
     /// Propagates [`SemError`].
     pub fn sup_l(&self, dom: &EnumDomain, r: &Reg, c: &StateSet) -> Result<StateSet, SemError> {
-        let afc = dom.close(&self.sem.exec(r, c)?);
-        let pre = self.wlp.reg(r, &afc)?;
+        let afc = dom.close(&self.exec(r, c)?);
+        let pre = self.wlp_reg(r, &afc)?;
         Ok(dom.close(c).intersection(&pre))
     }
 
@@ -119,9 +169,9 @@ impl<'u> LocalCompleteness<'u> {
         c: &StateSet,
     ) -> Result<ShellResult, SemError> {
         let u = self.sup_l(dom, r, c)?;
-        let fc = self.sem.exec(r, c)?;
+        let fc = self.exec(r, c)?;
         let exists = if fc.is_subset(&u) {
-            self.sem.exec(r, &u)?.is_subset(&u)
+            self.exec(r, &u)?.is_subset(&u)
         } else {
             true
         };
@@ -145,7 +195,7 @@ impl<'u> LocalCompleteness<'u> {
         b: &BExp,
         p: &StateSet,
     ) -> Result<StateSet, SemError> {
-        let sat_b = self.sem.sat(b)?;
+        let sat_b = self.sat(b)?;
         let not_b = sat_b.complement();
         let pos = dom.close(&p.intersection(&sat_b)).intersection(&sat_b);
         let neg = dom.close(&p.intersection(&not_b)).intersection(&not_b);

@@ -14,7 +14,7 @@
 //! `⟦r⟧P' ≤ Spec ⇔ P' ≤ V` for every `P' ≤ A(P)` at once.
 
 use air_lang::ast::Reg;
-use air_lang::{Concrete, StateSet, Store, Universe};
+use air_lang::{Concrete, SemCache, StateSet, Store, Universe};
 
 use crate::backward::BackwardRepair;
 use crate::domain::EnumDomain;
@@ -122,15 +122,53 @@ impl Verdict {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Verifier<'u> {
     universe: &'u Universe,
+    cache: Option<SemCache>,
 }
 
 impl<'u> Verifier<'u> {
-    /// Creates a verifier for the universe.
+    /// Creates a verifier with a fresh semantic cache shared across all
+    /// verification calls made through it.
     pub fn new(universe: &'u Universe) -> Self {
-        Verifier { universe }
+        Self::with_cache(universe, SemCache::new())
+    }
+
+    /// Creates a verifier memoizing into `cache` (shareable across
+    /// verifiers and threads).
+    pub fn with_cache(universe: &'u Universe, cache: SemCache) -> Self {
+        Verifier {
+            universe,
+            cache: Some(cache),
+        }
+    }
+
+    /// Creates a verifier without memoization (the reference path).
+    pub fn uncached(universe: &'u Universe) -> Self {
+        Verifier {
+            universe,
+            cache: None,
+        }
+    }
+
+    /// The shared semantic cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&SemCache> {
+        self.cache.as_ref()
+    }
+
+    fn backward_engine(&self) -> BackwardRepair<'u> {
+        match &self.cache {
+            Some(cache) => BackwardRepair::with_cache(self.universe, cache.clone()),
+            None => BackwardRepair::uncached(self.universe),
+        }
+    }
+
+    fn forward_engine(&self) -> ForwardRepair<'u> {
+        match &self.cache {
+            Some(cache) => ForwardRepair::with_cache(self.universe, cache.clone()),
+            None => ForwardRepair::uncached(self.universe),
+        }
     }
 
     /// Verifies `⟦r⟧input ≤ spec` by backward repair (Algorithm 2 +
@@ -146,7 +184,7 @@ impl<'u> Verifier<'u> {
         input: &StateSet,
         spec: &StateSet,
     ) -> Result<Verdict, RepairError> {
-        let out = BackwardRepair::new(self.universe).repair(&domain, input, r, spec)?;
+        let out = self.backward_engine().repair(&domain, input, r, spec)?;
         let repaired = out.domain(&domain);
         if input.is_subset(&out.valid_input) {
             Ok(Verdict::Proved {
@@ -182,7 +220,7 @@ impl<'u> Verifier<'u> {
         input: &StateSet,
         spec: &StateSet,
     ) -> Result<Verdict, RepairError> {
-        let out = ForwardRepair::new(self.universe).repair(domain, r, input)?;
+        let out = self.forward_engine().repair(domain, r, input)?;
         let post_closure = out.domain.close(&out.under);
         let points: Vec<StateSet> = out.domain.points().to_vec();
         if post_closure.is_subset(spec) {
@@ -257,10 +295,18 @@ impl<'u> Verifier<'u> {
         input: &StateSet,
         spec: &StateSet,
     ) -> Result<AlarmCounts, RepairError> {
-        let asem = crate::absint::AbstractSemantics::new(self.universe);
+        let asem = match &self.cache {
+            Some(cache) => {
+                crate::absint::AbstractSemantics::with_cache(self.universe, cache.clone())
+            }
+            None => crate::absint::AbstractSemantics::uncached(self.universe),
+        };
         let abstract_out = asem.exec(domain, r, &domain.close(input))?;
         let sem = Concrete::new(self.universe);
-        let concrete_out = sem.exec(r, input)?;
+        let concrete_out = match &self.cache {
+            Some(cache) => cache.exec(&sem, r, input)?,
+            None => sem.exec(r, input)?,
+        };
         let total = abstract_out.difference(spec).len();
         let true_alarms = concrete_out.difference(spec).len();
         Ok(AlarmCounts {

@@ -14,6 +14,9 @@
 //!    [`Analyzer`] — the standard, possibly *locally incomplete*, analysis
 //!    that Abstract Interpretation Repair fixes.
 //!
+//! How these domains plug into the paper's constructions is catalogued in
+//! `PAPER_MAP.md` at the repository root.
+//!
 //! # Example: the paper's introductory false alarm
 //!
 //! ```

@@ -108,14 +108,18 @@ impl fmt::Display for Oct {
             }
         }
         use crate::interval::IntervalBound::Fin;
-        let hi_of = |iv: &Interval| iv.hi().and_then(|b| match b {
-            Fin(v) => Some(v),
-            _ => None,
-        });
-        let lo_of = |iv: &Interval| iv.lo().and_then(|b| match b {
-            Fin(v) => Some(v),
-            _ => None,
-        });
+        let hi_of = |iv: &Interval| {
+            iv.hi().and_then(|b| match b {
+                Fin(v) => Some(v),
+                _ => None,
+            })
+        };
+        let lo_of = |iv: &Interval| {
+            iv.lo().and_then(|b| match b {
+                Fin(v) => Some(v),
+                _ => None,
+            })
+        };
         for i in 0..self.n {
             for j in (i + 1)..self.n {
                 // vᵢ − vⱼ ≤ c and vⱼ − vᵢ ≤ c.
@@ -136,7 +140,9 @@ impl fmt::Display for Oct {
                     emit(f, format!("v{i} + v{j} <= {sum_hi}"))?;
                 }
                 let sum_lo = self.at(2 * i + 1, 2 * j);
-                let implied = lo_of(&boxes[i]).zip(lo_of(&boxes[j])).map(|(a, b)| -(a + b));
+                let implied = lo_of(&boxes[i])
+                    .zip(lo_of(&boxes[j]))
+                    .map(|(a, b)| -(a + b));
                 if sum_lo != INF && implied.is_none_or(|imp| sum_lo < imp) {
                     emit(f, format!("v{i} + v{j} >= {}", -sum_lo))?;
                 }

@@ -1,0 +1,255 @@
+//! Shared transfer-function and `wlp` image caches.
+//!
+//! The repair algorithms re-execute the same commands on the same state
+//! sets constantly: forward repair (Algorithm 1) restarts the whole
+//! abstract analysis after every added point, backward repair
+//! (Algorithm 2) re-derives `wlp` images along every recursive call, and
+//! a corpus sweep repeats both per program. [`SemCache`] memoizes the
+//! three pure transformers behind those loops, keyed on
+//! `(command, input set)`:
+//!
+//! - [`SemCache::exec`] / [`SemCache::exec_exp`] — the collecting
+//!   semantics `⟦r⟧S` of [`Concrete`], cached at *every* node of the
+//!   regular command (so a `Seq` prefix shared by two programs, or a
+//!   `Star` body across fixpoint rounds, is computed once);
+//! - [`SemCache::wlp_reg`] / [`SemCache::wlp_exp`] — the weakest liberal
+//!   precondition transformers of [`Wlp`], cached the same way;
+//! - [`SemCache::sat`] — guard satisfaction sets `⟦b?⟧Σ`.
+//!
+//! Only `Ok` results are cached; errors are recomputed (and therefore
+//! reported identically) on every call. Cloning a `SemCache` shares the
+//! underlying tables, which is how one cache serves every thread of a
+//! parallel sweep. Purity of the transformers makes cached and uncached
+//! runs bitwise identical — the differential tests of the umbrella crate
+//! compare full outcome structures between the two paths.
+//!
+//! One caveat: cache keys do not name the [`Universe`](crate::Universe),
+//! so a `SemCache` must only ever be shared between engines over the
+//! *same* universe. Two universes of equal size enumerate different
+//! stores behind identical-looking state sets, and a shared cache would
+//! silently alias them (the CLI corpus sweep builds one cache per
+//! program for exactly this reason).
+
+use air_lattice::{CacheStats, MemoTable};
+
+use crate::ast::{BExp, Exp, Reg};
+use crate::semantics::{Concrete, SemError};
+use crate::store::StateSet;
+use crate::wlp::Wlp;
+
+/// A shared, thread-safe cache for concrete execution, `wlp` and guard
+/// satisfaction over one universe.
+///
+/// Keys embed the command and input set; the `exec` table additionally
+/// keys on the semantics' strictness so the universe-restricted and
+/// strict modes never alias. A cache must not be reused across
+/// universes (keys would collide structurally); every engine in
+/// `air-core` creates or receives one per universe.
+#[derive(Clone, Debug, Default)]
+pub struct SemCache {
+    exec: MemoTable<(bool, Reg, StateSet), StateSet>,
+    wlp: MemoTable<(Reg, StateSet), StateSet>,
+    sat: MemoTable<BExp, StateSet>,
+}
+
+impl SemCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SemCache::default()
+    }
+
+    /// Cached collecting semantics of a basic command: `⟦e⟧S`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`] from [`Concrete::exec_exp`] (errors are
+    /// not cached).
+    pub fn exec_exp(
+        &self,
+        sem: &Concrete<'_>,
+        e: &Exp,
+        s: &StateSet,
+    ) -> Result<StateSet, SemError> {
+        let key = (sem.is_strict(), Reg::Basic(e.clone()), s.clone());
+        self.exec
+            .try_get_or_insert_with(&key, || sem.exec_exp(e, s))
+    }
+
+    /// Cached collecting semantics `⟦r⟧S`, memoized at every node of `r`
+    /// (mirrors [`Concrete::exec`] exactly, so results are bitwise equal
+    /// to the uncached path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`]; errors are not cached.
+    pub fn exec(&self, sem: &Concrete<'_>, r: &Reg, s: &StateSet) -> Result<StateSet, SemError> {
+        let key = (sem.is_strict(), r.clone(), s.clone());
+        self.exec.try_get_or_insert_with(&key, || match r {
+            Reg::Basic(e) => sem.exec_exp(e, s),
+            Reg::Seq(r1, r2) => {
+                let mid = self.exec(sem, r1, s)?;
+                self.exec(sem, r2, &mid)
+            }
+            Reg::Choice(r1, r2) => Ok(self.exec(sem, r1, s)?.union(&self.exec(sem, r2, s)?)),
+            Reg::Star(body) => {
+                // Same lfp iteration as `Concrete::exec`, with each round's
+                // body image cached.
+                let mut acc = s.clone();
+                for _ in 0..=sem.universe().size() {
+                    let next = acc.union(&self.exec(sem, body, &acc)?);
+                    if next == acc {
+                        return Ok(acc);
+                    }
+                    acc = next;
+                }
+                Err(SemError::Divergence)
+            }
+        })
+    }
+
+    /// Cached `wlp` of a basic command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`] from [`Wlp::exp`]; errors are not cached.
+    pub fn wlp_exp(&self, wlp: &Wlp<'_>, e: &Exp, post: &StateSet) -> Result<StateSet, SemError> {
+        let key = (Reg::Basic(e.clone()), post.clone());
+        self.wlp.try_get_or_insert_with(&key, || wlp.exp(e, post))
+    }
+
+    /// Cached `wlp` of a regular command, memoized at every node (mirrors
+    /// [`Wlp::reg`] exactly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`]; errors are not cached.
+    pub fn wlp_reg(&self, wlp: &Wlp<'_>, r: &Reg, post: &StateSet) -> Result<StateSet, SemError> {
+        let key = (r.clone(), post.clone());
+        self.wlp.try_get_or_insert_with(&key, || match r {
+            Reg::Basic(e) => wlp.exp(e, post),
+            Reg::Seq(r1, r2) => {
+                let mid = self.wlp_reg(wlp, r2, post)?;
+                self.wlp_reg(wlp, r1, &mid)
+            }
+            Reg::Choice(r1, r2) => Ok(self
+                .wlp_reg(wlp, r1, post)?
+                .intersection(&self.wlp_reg(wlp, r2, post)?)),
+            Reg::Star(body) => {
+                // Same gfp iteration as `Wlp::reg`, with each round's body
+                // wlp cached.
+                let mut acc = post.clone();
+                for _ in 0..=wlp.universe().size() {
+                    let next = post.intersection(&self.wlp_reg(wlp, body, &acc)?);
+                    if next == acc {
+                        return Ok(acc);
+                    }
+                    acc = next;
+                }
+                Err(SemError::Divergence)
+            }
+        })
+    }
+
+    /// Cached guard satisfaction set `⟦b?⟧Σ` ([`Concrete::sat`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`]; errors are not cached.
+    pub fn sat(&self, sem: &Concrete<'_>, b: &BExp) -> Result<StateSet, SemError> {
+        self.sat.try_get_or_insert_with(b, || sem.sat(b))
+    }
+
+    /// Counters of the execution-image table.
+    pub fn exec_stats(&self) -> CacheStats {
+        self.exec.stats()
+    }
+
+    /// Counters of the `wlp`-image table.
+    pub fn wlp_stats(&self) -> CacheStats {
+        self.wlp.stats()
+    }
+
+    /// Counters of the guard-satisfaction table.
+    pub fn sat_stats(&self) -> CacheStats {
+        self.sat.stats()
+    }
+
+    /// All three tables' counters, pointwise summed.
+    pub fn stats(&self) -> CacheStats {
+        self.exec_stats()
+            .merged(&self.wlp_stats())
+            .merged(&self.sat_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_bexp, parse_program};
+    use crate::store::Universe;
+
+    #[test]
+    fn cached_exec_matches_uncached() {
+        let u = Universe::new(&[("x", -4, 4)]).unwrap();
+        let sem = Concrete::new(&u);
+        let cache = SemCache::new();
+        let prog = parse_program(
+            "star { assume x < 4; x := x + 1 }; if (x > 0) then { x := 0 - x } else { skip }",
+        )
+        .unwrap();
+        let inputs = [u.of_values([-2, 1]), u.of_values([0]), u.full(), u.empty()];
+        for s in &inputs {
+            let plain = sem.exec(&prog, s).unwrap();
+            assert_eq!(cache.exec(&sem, &prog, s).unwrap(), plain);
+            // Second call answered from the table, same value.
+            assert_eq!(cache.exec(&sem, &prog, s).unwrap(), plain);
+        }
+        let stats = cache.exec_stats();
+        assert!(
+            stats.hits >= inputs.len() as u64,
+            "top-level re-queries hit"
+        );
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn cached_wlp_matches_uncached() {
+        let u = Universe::new(&[("x", 0, 9)]).unwrap();
+        let wlp = Wlp::new(&u);
+        let cache = SemCache::new();
+        let prog = parse_program("star { assume x < 9; x := x + 1 }").unwrap();
+        for post in [u.filter(|s| s[0] <= 6), u.full(), u.empty()] {
+            let plain = wlp.reg(&prog, &post).unwrap();
+            assert_eq!(cache.wlp_reg(&wlp, &prog, &post).unwrap(), plain);
+            assert_eq!(cache.wlp_reg(&wlp, &prog, &post).unwrap(), plain);
+        }
+        assert!(cache.wlp_stats().hits > 0);
+    }
+
+    #[test]
+    fn strict_and_restricted_modes_do_not_alias() {
+        let u = Universe::new(&[("x", 0, 3)]).unwrap();
+        let cache = SemCache::new();
+        let restricted = Concrete::new(&u);
+        let strict = Concrete::strict(&u);
+        let e = parse_program("x := x + 1").unwrap();
+        let s = u.of_values([3]); // escapes on +1
+        assert_eq!(cache.exec(&restricted, &e, &s).unwrap(), u.empty());
+        assert!(cache.exec(&strict, &e, &s).is_err());
+        // The error path must also not have poisoned the restricted entry.
+        assert_eq!(cache.exec(&restricted, &e, &s).unwrap(), u.empty());
+    }
+
+    #[test]
+    fn sat_cache_round_trips() {
+        let u = Universe::new(&[("x", -3, 3)]).unwrap();
+        let sem = Concrete::new(&u);
+        let cache = SemCache::new();
+        let b = parse_bexp("x != 0").unwrap();
+        let plain = sem.sat(&b).unwrap();
+        assert_eq!(cache.sat(&sem, &b).unwrap(), plain);
+        assert_eq!(cache.sat(&sem, &b).unwrap(), plain);
+        let stats = cache.sat_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}

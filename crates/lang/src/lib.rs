@@ -14,6 +14,10 @@
 //! variables — the same design point as the paper's pilot implementation
 //! (Section 8: "finite integer domains … explicit enumeration").
 //!
+//! Paper↔code correspondences for this crate (`Reg` and its semantics
+//! from §3.2, `wlp` from Definition 7.3, the [`SemCache`] memo layer) are
+//! catalogued in `PAPER_MAP.md` at the repository root.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod ast;
+pub mod cache;
 pub mod gen;
 pub mod parser;
 pub mod pretty;
@@ -44,6 +49,7 @@ pub mod store;
 pub mod wlp;
 
 pub use ast::{AExp, BExp, Exp, Reg};
+pub use cache::SemCache;
 pub use parser::{parse_bexp, parse_program, ParseError};
 pub use semantics::{Concrete, SemError};
 pub use store::{StateSet, Store, Universe, UniverseError};

@@ -115,6 +115,12 @@ impl<'u> Concrete<'u> {
         self.universe
     }
 
+    /// `true` in strict mode (escaping assignments error out); used by
+    /// caches to key results per semantics mode.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
     /// Evaluates an arithmetic expression in a store.
     ///
     /// # Errors

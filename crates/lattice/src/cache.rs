@@ -1,0 +1,410 @@
+//! Thread-safe memoization: sharded memo tables and hash-consing.
+//!
+//! The repair engine applies the same closure operators, transfer
+//! functions and `wlp` transformers to the same bitsets over and over —
+//! across restarts of the forward analysis (Algorithm 1), across the
+//! recursive calls of backward repair (Algorithm 2), and across the
+//! programs of a corpus sweep. This module provides the shared cache
+//! substrate:
+//!
+//! - [`MemoTable`] — a sharded, lock-striped map from keys to computed
+//!   values with atomic hit/miss counters. Cloning a table is cheap and
+//!   *shares* the underlying storage, so one cache can serve many worker
+//!   threads.
+//! - [`Interner`] — hash-consing for immutable values (notably
+//!   [`BitVecSet`](crate::BitVecSet) closure results): structurally equal
+//!   values are stored once and shared behind an [`Arc`].
+//! - [`CacheStats`] — a snapshot of hit/miss/entry counters, the raw
+//!   material for the CLI `--stats` flag and the benchmark tables.
+//!
+//! Determinism: memoized functions must be pure. A [`MemoTable`] never
+//! changes *what* is computed, only whether it is recomputed, so cached
+//! and uncached runs are bitwise identical (the differential tests in the
+//! umbrella crate enforce this).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of lock stripes per table; a power of two so the shard index is
+/// a cheap mask of the key hash.
+const NUM_SHARDS: usize = 16;
+
+/// A point-in-time snapshot of a cache's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored the result).
+    pub misses: u64,
+    /// Distinct keys currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the table, in `[0, 1]`; `0` when
+    /// no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Pointwise sum of two snapshots (for aggregating several caches).
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries
+        )
+    }
+}
+
+struct MemoInner<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A sharded, thread-safe memo table.
+///
+/// `clone()` is shallow: all clones share the same storage and counters,
+/// which is how one cache is handed to every worker of a parallel sweep.
+pub struct MemoTable<K, V> {
+    inner: Arc<MemoInner<K, V>>,
+}
+
+impl<K, V> Clone for MemoTable<K, V> {
+    fn clone(&self) -> Self {
+        MemoTable {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K, V> Default for MemoTable<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> MemoTable<K, V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        MemoTable {
+            inner: Arc::new(MemoInner {
+                shards: (0..NUM_SHARDS)
+                    .map(|_| RwLock::new(HashMap::new()))
+                    .collect(),
+                hasher: RandomState::new(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Distinct keys currently stored.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .sum()
+    }
+
+    /// `true` if no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .shards
+            .iter()
+            .all(|s| s.read().unwrap().is_empty())
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.write().unwrap().clear();
+        }
+    }
+
+    /// Snapshot of the hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let h = self.inner.hasher.hash_one(key) as usize;
+        &self.inner.shards[h & (NUM_SHARDS - 1)]
+    }
+
+    /// Looks up `key` without counting a hit or miss.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.shard(key).read().unwrap().get(key).cloned()
+    }
+
+    /// Returns the cached value for `key`, computing and storing it with
+    /// `compute` on a miss.
+    ///
+    /// `compute` runs *outside* the shard lock, so concurrent misses on
+    /// the same key may compute twice; `compute` must therefore be pure
+    /// (the first stored value wins, and purity makes both identical).
+    pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(key);
+        if let Some(v) = shard.read().unwrap().get(key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        shard
+            .write()
+            .unwrap()
+            .entry(key.clone())
+            .or_insert_with(|| value.clone());
+        value
+    }
+
+    /// Stores `value` for `key` unconditionally (no counter update).
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).write().unwrap().insert(key, value);
+    }
+
+    /// Fallible [`get_or_insert_with`](MemoTable::get_or_insert_with):
+    /// only `Ok` results are cached, errors are recomputed on every call.
+    pub fn try_get_or_insert_with<E>(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        let shard = self.shard(key);
+        if let Some(v) = shard.read().unwrap().get(key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute()?;
+        shard
+            .write()
+            .unwrap()
+            .entry(key.clone())
+            .or_insert_with(|| value.clone());
+        Ok(value)
+    }
+}
+
+impl<K, V> fmt::Debug for MemoTable<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoTable")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+struct InternerInner<T> {
+    shards: Vec<RwLock<HashSet<Arc<T>>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A hash-consing pool: structurally equal values are stored once.
+///
+/// [`intern`](Interner::intern) returns an [`Arc`] to the canonical copy,
+/// so memo tables whose values repeat (closure operators map *many*
+/// inputs to *few* fixpoints) hold one allocation per distinct value.
+/// Cloning an interner shares the pool.
+pub struct Interner<T> {
+    inner: Arc<InternerInner<T>>,
+}
+
+impl<T> Clone for Interner<T> {
+    fn clone(&self) -> Self {
+        Interner {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Interner<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Interner {
+            inner: Arc::new(InternerInner {
+                shards: (0..NUM_SHARDS)
+                    .map(|_| RwLock::new(HashSet::new()))
+                    .collect(),
+                hasher: RandomState::new(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Distinct values currently pooled.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .sum()
+    }
+
+    /// `true` if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .shards
+            .iter()
+            .all(|s| s.read().unwrap().is_empty())
+    }
+
+    /// Snapshot of the hit/miss/entry counters (a hit means the value was
+    /// already pooled).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl<T: Hash + Eq> Interner<T> {
+    /// Returns the canonical shared copy of `value`, pooling it first if
+    /// it is new.
+    pub fn intern(&self, value: T) -> Arc<T> {
+        let h = self.inner.hasher.hash_one(&value) as usize;
+        let shard = &self.inner.shards[h & (NUM_SHARDS - 1)];
+        if let Some(existing) = shard.read().unwrap().get(&value) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(existing);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = shard.write().unwrap();
+        if let Some(existing) = guard.get(&value) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(value);
+        guard.insert(Arc::clone(&arc));
+        arc
+    }
+}
+
+impl<T> fmt::Debug for Interner<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitVecSet;
+
+    #[test]
+    fn memo_table_counts_hits_and_misses() {
+        let table: MemoTable<u32, u32> = MemoTable::new();
+        assert_eq!(table.get_or_insert_with(&3, || 9), 9);
+        assert_eq!(table.get_or_insert_with(&3, || unreachable!()), 9);
+        assert_eq!(table.get_or_insert_with(&4, || 16), 16);
+        let stats = table.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_table_clones_share_storage() {
+        let a: MemoTable<u8, u8> = MemoTable::new();
+        let b = a.clone();
+        a.get_or_insert_with(&1, || 2);
+        assert_eq!(b.peek(&1), Some(2));
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn memo_table_is_shared_across_threads() {
+        let table: MemoTable<u64, u64> = MemoTable::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = table.clone();
+                s.spawn(move || {
+                    for k in 0..64u64 {
+                        assert_eq!(t.get_or_insert_with(&k, || k * k), k * k);
+                    }
+                });
+            }
+        });
+        assert_eq!(table.len(), 64);
+        assert_eq!(table.stats().lookups(), 4 * 64);
+    }
+
+    #[test]
+    fn interner_dedupes_bitsets() {
+        let pool: Interner<BitVecSet> = Interner::new();
+        let a = pool.intern(BitVecSet::from_indices(16, [1, 5, 9]));
+        let b = pool.intern(BitVecSet::from_indices(16, [1, 5, 9]));
+        let c = pool.intern(BitVecSet::from_indices(16, [2]));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(pool.len(), 2);
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn stats_merge_and_display() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        let b = CacheStats {
+            hits: 1,
+            misses: 3,
+            entries: 2,
+        };
+        let m = a.merged(&b);
+        assert_eq!((m.hits, m.misses, m.entries), (4, 4, 3));
+        assert_eq!(m.hit_rate(), 0.5);
+        assert!(format!("{m}").contains("50.0%"));
+    }
+}

@@ -16,6 +16,14 @@
 //! - [`bitset`] — a compact dynamic bitset, the backing store for powerset
 //!   lattices over finite universes.
 //! - [`powerset`] — the powerset lattice `℘(U)` of a finite universe.
+//! - [`cache`] — sharded thread-safe memo tables, hash-consing interners
+//!   and hit/miss counters shared by the closure, transfer-function and
+//!   `wlp` caches of the repair engine.
+//! - [`parallel`] — deterministic work-stealing [`par_map`] over slices,
+//!   the substrate of the parallel corpus/CEGAR drivers.
+//!
+//! Paper↔code correspondences for the whole workspace are catalogued in
+//! `PAPER_MAP.md` at the repository root.
 //!
 //! # Example
 //!
@@ -30,15 +38,19 @@
 //! ```
 
 pub mod bitset;
+pub mod cache;
 pub mod closure;
 pub mod fixpoint;
 pub mod galois;
 pub mod order;
+pub mod parallel;
 pub mod powerset;
 
 pub use bitset::BitVecSet;
+pub use cache::{CacheStats, Interner, MemoTable};
 pub use closure::{ClosureOperator, MooreFamily};
 pub use fixpoint::{lfp, lfp_widen, FixpointError};
 pub use galois::GaloisConnection;
 pub use order::{BoundedLattice, JoinSemilattice, Lattice, MeetSemilattice, Poset};
+pub use parallel::{available_jobs, par_map, par_map_indexed};
 pub use powerset::PowersetLattice;

@@ -1,0 +1,107 @@
+//! Deterministic work-stealing parallelism over slices.
+//!
+//! [`par_map`] fans a pure function out over a slice with `jobs` scoped
+//! worker threads pulling indices from a shared atomic counter (the
+//! simplest form of work stealing: idle workers steal the next unclaimed
+//! item). Results are written into per-index slots and returned **in
+//! input order**, so the output is bitwise identical to the sequential
+//! `items.iter().map(f).collect()` — only wall-clock time changes. The
+//! corpus sweep of the CLI and the block fan-out of the CEGAR driver are
+//! built on this.
+//!
+//! With `jobs <= 1` (or a single item) the map runs inline on the calling
+//! thread — no spawn overhead, and a convenient way to force the
+//! sequential reference path in differential tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of hardware threads available, or `1` if unknown.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` with up to `jobs` worker threads, returning the
+/// results in input order.
+///
+/// `f` must be pure for the parallel and sequential paths to agree. A
+/// panic in any worker propagates to the caller once all workers stop.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(jobs, items, |_, item| f(item))
+}
+
+/// Like [`par_map`], but `f` also receives each item's index.
+pub fn par_map_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every index claimed by exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..200).collect();
+        let seq: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for jobs in [1, 2, 4, 7] {
+            assert_eq!(par_map(jobs, &items, |&x| x * 3 + 1), seq);
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_true_indices() {
+        let items = ["a", "b", "c", "d", "e"];
+        let out = par_map_indexed(3, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, ["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(4, &[42u8], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items = [1u64, 2, 3];
+        assert_eq!(par_map(64, &items, |&x| x * x), vec![1, 4, 9]);
+    }
+}

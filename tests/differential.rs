@@ -1,0 +1,242 @@
+//! Differential tests for the memoized + parallel repair engine.
+//!
+//! The tentpole claim is *bitwise determinism*: enabling the semantic
+//! caches, the hash-consed closure memo, or the parallel fan-out must not
+//! change a single bit of any verdict. These tests compare the cached
+//! engines against the uncached reference path and parallel sweeps
+//! against sequential ones, over the whole `corpus/` suite and over
+//! randomly generated programs and domains.
+
+use air::core::{EnumDomain, Lcl, Verdict, Verifier};
+use air::domains::IntervalEnv;
+use air::lang::gen::{GenConfig, ProgramGen, XorShift};
+use air::lang::{parse_bexp, parse_program, Concrete, Reg, SemCache, StateSet, Universe, Wlp};
+use air::lattice::{par_map, par_map_indexed};
+use proptest::prelude::*;
+
+/// (name, variable declarations, precondition, spec) for every corpus
+/// program — the same workloads as `tests/corpus.rs` and `air corpus`.
+type Case = (
+    &'static str,
+    Vec<(&'static str, i64, i64)>,
+    &'static str,
+    &'static str,
+);
+
+fn corpus_cases() -> Vec<Case> {
+    vec![
+        ("absval", vec![("x", -8, 8)], "x != 0", "x >= 1"),
+        (
+            "division",
+            vec![("x", 0, 15), ("q", 0, 6), ("r", 0, 15)],
+            "x >= 0",
+            "x = 3 * q + r && r <= 2",
+        ),
+        ("gauss", vec![("i", 0, 8), ("j", 0, 24)], "true", "j <= 15"),
+        (
+            "nondet_walk",
+            vec![("x", -4, 4), ("s", -1, 1)],
+            "x = 0",
+            "x >= -2 && x <= 2",
+        ),
+        (
+            "parity_flip",
+            vec![("x", 0, 9), ("b", 0, 1)],
+            "b = 0",
+            "b = 0 || b = 1",
+        ),
+        (
+            "two_phase",
+            vec![("n", 0, 5), ("i", 0, 6), ("j", 0, 6)],
+            "i = 0 && j = 0 && n >= 0",
+            "j = n",
+        ),
+    ]
+}
+
+fn load(name: &str) -> Reg {
+    let path = format!("{}/corpus/{name}.imp", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse_program(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn sat(u: &Universe, b: &str) -> StateSet {
+    Concrete::new(u).sat(&parse_bexp(b).unwrap()).unwrap()
+}
+
+/// Every observable field of two verdicts must coincide.
+fn assert_verdict_eq(name: &str, a: &Verdict, b: &Verdict) {
+    assert_eq!(a.is_proved(), b.is_proved(), "{name}: verdict kind");
+    assert_eq!(a.valid_input(), b.valid_input(), "{name}: valid input");
+    assert_eq!(a.added_points(), b.added_points(), "{name}: added points");
+    assert_eq!(
+        a.domain().points(),
+        b.domain().points(),
+        "{name}: domain points"
+    );
+    if let (Verdict::Refuted { witness: wa, .. }, Verdict::Refuted { witness: wb, .. }) = (a, b) {
+        assert_eq!(wa, wb, "{name}: witness");
+    }
+}
+
+/// Cached and uncached verifiers agree bitwise on every corpus program,
+/// with both repair strategies.
+#[test]
+fn cached_matches_uncached_over_corpus() {
+    for (name, decls, pre, spec) in corpus_cases() {
+        let u = Universe::new(&decls).unwrap();
+        let prog = load(name);
+        let pre = sat(&u, pre);
+        let spec = sat(&u, spec);
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        for strategy in ["backward", "forward"] {
+            let run = |verifier: &Verifier| match strategy {
+                "backward" => verifier.backward(dom.clone(), &prog, &pre, &spec).unwrap(),
+                _ => verifier.forward(dom.clone(), &prog, &pre, &spec).unwrap(),
+            };
+            let cached = run(&Verifier::new(&u));
+            let uncached = run(&Verifier::uncached(&u));
+            assert_verdict_eq(&format!("{name}/{strategy}"), &cached, &uncached);
+        }
+    }
+}
+
+/// A parallel corpus sweep returns the same verdicts in the same order as
+/// a sequential one, for every jobs count.
+#[test]
+fn parallel_sweep_matches_sequential() {
+    let cases = corpus_cases();
+    let sweep = |jobs: usize| -> Vec<(bool, StateSet, Vec<StateSet>)> {
+        par_map(jobs, &cases, |(name, decls, pre, spec)| {
+            let u = Universe::new(decls).unwrap();
+            let prog = load(name);
+            let pre = sat(&u, pre);
+            let spec = sat(&u, spec);
+            let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+            let v = Verifier::new(&u).backward(dom, &prog, &pre, &spec).unwrap();
+            (
+                v.is_proved(),
+                v.valid_input().clone(),
+                v.added_points().to_vec(),
+            )
+        })
+    };
+    let sequential = sweep(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(sweep(jobs), sequential, "jobs = {jobs}");
+    }
+}
+
+/// The LCL_A proof system derives identical derivations with and without
+/// the semantic cache.
+#[test]
+fn lcl_cached_matches_uncached() {
+    for (name, decls, pre, _) in corpus_cases() {
+        let u = Universe::new(&decls).unwrap();
+        let prog = load(name);
+        let pre = sat(&u, pre);
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let (da, ra) = Lcl::new(&u)
+            .derive_with_repair(dom.clone(), &pre, &prog)
+            .unwrap();
+        let (db, rb) = Lcl::uncached(&u)
+            .derive_with_repair(dom, &pre, &prog)
+            .unwrap();
+        assert_eq!(da.triple().post, db.triple().post, "{name}: post");
+        assert_eq!(da.size(), db.size(), "{name}: derivation size");
+        assert_eq!(ra.points(), rb.points(), "{name}: repaired points");
+    }
+}
+
+/// `par_map_indexed` preserves input order regardless of scheduling.
+#[test]
+fn par_map_is_order_preserving_on_large_inputs() {
+    let items: Vec<usize> = (0..997).collect();
+    let expected: Vec<usize> = items.iter().map(|i| i * i).collect();
+    for jobs in [1, 3, 8] {
+        assert_eq!(par_map_indexed(jobs, &items, |_, &i| i * i), expected);
+    }
+}
+
+proptest! {
+    /// The semantic cache is transparent on random programs: `exec`, `wlp`
+    /// and repair all agree with the uncached path, even when the same
+    /// cache is reused across many programs of one universe.
+    #[test]
+    fn random_programs_cached_matches_uncached(seed in 0u64..48) {
+        let u = Universe::new(&[("x", -5, 5), ("y", -5, 5)]).unwrap();
+        let sem = Concrete::new(&u);
+        let wlp = Wlp::new(&u);
+        let cache = SemCache::new();
+        let mut rng = XorShift::new(seed.wrapping_mul(0x9E37_79B9) + 1);
+        for round in 0..4u64 {
+            let prog = ProgramGen::new(
+                seed * 16 + round,
+                GenConfig {
+                    vars: vec!["x".into(), "y".into()],
+                    const_bound: 2,
+                    max_depth: 3,
+                    allow_star: true,
+                },
+            )
+            .reg();
+            let mut input = u.empty();
+            for i in 0..u.size() {
+                if rng.chance(1, 3) {
+                    input.insert(i);
+                }
+            }
+            let spec = sem.exec(&prog, &input).unwrap();
+            // Concrete semantics through the shared cache.
+            prop_assert_eq!(cache.exec(&sem, &prog, &input).unwrap(), spec.clone());
+            // wlp through the shared cache.
+            prop_assert_eq!(
+                cache.wlp_reg(&wlp, &prog, &spec).unwrap(),
+                wlp.reg(&prog, &spec).unwrap()
+            );
+            // Full repair, cached vs uncached, on a randomly pointed domain.
+            let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u))
+                .with_point(input.clone());
+            let cached = Verifier::new(&u)
+                .backward(dom.clone(), &prog, &input, &spec)
+                .unwrap();
+            let uncached = Verifier::uncached(&u)
+                .backward(dom, &prog, &input, &spec)
+                .unwrap();
+            prop_assert_eq!(cached.is_proved(), uncached.is_proved());
+            prop_assert_eq!(cached.valid_input(), uncached.valid_input());
+            prop_assert_eq!(cached.added_points(), uncached.added_points());
+        }
+    }
+
+    /// Memo-table consistency under random domains: repeated closures
+    /// through one memoized domain always equal a fresh domain's closure
+    /// (entries never go stale), and closing is idempotent.
+    #[test]
+    fn closure_memo_never_staleness(seed in 0u64..64) {
+        let u = Universe::new(&[("x", -6, 6)]).unwrap();
+        let mut rng = XorShift::new(seed + 7);
+        let mut point = u.empty();
+        for i in 0..u.size() {
+            if rng.chance(1, 4) {
+                point.insert(i);
+            }
+        }
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u))
+            .with_point(point);
+        for probe_seed in 0..8u64 {
+            let mut probe_rng = XorShift::new(seed * 131 + probe_seed + 1);
+            let mut probe = u.empty();
+            for i in 0..u.size() {
+                if probe_rng.chance(1, 3) {
+                    probe.insert(i);
+                }
+            }
+            let fresh = dom.clone_fresh_caches();
+            let c = dom.close(&probe);
+            prop_assert_eq!(&c, &fresh.close(&probe));
+            prop_assert_eq!(&dom.close(&c), &c); // idempotent through the memo
+            prop_assert_eq!(&c, &dom.close(&probe)); // repeat lookup is stable
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo run -p air-bench --bin bench_tables --release`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use air_bench::{
@@ -14,6 +15,7 @@ use air_cegar::driver::{Cegar, Heuristic};
 use air_core::{BackwardRepair, EnumDomain, ForwardRepair, Verifier};
 use air_domains::BooleanPredicateDomain;
 use air_lang::{parse_bexp, Universe};
+use air_trace::{Profiler, Tracer};
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -451,8 +453,12 @@ struct RepairBenchRow {
     cached_ms: f64,
     exec_hits: u64,
     exec_misses: u64,
+    exec_bypasses: u64,
     closure_hits: u64,
     closure_misses: u64,
+    /// Per-phase wall time from one traced run (phase name, milliseconds),
+    /// measured outside the timed loops so tracing never pollutes them.
+    phase_ms: Vec<(String, f64)>,
 }
 
 impl RepairBenchRow {
@@ -508,7 +514,9 @@ fn t9_repair_benchmark() {
                     .expect("corpus program verifies")
             });
             cached_ms = cached_ms.min(ms);
-            let exec = verifier.cache().expect("cached verifier").exec_stats();
+            let sem_cache = verifier.cache().expect("cached verifier");
+            let exec = sem_cache.exec_stats();
+            let bypasses = sem_cache.bypass_count();
             let closure = v.domain().cache_stats();
             row = Some(RepairBenchRow {
                 name: task.name.clone(),
@@ -518,12 +526,24 @@ fn t9_repair_benchmark() {
                 cached_ms: 0.0,
                 exec_hits: exec.hits,
                 exec_misses: exec.misses,
+                exec_bypasses: bypasses,
                 closure_hits: closure.hits,
                 closure_misses: closure.misses,
+                phase_ms: Vec::new(),
             });
         }
         let mut row = row.expect("at least one run");
         row.cached_ms = cached_ms;
+        // One extra traced run, after the timed ones, to attribute wall
+        // time to pipeline phases (verify/repair/lcl spans).
+        let profiler = Arc::new(Profiler::new());
+        let dom = int_domain(&task.universe);
+        let v = Verifier::new(&task.universe)
+            .tracer(Tracer::new(profiler.clone()))
+            .backward(dom, &task.prog, &task.pre, &task.spec)
+            .expect("corpus program verifies");
+        assert!(v.is_proved(), "{}", task.name);
+        row.phase_ms = profiler.summary().phase_ms();
         rows.push(row);
     }
 
@@ -581,7 +601,11 @@ fn t9_repair_benchmark() {
                     format!("{:.3}", row.uncached_ms),
                     format!("{:.3}", row.cached_ms),
                     format!("{:.2}x", row.speedup()),
-                    format!("{:.1}%", 100.0 * json_rate(row.exec_hits, row.exec_misses)),
+                    if row.exec_hits + row.exec_misses == 0 && row.exec_bypasses > 0 {
+                        format!("bypass ({})", row.exec_bypasses)
+                    } else {
+                        format!("{:.1}%", 100.0 * json_rate(row.exec_hits, row.exec_misses))
+                    },
                     format!(
                         "{:.1}%",
                         100.0 * json_rate(row.closure_hits, row.closure_misses)
@@ -602,11 +626,18 @@ fn t9_repair_benchmark() {
     json.push_str(&format!("  \"runs_per_measurement\": {RUNS},\n"));
     json.push_str("  \"programs\": [\n");
     for (i, row) in rows.iter().enumerate() {
+        let phase_ms = row
+            .phase_ms
+            .iter()
+            .map(|(phase, ms)| format!("\"{phase}\": {ms:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"proved\": {}, \"points\": {}, \
              \"uncached_ms\": {:.3}, \"cached_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"exec_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}, \
-             \"closure_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}}}{}\n",
+             \"exec_cache\": {{\"hits\": {}, \"misses\": {}, \"bypasses\": {}, \"hit_rate\": {:.3}}}, \
+             \"closure_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}, \
+             \"phase_ms\": {{{}}}}}{}\n",
             row.name,
             row.proved,
             row.points,
@@ -615,10 +646,12 @@ fn t9_repair_benchmark() {
             row.speedup(),
             row.exec_hits,
             row.exec_misses,
+            row.exec_bypasses,
             json_rate(row.exec_hits, row.exec_misses),
             row.closure_hits,
             row.closure_misses,
             json_rate(row.closure_hits, row.closure_misses),
+            phase_ms,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

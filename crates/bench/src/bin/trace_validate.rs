@@ -1,0 +1,236 @@
+//! Validate an air-trace JSONL event log against the checked-in wire
+//! schema (`schemas/trace-event.schema.json`).
+//!
+//! ```text
+//! trace_validate <trace.jsonl> [schema.json]
+//! ```
+//!
+//! The schema lists the envelope fields every line must carry plus, per
+//! event kind, the required payload fields and their JSON types. The
+//! validator fails (exit code 1) on:
+//!
+//! - a schema whose kind set disagrees with [`air_trace::KNOWN_KINDS`]
+//!   (catches a schema file that drifted from the code, in either
+//!   direction),
+//! - a line that is not a JSON object,
+//! - a missing or mistyped envelope/payload field,
+//! - an unknown event kind, or a payload field the schema does not list.
+//!
+//! Kinds are a *closed* set: adding an `EventKind` variant without
+//! updating the schema (and vice versa) is a CI failure by design.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use air_trace::json::{self, Value};
+use air_trace::KNOWN_KINDS;
+
+const DEFAULT_SCHEMA: &str = "schemas/trace-event.schema.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, schema_path) = match args.as_slice() {
+        [trace] => (trace.as_str(), DEFAULT_SCHEMA),
+        [trace, schema] => (trace.as_str(), schema.as_str()),
+        _ => {
+            eprintln!("usage: trace_validate <trace.jsonl> [schema.json]");
+            return ExitCode::from(2);
+        }
+    };
+    match validate(trace_path, schema_path) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_validate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Required fields of one event kind: field name -> JSON type name
+/// (`"string"` or `"number"`).
+type FieldSpec = BTreeMap<String, String>;
+
+struct Schema {
+    envelope: FieldSpec,
+    kinds: BTreeMap<String, FieldSpec>,
+}
+
+fn validate(trace_path: &str, schema_path: &str) -> Result<String, String> {
+    let schema = load_schema(schema_path)?;
+
+    // The schema must name exactly the kinds the code can emit.
+    for kind in KNOWN_KINDS {
+        if !schema.kinds.contains_key(*kind) {
+            return Err(format!(
+                "{schema_path}: kind {kind:?} is emitted by air-trace but missing from the schema"
+            ));
+        }
+    }
+    for kind in schema.kinds.keys() {
+        if !KNOWN_KINDS.contains(&kind.as_str()) {
+            return Err(format!(
+                "{schema_path}: kind {kind:?} is in the schema but unknown to air-trace"
+            ));
+        }
+    }
+
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event =
+            json::parse(line).map_err(|e| format!("{trace_path}:{lineno}: malformed JSON: {e}"))?;
+        let kind =
+            check_event(&schema, &event).map_err(|e| format!("{trace_path}:{lineno}: {e}"))?;
+        *counts.entry(kind).or_default() += 1;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{trace_path}: trace is empty"));
+    }
+
+    let mut report = format!("{trace_path}: {lines} events valid");
+    for (kind, n) in &counts {
+        report.push_str(&format!("\n  {kind:<16} {n}"));
+    }
+    Ok(report)
+}
+
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let envelope = field_spec(
+        doc.get("envelope")
+            .ok_or(format!("{path}: no \"envelope\""))?,
+    )
+    .map_err(|e| format!("{path}: envelope: {e}"))?;
+    let kinds_obj = doc
+        .get("kinds")
+        .and_then(Value::as_obj)
+        .ok_or(format!("{path}: no \"kinds\" object"))?;
+    let mut kinds = BTreeMap::new();
+    for (kind, fields) in kinds_obj {
+        let spec = field_spec(fields).map_err(|e| format!("{path}: kind {kind:?}: {e}"))?;
+        kinds.insert(kind.clone(), spec);
+    }
+    Ok(Schema { envelope, kinds })
+}
+
+fn field_spec(v: &Value) -> Result<FieldSpec, String> {
+    let obj = v.as_obj().ok_or("expected an object of field -> type")?;
+    let mut spec = FieldSpec::new();
+    for (field, ty) in obj {
+        let ty = ty
+            .as_str()
+            .ok_or_else(|| format!("field {field:?}: type must be a string"))?;
+        if ty != "string" && ty != "number" {
+            return Err(format!("field {field:?}: unsupported type {ty:?}"));
+        }
+        spec.insert(field.clone(), ty.to_string());
+    }
+    Ok(spec)
+}
+
+/// Check one parsed event line; returns its kind on success.
+fn check_event(schema: &Schema, event: &Value) -> Result<String, String> {
+    let obj = event.as_obj().ok_or("event is not a JSON object")?;
+    for (field, ty) in &schema.envelope {
+        check_field(obj, field, ty)?;
+    }
+    let kind = obj
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing \"kind\"")?;
+    let payload = schema
+        .kinds
+        .get(kind)
+        .ok_or_else(|| format!("unknown event kind {kind:?}"))?;
+    for (field, ty) in payload {
+        check_field(obj, field, ty)?;
+    }
+    // Closed schema: any field beyond envelope + payload is a violation.
+    for field in obj.keys() {
+        if !schema.envelope.contains_key(field) && !payload.contains_key(field) {
+            return Err(format!("kind {kind:?}: unexpected field {field:?}"));
+        }
+    }
+    Ok(kind.to_string())
+}
+
+fn check_field(obj: &BTreeMap<String, Value>, field: &str, ty: &str) -> Result<(), String> {
+    let value = obj
+        .get(field)
+        .ok_or_else(|| format!("missing field {field:?}"))?;
+    let ok = match ty {
+        "string" => matches!(value, Value::Str(_)),
+        "number" => matches!(value, Value::Num(_)),
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("field {field:?} is not a {ty}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_schema() -> Schema {
+        load_schema(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/trace-event.schema.json"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_covers_exactly_the_known_kinds() {
+        let schema = test_schema();
+        for kind in KNOWN_KINDS {
+            assert!(schema.kinds.contains_key(*kind), "schema missing {kind}");
+        }
+        assert_eq!(schema.kinds.len(), KNOWN_KINDS.len());
+    }
+
+    #[test]
+    fn accepts_well_formed_events() {
+        let schema = test_schema();
+        let line = r#"{"seq":0,"t_ns":12,"kind":"span_enter","phase":"verify.backward"}"#;
+        let event = json::parse(line).unwrap();
+        assert_eq!(check_event(&schema, &event).unwrap(), "span_enter");
+    }
+
+    #[test]
+    fn rejects_unknown_kind_missing_field_and_extra_field() {
+        let schema = test_schema();
+        let unknown = json::parse(r#"{"seq":0,"t_ns":1,"kind":"mystery"}"#).unwrap();
+        assert!(check_event(&schema, &unknown)
+            .unwrap_err()
+            .contains("unknown event kind"));
+        let missing = json::parse(r#"{"seq":0,"t_ns":1,"kind":"cache_hit"}"#).unwrap();
+        assert!(check_event(&schema, &missing)
+            .unwrap_err()
+            .contains("missing field"));
+        let extra =
+            json::parse(r#"{"seq":0,"t_ns":1,"kind":"cache_hit","table":"exec","bonus":3}"#)
+                .unwrap();
+        assert!(check_event(&schema, &extra)
+            .unwrap_err()
+            .contains("unexpected field"));
+        let mistyped =
+            json::parse(r#"{"seq":"0","t_ns":1,"kind":"cache_hit","table":"exec"}"#).unwrap();
+        assert!(check_event(&schema, &mistyped)
+            .unwrap_err()
+            .contains("not a number"));
+    }
+}

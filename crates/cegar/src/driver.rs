@@ -6,6 +6,7 @@
 //! counterexample. Partitions refine strictly, so the loop terminates.
 
 use air_lattice::BitVecSet;
+use air_trace::{EventKind, Tracer};
 
 use crate::amc::AbstractTs;
 use crate::partition::Partition;
@@ -126,6 +127,7 @@ pub struct Cegar<'t> {
     heuristic: Heuristic,
     initial_partition: Option<Partition>,
     jobs: usize,
+    trace: Tracer,
 }
 
 impl<'t> Cegar<'t> {
@@ -143,6 +145,7 @@ impl<'t> Cegar<'t> {
             heuristic,
             initial_partition: None,
             jobs: 1,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -163,6 +166,14 @@ impl<'t> Cegar<'t> {
         self
     }
 
+    /// Emits `cegar_iteration`/`cegar_refinement`/`cegar_split`/`verdict`
+    /// events through `tracer`, one `cegar_iteration` per abstract
+    /// model-checking round.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.trace = tracer;
+        self
+    }
+
     /// Runs all three heuristics on the same problem, each on its own
     /// worker thread, for comparative experiments.
     pub fn compare(
@@ -178,9 +189,13 @@ impl<'t> Cegar<'t> {
     }
 
     /// Runs the loop to completion.
-    pub fn run(self) -> CegarResult {
+    pub fn run(mut self) -> CegarResult {
+        let _span = self
+            .trace
+            .span(|| format!("cegar.{}", self.heuristic.label()));
         let mut partition = self
             .initial_partition
+            .take()
             .unwrap_or_else(|| Partition::trivial(self.ts.num_states()));
         partition.split_by(&self.init);
         partition.split_by(&self.bad);
@@ -188,11 +203,16 @@ impl<'t> Cegar<'t> {
         let mut stats = CegarStats::default();
         loop {
             stats.iterations += 1;
+            self.trace.emit_with(|| EventKind::CegarIteration {
+                iteration: stats.iterations,
+                blocks: partition.num_blocks(),
+            });
             let abs = AbstractTs::build_with_jobs(self.ts, &partition, self.jobs);
             let init_blocks = partition.blocks_of_set(&self.init);
             let bad_blocks = partition.blocks_of_set(&self.bad);
             let Some(path) = abs.find_counterexample(&init_blocks, &bad_blocks) else {
                 stats.final_blocks = partition.num_blocks();
+                self.trace_verdict(true);
                 return CegarResult::Safe { partition, stats };
             };
             let analysis = SpuriousAnalysis::analyze(self.ts, &partition, &path);
@@ -201,6 +221,7 @@ impl<'t> Cegar<'t> {
                     .concrete_witness(self.ts)
                     .expect("non-spurious path has a witness");
                 stats.final_blocks = partition.num_blocks();
+                self.trace_verdict(false);
                 return CegarResult::Unsafe {
                     path: concrete,
                     partition,
@@ -208,7 +229,10 @@ impl<'t> Cegar<'t> {
                 };
             }
             stats.refinements += 1;
-            stats.splits += match self.heuristic {
+            self.trace.emit_with(|| EventKind::CegarRefinement {
+                iteration: stats.iterations,
+            });
+            let splits = match self.heuristic {
                 Heuristic::Classic => refine::classic(self.ts, &mut partition, &analysis, &path),
                 Heuristic::ForwardAir => {
                     refine::forward_air(self.ts, &mut partition, &analysis, &path)
@@ -221,7 +245,20 @@ impl<'t> Cegar<'t> {
                     self.jobs,
                 ),
             };
+            stats.splits += splits;
+            self.trace.emit_with(|| EventKind::CegarSplit {
+                heuristic: self.heuristic.label().to_string(),
+                splits,
+                blocks: partition.num_blocks(),
+            });
         }
+    }
+
+    fn trace_verdict(&self, safe: bool) {
+        self.trace.emit_with(|| EventKind::Verdict {
+            phase: "cegar".to_string(),
+            verdict: if safe { "safe" } else { "unsafe" }.to_string(),
+        });
     }
 }
 

@@ -7,20 +7,28 @@ pub const USAGE: &str = "\
 usage:
   air verify  --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP
               [--domain int|oct|sign|parity|const|cong|karr] [--strategy backward|forward]
-              [--stats] [--uncached]
+              [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
   air analyze --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP [--domain ...]
-              [--stats] [--uncached]
+              [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
   air prove   --vars SPEC --code PROG|--file PATH --pre BEXP [--spec BEXP] [--domain ...]
-              [--stats] [--uncached]
-  air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--stats] [--uncached]
+              [--stats] [--stats-json] [--uncached] [--trace FILE]
+              [--trace-format jsonl|dot] [--profile]
+  air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--stats]
+              [--stats-json] [--uncached] [--trace FILE] [--profile]
+  air trace summarize FILE
 
   --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
   PROG is the Imp-like surface syntax, e.g. \"while (x > 0) do { x := x - 1 }\"
   BEXP is a boolean expression over the variables, e.g. \"x != 0 && y <= 5\"
   corpus sweeps every *.imp under --dir (default `corpus/`), reading each
   file's `# Verified with:` header, fanning programs out over --jobs threads
-  --stats prints cache hit/miss counters and timings; --uncached disables
-  the memo tables (the reference path)";
+  --stats prints cache hit/miss counters and timings; --stats-json prints the
+  same as one JSON object; --uncached disables the memo tables (the
+  reference path)
+  --trace FILE writes a structured JSONL event log; --trace-format dot
+  (prove only) writes the LCL derivation as Graphviz DOT instead;
+  --profile prints a per-phase wall-time table after the run
+  trace summarize aggregates a JSONL trace into per-phase tables";
 
 /// The base abstract domain to start from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -57,6 +65,16 @@ impl DomainKind {
     }
 }
 
+/// The output format of `--trace`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceFormat {
+    /// One JSON event per line (the wire schema of `air-trace`). Default.
+    #[default]
+    Jsonl,
+    /// Graphviz DOT of the LCL derivation tree (`prove` only).
+    Dot,
+}
+
 /// The repair strategy for `verify`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum StrategyKind {
@@ -89,6 +107,11 @@ pub enum Command {
     Prove(Task),
     /// `air corpus` — verify every program in a corpus directory.
     Corpus(CorpusTask),
+    /// `air trace summarize` — aggregate a JSONL trace into tables.
+    TraceSummarize {
+        /// Path of the JSONL trace file.
+        file: String,
+    },
 }
 
 /// The common task payload.
@@ -108,8 +131,16 @@ pub struct Task {
     pub strategy: StrategyKind,
     /// Print cache hit/miss counters and timings after the run.
     pub stats: bool,
+    /// Print the same statistics as one machine-readable JSON object.
+    pub stats_json: bool,
     /// Disable memoization (the reference path).
     pub uncached: bool,
+    /// Write a structured trace to this file.
+    pub trace: Option<String>,
+    /// Format of the `--trace` output.
+    pub trace_format: TraceFormat,
+    /// Print a per-phase wall-time profile after the run.
+    pub profile: bool,
 }
 
 /// The corpus-sweep payload.
@@ -125,8 +156,14 @@ pub struct CorpusTask {
     pub strategy: StrategyKind,
     /// Print per-program timings and cache counters.
     pub stats: bool,
+    /// Print aggregate statistics as one machine-readable JSON object.
+    pub stats_json: bool,
     /// Disable memoization (the reference path).
     pub uncached: bool,
+    /// Write a structured JSONL trace of the whole sweep to this file.
+    pub trace: Option<String>,
+    /// Print a per-phase wall-time profile after the sweep.
+    pub profile: bool,
 }
 
 /// A parse failure.
@@ -184,6 +221,22 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     if sub == "--help" || sub == "-h" {
         return Err(ArgError("help requested".into()));
     }
+    if sub == "trace" {
+        let action = it
+            .next()
+            .ok_or_else(|| ArgError("`trace` needs an action (summarize)".into()))?;
+        if action != "summarize" {
+            return Err(ArgError(format!("unknown trace action `{action}`")));
+        }
+        let file = it
+            .next()
+            .cloned()
+            .ok_or_else(|| ArgError("`trace summarize` needs a FILE".into()))?;
+        if let Some(extra) = it.next() {
+            return Err(ArgError(format!("unexpected argument `{extra}`")));
+        }
+        return Ok(Command::TraceSummarize { file });
+    }
     let mut vars = None;
     let mut code = None;
     let mut file = None;
@@ -192,9 +245,13 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut domain = DomainKind::default();
     let mut strategy = StrategyKind::default();
     let mut stats = false;
+    let mut stats_json = false;
     let mut uncached = false;
     let mut dir = String::from("corpus");
     let mut jobs = 0usize;
+    let mut trace = None;
+    let mut trace_format = None;
+    let mut profile = false;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -216,7 +273,17 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
                 }
             }
             "--stats" => stats = true,
+            "--stats-json" => stats_json = true,
             "--uncached" => uncached = true,
+            "--trace" => trace = Some(value()?),
+            "--trace-format" => {
+                trace_format = Some(match value()?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "dot" => TraceFormat::Dot,
+                    other => return Err(ArgError(format!("unknown trace format `{other}`"))),
+                })
+            }
+            "--profile" => profile = true,
             "--dir" => dir = value()?,
             "--jobs" => {
                 let v = value()?;
@@ -227,6 +294,15 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             other => return Err(ArgError(format!("unknown flag `{other}`"))),
         }
     }
+    if trace_format.is_some() && trace.is_none() {
+        return Err(ArgError("--trace-format requires --trace".into()));
+    }
+    if trace_format == Some(TraceFormat::Dot) && sub != "prove" {
+        return Err(ArgError(
+            "--trace-format dot is only available for `prove`".into(),
+        ));
+    }
+    let trace_format = trace_format.unwrap_or_default();
     if sub == "corpus" {
         return Ok(Command::Corpus(CorpusTask {
             dir,
@@ -234,7 +310,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             domain,
             strategy,
             stats,
+            stats_json,
             uncached,
+            trace,
+            profile,
         }));
     }
     let code = match (code, file) {
@@ -252,7 +331,11 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
         domain,
         strategy,
         stats,
+        stats_json,
         uncached,
+        trace,
+        trace_format,
+        profile,
     };
     match sub.as_str() {
         "verify" | "analyze" => {
@@ -403,6 +486,75 @@ mod tests {
         };
         assert!(task.stats);
         assert!(!task.uncached);
+    }
+
+    #[test]
+    fn parses_trace_profile_and_stats_json_flags() {
+        let cmd = parse(&argv(&[
+            "prove",
+            "--vars",
+            "x:0..3",
+            "--code",
+            "skip",
+            "--pre",
+            "true",
+            "--trace",
+            "out.dot",
+            "--trace-format",
+            "dot",
+            "--profile",
+            "--stats-json",
+        ]))
+        .unwrap();
+        let Command::Prove(task) = cmd else {
+            panic!("expected prove");
+        };
+        assert_eq!(task.trace.as_deref(), Some("out.dot"));
+        assert_eq!(task.trace_format, TraceFormat::Dot);
+        assert!(task.profile && task.stats_json);
+        // DOT export is prove-only, and --trace-format needs --trace.
+        assert!(parse(&argv(&[
+            "verify",
+            "--vars",
+            "x:0..3",
+            "--code",
+            "skip",
+            "--pre",
+            "true",
+            "--spec",
+            "true",
+            "--trace",
+            "t.jsonl",
+            "--trace-format",
+            "dot",
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "prove",
+            "--vars",
+            "x:0..3",
+            "--code",
+            "skip",
+            "--pre",
+            "true",
+            "--trace-format",
+            "dot",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_trace_summarize() {
+        assert_eq!(
+            parse(&argv(&["trace", "summarize", "run.jsonl"])).unwrap(),
+            Command::TraceSummarize {
+                file: "run.jsonl".into()
+            }
+        );
+        assert!(parse(&argv(&["trace"])).is_err());
+        assert!(parse(&argv(&["trace", "replay", "x"])).is_err());
+        assert!(parse(&argv(&["trace", "summarize"])).is_err());
+        assert!(parse(&argv(&["trace", "summarize", "a", "b"])).is_err());
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! air analyze --vars ... --code ... --pre ... --spec ...      # alarms, no repair
 //! air prove   --vars ... --code ... --pre ...                 # LCL_A derivation
 //! air corpus  [--dir corpus] [--jobs N] [--stats] [--uncached] # parallel sweep
+//! air trace summarize run.jsonl                               # aggregate a trace
 //! ```
 //!
-//! `--stats` prints cache hit/miss counters and wall times; `--uncached`
-//! disables the memo tables (the reference path — results are bitwise
-//! identical either way). Exit codes: 0 = proved / no alarms, 1 = refuted
-//! / alarms, 2 = usage or runtime error. The paper↔code map behind the
-//! engine is `PAPER_MAP.md` at the repository root.
+//! `--stats` prints cache hit/miss counters and wall times (`--stats-json`
+//! prints the same as one JSON object); `--uncached` disables the memo
+//! tables (the reference path — results are bitwise identical either way).
+//! `--trace FILE` writes a structured JSONL event log (`--trace-format dot`
+//! on `prove` writes the LCL derivation as Graphviz DOT) and `--profile`
+//! prints a per-phase wall-time table. Exit codes: 0 = proved / no alarms,
+//! 1 = refuted / alarms, 2 = usage or runtime error. The paper↔code map
+//! behind the engine is `PAPER_MAP.md` at the repository root.
 
 use std::process::ExitCode;
 

@@ -1,6 +1,7 @@
 //! Executing parsed CLI commands against the AIR engine.
 
 use std::error::Error;
+use std::sync::Arc;
 use std::time::Instant;
 
 use air_core::summarize::display_set;
@@ -9,9 +10,10 @@ use air_domains::{
     AffineDomain, CongruenceEnv, ConstantEnv, IntervalEnv, OctagonDomain, ParityEnv, SignEnv,
 };
 use air_lang::{parse_bexp, parse_program, Concrete, SemCache, StateSet, Universe};
-use air_lattice::par_map;
+use air_lattice::{par_map, CacheStats};
+use air_trace::{json, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
 
-use crate::args::{Command, CorpusTask, DomainKind, StrategyKind, Task};
+use crate::args::{Command, CorpusTask, DomainKind, StrategyKind, Task, TraceFormat};
 
 /// The sign of a completed run (drives the exit code).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -68,7 +70,76 @@ pub fn run(command: Command) -> Result<Outcome, Box<dyn Error>> {
         Command::Analyze(task) => analyze(task),
         Command::Prove(task) => prove(task),
         Command::Corpus(task) => corpus(task),
+        Command::TraceSummarize { file } => trace_summarize(&file),
     }
+}
+
+/// The sinks behind a `--trace`/`--profile` run, plus the tracer handle
+/// engines receive. Kept until [`TraceSession::finish`] so the JSONL file
+/// is flushed and the profile table printed after the workload.
+struct TraceSession {
+    tracer: Tracer,
+    jsonl: Option<Arc<JsonlSink>>,
+    profiler: Option<Arc<Profiler>>,
+}
+
+impl TraceSession {
+    /// Opens the sinks a task asked for; with neither `--trace` nor
+    /// `--profile` the tracer is disabled and every emit site is free.
+    fn open(trace: Option<&str>, profile: bool) -> Result<TraceSession, Box<dyn Error>> {
+        let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        let jsonl = match trace {
+            Some(path) => {
+                let sink = Arc::new(
+                    JsonlSink::create(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?,
+                );
+                sinks.push(sink.clone());
+                Some(sink)
+            }
+            None => None,
+        };
+        let profiler = if profile {
+            let p = Arc::new(Profiler::new());
+            sinks.push(p.clone());
+            Some(p)
+        } else {
+            None
+        };
+        let tracer = match sinks.len() {
+            0 => Tracer::disabled(),
+            1 => Tracer::new(sinks.pop().expect("one sink")),
+            _ => Tracer::new(Arc::new(MultiSink::new(sinks))),
+        };
+        Ok(TraceSession {
+            tracer,
+            jsonl,
+            profiler,
+        })
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    fn finish(&self) -> Result<(), Box<dyn Error>> {
+        if let Some(jsonl) = &self.jsonl {
+            jsonl.flush().map_err(|e| format!("trace flush: {e}"))?;
+        }
+        if let Some(profiler) = &self.profiler {
+            println!("\n--- profile ---");
+            print!("{}", profiler.render());
+        }
+        Ok(())
+    }
+}
+
+/// `air trace summarize FILE` — aggregate a JSONL trace into tables.
+fn trace_summarize(file: &str) -> Result<Outcome, Box<dyn Error>> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let summary = Summary::from_jsonl(&text)?;
+    print!("{}", summary.render());
+    Ok(Outcome::Positive)
 }
 
 fn build_verifier<'u>(u: &'u Universe, uncached: bool) -> Verifier<'u> {
@@ -94,6 +165,53 @@ fn print_stats(label: &str, cache: Option<&SemCache>, dom: &EnumDomain, elapsed:
     println!("interner:       {}", dom.interner_stats());
 }
 
+fn cache_stats_json(stats: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"bypasses\":{},\"entries\":{}}}",
+        stats.hits, stats.misses, stats.bypasses, stats.entries
+    )
+}
+
+/// The `--stats-json` rendering: everything `print_stats` shows, as one
+/// JSON object on one line (machine-consumable; the human table stays the
+/// `--stats` default).
+fn stats_json(label: &str, cache: Option<&SemCache>, dom: &EnumDomain, elapsed: f64) -> String {
+    let mut out = String::from("{\"label\":");
+    json::escape_str(label, &mut out);
+    out.push_str(&format!(",\"wall_ms\":{:.3}", elapsed * 1e3));
+    match cache {
+        Some(c) => out.push_str(&format!(
+            ",\"semantic_cache\":{{\"exec\":{},\"wlp\":{},\"sat\":{}}}",
+            cache_stats_json(&c.exec_stats()),
+            cache_stats_json(&c.wlp_stats()),
+            cache_stats_json(&c.sat_stats()),
+        )),
+        None => out.push_str(",\"semantic_cache\":null"),
+    }
+    out.push_str(&format!(
+        ",\"closure_cache\":{},\"interner\":{}}}",
+        cache_stats_json(&dom.cache_stats()),
+        cache_stats_json(&dom.interner_stats()),
+    ));
+    out
+}
+
+/// Prints the human table and/or JSON object a task asked for.
+fn report_stats(
+    task: &Task,
+    label: &str,
+    cache: Option<&SemCache>,
+    dom: &EnumDomain,
+    elapsed: f64,
+) {
+    if task.stats {
+        print_stats(label, cache, dom, elapsed);
+    }
+    if task.stats_json {
+        println!("{}", stats_json(label, cache, dom, elapsed));
+    }
+}
+
 fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
     let u = build_universe(&task)?;
     let dom = build_domain(&task, &u);
@@ -103,7 +221,8 @@ fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
     println!("input:     {}", display_set(&u, &pre));
     println!("universe:  {} stores", u.size());
     println!("domain:    {}\n", dom.base_name());
-    let verifier = build_verifier(&u, task.uncached);
+    let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
+    let verifier = build_verifier(&u, task.uncached).tracer(session.tracer());
     let started = Instant::now();
     let verdict = match task.strategy {
         StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec)?,
@@ -117,9 +236,8 @@ fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
             display_set(&u, &verdict.valid_input().intersection(&pre))
         );
     }
-    if task.stats {
-        print_stats("verify", verifier.cache(), verdict.domain(), elapsed);
-    }
+    report_stats(&task, "verify", verifier.cache(), verdict.domain(), elapsed);
+    session.finish()?;
     Ok(match verdict {
         Verdict::Proved { .. } => Outcome::Positive,
         Verdict::Refuted { .. } => Outcome::Negative,
@@ -131,7 +249,8 @@ fn analyze(task: Task) -> Result<Outcome, Box<dyn Error>> {
     let dom = build_domain(&task, &u);
     let (prog, pre, spec) = build_sets(&task, &u)?;
     let spec = spec.expect("analyze requires a spec");
-    let verifier = build_verifier(&u, task.uncached);
+    let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
+    let verifier = build_verifier(&u, task.uncached).tracer(session.tracer());
     let started = Instant::now();
     let counts = verifier.alarm_counts(&dom, &prog, &pre, &spec)?;
     let elapsed = started.elapsed().as_secs_f64();
@@ -140,9 +259,8 @@ fn analyze(task: Task) -> Result<Outcome, Box<dyn Error>> {
     println!("alarms:       {}", counts.total);
     println!("true alarms:  {}", counts.true_alarms);
     println!("false alarms: {}", counts.false_alarms);
-    if task.stats {
-        print_stats("analyze", verifier.cache(), &dom, elapsed);
-    }
+    report_stats(&task, "analyze", verifier.cache(), &dom, elapsed);
+    session.finish()?;
     Ok(if counts.total == 0 {
         Outcome::Positive
     } else {
@@ -154,10 +272,31 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
     let u = build_universe(&task)?;
     let dom = build_domain(&task, &u);
     let (prog, pre, spec) = build_sets(&task, &u)?;
+    // With `--trace-format dot` the trace file receives the derivation
+    // tree, not a JSONL event log, so the session opens without it.
+    let dot_path = match (task.trace_format, &task.trace) {
+        (TraceFormat::Dot, Some(path)) => Some(path.clone()),
+        _ => None,
+    };
+    let jsonl_path = if dot_path.is_some() {
+        None
+    } else {
+        task.trace.as_deref()
+    };
+    let session = TraceSession::open(jsonl_path, task.profile)?;
     let lcl = if task.uncached {
         Lcl::uncached(&u)
     } else {
         Lcl::new(&u)
+    }
+    .tracer(session.tracer());
+    let write_dot = |derivation: &air_core::Derivation| -> Result<(), Box<dyn Error>> {
+        if let Some(path) = &dot_path {
+            std::fs::write(path, derivation.to_dot(&u))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote DOT derivation to {path}");
+        }
+        Ok(())
     };
     let started = Instant::now();
     // With a spec, decide it through the logic; otherwise just derive.
@@ -190,14 +329,15 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
             repaired.base_name(),
             repaired.num_points()
         );
-        if task.stats {
-            print_stats(
-                "prove",
-                lcl.cache(),
-                repaired,
-                started.elapsed().as_secs_f64(),
-            );
-        }
+        write_dot(derivation)?;
+        report_stats(
+            &task,
+            "prove",
+            lcl.cache(),
+            repaired,
+            started.elapsed().as_secs_f64(),
+        );
+        session.finish()?;
         return Ok(outcome);
     }
     let (derivation, repaired) = lcl.derive_with_repair(dom, &pre, &prog)?;
@@ -212,14 +352,15 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
         repaired.num_points()
     );
     println!("post: {}", display_set(&u, &derivation.triple().post));
-    if task.stats {
-        print_stats(
-            "prove",
-            lcl.cache(),
-            &repaired,
-            started.elapsed().as_secs_f64(),
-        );
-    }
+    write_dot(&derivation)?;
+    report_stats(
+        &task,
+        "prove",
+        lcl.cache(),
+        &repaired,
+        started.elapsed().as_secs_f64(),
+    );
+    session.finish()?;
     Ok(Outcome::Positive)
 }
 
@@ -276,7 +417,12 @@ fn parse_corpus_file(
             domain,
             strategy: task.strategy,
             stats: task.stats,
+            stats_json: false,
             uncached: task.uncached,
+            // The sweep owns the trace session; per-program tasks don't.
+            trace: None,
+            trace_format: TraceFormat::default(),
+            profile: false,
         },
     ))
 }
@@ -285,13 +431,14 @@ fn parse_corpus_file(
 /// its own universe and therefore its own caches — semantic caches must
 /// never be shared across universes (equal-looking state sets would alias
 /// different store enumerations).
-fn run_corpus_program(name: &str, task: &Task) -> Result<ProgramReport, String> {
+fn run_corpus_program(name: &str, task: &Task, tracer: Tracer) -> Result<ProgramReport, String> {
     let err = |e: Box<dyn Error>| format!("{name}: {e}");
+    let _span = tracer.span(|| format!("corpus.{name}"));
     let u = build_universe(task).map_err(err)?;
     let dom = build_domain(task, &u);
     let (prog, pre, spec) = build_sets(task, &u).map_err(err)?;
     let spec = spec.expect("corpus headers always carry a spec");
-    let verifier = build_verifier(&u, task.uncached);
+    let verifier = build_verifier(&u, task.uncached).tracer(tracer);
     let started = Instant::now();
     let verdict = match task.strategy {
         StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec),
@@ -342,8 +489,11 @@ fn corpus(task: CorpusTask) -> Result<Outcome, Box<dyn Error>> {
         task.strategy,
         if task.uncached { ", uncached" } else { "" }
     );
+    let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
     let started = Instant::now();
-    let results = par_map(jobs, &programs, |(name, t)| run_corpus_program(name, t));
+    let results = par_map(jobs, &programs, |(name, t)| {
+        run_corpus_program(name, t, session.tracer())
+    });
     let total_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut all_proved = true;
     let mut failures = Vec::new();
@@ -372,6 +522,25 @@ fn corpus(task: CorpusTask) -> Result<Outcome, Box<dyn Error>> {
         }
     }
     println!("total: {total_ms:.3} ms");
+    if task.stats_json {
+        let mut out = format!("{{\"label\":\"corpus\",\"wall_ms\":{total_ms:.3},\"programs\":[");
+        let mut first = true;
+        for report in results.iter().flatten() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            json::escape_str(&report.name, &mut out);
+            out.push_str(&format!(
+                ",\"proved\":{},\"points\":{},\"wall_ms\":{:.3}}}",
+                report.proved, report.points, report.millis
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+    }
+    session.finish()?;
     if !failures.is_empty() {
         return Err(failures.join("; ").into());
     }
@@ -400,7 +569,11 @@ mod tests {
             domain: DomainKind::Int,
             strategy: StrategyKind::Backward,
             stats: false,
+            stats_json: false,
             uncached: false,
+            trace: None,
+            trace_format: TraceFormat::default(),
+            profile: false,
         }
     }
 
@@ -425,7 +598,10 @@ mod tests {
             domain: DomainKind::Int,
             strategy: StrategyKind::Backward,
             stats: true,
+            stats_json: false,
             uncached: false,
+            trace: None,
+            profile: false,
         })
         .unwrap();
         assert_eq!(out, Outcome::Positive);
@@ -439,7 +615,10 @@ mod tests {
             domain: DomainKind::Int,
             strategy: StrategyKind::Backward,
             stats: false,
+            stats_json: false,
             uncached: true,
+            trace: None,
+            profile: false,
         })
         .unwrap();
         assert_eq!(out, Outcome::Positive);
@@ -453,7 +632,10 @@ mod tests {
             domain: DomainKind::Int,
             strategy: StrategyKind::Backward,
             stats: false,
+            stats_json: false,
             uncached: false,
+            trace: None,
+            profile: false,
         })
         .is_err());
     }
@@ -541,6 +723,61 @@ mod tests {
             t.domain = d;
             assert_eq!(verify(t).unwrap(), Outcome::Positive, "{d:?}");
         }
+    }
+
+    #[test]
+    fn stats_json_renders_valid_json() {
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let cache = SemCache::new();
+        let line = stats_json("verify", Some(&cache), &dom, 0.001);
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("label").and_then(json::Value::as_str),
+            Some("verify")
+        );
+        assert!(doc.get("semantic_cache").is_some());
+        // Uncached runs report null for the semantic cache.
+        let line = stats_json("verify", None, &dom, 0.001);
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(doc.get("semantic_cache"), Some(&json::Value::Null));
+    }
+
+    #[test]
+    fn verify_trace_file_summarizes() {
+        let path = std::env::temp_dir().join("air_cli_test_verify.jsonl");
+        let mut t = task(
+            "if (x >= 1) then { skip } else { x := 1 - x }",
+            "x != 0",
+            Some("x >= 1"),
+        );
+        t.trace = Some(path.display().to_string());
+        assert_eq!(verify(t).unwrap(), Outcome::Positive);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = Summary::from_jsonl(&text).unwrap();
+        assert!(summary.events > 0);
+        assert!(
+            summary.phases.contains_key("verify.backward"),
+            "{summary:?}"
+        );
+        assert_eq!(
+            trace_summarize(&path.display().to_string()).unwrap(),
+            Outcome::Positive
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prove_writes_dot_derivation() {
+        let path = std::env::temp_dir().join("air_cli_test_derivation.dot");
+        let mut t = task("x := x + 1", "x = 0", None);
+        t.trace = Some(path.display().to_string());
+        t.trace_format = TraceFormat::Dot;
+        assert_eq!(prove(t).unwrap(), Outcome::Positive);
+        let dot = std::fs::read_to_string(&path).unwrap();
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(dot.contains("transfer"), "{dot}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

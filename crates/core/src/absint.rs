@@ -9,6 +9,7 @@
 
 use air_lang::ast::Reg;
 use air_lang::{Concrete, SemCache, SemError, StateSet};
+use air_trace::{EventKind, Tracer};
 
 use crate::domain::EnumDomain;
 
@@ -50,6 +51,7 @@ pub struct AbstractSemantics<'u> {
     sem: Concrete<'u>,
     strategy: StarStrategy,
     cache: Option<SemCache>,
+    trace: Tracer,
 }
 
 impl<'u> AbstractSemantics<'u> {
@@ -66,6 +68,7 @@ impl<'u> AbstractSemantics<'u> {
             sem: Concrete::new(universe),
             strategy: StarStrategy::Lfp,
             cache: Some(cache),
+            trace: Tracer::disabled(),
         }
     }
 
@@ -75,12 +78,23 @@ impl<'u> AbstractSemantics<'u> {
             sem: Concrete::new(universe),
             strategy: StarStrategy::Lfp,
             cache: None,
+            trace: Tracer::disabled(),
         }
     }
 
     /// Selects the star acceleration strategy.
     pub fn star_strategy(mut self, strategy: StarStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Emits `widening` events (and the cache's hit/miss/bypass
+    /// telemetry) through `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        if let Some(cache) = &self.cache {
+            cache.set_tracer(&tracer);
+        }
+        self.trace = tracer;
         self
     }
 
@@ -123,7 +137,12 @@ impl<'u> AbstractSemantics<'u> {
                     }
                     x = match self.strategy {
                         StarStrategy::Lfp => grown,
-                        StarStrategy::PointedWidening => dom.pointed_widen(&x, &grown),
+                        StarStrategy::PointedWidening => {
+                            self.trace.emit_with(|| EventKind::Widening {
+                                site: "absint.star".to_string(),
+                            });
+                            dom.pointed_widen(&x, &grown)
+                        }
                     };
                 }
                 Err(SemError::Divergence)
@@ -197,10 +216,17 @@ mod tests {
         let exact = AbstractSemantics::new(&u)
             .exec(&dom, &prog, &dom.close(&input))
             .unwrap();
+        let sink = std::sync::Arc::new(air_trace::MemorySink::new());
         let widened = AbstractSemantics::new(&u)
             .star_strategy(StarStrategy::PointedWidening)
+            .tracer(air_trace::Tracer::new(sink.clone()))
             .exec(&dom, &prog, &dom.close(&input))
             .unwrap();
         assert!(exact.is_subset(&widened));
+        // Each ∇_N application at the loop head is traced.
+        assert!(sink
+            .drain()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Widening { ref site } if site == "absint.star")));
     }
 }

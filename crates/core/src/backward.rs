@@ -12,6 +12,7 @@
 
 use air_lang::ast::Reg;
 use air_lang::{SemCache, StateSet, Universe, Wlp};
+use air_trace::{EventKind, Tracer};
 
 use crate::absint::AbstractSemantics;
 use crate::domain::EnumDomain;
@@ -78,6 +79,7 @@ pub struct BackwardRepair<'u> {
     strategy: UnrollStrategy,
     cache: Option<SemCache>,
     max_calls: usize,
+    trace: Tracer,
 }
 
 struct Ctx {
@@ -102,6 +104,7 @@ impl<'u> BackwardRepair<'u> {
             strategy: UnrollStrategy::Join,
             cache: Some(cache),
             max_calls: 1_000_000,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -113,12 +116,23 @@ impl<'u> BackwardRepair<'u> {
             strategy: UnrollStrategy::Join,
             cache: None,
             max_calls: 1_000_000,
+            trace: Tracer::disabled(),
         }
     }
 
     /// The shared semantic cache, if caching is enabled.
     pub fn cache(&self) -> Option<&SemCache> {
         self.cache.as_ref()
+    }
+
+    /// Emits `incompleteness`/`shell_point`/`widening` events (and the
+    /// cache's hit/miss/bypass telemetry) through `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        if let Some(cache) = &self.cache {
+            cache.set_tracer(&tracer);
+        }
+        self.trace = tracer;
+        self
     }
 
     /// Selects the star unroll strategy.
@@ -149,6 +163,7 @@ impl<'u> BackwardRepair<'u> {
         r: &Reg,
         spec: &StateSet,
     ) -> Result<BackwardOutcome, RepairError> {
+        let _span = self.trace.span(|| "repair.backward".to_string());
         let mut ctx = Ctx {
             calls: 0,
             inv_iterations: 0,
@@ -156,6 +171,14 @@ impl<'u> BackwardRepair<'u> {
         };
         let p_hat = base.close(p);
         let (valid_input, points) = self.brepair(base, Vec::new(), p_hat, r, spec, &mut ctx)?;
+        self.trace.emit_with(|| EventKind::Counter {
+            name: "backward.calls".to_string(),
+            delta: ctx.calls as u64,
+        });
+        self.trace.emit_with(|| EventKind::Counter {
+            name: "backward.inv_iterations".to_string(),
+            delta: ctx.inv_iterations as u64,
+        });
         Ok(BackwardOutcome {
             valid_input,
             points,
@@ -189,10 +212,23 @@ impl<'u> BackwardRepair<'u> {
         Ok(p.intersection(&w))
     }
 
-    fn push(n: &mut Vec<StateSet>, p: StateSet) {
+    /// Pushes `p` unless already present; reports whether it was new (so
+    /// call sites only trace points that actually refine the domain).
+    fn push(n: &mut Vec<StateSet>, p: StateSet) -> bool {
         if !n.contains(&p) {
             n.push(p);
+            true
+        } else {
+            false
         }
+    }
+
+    fn trace_point(&self, rule: &str, exp: &impl std::fmt::Display, point: &StateSet) {
+        self.trace.emit_with(|| EventKind::ShellPoint {
+            rule: rule.to_string(),
+            exp: exp.to_string(),
+            point_size: point.len(),
+        });
     }
 
     fn union_points(mut a: Vec<StateSet>, b: Vec<StateSet>) -> Vec<StateSet> {
@@ -224,11 +260,23 @@ impl<'u> BackwardRepair<'u> {
         }
         match r {
             // Lines 4–6: basic expression.
-            Reg::Basic(_) => {
+            Reg::Basic(e) => {
+                // Reaching this case means line 2 failed: the abstract
+                // image of `e` escapes `S`, a local incompleteness
+                // witness in the sense of Def. 4.1.
+                self.trace.emit_with(|| EventKind::Incompleteness {
+                    exp: e.to_string(),
+                    input_size: p.len(),
+                });
                 let v = self.valid_input(&p, r, s)?;
                 let q = s.intersection(&self.abs_exec(base, &n, r, &p)?);
-                Self::push(&mut n, v.clone());
-                Self::push(&mut n, q);
+                if Self::push(&mut n, v.clone()) {
+                    self.trace_point("bRepair basic: V⟨P,e,S⟩ (Alg 2 l.5)", e, &v);
+                }
+                let q_new = Self::push(&mut n, q.clone());
+                if q_new {
+                    self.trace_point("bRepair basic: S ∧ ⟦e⟧♯P (Alg 2 l.5)", e, &q);
+                }
                 Ok((v, n))
             }
             // Lines 7–10: sequential composition.
@@ -244,7 +292,9 @@ impl<'u> BackwardRepair<'u> {
                 let (v1, n1) = self.brepair(base, n.clone(), p.clone(), r1, s, ctx)?;
                 let q = s.intersection(&self.abs_exec(base, &n, r, &p)?);
                 let mut out = Self::union_points(n0, n1);
-                Self::push(&mut out, q);
+                if Self::push(&mut out, q.clone()) {
+                    self.trace_point("bRepair choice: S ∧ ⟦r⟧♯P (Alg 2 l.14)", r, &q);
+                }
                 Ok((v0.intersection(&v1), out))
             }
             // Lines 16–21: Kleene star.
@@ -257,7 +307,12 @@ impl<'u> BackwardRepair<'u> {
                     let grown = dom.join(&p, &r_step);
                     let unrolled = match self.strategy {
                         UnrollStrategy::Join => grown,
-                        UnrollStrategy::PointedWidening => dom.pointed_widen(&p, &grown),
+                        UnrollStrategy::PointedWidening => {
+                            self.trace.emit_with(|| EventKind::Widening {
+                                site: "backward.star".to_string(),
+                            });
+                            dom.pointed_widen(&p, &grown)
+                        }
                     };
                     let (v1, n1) = self.brepair(base, n, unrolled, r, s, ctx)?;
                     Ok((p.intersection(&v1), n1))
@@ -280,7 +335,9 @@ impl<'u> BackwardRepair<'u> {
             ctx.inv_iterations += 1;
             let v0 = p.intersection(&v1);
             let mut n0 = n.clone();
-            Self::push(&mut n0, v0.clone());
+            if Self::push(&mut n0, v0.clone()) {
+                self.trace_point("bRepair inv: P ∧ V₁ (Alg 2 l.24)", r, &v0);
+            }
             let (next_v1, n1) = self.brepair(base, n0, v0.clone(), r, &v0, ctx)?;
             if next_v1 == v0 {
                 return Ok((next_v1, n1));

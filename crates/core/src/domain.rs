@@ -24,6 +24,7 @@ use std::sync::Arc;
 use air_domains::Abstraction;
 use air_lang::{StateSet, Universe};
 use air_lattice::{CacheStats, Interner, MemoTable};
+use air_trace::Tracer;
 
 /// A unary operator on state sets (the base closure).
 type SetOp = Box<dyn Fn(&StateSet) -> StateSet + Send + Sync>;
@@ -196,6 +197,13 @@ impl EnumDomain {
     /// hit means a structurally equal closure result already existed).
     pub fn interner_stats(&self) -> CacheStats {
         self.interner.stats()
+    }
+
+    /// Emits `cache_hit`/`cache_miss` events (table `"closure"`) for the
+    /// base-closure memo through `tracer`. Shared by all clones of this
+    /// domain; the first enabled tracer wins.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        self.memo.set_tracer("closure", tracer);
     }
 
     /// A clone sharing the base closure and points but starting from empty

@@ -13,6 +13,7 @@ use std::fmt;
 
 use air_lang::ast::{Exp, Reg};
 use air_lang::{SemCache, SemError, StateSet, Universe};
+use air_trace::{EventKind, Tracer};
 
 use crate::domain::EnumDomain;
 use crate::local::{LocalCompleteness, ShellResult};
@@ -129,6 +130,7 @@ pub struct ForwardRepair<'u> {
     lc: LocalCompleteness<'u>,
     cache: Option<SemCache>,
     max_repairs: usize,
+    trace: Tracer,
 }
 
 impl<'u> ForwardRepair<'u> {
@@ -146,6 +148,7 @@ impl<'u> ForwardRepair<'u> {
             lc: LocalCompleteness::with_cache(universe, cache.clone()),
             cache: Some(cache),
             max_repairs: 10_000,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -156,6 +159,7 @@ impl<'u> ForwardRepair<'u> {
             lc: LocalCompleteness::uncached(universe),
             cache: None,
             max_repairs: 10_000,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -167,6 +171,16 @@ impl<'u> ForwardRepair<'u> {
     /// Sets the refinement budget.
     pub fn max_repairs(mut self, max: usize) -> Self {
         self.max_repairs = max;
+        self
+    }
+
+    /// Emits `incompleteness`/`shell_point` events (and the cache's
+    /// hit/miss/bypass telemetry) through `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        if let Some(cache) = &self.cache {
+            cache.set_tracer(&tracer);
+        }
+        self.trace = tracer;
         self
     }
 
@@ -184,6 +198,7 @@ impl<'u> ForwardRepair<'u> {
         r: &Reg,
         p: &StateSet,
     ) -> Result<RepairOutcome, RepairError> {
+        let _span = self.trace.span(|| "repair.forward".to_string());
         let mut repairs = 0;
         let mut analysis_runs = 0;
         let mut obligations_checked = 0;
@@ -192,6 +207,14 @@ impl<'u> ForwardRepair<'u> {
             analysis_runs += 1;
             match self.find(&dom, r, p, &mut obligations_checked)? {
                 FindOutcome::Under(q) => {
+                    self.trace.emit_with(|| EventKind::Counter {
+                        name: "forward.analysis_runs".to_string(),
+                        delta: analysis_runs as u64,
+                    });
+                    self.trace.emit_with(|| EventKind::Counter {
+                        name: "forward.obligations_checked".to_string(),
+                        delta: obligations_checked as u64,
+                    });
                     return Ok(RepairOutcome {
                         domain: dom,
                         under: q,
@@ -202,12 +225,21 @@ impl<'u> ForwardRepair<'u> {
                     });
                 }
                 FindOutcome::Incomplete(ob) => {
+                    self.trace.emit_with(|| EventKind::Incompleteness {
+                        exp: ob.exp.to_string(),
+                        input_size: ob.input.len(),
+                    });
                     if repairs >= self.max_repairs {
                         return Err(RepairError::Budget {
                             max_repairs: self.max_repairs,
                         });
                     }
                     let (point, rule) = self.refine_point(&dom, &ob)?;
+                    self.trace.emit_with(|| EventKind::ShellPoint {
+                        rule: rule.to_string(),
+                        exp: ob.exp.to_string(),
+                        point_size: point.len(),
+                    });
                     provenance.push((rule, ob.exp.clone()));
                     dom.add_point(point);
                     repairs += 1;

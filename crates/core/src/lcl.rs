@@ -38,9 +38,10 @@ use std::fmt;
 
 use air_lang::ast::{Exp, Reg};
 use air_lang::{Concrete, SemCache, SemError, StateSet, Universe};
+use air_trace::{DotBuilder, EventKind, Tracer};
 
 use crate::domain::EnumDomain;
-use crate::forward::RepairError;
+use crate::forward::{RepairError, RepairRule};
 use crate::local::{LocalCompleteness, ShellResult};
 
 /// A judgement `⊢_A [pre] reg [post]`.
@@ -181,6 +182,41 @@ impl Derivation {
         go(self, universe, 0, &mut out);
         out
     }
+
+    /// Renders the derivation tree as a Graphviz DOT digraph: one node
+    /// per rule application labelled with the rule name and its triple,
+    /// edges from each conclusion to its premises. The companion of
+    /// [`render`](Self::render) for the CLI's `--trace-format dot`.
+    pub fn to_dot(&self, universe: &Universe) -> String {
+        fn go(d: &Derivation, universe: &Universe, dot: &mut DotBuilder) -> air_trace::NodeId {
+            let t = d.triple();
+            let label = format!(
+                "({})\n[{}]\n{}\n[{}]",
+                d.rule(),
+                crate::summarize::display_set(universe, &t.pre),
+                t.reg,
+                crate::summarize::display_set(universe, &t.post),
+            );
+            let node = dot.node(&label);
+            let premises: Vec<&Derivation> = match d {
+                Derivation::Transfer { .. } => vec![],
+                Derivation::Seq { left, right, .. } | Derivation::Join { left, right, .. } => {
+                    vec![left, right]
+                }
+                Derivation::Rec { step, rest, .. } => vec![step, rest],
+                Derivation::Iterate { step, .. } => vec![step],
+                Derivation::Relax { inner, .. } => vec![inner],
+            };
+            for premise in premises {
+                let child = go(premise, universe, dot);
+                dot.edge(node, child);
+            }
+            node
+        }
+        let mut dot = DotBuilder::new("lcl_derivation");
+        go(self, universe, &mut dot);
+        dot.finish()
+    }
 }
 
 /// Why a derivation check or construction failed.
@@ -262,6 +298,7 @@ pub struct Lcl<'u> {
     sem: Concrete<'u>,
     lc: LocalCompleteness<'u>,
     cache: Option<SemCache>,
+    trace: Tracer,
 }
 
 impl<'u> Lcl<'u> {
@@ -278,6 +315,7 @@ impl<'u> Lcl<'u> {
             sem: Concrete::new(universe),
             lc: LocalCompleteness::with_cache(universe, cache.clone()),
             cache: Some(cache),
+            trace: Tracer::disabled(),
         }
     }
 
@@ -288,12 +326,29 @@ impl<'u> Lcl<'u> {
             sem: Concrete::new(universe),
             lc: LocalCompleteness::uncached(universe),
             cache: None,
+            trace: Tracer::disabled(),
         }
     }
 
     /// The shared semantic cache, if caching is enabled.
     pub fn cache(&self) -> Option<&SemCache> {
         self.cache.as_ref()
+    }
+
+    /// Emits `lcl_rule`/`incompleteness`/`shell_point`/`verdict` events
+    /// (and the cache's hit/miss/bypass telemetry) through `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        if let Some(cache) = &self.cache {
+            cache.set_tracer(&tracer);
+        }
+        self.trace = tracer;
+        self
+    }
+
+    fn trace_rule(&self, rule: &'static str) {
+        self.trace.emit_with(|| EventKind::LclRule {
+            rule: rule.to_string(),
+        });
     }
 
     fn exec_exp(&self, e: &Exp, p: &StateSet) -> Result<StateSet, SemError> {
@@ -506,6 +561,7 @@ impl<'u> Lcl<'u> {
                     });
                 }
                 let post = self.exec_exp(e, p)?;
+                self.trace_rule("transfer");
                 Ok(Derivation::Transfer {
                     triple: Triple {
                         pre: p.clone(),
@@ -519,6 +575,7 @@ impl<'u> Lcl<'u> {
                 let mid = left.triple().post.clone();
                 let right = self.derive(dom, &mid, r2)?;
                 let post = right.triple().post.clone();
+                self.trace_rule("seq");
                 Ok(Derivation::Seq {
                     left: Box::new(left),
                     right: Box::new(right),
@@ -533,6 +590,7 @@ impl<'u> Lcl<'u> {
                 let left = self.derive(dom, p, r1)?;
                 let right = self.derive(dom, p, r2)?;
                 let post = left.triple().post.union(&right.triple().post);
+                self.trace_rule("join");
                 Ok(Derivation::Join {
                     left: Box::new(left),
                     right: Box::new(right),
@@ -561,6 +619,7 @@ impl<'u> Lcl<'u> {
         let step = self.derive(dom, p, body)?;
         let r_post = step.triple().post.clone();
         if r_post.is_subset(p) {
+            self.trace_rule("iterate");
             return Ok(Derivation::Iterate {
                 step: Box::new(step),
                 triple: Triple {
@@ -573,6 +632,7 @@ impl<'u> Lcl<'u> {
         let grown = p.union(&r_post);
         let rest = self.derive_star(dom, &grown, star, body, depth + 1)?;
         let post = rest.triple().post.clone();
+        self.trace_rule("rec");
         Ok(Derivation::Rec {
             step: Box::new(step),
             rest: Box::new(rest),
@@ -599,20 +659,35 @@ impl<'u> Lcl<'u> {
         p: &StateSet,
         r: &Reg,
     ) -> Result<(Derivation, EnumDomain), RepairError> {
+        let _span = self.trace.span(|| "lcl.derive_with_repair".to_string());
         for _ in 0..10_000 {
             match self.derive(&dom, p, r) {
                 Ok(d) => return Ok((d, dom)),
                 Err(LclError::Obligation { input, exp }) => {
-                    let point = match &exp {
-                        Exp::Assume(b) => self.lc.guard_shell(&dom, b, &input)?,
+                    self.trace.emit_with(|| EventKind::Incompleteness {
+                        exp: exp.to_string(),
+                        input_size: input.len(),
+                    });
+                    let (point, rule) = match &exp {
+                        Exp::Assume(b) => (
+                            self.lc.guard_shell(&dom, b, &input)?,
+                            RepairRule::GuardShell,
+                        ),
                         e => match self
                             .lc
                             .pointed_shell(&dom, &Reg::Basic(e.clone()), &input)?
                         {
-                            ShellResult::Shell { point } => point,
-                            ShellResult::NoShell { .. } => input.clone(),
+                            ShellResult::Shell { point } => (point, RepairRule::PointedShell),
+                            ShellResult::NoShell { .. } => {
+                                (input.clone(), RepairRule::MostConcrete)
+                            }
                         },
                     };
+                    self.trace.emit_with(|| EventKind::ShellPoint {
+                        rule: rule.to_string(),
+                        exp: exp.to_string(),
+                        point_size: point.len(),
+                    });
                     dom.add_point(point);
                 }
                 Err(LclError::Sem(e)) => return Err(RepairError::Sem(e)),
@@ -659,6 +734,10 @@ impl<'u> Lcl<'u> {
         let q = &derivation.triple().post;
         if !q.is_subset(spec) {
             let witness = q.difference(spec).min_index().expect("non-empty");
+            self.trace.emit_with(|| EventKind::Verdict {
+                phase: "lcl.prove_spec".to_string(),
+                verdict: "true_alarm".to_string(),
+            });
             return Ok(SpecVerdict::TrueAlarm {
                 derivation,
                 domain: repaired,
@@ -669,6 +748,10 @@ impl<'u> Lcl<'u> {
             repaired.close(q).is_subset(spec),
             "A(Q) ≤ Spec after tightening"
         );
+        self.trace.emit_with(|| EventKind::Verdict {
+            phase: "lcl.prove_spec".to_string(),
+            verdict: "valid".to_string(),
+        });
         Ok(SpecVerdict::Valid {
             derivation,
             domain: repaired,

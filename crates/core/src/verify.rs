@@ -15,6 +15,7 @@
 
 use air_lang::ast::Reg;
 use air_lang::{Concrete, SemCache, StateSet, Store, Universe};
+use air_trace::{EventKind, Tracer};
 
 use crate::backward::BackwardRepair;
 use crate::domain::EnumDomain;
@@ -126,6 +127,7 @@ impl Verdict {
 pub struct Verifier<'u> {
     universe: &'u Universe,
     cache: Option<SemCache>,
+    trace: Tracer,
 }
 
 impl<'u> Verifier<'u> {
@@ -141,6 +143,7 @@ impl<'u> Verifier<'u> {
         Verifier {
             universe,
             cache: Some(cache),
+            trace: Tracer::disabled(),
         }
     }
 
@@ -149,6 +152,7 @@ impl<'u> Verifier<'u> {
         Verifier {
             universe,
             cache: None,
+            trace: Tracer::disabled(),
         }
     }
 
@@ -157,11 +161,22 @@ impl<'u> Verifier<'u> {
         self.cache.as_ref()
     }
 
+    /// Routes this verifier's events — verdict assembly plus everything the
+    /// repair engines and the semantic cache emit — through `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        if let Some(cache) = &self.cache {
+            cache.set_tracer(&tracer);
+        }
+        self.trace = tracer;
+        self
+    }
+
     fn backward_engine(&self) -> BackwardRepair<'u> {
         match &self.cache {
             Some(cache) => BackwardRepair::with_cache(self.universe, cache.clone()),
             None => BackwardRepair::uncached(self.universe),
         }
+        .tracer(self.trace.clone())
     }
 
     fn forward_engine(&self) -> ForwardRepair<'u> {
@@ -169,6 +184,14 @@ impl<'u> Verifier<'u> {
             Some(cache) => ForwardRepair::with_cache(self.universe, cache.clone()),
             None => ForwardRepair::uncached(self.universe),
         }
+        .tracer(self.trace.clone())
+    }
+
+    fn trace_verdict(&self, phase: &'static str, proved: bool) {
+        self.trace.emit_with(|| EventKind::Verdict {
+            phase: phase.to_string(),
+            verdict: if proved { "proved" } else { "refuted" }.to_string(),
+        });
     }
 
     /// Verifies `⟦r⟧input ≤ spec` by backward repair (Algorithm 2 +
@@ -184,9 +207,11 @@ impl<'u> Verifier<'u> {
         input: &StateSet,
         spec: &StateSet,
     ) -> Result<Verdict, RepairError> {
+        let _span = self.trace.span(|| "verify.backward".to_string());
         let out = self.backward_engine().repair(&domain, input, r, spec)?;
         let repaired = out.domain(&domain);
         if input.is_subset(&out.valid_input) {
+            self.trace_verdict("verify.backward", true);
             Ok(Verdict::Proved {
                 domain: repaired,
                 valid_input: out.valid_input,
@@ -197,6 +222,7 @@ impl<'u> Verifier<'u> {
                 .difference(&out.valid_input)
                 .min_index()
                 .expect("difference is non-empty");
+            self.trace_verdict("verify.backward", false);
             Ok(Verdict::Refuted {
                 domain: repaired,
                 valid_input: out.valid_input,
@@ -220,10 +246,12 @@ impl<'u> Verifier<'u> {
         input: &StateSet,
         spec: &StateSet,
     ) -> Result<Verdict, RepairError> {
+        let _span = self.trace.span(|| "verify.forward".to_string());
         let out = self.forward_engine().repair(domain, r, input)?;
         let post_closure = out.domain.close(&out.under);
         let points: Vec<StateSet> = out.domain.points().to_vec();
         if post_closure.is_subset(spec) {
+            self.trace_verdict("verify.forward", true);
             Ok(Verdict::Proved {
                 valid_input: out.domain.close(input),
                 domain: out.domain,
@@ -256,6 +284,7 @@ impl<'u> Verifier<'u> {
                     .map(|post| post.is_subset(spec))
                     .unwrap_or(false)
             });
+            self.trace_verdict("verify.forward", false);
             Ok(Verdict::Refuted {
                 domain: out.domain,
                 valid_input,
@@ -269,6 +298,7 @@ impl<'u> Verifier<'u> {
             // repair once more against the spec by intersecting.
             let tightened = out.domain.with_point(spec.clone());
             if tightened.close(&out.under).is_subset(spec) {
+                self.trace_verdict("verify.forward", true);
                 Ok(Verdict::Proved {
                     valid_input: tightened.close(input),
                     added_points: tightened.points().to_vec(),
@@ -300,7 +330,8 @@ impl<'u> Verifier<'u> {
                 crate::absint::AbstractSemantics::with_cache(self.universe, cache.clone())
             }
             None => crate::absint::AbstractSemantics::uncached(self.universe),
-        };
+        }
+        .tracer(self.trace.clone());
         let abstract_out = asem.exec(domain, r, &domain.close(input))?;
         let sem = Concrete::new(self.universe);
         let concrete_out = match &self.cache {
@@ -440,6 +471,37 @@ mod tests {
             .unwrap();
         assert!(v.is_proved());
         assert!(v.domain().is_expressible(&spec));
+    }
+
+    #[test]
+    fn traced_backward_run_emits_pipeline_events() {
+        use air_trace::{MemorySink, Tracer};
+        use std::sync::Arc;
+
+        let (u, dom) = setup();
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let odd = u.filter(|s| s[0] % 2 != 0);
+        let spec = u.filter(|s| s[0] != 0);
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let v = Verifier::new(&u)
+            .tracer(tracer)
+            .backward(dom, &prog, &odd, &spec)
+            .unwrap();
+        assert!(v.is_proved());
+        let kinds: Vec<&'static str> = sink.drain().iter().map(|e| e.kind.kind_name()).collect();
+        for expected in [
+            "span_enter",
+            "span_exit",
+            "incompleteness",
+            "shell_point",
+            "verdict",
+            // 17 stores < DEFAULT_BYPASS_THRESHOLD: the SemCache steps
+            // aside and says so.
+            "cache_bypass",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected}: {kinds:?}");
+        }
     }
 
     #[test]

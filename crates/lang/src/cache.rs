@@ -31,11 +31,24 @@
 //! program for exactly this reason).
 
 use air_lattice::{CacheStats, MemoTable};
+use air_trace::{EventKind, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::ast::{BExp, Exp, Reg};
 use crate::semantics::{Concrete, SemError};
 use crate::store::StateSet;
 use crate::wlp::Wlp;
+
+/// Default universe-size cutoff below which memoization is skipped.
+///
+/// On tiny universes the transformers are cheaper than hashing a
+/// `(command, input set)` key, so caching is a net loss —
+/// `BENCH_repair.json` measured 0.72×/0.86× *slowdowns* on
+/// `nondet_walk` (27 states) and `parity_flip` (20 states) with 0% hit
+/// rates. 64 keeps every such trivial program on the direct path while
+/// leaving the profitable corpus entries (225+ states) cached.
+pub const DEFAULT_BYPASS_THRESHOLD: usize = 64;
 
 /// A shared, thread-safe cache for concrete execution, `wlp` and guard
 /// satisfaction over one universe.
@@ -45,17 +58,82 @@ use crate::wlp::Wlp;
 /// strict modes never alias. A cache must not be reused across
 /// universes (keys would collide structurally); every engine in
 /// `air-core` creates or receives one per universe.
-#[derive(Clone, Debug, Default)]
+///
+/// Calls on universes of at most [`bypass_threshold`](Self::bypass_threshold)
+/// states skip the tables entirely and run the uncached transformer
+/// (same result, no hashing) — each such call bumps the shared bypass
+/// counter and, when traced, emits a `cache_bypass` event.
+#[derive(Clone, Debug)]
 pub struct SemCache {
     exec: MemoTable<(bool, Reg, StateSet), StateSet>,
     wlp: MemoTable<(Reg, StateSet), StateSet>,
     sat: MemoTable<BExp, StateSet>,
+    bypass_threshold: usize,
+    bypasses: Arc<AtomicU64>,
+    trace: Arc<OnceLock<Tracer>>,
+}
+
+impl Default for SemCache {
+    fn default() -> Self {
+        Self::with_bypass_threshold(DEFAULT_BYPASS_THRESHOLD)
+    }
 }
 
 impl SemCache {
-    /// An empty cache.
+    /// An empty cache with the default small-universe bypass.
     pub fn new() -> Self {
         SemCache::default()
+    }
+
+    /// An empty cache bypassing memoization on universes of at most
+    /// `threshold` states (`0` disables the bypass).
+    pub fn with_bypass_threshold(threshold: usize) -> Self {
+        SemCache {
+            exec: MemoTable::new(),
+            wlp: MemoTable::new(),
+            sat: MemoTable::new(),
+            bypass_threshold: threshold,
+            bypasses: Arc::new(AtomicU64::new(0)),
+            trace: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The universe-size cutoff below which calls skip the tables.
+    pub fn bypass_threshold(&self) -> usize {
+        self.bypass_threshold
+    }
+
+    /// Calls answered on the direct, unmemoized path so far (shared
+    /// across clones, like the tables themselves).
+    pub fn bypass_count(&self) -> u64 {
+        self.bypasses.load(Ordering::Relaxed)
+    }
+
+    /// Start emitting `cache_hit`/`cache_miss`/`cache_bypass` events for
+    /// this cache (tables tagged `exec`/`wlp`/`sat`). Disabled tracers
+    /// are ignored; only the first enabled tracer wins.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        if tracer.is_enabled() {
+            self.exec.set_tracer("exec", tracer);
+            self.wlp.set_tracer("wlp", tracer);
+            self.sat.set_tracer("sat", tracer);
+            let _ = self.trace.set(tracer.clone());
+        }
+    }
+
+    /// `true` (counting and tracing the fact) if a call over
+    /// `universe_size` states should run unmemoized.
+    fn bypass(&self, table: &'static str, universe_size: usize) -> bool {
+        if universe_size > self.bypass_threshold {
+            return false;
+        }
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+        if let Some(tracer) = self.trace.get() {
+            tracer.emit_with(|| EventKind::CacheBypass {
+                table: table.to_string(),
+            });
+        }
+        true
     }
 
     /// Cached collecting semantics of a basic command: `⟦e⟧S`.
@@ -70,6 +148,9 @@ impl SemCache {
         e: &Exp,
         s: &StateSet,
     ) -> Result<StateSet, SemError> {
+        if self.bypass("exec", sem.universe().size()) {
+            return sem.exec_exp(e, s);
+        }
         let key = (sem.is_strict(), Reg::Basic(e.clone()), s.clone());
         self.exec
             .try_get_or_insert_with(&key, || sem.exec_exp(e, s))
@@ -83,6 +164,9 @@ impl SemCache {
     ///
     /// Propagates [`SemError`]; errors are not cached.
     pub fn exec(&self, sem: &Concrete<'_>, r: &Reg, s: &StateSet) -> Result<StateSet, SemError> {
+        if self.bypass("exec", sem.universe().size()) {
+            return sem.exec(r, s);
+        }
         let key = (sem.is_strict(), r.clone(), s.clone());
         self.exec.try_get_or_insert_with(&key, || match r {
             Reg::Basic(e) => sem.exec_exp(e, s),
@@ -113,6 +197,9 @@ impl SemCache {
     ///
     /// Propagates [`SemError`] from [`Wlp::exp`]; errors are not cached.
     pub fn wlp_exp(&self, wlp: &Wlp<'_>, e: &Exp, post: &StateSet) -> Result<StateSet, SemError> {
+        if self.bypass("wlp", wlp.universe().size()) {
+            return wlp.exp(e, post);
+        }
         let key = (Reg::Basic(e.clone()), post.clone());
         self.wlp.try_get_or_insert_with(&key, || wlp.exp(e, post))
     }
@@ -124,6 +211,9 @@ impl SemCache {
     ///
     /// Propagates [`SemError`]; errors are not cached.
     pub fn wlp_reg(&self, wlp: &Wlp<'_>, r: &Reg, post: &StateSet) -> Result<StateSet, SemError> {
+        if self.bypass("wlp", wlp.universe().size()) {
+            return wlp.reg(r, post);
+        }
         let key = (r.clone(), post.clone());
         self.wlp.try_get_or_insert_with(&key, || match r {
             Reg::Basic(e) => wlp.exp(e, post),
@@ -156,6 +246,9 @@ impl SemCache {
     ///
     /// Propagates [`SemError`]; errors are not cached.
     pub fn sat(&self, sem: &Concrete<'_>, b: &BExp) -> Result<StateSet, SemError> {
+        if self.bypass("sat", sem.universe().size()) {
+            return sem.sat(b);
+        }
         self.sat.try_get_or_insert_with(b, || sem.sat(b))
     }
 
@@ -174,11 +267,15 @@ impl SemCache {
         self.sat.stats()
     }
 
-    /// All three tables' counters, pointwise summed.
+    /// All three tables' counters, pointwise summed, plus the shared
+    /// bypass count.
     pub fn stats(&self) -> CacheStats {
-        self.exec_stats()
+        let mut stats = self
+            .exec_stats()
             .merged(&self.wlp_stats())
-            .merged(&self.sat_stats())
+            .merged(&self.sat_stats());
+        stats.bypasses = self.bypass_count();
+        stats
     }
 }
 
@@ -192,7 +289,8 @@ mod tests {
     fn cached_exec_matches_uncached() {
         let u = Universe::new(&[("x", -4, 4)]).unwrap();
         let sem = Concrete::new(&u);
-        let cache = SemCache::new();
+        // Threshold 0: exercise the tables even on this 9-state universe.
+        let cache = SemCache::with_bypass_threshold(0);
         let prog = parse_program(
             "star { assume x < 4; x := x + 1 }; if (x > 0) then { x := 0 - x } else { skip }",
         )
@@ -216,7 +314,7 @@ mod tests {
     fn cached_wlp_matches_uncached() {
         let u = Universe::new(&[("x", 0, 9)]).unwrap();
         let wlp = Wlp::new(&u);
-        let cache = SemCache::new();
+        let cache = SemCache::with_bypass_threshold(0);
         let prog = parse_program("star { assume x < 9; x := x + 1 }").unwrap();
         for post in [u.filter(|s| s[0] <= 6), u.full(), u.empty()] {
             let plain = wlp.reg(&prog, &post).unwrap();
@@ -229,7 +327,7 @@ mod tests {
     #[test]
     fn strict_and_restricted_modes_do_not_alias() {
         let u = Universe::new(&[("x", 0, 3)]).unwrap();
-        let cache = SemCache::new();
+        let cache = SemCache::with_bypass_threshold(0);
         let restricted = Concrete::new(&u);
         let strict = Concrete::strict(&u);
         let e = parse_program("x := x + 1").unwrap();
@@ -244,12 +342,53 @@ mod tests {
     fn sat_cache_round_trips() {
         let u = Universe::new(&[("x", -3, 3)]).unwrap();
         let sem = Concrete::new(&u);
-        let cache = SemCache::new();
+        let cache = SemCache::with_bypass_threshold(0);
         let b = parse_bexp("x != 0").unwrap();
         let plain = sem.sat(&b).unwrap();
         assert_eq!(cache.sat(&sem, &b).unwrap(), plain);
         assert_eq!(cache.sat(&sem, &b).unwrap(), plain);
         let stats = cache.sat_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn small_universes_bypass_the_tables() {
+        use air_trace::{MemorySink, Tracer};
+        use std::sync::Arc;
+
+        let u = Universe::new(&[("x", -4, 4)]).unwrap(); // 9 ≤ 64 states
+        let sem = Concrete::new(&u);
+        let cache = SemCache::new();
+        assert_eq!(cache.bypass_threshold(), DEFAULT_BYPASS_THRESHOLD);
+        let sink = Arc::new(MemorySink::new());
+        cache.set_tracer(&Tracer::new(sink.clone()));
+        let prog = parse_program("star { assume x < 4; x := x + 1 }").unwrap();
+        let s = u.of_values([0]);
+        let plain = sem.exec(&prog, &s).unwrap();
+        // Same result as the memoized path, but nothing is stored.
+        assert_eq!(cache.exec(&sem, &prog, &s).unwrap(), plain);
+        assert_eq!(cache.exec(&sem, &prog, &s).unwrap(), plain);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats.bypasses, 2);
+        assert_eq!(cache.bypass_count(), 2);
+        // Clones share the bypass counter, and each bypass was traced.
+        assert_eq!(cache.clone().bypass_count(), 2);
+        let kinds: Vec<&'static str> = sink.drain().iter().map(|e| e.kind.kind_name()).collect();
+        assert_eq!(kinds, ["cache_bypass", "cache_bypass"]);
+    }
+
+    #[test]
+    fn large_universes_still_memoize() {
+        let u = Universe::new(&[("x", 0, 15), ("y", 0, 15)]).unwrap(); // 256 states
+        let sem = Concrete::new(&u);
+        let cache = SemCache::new();
+        let prog = parse_program("x := x + y").unwrap();
+        let s = u.filter(|st| st[0] + st[1] <= 15);
+        let plain = sem.exec(&prog, &s).unwrap();
+        assert_eq!(cache.exec(&sem, &prog, &s).unwrap(), plain);
+        assert_eq!(cache.exec(&sem, &prog, &s).unwrap(), plain);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.bypasses), (1, 1, 0));
     }
 }

@@ -49,7 +49,7 @@ pub mod store;
 pub mod wlp;
 
 pub use ast::{AExp, BExp, Exp, Reg};
-pub use cache::SemCache;
+pub use cache::{SemCache, DEFAULT_BYPASS_THRESHOLD};
 pub use parser::{parse_bexp, parse_program, ParseError};
 pub use semantics::{Concrete, SemError};
 pub use store::{StateSet, Store, Universe, UniverseError};

@@ -22,11 +22,12 @@
 //! and uncached runs are bitwise identical (the differential tests in the
 //! umbrella crate enforce this).
 
+use air_trace::{EventKind, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Number of lock stripes per table; a power of two so the shard index is
 /// a cheap mask of the key hash.
@@ -39,6 +40,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute (and then stored the result).
     pub misses: u64,
+    /// Lookups that skipped the table entirely by policy (e.g. the
+    /// small-universe bypass in `air-lang`'s `SemCache`).
+    pub bypasses: u64,
     /// Distinct keys currently stored.
     pub entries: usize,
 }
@@ -65,6 +69,7 @@ impl CacheStats {
         CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
+            bypasses: self.bypasses + other.bypasses,
             entries: self.entries + other.entries,
         }
     }
@@ -79,7 +84,11 @@ impl fmt::Display for CacheStats {
             self.misses,
             self.hit_rate() * 100.0,
             self.entries
-        )
+        )?;
+        if self.bypasses > 0 {
+            write!(f, " [{} bypassed]", self.bypasses)?;
+        }
+        Ok(())
     }
 }
 
@@ -88,6 +97,11 @@ struct MemoInner<K, V> {
     hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Set at most once (by [`MemoTable::set_tracer`]); when present,
+    /// every counted hit/miss also emits a `cache_hit`/`cache_miss`
+    /// trace event tagged with the table name. Reading an unset
+    /// `OnceLock` is one atomic load, so untraced tables stay cheap.
+    trace: OnceLock<(String, Tracer)>,
 }
 
 /// A sharded, thread-safe memo table.
@@ -123,7 +137,34 @@ impl<K, V> MemoTable<K, V> {
                 hasher: RandomState::new(),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                trace: OnceLock::new(),
             }),
+        }
+    }
+
+    /// Tag this table (and every clone sharing its storage) with a trace
+    /// name and start emitting `cache_hit`/`cache_miss` events through
+    /// `tracer`. Disabled tracers are ignored; only the first enabled
+    /// tracer wins — later calls are no-ops.
+    pub fn set_tracer(&self, table: &str, tracer: &Tracer) {
+        if tracer.is_enabled() {
+            let _ = self.inner.trace.set((table.to_string(), tracer.clone()));
+        }
+    }
+
+    fn trace_lookup(&self, hit: bool) {
+        if let Some((name, tracer)) = self.inner.trace.get() {
+            tracer.emit_with(|| {
+                if hit {
+                    EventKind::CacheHit {
+                        table: name.clone(),
+                    }
+                } else {
+                    EventKind::CacheMiss {
+                        table: name.clone(),
+                    }
+                }
+            });
         }
     }
 
@@ -156,6 +197,7 @@ impl<K, V> MemoTable<K, V> {
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
+            bypasses: 0,
             entries: self.len(),
         }
     }
@@ -182,9 +224,11 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
         let shard = self.shard(key);
         if let Some(v) = shard.read().unwrap().get(key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.trace_lookup(true);
             return v.clone();
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.trace_lookup(false);
         let value = compute();
         shard
             .write()
@@ -209,9 +253,11 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
         let shard = self.shard(key);
         if let Some(v) = shard.read().unwrap().get(key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.trace_lookup(true);
             return Ok(v.clone());
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.trace_lookup(false);
         let value = compute()?;
         shard
             .write()
@@ -299,6 +345,7 @@ impl<T> Interner<T> {
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
+            bypasses: 0,
             entries: self.len(),
         }
     }
@@ -395,16 +442,46 @@ mod tests {
         let a = CacheStats {
             hits: 3,
             misses: 1,
+            bypasses: 2,
             entries: 1,
         };
         let b = CacheStats {
             hits: 1,
             misses: 3,
+            bypasses: 0,
             entries: 2,
         };
         let m = a.merged(&b);
-        assert_eq!((m.hits, m.misses, m.entries), (4, 4, 3));
+        assert_eq!((m.hits, m.misses, m.bypasses, m.entries), (4, 4, 2, 3));
         assert_eq!(m.hit_rate(), 0.5);
-        assert!(format!("{m}").contains("50.0%"));
+        let text = format!("{m}");
+        assert!(text.contains("50.0%"));
+        assert!(text.contains("[2 bypassed]"));
+        assert!(!format!("{b}").contains("bypassed"));
+    }
+
+    #[test]
+    fn traced_table_emits_hit_and_miss_events() {
+        use air_trace::{MemorySink, Tracer};
+
+        let table: MemoTable<u32, u32> = MemoTable::new();
+        // A disabled tracer must not claim the slot.
+        table.set_tracer("closure", &Tracer::disabled());
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        table.set_tracer("closure", &tracer);
+        table.get_or_insert_with(&1, || 1); // miss
+        table.get_or_insert_with(&1, || 1); // hit
+        let events = sink.drain();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.kind_name()).collect();
+        assert_eq!(kinds, ["cache_miss", "cache_hit"]);
+        for e in &events {
+            match &e.kind {
+                EventKind::CacheHit { table } | EventKind::CacheMiss { table } => {
+                    assert_eq!(table, "closure");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,107 @@
+//! Generic Graphviz DOT builder, used by `air-core` to export repair
+//! derivation trees (`Derivation::to_dot`). Kept here so the export
+//! format lives next to the other trace outputs without `air-trace`
+//! depending on the engine crates.
+
+use std::fmt::Write as _;
+
+/// Accumulates nodes and edges, then renders a `digraph`.
+pub struct DotBuilder {
+    name: String,
+    nodes: Vec<String>,
+    edges: Vec<String>,
+}
+
+/// Opaque node handle returned by [`DotBuilder::node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+impl DotBuilder {
+    pub fn new(name: &str) -> Self {
+        DotBuilder {
+            name: name.to_string(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a box-shaped node with the given (multi-line) label.
+    pub fn node(&mut self, label: &str) -> NodeId {
+        self.node_with_attrs(label, "")
+    }
+
+    /// Add a node with extra attributes, e.g. `style=filled,fillcolor=gold`.
+    pub fn node_with_attrs(&mut self, label: &str, attrs: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let mut line = format!("  n{} [label=\"{}\"", id.0, escape_label(label));
+        if !attrs.is_empty() {
+            let _ = write!(line, ", {attrs}");
+        }
+        line.push_str("];");
+        self.nodes.push(line);
+        id
+    }
+
+    pub fn edge(&mut self, from: NodeId, to: NodeId) {
+        self.edges.push(format!("  n{} -> n{};", from.0, to.0));
+    }
+
+    pub fn edge_labeled(&mut self, from: NodeId, to: NodeId, label: &str) {
+        self.edges.push(format!(
+            "  n{} -> n{} [label=\"{}\"];",
+            from.0,
+            to.0,
+            escape_label(label)
+        ));
+    }
+
+    /// Render the complete DOT document.
+    pub fn finish(self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape_label(&self.name));
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for node in &self.nodes {
+            let _ = writeln!(out, "{node}");
+        }
+        for edge in &self.edges {
+            let _ = writeln!(out, "{edge}");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escape a label for use inside a double-quoted DOT string.
+fn escape_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_well_formed_digraph() {
+        let mut dot = DotBuilder::new("proof");
+        let root = dot.node_with_attrs("iterate\n{P} r* {Q}", "style=filled");
+        let child = dot.node("transfer");
+        dot.edge(root, child);
+        dot.edge_labeled(child, root, "back \"edge\"");
+        let text = dot.finish();
+        assert!(text.starts_with("digraph \"proof\" {"));
+        assert!(text.contains("n0 [label=\"iterate\\n{P} r* {Q}\", style=filled];"));
+        assert!(text.contains("n0 -> n1;"));
+        assert!(text.contains("n1 -> n0 [label=\"back \\\"edge\\\"\"];"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+}

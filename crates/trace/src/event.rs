@@ -1,0 +1,283 @@
+//! Typed trace events.
+//!
+//! Every observable step of the pipeline — repair iterations, derivation
+//! rules, CEGAR refinements, cache traffic — is reported as one
+//! [`Event`]: a monotone sequence number, a nanosecond timestamp relative
+//! to the tracer's epoch, and a typed [`EventKind`] payload. The JSONL
+//! wire format is one object per line with a `kind` discriminant; the
+//! set of kinds is closed (see [`KNOWN_KINDS`]) and validated in CI.
+
+use crate::json::escape_str;
+use std::fmt::Write as _;
+
+/// One trace record. `seq` orders events within a tracer; `t_ns` is the
+/// time since the tracer was created.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub seq: u64,
+    pub t_ns: u64,
+    pub kind: EventKind,
+}
+
+/// The typed payload of a trace event.
+///
+/// Kinds map to paper artifacts: `Incompleteness` witnesses a violation
+/// of local completeness (Def. 4.1), `ShellPoint` records a pointed-shell
+/// addition (Thm. 4.9 / Thm. 4.11), `Widening` a pointed-widening
+/// application, and `CegarSplit` a partition refinement (Thm. 6.2 / 6.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A named phase began (RAII: paired with `SpanExit`).
+    SpanEnter { phase: String },
+    /// A named phase ended; `duration_ns` is its wall-clock time.
+    SpanExit { phase: String, duration_ns: u64 },
+    /// Local incompleteness detected on expression `exp` (Def. 4.1).
+    Incompleteness { exp: String, input_size: usize },
+    /// A shell point was added to the domain by `rule` (Thm. 4.9/4.11).
+    ShellPoint {
+        rule: String,
+        exp: String,
+        point_size: usize,
+    },
+    /// Pointed widening applied at `site` (backward repair / absint star).
+    Widening { site: String },
+    /// An LCL_A derivation rule fired (transfer/seq/join/rec/iterate/relax).
+    LclRule { rule: String },
+    /// One CEGAR iteration over `blocks` partition blocks.
+    CegarIteration { iteration: usize, blocks: usize },
+    /// A spurious counterexample triggered a refinement.
+    CegarRefinement { iteration: usize },
+    /// A refinement split blocks (Thm. 6.2/6.4); `blocks` is the new total.
+    CegarSplit {
+        heuristic: String,
+        splits: usize,
+        blocks: usize,
+    },
+    /// Memo-table hit in `table` (exec/wlp/sat/closure/...).
+    CacheHit { table: String },
+    /// Memo-table miss in `table`.
+    CacheMiss { table: String },
+    /// A memoization layer was deliberately skipped (e.g. small universe).
+    CacheBypass { table: String },
+    /// A named monotone counter increment.
+    Counter { name: String, delta: u64 },
+    /// Final verdict of a phase (`proved`, `refuted`, `true_alarm`, ...).
+    Verdict { phase: String, verdict: String },
+}
+
+/// Every wire-format `kind` value the engine can emit, in one place so
+/// the schema validator and docs cannot drift from the implementation.
+pub const KNOWN_KINDS: &[&str] = &[
+    "span_enter",
+    "span_exit",
+    "incompleteness",
+    "shell_point",
+    "widening",
+    "lcl_rule",
+    "cegar_iteration",
+    "cegar_refinement",
+    "cegar_split",
+    "cache_hit",
+    "cache_miss",
+    "cache_bypass",
+    "counter",
+    "verdict",
+];
+
+impl EventKind {
+    /// The JSONL `kind` discriminant.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EventKind::SpanEnter { .. } => "span_enter",
+            EventKind::SpanExit { .. } => "span_exit",
+            EventKind::Incompleteness { .. } => "incompleteness",
+            EventKind::ShellPoint { .. } => "shell_point",
+            EventKind::Widening { .. } => "widening",
+            EventKind::LclRule { .. } => "lcl_rule",
+            EventKind::CegarIteration { .. } => "cegar_iteration",
+            EventKind::CegarRefinement { .. } => "cegar_refinement",
+            EventKind::CegarSplit { .. } => "cegar_split",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheBypass { .. } => "cache_bypass",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Verdict { .. } => "verdict",
+        }
+    }
+
+    /// Cache traffic is telemetry about *how* a result was obtained, not
+    /// *what* was computed: it legitimately differs between cached and
+    /// uncached runs of the same program. Determinism tests drop it.
+    pub fn is_cache_telemetry(&self) -> bool {
+        matches!(
+            self,
+            EventKind::CacheHit { .. }
+                | EventKind::CacheMiss { .. }
+                | EventKind::CacheBypass { .. }
+        )
+    }
+}
+
+impl Event {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_ns\":{},\"kind\":",
+            self.seq, self.t_ns
+        );
+        escape_str(self.kind.kind_name(), out);
+        match &self.kind {
+            EventKind::SpanEnter { phase } => {
+                field_str(out, "phase", phase);
+            }
+            EventKind::SpanExit { phase, duration_ns } => {
+                field_str(out, "phase", phase);
+                let _ = write!(out, ",\"duration_ns\":{duration_ns}");
+            }
+            EventKind::Incompleteness { exp, input_size } => {
+                field_str(out, "exp", exp);
+                let _ = write!(out, ",\"input_size\":{input_size}");
+            }
+            EventKind::ShellPoint {
+                rule,
+                exp,
+                point_size,
+            } => {
+                field_str(out, "rule", rule);
+                field_str(out, "exp", exp);
+                let _ = write!(out, ",\"point_size\":{point_size}");
+            }
+            EventKind::Widening { site } => {
+                field_str(out, "site", site);
+            }
+            EventKind::LclRule { rule } => {
+                field_str(out, "rule", rule);
+            }
+            EventKind::CegarIteration { iteration, blocks } => {
+                let _ = write!(out, ",\"iteration\":{iteration},\"blocks\":{blocks}");
+            }
+            EventKind::CegarRefinement { iteration } => {
+                let _ = write!(out, ",\"iteration\":{iteration}");
+            }
+            EventKind::CegarSplit {
+                heuristic,
+                splits,
+                blocks,
+            } => {
+                field_str(out, "heuristic", heuristic);
+                let _ = write!(out, ",\"splits\":{splits},\"blocks\":{blocks}");
+            }
+            EventKind::CacheHit { table }
+            | EventKind::CacheMiss { table }
+            | EventKind::CacheBypass { table } => {
+                field_str(out, "table", table);
+            }
+            EventKind::Counter { name, delta } => {
+                field_str(out, "name", name);
+                let _ = write!(out, ",\"delta\":{delta}");
+            }
+            EventKind::Verdict { phase, verdict } => {
+                field_str(out, "phase", phase);
+                field_str(out, "verdict", verdict);
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    out.push(',');
+    escape_str(key, out);
+    out.push(':');
+    escape_str(value, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn line(kind: EventKind) -> String {
+        let mut s = String::new();
+        Event {
+            seq: 7,
+            t_ns: 42,
+            kind,
+        }
+        .to_jsonl(&mut s);
+        s
+    }
+
+    #[test]
+    fn every_kind_serializes_to_valid_json_with_known_kind() {
+        let samples = vec![
+            EventKind::SpanEnter {
+                phase: "verify.backward".into(),
+            },
+            EventKind::SpanExit {
+                phase: "verify.backward".into(),
+                duration_ns: 99,
+            },
+            EventKind::Incompleteness {
+                exp: "x := x + 1".into(),
+                input_size: 3,
+            },
+            EventKind::ShellPoint {
+                rule: "guard shell (Thm 4.11)".into(),
+                exp: "x >= \"0\"".into(),
+                point_size: 5,
+            },
+            EventKind::Widening {
+                site: "star".into(),
+            },
+            EventKind::LclRule {
+                rule: "iterate".into(),
+            },
+            EventKind::CegarIteration {
+                iteration: 1,
+                blocks: 4,
+            },
+            EventKind::CegarRefinement { iteration: 1 },
+            EventKind::CegarSplit {
+                heuristic: "forward-air".into(),
+                splits: 2,
+                blocks: 6,
+            },
+            EventKind::CacheHit {
+                table: "exec".into(),
+            },
+            EventKind::CacheMiss {
+                table: "exec".into(),
+            },
+            EventKind::CacheBypass {
+                table: "exec".into(),
+            },
+            EventKind::Counter {
+                name: "analysis_runs".into(),
+                delta: 1,
+            },
+            EventKind::Verdict {
+                phase: "verify.backward".into(),
+                verdict: "proved".into(),
+            },
+        ];
+        assert_eq!(samples.len(), KNOWN_KINDS.len(), "sample per kind");
+        for kind in samples {
+            let name = kind.kind_name();
+            assert!(KNOWN_KINDS.contains(&name), "{name} not in KNOWN_KINDS");
+            let doc = json::parse(&line(kind)).expect("valid JSON");
+            assert_eq!(doc.get("kind").unwrap().as_str(), Some(name));
+            assert_eq!(doc.get("seq").unwrap().as_num(), Some(7.0));
+            assert_eq!(doc.get("t_ns").unwrap().as_num(), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn cache_telemetry_predicate_matches_exactly_the_cache_kinds() {
+        let hit = EventKind::CacheHit { table: "t".into() };
+        let span = EventKind::SpanEnter { phase: "p".into() };
+        assert!(hit.is_cache_telemetry());
+        assert!(!span.is_cache_telemetry());
+    }
+}

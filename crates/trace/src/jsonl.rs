@@ -1,0 +1,86 @@
+//! JSONL sink: one JSON object per event, one event per line.
+
+use crate::event::Event;
+use crate::tracer::Sink;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Writes each event as a JSONL line to an arbitrary writer. Buffered;
+/// flushed when the sink is dropped (or explicitly via [`JsonlSink::flush`]).
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = String::with_capacity(96);
+        event.to_jsonl(&mut line);
+        line.push('\n');
+        // Trace output is best-effort: a full disk must not abort a proof.
+        let _ = self.out.lock().unwrap().write_all(line.as_bytes());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::json;
+    use crate::tracer::Tracer;
+    use std::sync::Arc;
+
+    /// A Vec<u8> writer we can read back after the sink is dropped.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_valid_json_object_per_line() {
+        let buf = Shared::default();
+        {
+            let t = Tracer::new(Arc::new(JsonlSink::from_writer(Box::new(buf.clone()))));
+            let _span = t.span(|| "phase".into());
+            t.emit(EventKind::CacheHit {
+                table: "exec".into(),
+            });
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // enter, hit, exit
+        for line in lines {
+            json::parse(line).expect("each line is standalone JSON");
+        }
+    }
+}

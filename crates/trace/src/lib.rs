@@ -1,0 +1,54 @@
+//! # air-trace — structured event tracing and phase profiling
+//!
+//! Zero-dependency observability substrate for the AIR engine. The
+//! pipeline (verifier, forward/backward repair, LCL_A derivations,
+//! CEGAR) reports every interesting step as a typed [`Event`] through a
+//! [`Tracer`] handle; sinks turn the stream into a JSONL log
+//! ([`JsonlSink`]), a per-phase profile ([`Profiler`]), or stay
+//! in-memory for tests ([`MemorySink`]). [`DotBuilder`] renders
+//! derivation trees as Graphviz DOT.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Free when off.** `Tracer::default()` is a `None`; every emit
+//!    site is a single branch and payload closures never run
+//!    ([`Tracer::emit_with`], [`Tracer::span`]).
+//! 2. **Deterministic content.** Event payloads carry only data derived
+//!    from the computation (expressions, sizes, rules) — never
+//!    pointers, thread ids, or times — so the stream (modulo `seq`,
+//!    `t_ns` and cache telemetry) is reproducible across runs,
+//!    cached/uncached, and thread counts.
+//! 3. **Closed schema.** The wire format's `kind` set is
+//!    [`KNOWN_KINDS`]; CI validates every emitted line against it.
+//!
+//! Paper correspondence (Bruni, Giacobazzi, Gori, Ranzato — PLDI 2022):
+//! `incompleteness` events witness Def. 4.1 violations, `shell_point`
+//! events record Thm. 4.9 / Thm. 4.11 pointed-shell additions,
+//! `cegar_split` events record Thm. 6.2 / 6.4 partition refinements.
+//!
+//! Module map:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`event`] | [`Event`], [`EventKind`], JSONL serialization, [`KNOWN_KINDS`] |
+//! | [`tracer`] | [`Tracer`], [`Sink`], RAII [`Span`], [`MemorySink`], [`MultiSink`] |
+//! | [`jsonl`] | [`JsonlSink`] file/writer sink |
+//! | [`profile`] | [`Profiler`] aggregating sink |
+//! | [`summary`] | [`Summary`] aggregates + table renderer (`air trace summarize`) |
+//! | [`dot`] | [`DotBuilder`] Graphviz export |
+//! | [`json`] | dependency-free JSON escape/parse helpers |
+
+pub mod dot;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod profile;
+pub mod summary;
+pub mod tracer;
+
+pub use dot::{DotBuilder, NodeId};
+pub use event::{Event, EventKind, KNOWN_KINDS};
+pub use jsonl::JsonlSink;
+pub use profile::Profiler;
+pub use summary::{PhaseStat, Summary};
+pub use tracer::{MemorySink, MultiSink, Sink, Span, Tracer};

@@ -1,0 +1,77 @@
+//! Aggregating profiler sink: folds the event stream into a
+//! [`Summary`] on the fly instead of storing events, so profiling a
+//! long corpus run costs O(phases + kinds) memory.
+
+use crate::event::{Event, EventKind};
+use crate::summary::Summary;
+use crate::tracer::Sink;
+use std::sync::Mutex;
+
+/// Sink that keeps only aggregates (per-phase wall time, per-kind
+/// counts, counter totals). Attach with [`crate::Tracer::new`], run the
+/// workload, then read [`Profiler::summary`] or [`Profiler::render`].
+#[derive(Default)]
+pub struct Profiler {
+    summary: Mutex<Summary>,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the aggregates so far.
+    pub fn summary(&self) -> Summary {
+        self.summary.lock().unwrap().clone()
+    }
+
+    /// Render the current aggregates as a text table.
+    pub fn render(&self) -> String {
+        self.summary().render()
+    }
+}
+
+impl Sink for Profiler {
+    fn record(&self, event: &Event) {
+        let mut summary = self.summary.lock().unwrap();
+        summary.record_kind(event.kind.kind_name());
+        match &event.kind {
+            EventKind::SpanExit { phase, duration_ns } => {
+                summary.record_span_exit(phase, *duration_ns);
+            }
+            EventKind::Counter { name, delta } => {
+                summary.record_counter(name, *delta);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+    use std::sync::Arc;
+
+    #[test]
+    fn profiler_aggregates_like_summary_from_jsonl() {
+        let profiler = Arc::new(Profiler::new());
+        let t = Tracer::new(profiler.clone());
+        for _ in 0..3 {
+            let _span = t.span(|| "work".into());
+            t.emit(EventKind::CacheMiss {
+                table: "wlp".into(),
+            });
+        }
+        t.emit(EventKind::Counter {
+            name: "widenings".into(),
+            delta: 4,
+        });
+        let s = profiler.summary();
+        assert_eq!(s.phases["work"].count, 3);
+        assert_eq!(s.kinds["cache_miss"], 3);
+        assert_eq!(s.counters["widenings"], 4);
+        assert_eq!(s.events, 10); // 3 enter + 3 exit + 3 miss + 1 counter
+        assert!(profiler.render().contains("work"));
+    }
+}

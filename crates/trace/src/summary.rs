@@ -1,0 +1,220 @@
+//! Aggregated view of a trace: per-phase wall time, per-kind event
+//! counts, and named counters. Built live by the [`crate::Profiler`]
+//! sink or after the fact from a JSONL file (`air trace summarize`).
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-phase aggregate: how many times the phase ran and its total
+/// wall-clock time (sum over all spans, including nested ones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// Aggregated trace statistics; renderable as a text table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    pub phases: BTreeMap<String, PhaseStat>,
+    pub kinds: BTreeMap<String, u64>,
+    pub counters: BTreeMap<String, u64>,
+    pub events: u64,
+}
+
+impl Summary {
+    /// Fold one event (by wire kind + fields) into the aggregate.
+    pub fn record_kind(&mut self, kind: &str) {
+        self.events += 1;
+        *self.kinds.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    pub fn record_span_exit(&mut self, phase: &str, duration_ns: u64) {
+        let stat = self.phases.entry(phase.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns += duration_ns;
+    }
+
+    pub fn record_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Rebuild a summary from JSONL text (as written by the JSONL sink).
+    /// Unknown kinds are counted but otherwise ignored; malformed lines
+    /// are errors.
+    pub fn from_jsonl(text: &str) -> Result<Summary, String> {
+        let mut summary = Summary::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let doc = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = doc
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+            summary.record_kind(kind);
+            match kind {
+                "span_exit" => {
+                    let phase = doc
+                        .get("phase")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("line {}: span_exit without phase", lineno + 1))?;
+                    let dur = doc
+                        .get("duration_ns")
+                        .and_then(Value::as_num)
+                        .ok_or_else(|| {
+                            format!("line {}: span_exit without duration_ns", lineno + 1)
+                        })?;
+                    summary.record_span_exit(phase, dur as u64);
+                }
+                "counter" => {
+                    let name = doc
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("line {}: counter without name", lineno + 1))?;
+                    let delta = doc.get("delta").and_then(Value::as_num).unwrap_or(1.0);
+                    summary.record_counter(name, delta as u64);
+                }
+                _ => {}
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Per-phase total times in milliseconds, sorted by phase name.
+    /// Used by `bench_tables` for the `phase_ms` breakdown.
+    pub fn phase_ms(&self) -> Vec<(String, f64)> {
+        self.phases
+            .iter()
+            .map(|(name, stat)| (name.clone(), stat.total_ns as f64 / 1e6))
+            .collect()
+    }
+
+    /// Render the per-phase time/count table plus event-kind and counter
+    /// tables as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} events", self.events);
+        if !self.phases.is_empty() {
+            out.push('\n');
+            render_table(
+                &mut out,
+                ("phase", "count", "total ms"),
+                self.phases.iter().map(|(name, stat)| {
+                    (
+                        name.clone(),
+                        stat.count.to_string(),
+                        format!("{:.3}", stat.total_ns as f64 / 1e6),
+                    )
+                }),
+            );
+        }
+        if !self.kinds.is_empty() {
+            out.push('\n');
+            render_table(
+                &mut out,
+                ("event kind", "count", ""),
+                self.kinds
+                    .iter()
+                    .map(|(kind, n)| (kind.clone(), n.to_string(), String::new())),
+            );
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            render_table(
+                &mut out,
+                ("counter", "total", ""),
+                self.counters
+                    .iter()
+                    .map(|(name, n)| (name.clone(), n.to_string(), String::new())),
+            );
+        }
+        out
+    }
+}
+
+/// Three-column left/right/right table; the third column is dropped when
+/// every cell (and the header) is empty.
+fn render_table(
+    out: &mut String,
+    headers: (&str, &str, &str),
+    rows: impl Iterator<Item = (String, String, String)>,
+) {
+    let rows: Vec<(String, String, String)> = rows.collect();
+    let three = !headers.2.is_empty() || rows.iter().any(|r| !r.2.is_empty());
+    let w0 = rows
+        .iter()
+        .map(|r| r.0.len())
+        .chain([headers.0.len()])
+        .max()
+        .unwrap_or(0);
+    let w1 = rows
+        .iter()
+        .map(|r| r.1.len())
+        .chain([headers.1.len()])
+        .max()
+        .unwrap_or(0);
+    let w2 = rows
+        .iter()
+        .map(|r| r.2.len())
+        .chain([headers.2.len()])
+        .max()
+        .unwrap_or(0);
+    let mut line = |c0: &str, c1: &str, c2: &str| {
+        if three {
+            let _ = writeln!(out, "{c0:<w0$}  {c1:>w1$}  {c2:>w2$}");
+        } else {
+            let _ = writeln!(out, "{c0:<w0$}  {c1:>w1$}");
+        }
+    };
+    line(headers.0, headers.1, headers.2);
+    line(&"-".repeat(w0), &"-".repeat(w1), &"-".repeat(w2));
+    for (c0, c1, c2) in &rows {
+        line(c0, c1, c2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_jsonl_aggregates_phases_kinds_and_counters() {
+        let text = "\
+{\"seq\":0,\"t_ns\":1,\"kind\":\"span_enter\",\"phase\":\"p\"}\n\
+{\"seq\":1,\"t_ns\":2,\"kind\":\"cache_hit\",\"table\":\"exec\"}\n\
+{\"seq\":2,\"t_ns\":3,\"kind\":\"counter\",\"name\":\"runs\",\"delta\":2}\n\
+{\"seq\":3,\"t_ns\":9,\"kind\":\"span_exit\",\"phase\":\"p\",\"duration_ns\":2000000}\n\
+{\"seq\":4,\"t_ns\":11,\"kind\":\"span_exit\",\"phase\":\"p\",\"duration_ns\":1000000}\n";
+        let s = Summary::from_jsonl(text).unwrap();
+        assert_eq!(s.events, 5);
+        assert_eq!(s.kinds["cache_hit"], 1);
+        assert_eq!(s.kinds["span_exit"], 2);
+        assert_eq!(s.counters["runs"], 2);
+        assert_eq!(
+            s.phases["p"],
+            PhaseStat {
+                count: 2,
+                total_ns: 3_000_000
+            }
+        );
+        assert_eq!(s.phase_ms(), vec![("p".to_string(), 3.0)]);
+        let table = s.render();
+        assert!(table.contains("phase"), "{table}");
+        assert!(table.contains("3.000"), "{table}");
+        assert!(table.contains("cache_hit"), "{table}");
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_lines() {
+        assert!(Summary::from_jsonl("{\"no_kind\":1}").is_err());
+        assert!(Summary::from_jsonl("not json").is_err());
+        assert!(
+            Summary::from_jsonl("{\"kind\":\"span_exit\",\"phase\":\"p\"}").is_err(),
+            "span_exit needs duration_ns"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The [`Tracer`] handle and [`Sink`] trait.
+//!
+//! A `Tracer` is a cheap, clonable handle that is either *disabled* (the
+//! default — one `Option` branch per call site, no allocation, no clock
+//! read) or *enabled*, in which case every event is stamped with a
+//! sequence number and a monotonic timestamp and forwarded to a shared
+//! [`Sink`]. Engines accept a `Tracer` by value and clone it freely;
+//! all clones feed the same sink and share one sequence counter.
+
+use crate::event::{Event, EventKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Receives every event emitted through a tracer. Implementations must
+/// be thread-safe: parallel sweeps share one sink across workers.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event);
+}
+
+struct Inner {
+    sink: Arc<dyn Sink>,
+    seq: AtomicU64,
+    epoch: Instant,
+}
+
+/// Cheap handle to a trace sink; `Tracer::default()` is disabled.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything (same as `Tracer::default()`).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer forwarding to `sink`, with its epoch set to now.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                sink,
+                seq: AtomicU64::new(0),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event. When disabled this is a single branch.
+    #[inline]
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            inner.record(kind);
+        }
+    }
+
+    /// Emit an event whose payload is expensive to build (e.g. renders an
+    /// expression): the closure only runs when tracing is enabled.
+    #[inline]
+    pub fn emit_with(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(inner) = &self.inner {
+            inner.record(kind());
+        }
+    }
+
+    /// Enter a named phase; the returned guard emits `span_exit` with the
+    /// measured duration when dropped. The phase name closure only runs
+    /// when tracing is enabled, so hot paths pay no formatting cost.
+    #[inline]
+    pub fn span(&self, phase: impl FnOnce() -> String) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(inner) => {
+                let phase = phase();
+                inner.record(EventKind::SpanEnter {
+                    phase: phase.clone(),
+                });
+                Span {
+                    active: Some(ActiveSpan {
+                        inner: Arc::clone(inner),
+                        phase,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Inner {
+    fn record(&self, kind: EventKind) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: self.epoch.elapsed().as_nanos() as u64,
+            kind,
+        };
+        self.sink.record(&event);
+    }
+}
+
+/// RAII guard for a phase; see [`Tracer::span`].
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    phase: String,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let duration_ns = active.start.elapsed().as_nanos() as u64;
+            active.inner.record(EventKind::SpanExit {
+                phase: active.phase.clone(),
+                duration_ns,
+            });
+        }
+    }
+}
+
+/// Buffers events in memory; the sink used by tests and the determinism
+/// suite. `drain()` returns everything recorded so far, in seq order.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events recorded so far, sorted by sequence number. Sorting
+    /// matters: under parallelism, threads may reach `record` out of
+    /// stamp order.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut events = std::mem::take(&mut *self.events.lock().unwrap());
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Fans every event out to several sinks (e.g. JSONL file + profiler).
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl MultiSink {
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_runs_no_closures() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit_with(|| unreachable!("closure must not run when disabled"));
+        let _span = t.span(|| unreachable!("span name must not render"));
+    }
+
+    #[test]
+    fn spans_nest_and_measure() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        {
+            let _outer = t.span(|| "outer".into());
+            let _inner = t.span(|| "inner".into());
+        }
+        let events = sink.drain();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.kind_name()).collect();
+        assert_eq!(
+            kinds,
+            ["span_enter", "span_enter", "span_exit", "span_exit"]
+        );
+        // Inner exits before outer (LIFO drop order).
+        match (&events[2].kind, &events[3].kind) {
+            (EventKind::SpanExit { phase: p2, .. }, EventKind::SpanExit { phase: p3, .. }) => {
+                assert_eq!(p2, "inner");
+                assert_eq!(p3, "outer");
+            }
+            _ => unreachable!(),
+        }
+        // Sequence numbers are dense and increasing.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn clones_share_one_sequence() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        let t2 = t.clone();
+        t.emit(EventKind::Counter {
+            name: "a".into(),
+            delta: 1,
+        });
+        t2.emit(EventKind::Counter {
+            name: "b".into(),
+            delta: 1,
+        });
+        let seqs: Vec<u64> = sink.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1]);
+    }
+
+    #[test]
+    fn multi_sink_duplicates_events() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let t = Tracer::new(Arc::new(MultiSink::new(vec![a.clone(), b.clone()])));
+        t.emit(EventKind::Widening { site: "s".into() });
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(b.drain().len(), 1);
+    }
+}

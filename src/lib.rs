@@ -15,6 +15,8 @@
 //!   shells, forward/backward repair, pointed widening and the verifier.
 //! - [`cegar`] — finite transition systems, abstract model checking and the
 //!   CEGAR-as-AIR refinement heuristics of Section 6.
+//! - [`trace`] — structured event tracing, phase profiling and the
+//!   repair-derivation DOT export wired through every engine above.
 //!
 //! # Quickstart
 //!
@@ -42,3 +44,4 @@ pub use air_core as core;
 pub use air_domains as domains;
 pub use air_lang as lang;
 pub use air_lattice as lattice;
+pub use air_trace as trace;

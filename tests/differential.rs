@@ -7,11 +7,17 @@
 //! against sequential ones, over the whole `corpus/` suite and over
 //! randomly generated programs and domains.
 
+use std::sync::Arc;
+
+use air::cegar::driver::{Cegar, Heuristic};
+use air::cegar::partition::Partition;
+use air::cegar::ts::TransitionSystem;
 use air::core::{EnumDomain, Lcl, Verdict, Verifier};
 use air::domains::IntervalEnv;
 use air::lang::gen::{GenConfig, ProgramGen, XorShift};
 use air::lang::{parse_bexp, parse_program, Concrete, Reg, SemCache, StateSet, Universe, Wlp};
-use air::lattice::{par_map, par_map_indexed};
+use air::lattice::{par_map, par_map_indexed, BitVecSet};
+use air::trace::{EventKind, MemorySink, Tracer};
 use proptest::prelude::*;
 
 /// (name, variable declarations, precondition, spec) for every corpus
@@ -155,6 +161,100 @@ fn par_map_is_order_preserving_on_large_inputs() {
     let expected: Vec<usize> = items.iter().map(|i| i * i).collect();
     for jobs in [1, 3, 8] {
         assert_eq!(par_map_indexed(jobs, &items, |_, &i| i * i), expected);
+    }
+}
+
+/// The trace stream of a run, normalized for comparison across cache and
+/// scheduling configurations: timestamps (`seq`, `t_ns`, span durations)
+/// are dropped, and so are the cache telemetry events (`cache_hit` /
+/// `cache_miss` / `cache_bypass`) — those *describe* the memo tables and
+/// legitimately differ; everything else must not.
+fn normalized_stream(sink: &MemorySink) -> Vec<String> {
+    sink.drain()
+        .into_iter()
+        .filter(|e| !e.kind.is_cache_telemetry())
+        .map(|e| match e.kind {
+            EventKind::SpanExit { phase, .. } => format!("span_exit {phase}"),
+            kind => format!("{kind:?}"),
+        })
+        .collect()
+}
+
+/// Tracing is a pure observer of the pipeline: the event stream (modulo
+/// timestamps and cache telemetry) is identical whether the semantic
+/// caches are on or off, on every corpus program and both strategies.
+#[test]
+fn trace_stream_cached_matches_uncached() {
+    for (name, decls, pre, spec) in corpus_cases() {
+        let u = Universe::new(&decls).unwrap();
+        let prog = load(name);
+        let pre = sat(&u, pre);
+        let spec = sat(&u, spec);
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        for strategy in ["backward", "forward"] {
+            let traced = |verifier: Verifier| {
+                let sink = Arc::new(MemorySink::new());
+                let verifier = verifier.tracer(Tracer::new(sink.clone()));
+                match strategy {
+                    "backward" => verifier.backward(dom.clone(), &prog, &pre, &spec).unwrap(),
+                    _ => verifier.forward(dom.clone(), &prog, &pre, &spec).unwrap(),
+                };
+                normalized_stream(&sink)
+            };
+            let cached = traced(Verifier::new(&u));
+            let uncached = traced(Verifier::uncached(&u));
+            assert!(!cached.is_empty(), "{name}/{strategy}: no events");
+            assert_eq!(cached, uncached, "{name}/{strategy}: event stream");
+        }
+    }
+}
+
+/// The CEGAR driver's trace stream is independent of its worker count:
+/// `jobs = 1` and parallel runs produce the same iterations, refinements,
+/// splits and verdict events in the same order.
+#[test]
+fn trace_stream_parallel_cegar_matches_sequential() {
+    // The two-lane family from `tests/cegar.rs`: lane A safe, lane B bad,
+    // initially paired blocks forcing real refinement work.
+    let n = 5;
+    let states = 2 * n + 1;
+    let mut ts = TransitionSystem::new(states);
+    for i in 0..n - 1 {
+        ts.add_edge(2 * i, 2 * (i + 1));
+        ts.add_edge(2 * i + 1, 2 * (i + 1) + 1);
+    }
+    ts.add_edge(2 * (n - 1) + 1, 2 * n);
+    let init = BitVecSet::from_indices(states, [0]);
+    let bad = BitVecSet::from_indices(states, [2 * n]);
+    let pairs = Partition::from_key(states, |s| s / 2);
+
+    for heuristic in Heuristic::ALL {
+        let traced = |jobs: usize| {
+            let sink = Arc::new(MemorySink::new());
+            let res = Cegar::new(&ts, &init, &bad, heuristic)
+                .initial_partition(pairs.clone())
+                .jobs(jobs)
+                .tracer(Tracer::new(sink.clone()))
+                .run();
+            assert!(res.is_safe(), "{}", heuristic.label());
+            normalized_stream(&sink)
+        };
+        let sequential = traced(1);
+        for expected in ["CegarIteration", "CegarRefinement", "CegarSplit", "Verdict"] {
+            assert!(
+                sequential.iter().any(|e| e.starts_with(expected)),
+                "{}: no {expected} traced",
+                heuristic.label()
+            );
+        }
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                traced(jobs),
+                sequential,
+                "{} with jobs = {jobs}",
+                heuristic.label()
+            );
+        }
     }
 }
 

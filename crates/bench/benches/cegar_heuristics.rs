@@ -17,7 +17,8 @@ fn bench_cegar_heuristics(c: &mut Criterion) {
                 b.iter(|| {
                     let res = Cegar::new(&ts, &init, &bad, h)
                         .initial_partition(pairs.clone())
-                        .run();
+                        .run()
+                        .unwrap();
                     assert!(res.is_safe());
                     black_box(res.stats().iterations)
                 })

@@ -1,10 +1,10 @@
-//! Prints the measured tables T1–T8 of EXPERIMENTS.md deterministically
+//! Prints the measured tables T1–T10 of EXPERIMENTS.md deterministically
 //! (counts and sizes; wall-clock distributions come from `cargo bench`).
 //!
 //! Run with `cargo run -p air-bench --bin bench_tables --release`.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use air_bench::{
     absval_program, alarm_corpus, branch_chain_program, branch_chain_workload, countdown_program,
@@ -15,6 +15,7 @@ use air_cegar::driver::{Cegar, Heuristic};
 use air_core::{BackwardRepair, EnumDomain, ForwardRepair, Verifier};
 use air_domains::BooleanPredicateDomain;
 use air_lang::{parse_bexp, Universe};
+use air_lattice::{Budget, Governor};
 use air_trace::{Profiler, Tracer};
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -209,7 +210,8 @@ fn t4_cegar_heuristics() {
             let (ts, init, bad, pairs) = two_lane(n);
             let res = Cegar::new(&ts, &init, &bad, h)
                 .initial_partition(pairs)
-                .run();
+                .run()
+                .unwrap();
             assert!(res.is_safe());
             let s = res.stats();
             println!(
@@ -485,7 +487,7 @@ fn json_rate(hits: u64, misses: u64) -> f64 {
 /// seed's sequential path) vs enabled, best-of-`RUNS` wall times, plus a
 /// whole-corpus sweep sequential-uncached vs parallel-cached. Caches are
 /// built fresh for every run, so hit counts measure within-run reuse only.
-fn t9_repair_benchmark() {
+fn t9_repair_benchmark() -> String {
     const RUNS: usize = 7;
     const SWEEP_RUNS: usize = 3;
     println!("\nT9 — memoized repair vs the uncached baseline (corpus/)");
@@ -658,12 +660,71 @@ fn t9_repair_benchmark() {
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"corpus_sweep\": {{\"programs\": {}, \"jobs\": {}, \
-         \"sequential_uncached_ms\": {:.3}, \"parallel_cached_ms\": {:.3}, \"speedup\": {:.3}}}\n",
+         \"sequential_uncached_ms\": {:.3}, \"parallel_cached_ms\": {:.3}, \"speedup\": {:.3}}},\n",
         rows.len(),
         sweep_jobs,
         sweep_uncached_ms,
         sweep_cached_ms,
         sweep_speedup
+    ));
+    json
+}
+
+/// T10 — governor overhead: the whole corpus verified backward with no
+/// governor vs a governor whose fuel *and* deadline budgets are active but
+/// generous enough never to trip, so every loop-head check site pays its
+/// full cost (atomic tick + fuel compare + strided clock sample). The
+/// engines' contract is that a `--fuel`/`--timeout-ms` run you never
+/// exhaust costs the same run you'd have had without the flags; this table
+/// holds the regression bar (< 2% overhead). Appends its rows to the
+/// `BENCH_repair.json` body started by T9 and writes the file.
+fn t10_governor_overhead(mut json: String) {
+    const RUNS: usize = 9;
+    println!("\nT10 — governor overhead (ungoverned vs generous fuel + deadline)");
+    let corpus = air_bench::verification_corpus();
+    let generous = || {
+        Governor::new(Budget {
+            fuel: Some(u64::MAX),
+            timeout: Some(Duration::from_secs(3600)),
+        })
+    };
+    let mut ungoverned_ms = f64::INFINITY;
+    let mut governed_ms = f64::INFINITY;
+    for _ in 0..RUNS {
+        let (_, ms) = timed(|| {
+            for task in &corpus {
+                let dom = int_domain(&task.universe);
+                let v = Verifier::new(&task.universe)
+                    .backward(dom, &task.prog, &task.pre, &task.spec)
+                    .expect("corpus program verifies");
+                assert!(v.is_proved(), "{}", task.name);
+            }
+        });
+        ungoverned_ms = ungoverned_ms.min(ms);
+        let (_, ms) = timed(|| {
+            for task in &corpus {
+                let dom = int_domain(&task.universe);
+                let v = Verifier::new(&task.universe)
+                    .governor(generous())
+                    .backward(dom, &task.prog, &task.pre, &task.spec)
+                    .expect("a generous budget never trips");
+                assert!(v.is_proved(), "{}", task.name);
+            }
+        });
+        governed_ms = governed_ms.min(ms);
+    }
+    let overhead = governed_ms / ungoverned_ms.max(1e-9) - 1.0;
+    println!(
+        "corpus backward verify: ungoverned {ungoverned_ms:.3} ms, \
+         governed {governed_ms:.3} ms, overhead {:.2}%",
+        100.0 * overhead
+    );
+    json.push_str(&format!(
+        "  \"governor_overhead\": {{\"runs\": {RUNS}, \"ungoverned_ms\": {:.3}, \
+         \"governed_ms\": {:.3}, \"overhead_pct\": {:.3}}}\n",
+        ungoverned_ms,
+        governed_ms,
+        100.0 * overhead
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_repair.json", &json).expect("BENCH_repair.json writes");
@@ -680,6 +741,7 @@ fn main() {
     t6_alarm_removal();
     t7_ablations();
     t8_random_corpus();
-    t9_repair_benchmark();
+    let json = t9_repair_benchmark();
+    t10_governor_overhead(json);
     println!("\nall tables generated.");
 }

@@ -5,7 +5,9 @@
 //! heuristic; stop at a proof (no abstract counterexample) or a real
 //! counterexample. Partitions refine strictly, so the loop terminates.
 
-use air_lattice::BitVecSet;
+use std::fmt;
+
+use air_lattice::{BitVecSet, Exhaustion, Governor};
 use air_trace::{EventKind, Tracer};
 
 use crate::amc::AbstractTs;
@@ -42,6 +44,43 @@ impl Heuristic {
             Heuristic::ForwardAir => "forward-AIR",
             Heuristic::BackwardAir => "backward-AIR",
         }
+    }
+}
+
+/// Failure of a CEGAR run: either the configured budget ran out, or an
+/// internal invariant of the loop was violated (a bug, never a panic).
+#[derive(Clone, Debug)]
+pub enum CegarError {
+    /// The governor's fuel or deadline was exhausted mid-loop.
+    Exhausted(Exhaustion),
+    /// An internal invariant failed; surfaced instead of panicking.
+    Internal(String),
+}
+
+impl CegarError {
+    /// The exhaustion record, if this error is a budget cutoff.
+    pub fn exhaustion(&self) -> Option<&Exhaustion> {
+        match self {
+            CegarError::Exhausted(e) => Some(e),
+            CegarError::Internal(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CegarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CegarError::Exhausted(e) => write!(f, "{e}"),
+            CegarError::Internal(msg) => write!(f, "internal CEGAR error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CegarError {}
+
+impl From<Exhaustion> for CegarError {
+    fn from(e: Exhaustion) -> Self {
+        CegarError::Exhausted(e)
     }
 }
 
@@ -116,7 +155,7 @@ impl CegarResult {
 /// ts.add_edge(2, 3);
 /// let init = BitVecSet::from_indices(4, [0]);
 /// let bad = BitVecSet::from_indices(4, [3]);
-/// let res = Cegar::new(&ts, &init, &bad, Heuristic::ForwardAir).run();
+/// let res = Cegar::new(&ts, &init, &bad, Heuristic::ForwardAir).run().unwrap();
 /// assert!(res.is_safe());
 /// ```
 #[derive(Clone, Debug)]
@@ -128,6 +167,7 @@ pub struct Cegar<'t> {
     initial_partition: Option<Partition>,
     jobs: usize,
     trace: Tracer,
+    governor: Governor,
 }
 
 impl<'t> Cegar<'t> {
@@ -146,6 +186,7 @@ impl<'t> Cegar<'t> {
             initial_partition: None,
             jobs: 1,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -174,22 +215,45 @@ impl<'t> Cegar<'t> {
         self
     }
 
+    /// Enforces `governor` at the loop head: each abstract model-checking
+    /// round spends one fuel tick, and exhaustion (or cooperative
+    /// cancellation) aborts the run with [`CegarError::Exhausted`].
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+
     /// Runs all three heuristics on the same problem, each on its own
     /// worker thread, for comparative experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CegarError`] any heuristic hit (ungoverned runs
+    /// only fail on internal errors).
     pub fn compare(
         ts: &TransitionSystem,
         init: &BitVecSet,
         bad: &BitVecSet,
         jobs: usize,
-    ) -> Vec<(Heuristic, CegarResult)> {
+    ) -> Result<Vec<(Heuristic, CegarResult)>, CegarError> {
         let results = air_lattice::par_map(jobs, &Heuristic::ALL, |&h| {
             Cegar::new(ts, init, bad, h).run()
         });
-        Heuristic::ALL.into_iter().zip(results).collect()
+        Heuristic::ALL
+            .into_iter()
+            .zip(results)
+            .map(|(h, r)| r.map(|res| (h, res)))
+            .collect()
     }
 
     /// Runs the loop to completion.
-    pub fn run(mut self) -> CegarResult {
+    ///
+    /// # Errors
+    ///
+    /// [`CegarError::Exhausted`] when the configured governor runs out of
+    /// fuel or time; [`CegarError::Internal`] if a loop invariant is
+    /// violated (never panics).
+    pub fn run(mut self) -> Result<CegarResult, CegarError> {
         let _span = self
             .trace
             .span(|| format!("cegar.{}", self.heuristic.label()));
@@ -202,6 +266,17 @@ impl<'t> Cegar<'t> {
 
         let mut stats = CegarStats::default();
         loop {
+            if let Err(e) = self
+                .governor
+                .check_with(|| format!("cegar.{}", self.heuristic.label()))
+            {
+                self.trace.emit_with(|| EventKind::BudgetExhausted {
+                    phase: e.phase.clone(),
+                    spent: e.spent,
+                    reason: e.reason.name().to_string(),
+                });
+                return Err(CegarError::Exhausted(e));
+            }
             stats.iterations += 1;
             self.trace.emit_with(|| EventKind::CegarIteration {
                 iteration: stats.iterations,
@@ -213,20 +288,22 @@ impl<'t> Cegar<'t> {
             let Some(path) = abs.find_counterexample(&init_blocks, &bad_blocks) else {
                 stats.final_blocks = partition.num_blocks();
                 self.trace_verdict(true);
-                return CegarResult::Safe { partition, stats };
+                return Ok(CegarResult::Safe { partition, stats });
             };
             let analysis = SpuriousAnalysis::analyze(self.ts, &partition, &path);
             if !analysis.is_spurious() {
-                let concrete = analysis
-                    .concrete_witness(self.ts)
-                    .expect("non-spurious path has a witness");
+                let Some(concrete) = analysis.concrete_witness(self.ts) else {
+                    return Err(CegarError::Internal(
+                        "non-spurious abstract path has no concrete witness".to_string(),
+                    ));
+                };
                 stats.final_blocks = partition.num_blocks();
                 self.trace_verdict(false);
-                return CegarResult::Unsafe {
+                return Ok(CegarResult::Unsafe {
                     path: concrete,
                     partition,
                     stats,
-                };
+                });
             }
             stats.refinements += 1;
             self.trace.emit_with(|| EventKind::CegarRefinement {
@@ -285,7 +362,7 @@ mod tests {
     fn safe_ladder_proved_by_all_heuristics() {
         let (ts, init, bad) = ladder(5);
         for h in Heuristic::ALL {
-            let res = Cegar::new(&ts, &init, &bad, h).run();
+            let res = Cegar::new(&ts, &init, &bad, h).run().unwrap();
             assert!(res.is_safe(), "{} failed", h.label());
         }
     }
@@ -299,6 +376,7 @@ mod tests {
             Cegar::new(&ts, &init, &bad, h)
                 .initial_partition(pair.clone())
                 .run()
+                .unwrap()
                 .stats()
                 .iterations
         };
@@ -325,7 +403,7 @@ mod tests {
         let init = BitVecSet::from_indices(5, [0]);
         let bad = BitVecSet::from_indices(5, [4]);
         for h in Heuristic::ALL {
-            let res = Cegar::new(&ts, &init, &bad, h).run();
+            let res = Cegar::new(&ts, &init, &bad, h).run().unwrap();
             let CegarResult::Unsafe { path, .. } = res else {
                 panic!("{} should find the real counterexample", h.label());
             };
@@ -340,11 +418,13 @@ mod tests {
         for h in Heuristic::ALL {
             let seq = Cegar::new(&ts, &init, &bad, h)
                 .initial_partition(pair.clone())
-                .run();
+                .run()
+                .unwrap();
             let par = Cegar::new(&ts, &init, &bad, h)
                 .initial_partition(pair.clone())
                 .jobs(4)
-                .run();
+                .run()
+                .unwrap();
             assert_eq!(seq.is_safe(), par.is_safe());
             assert_eq!(seq.stats(), par.stats());
             assert_eq!(seq.partition(), par.partition(), "{}", h.label());
@@ -354,7 +434,7 @@ mod tests {
     #[test]
     fn compare_runs_all_heuristics() {
         let (ts, init, bad) = ladder(4);
-        let results = Cegar::compare(&ts, &init, &bad, 3);
+        let results = Cegar::compare(&ts, &init, &bad, 3).unwrap();
         assert_eq!(results.len(), 3);
         for (h, res) in &results {
             assert!(res.is_safe(), "{} failed", h.label());
@@ -366,7 +446,9 @@ mod tests {
         let ts = TransitionSystem::new(3);
         let init = BitVecSet::from_indices(3, [1]);
         let bad = BitVecSet::from_indices(3, [1, 2]);
-        let res = Cegar::new(&ts, &init, &bad, Heuristic::Classic).run();
+        let res = Cegar::new(&ts, &init, &bad, Heuristic::Classic)
+            .run()
+            .unwrap();
         let CegarResult::Unsafe { path, .. } = res else {
             panic!("must be unsafe");
         };
@@ -374,9 +456,28 @@ mod tests {
     }
 
     #[test]
+    fn governed_run_exhausts_and_reports_phase() {
+        let (ts, init, bad) = ladder(6);
+        // Pair the lanes so the run needs at least one refinement round.
+        let pair = Partition::from_key(13, |s| s / 2);
+        let err = Cegar::new(&ts, &init, &bad, Heuristic::Classic)
+            .initial_partition(pair)
+            .governor(Governor::new(air_lattice::Budget::fuel(1)))
+            .run()
+            .unwrap_err();
+        let Some(exhaustion) = err.exhaustion() else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(exhaustion.phase, "cegar.classic");
+        assert_eq!(exhaustion.reason, air_lattice::ExhaustReason::Fuel);
+    }
+
+    #[test]
     fn partition_certificate_separates_init_from_bad() {
         let (ts, init, bad) = ladder(4);
-        let res = Cegar::new(&ts, &init, &bad, Heuristic::BackwardAir).run();
+        let res = Cegar::new(&ts, &init, &bad, Heuristic::BackwardAir)
+            .run()
+            .unwrap();
         let CegarResult::Safe { partition, stats } = res else {
             panic!("safe");
         };

@@ -39,7 +39,7 @@
 //! ts.add_edge(1, 2);
 //! let init = BitVecSet::from_indices(4, [0]);
 //! let bad = BitVecSet::from_indices(4, [3]);
-//! let result = Cegar::new(&ts, &init, &bad, Heuristic::BackwardAir).run();
+//! let result = Cegar::new(&ts, &init, &bad, Heuristic::BackwardAir).run().unwrap();
 //! assert!(matches!(result, CegarResult::Safe { .. }));
 //! ```
 
@@ -54,7 +54,7 @@ pub mod shell;
 pub mod spurious;
 pub mod ts;
 
-pub use driver::{Cegar, CegarResult, Heuristic};
+pub use driver::{Cegar, CegarError, CegarResult, Heuristic};
 pub use moore::{MooreAbstraction, MooreCegar, MooreResult};
 pub use partition::Partition;
 pub use program_ts::ProgramTs;

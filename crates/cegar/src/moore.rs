@@ -15,8 +15,9 @@
 //! `V`s, whose last element avoids `bad`), so the loop terminates on
 //! finite systems; a round cap guards against misuse.
 
-use air_lattice::BitVecSet;
+use air_lattice::{BitVecSet, ExhaustReason, Exhaustion, Governor};
 
+use crate::driver::CegarError;
 use crate::partition::Partition;
 use crate::ts::TransitionSystem;
 
@@ -138,7 +139,7 @@ impl MooreResult {
 /// ts.add_edge(2, 3);
 /// let init = BitVecSet::from_indices(4, [0]);
 /// let bad = BitVecSet::from_indices(4, [3]);
-/// let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(4)).run();
+/// let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(4)).run().unwrap();
 /// assert!(res.is_safe());
 /// ```
 #[derive(Clone, Debug)]
@@ -148,6 +149,7 @@ pub struct MooreCegar<'t> {
     bad: BitVecSet,
     abstraction: MooreAbstraction,
     max_rounds: usize,
+    governor: Governor,
 }
 
 impl<'t> MooreCegar<'t> {
@@ -164,23 +166,35 @@ impl<'t> MooreCegar<'t> {
             bad: bad.clone(),
             abstraction,
             max_rounds: 10_000,
+            governor: Governor::unlimited(),
         }
+    }
+
+    /// Enforces `governor` at the repair-round head: each round spends one
+    /// fuel tick, and exhaustion aborts with [`CegarError::Exhausted`].
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
     }
 
     /// Runs to completion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the round cap is exhausted (cannot happen on finite
-    /// systems: every repair adds at least one point).
-    pub fn run(mut self) -> MooreResult {
+    /// [`CegarError::Exhausted`] when the governor (or the round cap, which
+    /// cannot trip on finite systems: every repair adds at least one point)
+    /// runs out; [`CegarError::Internal`] if a loop invariant is violated.
+    pub fn run(mut self) -> Result<MooreResult, CegarError> {
         let mut stats = MooreStats::default();
         for _ in 0..self.max_rounds {
+            self.governor.check("cegar.moore")?;
             stats.rounds += 1;
             // Cumulative abstract reachability, keeping the whole chain.
             let mut chain = vec![self.abstraction.close(&self.init)];
             let trace_end = loop {
-                let last = chain.last().expect("non-empty chain");
+                let Some(last) = chain.last() else {
+                    return Err(CegarError::Internal("empty reachability chain".to_string()));
+                };
                 if !last.is_disjoint(&self.bad) {
                     break Some(chain.len() - 1);
                 }
@@ -191,10 +205,10 @@ impl<'t> MooreCegar<'t> {
                 chain.push(next);
             };
             let Some(end) = trace_end else {
-                return MooreResult::Safe {
+                return Ok(MooreResult::Safe {
                     abstraction: self.abstraction,
                     stats,
-                };
+                });
             };
             // Backward concrete sets with stuttering: T_end = X_end ∩ bad,
             // T_k = X_k ∩ (T_{k+1} ∪ pre(T_{k+1})).
@@ -205,8 +219,8 @@ impl<'t> MooreCegar<'t> {
             }
             if !self.init.is_disjoint(&t[0]) {
                 // Real counterexample: walk forward through the T's.
-                let path = self.extract_path(&t);
-                return MooreResult::Unsafe { path, stats };
+                let path = self.extract_path(&t)?;
+                return Ok(MooreResult::Unsafe { path, stats });
             }
             // Spurious: add the Theorem 6.4 points V_k = X_k ∖ T_k.
             for k in 0..=end {
@@ -216,15 +230,21 @@ impl<'t> MooreCegar<'t> {
                 }
             }
         }
-        unreachable!("round cap exhausted: repair must make progress on finite systems")
+        // Round cap: repair must make progress on finite systems, so this
+        // only trips on misuse — report it as exhaustion, don't panic.
+        Err(CegarError::Exhausted(Exhaustion {
+            phase: "cegar.moore.max_rounds".to_string(),
+            spent: self.max_rounds as u64,
+            reason: ExhaustReason::Fuel,
+        }))
     }
 
-    fn extract_path(&self, t: &[BitVecSet]) -> Vec<usize> {
-        let mut cur = self
-            .init
-            .intersection(&t[0])
-            .min_index()
-            .expect("non-spurious trace starts in init");
+    fn extract_path(&self, t: &[BitVecSet]) -> Result<Vec<usize>, CegarError> {
+        let Some(mut cur) = self.init.intersection(&t[0]).min_index() else {
+            return Err(CegarError::Internal(
+                "non-spurious trace does not start in init".to_string(),
+            ));
+        };
         let mut path = vec![cur];
         for next_t in &t[1..] {
             if self.bad.contains(cur) {
@@ -233,14 +253,15 @@ impl<'t> MooreCegar<'t> {
             if next_t.contains(cur) {
                 continue; // stutter
             }
-            cur = self
-                .ts
-                .succs_of(cur)
-                .find(|&s| next_t.contains(s))
-                .expect("T-sets form a path");
+            let Some(next) = self.ts.succs_of(cur).find(|&s| next_t.contains(s)) else {
+                return Err(CegarError::Internal(
+                    "backward T-sets do not form a path".to_string(),
+                ));
+            };
+            cur = next;
             path.push(cur);
         }
-        path
+        Ok(path)
     }
 }
 
@@ -303,8 +324,9 @@ mod tests {
     fn safe_two_lane_from_trivial_abstraction() {
         for n in 2..6 {
             let (ts, init, bad) = two_lane(n);
-            let res =
-                MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(ts.num_states())).run();
+            let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(ts.num_states()))
+                .run()
+                .unwrap();
             assert!(res.is_safe(), "n = {n}");
             let stats = res.stats();
             assert!(stats.points_added > 0, "trivial start must refine");
@@ -319,7 +341,9 @@ mod tests {
         ts.add_edge(2, 4);
         let init = BitVecSet::from_indices(5, [0]);
         let bad = BitVecSet::from_indices(5, [4]);
-        let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(5)).run();
+        let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(5))
+            .run()
+            .unwrap();
         let MooreResult::Unsafe { path, .. } = res else {
             panic!("must be unsafe");
         };
@@ -336,7 +360,9 @@ mod tests {
         let ts = TransitionSystem::new(3);
         let init = BitVecSet::from_indices(3, [1]);
         let bad = BitVecSet::from_indices(3, [1]);
-        let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(3)).run();
+        let res = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(3))
+            .run()
+            .unwrap();
         let MooreResult::Unsafe { path, .. } = res else {
             panic!("must be unsafe");
         };
@@ -349,13 +375,15 @@ mod tests {
         // (a finer start explores different spurious traces), but both
         // starts must prove safety by adding backward points.
         let (ts, init, bad) = two_lane(5);
-        let trivial =
-            MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(ts.num_states())).run();
+        let trivial = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(ts.num_states()))
+            .run()
+            .unwrap();
         let mut pairs = Partition::from_key(ts.num_states(), |s| s / 2);
         pairs.split_by(&init);
         pairs.split_by(&bad);
-        let parted =
-            MooreCegar::new(&ts, &init, &bad, MooreAbstraction::from_partition(&pairs)).run();
+        let parted = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::from_partition(&pairs))
+            .run()
+            .unwrap();
         assert!(trivial.is_safe() && parted.is_safe());
         assert!(trivial.stats().points_added > 0);
         assert!(parted.stats().rounds <= trivial.stats().rounds + 2);
@@ -373,7 +401,8 @@ mod tests {
             &BitVecSet::from_indices(3, [2]),
             MooreAbstraction::trivial(3),
         )
-        .run();
+        .run()
+        .unwrap();
         assert!(res.is_safe());
     }
 }

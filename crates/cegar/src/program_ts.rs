@@ -202,7 +202,8 @@ mod tests {
         for h in Heuristic::ALL {
             let res = Cegar::new(pts.ts(), &init, &bad, h)
                 .initial_partition(loc_partition.clone())
-                .run();
+                .run()
+                .unwrap();
             assert!(res.is_safe(), "{} failed", h.label());
         }
     }
@@ -216,7 +217,9 @@ mod tests {
         let spec = u.filter(|s| s[0] <= 3); // violated by x = 4
         let init = pts.init_states(&input);
         let bad = pts.bad_states(&spec);
-        let res = Cegar::new(pts.ts(), &init, &bad, Heuristic::BackwardAir).run();
+        let res = Cegar::new(pts.ts(), &init, &bad, Heuristic::BackwardAir)
+            .run()
+            .unwrap();
         let CegarResult::Unsafe { path, .. } = res else {
             panic!("must be unsafe");
         };

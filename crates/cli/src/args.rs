@@ -8,13 +8,16 @@ usage:
   air verify  --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP
               [--domain int|oct|sign|parity|const|cong|karr] [--strategy backward|forward]
               [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
+              [--fuel N] [--timeout-ms N]
   air analyze --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP [--domain ...]
               [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
+              [--fuel N] [--timeout-ms N]
   air prove   --vars SPEC --code PROG|--file PATH --pre BEXP [--spec BEXP] [--domain ...]
               [--stats] [--stats-json] [--uncached] [--trace FILE]
-              [--trace-format jsonl|dot] [--profile]
+              [--trace-format jsonl|dot] [--profile] [--fuel N] [--timeout-ms N]
   air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--stats]
               [--stats-json] [--uncached] [--trace FILE] [--profile]
+              [--fuel N] [--timeout-ms N]
   air trace summarize FILE
 
   --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
@@ -28,7 +31,13 @@ usage:
   --trace FILE writes a structured JSONL event log; --trace-format dot
   (prove only) writes the LCL derivation as Graphviz DOT instead;
   --profile prints a per-phase wall-time table after the run
-  trace summarize aggregates a JSONL trace into per-phase tables";
+  --fuel N caps engine-loop iterations; --timeout-ms N sets a wall-clock
+  deadline; exhausting either stops the run with exit code 3 and the best
+  partial result (corpus sweeps share one budget across all programs)
+  trace summarize aggregates a JSONL trace into per-phase tables
+
+exit codes: 0 proved / no alarms, 1 refuted / alarms, 2 usage error,
+  3 budget exhausted, 4 internal error";
 
 /// The base abstract domain to start from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -141,6 +150,10 @@ pub struct Task {
     pub trace_format: TraceFormat,
     /// Print a per-phase wall-time profile after the run.
     pub profile: bool,
+    /// Fuel budget: maximum engine-loop iterations before exit code 3.
+    pub fuel: Option<u64>,
+    /// Wall-clock budget in milliseconds before exit code 3.
+    pub timeout_ms: Option<u64>,
 }
 
 /// The corpus-sweep payload.
@@ -164,6 +177,10 @@ pub struct CorpusTask {
     pub trace: Option<String>,
     /// Print a per-phase wall-time profile after the sweep.
     pub profile: bool,
+    /// Fuel budget shared by the whole sweep (all programs together).
+    pub fuel: Option<u64>,
+    /// Wall-clock budget in milliseconds for the whole sweep.
+    pub timeout_ms: Option<u64>,
 }
 
 /// A parse failure.
@@ -252,6 +269,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut trace = None;
     let mut trace_format = None;
     let mut profile = false;
+    let mut fuel = None;
+    let mut timeout_ms = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -284,6 +303,20 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
                 })
             }
             "--profile" => profile = true,
+            "--fuel" => {
+                let v = value()?;
+                fuel = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad --fuel value `{v}`")))?,
+                );
+            }
+            "--timeout-ms" => {
+                let v = value()?;
+                timeout_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad --timeout-ms value `{v}`")))?,
+                );
+            }
             "--dir" => dir = value()?,
             "--jobs" => {
                 let v = value()?;
@@ -314,6 +347,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             uncached,
             trace,
             profile,
+            fuel,
+            timeout_ms,
         }));
     }
     let code = match (code, file) {
@@ -336,6 +371,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
         trace,
         trace_format,
         profile,
+        fuel,
+        timeout_ms,
     };
     match sub.as_str() {
         "verify" | "analyze" => {
@@ -541,6 +578,38 @@ mod tests {
             "dot",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let cmd = parse(&argv(&[
+            "verify",
+            "--vars",
+            "x:0..3",
+            "--code",
+            "skip",
+            "--pre",
+            "true",
+            "--spec",
+            "true",
+            "--fuel",
+            "500",
+            "--timeout-ms",
+            "2000",
+        ]))
+        .unwrap();
+        let Command::Verify(task) = cmd else {
+            panic!("expected verify");
+        };
+        assert_eq!(task.fuel, Some(500));
+        assert_eq!(task.timeout_ms, Some(2000));
+        let Command::Corpus(task) = parse(&argv(&["corpus", "--fuel", "9"])).unwrap() else {
+            panic!("expected corpus");
+        };
+        assert_eq!(task.fuel, Some(9));
+        assert_eq!(task.timeout_ms, None);
+        assert!(parse(&argv(&["corpus", "--fuel", "many"])).is_err());
+        assert!(parse(&argv(&["corpus", "--timeout-ms", "-3"])).is_err());
     }
 
     #[test]

@@ -15,9 +15,12 @@
 //! tables (the reference path — results are bitwise identical either way).
 //! `--trace FILE` writes a structured JSONL event log (`--trace-format dot`
 //! on `prove` writes the LCL derivation as Graphviz DOT) and `--profile`
-//! prints a per-phase wall-time table. Exit codes: 0 = proved / no alarms,
-//! 1 = refuted / alarms, 2 = usage or runtime error. The paper↔code map
-//! behind the engine is `PAPER_MAP.md` at the repository root.
+//! prints a per-phase wall-time table. `--fuel N` / `--timeout-ms N` bound
+//! a run; an exhausted budget stops at the next engine loop head and
+//! reports the sound partial result. Exit codes: 0 = proved / no alarms,
+//! 1 = refuted / alarms, 2 = usage error, 3 = budget exhausted,
+//! 4 = internal error. The paper↔code map behind the engine is
+//! `PAPER_MAP.md` at the repository root.
 
 use std::process::ExitCode;
 
@@ -39,7 +42,7 @@ fn main() -> ExitCode {
         Ok(run::Outcome::Negative) => ExitCode::from(1),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(e.exit_code())
         }
     }
 }

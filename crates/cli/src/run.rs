@@ -1,17 +1,18 @@
 //! Executing parsed CLI commands against the AIR engine.
 
-use std::error::Error;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use air_core::summarize::display_set;
-use air_core::{EnumDomain, Lcl, Verdict, Verifier};
+use air_core::{EnumDomain, Lcl, RepairError, Verdict, Verifier};
 use air_domains::{
     AffineDomain, CongruenceEnv, ConstantEnv, IntervalEnv, OctagonDomain, ParityEnv, SignEnv,
 };
-use air_lang::{parse_bexp, parse_program, Concrete, SemCache, StateSet, Universe};
-use air_lattice::{par_map, CacheStats};
-use air_trace::{json, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
+use air_lang::{parse_bexp, parse_program, Concrete, SemCache, SemError, StateSet, Universe};
+use air_lattice::{par_map_governed, Budget, CacheStats, Exhaustion, Governor};
+use air_trace::{json, EventKind, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
 
 use crate::args::{Command, CorpusTask, DomainKind, StrategyKind, Task, TraceFormat};
 
@@ -24,13 +25,114 @@ pub enum Outcome {
     Negative,
 }
 
-fn build_universe(task: &Task) -> Result<Universe, Box<dyn Error>> {
+/// The CLI's single error type; the variant decides the exit code
+/// (`0` proved, `1` refuted, `2` usage, `3` budget, `4` internal).
+#[derive(Clone, Debug)]
+pub enum AirError {
+    /// Bad input: arguments, program text, corpus headers, file I/O.
+    Usage(String),
+    /// A `--fuel` or `--timeout-ms` budget ran out mid-run.
+    Budget {
+        /// The engine phase whose loop-head check tripped.
+        phase: String,
+        /// Fuel ticks spent when the run stopped.
+        spent: u64,
+        /// `"fuel"`, `"deadline"` or `"cancelled"`.
+        reason: String,
+    },
+    /// An engine invariant was violated (a bug, surfaced not panicked).
+    Internal(String),
+}
+
+impl AirError {
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            AirError::Usage(_) => 2,
+            AirError::Budget { .. } => 3,
+            AirError::Internal(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for AirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AirError::Usage(msg) => write!(f, "{msg}"),
+            AirError::Budget {
+                phase,
+                spent,
+                reason,
+            } => write!(
+                f,
+                "budget exhausted in {phase} ({spent} ticks spent): {reason}"
+            ),
+            AirError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AirError {}
+
+/// Maps input-level failures (parse errors, bad bounds, I/O) to exit 2.
+fn usage(e: impl fmt::Display) -> AirError {
+    AirError::Usage(e.to_string())
+}
+
+fn budget_error(e: &Exhaustion) -> AirError {
+    AirError::Budget {
+        phase: e.phase.clone(),
+        spent: e.spent,
+        reason: e.reason.name().to_string(),
+    }
+}
+
+/// Maps an engine error to the CLI error, printing the sound partial
+/// result an exhausted run carries (abstract interpretation is sound in
+/// any pointed refinement, so a cut-off repair still yields a valid
+/// over-approximation — only precision needs the completed repair).
+fn engine_error(u: &Universe, e: RepairError) -> AirError {
+    match e {
+        RepairError::Exhausted(partial) => {
+            let ex = &partial.exhaustion;
+            println!(
+                "BUDGET EXHAUSTED in {} after {} tick(s): {}",
+                ex.phase,
+                ex.spent,
+                ex.reason.name()
+            );
+            println!(
+                "partial repair: {} point(s) added so far",
+                partial.points.len()
+            );
+            if let Some(inv) = &partial.invariant {
+                println!(
+                    "partial invariant (sound over-approximation): {}",
+                    display_set(u, inv)
+                );
+            }
+            budget_error(ex)
+        }
+        RepairError::Sem(SemError::Exhausted(ex)) => budget_error(&ex),
+        RepairError::Sem(other) => AirError::Usage(other.to_string()),
+        RepairError::Internal(msg) => AirError::Internal(msg),
+    }
+}
+
+fn build_budget(fuel: Option<u64>, timeout_ms: Option<u64>) -> Budget {
+    Budget {
+        fuel,
+        timeout: timeout_ms.map(Duration::from_millis),
+    }
+}
+
+fn build_universe(task: &Task) -> Result<Universe, AirError> {
     let decls: Vec<(&str, i64, i64)> = task
         .vars
         .iter()
         .map(|v| (v.name.as_str(), v.lo, v.hi))
         .collect();
-    Ok(Universe::new(&decls)?)
+    Universe::new(&decls).map_err(usage)
 }
 
 fn build_domain(task: &Task, u: &Universe) -> EnumDomain {
@@ -48,12 +150,14 @@ fn build_domain(task: &Task, u: &Universe) -> EnumDomain {
 fn build_sets(
     task: &Task,
     u: &Universe,
-) -> Result<(air_lang::Reg, StateSet, Option<StateSet>), Box<dyn Error>> {
-    let prog = parse_program(&task.code)?;
+) -> Result<(air_lang::Reg, StateSet, Option<StateSet>), AirError> {
+    let prog = parse_program(&task.code).map_err(usage)?;
     let sem = Concrete::new(u);
-    let pre = sem.sat(&parse_bexp(&task.pre)?)?;
+    let pre = sem
+        .sat(&parse_bexp(&task.pre).map_err(usage)?)
+        .map_err(usage)?;
     let spec = match &task.spec {
-        Some(s) => Some(sem.sat(&parse_bexp(s)?)?),
+        Some(s) => Some(sem.sat(&parse_bexp(s).map_err(usage)?).map_err(usage)?),
         None => None,
     };
     Ok((prog, pre, spec))
@@ -63,8 +167,9 @@ fn build_sets(
 ///
 /// # Errors
 ///
-/// Any parse, universe or engine error, boxed.
-pub fn run(command: Command) -> Result<Outcome, Box<dyn Error>> {
+/// [`AirError`] carrying the exit code: usage (2), budget (3) or
+/// internal (4).
+pub fn run(command: Command) -> Result<Outcome, AirError> {
     match command {
         Command::Verify(task) => verify(task),
         Command::Analyze(task) => analyze(task),
@@ -86,13 +191,14 @@ struct TraceSession {
 impl TraceSession {
     /// Opens the sinks a task asked for; with neither `--trace` nor
     /// `--profile` the tracer is disabled and every emit site is free.
-    fn open(trace: Option<&str>, profile: bool) -> Result<TraceSession, Box<dyn Error>> {
+    /// Both flags together fan events out to both sinks.
+    fn open(trace: Option<&str>, profile: bool) -> Result<TraceSession, AirError> {
         let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
         let jsonl = match trace {
             Some(path) => {
                 let sink = Arc::new(
                     JsonlSink::create(std::path::Path::new(path))
-                        .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?,
+                        .map_err(|e| usage(format!("cannot create trace file `{path}`: {e}")))?,
                 );
                 sinks.push(sink.clone());
                 Some(sink)
@@ -106,10 +212,13 @@ impl TraceSession {
         } else {
             None
         };
-        let tracer = match sinks.len() {
-            0 => Tracer::disabled(),
-            1 => Tracer::new(sinks.pop().expect("one sink")),
-            _ => Tracer::new(Arc::new(MultiSink::new(sinks))),
+        let tracer = match sinks.pop() {
+            None => Tracer::disabled(),
+            Some(only) if sinks.is_empty() => Tracer::new(only),
+            Some(last) => {
+                sinks.push(last);
+                Tracer::new(Arc::new(MultiSink::new(sinks)))
+            }
         };
         Ok(TraceSession {
             tracer,
@@ -122,9 +231,11 @@ impl TraceSession {
         self.tracer.clone()
     }
 
-    fn finish(&self) -> Result<(), Box<dyn Error>> {
+    fn finish(&self) -> Result<(), AirError> {
         if let Some(jsonl) = &self.jsonl {
-            jsonl.flush().map_err(|e| format!("trace flush: {e}"))?;
+            jsonl
+                .flush()
+                .map_err(|e| AirError::Internal(format!("trace flush: {e}")))?;
         }
         if let Some(profiler) = &self.profiler {
             println!("\n--- profile ---");
@@ -135,9 +246,10 @@ impl TraceSession {
 }
 
 /// `air trace summarize FILE` — aggregate a JSONL trace into tables.
-fn trace_summarize(file: &str) -> Result<Outcome, Box<dyn Error>> {
-    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
-    let summary = Summary::from_jsonl(&text)?;
+fn trace_summarize(file: &str) -> Result<Outcome, AirError> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| usage(format!("cannot read `{file}`: {e}")))?;
+    let summary = Summary::from_jsonl(&text).map_err(usage)?;
     print!("{}", summary.render());
     Ok(Outcome::Positive)
 }
@@ -212,21 +324,34 @@ fn report_stats(
     }
 }
 
-fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
+fn verify(task: Task) -> Result<Outcome, AirError> {
     let u = build_universe(&task)?;
     let dom = build_domain(&task, &u);
     let (prog, pre, spec) = build_sets(&task, &u)?;
-    let spec = spec.expect("verify requires a spec");
+    let Some(spec) = spec else {
+        return Err(AirError::Usage("`verify` requires --spec".into()));
+    };
     println!("program:   {prog}");
     println!("input:     {}", display_set(&u, &pre));
     println!("universe:  {} stores", u.size());
     println!("domain:    {}\n", dom.base_name());
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
-    let verifier = build_verifier(&u, task.uncached).tracer(session.tracer());
+    let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
+    let verifier = build_verifier(&u, task.uncached)
+        .tracer(session.tracer())
+        .governor(governor);
     let started = Instant::now();
-    let verdict = match task.strategy {
-        StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec)?,
-        StrategyKind::Forward => verifier.forward(dom, &prog, &pre, &spec)?,
+    let result = match task.strategy {
+        StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec),
+        StrategyKind::Forward => verifier.forward(dom, &prog, &pre, &spec),
+    };
+    let verdict = match result {
+        Ok(v) => v,
+        Err(e) => {
+            let air = engine_error(&u, e);
+            session.finish()?;
+            return Err(air);
+        }
     };
     let elapsed = started.elapsed().as_secs_f64();
     print!("{}", verdict.report(&u));
@@ -244,15 +369,27 @@ fn verify(task: Task) -> Result<Outcome, Box<dyn Error>> {
     })
 }
 
-fn analyze(task: Task) -> Result<Outcome, Box<dyn Error>> {
+fn analyze(task: Task) -> Result<Outcome, AirError> {
     let u = build_universe(&task)?;
     let dom = build_domain(&task, &u);
     let (prog, pre, spec) = build_sets(&task, &u)?;
-    let spec = spec.expect("analyze requires a spec");
+    let Some(spec) = spec else {
+        return Err(AirError::Usage("`analyze` requires --spec".into()));
+    };
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
-    let verifier = build_verifier(&u, task.uncached).tracer(session.tracer());
+    let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
+    let verifier = build_verifier(&u, task.uncached)
+        .tracer(session.tracer())
+        .governor(governor);
     let started = Instant::now();
-    let counts = verifier.alarm_counts(&dom, &prog, &pre, &spec)?;
+    let counts = match verifier.alarm_counts(&dom, &prog, &pre, &spec) {
+        Ok(c) => c,
+        Err(e) => {
+            let air = engine_error(&u, e);
+            session.finish()?;
+            return Err(air);
+        }
+    };
     let elapsed = started.elapsed().as_secs_f64();
     println!("program:      {prog}");
     println!("domain:       {}", dom.base_name());
@@ -268,7 +405,7 @@ fn analyze(task: Task) -> Result<Outcome, Box<dyn Error>> {
     })
 }
 
-fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
+fn prove(task: Task) -> Result<Outcome, AirError> {
     let u = build_universe(&task)?;
     let dom = build_domain(&task, &u);
     let (prog, pre, spec) = build_sets(&task, &u)?;
@@ -284,16 +421,18 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
         task.trace.as_deref()
     };
     let session = TraceSession::open(jsonl_path, task.profile)?;
+    let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
     let lcl = if task.uncached {
         Lcl::uncached(&u)
     } else {
         Lcl::new(&u)
     }
-    .tracer(session.tracer());
-    let write_dot = |derivation: &air_core::Derivation| -> Result<(), Box<dyn Error>> {
+    .tracer(session.tracer())
+    .governor(governor);
+    let write_dot = |derivation: &air_core::Derivation| -> Result<(), AirError> {
         if let Some(path) = &dot_path {
             std::fs::write(path, derivation.to_dot(&u))
-                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                .map_err(|e| usage(format!("cannot write `{path}`: {e}")))?;
             println!("wrote DOT derivation to {path}");
         }
         Ok(())
@@ -301,7 +440,14 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
     let started = Instant::now();
     // With a spec, decide it through the logic; otherwise just derive.
     if let Some(spec) = spec {
-        let verdict = lcl.prove_spec(dom, &pre, &prog, &spec)?;
+        let verdict = match lcl.prove_spec(dom, &pre, &prog, &spec) {
+            Ok(v) => v,
+            Err(e) => {
+                let air = engine_error(&u, e);
+                session.finish()?;
+                return Err(air);
+            }
+        };
         let (derivation, repaired, outcome) = match &verdict {
             air_core::SpecVerdict::Valid { derivation, domain } => {
                 println!("SPEC VALID");
@@ -340,7 +486,14 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
         session.finish()?;
         return Ok(outcome);
     }
-    let (derivation, repaired) = lcl.derive_with_repair(dom, &pre, &prog)?;
+    let (derivation, repaired) = match lcl.derive_with_repair(dom, &pre, &prog) {
+        Ok(v) => v,
+        Err(e) => {
+            let air = engine_error(&u, e);
+            session.finish()?;
+            return Err(air);
+        }
+    };
     println!(
         "LCL_A derivation ({} rule applications):\n",
         derivation.size()
@@ -364,14 +517,60 @@ fn prove(task: Task) -> Result<Outcome, Box<dyn Error>> {
     Ok(Outcome::Positive)
 }
 
+/// How one corpus program ended. Every program gets a row — the sweep is
+/// fail-soft, so panics, budget cutoffs and engine errors are recorded
+/// and the remaining programs still run (or are marked skipped once a
+/// shared budget cancels the sweep).
+#[derive(Clone, Debug)]
+enum ProgramStatus {
+    /// Spec proved.
+    Proved,
+    /// Spec refuted.
+    Refuted,
+    /// The shared sweep budget ran out inside this program.
+    Budget(Exhaustion),
+    /// An engine or input error (recorded, not fatal to the sweep).
+    Error(String),
+    /// The program's worker panicked (caught; the sweep continues).
+    Panicked(String),
+    /// Not run: the shared budget was already exhausted or cancelled.
+    Skipped,
+}
+
+impl ProgramStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            ProgramStatus::Proved => "proved",
+            ProgramStatus::Refuted => "refuted",
+            ProgramStatus::Budget(_) => "budget",
+            ProgramStatus::Error(_) => "error",
+            ProgramStatus::Panicked(_) => "panic",
+            ProgramStatus::Skipped => "skipped",
+        }
+    }
+}
+
 /// One corpus program's result row.
 struct ProgramReport {
     name: String,
-    proved: bool,
+    status: ProgramStatus,
     points: usize,
     millis: f64,
     exec_cache: String,
     closure_cache: String,
+}
+
+impl ProgramReport {
+    fn bare(name: &str, status: ProgramStatus, millis: f64) -> ProgramReport {
+        ProgramReport {
+            name: name.to_string(),
+            status,
+            points: 0,
+            millis,
+            exec_cache: String::new(),
+            closure_cache: String::new(),
+        }
+    }
 }
 
 /// Extracts the quoted value of `key "..."` from a corpus header line.
@@ -387,20 +586,25 @@ fn header_clause(header: &str, key: &str) -> Option<String> {
 fn parse_corpus_file(
     path: &std::path::Path,
     task: &CorpusTask,
-) -> Result<(String, Task), Box<dyn Error>> {
+) -> Result<(String, Task), AirError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        .map_err(|e| usage(format!("cannot read `{}`: {e}", path.display())))?;
     let header = text
         .lines()
         .filter(|l| l.trim_start().starts_with('#'))
         .find(|l| l.contains("Verified with:"))
-        .ok_or_else(|| format!("{}: missing `# Verified with:` header", path.display()))?;
-    let missing = |key: &str| format!("{}: header lacks `{key} \"...\"`", path.display());
+        .ok_or_else(|| {
+            usage(format!(
+                "{}: missing `# Verified with:` header",
+                path.display()
+            ))
+        })?;
+    let missing = |key: &str| usage(format!("{}: header lacks `{key} \"...\"`", path.display()));
     let vars = header_clause(header, "vars").ok_or_else(|| missing("vars"))?;
     let pre = header_clause(header, "pre").ok_or_else(|| missing("pre"))?;
     let spec = header_clause(header, "spec").ok_or_else(|| missing("spec"))?;
     let domain = match header_clause(header, "domain") {
-        Some(d) => DomainKind::parse(&d)?,
+        Some(d) => DomainKind::parse(&d).map_err(usage)?,
         None => task.domain,
     };
     let name = path
@@ -410,7 +614,7 @@ fn parse_corpus_file(
     Ok((
         name,
         Task {
-            vars: crate::args::parse_vars(&vars)?,
+            vars: crate::args::parse_vars(&vars).map_err(usage)?,
             code: text,
             pre,
             spec: Some(spec),
@@ -423,55 +627,107 @@ fn parse_corpus_file(
             trace: None,
             trace_format: TraceFormat::default(),
             profile: false,
+            // The sweep owns one shared budget; per-program tasks don't.
+            fuel: None,
+            timeout_ms: None,
         },
     ))
 }
 
-/// Verifies one corpus program, returning a report row. Each program gets
-/// its own universe and therefore its own caches — semantic caches must
-/// never be shared across universes (equal-looking state sets would alias
-/// different store enumerations).
-fn run_corpus_program(name: &str, task: &Task, tracer: Tracer) -> Result<ProgramReport, String> {
-    let err = |e: Box<dyn Error>| format!("{name}: {e}");
-    let _span = tracer.span(|| format!("corpus.{name}"));
-    let u = build_universe(task).map_err(err)?;
-    let dom = build_domain(task, &u);
-    let (prog, pre, spec) = build_sets(task, &u).map_err(err)?;
-    let spec = spec.expect("corpus headers always carry a spec");
-    let verifier = build_verifier(&u, task.uncached).tracer(tracer);
+/// Verifies one corpus program, returning a report row — never an error:
+/// engine failures and budget cutoffs are folded into the status so the
+/// sweep stays fail-soft. Each program gets its own universe and
+/// therefore its own caches — semantic caches must never be shared across
+/// universes (equal-looking state sets would alias different store
+/// enumerations).
+fn run_corpus_program(
+    name: &str,
+    task: &Task,
+    tracer: Tracer,
+    governor: Governor,
+) -> ProgramReport {
     let started = Instant::now();
+    let _span = tracer.span(|| format!("corpus.{name}"));
+    let fail = |status: ProgramStatus| {
+        ProgramReport::bare(name, status, started.elapsed().as_secs_f64() * 1e3)
+    };
+    let u = match build_universe(task) {
+        Ok(u) => u,
+        Err(e) => return fail(ProgramStatus::Error(e.to_string())),
+    };
+    let dom = build_domain(task, &u);
+    let (prog, pre, spec) = match build_sets(task, &u) {
+        Ok(t) => t,
+        Err(e) => return fail(ProgramStatus::Error(e.to_string())),
+    };
+    let Some(spec) = spec else {
+        return fail(ProgramStatus::Error(format!(
+            "{name}: corpus header produced no spec"
+        )));
+    };
+    let verifier = build_verifier(&u, task.uncached)
+        .tracer(tracer)
+        .governor(governor);
     let verdict = match task.strategy {
         StrategyKind::Backward => verifier.backward(dom, &prog, &pre, &spec),
         StrategyKind::Forward => verifier.forward(dom, &prog, &pre, &spec),
-    }
-    .map_err(|e| format!("{name}: {e}"))?;
+    };
     let millis = started.elapsed().as_secs_f64() * 1e3;
+    let verdict = match verdict {
+        Ok(v) => v,
+        Err(RepairError::Exhausted(partial)) => {
+            return ProgramReport::bare(name, ProgramStatus::Budget(partial.exhaustion), millis)
+        }
+        Err(RepairError::Sem(SemError::Exhausted(ex))) => {
+            return ProgramReport::bare(name, ProgramStatus::Budget(ex), millis)
+        }
+        Err(e) => return ProgramReport::bare(name, ProgramStatus::Error(e.to_string()), millis),
+    };
     let exec_cache = match verifier.cache() {
         Some(c) => c.exec_stats().to_string(),
         None => "disabled".into(),
     };
-    Ok(ProgramReport {
+    ProgramReport {
         name: name.to_string(),
-        proved: verdict.is_proved(),
+        status: if verdict.is_proved() {
+            ProgramStatus::Proved
+        } else {
+            ProgramStatus::Refuted
+        },
         points: verdict.added_points().len(),
         millis,
         exec_cache,
         closure_cache: verdict.domain().cache_stats().to_string(),
-    })
+    }
+}
+
+/// Renders a panic payload (the argument of `panic!`) as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// Sweeps every `*.imp` program under `task.dir`, fanning the programs out
 /// over worker threads (`--jobs`). Results are printed in file order
-/// regardless of scheduling, so the output is deterministic.
-fn corpus(task: CorpusTask) -> Result<Outcome, Box<dyn Error>> {
+/// regardless of scheduling, so the output is deterministic. The sweep is
+/// fail-soft: one shared governor budgets the whole run, and a program
+/// that panics, errors or exhausts the budget is recorded in its result
+/// row (and `--stats-json`) while the others continue — pending programs
+/// after a budget cancellation are marked skipped.
+fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&task.dir)
-        .map_err(|e| format!("cannot read corpus dir `{}`: {e}", task.dir))?
+        .map_err(|e| usage(format!("cannot read corpus dir `{}`: {e}", task.dir)))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "imp"))
         .collect();
     files.sort();
     if files.is_empty() {
-        return Err(format!("no *.imp programs under `{}`", task.dir).into());
+        return Err(usage(format!("no *.imp programs under `{}`", task.dir)));
     }
     let programs: Vec<(String, Task)> = files
         .iter()
@@ -490,42 +746,63 @@ fn corpus(task: CorpusTask) -> Result<Outcome, Box<dyn Error>> {
         if task.uncached { ", uncached" } else { "" }
     );
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
+    let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
     let started = Instant::now();
-    let results = par_map(jobs, &programs, |(name, t)| {
-        run_corpus_program(name, t, session.tracer())
-    });
-    let total_ms = started.elapsed().as_secs_f64() * 1e3;
-    let mut all_proved = true;
-    let mut failures = Vec::new();
-    for result in &results {
-        match result {
-            Ok(report) => {
-                let verdict = if report.proved { "PROVED " } else { "REFUTED" };
-                all_proved &= report.proved;
-                print!(
-                    "  {:<14} {} {:>2} point(s) {:>9.3} ms",
-                    report.name, verdict, report.points, report.millis
-                );
-                if task.stats {
-                    print!(
-                        "  exec cache: {}; closure cache: {}",
-                        report.exec_cache, report.closure_cache
-                    );
+    let results =
+        par_map_governed(
+            jobs,
+            &programs,
+            &governor,
+            |_, (name, t)| match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_corpus_program(name, t, session.tracer(), governor.clone())
+            })) {
+                Ok(report) => report,
+                Err(payload) => {
+                    ProgramReport::bare(name, ProgramStatus::Panicked(panic_message(payload)), 0.0)
                 }
-                println!();
+            },
+        );
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let tracer = session.tracer();
+    let reports: Vec<ProgramReport> = results
+        .into_iter()
+        .zip(&programs)
+        .map(|(slot, (name, _))| match slot {
+            Some(report) => report,
+            None => {
+                tracer.emit_with(|| EventKind::Cancelled {
+                    phase: format!("corpus.{name}"),
+                });
+                ProgramReport::bare(name, ProgramStatus::Skipped, 0.0)
             }
-            Err(msg) => {
-                all_proved = false;
-                failures.push(msg.clone());
-                println!("  error: {msg}");
-            }
+        })
+        .collect();
+    for report in &reports {
+        print!(
+            "  {:<14} {:<7} {:>2} point(s) {:>9.3} ms",
+            report.name,
+            report.status.label().to_uppercase(),
+            report.points,
+            report.millis
+        );
+        if task.stats && !report.exec_cache.is_empty() {
+            print!(
+                "  exec cache: {}; closure cache: {}",
+                report.exec_cache, report.closure_cache
+            );
         }
+        match &report.status {
+            ProgramStatus::Budget(ex) => print!("  ({ex})"),
+            ProgramStatus::Error(msg) | ProgramStatus::Panicked(msg) => print!("  ({msg})"),
+            _ => {}
+        }
+        println!();
     }
     println!("total: {total_ms:.3} ms");
     if task.stats_json {
         let mut out = format!("{{\"label\":\"corpus\",\"wall_ms\":{total_ms:.3},\"programs\":[");
         let mut first = true;
-        for report in results.iter().flatten() {
+        for report in &reports {
             if !first {
                 out.push(',');
             }
@@ -533,21 +810,72 @@ fn corpus(task: CorpusTask) -> Result<Outcome, Box<dyn Error>> {
             out.push_str("{\"name\":");
             json::escape_str(&report.name, &mut out);
             out.push_str(&format!(
-                ",\"proved\":{},\"points\":{},\"wall_ms\":{:.3}}}",
-                report.proved, report.points, report.millis
+                ",\"status\":\"{}\",\"proved\":{},\"points\":{},\"wall_ms\":{:.3}",
+                report.status.label(),
+                matches!(report.status, ProgramStatus::Proved),
+                report.points,
+                report.millis
             ));
+            match &report.status {
+                ProgramStatus::Budget(ex) => {
+                    out.push_str(&format!(
+                        ",\"phase\":\"{}\",\"spent\":{},\"reason\":\"{}\"",
+                        ex.phase,
+                        ex.spent,
+                        ex.reason.name()
+                    ));
+                }
+                ProgramStatus::Error(msg) | ProgramStatus::Panicked(msg) => {
+                    out.push_str(",\"detail\":");
+                    json::escape_str(msg.as_str(), &mut out);
+                }
+                _ => {}
+            }
+            out.push('}');
         }
         out.push_str("]}");
         println!("{out}");
     }
     session.finish()?;
-    if !failures.is_empty() {
-        return Err(failures.join("; ").into());
+    // Exit precedence: internal (4) > budget (3) > refuted (1) > proved (0).
+    let mut internal = Vec::new();
+    let mut first_budget: Option<Exhaustion> = None;
+    let mut any_skipped = false;
+    let mut any_refuted = false;
+    for report in &reports {
+        match &report.status {
+            ProgramStatus::Proved => {}
+            ProgramStatus::Refuted => any_refuted = true,
+            ProgramStatus::Budget(ex) => {
+                if first_budget.is_none() {
+                    first_budget = Some(ex.clone());
+                }
+            }
+            ProgramStatus::Error(msg) | ProgramStatus::Panicked(msg) => {
+                internal.push(format!("{}: {msg}", report.name));
+            }
+            ProgramStatus::Skipped => any_skipped = true,
+        }
     }
-    Ok(if all_proved {
-        Outcome::Positive
-    } else {
+    if !internal.is_empty() {
+        return Err(AirError::Internal(internal.join("; ")));
+    }
+    if let Some(ex) = first_budget {
+        return Err(budget_error(&ex));
+    }
+    if any_skipped {
+        // Cancellation without a recorded exhaustion row (e.g. an external
+        // cancel): still a budget-class stop.
+        return Err(AirError::Budget {
+            phase: "corpus.sweep".to_string(),
+            spent: governor.spent(),
+            reason: "cancelled".to_string(),
+        });
+    }
+    Ok(if any_refuted {
         Outcome::Negative
+    } else {
+        Outcome::Positive
     })
 }
 
@@ -574,6 +902,24 @@ mod tests {
             trace: None,
             trace_format: TraceFormat::default(),
             profile: false,
+            fuel: None,
+            timeout_ms: None,
+        }
+    }
+
+    fn corpus_task(dir: String) -> CorpusTask {
+        CorpusTask {
+            dir,
+            jobs: 0, // one worker per program
+            domain: DomainKind::Int,
+            strategy: StrategyKind::Backward,
+            stats: false,
+            stats_json: false,
+            uncached: false,
+            trace: None,
+            profile: false,
+            fuel: None,
+            timeout_ms: None,
         }
     }
 
@@ -592,52 +938,39 @@ mod tests {
 
     #[test]
     fn corpus_sweep_proves_all_programs() {
-        let out = corpus(CorpusTask {
-            dir: corpus_dir(),
-            jobs: 0, // one worker per program
-            domain: DomainKind::Int,
-            strategy: StrategyKind::Backward,
-            stats: true,
-            stats_json: false,
-            uncached: false,
-            trace: None,
-            profile: false,
-        })
-        .unwrap();
+        let mut t = corpus_task(corpus_dir());
+        t.stats = true;
+        let out = corpus(t).unwrap();
         assert_eq!(out, Outcome::Positive);
     }
 
     #[test]
     fn corpus_sequential_uncached_matches() {
-        let out = corpus(CorpusTask {
-            dir: corpus_dir(),
-            jobs: 1,
-            domain: DomainKind::Int,
-            strategy: StrategyKind::Backward,
-            stats: false,
-            stats_json: false,
-            uncached: true,
-            trace: None,
-            profile: false,
-        })
-        .unwrap();
+        let mut t = corpus_task(corpus_dir());
+        t.jobs = 1;
+        t.uncached = true;
+        let out = corpus(t).unwrap();
         assert_eq!(out, Outcome::Positive);
     }
 
     #[test]
     fn corpus_missing_dir_errors() {
-        assert!(corpus(CorpusTask {
-            dir: "/nonexistent-air-corpus".into(),
-            jobs: 1,
-            domain: DomainKind::Int,
-            strategy: StrategyKind::Backward,
-            stats: false,
-            stats_json: false,
-            uncached: false,
-            trace: None,
-            profile: false,
-        })
-        .is_err());
+        let err = corpus(corpus_task("/nonexistent-air-corpus".into())).unwrap_err();
+        assert!(matches!(err, AirError::Usage(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn corpus_with_tiny_fuel_fails_soft() {
+        let mut t = corpus_task(corpus_dir());
+        t.jobs = 1;
+        t.fuel = Some(1);
+        let err = corpus(t).unwrap_err();
+        let AirError::Budget { spent, .. } = &err else {
+            panic!("expected budget exhaustion, got {err:?}");
+        };
+        assert!(*spent >= 1);
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]
@@ -651,6 +984,27 @@ mod tests {
         assert_eq!(proved, Outcome::Positive);
         let refuted = verify(task("x := x + 1", "x >= 0 && x <= 5", Some("x <= 3"))).unwrap();
         assert_eq!(refuted, Outcome::Negative);
+    }
+
+    #[test]
+    fn verify_without_spec_is_a_usage_error_not_a_panic() {
+        let err = verify(task("skip", "true", None)).unwrap_err();
+        assert!(matches!(err, AirError::Usage(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        let err = analyze(task("skip", "true", None)).unwrap_err();
+        assert!(matches!(err, AirError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn verify_with_tiny_fuel_exhausts() {
+        let mut t = task("while (x < 7) do { x := x + 1 }", "x = 0", Some("x = 7"));
+        t.fuel = Some(1);
+        let err = verify(t).unwrap_err();
+        let AirError::Budget { reason, .. } = &err else {
+            panic!("expected budget exhaustion, got {err:?}");
+        };
+        assert_eq!(reason, "fuel");
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]
@@ -768,6 +1122,40 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_profile_fan_out_to_both_sinks() {
+        // Satellite regression: `--trace` + `--profile` used to funnel
+        // through a single-sink `expect`; both sinks must now see events.
+        let path = std::env::temp_dir().join("air_cli_test_fanout.jsonl");
+        let mut t = task(
+            "if (x >= 1) then { skip } else { x := 1 - x }",
+            "x != 0",
+            Some("x >= 1"),
+        );
+        t.trace = Some(path.display().to_string());
+        t.profile = true;
+        assert_eq!(verify(t).unwrap(), Outcome::Positive);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = Summary::from_jsonl(&text).unwrap();
+        assert!(summary.events > 0, "JSONL sink must receive events");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exhausted_trace_records_budget_event() {
+        let path = std::env::temp_dir().join("air_cli_test_budget.jsonl");
+        let mut t = task("while (x < 7) do { x := x + 1 }", "x = 0", Some("x = 7"));
+        t.trace = Some(path.display().to_string());
+        t.fuel = Some(1);
+        assert!(matches!(verify(t).unwrap_err(), AirError::Budget { .. }));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"kind\":\"budget_exhausted\""),
+            "trace must record the cutoff: {text}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn prove_writes_dot_derivation() {
         let path = std::env::temp_dir().join("air_cli_test_derivation.dot");
         let mut t = task("x := x + 1", "x = 0", None);
@@ -790,6 +1178,7 @@ mod tests {
             lo: 5,
             hi: 0,
         }];
-        assert!(verify(t).is_err());
+        let err = verify(t).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err:?}");
     }
 }

@@ -1,0 +1,172 @@
+//! Exit-code and fail-soft contract tests against the built `air` binary.
+//!
+//! The contract: 0 = proved / no alarms, 1 = refuted / alarms, 2 = usage
+//! error, 3 = budget exhausted, 4 = internal error. Budgeted runs must
+//! stop promptly, report the cutoff, and still produce machine-readable
+//! `--stats-json` output in corpus sweeps.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn air(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_air"))
+        .args(args)
+        .output()
+        .expect("spawn air binary")
+}
+
+fn corpus_dir(sub: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(sub);
+    p.display().to_string()
+}
+
+const ABSVAL: &[&str] = &[
+    "--vars",
+    "x:-8..8",
+    "--code",
+    "if (x >= 1) then { skip } else { x := 1 - x }",
+    "--pre",
+    "x != 0",
+];
+
+#[test]
+fn proved_run_exits_zero() {
+    let out = air(&[&["verify"], ABSVAL, &["--spec", "x >= 1"]].concat());
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn refuted_run_exits_one() {
+    let out = air(&[
+        "verify",
+        "--vars",
+        "x:0..8",
+        "--code",
+        "x := x + 1",
+        "--pre",
+        "x <= 5",
+        "--spec",
+        "x <= 3",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn missing_spec_is_usage_exit_two() {
+    // Regression: `verify` without `--spec` used to panic in run.rs.
+    let out = air(&[&["verify"], ABSVAL].concat());
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--spec"), "{stderr}");
+}
+
+#[test]
+fn bad_flags_are_usage_exit_two() {
+    let out = air(&["verify", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = air(&[&["verify"], ABSVAL, &["--spec", "x >= 1", "--fuel", "lots"]].concat());
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn exhausted_fuel_exits_three_with_partial_report() {
+    let out = air(&[
+        "verify",
+        "--vars",
+        "x:0..120,y:0..120",
+        "--code",
+        "while (y >= 1) do { x := x + 1; y := y - 1 }",
+        "--pre",
+        "x = 0 && y = 120",
+        "--spec",
+        "x = 120 && y = 0",
+        "--fuel",
+        "5",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("BUDGET EXHAUSTED"), "{stdout}");
+    assert!(stdout.contains("sound over-approximation"), "{stdout}");
+}
+
+#[test]
+fn corpus_timeout_exits_three_and_stats_json_stays_valid() {
+    let out = air(&[
+        "corpus",
+        "--dir",
+        &corpus_dir("corpus/slow"),
+        "--timeout-ms",
+        "40",
+        "--stats-json",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The fail-soft sweep still emits its JSON line, with the budget
+    // status recorded per program.
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("stats json line");
+    let doc = air_trace::json::parse(json_line).expect("valid stats json");
+    let programs = doc
+        .get("programs")
+        .and_then(air_trace::json::Value::as_arr)
+        .expect("programs array");
+    assert!(!programs.is_empty());
+    let status = programs[0]
+        .get("status")
+        .and_then(air_trace::json::Value::as_str)
+        .expect("status field");
+    assert_eq!(status, "budget", "{json_line}");
+    assert!(programs[0].get("phase").is_some(), "{json_line}");
+}
+
+#[test]
+fn default_corpus_sweep_still_proves_everything() {
+    let out = air(&["corpus", "--dir", &corpus_dir("corpus"), "--stats-json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("stats json line");
+    let doc = air_trace::json::parse(json_line).expect("valid stats json");
+    let programs = doc
+        .get("programs")
+        .and_then(air_trace::json::Value::as_arr)
+        .expect("programs array");
+    assert!(programs.len() >= 6);
+    for p in programs {
+        assert_eq!(
+            p.get("status").and_then(air_trace::json::Value::as_str),
+            Some("proved")
+        );
+    }
+}
+
+#[test]
+fn trace_file_records_budget_exhaustion_event() {
+    let path = std::env::temp_dir().join("air_cli_bin_budget_trace.jsonl");
+    let out = air(&[
+        "verify",
+        "--vars",
+        "x:0..40",
+        "--code",
+        "while (x < 40) do { x := x + 1 }",
+        "--pre",
+        "x = 0",
+        "--spec",
+        "x = 40",
+        "--fuel",
+        "3",
+        "--trace",
+        &path.display().to_string(),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"kind\":\"budget_exhausted\""), "{text}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -9,6 +9,7 @@
 
 use air_lang::ast::Reg;
 use air_lang::{Concrete, SemCache, SemError, StateSet};
+use air_lattice::Governor;
 use air_trace::{EventKind, Tracer};
 
 use crate::domain::EnumDomain;
@@ -52,6 +53,7 @@ pub struct AbstractSemantics<'u> {
     strategy: StarStrategy,
     cache: Option<SemCache>,
     trace: Tracer,
+    governor: Governor,
 }
 
 impl<'u> AbstractSemantics<'u> {
@@ -69,6 +71,7 @@ impl<'u> AbstractSemantics<'u> {
             strategy: StarStrategy::Lfp,
             cache: Some(cache),
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -79,6 +82,7 @@ impl<'u> AbstractSemantics<'u> {
             strategy: StarStrategy::Lfp,
             cache: None,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -95,6 +99,14 @@ impl<'u> AbstractSemantics<'u> {
             cache.set_tracer(&tracer);
         }
         self.trace = tracer;
+        self
+    }
+
+    /// Enforces `governor` at the star fixpoint's loop head: exhaustion
+    /// surfaces as [`SemError::Exhausted`] instead of running the
+    /// iteration to the universe bound.
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
         self
     }
 
@@ -130,6 +142,7 @@ impl<'u> AbstractSemantics<'u> {
                 // Strictly increasing on a finite lattice: ≤ |Σ|+1 rounds
                 // for Lfp; pointed widening converges at least as fast.
                 for _ in 0..=self.sem.universe().size() {
+                    self.governor.check_with(|| "absint.star".to_string())?;
                     let step = self.exec(dom, body, &x)?;
                     let grown = dom.close(&x.union(&step));
                     if grown.is_subset(&x) {

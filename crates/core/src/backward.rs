@@ -12,6 +12,7 @@
 
 use air_lang::ast::Reg;
 use air_lang::{SemCache, StateSet, Universe, Wlp};
+use air_lattice::{ExhaustReason, Exhaustion, Governor};
 use air_trace::{EventKind, Tracer};
 
 use crate::absint::AbstractSemantics;
@@ -80,12 +81,17 @@ pub struct BackwardRepair<'u> {
     cache: Option<SemCache>,
     max_calls: usize,
     trace: Tracer,
+    governor: Governor,
 }
 
 struct Ctx {
     calls: usize,
     inv_iterations: usize,
     max_calls: usize,
+    /// The longest point set seen on any `bRepair` path — the best
+    /// partial refinement to report if the budget runs out (the error
+    /// path of Algorithm 2 discards the in-flight `N`).
+    best_points: Vec<StateSet>,
 }
 
 impl<'u> BackwardRepair<'u> {
@@ -105,6 +111,7 @@ impl<'u> BackwardRepair<'u> {
             cache: Some(cache),
             max_calls: 1_000_000,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -117,6 +124,7 @@ impl<'u> BackwardRepair<'u> {
             cache: None,
             max_calls: 1_000_000,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -147,6 +155,15 @@ impl<'u> BackwardRepair<'u> {
         self
     }
 
+    /// Enforces `governor` at every `bRepair` entry, `inv` iteration and
+    /// (through the shared handle) the abstract fixpoint it runs:
+    /// exhaustion surfaces as [`RepairError::Exhausted`] carrying the
+    /// best partial refinement and a sound partial invariant.
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+
     /// Algorithm 2 entry point: `bRepair_A(∅, A(P), r, S)`.
     ///
     /// `p` is closed in the base domain first (Lemma 7.5 suggests starting
@@ -154,8 +171,10 @@ impl<'u> BackwardRepair<'u> {
     ///
     /// # Errors
     ///
-    /// [`RepairError::Sem`] on evaluation failures, [`RepairError::Budget`]
-    /// if the call budget is exhausted.
+    /// [`RepairError::Sem`] on evaluation failures;
+    /// [`RepairError::Exhausted`] if the call budget or the configured
+    /// [`Governor`] runs out — the error then carries the deepest point
+    /// set reached and a sound partial invariant in that refinement.
     pub fn repair(
         &self,
         base: &EnumDomain,
@@ -168,9 +187,13 @@ impl<'u> BackwardRepair<'u> {
             calls: 0,
             inv_iterations: 0,
             max_calls: self.max_calls,
+            best_points: Vec::new(),
         };
         let p_hat = base.close(p);
-        let (valid_input, points) = self.brepair(base, Vec::new(), p_hat, r, spec, &mut ctx)?;
+        let (valid_input, points) = match self.brepair(base, Vec::new(), p_hat, r, spec, &mut ctx) {
+            Ok(done) => done,
+            Err(e) => return Err(self.exhausted(e, base, &ctx, r, p)),
+        };
         self.trace.emit_with(|| EventKind::Counter {
             name: "backward.calls".to_string(),
             delta: ctx.calls as u64,
@@ -187,6 +210,43 @@ impl<'u> BackwardRepair<'u> {
         })
     }
 
+    /// Enriches a budget cutoff with the best partial result: the deepest
+    /// point set any `bRepair` path reached, plus the abstract invariant
+    /// in that partial refinement — sound by construction (abstract
+    /// interpretation over-approximates in *any* pointed refinement;
+    /// only the precision of Thm. 7.6 needs the completed repair).
+    fn exhausted(
+        &self,
+        err: RepairError,
+        base: &EnumDomain,
+        ctx: &Ctx,
+        r: &Reg,
+        p: &StateSet,
+    ) -> RepairError {
+        let RepairError::Exhausted(mut partial) = err else {
+            return err;
+        };
+        if partial.points.is_empty() {
+            partial.points = ctx.best_points.clone();
+        }
+        if partial.invariant.is_none() {
+            // Ungoverned pass: the absint fixpoint is bounded by the
+            // universe size, so this terminates despite the spent budget.
+            let dom = base.with_points(partial.points.iter().cloned());
+            let sem = match &self.cache {
+                Some(cache) => AbstractSemantics::with_cache(self.universe, cache.clone()),
+                None => AbstractSemantics::uncached(self.universe),
+            };
+            partial.invariant = sem.exec(&dom, r, &dom.close(p)).ok();
+        }
+        self.trace.emit_with(|| EventKind::BudgetExhausted {
+            phase: partial.exhaustion.phase.clone(),
+            spent: partial.exhaustion.spent,
+            reason: partial.exhaustion.reason.name().to_string(),
+        });
+        RepairError::Exhausted(partial)
+    }
+
     /// `⟦r⟧♯_{A⊞N} P` in the current refinement.
     fn abs_exec(
         &self,
@@ -199,7 +259,8 @@ impl<'u> BackwardRepair<'u> {
         let sem = match &self.cache {
             Some(cache) => AbstractSemantics::with_cache(self.universe, cache.clone()),
             None => AbstractSemantics::uncached(self.universe),
-        };
+        }
+        .governor(self.governor.clone());
         Ok(sem.exec(&dom, r, &dom.close(p))?)
     }
 
@@ -249,10 +310,17 @@ impl<'u> BackwardRepair<'u> {
         ctx: &mut Ctx,
     ) -> Result<(StateSet, Vec<StateSet>), RepairError> {
         ctx.calls += 1;
+        self.governor.check_with(|| "repair.backward".to_string())?;
         if ctx.calls > ctx.max_calls {
-            return Err(RepairError::Budget {
-                max_repairs: ctx.max_calls,
-            });
+            return Err(Exhaustion {
+                phase: "repair.backward.max_calls".to_string(),
+                spent: ctx.calls as u64,
+                reason: ExhaustReason::Fuel,
+            }
+            .into());
+        }
+        if n.len() > ctx.best_points.len() {
+            ctx.best_points = n.clone();
         }
         // Line 2: if ⟦r⟧♯_{A⊞N} P ≤ S then return ⟨P, N⟩.
         if self.abs_exec(base, &n, r, &p)?.is_subset(s) {
@@ -333,6 +401,8 @@ impl<'u> BackwardRepair<'u> {
     ) -> Result<(StateSet, Vec<StateSet>), RepairError> {
         loop {
             ctx.inv_iterations += 1;
+            self.governor
+                .check_with(|| "repair.backward.inv".to_string())?;
             let v0 = p.intersection(&v1);
             let mut n0 = n.clone();
             if Self::push(&mut n0, v0.clone()) {
@@ -532,6 +602,35 @@ mod tests {
             .max_calls(1)
             .repair(&dom, &u.of_values([0]), &prog, &u.empty())
             .unwrap_err();
-        assert!(matches!(err, RepairError::Budget { .. }));
+        let Some(exhaustion) = err.exhaustion() else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(exhaustion.phase, "repair.backward.max_calls");
+        assert_eq!(exhaustion.reason, ExhaustReason::Fuel);
+    }
+
+    #[test]
+    fn governed_exhaustion_carries_sound_partial_invariant() {
+        let u = Universe::new(&[("x", -2, 6), ("y", -2, 6)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("while (x > 0) do { x := x - 1; y := y - 1 }").unwrap();
+        let pre = u.filter(|s| s[0] > 0 && s[0] <= 3);
+        let spec = u.filter(|s| s[1] == 0);
+        // Generous enough to make some progress, tight enough to trip
+        // before Algorithm 2 converges.
+        let g = Governor::new(air_lattice::Budget::fuel(8));
+        let err = BackwardRepair::new(&u)
+            .governor(g)
+            .repair(&dom, &pre, &prog, &spec)
+            .unwrap_err();
+        let RepairError::Exhausted(partial) = err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        // The partial invariant over-approximates the concrete reachable
+        // states from A(pre) — soundness survives the cutoff.
+        let p_hat = dom.close(&pre);
+        let conc = Concrete::new(&u).exec(&prog, &p_hat).unwrap();
+        let inv = partial.invariant.expect("partial invariant computed");
+        assert!(conc.is_subset(&inv), "partial invariant must stay sound");
     }
 }

@@ -13,30 +13,76 @@ use std::fmt;
 
 use air_lang::ast::{Exp, Reg};
 use air_lang::{SemCache, SemError, StateSet, Universe};
+use air_lattice::{ExhaustReason, Exhaustion, Governor};
 use air_trace::{EventKind, Tracer};
 
 use crate::domain::EnumDomain;
 use crate::local::{LocalCompleteness, ShellResult};
+
+/// The best partial result available when a repair ran out of budget.
+///
+/// Everything in it is *sound*: `points` were legitimately added to the
+/// domain before exhaustion (any pointed refinement is a valid domain,
+/// Thm. 4.9/4.11), and `invariant`, when present, is the abstract
+/// interpretation of the program in the partially-repaired domain — an
+/// over-approximation of the reachable states by construction, merely
+/// less precise than the fully-repaired one (Thm. 7.1/7.6 describe the
+/// precision the *completed* repair would certify).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialRepair {
+    /// Which phase tripped, how much fuel was spent, and why.
+    pub exhaustion: Exhaustion,
+    /// Points added to the domain before the budget ran out.
+    pub points: Vec<StateSet>,
+    /// A sound over-approximation of `⟦r⟧(A(P))` in the partially
+    /// repaired domain, when one could be computed.
+    pub invariant: Option<StateSet>,
+}
+
+impl PartialRepair {
+    /// A partial result carrying only the exhaustion record (engines
+    /// enrich it with points/invariant at their catch sites).
+    pub fn bare(exhaustion: Exhaustion) -> Self {
+        PartialRepair {
+            exhaustion,
+            points: Vec::new(),
+            invariant: None,
+        }
+    }
+}
 
 /// Errors from the repair algorithms.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RepairError {
     /// Concrete or abstract evaluation failed.
     Sem(SemError),
-    /// The repair loop exceeded its iteration budget.
-    Budget {
-        /// The configured maximum number of repairs.
-        max_repairs: usize,
-    },
+    /// A resource budget (fuel, deadline, cancellation, or the engine's
+    /// own iteration cap) ran out; the boxed [`PartialRepair`] carries
+    /// the best sound result computed before the cutoff.
+    Exhausted(Box<PartialRepair>),
+    /// An internal invariant was violated — a bug in the engine, never
+    /// the user's fault.
+    Internal(String),
+}
+
+impl RepairError {
+    /// The exhaustion record, when this error is a budget cutoff.
+    pub fn exhaustion(&self) -> Option<&Exhaustion> {
+        match self {
+            RepairError::Exhausted(p) => Some(&p.exhaustion),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RepairError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RepairError::Sem(e) => write!(f, "semantic evaluation failed: {e}"),
-            RepairError::Budget { max_repairs } => {
-                write!(f, "repair budget of {max_repairs} refinements exhausted")
+            RepairError::Exhausted(p) => {
+                write!(f, "{} ({} partial points)", p.exhaustion, p.points.len())
             }
+            RepairError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -45,7 +91,16 @@ impl std::error::Error for RepairError {}
 
 impl From<SemError> for RepairError {
     fn from(e: SemError) -> Self {
-        RepairError::Sem(e)
+        match e {
+            SemError::Exhausted(x) => RepairError::from(x),
+            other => RepairError::Sem(other),
+        }
+    }
+}
+
+impl From<Exhaustion> for RepairError {
+    fn from(e: Exhaustion) -> Self {
+        RepairError::Exhausted(Box::new(PartialRepair::bare(e)))
     }
 }
 
@@ -131,6 +186,7 @@ pub struct ForwardRepair<'u> {
     cache: Option<SemCache>,
     max_repairs: usize,
     trace: Tracer,
+    governor: Governor,
 }
 
 impl<'u> ForwardRepair<'u> {
@@ -149,6 +205,7 @@ impl<'u> ForwardRepair<'u> {
             cache: Some(cache),
             max_repairs: 10_000,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -160,6 +217,7 @@ impl<'u> ForwardRepair<'u> {
             cache: None,
             max_repairs: 10_000,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -171,6 +229,14 @@ impl<'u> ForwardRepair<'u> {
     /// Sets the refinement budget.
     pub fn max_repairs(mut self, max: usize) -> Self {
         self.max_repairs = max;
+        self
+    }
+
+    /// Enforces `governor` at the repair-loop and star-unroll heads:
+    /// fuel/deadline exhaustion (or cancellation from a sibling worker)
+    /// surfaces as [`RepairError::Exhausted`] with the partial result.
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
         self
     }
 
@@ -191,7 +257,9 @@ impl<'u> ForwardRepair<'u> {
     /// # Errors
     ///
     /// [`RepairError::Sem`] on evaluation failures (universe escape,
-    /// overflow) and [`RepairError::Budget`] if the budget is exhausted.
+    /// overflow) and [`RepairError::Exhausted`] if the refinement cap or
+    /// the configured [`Governor`] budget runs out — the error then
+    /// carries the points added so far and a sound partial invariant.
     pub fn repair(
         &self,
         mut dom: EnumDomain,
@@ -205,8 +273,12 @@ impl<'u> ForwardRepair<'u> {
         let mut provenance = Vec::new();
         loop {
             analysis_runs += 1;
-            match self.find(&dom, r, p, &mut obligations_checked)? {
-                FindOutcome::Under(q) => {
+            if let Err(e) = self.governor.check_with(|| "repair.forward".to_string()) {
+                return Err(self.exhausted(e.into(), &dom, r, p));
+            }
+            match self.find(&dom, r, p, &mut obligations_checked) {
+                Err(e) => return Err(self.exhausted(e, &dom, r, p)),
+                Ok(FindOutcome::Under(q)) => {
                     self.trace.emit_with(|| EventKind::Counter {
                         name: "forward.analysis_runs".to_string(),
                         delta: analysis_runs as u64,
@@ -224,17 +296,23 @@ impl<'u> ForwardRepair<'u> {
                         provenance,
                     });
                 }
-                FindOutcome::Incomplete(ob) => {
+                Ok(FindOutcome::Incomplete(ob)) => {
                     self.trace.emit_with(|| EventKind::Incompleteness {
                         exp: ob.exp.to_string(),
                         input_size: ob.input.len(),
                     });
                     if repairs >= self.max_repairs {
-                        return Err(RepairError::Budget {
-                            max_repairs: self.max_repairs,
-                        });
+                        let cap = Exhaustion {
+                            phase: "repair.forward.max_repairs".to_string(),
+                            spent: repairs as u64,
+                            reason: ExhaustReason::Fuel,
+                        };
+                        return Err(self.exhausted(cap.into(), &dom, r, p));
                     }
-                    let (point, rule) = self.refine_point(&dom, &ob)?;
+                    let (point, rule) = match self.refine_point(&dom, &ob) {
+                        Ok(found) => found,
+                        Err(e) => return Err(self.exhausted(e, &dom, r, p)),
+                    };
                     self.trace.emit_with(|| EventKind::ShellPoint {
                         rule: rule.to_string(),
                         exp: ob.exp.to_string(),
@@ -246,6 +324,36 @@ impl<'u> ForwardRepair<'u> {
                 }
             }
         }
+    }
+
+    /// Enriches a budget cutoff with the best partial result: the points
+    /// added so far and the (always sound) abstract invariant in the
+    /// partially repaired domain. Non-exhaustion errors pass through.
+    fn exhausted(&self, err: RepairError, dom: &EnumDomain, r: &Reg, p: &StateSet) -> RepairError {
+        let RepairError::Exhausted(mut partial) = err else {
+            return err;
+        };
+        if partial.points.is_empty() {
+            partial.points = dom.points().to_vec();
+        }
+        if partial.invariant.is_none() {
+            // An ungoverned pass: the absint fixpoint is bounded by the
+            // universe size, so this terminates even though the budget
+            // is spent; soundness needs no completed repair.
+            let sem = match &self.cache {
+                Some(cache) => {
+                    crate::absint::AbstractSemantics::with_cache(self.universe, cache.clone())
+                }
+                None => crate::absint::AbstractSemantics::uncached(self.universe),
+            };
+            partial.invariant = sem.exec(dom, r, &dom.close(p)).ok();
+        }
+        self.trace.emit_with(|| EventKind::BudgetExhausted {
+            phase: partial.exhaustion.phase.clone(),
+            spent: partial.exhaustion.spent,
+            reason: partial.exhaustion.reason.name().to_string(),
+        });
+        RepairError::Exhausted(partial)
     }
 
     /// `refine_A(N, R, e)`: the pointed shell for the violated obligation.
@@ -321,6 +429,8 @@ impl<'u> ForwardRepair<'u> {
                 // intermediate input until the concrete fixpoint.
                 let mut acc = p.clone();
                 for _ in 0..=self.universe.size() {
+                    self.governor
+                        .check_with(|| "repair.forward.find".to_string())?;
                     let step = match self.find(dom, body, &acc, checked)? {
                         FindOutcome::Under(q) => q,
                         incomplete => return Ok(incomplete),
@@ -426,7 +536,33 @@ mod tests {
             .max_repairs(0)
             .repair(dom, &prog, &p)
             .unwrap_err();
-        assert_eq!(err, RepairError::Budget { max_repairs: 0 });
+        let RepairError::Exhausted(partial) = err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(partial.exhaustion.reason, air_lattice::ExhaustReason::Fuel);
+        assert_eq!(partial.exhaustion.phase, "repair.forward.max_repairs");
+        // The partial invariant is a sound over-approximation even though
+        // no repair completed.
+        let conc = air_lang::Concrete::new(&u).exec(&prog, &p).unwrap();
+        let inv = partial.invariant.expect("partial invariant computed");
+        assert!(conc.is_subset(&inv));
+    }
+
+    #[test]
+    fn governed_repair_exhausts_fuel_with_partial_result() {
+        let (u, dom) = setup();
+        let prog = parse_program("if (0 < x) then { x := x - 2 } else { x := x + 1 }").unwrap();
+        let p = u.of_values([0, 3]);
+        let g = air_lattice::Governor::new(air_lattice::Budget::fuel(1));
+        let err = ForwardRepair::new(&u)
+            .governor(g.clone())
+            .repair(dom, &prog, &p)
+            .unwrap_err();
+        let Some(exhaustion) = err.exhaustion() else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(exhaustion.reason, air_lattice::ExhaustReason::Fuel);
+        assert!(g.is_cancelled(), "exhaustion cancels the shared governor");
     }
 
     #[test]

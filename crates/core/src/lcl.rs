@@ -38,6 +38,7 @@ use std::fmt;
 
 use air_lang::ast::{Exp, Reg};
 use air_lang::{Concrete, SemCache, SemError, StateSet, Universe};
+use air_lattice::{ExhaustReason, Exhaustion, Governor};
 use air_trace::{DotBuilder, EventKind, Tracer};
 
 use crate::domain::EnumDomain;
@@ -299,6 +300,7 @@ pub struct Lcl<'u> {
     lc: LocalCompleteness<'u>,
     cache: Option<SemCache>,
     trace: Tracer,
+    governor: Governor,
 }
 
 impl<'u> Lcl<'u> {
@@ -316,6 +318,7 @@ impl<'u> Lcl<'u> {
             lc: LocalCompleteness::with_cache(universe, cache.clone()),
             cache: Some(cache),
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -327,6 +330,7 @@ impl<'u> Lcl<'u> {
             lc: LocalCompleteness::uncached(universe),
             cache: None,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -342,6 +346,14 @@ impl<'u> Lcl<'u> {
             cache.set_tracer(&tracer);
         }
         self.trace = tracer;
+        self
+    }
+
+    /// Enforces `governor` at the repair loop and star-unroll heads of
+    /// automatic derivation: exhaustion surfaces as
+    /// [`RepairError::Exhausted`] with the points added so far.
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
         self
     }
 
@@ -616,6 +628,9 @@ impl<'u> Lcl<'u> {
         if depth > self.universe.size() {
             return Err(LclError::Divergence);
         }
+        self.governor
+            .check_with(|| "lcl.derive_star".to_string())
+            .map_err(SemError::from)?;
         let step = self.derive(dom, p, body)?;
         let r_post = step.triple().post.clone();
         if r_post.is_subset(p) {
@@ -651,8 +666,9 @@ impl<'u> Lcl<'u> {
     ///
     /// # Errors
     ///
-    /// Evaluation errors, or [`RepairError::Budget`] if more than 10 000
-    /// repairs are attempted.
+    /// Evaluation errors, or [`RepairError::Exhausted`] if the governor
+    /// budget or the 10 000-repair cap runs out (the error carries the
+    /// points added so far — each a sound pointed refinement).
     pub fn derive_with_repair(
         &self,
         mut dom: EnumDomain,
@@ -660,7 +676,10 @@ impl<'u> Lcl<'u> {
         r: &Reg,
     ) -> Result<(Derivation, EnumDomain), RepairError> {
         let _span = self.trace.span(|| "lcl.derive_with_repair".to_string());
-        for _ in 0..10_000 {
+        for _ in 0..10_000u64 {
+            if let Err(e) = self.governor.check_with(|| "lcl.derive".to_string()) {
+                return Err(self.exhausted(e.into(), &dom));
+            }
             match self.derive(&dom, p, r) {
                 Ok(d) => return Ok((d, dom)),
                 Err(LclError::Obligation { input, exp }) => {
@@ -668,20 +687,24 @@ impl<'u> Lcl<'u> {
                         exp: exp.to_string(),
                         input_size: input.len(),
                     });
-                    let (point, rule) = match &exp {
-                        Exp::Assume(b) => (
-                            self.lc.guard_shell(&dom, b, &input)?,
-                            RepairRule::GuardShell,
-                        ),
-                        e => match self
+                    let shell = match &exp {
+                        Exp::Assume(b) => self
                             .lc
-                            .pointed_shell(&dom, &Reg::Basic(e.clone()), &input)?
-                        {
-                            ShellResult::Shell { point } => (point, RepairRule::PointedShell),
-                            ShellResult::NoShell { .. } => {
-                                (input.clone(), RepairRule::MostConcrete)
-                            }
-                        },
+                            .guard_shell(&dom, b, &input)
+                            .map(|point| (point, RepairRule::GuardShell)),
+                        e => self
+                            .lc
+                            .pointed_shell(&dom, &Reg::Basic(e.clone()), &input)
+                            .map(|res| match res {
+                                ShellResult::Shell { point } => (point, RepairRule::PointedShell),
+                                ShellResult::NoShell { .. } => {
+                                    (input.clone(), RepairRule::MostConcrete)
+                                }
+                            }),
+                    };
+                    let (point, rule) = match shell {
+                        Ok(found) => found,
+                        Err(e) => return Err(self.exhausted(e.into(), &dom)),
                     };
                     self.trace.emit_with(|| EventKind::ShellPoint {
                         rule: rule.to_string(),
@@ -690,15 +713,40 @@ impl<'u> Lcl<'u> {
                     });
                     dom.add_point(point);
                 }
-                Err(LclError::Sem(e)) => return Err(RepairError::Sem(e)),
+                Err(LclError::Sem(e)) => return Err(self.exhausted(RepairError::from(e), &dom)),
                 Err(other) => {
-                    unreachable!("automatic derivation only fails on obligations: {other}")
+                    // `derive` builds its own trees, so side conditions
+                    // cannot fail and star unrolls are bounded; anything
+                    // else here is an engine bug, not a user error.
+                    return Err(RepairError::Internal(format!(
+                        "automatic derivation failed unexpectedly: {other}"
+                    )));
                 }
             }
         }
-        Err(RepairError::Budget {
-            max_repairs: 10_000,
-        })
+        let cap = Exhaustion {
+            phase: "lcl.max_repairs".to_string(),
+            spent: 10_000,
+            reason: ExhaustReason::Fuel,
+        };
+        Err(self.exhausted(cap.into(), &dom))
+    }
+
+    /// Enriches a budget cutoff with the points added so far (the best
+    /// partial derivation state); other errors pass through.
+    fn exhausted(&self, err: RepairError, dom: &EnumDomain) -> RepairError {
+        let RepairError::Exhausted(mut partial) = err else {
+            return err;
+        };
+        if partial.points.is_empty() {
+            partial.points = dom.points().to_vec();
+        }
+        self.trace.emit_with(|| EventKind::BudgetExhausted {
+            phase: partial.exhaustion.phase.clone(),
+            spent: partial.exhaustion.spent,
+            reason: partial.exhaustion.reason.name().to_string(),
+        });
+        RepairError::Exhausted(partial)
     }
 
     /// The soundness invariant of a triple (used by tests and callers):
@@ -733,7 +781,11 @@ impl<'u> Lcl<'u> {
         repaired.add_point(spec.clone());
         let q = &derivation.triple().post;
         if !q.is_subset(spec) {
-            let witness = q.difference(spec).min_index().expect("non-empty");
+            let Some(witness) = q.difference(spec).min_index() else {
+                return Err(RepairError::Internal(
+                    "Q ⊄ Spec but Q ∖ Spec is empty".to_string(),
+                ));
+            };
             self.trace.emit_with(|| EventKind::Verdict {
                 phase: "lcl.prove_spec".to_string(),
                 verdict: "true_alarm".to_string(),

@@ -68,7 +68,7 @@ pub mod verify;
 pub use absint::{AbstractSemantics, StarStrategy};
 pub use backward::{BackwardOutcome, BackwardRepair, UnrollStrategy};
 pub use domain::EnumDomain;
-pub use forward::{ForwardRepair, RepairError, RepairOutcome, RepairRule};
+pub use forward::{ForwardRepair, PartialRepair, RepairError, RepairOutcome, RepairRule};
 pub use lcl::{Derivation, Lcl, LclError, SpecVerdict, Triple};
 pub use local::{LocalCompleteness, ShellResult};
 pub use summarize::{summarize, BoxSummary};

@@ -15,6 +15,7 @@
 
 use air_lang::ast::Reg;
 use air_lang::{Concrete, SemCache, StateSet, Store, Universe};
+use air_lattice::Governor;
 use air_trace::{EventKind, Tracer};
 
 use crate::backward::BackwardRepair;
@@ -128,6 +129,7 @@ pub struct Verifier<'u> {
     universe: &'u Universe,
     cache: Option<SemCache>,
     trace: Tracer,
+    governor: Governor,
 }
 
 impl<'u> Verifier<'u> {
@@ -144,6 +146,7 @@ impl<'u> Verifier<'u> {
             universe,
             cache: Some(cache),
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -153,6 +156,7 @@ impl<'u> Verifier<'u> {
             universe,
             cache: None,
             trace: Tracer::disabled(),
+            governor: Governor::unlimited(),
         }
     }
 
@@ -171,12 +175,19 @@ impl<'u> Verifier<'u> {
         self
     }
 
+    /// Enforces `governor` in the repair engines this verifier runs.
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+
     fn backward_engine(&self) -> BackwardRepair<'u> {
         match &self.cache {
             Some(cache) => BackwardRepair::with_cache(self.universe, cache.clone()),
             None => BackwardRepair::uncached(self.universe),
         }
         .tracer(self.trace.clone())
+        .governor(self.governor.clone())
     }
 
     fn forward_engine(&self) -> ForwardRepair<'u> {
@@ -185,6 +196,7 @@ impl<'u> Verifier<'u> {
             None => ForwardRepair::uncached(self.universe),
         }
         .tracer(self.trace.clone())
+        .governor(self.governor.clone())
     }
 
     fn trace_verdict(&self, phase: &'static str, proved: bool) {
@@ -218,10 +230,11 @@ impl<'u> Verifier<'u> {
                 added_points: out.points,
             })
         } else {
-            let witness_idx = input
-                .difference(&out.valid_input)
-                .min_index()
-                .expect("difference is non-empty");
+            let Some(witness_idx) = input.difference(&out.valid_input).min_index() else {
+                return Err(RepairError::Internal(
+                    "input ⊄ V but input ∖ V is empty".to_string(),
+                ));
+            };
             self.trace_verdict("verify.backward", false);
             Ok(Verdict::Refuted {
                 domain: repaired,
@@ -261,15 +274,16 @@ impl<'u> Verifier<'u> {
             // Q ≤ ⟦r⟧input violates the spec: find an input store that
             // produces a bad output (exists because Q is exact here).
             let sem = Concrete::new(self.universe);
-            let witness_idx = input
-                .iter()
-                .find(|&i| {
-                    let single = StateSet::from_indices(self.universe.size(), [i]);
-                    sem.exec(r, &single)
-                        .map(|post| !post.is_subset(spec))
-                        .unwrap_or(true)
-                })
-                .expect("a violating input exists when Q ⊄ Spec");
+            let Some(witness_idx) = input.iter().find(|&i| {
+                let single = StateSet::from_indices(self.universe.size(), [i]);
+                sem.exec(r, &single)
+                    .map(|post| !post.is_subset(spec))
+                    .unwrap_or(true)
+            }) else {
+                return Err(RepairError::Internal(
+                    "Q ⊄ Spec but no input store violates the spec".to_string(),
+                ));
+            };
             // The valid inputs among `input` are those whose runs stay in
             // the spec.
             let valid_input = self.universe.filter(|s| {
@@ -305,7 +319,9 @@ impl<'u> Verifier<'u> {
                     domain: tightened,
                 })
             } else {
-                unreachable!("closing under the spec point always fits the spec")
+                Err(RepairError::Internal(
+                    "closing under the spec point must fit the spec".to_string(),
+                ))
             }
         }
     }
@@ -331,7 +347,8 @@ impl<'u> Verifier<'u> {
             }
             None => crate::absint::AbstractSemantics::uncached(self.universe),
         }
-        .tracer(self.trace.clone());
+        .tracer(self.trace.clone())
+        .governor(self.governor.clone());
         let abstract_out = asem.exec(domain, r, &domain.close(input))?;
         let sem = Concrete::new(self.universe);
         let concrete_out = match &self.cache {

@@ -50,6 +50,9 @@ pub enum SemError {
     /// A Kleene-star iteration failed to converge (cannot happen on a
     /// finite universe unless the bound is misconfigured).
     Divergence,
+    /// A [`Governor`](air_lattice::Governor) budget ran out mid-execution
+    /// (fuel, deadline, or cooperative cancellation).
+    Exhausted(air_lattice::Exhaustion),
 }
 
 impl fmt::Display for SemError {
@@ -62,11 +65,18 @@ impl fmt::Display for SemError {
                 "assignment `{var} := {value}` from store {store:?} escapes the universe"
             ),
             SemError::Divergence => write!(f, "Kleene iteration failed to converge"),
+            SemError::Exhausted(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for SemError {}
+
+impl From<air_lattice::Exhaustion> for SemError {
+    fn from(e: air_lattice::Exhaustion) -> Self {
+        SemError::Exhausted(e)
+    }
+}
 
 /// The concrete collecting semantics over a fixed universe.
 ///

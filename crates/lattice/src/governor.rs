@@ -1,0 +1,364 @@
+//! Execution governance: fuel, deadlines, and cooperative cancellation.
+//!
+//! The paper's backward repair `bRepair` need not terminate without
+//! widening (Section 7, Thm. 7.6 ff.), so every engine loop in the
+//! workspace checks a [`Governor`] at its head. A governor is a cheap,
+//! clonable handle in the style of `air_trace::Tracer`: the default
+//! ("ungoverned") handle costs one `Option` branch per check, while a
+//! governed handle counts fuel with a relaxed atomic, samples the
+//! monotonic clock with a stride (so deadline checks stay off the hot
+//! path), and carries a shared cancellation flag so sibling `par_map`
+//! workers fail fast once any of them exhausts the budget.
+//!
+//! Exhaustion is a *value*, not a panic: [`Governor::check`] returns an
+//! [`Exhaustion`] naming the phase that tripped, the fuel spent so far
+//! and the [`ExhaustReason`], which engines wrap into their own error
+//! types carrying the best partial result computed so far.
+//!
+//! # Example
+//!
+//! ```
+//! use air_lattice::governor::{Budget, ExhaustReason, Governor};
+//!
+//! let g = Governor::new(Budget::fuel(2));
+//! assert!(g.check("demo.loop").is_ok());
+//! assert!(g.check("demo.loop").is_ok());
+//! let exhausted = g.check("demo.loop").unwrap_err();
+//! assert_eq!(exhausted.reason, ExhaustReason::Fuel);
+//! assert_eq!(exhausted.phase, "demo.loop");
+//! // Exhaustion cancels the governor so sibling workers stop too.
+//! assert!(g.is_cancelled());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in fuel ticks) a governed check samples the wall clock.
+/// Deadline precision is traded for keeping `Instant::now()` off the hot
+/// path; 64 ticks of any engine loop complete in well under a
+/// millisecond, so deadlines stay accurate to human scales.
+const DEADLINE_STRIDE: u64 = 64;
+
+/// Resource limits for one run: a fuel allowance (loop iterations across
+/// all governed phases) and/or a wall-clock deadline. `Budget::default()`
+/// is unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of governed ticks before exhaustion.
+    pub fuel: Option<u64>,
+    /// Wall-clock allowance, measured from [`Governor::new`].
+    pub timeout: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A pure fuel budget.
+    pub fn fuel(fuel: u64) -> Self {
+        Budget {
+            fuel: Some(fuel),
+            timeout: None,
+        }
+    }
+
+    /// A pure wall-clock budget.
+    pub fn timeout(timeout: Duration) -> Self {
+        Budget {
+            fuel: None,
+            timeout: Some(timeout),
+        }
+    }
+
+    /// `true` when no limit is set (a [`Governor`] for such a budget is
+    /// free: it holds no allocation and checks cost one branch).
+    pub fn is_unlimited(&self) -> bool {
+        self.fuel.is_none() && self.timeout.is_none()
+    }
+}
+
+/// Why a governed run stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExhaustReason {
+    /// The fuel allowance ran out.
+    Fuel,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// Another worker (or the caller) cancelled the run.
+    Cancelled,
+}
+
+impl ExhaustReason {
+    /// Stable lowercase name used in traces, JSON stats and messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExhaustReason::Fuel => "fuel",
+            ExhaustReason::Deadline => "deadline",
+            ExhaustReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for ExhaustReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured record of budget exhaustion: which loop tripped, how much
+/// fuel had been spent across the whole governed run, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exhaustion {
+    /// The governed phase whose check tripped (e.g. `"repair.backward"`).
+    pub phase: String,
+    /// Total fuel ticks spent by the governor when the check tripped.
+    pub spent: u64,
+    /// What ran out.
+    pub reason: ExhaustReason,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "budget exhausted in {} ({} ticks spent): {}",
+            self.phase, self.spent, self.reason
+        )
+    }
+}
+
+impl std::error::Error for Exhaustion {}
+
+struct Inner {
+    spent: AtomicU64,
+    fuel: Option<u64>,
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+}
+
+/// Cheap, clonable resource-limit handle; `Governor::default()` is
+/// unlimited and free. All clones share one fuel pool, one deadline and
+/// one cancellation flag — hand the same governor to every `par_map`
+/// worker and the whole fleet stops within one check of exhaustion.
+#[derive(Clone, Default)]
+pub struct Governor {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Governor {
+    /// A governor with no limits (same as `Governor::default()`); checks
+    /// through it are a single branch.
+    pub fn unlimited() -> Self {
+        Governor { inner: None }
+    }
+
+    /// A governor enforcing `budget`, with the deadline measured from
+    /// now. An unlimited budget yields the free handle — callers never
+    /// pay for governance they did not ask for, but cancellation via
+    /// [`Governor::cancel`] is then unavailable (it needs shared state).
+    pub fn new(budget: Budget) -> Self {
+        if budget.is_unlimited() {
+            return Governor::unlimited();
+        }
+        Governor {
+            inner: Some(Arc::new(Inner {
+                spent: AtomicU64::new(0),
+                fuel: budget.fuel,
+                deadline: budget.timeout.map(|t| Instant::now() + t),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A governor with shared state but no fuel/deadline limit — useful
+    /// when only cooperative cancellation is needed (e.g. a fail-soft
+    /// sweep that wants to stop pending work after a fatal error).
+    pub fn cancellable() -> Self {
+        Governor {
+            inner: Some(Arc::new(Inner {
+                spent: AtomicU64::new(0),
+                fuel: None,
+                deadline: None,
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// `true` when this handle enforces any limit or carries a
+    /// cancellation flag.
+    #[inline]
+    pub fn is_governed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Spends one fuel tick and checks every limit. Called at engine
+    /// loop heads; ungoverned handles return `Ok` after one branch.
+    ///
+    /// The `phase` closure only runs when a limit actually trips, so hot
+    /// loops pay no formatting cost — pass `|| "phase.name".into()` or
+    /// use [`Governor::check`] with a `&str`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Exhaustion`] (and cancels the governor, so sibling
+    /// workers observe it) when fuel runs out, the deadline passes, or
+    /// the run was cancelled.
+    #[inline]
+    pub fn check_with(&self, phase: impl FnOnce() -> String) -> Result<(), Exhaustion> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let spent = inner.spent.fetch_add(1, Ordering::Relaxed) + 1;
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return Err(self.exhaust(phase(), spent, ExhaustReason::Cancelled));
+        }
+        if let Some(fuel) = inner.fuel {
+            if spent > fuel {
+                return Err(self.exhaust(phase(), spent, ExhaustReason::Fuel));
+            }
+        }
+        if let Some(deadline) = inner.deadline {
+            // Sample the clock with a stride; always sample on the first
+            // tick so a deadline that is already past trips immediately.
+            if (spent == 1 || spent % DEADLINE_STRIDE == 0) && Instant::now() >= deadline {
+                return Err(self.exhaust(phase(), spent, ExhaustReason::Deadline));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Governor::check_with`] with an eagerly-built phase name.
+    #[inline]
+    pub fn check(&self, phase: &str) -> Result<(), Exhaustion> {
+        self.check_with(|| phase.to_string())
+    }
+
+    fn exhaust(&self, phase: String, spent: u64, reason: ExhaustReason) -> Exhaustion {
+        self.cancel();
+        Exhaustion {
+            phase,
+            spent,
+            reason,
+        }
+    }
+
+    /// Raises the shared cancellation flag; every clone's next check
+    /// fails with [`ExhaustReason::Cancelled`]. No-op on the free handle.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once any clone exhausted its budget or called `cancel`.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// Total fuel ticks spent across all clones so far.
+    pub fn spent(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.spent.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Governor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Governor")
+            .field("governed", &self.is_governed())
+            .field("spent", &self.spent())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ungoverned_checks_are_free_and_never_fail() {
+        let g = Governor::unlimited();
+        assert!(!g.is_governed());
+        for _ in 0..10_000 {
+            g.check_with(|| unreachable!("phase must not render when ungoverned"))
+                .unwrap();
+        }
+        assert_eq!(g.spent(), 0);
+        g.cancel();
+        assert!(!g.is_cancelled(), "free handle has no flag to raise");
+    }
+
+    #[test]
+    fn fuel_exhausts_at_the_limit_and_reports_phase_and_spend() {
+        let g = Governor::new(Budget::fuel(3));
+        for _ in 0..3 {
+            g.check("loop").unwrap();
+        }
+        let e = g.check("loop").unwrap_err();
+        assert_eq!(e.reason, ExhaustReason::Fuel);
+        assert_eq!(e.phase, "loop");
+        assert_eq!(e.spent, 4);
+        assert!(e.to_string().contains("fuel"));
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_check() {
+        let g = Governor::new(Budget::timeout(Duration::ZERO));
+        let e = g.check("phase").unwrap_err();
+        assert_eq!(e.reason, ExhaustReason::Deadline);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let g = Governor::new(Budget::timeout(Duration::from_secs(3600)));
+        for _ in 0..1000 {
+            g.check("phase").unwrap();
+        }
+    }
+
+    #[test]
+    fn exhaustion_cancels_sibling_clones() {
+        let g = Governor::new(Budget::fuel(1));
+        let sibling = g.clone();
+        g.check("a").unwrap();
+        assert!(g.check("a").is_err());
+        let e = sibling.check("b").unwrap_err();
+        assert_eq!(e.reason, ExhaustReason::Cancelled);
+    }
+
+    #[test]
+    fn explicit_cancel_stops_all_clones() {
+        let g = Governor::cancellable();
+        let clone = g.clone();
+        assert!(clone.check("p").is_ok());
+        g.cancel();
+        let e = clone.check("p").unwrap_err();
+        assert_eq!(e.reason, ExhaustReason::Cancelled);
+    }
+
+    #[test]
+    fn clones_share_one_fuel_pool() {
+        let g = Governor::new(Budget::fuel(4));
+        let h = g.clone();
+        g.check("a").unwrap();
+        h.check("b").unwrap();
+        g.check("a").unwrap();
+        h.check("b").unwrap();
+        assert!(g.check("a").is_err());
+        assert_eq!(g.spent(), h.spent());
+    }
+
+    #[test]
+    fn unlimited_budget_yields_free_handle() {
+        let g = Governor::new(Budget::unlimited());
+        assert!(!g.is_governed());
+        assert!(Budget::default().is_unlimited());
+    }
+}

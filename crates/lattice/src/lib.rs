@@ -21,6 +21,9 @@
 //!   `wlp` caches of the repair engine.
 //! - [`parallel`] — deterministic work-stealing [`par_map`] over slices,
 //!   the substrate of the parallel corpus/CEGAR drivers.
+//! - [`governor`] — fuel counters, wall-clock deadlines and cooperative
+//!   cancellation ([`Governor`]), checked at every engine loop head so
+//!   divergent repairs surface structured exhaustion instead of hanging.
 //!
 //! Paper↔code correspondences for the whole workspace are catalogued in
 //! `PAPER_MAP.md` at the repository root.
@@ -42,6 +45,7 @@ pub mod cache;
 pub mod closure;
 pub mod fixpoint;
 pub mod galois;
+pub mod governor;
 pub mod order;
 pub mod parallel;
 pub mod powerset;
@@ -51,6 +55,7 @@ pub use cache::{CacheStats, Interner, MemoTable};
 pub use closure::{ClosureOperator, MooreFamily};
 pub use fixpoint::{lfp, lfp_widen, FixpointError};
 pub use galois::GaloisConnection;
+pub use governor::{Budget, ExhaustReason, Exhaustion, Governor};
 pub use order::{BoundedLattice, JoinSemilattice, Lattice, MeetSemilattice, Poset};
-pub use parallel::{available_jobs, par_map, par_map_indexed};
+pub use parallel::{available_jobs, par_map, par_map_governed, par_map_indexed};
 pub use powerset::PowersetLattice;

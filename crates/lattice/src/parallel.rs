@@ -9,10 +9,17 @@
 //! corpus sweep of the CLI and the block fan-out of the CEGAR driver are
 //! built on this.
 //!
+//! [`par_map_governed`] additionally consults a shared [`Governor`]
+//! before starting each item: once any worker observes cancellation
+//! (typically raised by budget exhaustion inside another item), the
+//! remaining unclaimed items are *skipped* and reported as `None` — the
+//! substrate of the fail-soft corpus sweep.
+//!
 //! With `jobs <= 1` (or a single item) the map runs inline on the calling
 //! thread — no spawn overhead, and a convenient way to force the
 //! sequential reference path in differential tests.
 
+use crate::governor::Governor;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -44,37 +51,77 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    // An ungoverned map never skips, so every slot is filled: the
+    // flattening below drops nothing (workers that panicked would have
+    // propagated at scope join, before we ever got here).
+    par_map_governed(jobs, items, &Governor::unlimited(), f)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Like [`par_map_indexed`], but every worker consults `governor` before
+/// claiming its next item: once the governor is cancelled, unclaimed
+/// items are skipped and returned as `None` (input order is preserved
+/// for the items that did run).
+///
+/// The check is *per item*, not per loop iteration — `f` itself should
+/// thread the same governor into the engines it calls so long-running
+/// items also stop promptly.
+pub fn par_map_governed<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    governor: &Governor,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if governor.is_cancelled() {
+                    None
+                } else {
+                    Some(f(i, t))
+                }
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                if governor.is_cancelled() {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let result = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(result);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(result);
+                }
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every index claimed by exactly one worker")
-        })
+        .map(|slot| slot.into_inner().ok().flatten())
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::governor::Budget;
 
     #[test]
     fn preserves_input_order() {
@@ -103,5 +150,40 @@ mod tests {
     fn more_jobs_than_items_is_fine() {
         let items = [1u64, 2, 3];
         assert_eq!(par_map(64, &items, |&x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn cancelled_governor_skips_all_items() {
+        let g = Governor::cancellable();
+        g.cancel();
+        let items: Vec<usize> = (0..10).collect();
+        for jobs in [1, 4] {
+            let out = par_map_governed(jobs, &items, &g, |_, &x| x);
+            assert_eq!(out.len(), 10);
+            assert!(out.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn governed_map_without_limits_behaves_like_par_map() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = par_map_governed(4, &items, &Governor::unlimited(), |_, &x| x * 2);
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mid_run_exhaustion_skips_the_tail_sequentially() {
+        // Sequential path: each item burns one fuel tick; after fuel runs
+        // out the governor is cancelled and the rest are skipped.
+        let g = Governor::new(Budget::fuel(3));
+        let items: Vec<usize> = (0..8).collect();
+        let out = par_map_governed(1, &items, &g, |_, &x| {
+            let _ = g.check("test.item");
+            x
+        });
+        let done = out.iter().filter(|r| r.is_some()).count();
+        assert_eq!(done, 4, "3 fuel ticks pass, the 4th trips, then skips");
+        assert!(out[4..].iter().all(Option::is_none));
     }
 }

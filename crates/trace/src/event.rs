@@ -63,6 +63,17 @@ pub enum EventKind {
     Counter { name: String, delta: u64 },
     /// Final verdict of a phase (`proved`, `refuted`, `true_alarm`, ...).
     Verdict { phase: String, verdict: String },
+    /// A resource budget ran out in `phase` after `spent` governed ticks;
+    /// `reason` is `fuel`, `deadline` or `cancelled`. The engine returns
+    /// its best partial result instead of hanging.
+    BudgetExhausted {
+        phase: String,
+        spent: u64,
+        reason: String,
+    },
+    /// A unit of work was skipped because the run was cancelled (e.g. a
+    /// corpus program never started after a sibling exhausted the budget).
+    Cancelled { phase: String },
 }
 
 /// Every wire-format `kind` value the engine can emit, in one place so
@@ -82,6 +93,8 @@ pub const KNOWN_KINDS: &[&str] = &[
     "cache_bypass",
     "counter",
     "verdict",
+    "budget_exhausted",
+    "cancelled",
 ];
 
 impl EventKind {
@@ -102,6 +115,8 @@ impl EventKind {
             EventKind::CacheBypass { .. } => "cache_bypass",
             EventKind::Counter { .. } => "counter",
             EventKind::Verdict { .. } => "verdict",
+            EventKind::BudgetExhausted { .. } => "budget_exhausted",
+            EventKind::Cancelled { .. } => "cancelled",
         }
     }
 
@@ -180,6 +195,18 @@ impl Event {
             EventKind::Verdict { phase, verdict } => {
                 field_str(out, "phase", phase);
                 field_str(out, "verdict", verdict);
+            }
+            EventKind::BudgetExhausted {
+                phase,
+                spent,
+                reason,
+            } => {
+                field_str(out, "phase", phase);
+                let _ = write!(out, ",\"spent\":{spent}");
+                field_str(out, "reason", reason);
+            }
+            EventKind::Cancelled { phase } => {
+                field_str(out, "phase", phase);
             }
         }
         out.push('}');
@@ -260,6 +287,14 @@ mod tests {
             EventKind::Verdict {
                 phase: "verify.backward".into(),
                 verdict: "proved".into(),
+            },
+            EventKind::BudgetExhausted {
+                phase: "repair.backward".into(),
+                spent: 5000,
+                reason: "fuel".into(),
+            },
+            EventKind::Cancelled {
+                phase: "corpus.program".into(),
             },
         ];
         assert_eq!(samples.len(), KNOWN_KINDS.len(), "sample per kind");

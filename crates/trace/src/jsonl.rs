@@ -6,10 +6,19 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
+struct Out {
+    writer: BufWriter<Box<dyn Write + Send>>,
+    /// The first write/flush error observed. Trace output stays
+    /// best-effort — a full disk must not abort a proof — but the failure
+    /// is no longer silent: it is reported by [`JsonlSink::flush`],
+    /// [`JsonlSink::take_error`], or on drop (to stderr).
+    error: Option<io::Error>,
+}
+
 /// Writes each event as a JSONL line to an arbitrary writer. Buffered;
 /// flushed when the sink is dropped (or explicitly via [`JsonlSink::flush`]).
 pub struct JsonlSink {
-    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    out: Mutex<Out>,
 }
 
 impl JsonlSink {
@@ -20,13 +29,41 @@ impl JsonlSink {
 
     pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
-            out: Mutex::new(BufWriter::new(writer)),
+            out: Mutex::new(Out {
+                writer: BufWriter::new(writer),
+                error: None,
+            }),
         }
     }
 
+    /// Flushes buffered lines. Reports the first I/O error recorded since
+    /// the last [`JsonlSink::take_error`] — including earlier `write_all`
+    /// failures that `record` could not surface.
     pub fn flush(&self) -> io::Result<()> {
-        self.out.lock().unwrap().flush()
+        let Ok(mut out) = self.out.lock() else {
+            return Err(io::Error::other("trace sink poisoned by a panic"));
+        };
+        if let Err(e) = out.writer.flush() {
+            if out.error.is_none() {
+                out.error = Some(clone_io_error(&e));
+            }
+            return Err(e);
+        }
+        match out.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
+
+    /// Takes the first recorded I/O error, if any, clearing it.
+    pub fn take_error(&self) -> Option<io::Error> {
+        self.out.lock().ok().and_then(|mut out| out.error.take())
+    }
+}
+
+/// `io::Error` is not `Clone`; preserve the kind and rendered message.
+fn clone_io_error(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
 }
 
 impl Sink for JsonlSink {
@@ -34,14 +71,29 @@ impl Sink for JsonlSink {
         let mut line = String::with_capacity(96);
         event.to_jsonl(&mut line);
         line.push('\n');
-        // Trace output is best-effort: a full disk must not abort a proof.
-        let _ = self.out.lock().unwrap().write_all(line.as_bytes());
+        // Best-effort, but remember the first failure for flush/drop.
+        if let Ok(mut out) = self.out.lock() {
+            if let Err(e) = out.writer.write_all(line.as_bytes()) {
+                if out.error.is_none() {
+                    out.error = Some(e);
+                }
+            }
+        }
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        let _ = self.out.lock().unwrap().flush();
+        if let Ok(mut out) = self.out.lock() {
+            if let Err(e) = out.writer.flush() {
+                if out.error.is_none() {
+                    out.error = Some(e);
+                }
+            }
+            if let Some(e) = out.error.take() {
+                eprintln!("warning: trace output incomplete: {e}");
+            }
+        }
     }
 }
 
@@ -66,6 +118,17 @@ mod tests {
         }
     }
 
+    /// A writer that fails every write with `WriteZero`.
+    struct Failing;
+    impl Write for Failing {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn emits_one_valid_json_object_per_line() {
         let buf = Shared::default();
@@ -82,5 +145,52 @@ mod tests {
         for line in lines {
             json::parse(line).expect("each line is standalone JSON");
         }
+    }
+
+    #[test]
+    fn write_errors_are_recorded_and_reported_on_flush() {
+        let sink = JsonlSink::from_writer(Box::new(Failing));
+        // Overflow the BufWriter so write_all actually reaches Failing.
+        let big = "x".repeat(1 << 16);
+        sink.record(&Event {
+            seq: 0,
+            t_ns: 0,
+            kind: EventKind::SpanEnter { phase: big },
+        });
+        let err = sink.flush().expect_err("the write failure must surface");
+        assert!(
+            err.to_string().contains("disk full") || err.kind() == io::ErrorKind::WriteZero,
+            "unexpected error: {err}"
+        );
+        // The error is cleared once reported.
+        assert!(sink.take_error().is_none());
+    }
+
+    #[test]
+    fn take_error_exposes_the_first_failure() {
+        let sink = JsonlSink::from_writer(Box::new(Failing));
+        let big = "x".repeat(1 << 16);
+        sink.record(&Event {
+            seq: 0,
+            t_ns: 0,
+            kind: EventKind::SpanEnter { phase: big },
+        });
+        let e = sink.take_error();
+        assert!(e.is_some(), "buffered write failure must be recorded");
+    }
+
+    #[test]
+    fn healthy_sink_flushes_clean() {
+        let buf = Shared::default();
+        let sink = JsonlSink::from_writer(Box::new(buf.clone()));
+        sink.record(&Event {
+            seq: 0,
+            t_ns: 0,
+            kind: EventKind::CacheHit {
+                table: "exec".into(),
+            },
+        });
+        sink.flush().expect("no error on a healthy writer");
+        assert!(sink.take_error().is_none());
     }
 }

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for h in Heuristic::ALL {
         let res = Cegar::new(pts.ts(), &init, &bad, h)
             .initial_partition(loc.clone())
-            .run();
+            .run()?;
         let s = res.stats();
         println!(
             "{:<14} {:>10} {:>12} {:>8} {:>13}",
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &bad,
         MooreAbstraction::trivial(pts.ts().num_states()),
     )
-    .run();
+    .run()?;
     let ms = moore.stats();
     println!(
         "\nMoore-family run (no partitions): safe = {}, rounds = {}, points added = {}",
@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pts2 = ProgramTs::compile(&universe, &buggy)?;
     let init2 = pts2.init_states(&universe.filter(|s| s[0] % 2 == 0));
     let bad2 = pts2.bad_states(&spec);
-    let res = Cegar::new(pts2.ts(), &init2, &bad2, Heuristic::BackwardAir).run();
+    let res = Cegar::new(pts2.ts(), &init2, &bad2, Heuristic::BackwardAir).run()?;
     match res {
         CegarResult::Unsafe { path, stats, .. } => {
             println!(

@@ -1,0 +1,113 @@
+//! Governed execution: a repair whose Kleene/repair loops would grind
+//! through many rounds must stop at a budget cutoff — and the partial
+//! result it surfaces must still be *sound* (an over-approximation of the
+//! concrete semantics), because abstract interpretation is sound in every
+//! pointed refinement; only precision needs the completed repair
+//! (Theorems 7.1/7.6 of the paper).
+
+use air::core::{BackwardRepair, EnumDomain, ForwardRepair, RepairError, Verifier};
+use air::domains::IntervalEnv;
+use air::lang::{parse_program, Concrete, Universe};
+use air::lattice::{Budget, ExhaustReason, Governor};
+use std::time::Duration;
+
+/// A wide two-counter loop: enough Kleene rounds and repair candidates
+/// that a small fuel budget always trips mid-run.
+fn slow_instance() -> (Universe, &'static str) {
+    (
+        Universe::new(&[("x", 0, 120), ("y", 0, 120)]).unwrap(),
+        "while (y >= 1) do { x := x + 1; y := y - 1 }",
+    )
+}
+
+#[test]
+fn backward_repair_exhausts_with_sound_partial_invariant() {
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let sem = Concrete::new(&u);
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let engine = BackwardRepair::new(&u).governor(Governor::new(Budget::fuel(5)));
+    let err = engine.repair(&dom, &input, &prog, &spec).unwrap_err();
+    let RepairError::Exhausted(partial) = err else {
+        panic!("expected exhaustion, got {err:?}");
+    };
+    assert_eq!(partial.exhaustion.reason, ExhaustReason::Fuel);
+    assert!(partial.exhaustion.spent >= 5);
+    // Soundness of the cut-off run: the partial invariant must cover the
+    // true collecting semantics of the program on this input.
+    let inv = partial
+        .invariant
+        .expect("enriched partial carries an invariant");
+    let conc = sem.exec(&prog, &input).unwrap();
+    assert!(
+        conc.is_subset(&inv),
+        "partial invariant must over-approximate the concrete semantics"
+    );
+}
+
+#[test]
+fn forward_repair_exhausts_under_fuel() {
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let engine = ForwardRepair::new(&u).governor(Governor::new(Budget::fuel(2)));
+    let err = engine.repair(dom, &prog, &input).unwrap_err();
+    assert!(
+        err.exhaustion().is_some(),
+        "forward repair must surface the cutoff, got {err:?}"
+    );
+}
+
+#[test]
+fn deadline_budget_stops_a_long_verify() {
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let verifier = Verifier::new(&u).governor(Governor::new(Budget {
+        fuel: None,
+        timeout: Some(Duration::ZERO),
+    }));
+    let err = verifier.backward(dom, &prog, &input, &spec).unwrap_err();
+    let ex = err.exhaustion().expect("deadline cutoff");
+    assert_eq!(ex.reason, ExhaustReason::Deadline);
+}
+
+#[test]
+fn cancellation_stops_the_engine() {
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let governor = Governor::cancellable();
+    governor.cancel();
+    let verifier = Verifier::new(&u).governor(governor);
+    let err = verifier.backward(dom, &prog, &input, &spec).unwrap_err();
+    let ex = err.exhaustion().expect("cancellation cutoff");
+    assert_eq!(ex.reason, ExhaustReason::Cancelled);
+}
+
+#[test]
+fn unlimited_governor_changes_nothing() {
+    // The governed run with no budget must agree bit-for-bit with the
+    // ungoverned verifier (the disabled governor is the zero-cost path).
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let prog = parse_program("if (x >= 1) then { skip } else { x := 1 - x }").unwrap();
+    let input = u.filter(|s| s[0] != 0);
+    let spec = u.filter(|s| s[0] >= 1);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let plain = Verifier::new(&u)
+        .backward(dom.clone(), &prog, &input, &spec)
+        .unwrap();
+    let governed = Verifier::new(&u)
+        .governor(Governor::unlimited())
+        .backward(dom, &prog, &input, &spec)
+        .unwrap();
+    assert_eq!(plain.is_proved(), governed.is_proved());
+    assert_eq!(plain.added_points(), governed.added_points());
+}

@@ -90,7 +90,8 @@ fn fig_3_backward_removes_all_residual_spurious_paths() {
         let (ts, init, bad, pairs) = two_lane(n);
         let res = Cegar::new(&ts, &init, &bad, Heuristic::BackwardAir)
             .initial_partition(pairs)
-            .run();
+            .run()
+            .unwrap();
         assert!(res.is_safe());
         assert!(
             res.stats().iterations <= 2,
@@ -110,6 +111,7 @@ fn heuristic_iteration_ordering() {
             Cegar::new(&ts, &init, &bad, h)
                 .initial_partition(pairs.clone())
                 .run()
+                .unwrap()
                 .stats()
                 .iterations
         };
@@ -141,12 +143,15 @@ fn program_property_all_heuristics() {
     for h in Heuristic::ALL {
         let res = Cegar::new(pts.ts(), &init, &bad, h)
             .initial_partition(loc.clone())
-            .run();
+            .run()
+            .unwrap();
         assert!(res.is_safe(), "{}", h.label());
     }
     // And a violated spec is refuted with a concrete trace.
     let bad2 = pts.bad_states(&u.filter(|s| s[0] > 1)); // spec x > 1 is false for x = ±1
-    let res = Cegar::new(pts.ts(), &init, &bad2, Heuristic::BackwardAir).run();
+    let res = Cegar::new(pts.ts(), &init, &bad2, Heuristic::BackwardAir)
+        .run()
+        .unwrap();
     let CegarResult::Unsafe { path, .. } = res else {
         panic!("must be unsafe");
     };
@@ -170,7 +175,8 @@ fn looping_program_model_checked() {
         &pts.bad_states(&safe_spec),
         Heuristic::BackwardAir,
     )
-    .run();
+    .run()
+    .unwrap();
     assert!(res.is_safe());
     let wrong_spec = u.filter(|s| s[0] == 6);
     let res2 = Cegar::new(
@@ -179,7 +185,8 @@ fn looping_program_model_checked() {
         &pts.bad_states(&wrong_spec),
         Heuristic::BackwardAir,
     )
-    .run();
+    .run()
+    .unwrap();
     assert!(!res2.is_safe());
 }
 
@@ -201,7 +208,7 @@ fn random_systems_all_engines_agree() {
         let bad = BitVecSet::from_indices(n, [rng.below(n), rng.below(n)]);
         let truth = ts.reachable(&init).is_disjoint(&bad);
         for h in Heuristic::ALL {
-            let res = Cegar::new(&ts, &init, &bad, h).run();
+            let res = Cegar::new(&ts, &init, &bad, h).run().unwrap();
             assert_eq!(res.is_safe(), truth, "seed {seed}, {}", h.label());
             if let CegarResult::Unsafe { path, .. } = res {
                 assert!(init.contains(path[0]));
@@ -211,7 +218,9 @@ fn random_systems_all_engines_agree() {
                 }
             }
         }
-        let moore = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(n)).run();
+        let moore = MooreCegar::new(&ts, &init, &bad, MooreAbstraction::trivial(n))
+            .run()
+            .unwrap();
         assert_eq!(moore.is_safe(), truth, "seed {seed}, moore");
     }
 }
@@ -225,6 +234,7 @@ fn final_partition_refines_initial() {
     initial.split_by(&bad);
     let res = Cegar::new(&ts, &init, &bad, Heuristic::Classic)
         .initial_partition(pairs)
-        .run();
+        .run()
+        .unwrap();
     assert!(res.partition().refines(&initial));
 }

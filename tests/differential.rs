@@ -235,7 +235,8 @@ fn trace_stream_parallel_cegar_matches_sequential() {
                 .initial_partition(pairs.clone())
                 .jobs(jobs)
                 .tracer(Tracer::new(sink.clone()))
-                .run();
+                .run()
+                .unwrap();
             assert!(res.is_safe(), "{}", heuristic.label());
             normalized_stream(&sink)
         };

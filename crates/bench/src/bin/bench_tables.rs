@@ -719,13 +719,27 @@ fn t10_governor_overhead(mut json: String) {
          governed {governed_ms:.3} ms, overhead {:.2}%",
         100.0 * overhead
     );
+    // The fuzz-campaign row (T11, produced by `air fuzz run` and recorded
+    // in EXPERIMENTS.md) shares this file; carry it across bench reruns.
+    let fuzz_row = std::fs::read_to_string("BENCH_repair.json")
+        .ok()
+        .and_then(|old| {
+            old.lines()
+                .find(|l| l.trim_start().starts_with("\"fuzz_campaign\":"))
+                .map(|l| l.trim_end().trim_end_matches(',').to_string())
+        });
     json.push_str(&format!(
         "  \"governor_overhead\": {{\"runs\": {RUNS}, \"ungoverned_ms\": {:.3}, \
-         \"governed_ms\": {:.3}, \"overhead_pct\": {:.3}}}\n",
+         \"governed_ms\": {:.3}, \"overhead_pct\": {:.3}}}{}\n",
         ungoverned_ms,
         governed_ms,
-        100.0 * overhead
+        100.0 * overhead,
+        if fuzz_row.is_some() { "," } else { "" }
     ));
+    if let Some(row) = fuzz_row {
+        json.push_str(&row);
+        json.push('\n');
+    }
     json.push_str("}\n");
     std::fs::write("BENCH_repair.json", &json).expect("BENCH_repair.json writes");
     println!("wrote BENCH_repair.json");

@@ -1,0 +1,276 @@
+//! Validate an `air fuzz run --stats-json` campaign report against the
+//! checked-in wire schema (`schemas/fuzz-report.schema.json`).
+//!
+//! ```text
+//! fuzz_validate <report-or-log-file> [schema.json]
+//! ```
+//!
+//! The input may be the raw report line or a full captured stdout log:
+//! the validator scans for the first line that parses as a JSON object
+//! tagged `"schema": "air-fuzz-report/1"`. It fails (exit code 1) on:
+//!
+//! - no report line in the file,
+//! - a missing or mistyped top-level, oracle-row or failure-row field,
+//! - an oracle name the `air_fuzz` registry does not know (catches a
+//!   report from drifted code) or a registry oracle absent from an
+//!   unrestricted campaign,
+//! - counter inconsistencies: `built + build_skips != cases`, a total
+//!   violation count below the per-oracle sum, or per-oracle
+//!   `runs + skips` exceeding `built`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use air_trace::json::{self, Value};
+
+const DEFAULT_SCHEMA: &str = "schemas/fuzz-report.schema.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (report_path, schema_path) = match args.as_slice() {
+        [report] => (report.as_str(), DEFAULT_SCHEMA),
+        [report, schema] => (report.as_str(), schema.as_str()),
+        _ => {
+            eprintln!("usage: fuzz_validate <report-or-log-file> [schema.json]");
+            return ExitCode::from(2);
+        }
+    };
+    match validate(report_path, schema_path) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fuzz_validate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Required fields of one object shape: field name -> JSON type name.
+type FieldSpec = BTreeMap<String, String>;
+
+struct Schema {
+    tag: String,
+    report: FieldSpec,
+    oracle_row: FieldSpec,
+    failure_row: FieldSpec,
+}
+
+fn validate(report_path: &str, schema_path: &str) -> Result<String, String> {
+    let schema = load_schema(schema_path)?;
+    let text = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("cannot read {report_path}: {e}"))?;
+    let doc = find_report(&text, &schema.tag)
+        .ok_or_else(|| format!("{report_path}: no \"{}\" line found", schema.tag))?;
+    check_report(&schema, &doc).map_err(|e| format!("{report_path}: {e}"))?;
+    let oracles = doc.get("oracles").and_then(Value::as_arr).unwrap();
+    let failures = doc.get("failures").and_then(Value::as_arr).unwrap();
+    Ok(format!(
+        "{report_path}: valid {} report ({} oracle row(s), {} failure(s))",
+        schema.tag,
+        oracles.len(),
+        failures.len()
+    ))
+}
+
+/// Scans a possibly-mixed stdout capture for the report line.
+fn find_report(text: &str, tag: &str) -> Option<Value> {
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        if let Ok(doc) = json::parse(line) {
+            if doc.get("schema").and_then(Value::as_str) == Some(tag) {
+                return Some(doc);
+            }
+        }
+    }
+    None
+}
+
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let tag = doc
+        .get("tag")
+        .and_then(Value::as_str)
+        .ok_or(format!("{path}: no \"tag\""))?
+        .to_string();
+    let spec = |key: &str| -> Result<FieldSpec, String> {
+        field_spec(doc.get(key).ok_or(format!("{path}: no {key:?}"))?)
+            .map_err(|e| format!("{path}: {key}: {e}"))
+    };
+    Ok(Schema {
+        tag,
+        report: spec("report")?,
+        oracle_row: spec("oracle_row")?,
+        failure_row: spec("failure_row")?,
+    })
+}
+
+fn field_spec(v: &Value) -> Result<FieldSpec, String> {
+    let obj = v.as_obj().ok_or("expected an object of field -> type")?;
+    let mut spec = FieldSpec::new();
+    for (field, ty) in obj {
+        let ty = ty
+            .as_str()
+            .ok_or_else(|| format!("field {field:?}: type must be a string"))?;
+        if ty != "string" && ty != "number" {
+            return Err(format!("field {field:?}: unsupported type {ty:?}"));
+        }
+        spec.insert(field.clone(), ty.to_string());
+    }
+    Ok(spec)
+}
+
+fn check_fields(spec: &FieldSpec, v: &Value, what: &str) -> Result<(), String> {
+    let obj = v.as_obj().ok_or(format!("{what} is not a JSON object"))?;
+    for (field, ty) in spec {
+        let value = obj
+            .get(field)
+            .ok_or_else(|| format!("{what}: missing field {field:?}"))?;
+        let ok = match ty.as_str() {
+            "string" => matches!(value, Value::Str(_)),
+            "number" => matches!(value, Value::Num(_)),
+            _ => false,
+        };
+        if !ok {
+            return Err(format!("{what}: field {field:?} is not a {ty}"));
+        }
+    }
+    Ok(())
+}
+
+fn num(v: &Value, field: &str) -> Result<u64, String> {
+    v.get(field)
+        .and_then(Value::as_num)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("missing numeric field {field:?}"))
+}
+
+fn check_report(schema: &Schema, doc: &Value) -> Result<(), String> {
+    check_fields(&schema.report, doc, "report")?;
+    let oracles = doc
+        .get("oracles")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"oracles\" array")?;
+    let failures = doc
+        .get("failures")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"failures\" array")?;
+    if oracles.is_empty() {
+        return Err("\"oracles\" is empty: even a restricted campaign has one row".into());
+    }
+
+    let registry = air_fuzz::oracles::registry();
+    let built = num(doc, "built")?;
+    let mut oracle_violations = 0u64;
+    for (i, row) in oracles.iter().enumerate() {
+        let what = format!("oracles[{i}]");
+        check_fields(&schema.oracle_row, row, &what)?;
+        let name = row.get("name").and_then(Value::as_str).unwrap();
+        let entry = registry
+            .iter()
+            .find(|(n, _)| *n == name)
+            .ok_or_else(|| format!("{what}: unknown oracle {name:?}"))?;
+        let theorem = row.get("theorem").and_then(Value::as_str).unwrap();
+        if theorem != entry.1 {
+            return Err(format!(
+                "{what}: theorem {theorem:?} drifted from the registry's {:?}",
+                entry.1
+            ));
+        }
+        let runs = num(row, "runs").map_err(|e| format!("{what}: {e}"))?;
+        let skips = num(row, "skips").map_err(|e| format!("{what}: {e}"))?;
+        if runs + skips > built {
+            return Err(format!(
+                "{what}: runs + skips = {} exceeds built = {built}",
+                runs + skips
+            ));
+        }
+        oracle_violations += num(row, "violations").map_err(|e| format!("{what}: {e}"))?;
+    }
+    // An unrestricted campaign (every registry oracle present) must have
+    // exactly the registry's rows — a missing oracle means silent drift.
+    if oracles.len() > 1 && oracles.len() != registry.len() {
+        return Err(format!(
+            "report has {} oracle rows; the registry has {} oracles",
+            oracles.len(),
+            registry.len()
+        ));
+    }
+
+    if num(doc, "built")? + num(doc, "build_skips")? != num(doc, "cases")? {
+        return Err("built + build_skips != cases".into());
+    }
+    if num(doc, "violations")? < oracle_violations {
+        return Err("total violations below the per-oracle sum".into());
+    }
+    for (i, row) in failures.iter().enumerate() {
+        check_fields(&schema.failure_row, row, &format!("failures[{i}]"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_fuzz::{run_campaign, FuzzOptions};
+
+    fn test_schema() -> Schema {
+        load_schema(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/fuzz-report.schema.json"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn a_real_campaign_report_validates() {
+        let report = run_campaign(&FuzzOptions {
+            cases: 5,
+            ..FuzzOptions::default()
+        });
+        let doc = json::parse(&report.to_json()).unwrap();
+        check_report(&test_schema(), &doc).unwrap();
+    }
+
+    #[test]
+    fn report_line_is_found_inside_a_mixed_log() {
+        let report = run_campaign(&FuzzOptions {
+            cases: 2,
+            ..FuzzOptions::default()
+        });
+        let log = format!(
+            "fuzz campaign: seeds 0..2, ...\nviolations: 0, disagreements: 0\n{}\n",
+            report.to_json()
+        );
+        let doc = find_report(&log, "air-fuzz-report/1").unwrap();
+        check_report(&test_schema(), &doc).unwrap();
+        assert!(find_report("no json here\n", "air-fuzz-report/1").is_none());
+    }
+
+    #[test]
+    fn drifted_reports_are_rejected() {
+        let schema = test_schema();
+        let report = run_campaign(&FuzzOptions {
+            cases: 3,
+            ..FuzzOptions::default()
+        });
+        let good = report.to_json();
+        // Unknown oracle name.
+        let bad = good.replace("\"name\":\"soundness\"", "\"name\":\"telepathy\"");
+        let err = check_report(&schema, &json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("unknown oracle"), "{err}");
+        // Theorem label drifted from the registry.
+        let bad = good.replace("Theorem 7.1", "Theorem 9.9");
+        let err = check_report(&schema, &json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+        // Counter inconsistency.
+        let bad = good.replace("\"build_skips\":", "\"build_skips\":7e7,\"old\":");
+        let err = check_report(&schema, &json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("build_skips"), "{err}");
+    }
+}

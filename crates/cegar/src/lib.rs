@@ -47,6 +47,7 @@ pub mod amc;
 pub mod bridge;
 pub mod driver;
 pub mod moore;
+pub mod oracle;
 pub mod partition;
 pub mod program_ts;
 pub mod refine;
@@ -56,6 +57,7 @@ pub mod ts;
 
 pub use driver::{Cegar, CegarError, CegarResult, Heuristic};
 pub use moore::{MooreAbstraction, MooreCegar, MooreResult};
+pub use oracle::cegar_spuriousness;
 pub use partition::Partition;
 pub use program_ts::ProgramTs;
 pub use spurious::SpuriousAnalysis;

@@ -1,0 +1,227 @@
+//! The CEGAR spuriousness oracle — Lemmas 6.1/6.3 and the refinement
+//! theorems (6.2/6.4) as an executable predicate over program instances.
+//!
+//! Three clauses are checked against the concrete transition system as
+//! ground truth:
+//!
+//! 1. **Lemma 6.1** — an abstract counterexample in the initial
+//!    location partition is spurious iff it has no underlying concrete
+//!    path. Spuriousness is decided by [`SpuriousAnalysis`]; the ground
+//!    truth is an *independent* depth-first product walk over
+//!    `(state, path position)` pairs.
+//! 2. **Driver agreement** — every CEGAR configuration (all three
+//!    refinement heuristics × sequential and parallel block builds)
+//!    returns `Safe` exactly when `bad` is unreachable from `init` in
+//!    the concrete system, and an `Unsafe` path is a genuine concrete
+//!    counterexample.
+//! 3. **Certificate validity** — a `Safe` partition's abstract system
+//!    has no abstract path from init blocks to bad blocks (the
+//!    fixed-point of Theorems 6.2/6.4's refinement loop really is a
+//!    proof).
+//!
+//! The error convention follows `air_core::oracles`: `Err(SemError)`
+//! marks an unevaluable instance (skip), `Ok(Violation(..))` a
+//! falsified theorem.
+
+use air_core::oracles::OracleOutcome;
+use air_lang::{Reg, SemError, StateSet, Universe};
+use air_lattice::BitVecSet;
+
+use crate::amc::AbstractTs;
+use crate::driver::{Cegar, CegarError, CegarResult, Heuristic};
+use crate::partition::Partition;
+use crate::program_ts::ProgramTs;
+use crate::spurious::SpuriousAnalysis;
+use crate::ts::TransitionSystem;
+
+/// Registry row for this oracle, mirroring `air_core::oracles::ORACLES`.
+pub const ORACLE: (&str, &str) = ("cegar_spuriousness", "Lemmas 6.1/6.3, Theorems 6.2/6.4");
+
+fn violation(msg: impl Into<String>) -> Result<OracleOutcome, SemError> {
+    Ok(OracleOutcome::Violation(msg.into()))
+}
+
+/// Is `path` a genuine concrete path from `init` to `bad` in `ts`?
+fn is_concrete_counterexample(
+    ts: &TransitionSystem,
+    init: &BitVecSet,
+    bad: &BitVecSet,
+    path: &[usize],
+) -> bool {
+    let (Some(&first), Some(&last)) = (path.first(), path.last()) else {
+        return false;
+    };
+    init.contains(first) && bad.contains(last) && path.windows(2).all(|w| ts.has_edge(w[0], w[1]))
+}
+
+/// Independent ground truth for Lemma 6.1: does a concrete path exist
+/// that threads the block sequence? A depth-first walk over
+/// `(state, position)` pairs — deliberately not the forward/backward
+/// interval computation `SpuriousAnalysis` itself uses.
+fn threads_blocks(ts: &TransitionSystem, blocks: &[BitVecSet]) -> bool {
+    let n = blocks.len();
+    let mut stack: Vec<(usize, usize)> = blocks[0].iter().map(|s| (s, 0)).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some((state, pos)) = stack.pop() {
+        if pos == n - 1 {
+            return true;
+        }
+        if !seen.insert((state, pos)) {
+            continue;
+        }
+        for succ in ts.succs_of(state) {
+            if blocks[pos + 1].contains(succ) {
+                stack.push((succ, pos + 1));
+            }
+        }
+    }
+    false
+}
+
+/// Lemmas 6.1/6.3 + Theorems 6.2/6.4 as one oracle over a program
+/// instance. See the module docs for the three clauses.
+///
+/// # Errors
+///
+/// Propagates [`SemError`] from compiling the program to a transition
+/// system, and maps a CEGAR budget cutoff to `SemError::Exhausted`
+/// (both are skips, not failures, for fuzz harnesses).
+pub fn cegar_spuriousness(
+    universe: &Universe,
+    program: &Reg,
+    pre: &StateSet,
+    spec: &StateSet,
+) -> Result<OracleOutcome, SemError> {
+    let pts = ProgramTs::compile(universe, program)?;
+    let ts = pts.ts();
+    let init = pts.init_states(pre);
+    let bad = pts.bad_states(spec);
+    let truly_safe = ts.reachable(&init).intersection(&bad).is_empty();
+
+    // Clause 1 — Lemma 6.1 on the location-partition counterexample.
+    let partition = Partition::from_key(ts.num_states(), |s| pts.location_of(s));
+    let amc = AbstractTs::build(ts, &partition);
+    let init_blocks = partition.blocks_of_set(&init);
+    let bad_blocks = partition.blocks_of_set(&bad);
+    if let Some(path) = amc.find_counterexample(&init_blocks, &bad_blocks) {
+        // Restrict the end blocks so the abstract path really starts in
+        // init and ends in bad (the driver's implicit convention).
+        let mut blocks: Vec<BitVecSet> = path.iter().map(|&b| partition.block(b).clone()).collect();
+        let last = blocks.len() - 1;
+        blocks[0] = blocks[0].intersection(&init);
+        blocks[last] = blocks[last].intersection(&bad);
+        let analysis = SpuriousAnalysis::analyze_blocks(ts, blocks.clone());
+        let has_concrete = threads_blocks(ts, &blocks);
+        if analysis.is_spurious() == has_concrete {
+            return violation(format!(
+                "Lemma 6.1: is_spurious() = {} but a concrete thread {}",
+                analysis.is_spurious(),
+                if has_concrete {
+                    "exists"
+                } else {
+                    "does not exist"
+                }
+            ));
+        }
+        match analysis.concrete_witness(ts) {
+            Some(witness) => {
+                if !is_concrete_counterexample(ts, &init, &bad, &witness) {
+                    return violation("Lemma 6.1: concrete witness is not a real path");
+                }
+            }
+            None => {
+                if !analysis.is_spurious() {
+                    return violation("Lemma 6.1: non-spurious path yields no witness");
+                }
+            }
+        }
+    } else if !truly_safe {
+        return violation("abstract model checking missed a concrete counterexample");
+    }
+
+    // Clauses 2 and 3 — every driver configuration agrees with the
+    // concrete reachability truth, and Safe partitions certify.
+    for heuristic in Heuristic::ALL {
+        for jobs in [1, 2] {
+            let run = Cegar::new(ts, &init, &bad, heuristic)
+                .initial_partition(partition.clone())
+                .jobs(jobs);
+            let result = match run.run() {
+                Ok(r) => r,
+                Err(CegarError::Exhausted(e)) => return Err(SemError::Exhausted(e)),
+                Err(CegarError::Internal(msg)) => {
+                    return violation(format!(
+                        "internal CEGAR error ({}, jobs {jobs}): {msg}",
+                        heuristic.label()
+                    ))
+                }
+            };
+            if result.is_safe() != truly_safe {
+                return violation(format!(
+                    "{} (jobs {jobs}): verdict safe={} but concrete safe={}",
+                    heuristic.label(),
+                    result.is_safe(),
+                    truly_safe
+                ));
+            }
+            match result {
+                CegarResult::Unsafe { path, .. } => {
+                    if !is_concrete_counterexample(ts, &init, &bad, &path) {
+                        return violation(format!(
+                            "{} (jobs {jobs}): Unsafe path is not concrete",
+                            heuristic.label()
+                        ));
+                    }
+                }
+                CegarResult::Safe { partition, .. } => {
+                    let cert = AbstractTs::build(ts, &partition);
+                    let ib = partition.blocks_of_set(&init);
+                    let bb = partition.blocks_of_set(&bad);
+                    if cert.find_counterexample(&ib, &bb).is_some() {
+                        return violation(format!(
+                            "{} (jobs {jobs}): Safe partition is not a certificate",
+                            heuristic.label()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(OracleOutcome::Pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_lang::parse_program;
+
+    #[test]
+    fn passes_on_a_safe_instance() {
+        let u = Universe::new(&[("x", -4, 4)]).unwrap();
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let pre = u.filter(|s| s[0] % 2 != 0);
+        let spec = u.filter(|s| s[0] != 0);
+        let out = cegar_spuriousness(&u, &prog, &pre, &spec).unwrap();
+        assert_eq!(out, OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn passes_on_an_unsafe_instance() {
+        let u = Universe::new(&[("x", -4, 4)]).unwrap();
+        let prog = parse_program("x := x + 1").unwrap();
+        let pre = u.filter(|s| s[0] <= 2);
+        let spec = u.filter(|s| s[0] <= 2);
+        let out = cegar_spuriousness(&u, &prog, &pre, &spec).unwrap();
+        assert_eq!(out, OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn passes_on_a_loop() {
+        let u = Universe::new(&[("x", 0, 6)]).unwrap();
+        let prog = parse_program("while (x >= 1) do { x := x - 1 }").unwrap();
+        let pre = u.filter(|s| s[0] >= 2);
+        let spec = u.filter(|s| s[0] == 0);
+        let out = cegar_spuriousness(&u, &prog, &pre, &spec).unwrap();
+        assert_eq!(out, OracleOutcome::Pass);
+    }
+}

@@ -19,6 +19,10 @@ usage:
               [--stats-json] [--uncached] [--trace FILE] [--profile]
               [--fuel N] [--timeout-ms N]
   air trace summarize FILE
+  air fuzz run      [--seed N] [--cases N] [--oracle NAME] [--corpus-dir PATH]
+                    [--no-shrink] [--stats-json] [--trace FILE]
+  air fuzz replay   FILE [--oracle NAME]
+  air fuzz minimize FILE
 
   --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
   PROG is the Imp-like surface syntax, e.g. \"while (x > 0) do { x := x - 1 }\"
@@ -35,6 +39,11 @@ usage:
   deadline; exhausting either stops the run with exit code 3 and the best
   partial result (corpus sweeps share one budget across all programs)
   trace summarize aggregates a JSONL trace into per-phase tables
+  fuzz run sweeps seeded random instances through every engine
+  configuration and checks the paper's theorem oracles (see FUZZING.md);
+  failures are shrunk and written as seed files under --corpus-dir
+  (default `corpus/fuzz`); fuzz replay re-checks one seed file; fuzz
+  minimize shrinks a failing seed file and prints the result
 
 exit codes: 0 proved / no alarms, 1 refuted / alarms, 2 usage error,
   3 budget exhausted, 4 internal error";
@@ -119,6 +128,42 @@ pub enum Command {
     /// `air trace summarize` — aggregate a JSONL trace into tables.
     TraceSummarize {
         /// Path of the JSONL trace file.
+        file: String,
+    },
+    /// `air fuzz ...` — theorem-oracle fuzzing (see FUZZING.md).
+    Fuzz(FuzzCmd),
+}
+
+/// The `air fuzz` actions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FuzzCmd {
+    /// Run a fuzz campaign over `seed..seed + cases`.
+    Run {
+        /// First seed.
+        seed: u64,
+        /// Number of cases.
+        cases: u64,
+        /// Restrict to one oracle by name.
+        oracle: Option<String>,
+        /// Directory to write shrunk failing seed files into.
+        corpus_dir: String,
+        /// Minimize failures before persisting them.
+        shrink: bool,
+        /// Print the deterministic campaign report as one JSON line.
+        stats_json: bool,
+        /// Write `fuzz_case`/`fuzz_shrink` events to this JSONL file.
+        trace: Option<String>,
+    },
+    /// Re-check one seed file.
+    Replay {
+        /// Path of the seed file.
+        file: String,
+        /// Restrict to one oracle by name.
+        oracle: Option<String>,
+    },
+    /// Shrink a failing seed file and print the minimized seed file.
+    Minimize {
+        /// Path of the seed file.
         file: String,
     },
 }
@@ -229,6 +274,86 @@ pub fn parse_vars(spec: &str) -> Result<Vec<VarDecl>, ArgError> {
     Ok(out)
 }
 
+fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError> {
+    let action = it
+        .next()
+        .ok_or_else(|| ArgError("`fuzz` needs an action (run, replay, minimize)".into()))?;
+    match action.as_str() {
+        "run" => {
+            let mut seed = 0u64;
+            let mut cases = 1000u64;
+            let mut oracle = None;
+            let mut corpus_dir = String::from("corpus/fuzz");
+            let mut shrink = true;
+            let mut stats_json = false;
+            let mut trace = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| ArgError(format!("flag `{flag}` needs a value")))
+                };
+                match flag.as_str() {
+                    "--seed" => {
+                        let v = value()?;
+                        seed = v
+                            .parse()
+                            .map_err(|_| ArgError(format!("bad --seed value `{v}`")))?;
+                    }
+                    "--cases" => {
+                        let v = value()?;
+                        cases = v
+                            .parse()
+                            .map_err(|_| ArgError(format!("bad --cases value `{v}`")))?;
+                    }
+                    "--oracle" => oracle = Some(value()?),
+                    "--corpus-dir" => corpus_dir = value()?,
+                    "--no-shrink" => shrink = false,
+                    "--stats-json" => stats_json = true,
+                    "--trace" => trace = Some(value()?),
+                    other => return Err(ArgError(format!("unknown fuzz flag `{other}`"))),
+                }
+            }
+            Ok(Command::Fuzz(FuzzCmd::Run {
+                seed,
+                cases,
+                oracle,
+                corpus_dir,
+                shrink,
+                stats_json,
+                trace,
+            }))
+        }
+        "replay" | "minimize" => {
+            let file = it
+                .next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("`fuzz {action}` needs a FILE")))?;
+            if action == "minimize" {
+                if let Some(extra) = it.next() {
+                    return Err(ArgError(format!("unexpected argument `{extra}`")));
+                }
+                return Ok(Command::Fuzz(FuzzCmd::Minimize { file }));
+            }
+            let mut oracle = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--oracle" => {
+                        oracle = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| ArgError("flag `--oracle` needs a value".into()))?,
+                        );
+                    }
+                    other => return Err(ArgError(format!("unknown fuzz flag `{other}`"))),
+                }
+            }
+            Ok(Command::Fuzz(FuzzCmd::Replay { file, oracle }))
+        }
+        other => Err(ArgError(format!("unknown fuzz action `{other}`"))),
+    }
+}
+
 /// Parses a full argv (without the binary name).
 pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut it = argv.iter();
@@ -253,6 +378,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             return Err(ArgError(format!("unexpected argument `{extra}`")));
         }
         return Ok(Command::TraceSummarize { file });
+    }
+    if sub == "fuzz" {
+        return parse_fuzz(&mut it);
     }
     let mut vars = None;
     let mut code = None;
@@ -624,6 +752,83 @@ mod tests {
         assert!(parse(&argv(&["trace", "replay", "x"])).is_err());
         assert!(parse(&argv(&["trace", "summarize"])).is_err());
         assert!(parse(&argv(&["trace", "summarize", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_run_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv(&["fuzz", "run"])).unwrap(),
+            Command::Fuzz(FuzzCmd::Run {
+                seed: 0,
+                cases: 1000,
+                oracle: None,
+                corpus_dir: "corpus/fuzz".into(),
+                shrink: true,
+                stats_json: false,
+                trace: None,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "fuzz",
+                "run",
+                "--seed",
+                "42",
+                "--cases",
+                "200",
+                "--oracle",
+                "soundness",
+                "--corpus-dir",
+                "/tmp/c",
+                "--no-shrink",
+                "--stats-json",
+                "--trace",
+                "f.jsonl",
+            ]))
+            .unwrap(),
+            Command::Fuzz(FuzzCmd::Run {
+                seed: 42,
+                cases: 200,
+                oracle: Some("soundness".into()),
+                corpus_dir: "/tmp/c".into(),
+                shrink: false,
+                stats_json: true,
+                trace: Some("f.jsonl".into()),
+            })
+        );
+        assert!(parse(&argv(&["fuzz"])).is_err());
+        assert!(parse(&argv(&["fuzz", "explode"])).is_err());
+        assert!(parse(&argv(&["fuzz", "run", "--seed"])).is_err());
+        assert!(parse(&argv(&["fuzz", "run", "--seed", "abc"])).is_err());
+        assert!(parse(&argv(&["fuzz", "run", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_replay_and_minimize() {
+        assert_eq!(
+            parse(&argv(&["fuzz", "replay", "seed.imp"])).unwrap(),
+            Command::Fuzz(FuzzCmd::Replay {
+                file: "seed.imp".into(),
+                oracle: None,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&["fuzz", "replay", "seed.imp", "--oracle", "sup_l"])).unwrap(),
+            Command::Fuzz(FuzzCmd::Replay {
+                file: "seed.imp".into(),
+                oracle: Some("sup_l".into()),
+            })
+        );
+        assert_eq!(
+            parse(&argv(&["fuzz", "minimize", "seed.imp"])).unwrap(),
+            Command::Fuzz(FuzzCmd::Minimize {
+                file: "seed.imp".into(),
+            })
+        );
+        assert!(parse(&argv(&["fuzz", "replay"])).is_err());
+        assert!(parse(&argv(&["fuzz", "replay", "a", "--bogus"])).is_err());
+        assert!(parse(&argv(&["fuzz", "minimize"])).is_err());
+        assert!(parse(&argv(&["fuzz", "minimize", "a", "b"])).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use air_lang::{parse_bexp, parse_program, Concrete, SemCache, SemError, StateSet
 use air_lattice::{par_map_governed, Budget, CacheStats, Exhaustion, Governor};
 use air_trace::{json, EventKind, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
 
-use crate::args::{Command, CorpusTask, DomainKind, StrategyKind, Task, TraceFormat};
+use crate::args::{Command, CorpusTask, DomainKind, FuzzCmd, StrategyKind, Task, TraceFormat};
 
 /// The sign of a completed run (drives the exit code).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -176,6 +176,145 @@ pub fn run(command: Command) -> Result<Outcome, AirError> {
         Command::Prove(task) => prove(task),
         Command::Corpus(task) => corpus(task),
         Command::TraceSummarize { file } => trace_summarize(&file),
+        Command::Fuzz(cmd) => fuzz(cmd),
+    }
+}
+
+/// Rejects an unknown `--oracle NAME` before any work happens.
+fn check_oracle_name(oracle: Option<&str>) -> Result<(), AirError> {
+    let Some(name) = oracle else { return Ok(()) };
+    if air_fuzz::oracles::registry()
+        .iter()
+        .any(|(n, _)| *n == name)
+    {
+        return Ok(());
+    }
+    let known: Vec<&str> = air_fuzz::oracles::registry()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
+    Err(AirError::Usage(format!(
+        "unknown oracle `{name}` (known: {})",
+        known.join(", ")
+    )))
+}
+
+fn read_seed_file(file: &str) -> Result<air_fuzz::FuzzCase, AirError> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| usage(format!("cannot read `{file}`: {e}")))?;
+    air_fuzz::seed::parse(&text).map_err(|e| usage(format!("{file}: {e}")))
+}
+
+/// `air fuzz ...` — theorem-oracle fuzzing (see FUZZING.md).
+fn fuzz(cmd: FuzzCmd) -> Result<Outcome, AirError> {
+    match cmd {
+        FuzzCmd::Run {
+            seed,
+            cases,
+            oracle,
+            corpus_dir,
+            shrink,
+            stats_json,
+            trace,
+        } => {
+            check_oracle_name(oracle.as_deref())?;
+            let session = TraceSession::open(trace.as_deref(), false)?;
+            let opts = air_fuzz::FuzzOptions {
+                base_seed: seed,
+                cases,
+                oracle,
+                shrink,
+                tracer: Some(session.tracer()),
+            };
+            let report = air_fuzz::run_campaign(&opts);
+            println!(
+                "fuzz campaign: seeds {}..{}, {} built, {} build skip(s), {} eval skip(s)",
+                report.base_seed,
+                report.base_seed.saturating_add(report.cases),
+                report.built,
+                report.build_skips,
+                report.eval_skips
+            );
+            for (name, row) in &report.oracle_rows {
+                let theorem = air_fuzz::oracles::theorem_of(name).unwrap_or("");
+                println!(
+                    "  {name:<18} {theorem:<38} {:>6} run(s) {:>3} violation(s) {:>4} skip(s)",
+                    row.runs, row.violations, row.skips
+                );
+            }
+            println!(
+                "violations: {}, disagreements: {}",
+                report.violations, report.disagreements
+            );
+            if !report.failures.is_empty() {
+                std::fs::create_dir_all(&corpus_dir)
+                    .map_err(|e| usage(format!("cannot create `{corpus_dir}`: {e}")))?;
+                for f in &report.failures {
+                    let path = format!("{corpus_dir}/fuzz-{}-{}.imp", f.seed, f.oracle);
+                    std::fs::write(&path, f.to_seed_file())
+                        .map_err(|e| usage(format!("cannot write `{path}`: {e}")))?;
+                    println!(
+                        "failure: seed {} oracle {} — {} (shrunk to {} command(s), saved {path})",
+                        f.seed,
+                        f.oracle,
+                        f.message,
+                        f.shrunk.commands()
+                    );
+                }
+            }
+            if stats_json {
+                println!("{}", report.to_json());
+            }
+            session.finish()?;
+            Ok(if report.is_clean() {
+                Outcome::Positive
+            } else {
+                Outcome::Negative
+            })
+        }
+        FuzzCmd::Replay { file, oracle } => {
+            check_oracle_name(oracle.as_deref())?;
+            let case = read_seed_file(&file)?;
+            let outcome = air_fuzz::replay_case(&case, oracle.as_deref());
+            if let Some(reason) = &outcome.case_skip {
+                println!("seed {}: unevaluable ({reason})", case.seed);
+                return Ok(Outcome::Positive);
+            }
+            for (name, msg) in &outcome.violations {
+                println!("VIOLATION {name}: {msg}");
+            }
+            for msg in &outcome.disagreements {
+                println!("DISAGREEMENT: {msg}");
+            }
+            for (name, reason) in &outcome.skips {
+                println!("skip {name}: {reason}");
+            }
+            if outcome.is_clean() {
+                println!("seed {}: clean", case.seed);
+                Ok(Outcome::Positive)
+            } else {
+                Ok(Outcome::Negative)
+            }
+        }
+        FuzzCmd::Minimize { file } => {
+            let case = read_seed_file(&file)?;
+            let outcome = air_fuzz::replay_case(&case, None);
+            let target = outcome
+                .violations
+                .first()
+                .map(|(n, _)| n.clone())
+                .or_else(|| {
+                    (!outcome.disagreements.is_empty()).then(|| "differential".to_string())
+                });
+            let Some(target) = target else {
+                println!("seed {}: replays clean, nothing to minimize", case.seed);
+                return Ok(Outcome::Positive);
+            };
+            let opts = air_fuzz::FuzzOptions::default();
+            let shrunk = air_fuzz::minimize(&case, &target, &opts);
+            print!("{}", air_fuzz::seed::render(&shrunk, Some(&target), None));
+            Ok(Outcome::Negative)
+        }
     }
 }
 
@@ -1166,6 +1305,70 @@ mod tests {
         assert!(dot.starts_with("digraph"), "{dot}");
         assert!(dot.contains("transfer"), "{dot}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fuzz_run_small_campaign_is_clean() {
+        let out = fuzz(FuzzCmd::Run {
+            seed: 0,
+            cases: 5,
+            oracle: None,
+            corpus_dir: std::env::temp_dir()
+                .join("air_cli_test_fuzz_corpus")
+                .display()
+                .to_string(),
+            shrink: true,
+            stats_json: true,
+            trace: None,
+        })
+        .unwrap();
+        assert_eq!(out, Outcome::Positive);
+    }
+
+    #[test]
+    fn fuzz_rejects_unknown_oracle() {
+        let err = fuzz(FuzzCmd::Run {
+            seed: 0,
+            cases: 1,
+            oracle: Some("telepathy".into()),
+            corpus_dir: "corpus/fuzz".into(),
+            shrink: true,
+            stats_json: false,
+            trace: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, AirError::Usage(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn fuzz_replay_of_a_rendered_seed_file_is_clean() {
+        let case = air_fuzz::FuzzCase::generate(3);
+        let path = std::env::temp_dir().join("air_cli_test_fuzz_seed.imp");
+        std::fs::write(&path, air_fuzz::seed::render(&case, None, None)).unwrap();
+        let out = fuzz(FuzzCmd::Replay {
+            file: path.display().to_string(),
+            oracle: None,
+        })
+        .unwrap();
+        assert_eq!(out, Outcome::Positive);
+        // A clean seed has nothing to minimize.
+        let out = fuzz(FuzzCmd::Minimize {
+            file: path.display().to_string(),
+        })
+        .unwrap();
+        assert_eq!(out, Outcome::Positive);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fuzz_replay_of_a_missing_file_is_a_usage_error() {
+        let err = fuzz(FuzzCmd::Replay {
+            file: "/nonexistent-air-fuzz-seed.imp".into(),
+            oracle: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

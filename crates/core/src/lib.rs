@@ -62,6 +62,7 @@ pub mod forward;
 pub mod global;
 pub mod lcl;
 pub mod local;
+pub mod oracles;
 pub mod summarize;
 pub mod verify;
 
@@ -71,5 +72,6 @@ pub use domain::EnumDomain;
 pub use forward::{ForwardRepair, PartialRepair, RepairError, RepairOutcome, RepairRule};
 pub use lcl::{Derivation, Lcl, LclError, SpecVerdict, Triple};
 pub use local::{LocalCompleteness, ShellResult};
+pub use oracles::{run_oracle, OracleInstance, OracleOutcome, ORACLES};
 pub use summarize::{summarize, BoxSummary};
 pub use verify::{Verdict, Verifier};

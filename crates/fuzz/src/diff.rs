@@ -1,0 +1,216 @@
+//! Pairwise differential sweeps across engine configurations.
+//!
+//! The same instance is pushed through every configuration axis the
+//! ROADMAP exposes — cached vs uncached [`SemCache`], governed vs
+//! ungoverned, sequential vs [`par_map_governed`] parallelism, and the
+//! `LCL_A` prover vs the repair engines — and any observable
+//! disagreement is reported as a human-readable message. An empty
+//! result is agreement everywhere.
+//!
+//! Budget cutoffs are *not* disagreements: a tightly-governed run may
+//! legitimately stop early, but its partial invariant must still be a
+//! sound over-approximation (Theorems 7.1/7.6 need the completed
+//! repair only for precision, never for soundness).
+
+use crate::case::BuiltCase;
+use air_core::{BackwardRepair, ForwardRepair, Lcl, RepairError, Verifier};
+use air_lang::{Concrete, SemError, StateSet};
+use air_lattice::{par_map_governed, Budget, Governor};
+
+/// Runs all configuration pairs on one instance.
+///
+/// # Errors
+///
+/// `Err(SemError)` when the instance itself cannot be evaluated
+/// (universe escape, overflow) — a skip, not a disagreement.
+pub fn differential_sweep(b: &BuiltCase) -> Result<Vec<String>, SemError> {
+    let mut diffs = Vec::new();
+    let u = &b.universe;
+    let r = &b.case.program;
+
+    // Axis 1 — forward repair, cached vs uncached.
+    let fwd_cached = ForwardRepair::new(u)
+        .max_repairs(4_000)
+        .repair(b.domain.clone(), r, &b.pre);
+    let fwd_plain =
+        ForwardRepair::uncached(u)
+            .max_repairs(4_000)
+            .repair(b.domain.clone(), r, &b.pre);
+    match (fwd_cached, fwd_plain) {
+        (Ok(c), Ok(p)) => {
+            if c.under != p.under {
+                diffs.push("fRepair: cached and uncached under-approximations differ".into());
+            }
+        }
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
+            if let Some(msg) = repair_error_diff("fRepair cache asymmetry", &e)? {
+                diffs.push(msg);
+            }
+        }
+        (Err(a), Err(b2)) => {
+            check_repair_error(&a)?;
+            check_repair_error(&b2)?;
+        }
+    }
+
+    // Axis 2 — backward repair, cached vs uncached.
+    let bwd_cached = BackwardRepair::new(u).repair(&b.domain, &b.pre, r, &b.spec);
+    let bwd_plain = BackwardRepair::uncached(u).repair(&b.domain, &b.pre, r, &b.spec);
+    match (bwd_cached, bwd_plain) {
+        (Ok(c), Ok(p)) => {
+            if c.valid_input != p.valid_input {
+                diffs.push("bRepair: cached and uncached valid inputs differ".into());
+            }
+        }
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
+            if let Some(msg) = repair_error_diff("bRepair cache asymmetry", &e)? {
+                diffs.push(msg);
+            }
+        }
+        (Err(a), Err(b2)) => {
+            check_repair_error(&a)?;
+            check_repair_error(&b2)?;
+        }
+    }
+
+    // Axis 3 — verifier, plain vs unlimited governor (the disabled
+    // governor must be the zero-cost path).
+    let plain = Verifier::new(u).backward(b.domain.clone(), r, &b.pre, &b.spec);
+    let governed = Verifier::new(u).governor(Governor::unlimited()).backward(
+        b.domain.clone(),
+        r,
+        &b.pre,
+        &b.spec,
+    );
+    match (&plain, &governed) {
+        (Ok(p), Ok(g)) => {
+            if p.is_proved() != g.is_proved() {
+                diffs.push("verify: unlimited governor changed the verdict".into());
+            }
+            if p.added_points() != g.added_points() {
+                diffs.push("verify: unlimited governor changed the repair points".into());
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => check_repair_error(e)?,
+    }
+
+    // Axis 4 — verifier under a tight fuel budget: it may exhaust, but a
+    // surfaced partial invariant must still over-approximate ⟦r⟧P.
+    let tight = Verifier::new(u)
+        .governor(Governor::new(Budget::fuel(8)))
+        .backward(b.domain.clone(), r, &b.pre, &b.spec);
+    match tight {
+        Ok(v) => {
+            if let Ok(p) = &plain {
+                if p.is_proved() != v.is_proved() {
+                    diffs.push("verify: tight fuel completed but flipped the verdict".into());
+                }
+            }
+        }
+        Err(RepairError::Exhausted(partial)) => {
+            if let Some(inv) = &partial.invariant {
+                let sem = Concrete::new(u);
+                let conc = sem.exec(r, &b.pre)?;
+                if !conc.is_subset(inv) {
+                    diffs.push(
+                        "governed cutoff: partial invariant is not a sound over-approximation"
+                            .into(),
+                    );
+                }
+            }
+        }
+        Err(e) => check_repair_error(&e)?,
+    }
+
+    // Axis 5 — LCL_A prover, cached vs uncached verdicts.
+    let lcl_cached = Lcl::new(u).prove_spec(b.domain.clone(), &b.pre, r, &b.spec);
+    let lcl_plain = Lcl::uncached(u).prove_spec(b.domain.clone(), &b.pre, r, &b.spec);
+    match (lcl_cached, lcl_plain) {
+        (Ok(c), Ok(p)) => {
+            if c.is_valid() != p.is_valid() {
+                diffs.push("LCL: cached and uncached verdicts differ".into());
+            }
+        }
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
+            if let Some(msg) = repair_error_diff("LCL cache asymmetry", &e)? {
+                diffs.push(msg);
+            }
+        }
+        (Err(a), Err(b2)) => {
+            check_repair_error(&a)?;
+            check_repair_error(&b2)?;
+        }
+    }
+
+    // Axis 6 — parallel vs sequential concrete sweeps: par_map_governed
+    // over derived inputs must agree element-wise with the inline path.
+    let sem = Concrete::new(u);
+    let inputs: Vec<StateSet> = (0..4u64)
+        .map(|k| derived_set(b, k.wrapping_mul(0x9E37)))
+        .collect();
+    let seq: Vec<Option<Result<StateSet, SemError>>> =
+        inputs.iter().map(|p| Some(sem.exec(r, p))).collect();
+    let gov = Governor::unlimited();
+    let par = par_map_governed(2, &inputs, &gov, |_, p: &StateSet| sem.exec(r, p));
+    if seq != par {
+        diffs.push("par_map_governed(jobs=2) disagrees with the sequential sweep".into());
+    }
+
+    Ok(diffs)
+}
+
+fn derived_set(b: &BuiltCase, salt: u64) -> StateSet {
+    let mut rng = air_lang::gen::XorShift::new(b.case.seed ^ salt ^ 0xD1FF);
+    let mut s = b.universe.empty();
+    for i in 0..b.universe.size() {
+        if rng.chance(1, 3) {
+            s.insert(i);
+        }
+    }
+    s
+}
+
+/// Semantic errors abort the case (skip); internal errors are real
+/// findings and must surface, which the caller does by reporting the
+/// returned message.
+fn repair_error_diff(context: &str, e: &RepairError) -> Result<Option<String>, SemError> {
+    match e {
+        RepairError::Sem(e) => Err(e.clone()),
+        // One side exhausting while the other completes can only happen
+        // with a configured budget; with none, surface it.
+        RepairError::Exhausted(p) => Ok(Some(format!(
+            "{context}: one configuration exhausted ({}) while the other completed",
+            p.exhaustion
+        ))),
+        RepairError::Internal(msg) => Ok(Some(format!("{context}: internal error: {msg}"))),
+    }
+}
+
+fn check_repair_error(e: &RepairError) -> Result<(), SemError> {
+    match e {
+        RepairError::Sem(e) => Err(e.clone()),
+        RepairError::Exhausted(p) => Err(SemError::Exhausted(p.exhaustion.clone())),
+        RepairError::Internal(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::FuzzCase;
+
+    #[test]
+    fn small_cases_agree_across_configurations() {
+        let mut checked = 0;
+        for seed in 0..20 {
+            let case = FuzzCase::generate(seed);
+            let Ok(built) = case.build() else { continue };
+            // An Err is an unevaluable instance: a legitimate skip.
+            if let Ok(diffs) = differential_sweep(&built) {
+                assert!(diffs.is_empty(), "seed {seed}: {diffs:?}");
+                checked += 1;
+            }
+        }
+        assert!(checked >= 5, "only {checked}/20 cases evaluable");
+    }
+}

@@ -1,0 +1,269 @@
+//! Greedy structural shrinking of failing fuzz cases.
+//!
+//! Classic delta debugging specialized to the AIR instance shape: each
+//! round proposes candidate reductions — drop or unwrap program
+//! subcommands, halve constants, halve universe ranges, simplify the
+//! pre/spec guards — and greedily accepts the first candidate that
+//! still fails the caller's predicate *and* strictly decreases the case
+//! size metric (which guarantees termination). Rounds repeat until no
+//! candidate is accepted.
+
+use crate::case::FuzzCase;
+use air_lang::{AExp, BExp, Reg};
+
+/// A strictly decreasing measure: every accepted shrink lowers it, so
+/// the greedy loop terminates. Sums AST node counts of the program and
+/// the guards, the universe size, and constant magnitudes.
+pub fn size_metric(case: &FuzzCase) -> u64 {
+    let mut n = reg_size(&case.program) + bexp_size(&case.pre) + bexp_size(&case.spec);
+    for (_, lo, hi) in &case.decls {
+        n += (hi - lo) as u64;
+    }
+    n
+}
+
+fn aexp_size(a: &AExp) -> u64 {
+    match a {
+        AExp::Num(n) => 1 + n.unsigned_abs(),
+        AExp::Var(_) => 1,
+        AExp::Add(l, r) | AExp::Sub(l, r) | AExp::Mul(l, r) => 1 + aexp_size(l) + aexp_size(r),
+    }
+}
+
+fn bexp_size(b: &BExp) -> u64 {
+    match b {
+        BExp::Tt | BExp::Ff => 1,
+        BExp::Cmp(_, l, r) => 1 + aexp_size(l) + aexp_size(r),
+        BExp::And(l, r) | BExp::Or(l, r) => 1 + bexp_size(l) + bexp_size(r),
+        BExp::Not(x) => 1 + bexp_size(x),
+    }
+}
+
+fn reg_size(r: &Reg) -> u64 {
+    match r {
+        Reg::Basic(e) => match e {
+            air_lang::Exp::Skip => 1,
+            air_lang::Exp::Havoc(_) => 2,
+            air_lang::Exp::Assign(_, a) => 1 + aexp_size(a),
+            air_lang::Exp::Assume(b) => 1 + bexp_size(b),
+        },
+        Reg::Seq(a, b) | Reg::Choice(a, b) => 1 + reg_size(a) + reg_size(b),
+        Reg::Star(a) => 1 + reg_size(a),
+    }
+}
+
+/// Structural reductions of a command, biggest cuts first.
+fn reg_variants(r: &Reg) -> Vec<Reg> {
+    let mut out = Vec::new();
+    match r {
+        Reg::Basic(e) => {
+            if !matches!(e, air_lang::Exp::Skip) {
+                out.push(Reg::skip());
+            }
+            if let air_lang::Exp::Assign(x, a) = e {
+                for va in aexp_variants(a) {
+                    out.push(Reg::assign(x, va));
+                }
+            }
+            if let air_lang::Exp::Assume(b) = e {
+                for vb in bexp_variants(b) {
+                    out.push(Reg::assume(vb));
+                }
+            }
+        }
+        Reg::Seq(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for va in reg_variants(a) {
+                out.push(Reg::Seq(Box::new(va), b.clone()));
+            }
+            for vb in reg_variants(b) {
+                out.push(Reg::Seq(a.clone(), Box::new(vb)));
+            }
+        }
+        Reg::Choice(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for va in reg_variants(a) {
+                out.push(Reg::Choice(Box::new(va), b.clone()));
+            }
+            for vb in reg_variants(b) {
+                out.push(Reg::Choice(a.clone(), Box::new(vb)));
+            }
+        }
+        Reg::Star(a) => {
+            out.push((**a).clone());
+            out.push(Reg::skip());
+            for va in reg_variants(a) {
+                out.push(Reg::Star(Box::new(va)));
+            }
+        }
+    }
+    out
+}
+
+fn aexp_variants(a: &AExp) -> Vec<AExp> {
+    let mut out = Vec::new();
+    match a {
+        AExp::Num(n) => {
+            if *n != 0 {
+                out.push(AExp::Num(0));
+                if n.abs() > 1 {
+                    out.push(AExp::Num(n / 2));
+                }
+            }
+        }
+        AExp::Var(_) => out.push(AExp::Num(0)),
+        AExp::Add(l, r) | AExp::Sub(l, r) | AExp::Mul(l, r) => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+        }
+    }
+    out
+}
+
+fn bexp_variants(b: &BExp) -> Vec<BExp> {
+    let mut out = Vec::new();
+    match b {
+        BExp::Tt => {}
+        BExp::Ff => out.push(BExp::Tt),
+        BExp::Cmp(op, l, r) => {
+            out.push(BExp::Tt);
+            for vl in aexp_variants(l) {
+                out.push(BExp::Cmp(*op, Box::new(vl), r.clone()));
+            }
+            for vr in aexp_variants(r) {
+                out.push(BExp::Cmp(*op, l.clone(), Box::new(vr)));
+            }
+        }
+        BExp::And(l, r) | BExp::Or(l, r) => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+        }
+        BExp::Not(x) => out.push((**x).clone()),
+    }
+    out
+}
+
+/// All single-step candidate reductions of a case, in greedy order:
+/// program cuts first (they remove the most), then guard and universe
+/// reductions.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    for p in reg_variants(&case.program) {
+        out.push(FuzzCase {
+            program: p,
+            ..case.clone()
+        });
+    }
+    for b in bexp_variants(&case.pre) {
+        out.push(FuzzCase {
+            pre: b,
+            ..case.clone()
+        });
+    }
+    for b in bexp_variants(&case.spec) {
+        out.push(FuzzCase {
+            spec: b,
+            ..case.clone()
+        });
+    }
+    for (i, (_, lo, hi)) in case.decls.iter().enumerate() {
+        if hi - lo > 0 {
+            let mut decls = case.decls.clone();
+            decls[i].1 = lo / 2;
+            decls[i].2 = hi / 2;
+            out.push(FuzzCase {
+                decls,
+                ..case.clone()
+            });
+        }
+    }
+    out
+}
+
+/// Greedily minimizes `case` under the caller's failure predicate.
+/// Returns the smallest still-failing case found. The predicate is
+/// expected to hold on the input; if it does not, the input is returned
+/// unchanged.
+pub fn shrink(case: &FuzzCase, fails: &mut dyn FnMut(&FuzzCase) -> bool) -> FuzzCase {
+    let mut current = case.clone();
+    if !fails(&current) {
+        return current;
+    }
+    loop {
+        let metric = size_metric(&current);
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if size_metric(&cand) < metric && fails(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_lang::parse_program;
+
+    fn case_with(program: &str) -> FuzzCase {
+        FuzzCase {
+            seed: 0,
+            decls: vec![("x".into(), -4, 4), ("y".into(), -4, 4)],
+            domain: "int".into(),
+            program: parse_program(program).unwrap(),
+            pre: BExp::lt(AExp::var("x"), AExp::Num(3)),
+            spec: BExp::Tt,
+        }
+    }
+
+    /// The acceptance-criteria scenario: a synthetic failure ("program
+    /// still contains a havoc of y") buried in a large program must
+    /// shrink to at most 5 basic commands.
+    #[test]
+    fn synthetic_failure_shrinks_below_five_commands() {
+        let case = case_with(
+            "x := 1; y := x + 2; if (x >= 0) then { y := ? ; x := x * 2 } \
+             else { x := 0 - x }; while (x >= 1) do { x := x - 1; y := y + 1 }; \
+             either { skip } or { y := 3 }",
+        );
+        assert!(case.commands() > 5);
+        let mut fails = |c: &FuzzCase| c.program.to_source().contains("y := ?");
+        let small = shrink(&case, &mut fails);
+        assert!(
+            small.commands() <= 5,
+            "shrunk to {} commands: {}",
+            small.commands(),
+            small.program.to_source()
+        );
+        assert!(small.program.to_source().contains("y := ?"));
+        // Guards and universe shrink too.
+        assert_eq!(small.pre, BExp::Tt);
+        assert!(small.decls.iter().all(|(_, lo, hi)| hi - lo <= 1));
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let case = case_with("x := 1; y := 2");
+        let mut fails = |_: &FuzzCase| false;
+        assert_eq!(shrink(&case, &mut fails), case);
+    }
+
+    #[test]
+    fn metric_strictly_decreases_on_each_round() {
+        let case = case_with("x := 4; while (x >= 1) do { x := x - 1 }");
+        let mut metrics = vec![size_metric(&case)];
+        let mut fails = |c: &FuzzCase| {
+            metrics.push(size_metric(c));
+            c.program.basic_count() >= 1
+        };
+        let small = shrink(&case, &mut fails);
+        assert_eq!(small.program, Reg::skip());
+    }
+}

@@ -11,8 +11,59 @@
 //! escaping; callers still handle universe escapes
 //! ([`SemError::UniverseEscape`](crate::SemError::UniverseEscape))
 //! defensively.
+//!
+//! Beyond single commands, the generator covers the shapes the theorem
+//! oracles of `air-fuzz` need to stress: `while` loops that nest
+//! ([`ProgramGen::while_loop`]), n-ary nondeterministic choice including
+//! havoc ([`ProgramGen::nondet`]), multi-variable guards
+//! ([`ProgramGen::multi_guard`]), and seeded *universe* and base-domain
+//! sampling ([`sample_universe`], [`sample_domain`]) so whole (program,
+//! domain, precondition, spec) instances are reproducible from one seed.
 
 use crate::ast::{AExp, BExp, CmpOp, Reg};
+
+/// Base-domain names every seeded instance sampler draws from, in the
+/// spelling the CLI's `--domain` flag accepts.
+pub const DOMAIN_NAMES: &[&str] = &["int", "oct", "sign", "parity", "const", "cong", "karr"];
+
+/// Draws one base-domain name uniformly (seeded, reproducible).
+pub fn sample_domain(rng: &mut XorShift) -> &'static str {
+    DOMAIN_NAMES[rng.below(DOMAIN_NAMES.len())]
+}
+
+/// Samples a universe declaration: `1..=max_vars` variables (named from a
+/// fixed pool) with bounded ranges that always contain `0`, and a total
+/// store count kept at or below `max_stores` by halving spans, so sampled
+/// instances stay cheap to enumerate.
+pub fn sample_universe(
+    rng: &mut XorShift,
+    max_vars: usize,
+    max_halfspan: i64,
+    max_stores: u64,
+) -> Vec<(String, i64, i64)> {
+    const POOL: &[&str] = &["x", "y", "z", "w"];
+    let nvars = 1 + rng.below(max_vars.clamp(1, POOL.len()));
+    let mut decls: Vec<(String, i64, i64)> = (0..nvars)
+        .map(|i| {
+            let lo = -rng.range_i64(0, max_halfspan.max(1));
+            let hi = rng.range_i64(0, max_halfspan.max(1));
+            (POOL[i].to_owned(), lo, hi)
+        })
+        .collect();
+    // Cap the universe size: repeatedly halve the widest span.
+    let size = |ds: &[(String, i64, i64)]| -> u64 {
+        ds.iter().map(|(_, lo, hi)| (hi - lo + 1) as u64).product()
+    };
+    while size(&decls) > max_stores.max(1) {
+        let widest = (0..decls.len())
+            .max_by_key(|&i| decls[i].2 - decls[i].1)
+            .expect("at least one variable");
+        let (_, lo, hi) = &mut decls[widest];
+        *lo /= 2; // Rust division truncates toward zero, so both bounds
+        *hi /= 2; // move toward 0 and the range keeps containing it.
+    }
+    decls
+}
 
 /// A tiny xorshift64* PRNG — deterministic, seedable, dependency-free.
 #[derive(Clone, Debug)]
@@ -177,21 +228,86 @@ impl ProgramGen {
         }
     }
 
-    /// A random *bounded-effect* assignment: `x := x ± c` or `x := c` or
-    /// `x := y`, which tends to stay inside small universes.
+    /// A random *bounded-effect* assignment: `x := x ± c`, `x := c`,
+    /// `x := y`, or a havoc `x := ?`, which tends to stay inside small
+    /// universes.
     pub fn small_step(&mut self) -> Reg {
         let x = self.var();
         let c = self
             .rng
             .range_i64(-self.config.const_bound, self.config.const_bound);
-        match self.rng.below(4) {
+        match self.rng.below(5) {
             0 => Reg::assign(&x, AExp::var(&x).add(AExp::Num(c.abs().max(1)))),
             1 => Reg::assign(&x, AExp::var(&x).sub(AExp::Num(c.abs().max(1)))),
             2 => Reg::assign(&x, AExp::Num(c)),
+            3 => Reg::havoc(&x),
             _ => {
                 let y = self.var();
                 Reg::assign(&x, AExp::var(&y))
             }
+        }
+    }
+
+    /// A *multi-variable* guard: a conjunction or disjunction of two
+    /// comparisons that (when the configuration has ≥ 2 variables) relate
+    /// distinct variables, so guard shells and CEGAR splits see genuinely
+    /// relational conditions.
+    pub fn multi_guard(&mut self) -> BExp {
+        let nvars = self.config.vars.len();
+        let i = self.rng.below(nvars);
+        let j = if nvars > 1 {
+            (i + 1 + self.rng.below(nvars - 1)) % nvars
+        } else {
+            i
+        };
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        let mut cmp = |v: usize| {
+            let op = ops[self.rng.below(ops.len())];
+            let rhs = if self.rng.chance(1, 2) {
+                AExp::var(&self.config.vars[self.rng.below(nvars)])
+            } else {
+                AExp::Num(
+                    self.rng
+                        .range_i64(-self.config.const_bound, self.config.const_bound),
+                )
+            };
+            BExp::cmp(op, AExp::var(&self.config.vars[v]), rhs)
+        };
+        let (a, b) = (cmp(i), cmp(j));
+        if self.rng.chance(2, 3) {
+            a.and(b)
+        } else {
+            a.or(b)
+        }
+    }
+
+    /// A `while (g) do { body }` loop with a guard that tends to be
+    /// multi-variable; `body` is drawn at `depth`, so loops nest when the
+    /// body itself draws a loop.
+    pub fn while_loop(&mut self, depth: usize) -> Reg {
+        let guard = if self.rng.chance(1, 2) {
+            self.multi_guard()
+        } else {
+            self.bexp(1)
+        };
+        Reg::while_do(guard, self.reg_at(depth))
+    }
+
+    /// An n-ary (2–3 branch) nondeterministic choice between commands at
+    /// `depth`.
+    pub fn nondet(&mut self, depth: usize) -> Reg {
+        let first = self.reg_at(depth).choice(self.reg_at(depth));
+        if self.rng.chance(1, 2) {
+            first.choice(self.reg_at(depth))
+        } else {
+            first
         }
     }
 
@@ -209,16 +325,25 @@ impl ProgramGen {
                 _ => Reg::assume(self.bexp(1)),
             };
         }
-        match self.rng.below(if self.config.allow_star { 5 } else { 4 }) {
+        match self.rng.below(if self.config.allow_star { 7 } else { 5 }) {
             0 => self.small_step(),
             1 => self.reg_at(depth - 1).seq(self.reg_at(depth - 1)),
-            2 => Reg::ite(self.bexp(1), self.reg_at(depth - 1), self.reg_at(depth - 1)),
+            2 => {
+                let guard = if self.rng.chance(1, 3) {
+                    self.multi_guard()
+                } else {
+                    self.bexp(1)
+                };
+                Reg::ite(guard, self.reg_at(depth - 1), self.reg_at(depth - 1))
+            }
             3 => self.reg_at(depth - 1).choice(self.reg_at(depth - 1)),
-            _ => {
+            4 => self.nondet(depth - 1),
+            5 => {
                 // Guarded star: (b?; body)* keeps iteration bounded-ish.
                 let guard = self.bexp(1);
                 Reg::assume(guard).seq(self.reg_at(depth - 1)).star()
             }
+            _ => self.while_loop(depth - 1),
         }
     }
 }
@@ -262,6 +387,97 @@ mod tests {
         }
         // Most generated programs stay in the universe from the origin.
         assert!(executed >= 25, "only {executed}/50 executed cleanly");
+    }
+
+    /// Distribution invariants over 1k seeds, so generator refactors can't
+    /// silently collapse the search space: loops must keep appearing, most
+    /// programs must stay executable, and universe escapes must stay a
+    /// bounded minority.
+    #[test]
+    fn distribution_invariants_over_1k_seeds() {
+        fn has_star(r: &Reg) -> bool {
+            match r {
+                Reg::Basic(_) => false,
+                Reg::Seq(a, b) | Reg::Choice(a, b) => has_star(a) || has_star(b),
+                Reg::Star(_) => true,
+            }
+        }
+        fn has_nested_star(r: &Reg, inside: bool) -> bool {
+            match r {
+                Reg::Basic(_) => false,
+                Reg::Seq(a, b) | Reg::Choice(a, b) => {
+                    has_nested_star(a, inside) || has_nested_star(b, inside)
+                }
+                Reg::Star(a) => inside || has_nested_star(a, true),
+            }
+        }
+        let u = Universe::new(&[("x", -5, 5), ("y", -5, 5)]).unwrap();
+        let sem = Concrete::new(&u);
+        let input = u.full();
+        let (mut loops, mut nested, mut havocs, mut escapes, mut nonempty) = (0, 0, 0, 0, 0);
+        const SEEDS: u64 = 1000;
+        for seed in 0..SEEDS {
+            let p = ProgramGen::new(seed, GenConfig::default()).reg();
+            if has_star(&p) {
+                loops += 1;
+            }
+            if has_nested_star(&p, false) {
+                nested += 1;
+            }
+            if p.to_source().contains(":= ?") {
+                havocs += 1;
+            }
+            match sem.exec(&p, &input) {
+                Ok(out) => {
+                    if !out.is_empty() {
+                        nonempty += 1;
+                    }
+                }
+                Err(_) => escapes += 1,
+            }
+        }
+        let rates = format!(
+            "loops {loops}, nested {nested}, havocs {havocs}, escapes {escapes}, \
+             nonempty {nonempty} (of {SEEDS})"
+        );
+        assert!(loops >= SEEDS / 5, "loop rate collapsed: {rates}");
+        assert!(nested >= SEEDS / 50, "nested-loop rate collapsed: {rates}");
+        assert!(havocs >= SEEDS / 20, "havoc rate collapsed: {rates}");
+        assert!(
+            escapes <= SEEDS / 2,
+            "universe-escape rate too high: {rates}"
+        );
+        assert!(
+            nonempty >= SEEDS / 4,
+            "too many generated programs are vacuous: {rates}"
+        );
+    }
+
+    #[test]
+    fn sampled_universes_are_valid_and_bounded() {
+        let mut rng = XorShift::new(99);
+        for _ in 0..500 {
+            let decls = sample_universe(&mut rng, 3, 6, 400);
+            let refs: Vec<(&str, i64, i64)> = decls
+                .iter()
+                .map(|(n, lo, hi)| (n.as_str(), *lo, *hi))
+                .collect();
+            let u = Universe::new(&refs).expect("sampled universe must be valid");
+            assert!(u.size() <= 400, "sampled universe too large: {}", u.size());
+            for (_, lo, hi) in &decls {
+                assert!(*lo <= 0 && 0 <= *hi, "range must contain the origin");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_domains_cover_the_whole_pool() {
+        let mut rng = XorShift::new(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(sample_domain(&mut rng));
+        }
+        assert_eq!(seen.len(), DOMAIN_NAMES.len(), "{seen:?}");
     }
 
     #[test]

@@ -1,16 +1,77 @@
 //! Pretty-printing of the AST.
 //!
-//! Two renderings are provided:
+//! Three renderings are provided:
 //!
 //! - [`std::fmt::Display`] on [`AExp`], [`BExp`], [`Exp`] prints surface
 //!   syntax that the parser accepts back (round-trip tested).
 //! - [`Reg`]'s `Display` prints the *regular command* notation of the paper
 //!   (`e; r`, `r ⊕ r`, `r*`), which is the clearest way to inspect
 //!   desugared programs in logs and error messages.
+//! - [`Reg::to_source`] prints surface syntax (`assume`, `either`/`or`,
+//!   `star` blocks) that [`parse_program`](crate::parse_program) accepts
+//!   back, so arbitrary regular commands — including fuzz-generated and
+//!   shrunk ones — can be persisted as replayable `.imp` files.
 
 use std::fmt;
 
 use crate::ast::{AExp, BExp, Exp, Reg};
+
+impl Reg {
+    /// Renders this command in the Imp-like *surface syntax*, such that
+    /// `parse_program(&r.to_source())` yields `r` back (structural
+    /// round-trip; choices and stars print as `either`/`or` and `star`
+    /// blocks rather than re-sugared `if`/`while`).
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        source_stmt(self, &mut out);
+        out
+    }
+}
+
+fn source_stmt(r: &Reg, out: &mut String) {
+    match r {
+        Reg::Basic(Exp::Skip) => out.push_str("skip"),
+        Reg::Basic(Exp::Assign(x, a)) => {
+            out.push_str(x);
+            out.push_str(" := ");
+            out.push_str(&a.to_string());
+        }
+        Reg::Basic(Exp::Havoc(x)) => {
+            out.push_str(x);
+            out.push_str(" := ?");
+        }
+        Reg::Basic(Exp::Assume(b)) => {
+            out.push_str("assume ");
+            out.push_str(&b.to_string());
+        }
+        Reg::Seq(a, b) => {
+            // Statement lists parse right-associated (`Reg::seq_all`), so a
+            // left-nested head must be grouped as a block statement to
+            // round-trip structurally.
+            if matches!(**a, Reg::Seq(..)) {
+                out.push_str("{ ");
+                source_stmt(a, out);
+                out.push_str(" }");
+            } else {
+                source_stmt(a, out);
+            }
+            out.push_str("; ");
+            source_stmt(b, out);
+        }
+        Reg::Choice(a, b) => {
+            out.push_str("either { ");
+            source_stmt(a, out);
+            out.push_str(" } or { ");
+            source_stmt(b, out);
+            out.push_str(" }");
+        }
+        Reg::Star(a) => {
+            out.push_str("star { ");
+            source_stmt(a, out);
+            out.push_str(" }");
+        }
+    }
+}
 
 impl fmt::Display for AExp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -217,5 +278,41 @@ mod tests {
     fn cmp_symbols() {
         assert_eq!(CmpOp::Le.symbol(), "<=");
         assert_eq!(CmpOp::Ne.symbol(), "!=");
+    }
+
+    /// `to_source` must emit surface syntax the parser maps back to the
+    /// *same* regular command — the fuzz seed format depends on it.
+    #[test]
+    fn to_source_round_trips_structurally() {
+        let cases = [
+            "x := 1; y := x + 2",
+            "if (x >= 0) then { skip } else { x := 0 - x }",
+            "while (i <= 5) do { j := j + i; i := i + 1 }",
+            "either { x := 1 } or { x := 2; y := ? }",
+            "star { assume x < 3; x := x + 1 }",
+            "assume x != y || !(x = 3); skip",
+        ];
+        for src in cases {
+            let p = parse_program(src).unwrap();
+            let printed = p.to_source();
+            let p2 = parse_program(&printed).unwrap();
+            assert_eq!(p, p2, "round-trip failed for `{src}` via `{printed}`");
+        }
+        // Left-nested sequences (never produced by the parser, but produced
+        // by generators) round-trip through block grouping.
+        let left = Reg::assign("x", AExp::Num(1))
+            .seq(Reg::assign("y", AExp::Num(2)))
+            .seq(Reg::skip());
+        let printed = left.to_source();
+        assert_eq!(parse_program(&printed).unwrap(), left, "via `{printed}`");
+        // Generator output round-trips for many seeds.
+        use crate::gen::{GenConfig, ProgramGen};
+        for seed in 0..200 {
+            let p = ProgramGen::new(seed, GenConfig::default()).reg();
+            let printed = p.to_source();
+            let p2 =
+                parse_program(&printed).unwrap_or_else(|e| panic!("seed {seed}: `{printed}`: {e}"));
+            assert_eq!(p, p2, "seed {seed} round-trip failed via `{printed}`");
+        }
     }
 }

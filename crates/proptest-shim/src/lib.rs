@@ -11,6 +11,11 @@
 //!
 //! Generation is deterministic: each test function derives its RNG seed
 //! from its own name, so failures are reproducible run over run.
+//!
+//! The `AIR_PROPTEST_CASES` environment variable overrides every test's
+//! configured case count at run time (like upstream's `PROPTEST_CASES`):
+//! set it low for a quick smoke pass or high for an overnight soak, with
+//! no code change. A value that is not a positive integer is ignored.
 
 pub mod test_runner {
     //! Test configuration and the deterministic RNG driving generation.
@@ -34,6 +39,19 @@ pub mod test_runner {
     impl Default for ProptestConfig {
         fn default() -> Self {
             ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The case count a [`proptest!`](crate::proptest) loop actually
+    /// runs: the `AIR_PROPTEST_CASES` environment variable when set to a
+    /// positive integer, the test's configured `cases` otherwise.
+    pub fn effective_cases(config: &ProptestConfig) -> u32 {
+        match std::env::var("AIR_PROPTEST_CASES") {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => config.cases,
+            },
+            Err(_) => config.cases,
         }
     }
 
@@ -271,8 +289,9 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::effective_cases(&config);
             let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
                 let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                     $body
@@ -283,7 +302,7 @@ macro_rules! __proptest_fns {
                         "property `{}` failed on case {}/{}: {}",
                         stringify!($name),
                         case + 1,
-                        config.cases,
+                        cases,
                         e
                     );
                 }
@@ -335,6 +354,26 @@ mod tests {
             prop_assert!(a < 100 && b < 100);
             prop_assert_eq!(a + b, b + a);
             prop_assert_ne!(a, a + b + 1);
+        }
+    }
+
+    #[test]
+    fn env_var_overrides_the_configured_case_count() {
+        use crate::test_runner::effective_cases;
+        let config = ProptestConfig::with_cases(64);
+        // The override only reads its own variable, so the test isolates
+        // itself by saving and restoring it.
+        let saved = std::env::var("AIR_PROPTEST_CASES").ok();
+        std::env::set_var("AIR_PROPTEST_CASES", "7");
+        assert_eq!(effective_cases(&config), 7);
+        // Malformed and non-positive values fall back to the config.
+        std::env::set_var("AIR_PROPTEST_CASES", "many");
+        assert_eq!(effective_cases(&config), 64);
+        std::env::set_var("AIR_PROPTEST_CASES", "0");
+        assert_eq!(effective_cases(&config), 64);
+        match saved {
+            Some(v) => std::env::set_var("AIR_PROPTEST_CASES", v),
+            None => std::env::remove_var("AIR_PROPTEST_CASES"),
         }
     }
 }

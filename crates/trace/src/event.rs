@@ -74,6 +74,16 @@ pub enum EventKind {
     /// A unit of work was skipped because the run was cancelled (e.g. a
     /// corpus program never started after a sibling exhausted the budget).
     Cancelled { phase: String },
+    /// One fuzz case finished: how many oracle violations and pairwise
+    /// configuration disagreements it produced (both 0 on a pass).
+    FuzzCase {
+        seed: u64,
+        violations: u64,
+        disagreements: u64,
+    },
+    /// The shrinker minimized a failing fuzz case from `before` to
+    /// `after` basic commands.
+    FuzzShrink { seed: u64, before: u64, after: u64 },
 }
 
 /// Every wire-format `kind` value the engine can emit, in one place so
@@ -95,6 +105,8 @@ pub const KNOWN_KINDS: &[&str] = &[
     "verdict",
     "budget_exhausted",
     "cancelled",
+    "fuzz_case",
+    "fuzz_shrink",
 ];
 
 impl EventKind {
@@ -117,6 +129,8 @@ impl EventKind {
             EventKind::Verdict { .. } => "verdict",
             EventKind::BudgetExhausted { .. } => "budget_exhausted",
             EventKind::Cancelled { .. } => "cancelled",
+            EventKind::FuzzCase { .. } => "fuzz_case",
+            EventKind::FuzzShrink { .. } => "fuzz_shrink",
         }
     }
 
@@ -208,6 +222,26 @@ impl Event {
             EventKind::Cancelled { phase } => {
                 field_str(out, "phase", phase);
             }
+            EventKind::FuzzCase {
+                seed,
+                violations,
+                disagreements,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"seed\":{seed},\"violations\":{violations},\"disagreements\":{disagreements}"
+                );
+            }
+            EventKind::FuzzShrink {
+                seed,
+                before,
+                after,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"seed\":{seed},\"before\":{before},\"after\":{after}"
+                );
+            }
         }
         out.push('}');
     }
@@ -295,6 +329,16 @@ mod tests {
             },
             EventKind::Cancelled {
                 phase: "corpus.program".into(),
+            },
+            EventKind::FuzzCase {
+                seed: 17,
+                violations: 0,
+                disagreements: 0,
+            },
+            EventKind::FuzzShrink {
+                seed: 17,
+                before: 12,
+                after: 3,
             },
         ];
         assert_eq!(samples.len(), KNOWN_KINDS.len(), "sample per kind");

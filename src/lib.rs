@@ -17,6 +17,9 @@
 //!   CEGAR-as-AIR refinement heuristics of Section 6.
 //! - [`trace`] — structured event tracing, phase profiling and the
 //!   repair-derivation DOT export wired through every engine above.
+//! - [`fuzz`] — the theorem-oracle fuzzer: seeded instance generation,
+//!   differential engine sweeps, greedy shrinking and replayable seed
+//!   files (see `FUZZING.md`).
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 pub use air_cegar as cegar;
 pub use air_core as core;
 pub use air_domains as domains;
+pub use air_fuzz as fuzz;
 pub use air_lang as lang;
 pub use air_lattice as lattice;
 pub use air_trace as trace;

@@ -93,6 +93,135 @@ fn cancellation_stops_the_engine() {
 }
 
 #[test]
+fn zero_fuel_exhausts_before_any_work() {
+    // Edge case: a zero budget must trip at the very first loop-head
+    // check, not underflow or loop forever.
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let engine = BackwardRepair::new(&u).governor(Governor::new(Budget::fuel(0)));
+    let err = engine.repair(&dom, &input, &prog, &spec).unwrap_err();
+    let RepairError::Exhausted(partial) = err else {
+        panic!("expected exhaustion, got {err:?}");
+    };
+    assert_eq!(partial.exhaustion.reason, ExhaustReason::Fuel);
+    assert!(
+        partial.points.is_empty(),
+        "no repair points can be found on zero fuel"
+    );
+}
+
+#[test]
+fn already_expired_deadline_exhausts_immediately() {
+    // A governor built from an elapsed deadline (not just Duration::ZERO)
+    // must stop the engine at the first check.
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let governor = Governor::new(Budget {
+        fuel: None,
+        timeout: Some(Duration::from_nanos(1)),
+    });
+    std::thread::sleep(Duration::from_millis(2));
+    let verifier = Verifier::new(&u).governor(governor);
+    let err = verifier.backward(dom, &prog, &input, &spec).unwrap_err();
+    let ex = err.exhaustion().expect("expired-deadline cutoff");
+    assert_eq!(ex.reason, ExhaustReason::Deadline);
+}
+
+#[test]
+fn cancellation_raced_from_another_thread_yields_sound_partial() {
+    // The cancel lands mid-run (the canceller waits for the engine to
+    // spend its first tick), so the engine must stop at the next check
+    // and surface a sound partial result.
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let sem = Concrete::new(&u);
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let governor = Governor::cancellable();
+    let canceller = {
+        let governor = governor.clone();
+        std::thread::spawn(move || {
+            while governor.spent() == 0 {
+                std::thread::yield_now();
+            }
+            governor.cancel();
+        })
+    };
+    let engine = BackwardRepair::new(&u).governor(governor);
+    let err = engine.repair(&dom, &input, &prog, &spec).unwrap_err();
+    canceller.join().unwrap();
+    let RepairError::Exhausted(partial) = err else {
+        panic!("expected exhaustion, got {err:?}");
+    };
+    assert_eq!(partial.exhaustion.reason, ExhaustReason::Cancelled);
+    assert!(partial.exhaustion.spent >= 1);
+    if let Some(inv) = &partial.invariant {
+        let conc = sem.exec(&prog, &input).unwrap();
+        assert!(
+            conc.is_subset(inv),
+            "cancelled run's partial invariant must stay an over-approximation"
+        );
+    }
+}
+
+#[test]
+fn every_fuel_level_yields_a_sound_partial_or_the_full_answer() {
+    // Sweeping the cutoff point across the whole run: wherever the budget
+    // trips, the surfaced partial invariant over-approximates the concrete
+    // semantics (soundness holds in every pointed refinement, Thm 7.6);
+    // and once fuel suffices, the outcome agrees with the unbudgeted run.
+    // A narrower universe than `slow_instance` keeps the seven repair
+    // runs fast; the countdown still needs enough rounds to trip tight
+    // budgets mid-run.
+    let u = Universe::new(&[("x", 0, 30), ("y", 0, 30)]).unwrap();
+    let code = "while (y >= 1) do { x := x + 1; y := y - 1 }";
+    let prog = parse_program(code).unwrap();
+    let sem = Concrete::new(&u);
+    let input = u.filter(|s| s[0] == 0 && s[1] == 30);
+    let spec = u.filter(|s| s[0] == 30 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let conc = sem.exec(&prog, &input).unwrap();
+    let unbudgeted = BackwardRepair::new(&u)
+        .repair(&dom, &input, &prog, &spec)
+        .unwrap();
+    let mut exhausted = 0;
+    for fuel in [0, 1, 2, 3, 5, 8, 1_000_000] {
+        let engine = BackwardRepair::new(&u).governor(Governor::new(Budget::fuel(fuel)));
+        match engine.repair(&dom, &input, &prog, &spec) {
+            Ok(out) => {
+                assert_eq!(
+                    out.valid_input, unbudgeted.valid_input,
+                    "fuel {fuel}: enough budget must reproduce the full answer"
+                );
+            }
+            Err(RepairError::Exhausted(partial)) => {
+                exhausted += 1;
+                assert_eq!(
+                    partial.exhaustion.reason,
+                    ExhaustReason::Fuel,
+                    "fuel {fuel}"
+                );
+                if let Some(inv) = &partial.invariant {
+                    assert!(
+                        conc.is_subset(inv),
+                        "fuel {fuel}: partial invariant must over-approximate"
+                    );
+                }
+            }
+            Err(e) => panic!("fuel {fuel}: unexpected error {e:?}"),
+        }
+    }
+    assert!(exhausted >= 3, "the tight fuel levels must actually trip");
+}
+
+#[test]
 fn unlimited_governor_changes_nothing() {
     // The governed run with no budget must agree bit-for-bit with the
     // ungoverned verifier (the disabled governor is the zero-cost path).

@@ -1,0 +1,62 @@
+//! Fuzz regression corpus: every seed file checked in under
+//! `corpus/fuzz/` must parse, build and replay clean through all ten
+//! theorem oracles *and* the differential configuration sweep.
+//!
+//! The corpus is append-only by workflow: when `air fuzz run` finds a
+//! violation it writes the shrunk case here, the bug gets fixed, and the
+//! seed stays behind as a permanent regression test (see FUZZING.md).
+
+use air::fuzz::{replay_case, seed};
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/fuzz");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus/fuzz must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "imp"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_checked_in_seed_replays_clean() {
+    let files = corpus_files();
+    assert!(files.len() >= 3, "corpus/fuzz lost its seeds: {files:?}");
+    for path in files {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let case = seed::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let outcome = replay_case(&case, None);
+        assert!(
+            outcome.case_skip.is_none(),
+            "{name}: checked-in seed must be evaluable, got skip {:?}",
+            outcome.case_skip
+        );
+        assert!(
+            outcome.violations.is_empty(),
+            "{name}: oracle violations: {:?}",
+            outcome.violations
+        );
+        assert!(
+            outcome.disagreements.is_empty(),
+            "{name}: configuration disagreements: {:?}",
+            outcome.disagreements
+        );
+    }
+}
+
+#[test]
+fn corpus_seeds_round_trip_through_the_renderer() {
+    for path in corpus_files() {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let case = seed::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let rendered = seed::render(&case, None, None);
+        let back = seed::parse(&rendered).unwrap_or_else(|e| panic!("{name}: re-parse: {e}"));
+        assert_eq!(
+            case, back,
+            "{name}: render/parse round-trip changed the case"
+        );
+    }
+}

@@ -17,12 +17,15 @@ usage:
               [--trace-format jsonl|dot] [--profile] [--fuel N] [--timeout-ms N]
   air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--stats]
               [--stats-json] [--uncached] [--trace FILE] [--profile]
-              [--fuel N] [--timeout-ms N]
+              [--fuel N] [--timeout-ms N] [--checkpoint FILE] [--resume]
   air trace summarize FILE
   air fuzz run      [--seed N] [--cases N] [--oracle NAME] [--corpus-dir PATH]
                     [--no-shrink] [--stats-json] [--trace FILE]
+                    [--checkpoint FILE] [--resume]
   air fuzz replay   FILE [--oracle NAME]
   air fuzz minimize FILE
+  air chaos   [--dir PATH] [--plans N] [--seed N] [--fuel N] [--stats-json]
+              [--trace FILE]
 
   --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
   PROG is the Imp-like surface syntax, e.g. \"while (x > 0) do { x := x - 1 }\"
@@ -44,6 +47,12 @@ usage:
   failures are shrunk and written as seed files under --corpus-dir
   (default `corpus/fuzz`); fuzz replay re-checks one seed file; fuzz
   minimize shrinks a failing seed file and prints the result
+  --checkpoint FILE atomically saves sweep progress every few items so a
+  killed run can restart with --resume and produce the identical report
+  chaos reruns the corpus under --plans seeded fault-injection plans
+  (worker panics, cache poisoning, sink failures, budget cancellation)
+  and checks that every run degrades cleanly: structured exit codes, no
+  aborts, and any partial invariant sound against concrete semantics
 
 exit codes: 0 proved / no alarms, 1 refuted / alarms, 2 usage error,
   3 budget exhausted, 4 internal error";
@@ -132,6 +141,25 @@ pub enum Command {
     },
     /// `air fuzz ...` — theorem-oracle fuzzing (see FUZZING.md).
     Fuzz(FuzzCmd),
+    /// `air chaos` — corpus sweep under seeded fault-injection plans.
+    Chaos(ChaosTask),
+}
+
+/// The `air chaos` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosTask {
+    /// Directory holding `*.imp` programs with `# Verified with:` headers.
+    pub dir: String,
+    /// Number of seeded fault plans to sweep.
+    pub plans: u64,
+    /// Base seed; plan `i` is derived from `seed + i`.
+    pub seed: u64,
+    /// Fuel budget per plan run (`None` = a generous default).
+    pub fuel: Option<u64>,
+    /// Print the deterministic campaign report as one JSON line.
+    pub stats_json: bool,
+    /// Write a structured JSONL trace of the whole sweep to this file.
+    pub trace: Option<String>,
 }
 
 /// The `air fuzz` actions.
@@ -153,6 +181,13 @@ pub enum FuzzCmd {
         stats_json: bool,
         /// Write `fuzz_case`/`fuzz_shrink` events to this JSONL file.
         trace: Option<String>,
+        /// Crash-safe progress checkpoint file.
+        checkpoint: Option<String>,
+        /// Resume from `checkpoint` instead of starting over.
+        resume: bool,
+        /// Hidden: exit(0) after N cases, simulating a crash (CI uses
+        /// this to exercise `--resume` deterministically).
+        halt_after: Option<u64>,
     },
     /// Re-check one seed file.
     Replay {
@@ -226,6 +261,10 @@ pub struct CorpusTask {
     pub fuel: Option<u64>,
     /// Wall-clock budget in milliseconds for the whole sweep.
     pub timeout_ms: Option<u64>,
+    /// Crash-safe progress checkpoint file.
+    pub checkpoint: Option<String>,
+    /// Resume from `checkpoint` instead of starting over.
+    pub resume: bool,
 }
 
 /// A parse failure.
@@ -287,6 +326,9 @@ fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError
             let mut shrink = true;
             let mut stats_json = false;
             let mut trace = None;
+            let mut checkpoint = None;
+            let mut resume = false;
+            let mut halt_after = None;
             while let Some(flag) = it.next() {
                 let mut value = || {
                     it.next()
@@ -311,8 +353,20 @@ fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError
                     "--no-shrink" => shrink = false,
                     "--stats-json" => stats_json = true,
                     "--trace" => trace = Some(value()?),
+                    "--checkpoint" => checkpoint = Some(value()?),
+                    "--resume" => resume = true,
+                    "--halt-after" => {
+                        let v = value()?;
+                        halt_after = Some(
+                            v.parse()
+                                .map_err(|_| ArgError(format!("bad --halt-after value `{v}`")))?,
+                        );
+                    }
                     other => return Err(ArgError(format!("unknown fuzz flag `{other}`"))),
                 }
+            }
+            if resume && checkpoint.is_none() {
+                return Err(ArgError("--resume requires --checkpoint".into()));
             }
             Ok(Command::Fuzz(FuzzCmd::Run {
                 seed,
@@ -322,6 +376,9 @@ fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError
                 shrink,
                 stats_json,
                 trace,
+                checkpoint,
+                resume,
+                halt_after,
             }))
         }
         "replay" | "minimize" => {
@@ -354,6 +411,55 @@ fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError
     }
 }
 
+fn parse_chaos(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError> {
+    let mut dir = String::from("corpus");
+    let mut plans = 64u64;
+    let mut seed = 0u64;
+    let mut fuel = None;
+    let mut stats_json = false;
+    let mut trace = None;
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("flag `{flag}` needs a value")))
+        };
+        match flag.as_str() {
+            "--dir" => dir = value()?,
+            "--plans" => {
+                let v = value()?;
+                plans = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --plans value `{v}`")))?;
+            }
+            "--seed" => {
+                let v = value()?;
+                seed = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --seed value `{v}`")))?;
+            }
+            "--fuel" => {
+                let v = value()?;
+                fuel = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad --fuel value `{v}`")))?,
+                );
+            }
+            "--stats-json" => stats_json = true,
+            "--trace" => trace = Some(value()?),
+            other => return Err(ArgError(format!("unknown chaos flag `{other}`"))),
+        }
+    }
+    Ok(Command::Chaos(ChaosTask {
+        dir,
+        plans,
+        seed,
+        fuel,
+        stats_json,
+        trace,
+    }))
+}
+
 /// Parses a full argv (without the binary name).
 pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut it = argv.iter();
@@ -382,6 +488,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     if sub == "fuzz" {
         return parse_fuzz(&mut it);
     }
+    if sub == "chaos" {
+        return parse_chaos(&mut it);
+    }
     let mut vars = None;
     let mut code = None;
     let mut file = None;
@@ -399,6 +508,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut profile = false;
     let mut fuel = None;
     let mut timeout_ms = None;
+    let mut checkpoint = None;
+    let mut resume = false;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -452,8 +563,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
                     .parse()
                     .map_err(|_| ArgError(format!("bad --jobs value `{v}`")))?;
             }
+            "--checkpoint" => checkpoint = Some(value()?),
+            "--resume" => resume = true,
             other => return Err(ArgError(format!("unknown flag `{other}`"))),
         }
+    }
+    if (checkpoint.is_some() || resume) && sub != "corpus" {
+        return Err(ArgError(
+            "--checkpoint/--resume are only available for `corpus` and `fuzz run`".into(),
+        ));
+    }
+    if resume && checkpoint.is_none() {
+        return Err(ArgError("--resume requires --checkpoint".into()));
     }
     if trace_format.is_some() && trace.is_none() {
         return Err(ArgError("--trace-format requires --trace".into()));
@@ -477,6 +598,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             profile,
             fuel,
             timeout_ms,
+            checkpoint,
+            resume,
         }));
     }
     let code = match (code, file) {
@@ -766,6 +889,9 @@ mod tests {
                 shrink: true,
                 stats_json: false,
                 trace: None,
+                checkpoint: None,
+                resume: false,
+                halt_after: None,
             })
         );
         assert_eq!(
@@ -794,6 +920,9 @@ mod tests {
                 shrink: false,
                 stats_json: true,
                 trace: Some("f.jsonl".into()),
+                checkpoint: None,
+                resume: false,
+                halt_after: None,
             })
         );
         assert!(parse(&argv(&["fuzz"])).is_err());
@@ -829,6 +958,97 @@ mod tests {
         assert!(parse(&argv(&["fuzz", "replay", "a", "--bogus"])).is_err());
         assert!(parse(&argv(&["fuzz", "minimize"])).is_err());
         assert!(parse(&argv(&["fuzz", "minimize", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_resume_and_halt_after() {
+        let Command::Fuzz(FuzzCmd::Run {
+            checkpoint,
+            resume,
+            halt_after,
+            ..
+        }) = parse(&argv(&[
+            "fuzz",
+            "run",
+            "--checkpoint",
+            "ck.json",
+            "--resume",
+            "--halt-after",
+            "7",
+        ]))
+        .unwrap()
+        else {
+            panic!("expected fuzz run");
+        };
+        assert_eq!(checkpoint.as_deref(), Some("ck.json"));
+        assert!(resume);
+        assert_eq!(halt_after, Some(7));
+        let Command::Corpus(task) =
+            parse(&argv(&["corpus", "--checkpoint", "sweep.json", "--resume"])).unwrap()
+        else {
+            panic!("expected corpus");
+        };
+        assert_eq!(task.checkpoint.as_deref(), Some("sweep.json"));
+        assert!(task.resume);
+        // --resume needs --checkpoint; verify does not take either.
+        assert!(parse(&argv(&["fuzz", "run", "--resume"])).is_err());
+        assert!(parse(&argv(&["corpus", "--resume"])).is_err());
+        assert!(parse(&argv(&[
+            "verify",
+            "--vars",
+            "x:0..1",
+            "--code",
+            "skip",
+            "--pre",
+            "true",
+            "--spec",
+            "true",
+            "--checkpoint",
+            "x.json",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_chaos_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv(&["chaos"])).unwrap(),
+            Command::Chaos(ChaosTask {
+                dir: "corpus".into(),
+                plans: 64,
+                seed: 0,
+                fuel: None,
+                stats_json: false,
+                trace: None,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "chaos",
+                "--dir",
+                "progs",
+                "--plans",
+                "8",
+                "--seed",
+                "3",
+                "--fuel",
+                "5000",
+                "--stats-json",
+                "--trace",
+                "c.jsonl",
+            ]))
+            .unwrap(),
+            Command::Chaos(ChaosTask {
+                dir: "progs".into(),
+                plans: 8,
+                seed: 3,
+                fuel: Some(5000),
+                stats_json: true,
+                trace: Some("c.jsonl".into()),
+            })
+        );
+        assert!(parse(&argv(&["chaos", "--plans", "x"])).is_err());
+        assert!(parse(&argv(&["chaos", "--bogus"])).is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod chaos;
 mod run;
 
 fn main() -> ExitCode {

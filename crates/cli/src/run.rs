@@ -12,6 +12,7 @@ use air_domains::{
 };
 use air_lang::{parse_bexp, parse_program, Concrete, SemCache, SemError, StateSet, Universe};
 use air_lattice::{par_map_governed, Budget, CacheStats, Exhaustion, Governor};
+use air_resilience::Checkpointer;
 use air_trace::{json, EventKind, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
 
 use crate::args::{Command, CorpusTask, DomainKind, FuzzCmd, StrategyKind, Task, TraceFormat};
@@ -75,7 +76,7 @@ impl fmt::Display for AirError {
 impl std::error::Error for AirError {}
 
 /// Maps input-level failures (parse errors, bad bounds, I/O) to exit 2.
-fn usage(e: impl fmt::Display) -> AirError {
+pub(crate) fn usage(e: impl fmt::Display) -> AirError {
     AirError::Usage(e.to_string())
 }
 
@@ -126,7 +127,7 @@ fn build_budget(fuel: Option<u64>, timeout_ms: Option<u64>) -> Budget {
     }
 }
 
-fn build_universe(task: &Task) -> Result<Universe, AirError> {
+pub(crate) fn build_universe(task: &Task) -> Result<Universe, AirError> {
     let decls: Vec<(&str, i64, i64)> = task
         .vars
         .iter()
@@ -135,7 +136,7 @@ fn build_universe(task: &Task) -> Result<Universe, AirError> {
     Universe::new(&decls).map_err(usage)
 }
 
-fn build_domain(task: &Task, u: &Universe) -> EnumDomain {
+pub(crate) fn build_domain(task: &Task, u: &Universe) -> EnumDomain {
     match task.domain {
         DomainKind::Int => EnumDomain::from_abstraction(u, IntervalEnv::new(u)),
         DomainKind::Oct => EnumDomain::from_abstraction(u, OctagonDomain::new(u)),
@@ -147,7 +148,7 @@ fn build_domain(task: &Task, u: &Universe) -> EnumDomain {
     }
 }
 
-fn build_sets(
+pub(crate) fn build_sets(
     task: &Task,
     u: &Universe,
 ) -> Result<(air_lang::Reg, StateSet, Option<StateSet>), AirError> {
@@ -177,6 +178,7 @@ pub fn run(command: Command) -> Result<Outcome, AirError> {
         Command::Corpus(task) => corpus(task),
         Command::TraceSummarize { file } => trace_summarize(&file),
         Command::Fuzz(cmd) => fuzz(cmd),
+        Command::Chaos(task) => crate::chaos::chaos(task),
     }
 }
 
@@ -216,8 +218,14 @@ fn fuzz(cmd: FuzzCmd) -> Result<Outcome, AirError> {
             shrink,
             stats_json,
             trace,
+            checkpoint,
+            resume,
+            halt_after,
         } => {
             check_oracle_name(oracle.as_deref())?;
+            // The fault-injection differential axis panics on purpose in
+            // every case; keep those backtraces out of the report.
+            air_resilience::install_quiet_fault_hook();
             let session = TraceSession::open(trace.as_deref(), false)?;
             let opts = air_fuzz::FuzzOptions {
                 base_seed: seed,
@@ -225,8 +233,22 @@ fn fuzz(cmd: FuzzCmd) -> Result<Outcome, AirError> {
                 oracle,
                 shrink,
                 tracer: Some(session.tracer()),
+                checkpoint: checkpoint.map(std::path::PathBuf::from),
+                resume,
+                halt_after,
+                ..air_fuzz::FuzzOptions::default()
             };
             let report = air_fuzz::run_campaign(&opts);
+            let halted =
+                halt_after.is_some_and(|_| report.built + report.build_skips < report.cases);
+            if halted {
+                println!(
+                    "halted after {} case(s); checkpoint saved, restart with --resume",
+                    report.built + report.build_skips
+                );
+                session.finish()?;
+                return Ok(Outcome::Positive);
+            }
             println!(
                 "fuzz campaign: seeds {}..{}, {} built, {} build skip(s), {} eval skip(s)",
                 report.base_seed,
@@ -321,7 +343,7 @@ fn fuzz(cmd: FuzzCmd) -> Result<Outcome, AirError> {
 /// The sinks behind a `--trace`/`--profile` run, plus the tracer handle
 /// engines receive. Kept until [`TraceSession::finish`] so the JSONL file
 /// is flushed and the profile table printed after the workload.
-struct TraceSession {
+pub(crate) struct TraceSession {
     tracer: Tracer,
     jsonl: Option<Arc<JsonlSink>>,
     profiler: Option<Arc<Profiler>>,
@@ -331,7 +353,7 @@ impl TraceSession {
     /// Opens the sinks a task asked for; with neither `--trace` nor
     /// `--profile` the tracer is disabled and every emit site is free.
     /// Both flags together fan events out to both sinks.
-    fn open(trace: Option<&str>, profile: bool) -> Result<TraceSession, AirError> {
+    pub(crate) fn open(trace: Option<&str>, profile: bool) -> Result<TraceSession, AirError> {
         let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
         let jsonl = match trace {
             Some(path) => {
@@ -366,11 +388,11 @@ impl TraceSession {
         })
     }
 
-    fn tracer(&self) -> Tracer {
+    pub(crate) fn tracer(&self) -> Tracer {
         self.tracer.clone()
     }
 
-    fn finish(&self) -> Result<(), AirError> {
+    pub(crate) fn finish(&self) -> Result<(), AirError> {
         if let Some(jsonl) = &self.jsonl {
             jsonl
                 .flush()
@@ -722,7 +744,7 @@ fn header_clause(header: &str, key: &str) -> Option<String> {
 
 /// Reads one `*.imp` file into a verification [`Task`] using its
 /// `# Verified with:` header (vars/pre/spec, optional domain override).
-fn parse_corpus_file(
+pub(crate) fn parse_corpus_file(
     path: &std::path::Path,
     task: &CorpusTask,
 ) -> Result<(String, Task), AirError> {
@@ -851,6 +873,145 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Renders completed sweep rows as one crash-safe checkpoint line
+/// (`air-corpus-checkpoint/1`).
+fn render_corpus_checkpoint(dir: &str, rows: &[ProgramReport]) -> String {
+    let mut out = String::from("{\"schema\":\"air-corpus-checkpoint/1\",\"dir\":");
+    json::escape_str(dir, &mut out);
+    out.push_str(",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::escape_str(&r.name, &mut out);
+        out.push_str(&format!(
+            ",\"status\":\"{}\",\"points\":{}",
+            r.status.label(),
+            r.points
+        ));
+        match &r.status {
+            ProgramStatus::Budget(ex) => {
+                out.push_str(",\"phase\":");
+                json::escape_str(&ex.phase, &mut out);
+                out.push_str(&format!(
+                    ",\"spent\":{},\"reason\":\"{}\"",
+                    ex.spent,
+                    ex.reason.name()
+                ));
+            }
+            ProgramStatus::Error(msg) | ProgramStatus::Panicked(msg) => {
+                out.push_str(",\"detail\":");
+                json::escape_str(msg, &mut out);
+            }
+            _ => {}
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Restores the completed rows of a previous sweep's checkpoint. Budget
+/// and skipped rows are NOT restored — a resumed sweep has a fresh
+/// budget, so previously cut-off programs get another chance. Malformed
+/// files or a different corpus directory restore nothing (fresh start).
+fn parse_corpus_checkpoint(
+    text: &str,
+    dir: &str,
+) -> std::collections::BTreeMap<String, ProgramReport> {
+    let mut out = std::collections::BTreeMap::new();
+    let Ok(doc) = json::parse(text.trim()) else {
+        return out;
+    };
+    if doc.get("schema").and_then(json::Value::as_str) != Some("air-corpus-checkpoint/1")
+        || doc.get("dir").and_then(json::Value::as_str) != Some(dir)
+    {
+        return out;
+    }
+    let Some(rows) = doc.get("rows").and_then(json::Value::as_arr) else {
+        return out;
+    };
+    for row in rows {
+        let Some(name) = row.get("name").and_then(json::Value::as_str) else {
+            continue;
+        };
+        let detail = row
+            .get("detail")
+            .and_then(json::Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let status = match row.get("status").and_then(json::Value::as_str) {
+            Some("proved") => ProgramStatus::Proved,
+            Some("refuted") => ProgramStatus::Refuted,
+            Some("error") => ProgramStatus::Error(detail),
+            Some("panic") => ProgramStatus::Panicked(detail),
+            _ => continue,
+        };
+        out.insert(
+            name.to_string(),
+            ProgramReport {
+                name: name.to_string(),
+                status,
+                points: row
+                    .get("points")
+                    .and_then(json::Value::as_num)
+                    .unwrap_or(0.0) as usize,
+                millis: 0.0,
+                exec_cache: String::new(),
+                closure_cache: String::new(),
+            },
+        );
+    }
+    out
+}
+
+/// The crash-safe sequential sweep behind `corpus --checkpoint`: after
+/// every program the completed rows are atomically checkpointed, and
+/// `--resume` restores them instead of re-verifying. Checkpoint I/O
+/// failures degrade to "no checkpoint" — the sweep itself never stops
+/// for them.
+fn corpus_checkpointed(
+    task: &CorpusTask,
+    programs: &[(String, Task)],
+    session: &TraceSession,
+    governor: &Governor,
+    path: &str,
+) -> Vec<ProgramReport> {
+    let path = std::path::PathBuf::from(path);
+    let mut restored = if task.resume {
+        match air_resilience::checkpoint::load(&path) {
+            Ok(Some(text)) => parse_corpus_checkpoint(&text, &task.dir),
+            _ => std::collections::BTreeMap::new(),
+        }
+    } else {
+        std::collections::BTreeMap::new()
+    };
+    let mut cp = Checkpointer::new(path, 1, session.tracer());
+    let mut rows: Vec<ProgramReport> = Vec::with_capacity(programs.len());
+    for (name, t) in programs {
+        if let Some(row) = restored.remove(name) {
+            rows.push(row);
+        } else {
+            let row = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_corpus_program(name, t, session.tracer(), governor.clone())
+            })) {
+                Ok(report) => report,
+                Err(payload) => {
+                    ProgramReport::bare(name, ProgramStatus::Panicked(panic_message(payload)), 0.0)
+                }
+            };
+            rows.push(row);
+        }
+        let _ = cp.write_now(rows.len() as u64, || {
+            render_corpus_checkpoint(&task.dir, &rows)
+        });
+    }
+    // Sweep complete: the checkpoint is stale state, drop it.
+    cp.remove();
+    rows
+}
+
 /// Sweeps every `*.imp` program under `task.dir`, fanning the programs out
 /// over worker threads (`--jobs`). Results are printed in file order
 /// regardless of scheduling, so the output is deterministic. The sweep is
@@ -887,35 +1048,38 @@ fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
     let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
     let started = Instant::now();
-    let results =
-        par_map_governed(
-            jobs,
-            &programs,
-            &governor,
-            |_, (name, t)| match std::panic::catch_unwind(AssertUnwindSafe(|| {
+    let reports: Vec<ProgramReport> = if let Some(path) = &task.checkpoint {
+        // Crash-safe mode runs sequentially: a checkpoint after every
+        // program needs a defined "done so far" prefix, which the
+        // parallel fan-out does not have.
+        corpus_checkpointed(&task, &programs, &session, &governor, path)
+    } else {
+        let results = par_map_governed(jobs, &programs, &governor, |_, (name, t)| {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
                 run_corpus_program(name, t, session.tracer(), governor.clone())
             })) {
                 Ok(report) => report,
                 Err(payload) => {
                     ProgramReport::bare(name, ProgramStatus::Panicked(panic_message(payload)), 0.0)
                 }
-            },
-        );
-    let total_ms = started.elapsed().as_secs_f64() * 1e3;
-    let tracer = session.tracer();
-    let reports: Vec<ProgramReport> = results
-        .into_iter()
-        .zip(&programs)
-        .map(|(slot, (name, _))| match slot {
-            Some(report) => report,
-            None => {
-                tracer.emit_with(|| EventKind::Cancelled {
-                    phase: format!("corpus.{name}"),
-                });
-                ProgramReport::bare(name, ProgramStatus::Skipped, 0.0)
             }
-        })
-        .collect();
+        });
+        let tracer = session.tracer();
+        results
+            .into_iter()
+            .zip(&programs)
+            .map(|(slot, (name, _))| match slot {
+                Some(report) => report,
+                None => {
+                    tracer.emit_with(|| EventKind::Cancelled {
+                        phase: format!("corpus.{name}"),
+                    });
+                    ProgramReport::bare(name, ProgramStatus::Skipped, 0.0)
+                }
+            })
+            .collect()
+    };
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
     for report in &reports {
         print!(
             "  {:<14} {:<7} {:>2} point(s) {:>9.3} ms",
@@ -1059,6 +1223,8 @@ mod tests {
             profile: false,
             fuel: None,
             timeout_ms: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 
@@ -1320,6 +1486,9 @@ mod tests {
             shrink: true,
             stats_json: true,
             trace: None,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
         })
         .unwrap();
         assert_eq!(out, Outcome::Positive);
@@ -1335,6 +1504,9 @@ mod tests {
             shrink: true,
             stats_json: false,
             trace: None,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
         })
         .unwrap_err();
         assert!(matches!(err, AirError::Usage(_)), "{err:?}");

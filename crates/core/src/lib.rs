@@ -55,6 +55,10 @@
 //! # }
 //! ```
 
+// Repair engines run on user-influenced programs: a reachable
+// `unwrap()` is an abort, not an error. Tests may still use it freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod absint;
 pub mod backward;
 pub mod domain;

@@ -268,19 +268,18 @@ impl AffineDomain {
     /// callers that passed `Bot` (never happens internally).
     fn to_generators(&self, rows: &[AffineRow]) -> Generators {
         let n = self.n();
-        let pivots: Vec<usize> = rows
+        // Reduced rows always have a pivot; a trivial (all-zero) row would
+        // constrain nothing, so skipping one is sound rather than a panic.
+        let pivot_rows: Vec<(&AffineRow, usize)> = rows
             .iter()
-            .map(|r| {
-                r.coeffs
-                    .iter()
-                    .position(|c| !c.is_zero())
-                    .expect("reduced rows have pivots")
-            })
+            .filter_map(|r| r.coeffs.iter().position(|c| !c.is_zero()).map(|p| (r, p)))
             .collect();
-        let free: Vec<usize> = (0..n).filter(|i| !pivots.contains(i)).collect();
+        let free: Vec<usize> = (0..n)
+            .filter(|i| !pivot_rows.iter().any(|&(_, p)| p == *i))
+            .collect();
         // Support point: free vars = 0, pivots = rhs.
         let mut point = vec![Ratio::ZERO; n];
-        for (r, &p) in rows.iter().zip(&pivots) {
+        for &(r, p) in &pivot_rows {
             point[p] = r.rhs;
         }
         // Directions: one per free var f — set x_f = 1, pivots adjust.
@@ -288,7 +287,7 @@ impl AffineDomain {
         for &f in &free {
             let mut d = vec![Ratio::ZERO; n];
             d[f] = Ratio::ONE;
-            for (r, &p) in rows.iter().zip(&pivots) {
+            for &(r, p) in &pivot_rows {
                 d[p] = Ratio::ZERO.sub(r.coeffs[f]);
             }
             directions.push(d);
@@ -349,7 +348,9 @@ impl AffineDomain {
                 .fold(Ratio::ZERO, |acc, (ai, pi)| acc.add(ai.mul(*pi)));
             rows_out.push(AffineRow { coeffs: a, rhs });
         }
-        reduce(rows_out, n).expect("null-space system is consistent")
+        // The null-space system is homogeneous in `a`, so it is always
+        // consistent; degrade to "no constraints" (⊤) instead of panicking.
+        reduce(rows_out, n).unwrap_or_default()
     }
 }
 
@@ -502,11 +503,10 @@ impl Transfer for AffineDomain {
                 // have zero at xi.
                 let mut out = Vec::new();
                 for r in reduced {
-                    let pivot = r
-                        .coeffs
-                        .iter()
-                        .position(|c| !c.is_zero())
-                        .expect("no trivial rows");
+                    // A trivial row constrains nothing; drop it (sound).
+                    let Some(pivot) = r.coeffs.iter().position(|c| !c.is_zero()) else {
+                        continue;
+                    };
                     if pivot == xi {
                         continue; // constrains the projected-out old x
                     }
@@ -517,7 +517,9 @@ impl Transfer for AffineDomain {
                         continue;
                     }
                     let mut c = r.coeffs;
-                    let xprime = c.pop().expect("extended column");
+                    let Some(xprime) = c.pop() else {
+                        continue; // extended column is always present
+                    };
                     c[xi] = xprime;
                     out.push(AffineRow {
                         coeffs: c,

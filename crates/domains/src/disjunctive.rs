@@ -75,8 +75,11 @@ impl<A: Abstraction> Disjunctive<A> {
         }
         // Enforce the width bound by folding the tail into the last slot.
         while kept.len() > self.width {
-            let last = kept.pop().expect("len > width ≥ 1");
-            let prev = kept.pop().expect("len > width ≥ 1");
+            // len > width ≥ 1 guarantees both pops; break defensively
+            // rather than panic if the invariant is ever violated.
+            let (Some(last), Some(prev)) = (kept.pop(), kept.pop()) else {
+                break;
+            };
             let merged = self.base.join(&prev, &last);
             // Re-insert with subsumption (the merge may swallow others).
             kept.retain(|k| !self.base.leq(k, &merged));

@@ -299,24 +299,18 @@ impl AbstractValue for Interval {
     }
 
     fn refine_cmp(op: CmpOp, l: &Self, r: &Self) -> (Self, Self) {
-        let (Interval::Range(..), Interval::Range(..)) = (l, r) else {
+        let (Interval::Range(l_lo, _), Interval::Range(_, r_hi)) = (l, r) else {
             return (Interval::Empty, Interval::Empty);
         };
         match op {
             CmpOp::Le => {
-                let l2 = l.meet(&Interval::from_bounds(NegInf, r.hi().expect("non-empty")));
-                let r2 = r.meet(&Interval::from_bounds(l.lo().expect("non-empty"), PosInf));
+                let l2 = l.meet(&Interval::from_bounds(NegInf, *r_hi));
+                let r2 = r.meet(&Interval::from_bounds(*l_lo, PosInf));
                 (l2, r2)
             }
             CmpOp::Lt => {
-                let l2 = l.meet(&Interval::from_bounds(
-                    NegInf,
-                    r.hi().expect("non-empty").pred(),
-                ));
-                let r2 = r.meet(&Interval::from_bounds(
-                    l.lo().expect("non-empty").succ(),
-                    PosInf,
-                ));
+                let l2 = l.meet(&Interval::from_bounds(NegInf, r_hi.pred()));
+                let r2 = r.meet(&Interval::from_bounds(l_lo.succ(), PosInf));
                 (l2, r2)
             }
             CmpOp::Ge => {

@@ -38,6 +38,10 @@
 //! # }
 //! ```
 
+// Transfer functions run on user-influenced programs: a reachable
+// `unwrap()` is an abort, not an error. Tests may still use it freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod affine;
 pub mod analyzer;
 pub mod congruence;

@@ -47,7 +47,13 @@ impl Oct {
     }
 
     fn at(&self, i: usize, j: usize) -> i64 {
-        self.m.as_ref().expect("not bottom")[i * self.dim() + j]
+        // ⊥ carries no matrix; every caller filters ⊥ first, but an
+        // unconstrained bound (`INF`) keeps this total and sound if one
+        // slips through on a user-driven path.
+        match &self.m {
+            Some(m) => m[i * self.dim() + j],
+            None => INF,
+        }
     }
 
     fn set_min(m: &mut [i64], dim: usize, i: usize, j: usize, c: i64) {

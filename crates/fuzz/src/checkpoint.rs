@@ -1,0 +1,144 @@
+//! Crash-safe campaign checkpoints (`air-fuzz-checkpoint/1`).
+//!
+//! A checkpoint is one JSON line holding the campaign counters, the
+//! next seed to run and the seeds that have already failed. Failures
+//! are *not* serialized in full: on resume the failing seeds are
+//! replayed (and re-minimized) instead, which keeps the checkpoint tiny
+//! and guarantees the resumed report is byte-identical to an
+//! uninterrupted run — both are pure functions of the same seeds.
+//!
+//! Writes go through [`air_resilience::atomic_write`] (write to
+//! `<path>.tmp`, fsync, rename), so a reader — including a resumed run
+//! after SIGKILL — sees either the previous checkpoint or the new one,
+//! never a torn file.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use air_trace::json::{self, Value};
+
+use crate::runner::{CampaignReport, FuzzOptions, OracleRow};
+
+/// Counters restored from a checkpoint file.
+#[derive(Clone, Debug)]
+pub(crate) struct CheckpointState {
+    /// First seed the resumed run should execute.
+    pub next_seed: u64,
+    pub built: u64,
+    pub build_skips: u64,
+    pub eval_skips: u64,
+    pub violations: u64,
+    pub disagreements: u64,
+    /// Per-oracle counters, keyed by registry name.
+    pub rows: BTreeMap<String, OracleRow>,
+    /// Distinct seeds (ascending) that produced failures so far.
+    pub failure_seeds: Vec<u64>,
+}
+
+/// Renders the current progress as one deterministic JSON line.
+pub(crate) fn render(report: &CampaignReport, next_seed: u64, opts: &FuzzOptions) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"air-fuzz-checkpoint/1\",\"base_seed\":{},\"cases\":{},\"oracle\":{},\
+         \"next_seed\":{},\"built\":{},\"build_skips\":{},\"eval_skips\":{},\
+         \"violations\":{},\"disagreements\":{}",
+        report.base_seed,
+        report.cases,
+        match &opts.oracle {
+            Some(o) => json_str(o),
+            None => "null".to_string(),
+        },
+        next_seed,
+        report.built,
+        report.build_skips,
+        report.eval_skips,
+        report.violations,
+        report.disagreements
+    );
+    out.push_str(",\"rows\":[");
+    for (i, (name, row)) in report.oracle_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"runs\":{},\"violations\":{},\"skips\":{}}}",
+            json_str(name),
+            row.runs,
+            row.violations,
+            row.skips
+        );
+    }
+    out.push_str("],\"failure_seeds\":[");
+    let mut prev: Option<u64> = None;
+    let mut first = true;
+    for f in &report.failures {
+        if prev == Some(f.seed) {
+            continue; // one seed can fail several oracles
+        }
+        prev = Some(f.seed);
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}", f.seed);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a checkpoint, returning `None` (fresh start) when the file is
+/// malformed or was written by a campaign with different options.
+pub(crate) fn parse(text: &str, opts: &FuzzOptions) -> Option<CheckpointState> {
+    let doc = json::parse(text.trim()).ok()?;
+    if doc.get("schema")?.as_str()? != "air-fuzz-checkpoint/1" {
+        return None;
+    }
+    if num(&doc, "base_seed")? != opts.base_seed || num(&doc, "cases")? != opts.cases {
+        return None;
+    }
+    let oracle = doc.get("oracle")?;
+    match (&opts.oracle, oracle.as_str()) {
+        (Some(want), Some(have)) if want == have => {}
+        (None, None) if *oracle == Value::Null => {}
+        _ => return None,
+    }
+    let mut rows = BTreeMap::new();
+    for row in doc.get("rows")?.as_arr()? {
+        rows.insert(
+            row.get("name")?.as_str()?.to_string(),
+            OracleRow {
+                runs: num(row, "runs")?,
+                violations: num(row, "violations")?,
+                skips: num(row, "skips")?,
+            },
+        );
+    }
+    let failure_seeds = doc
+        .get("failure_seeds")?
+        .as_arr()?
+        .iter()
+        .map(|v| v.as_num().map(|n| n as u64))
+        .collect::<Option<Vec<u64>>>()?;
+    Some(CheckpointState {
+        next_seed: num(&doc, "next_seed")?,
+        built: num(&doc, "built")?,
+        build_skips: num(&doc, "build_skips")?,
+        eval_skips: num(&doc, "eval_skips")?,
+        violations: num(&doc, "violations")?,
+        disagreements: num(&doc, "disagreements")?,
+        rows,
+        failure_seeds,
+    })
+}
+
+fn num(v: &Value, key: &str) -> Option<u64> {
+    v.get(key)?.as_num().map(|n| n as u64)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::new();
+    json::escape_str(s, &mut out);
+    out
+}

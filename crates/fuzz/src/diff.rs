@@ -2,20 +2,27 @@
 //!
 //! The same instance is pushed through every configuration axis the
 //! ROADMAP exposes — cached vs uncached [`SemCache`], governed vs
-//! ungoverned, sequential vs [`par_map_governed`] parallelism, and the
-//! `LCL_A` prover vs the repair engines — and any observable
-//! disagreement is reported as a human-readable message. An empty
-//! result is agreement everywhere.
+//! ungoverned, sequential vs [`par_map_governed`] parallelism, the
+//! `LCL_A` prover vs the repair engines, and (axis 7) a fault-injected
+//! run recovered by the [`Supervisor`] vs the fault-free run — and any
+//! observable disagreement is reported as a human-readable message. An
+//! empty result is agreement everywhere.
 //!
 //! Budget cutoffs are *not* disagreements: a tightly-governed run may
 //! legitimately stop early, but its partial invariant must still be a
 //! sound over-approximation (Theorems 7.1/7.6 need the completed
 //! repair only for precision, never for soundness).
 
+use std::sync::Arc;
+
 use crate::case::BuiltCase;
 use air_core::{BackwardRepair, ForwardRepair, Lcl, RepairError, Verifier};
 use air_lang::{Concrete, SemError, StateSet};
 use air_lattice::{par_map_governed, Budget, Governor};
+use air_resilience::{
+    FailSwitch, FaultInjector, FaultKind, FaultPlan, FaultSpec, InjectSink, RetryPolicy, Supervisor,
+};
+use air_trace::{MemorySink, Tracer};
 
 /// Runs all configuration pairs on one instance.
 ///
@@ -156,6 +163,51 @@ pub fn differential_sweep(b: &BuiltCase) -> Result<Vec<String>, SemError> {
         diffs.push("par_map_governed(jobs=2) disagrees with the sequential sweep".into());
     }
 
+    // Axis 7 — fault injection + supervised recovery: a one-shot panic
+    // at the first `verify.*` trace point, retried by the Supervisor,
+    // must reproduce the fault-free verdict exactly (recovery restores
+    // the run; Theorems 7.1/7.6 are indifferent to the crashed attempt).
+    let plan = FaultPlan {
+        seed: b.case.seed,
+        faults: vec![FaultSpec {
+            site: "verify.".into(),
+            after: 0,
+            kind: FaultKind::Panic,
+        }],
+    };
+    let injector = FaultInjector::armed(&plan, Governor::unlimited(), FailSwitch::new());
+    let sink = InjectSink::new(Arc::new(MemorySink::new()), injector.clone());
+    let tracer = Tracer::new(Arc::new(sink));
+    injector.set_tracer(&tracer);
+    let supervisor = Supervisor::new(RetryPolicy::default());
+    match supervisor.run("diff.fault_axis", || {
+        Verifier::new(u)
+            .tracer(tracer.clone())
+            .backward(b.domain.clone(), r, &b.pre, &b.spec)
+    }) {
+        Ok(recovered) => {
+            match (&plain, &recovered) {
+                (Ok(p), Ok(f)) => {
+                    if p.is_proved() != f.is_proved() {
+                        diffs.push(
+                            "fault axis: recovery after an injected panic flipped the verdict"
+                                .into(),
+                        );
+                    }
+                    if p.added_points() != f.added_points() {
+                        diffs.push("fault axis: recovery after an injected panic changed the repair points".into());
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => check_repair_error(e)?,
+            }
+        }
+        Err(failure) => {
+            diffs.push(format!(
+                "fault axis: supervised verify did not recover from an injected panic: {failure}"
+            ));
+        }
+    }
+
     Ok(diffs)
 }
 
@@ -212,5 +264,41 @@ mod tests {
             }
         }
         assert!(checked >= 5, "only {checked}/20 cases evaluable");
+    }
+
+    #[test]
+    fn fault_axis_is_not_vacuous() {
+        // Replicate axis 7 on one buildable case and check the panic
+        // actually fires and is retried — otherwise the axis would pass
+        // trivially without exercising recovery.
+        let built = (0..20)
+            .find_map(|seed| FuzzCase::generate(seed).build().ok())
+            .expect("a buildable case among the first 20 seeds");
+        let plan = FaultPlan {
+            seed: built.case.seed,
+            faults: vec![FaultSpec {
+                site: "verify.".into(),
+                after: 0,
+                kind: FaultKind::Panic,
+            }],
+        };
+        let injector = FaultInjector::armed(&plan, Governor::unlimited(), FailSwitch::new());
+        let sink = InjectSink::new(Arc::new(MemorySink::new()), injector.clone());
+        let tracer = Tracer::new(Arc::new(sink));
+        injector.set_tracer(&tracer);
+        let supervisor = Supervisor::new(RetryPolicy::default());
+        let out = supervisor.run("test.fault_axis", || {
+            Verifier::new(&built.universe)
+                .tracer(tracer.clone())
+                .backward(
+                    built.domain.clone(),
+                    &built.case.program,
+                    &built.pre,
+                    &built.spec,
+                )
+        });
+        assert!(out.is_ok(), "supervised verify must recover: {out:?}");
+        assert_eq!(injector.injected(), 1, "the panic fault fired once");
+        assert_eq!(supervisor.retry_count(), 1, "one retry healed the run");
     }
 }

@@ -22,6 +22,7 @@
 //! [`run_campaign`], [`replay_case`] and [`minimize`].
 
 pub mod case;
+mod checkpoint;
 pub mod diff;
 pub mod oracles;
 pub mod runner;

@@ -7,10 +7,13 @@
 //! events for observability without touching the report.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
+use air_resilience::Checkpointer;
 use air_trace::{EventKind, Tracer};
 
 use crate::case::FuzzCase;
+use crate::checkpoint;
 use crate::oracles::{registry, run as run_oracle};
 use crate::shrink::shrink;
 use crate::{diff, seed};
@@ -28,6 +31,20 @@ pub struct FuzzOptions {
     pub shrink: bool,
     /// Optional tracer receiving `fuzz_case` / `fuzz_shrink` events.
     pub tracer: Option<Tracer>,
+    /// Checkpoint file for crash-safe progress (atomic write-tmp-rename
+    /// every [`checkpoint_every`](Self::checkpoint_every) cases; removed
+    /// when the campaign completes cleanly).
+    pub checkpoint: Option<PathBuf>,
+    /// Cases between checkpoint writes (clamped to ≥ 1).
+    pub checkpoint_every: u64,
+    /// Resume from [`checkpoint`](Self::checkpoint) instead of starting
+    /// over. Ignored when the file is absent, malformed, or was written
+    /// by a campaign with different options.
+    pub resume: bool,
+    /// Test hook: stop after this many completed cases, writing a final
+    /// checkpoint and returning the partial report — a deterministic
+    /// stand-in for a crash (the CLI's hidden `--halt-after`).
+    pub halt_after: Option<u64>,
 }
 
 impl Default for FuzzOptions {
@@ -38,6 +55,10 @@ impl Default for FuzzOptions {
             oracle: None,
             shrink: true,
             tracer: None,
+            checkpoint: None,
+            checkpoint_every: 16,
+            resume: false,
+            halt_after: None,
         }
     }
 }
@@ -235,11 +256,46 @@ pub fn run_campaign(opts: &FuzzOptions) -> CampaignReport {
             .collect(),
         failures: Vec::new(),
     };
-    for seed_v in opts.base_seed..opts.base_seed.saturating_add(opts.cases) {
+    let mut checkpointer = opts.checkpoint.as_ref().map(|path| {
+        Checkpointer::new(
+            path.clone(),
+            opts.checkpoint_every,
+            opts.tracer.clone().unwrap_or_else(Tracer::disabled),
+        )
+    });
+    let mut start = opts.base_seed;
+    if opts.resume {
+        if let Some(state) = load_checkpoint(opts) {
+            start = state.next_seed;
+            report.built = state.built;
+            report.build_skips = state.build_skips;
+            report.eval_skips = state.eval_skips;
+            report.violations = state.violations;
+            report.disagreements = state.disagreements;
+            report.oracle_rows = state.rows;
+            // Failures are rebuilt by replay rather than deserialized:
+            // the same seed yields the same case, verdicts and shrink,
+            // so the resumed report matches an uninterrupted run.
+            for &failed in &state.failure_seeds {
+                let case = FuzzCase::generate(failed);
+                let outcome = replay_case(&case, opts.oracle.as_deref());
+                push_failures(&mut report, &case, &outcome, opts);
+            }
+        }
+    }
+    for seed_v in start..opts.base_seed.saturating_add(opts.cases) {
         let case = FuzzCase::generate(seed_v);
         let outcome = replay_case(&case, opts.oracle.as_deref());
+        let done = seed_v - opts.base_seed + 1;
         if outcome.case_skip.is_some() {
             report.build_skips += 1;
+            write_checkpoint(&mut checkpointer, &report, done, seed_v + 1, opts);
+            if opts.halt_after.is_some_and(|h| done >= h) {
+                if let Some(cp) = &mut checkpointer {
+                    let _ = cp.write_now(done, || checkpoint::render(&report, seed_v + 1, opts));
+                }
+                return report; // simulated crash: checkpoint retained
+            }
             continue;
         }
         report.built += 1;
@@ -265,26 +321,69 @@ pub fn run_campaign(opts: &FuzzOptions) -> CampaignReport {
                 disagreements: outcome.disagreements.len() as u64,
             });
         }
-        for (oracle, message) in &outcome.violations {
-            let shrunk = minimize(&case, oracle, opts);
-            report.failures.push(Failure {
-                seed: seed_v,
-                oracle: oracle.clone(),
-                message: message.clone(),
-                shrunk,
-            });
-        }
-        if !outcome.disagreements.is_empty() {
-            let shrunk = minimize(&case, "differential", opts);
-            report.failures.push(Failure {
-                seed: seed_v,
-                oracle: "differential".to_string(),
-                message: outcome.disagreements.join("; "),
-                shrunk,
-            });
+        push_failures(&mut report, &case, &outcome, opts);
+        write_checkpoint(&mut checkpointer, &report, done, seed_v + 1, opts);
+        if opts.halt_after.is_some_and(|h| done >= h) {
+            if let Some(cp) = &mut checkpointer {
+                let _ = cp.write_now(done, || checkpoint::render(&report, seed_v + 1, opts));
+            }
+            return report; // simulated crash: checkpoint retained
         }
     }
+    // A completed campaign's checkpoint is stale state: drop it so the
+    // next run (resumed or not) starts from scratch.
+    if let Some(cp) = &checkpointer {
+        cp.remove();
+    }
     report
+}
+
+/// Minimizes and records the failures of one case.
+fn push_failures(
+    report: &mut CampaignReport,
+    case: &FuzzCase,
+    outcome: &CaseOutcome,
+    opts: &FuzzOptions,
+) {
+    for (oracle, message) in &outcome.violations {
+        let shrunk = minimize(case, oracle, opts);
+        report.failures.push(Failure {
+            seed: case.seed,
+            oracle: oracle.clone(),
+            message: message.clone(),
+            shrunk,
+        });
+    }
+    if !outcome.disagreements.is_empty() {
+        let shrunk = minimize(case, "differential", opts);
+        report.failures.push(Failure {
+            seed: case.seed,
+            oracle: "differential".to_string(),
+            message: outcome.disagreements.join("; "),
+            shrunk,
+        });
+    }
+}
+
+/// Reads and validates the resume checkpoint; `None` means fresh start.
+fn load_checkpoint(opts: &FuzzOptions) -> Option<checkpoint::CheckpointState> {
+    let path = opts.checkpoint.as_deref()?;
+    let text = air_resilience::checkpoint::load(path).ok().flatten()?;
+    checkpoint::parse(&text, opts)
+}
+
+/// Writes a cadence checkpoint; I/O failures degrade to "no checkpoint"
+/// rather than aborting the campaign (fail-soft, like trace sinks).
+fn write_checkpoint(
+    checkpointer: &mut Option<Checkpointer>,
+    report: &CampaignReport,
+    done: u64,
+    next_seed: u64,
+    opts: &FuzzOptions,
+) {
+    if let Some(cp) = checkpointer {
+        let _ = cp.maybe_write(done, || checkpoint::render(report, next_seed, opts));
+    }
 }
 
 /// Minimizes a failing case against "this oracle still fails" (or "the
@@ -346,6 +445,57 @@ mod tests {
         assert_eq!(report.oracle_rows.len(), 1);
         assert!(report.oracle_rows.contains_key("soundness"));
         assert_eq!(report.disagreements, 0, "diff sweep is skipped");
+    }
+
+    #[test]
+    fn resumed_campaign_matches_an_uninterrupted_run() {
+        let dir = std::env::temp_dir().join(format!(
+            "air-fuzz-resume-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+
+        let full_opts = FuzzOptions {
+            cases: 10,
+            ..FuzzOptions::default()
+        };
+        let full = run_campaign(&full_opts);
+
+        // Fabricate the checkpoint a crash after 4 cases would leave
+        // behind: the prefix campaign's counters, stamped with the full
+        // run's case count.
+        let mut prefix = run_campaign(&FuzzOptions {
+            cases: 4,
+            ..FuzzOptions::default()
+        });
+        prefix.cases = 10;
+        air_resilience::atomic_write(&path, &checkpoint::render(&prefix, 4, &full_opts)).unwrap();
+
+        let resumed = run_campaign(&FuzzOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..full_opts.clone()
+        });
+        assert_eq!(
+            resumed.to_json(),
+            full.to_json(),
+            "resume ⇒ byte-identical report"
+        );
+        assert!(!path.exists(), "clean completion removes the checkpoint");
+
+        // A checkpoint from mismatched options is ignored, not resumed.
+        air_resilience::atomic_write(&path, &checkpoint::render(&prefix, 4, &full_opts)).unwrap();
+        let other = run_campaign(&FuzzOptions {
+            base_seed: 99,
+            cases: 3,
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..FuzzOptions::default()
+        });
+        assert_eq!(other.built + other.build_skips, 3, "fresh start");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

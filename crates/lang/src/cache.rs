@@ -277,6 +277,30 @@ impl SemCache {
         stats.bypasses = self.bypass_count();
         stats
     }
+
+    /// Shards quarantined (cleared after a panicking writer poisoned
+    /// them) across all three tables.
+    pub fn quarantine_count(&self) -> u64 {
+        self.exec.quarantine_count() + self.wlp.quarantine_count() + self.sat.quarantine_count()
+    }
+
+    /// Fault-injection hook: poisons one shard of the named table
+    /// (`"exec"`, `"wlp"` or `"sat"`; anything else poisons all three)
+    /// exactly as a crashing cache writer would. The next access
+    /// quarantines the shard and falls back to uncached evaluation; see
+    /// `MemoTable::chaos_poison_shard`.
+    pub fn chaos_poison_shard(&self, table: &str, shard: usize) {
+        match table {
+            "exec" => self.exec.chaos_poison_shard(shard),
+            "wlp" => self.wlp.chaos_poison_shard(shard),
+            "sat" => self.sat.chaos_poison_shard(shard),
+            _ => {
+                self.exec.chaos_poison_shard(shard);
+                self.wlp.chaos_poison_shard(shard);
+                self.sat.chaos_poison_shard(shard);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +360,34 @@ mod tests {
         assert!(cache.exec(&strict, &e, &s).is_err());
         // The error path must also not have poisoned the restricted entry.
         assert_eq!(cache.exec(&restricted, &e, &s).unwrap(), u.empty());
+    }
+
+    #[test]
+    fn poisoned_shards_fall_back_to_uncached_evaluation() {
+        let u = Universe::new(&[("x", 0, 3)]).unwrap();
+        let cache = SemCache::with_bypass_threshold(0);
+        let restricted = Concrete::new(&u);
+        let strict = Concrete::strict(&u);
+        let e = parse_program("x := x + 1").unwrap();
+        let s = u.of_values([1]);
+        let plain = restricted.exec(&e, &s).unwrap();
+        assert_eq!(cache.exec(&restricted, &e, &s).unwrap(), plain);
+        // Crash every exec shard's writer; lookups must quarantine and
+        // recompute, not panic.
+        for shard in 0..16 {
+            cache.chaos_poison_shard("exec", shard);
+        }
+        assert_eq!(cache.exec(&restricted, &e, &s).unwrap(), plain);
+        assert!(cache.quarantine_count() >= 1, "quarantines are counted");
+        // The error path keeps its contract through a quarantine: strict
+        // errors are not cached and do not poison the restricted entry.
+        let esc = u.of_values([3]);
+        for shard in 0..16 {
+            cache.chaos_poison_shard("", shard);
+        }
+        assert!(cache.exec(&strict, &e, &esc).is_err());
+        assert_eq!(cache.exec(&restricted, &e, &esc).unwrap(), u.empty());
+        assert_eq!(cache.exec(&restricted, &e, &esc).unwrap(), u.empty());
     }
 
     #[test]

@@ -25,9 +25,9 @@
 use air_trace::{EventKind, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::hash::{BuildHasher, Hash, RandomState};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of lock stripes per table; a power of two so the shard index is
 /// a cheap mask of the key hash.
@@ -94,9 +94,16 @@ impl fmt::Display for CacheStats {
 
 struct MemoInner<K, V> {
     shards: Vec<RwLock<HashMap<K, V>>>,
-    hasher: RandomState,
+    /// Fixed-seed shard selector: the key→shard mapping must be the same
+    /// in every process so that observable per-shard effects (chaos
+    /// poisoning, quarantine counts) are run-to-run deterministic. The
+    /// maps inside the shards keep `RandomState` — their iteration order
+    /// never leaks into results.
+    hasher: BuildHasherDefault<DefaultHasher>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Shards rebuilt after a writer panicked while holding their lock.
+    quarantines: AtomicU64,
     /// Set at most once (by [`MemoTable::set_tracer`]); when present,
     /// every counted hit/miss also emits a `cache_hit`/`cache_miss`
     /// trace event tagged with the table name. Reading an unset
@@ -134,9 +141,10 @@ impl<K, V> MemoTable<K, V> {
                 shards: (0..NUM_SHARDS)
                     .map(|_| RwLock::new(HashMap::new()))
                     .collect(),
-                hasher: RandomState::new(),
+                hasher: BuildHasherDefault::default(),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                quarantines: AtomicU64::new(0),
                 trace: OnceLock::new(),
             }),
         }
@@ -168,27 +176,90 @@ impl<K, V> MemoTable<K, V> {
         }
     }
 
+    /// Acquires a shard's read lock, quarantining the shard first if a
+    /// panicking writer poisoned it: the shard is cleared and rebuilt, so
+    /// the lookup proceeds as a miss (uncached evaluation) instead of
+    /// propagating the poison panic. Purity of memoized functions makes
+    /// this sound — losing entries only costs recomputation.
+    fn shard_read(&self, idx: usize) -> RwLockReadGuard<'_, HashMap<K, V>> {
+        let shard = &self.inner.shards[idx];
+        match shard.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                // The error owns a guard on this very lock; release it
+                // before quarantine re-locks, or we deadlock on ourselves.
+                drop(poisoned);
+                self.quarantine(idx);
+                shard.read().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Write-lock counterpart of [`shard_read`](Self::shard_read).
+    fn shard_write(&self, idx: usize) -> RwLockWriteGuard<'_, HashMap<K, V>> {
+        let shard = &self.inner.shards[idx];
+        match shard.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                drop(poisoned);
+                self.quarantine(idx);
+                shard.write().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Clears a poisoned shard and counts/traces the quarantine.
+    #[cold]
+    fn quarantine(&self, idx: usize) {
+        let shard = &self.inner.shards[idx];
+        shard.clear_poison();
+        let mut guard = shard.write().unwrap_or_else(|p| {
+            shard.clear_poison();
+            p.into_inner()
+        });
+        guard.clear();
+        self.inner.quarantines.fetch_add(1, Ordering::Relaxed);
+        if let Some((name, tracer)) = self.inner.trace.get() {
+            tracer.emit_with(|| EventKind::ShardQuarantined {
+                table: name.clone(),
+                shard: idx as u64,
+            });
+        }
+    }
+
+    /// Shards quarantined (cleared after a writer panic) so far.
+    pub fn quarantine_count(&self) -> u64 {
+        self.inner.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Fault-injection hook: deliberately poisons shard `idx % NUM_SHARDS`
+    /// by panicking while holding its write lock, exactly as a crashing
+    /// writer would. The next access quarantines and rebuilds the shard.
+    /// Used by the chaos harness; harmless (one cleared shard) otherwise.
+    pub fn chaos_poison_shard(&self, idx: usize) {
+        let shard = &self.inner.shards[idx % NUM_SHARDS];
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.write().unwrap_or_else(PoisonError::into_inner);
+            panic!("chaos: poisoning memo shard {idx}");
+        }));
+    }
+
     /// Distinct keys currently stored.
     pub fn len(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .map(|s| s.read().unwrap().len())
+        (0..self.inner.shards.len())
+            .map(|i| self.shard_read(i).len())
             .sum()
     }
 
     /// `true` if no key is stored.
     pub fn is_empty(&self) -> bool {
-        self.inner
-            .shards
-            .iter()
-            .all(|s| s.read().unwrap().is_empty())
+        (0..self.inner.shards.len()).all(|i| self.shard_read(i).is_empty())
     }
 
     /// Drops all entries (counters are kept).
     pub fn clear(&self) {
-        for shard in &self.inner.shards {
-            shard.write().unwrap().clear();
+        for i in 0..self.inner.shards.len() {
+            self.shard_write(i).clear();
         }
     }
 
@@ -204,14 +275,14 @@ impl<K, V> MemoTable<K, V> {
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+    fn shard_index(&self, key: &K) -> usize {
         let h = self.inner.hasher.hash_one(key) as usize;
-        &self.inner.shards[h & (NUM_SHARDS - 1)]
+        h & (NUM_SHARDS - 1)
     }
 
     /// Looks up `key` without counting a hit or miss.
     pub fn peek(&self, key: &K) -> Option<V> {
-        self.shard(key).read().unwrap().get(key).cloned()
+        self.shard_read(self.shard_index(key)).get(key).cloned()
     }
 
     /// Returns the cached value for `key`, computing and storing it with
@@ -221,8 +292,8 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
     /// the same key may compute twice; `compute` must therefore be pure
     /// (the first stored value wins, and purity makes both identical).
     pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
-        let shard = self.shard(key);
-        if let Some(v) = shard.read().unwrap().get(key) {
+        let idx = self.shard_index(key);
+        if let Some(v) = self.shard_read(idx).get(key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
             self.trace_lookup(true);
             return v.clone();
@@ -230,9 +301,7 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         self.trace_lookup(false);
         let value = compute();
-        shard
-            .write()
-            .unwrap()
+        self.shard_write(idx)
             .entry(key.clone())
             .or_insert_with(|| value.clone());
         value
@@ -240,7 +309,8 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
 
     /// Stores `value` for `key` unconditionally (no counter update).
     pub fn insert(&self, key: K, value: V) {
-        self.shard(&key).write().unwrap().insert(key, value);
+        let idx = self.shard_index(&key);
+        self.shard_write(idx).insert(key, value);
     }
 
     /// Fallible [`get_or_insert_with`](MemoTable::get_or_insert_with):
@@ -250,8 +320,8 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
         key: &K,
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<V, E> {
-        let shard = self.shard(key);
-        if let Some(v) = shard.read().unwrap().get(key) {
+        let idx = self.shard_index(key);
+        if let Some(v) = self.shard_read(idx).get(key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
             self.trace_lookup(true);
             return Ok(v.clone());
@@ -259,9 +329,7 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         self.trace_lookup(false);
         let value = compute()?;
-        shard
-            .write()
-            .unwrap()
+        self.shard_write(idx)
             .entry(key.clone())
             .or_insert_with(|| value.clone());
         Ok(value)
@@ -422,6 +490,53 @@ mod tests {
         });
         assert_eq!(table.len(), 64);
         assert_eq!(table.stats().lookups(), 4 * 64);
+    }
+
+    #[test]
+    fn poisoned_shard_is_quarantined_and_rebuilt() {
+        let table: MemoTable<u32, u32> = MemoTable::new();
+        for k in 0..64 {
+            table.insert(k, k + 1);
+        }
+        // Poison every shard the way a crashing writer would.
+        for idx in 0..16 {
+            table.chaos_poison_shard(idx);
+        }
+        // Every lookup still answers — via quarantine (clear + recompute),
+        // never by propagating the poison panic.
+        for k in 0..64u32 {
+            assert_eq!(table.get_or_insert_with(&k, || k + 1), k + 1);
+        }
+        assert!(table.quarantine_count() >= 1, "quarantines were counted");
+        // The table is functional again: entries stick.
+        assert_eq!(table.peek(&0), Some(1));
+    }
+
+    #[test]
+    fn quarantine_emits_shard_quarantined_events() {
+        use air_trace::{MemorySink, Tracer};
+
+        let table: MemoTable<u32, u32> = MemoTable::new();
+        let sink = Arc::new(MemorySink::new());
+        table.set_tracer("exec", &Tracer::new(sink.clone()));
+        table.insert(7, 7);
+        for idx in 0..16 {
+            table.chaos_poison_shard(idx);
+        }
+        table.get_or_insert_with(&7, || 7);
+        let quarantined: Vec<_> = sink
+            .drain()
+            .into_iter()
+            .filter(|e| matches!(e.kind, EventKind::ShardQuarantined { .. }))
+            .collect();
+        assert!(
+            !quarantined.is_empty(),
+            "a shard_quarantined event must be traced"
+        );
+        match &quarantined[0].kind {
+            EventKind::ShardQuarantined { table: t, .. } => assert_eq!(t, "exec"),
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Crash-safe checkpoints: atomic write-tmp-rename JSON snapshots.
+//!
+//! A sweep that can be `SIGKILL`ed at any instruction must never leave a
+//! half-written checkpoint behind, or resume would corrupt the very run
+//! it was meant to save. The discipline here is the classic one: write
+//! the full contents to `<path>.tmp`, `fsync`, then `rename` over the
+//! destination — readers observe either the old snapshot or the new one,
+//! never a torn file.
+
+use air_trace::{EventKind, Tracer};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Atomically replaces `path` with `contents` (write-tmp-rename, with a
+/// best-effort `fsync` of the temporary file first).
+///
+/// # Errors
+///
+/// Any I/O failure creating, writing, syncing or renaming the file.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Writes periodic checkpoints for a sweep, emitting `checkpoint_written`
+/// trace events. The render closure only runs when a checkpoint is due,
+/// so the serialization cost is paid once per `every` items.
+pub struct Checkpointer {
+    path: PathBuf,
+    every: u64,
+    tracer: Tracer,
+    written: u64,
+}
+
+impl Checkpointer {
+    /// Checkpoints to `path` every `every` completed items (`every` is
+    /// clamped to ≥ 1).
+    pub fn new(path: impl Into<PathBuf>, every: u64, tracer: Tracer) -> Self {
+        Checkpointer {
+            path: path.into(),
+            every: every.max(1),
+            tracer,
+            written: 0,
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Checkpoints written so far (via [`maybe_write`](Self::maybe_write)
+    /// and [`write_now`](Self::write_now)).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Writes a checkpoint if `items_done` is on the cadence. Returns
+    /// whether one was written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`atomic_write`] failures.
+    pub fn maybe_write(
+        &mut self,
+        items_done: u64,
+        render: impl FnOnce() -> String,
+    ) -> io::Result<bool> {
+        if items_done == 0 || !items_done.is_multiple_of(self.every) {
+            return Ok(false);
+        }
+        self.write_now(items_done, render)?;
+        Ok(true)
+    }
+
+    /// Writes a checkpoint unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`atomic_write`] failures.
+    pub fn write_now(
+        &mut self,
+        items_done: u64,
+        render: impl FnOnce() -> String,
+    ) -> io::Result<()> {
+        atomic_write(&self.path, &render())?;
+        self.written += 1;
+        self.tracer.emit_with(|| EventKind::CheckpointWritten {
+            path: self.path.display().to_string(),
+            items: items_done,
+        });
+        Ok(())
+    }
+
+    /// Removes the checkpoint file (after a sweep completes cleanly, its
+    /// checkpoint is stale state that must not leak into the next run).
+    pub fn remove(&self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Reads a checkpoint, distinguishing "absent" (fresh start) from a real
+/// I/O failure.
+///
+/// # Errors
+///
+/// Any failure other than [`io::ErrorKind::NotFound`].
+pub fn load(path: &Path) -> io::Result<Option<String>> {
+    match fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_trace::{MemorySink, Tracer};
+    use std::sync::Arc;
+
+    fn tmp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "air-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files_and_leaves_no_tmp() {
+        let dir = tmp_dir();
+        let path = dir.join("ck.json");
+        atomic_write(&path, "{\"v\":1}").unwrap();
+        atomic_write(&path, "{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(!dir.join("ck.json.tmp").exists(), "tmp file was renamed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_distinguishes_absent_from_present() {
+        let dir = tmp_dir();
+        let path = dir.join("none.json");
+        assert_eq!(load(&path).unwrap(), None);
+        atomic_write(&path, "x").unwrap();
+        assert_eq!(load(&path).unwrap().as_deref(), Some("x"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointer_respects_cadence_and_traces() {
+        let dir = tmp_dir();
+        let path = dir.join("sweep.json");
+        let sink = Arc::new(MemorySink::new());
+        let mut ck = Checkpointer::new(&path, 3, Tracer::new(sink.clone()));
+        let mut renders = 0;
+        for done in 1..=7u64 {
+            let wrote = ck
+                .maybe_write(done, || {
+                    renders += 1;
+                    format!("{{\"done\":{done}}}")
+                })
+                .unwrap();
+            assert_eq!(wrote, done % 3 == 0, "cadence at {done}");
+        }
+        assert_eq!(renders, 2, "render runs only when due");
+        assert_eq!(ck.written(), 2);
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"done\":6}");
+        let items: Vec<u64> = sink
+            .drain()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::CheckpointWritten { items, .. } => Some(*items),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(items, vec![3, 6]);
+        ck.remove();
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

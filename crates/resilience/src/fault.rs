@@ -1,0 +1,577 @@
+//! Seeded fault plans and the sink-borne fault injector.
+//!
+//! Every engine in the workspace already reports its progress through
+//! `air_trace` at named sites — phase spans (`verify.backward`,
+//! `repair.forward`, `absint.star`, `corpus.<name>` …), cache traffic
+//! (`cache.exec` …) and derivation rules (`lcl.iterate` …). A
+//! [`FaultPlan`] keys an ordered schedule of faults on those site names,
+//! and an [`InjectSink`] spliced between the tracer and its real sinks
+//! fires them: the *N*-th event matching a spec's site triggers its
+//! fault. Because the schedule is derived from a seed and fires on the
+//! deterministic event stream of a sequential run, identical seeds
+//! produce identical chaos — the property the `air chaos` contract
+//! (byte-identical `--stats-json`) rests on.
+
+use crate::SplitMix64;
+use air_lattice::Governor;
+use air_trace::{Event, EventKind, Sink, Tracer};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// The trace-point sites a generated plan draws from. These are phase
+/// names and event-derived site labels the engines emit today; a plan
+/// spec matches by prefix, so `"repair."` covers both repair directions
+/// and `"corpus."` covers every program of a sweep.
+pub const SITE_VOCABULARY: &[&str] = &[
+    "verify.backward",
+    "verify.forward",
+    "repair.forward",
+    "repair.backward",
+    "absint.star",
+    "lcl.",
+    "cegar.",
+    "corpus.",
+    "cache.exec",
+    "cache.wlp",
+    "cache.sat",
+    "cache.closure",
+];
+
+/// What a firing fault does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic on the spot; the unwind crosses the engine and is caught by
+    /// the [`Supervisor`](crate::Supervisor) (or a corpus task boundary).
+    Panic,
+    /// Cancel the run's [`Governor`], the deterministic stand-in for a
+    /// latency spike blowing the deadline: the engine stops at its next
+    /// governed check and surfaces a sound partial result.
+    Cancel,
+    /// Sleep for the given duration — a real latency spike. Generated
+    /// plans avoid it (wall-clock outcomes are nondeterministic); it
+    /// exists for deadline tests that want actual elapsed time.
+    Sleep(Duration),
+    /// Poison shard `shard` of the named memo table by panicking while
+    /// holding its write lock, via the hook installed with
+    /// [`FaultInjector::on_poison`]. Exercises shard quarantine.
+    PoisonShard { table: String, shard: usize },
+    /// Trip the shared [`FailSwitch`]: every later write through a
+    /// [`FlakyWriter`] fails with an I/O error. Exercises per-sink trace
+    /// degradation.
+    SinkFail,
+}
+
+impl FaultKind {
+    /// Short wire name used in `fault_injected` events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Cancel => "cancel",
+            FaultKind::Sleep(_) => "sleep",
+            FaultKind::PoisonShard { .. } => "poison",
+            FaultKind::SinkFail => "sink_fail",
+        }
+    }
+}
+
+/// One scheduled fault: fire `kind` on the `after`-th (0-based) event
+/// whose site starts with `site`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub site: String,
+    pub after: u64,
+    pub kind: FaultKind,
+}
+
+/// A seed-derived, ordered fault schedule. Same seed ⇒ same plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub faults: Vec<FaultSpec>,
+}
+
+/// Memo-table names a generated `PoisonShard` fault can target.
+const POISON_TABLES: &[&str] = &["exec", "wlp", "sat", "closure"];
+
+impl FaultPlan {
+    /// An empty plan (inject nothing).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Expands `seed` into 1–3 faults over [`SITE_VOCABULARY`].
+    ///
+    /// Only deterministic kinds are generated: `Panic`, `Cancel`,
+    /// `PoisonShard` and `SinkFail`. `Sleep` is excluded because its
+    /// observable outcome depends on wall-clock scheduling.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC0A5_F00D);
+        let count = 1 + rng.below(3) as usize;
+        let faults = (0..count)
+            .map(|_| {
+                let site = SITE_VOCABULARY[rng.below(SITE_VOCABULARY.len() as u64) as usize];
+                let after = rng.below(4);
+                let kind = match rng.below(5) {
+                    0 | 1 => FaultKind::Panic,
+                    2 => FaultKind::Cancel,
+                    3 => FaultKind::PoisonShard {
+                        table: POISON_TABLES[rng.below(POISON_TABLES.len() as u64) as usize]
+                            .to_string(),
+                        shard: rng.below(16) as usize,
+                    },
+                    _ => FaultKind::SinkFail,
+                };
+                FaultSpec {
+                    site: site.to_string(),
+                    after,
+                    kind,
+                }
+            })
+            .collect();
+        FaultPlan { seed, faults }
+    }
+
+    /// Deterministic one-line description (for reports and logs).
+    pub fn describe(&self) -> String {
+        self.faults
+            .iter()
+            .map(|f| format!("{}@{}+{}", f.kind.name(), f.site, f.after))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// A shared flag tripped by [`FaultKind::SinkFail`]; writers built from
+/// it start failing once it is set.
+#[derive(Clone, Default, Debug)]
+pub struct FailSwitch(Arc<AtomicBool>);
+
+impl FailSwitch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn trip(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_tripped(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A writer that fails every write once its [`FailSwitch`] trips —
+/// the stand-in for a trace file on a dying disk.
+pub struct FlakyWriter<W> {
+    inner: W,
+    switch: FailSwitch,
+}
+
+impl<W: Write> FlakyWriter<W> {
+    pub fn new(inner: W, switch: FailSwitch) -> Self {
+        FlakyWriter { inner, switch }
+    }
+}
+
+impl<W: Write> Write for FlakyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.switch.is_tripped() {
+            return Err(io::Error::other("injected trace-sink write failure"));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.switch.is_tripped() {
+            return Err(io::Error::other("injected trace-sink write failure"));
+        }
+        self.inner.flush()
+    }
+}
+
+struct ArmedSpec {
+    spec: FaultSpec,
+    hits: AtomicU64,
+    fired: AtomicBool,
+}
+
+type PoisonHook = Box<dyn Fn(&str, usize) + Send + Sync>;
+
+struct InjectorInner {
+    specs: Vec<ArmedSpec>,
+    governor: Governor,
+    sink_switch: FailSwitch,
+    /// Set after construction (the tracer wraps the sink that holds this
+    /// injector, so it cannot exist first). Shares the run's sequence
+    /// counter, so `fault_injected` events interleave correctly.
+    tracer: OnceLock<Tracer>,
+    poison_hook: OnceLock<PoisonHook>,
+    injected: AtomicU64,
+    log: Mutex<Vec<(String, &'static str)>>,
+}
+
+/// Cheap clonable handle to an armed fault schedule; the default handle
+/// is disabled and injects nothing.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<InjectorInner>>,
+}
+
+impl FaultInjector {
+    /// A handle that never fires (the production configuration).
+    pub fn disabled() -> Self {
+        FaultInjector { inner: None }
+    }
+
+    /// Arms `plan`. `governor` is cancelled by [`FaultKind::Cancel`]
+    /// faults and `sink_switch` is tripped by [`FaultKind::SinkFail`].
+    pub fn armed(plan: &FaultPlan, governor: Governor, sink_switch: FailSwitch) -> Self {
+        FaultInjector {
+            inner: Some(Arc::new(InjectorInner {
+                specs: plan
+                    .faults
+                    .iter()
+                    .map(|spec| ArmedSpec {
+                        spec: spec.clone(),
+                        hits: AtomicU64::new(0),
+                        fired: AtomicBool::new(false),
+                    })
+                    .collect(),
+                governor,
+                sink_switch,
+                tracer: OnceLock::new(),
+                poison_hook: OnceLock::new(),
+                injected: AtomicU64::new(0),
+                log: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Connects the run's tracer so fired faults emit `fault_injected`
+    /// events. Call once, after the tracer exists; later calls are no-ops.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.tracer.set(tracer.clone());
+        }
+    }
+
+    /// Installs the callback a [`FaultKind::PoisonShard`] fault invokes
+    /// (typically `SemCache::chaos_poison_shard`). One-shot.
+    pub fn on_poison(&self, hook: impl Fn(&str, usize) + Send + Sync + 'static) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.poison_hook.set(Box::new(hook));
+        }
+    }
+
+    /// Total faults fired so far.
+    pub fn injected(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.injected.load(Ordering::Relaxed))
+    }
+
+    /// `(site, kind)` pairs of fired faults, in firing order.
+    pub fn fired_log(&self) -> Vec<(String, &'static str)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.log.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        })
+    }
+
+    /// Re-arms every spec (hit counters and fired flags reset), so one
+    /// plan can run against several programs in sequence.
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            for armed in &inner.specs {
+                armed.hits.store(0, Ordering::Relaxed);
+                armed.fired.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Offers one trace event to the schedule; fires at most one fault.
+    /// Called by [`InjectSink`]; public so non-sink call sites (e.g. a
+    /// test driving the injector directly) can participate.
+    pub fn observe(&self, event: &Event) {
+        let Some(inner) = &self.inner else { return };
+        let Some(site) = site_of(&event.kind) else {
+            return;
+        };
+        for armed in &inner.specs {
+            if armed.fired.load(Ordering::Relaxed) || !site.starts_with(&armed.spec.site) {
+                continue;
+            }
+            let hit = armed.hits.fetch_add(1, Ordering::Relaxed);
+            if hit < armed.spec.after {
+                continue;
+            }
+            if armed.fired.swap(true, Ordering::Relaxed) {
+                continue;
+            }
+            inner.fire(&site, &armed.spec.kind);
+            // One fault per observed event keeps schedules readable.
+            return;
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("armed", &self.is_armed())
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl InjectorInner {
+    fn fire(&self, site: &str, kind: &FaultKind) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.log
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((site.to_string(), kind.name()));
+        if let Some(tracer) = self.tracer.get() {
+            tracer.emit_with(|| EventKind::FaultInjected {
+                site: site.to_string(),
+                fault: kind.name().to_string(),
+            });
+        }
+        match kind {
+            FaultKind::Panic => panic!("fault injected: panic at {site}"),
+            FaultKind::Cancel => self.governor.cancel(),
+            FaultKind::Sleep(d) => std::thread::sleep(*d),
+            FaultKind::PoisonShard { table, shard } => {
+                if let Some(hook) = self.poison_hook.get() {
+                    hook(table, *shard);
+                }
+            }
+            FaultKind::SinkFail => self.sink_switch.trip(),
+        }
+    }
+}
+
+/// Maps an event to the site label fault specs match against. Events
+/// that carry no site — and all resilience events, to keep the injector
+/// from feeding on its own output — return `None`.
+fn site_of(kind: &EventKind) -> Option<String> {
+    match kind {
+        EventKind::SpanEnter { phase } => Some(phase.clone()),
+        EventKind::CacheHit { table }
+        | EventKind::CacheMiss { table }
+        | EventKind::CacheBypass { table } => Some(format!("cache.{table}")),
+        EventKind::LclRule { rule } => Some(format!("lcl.{rule}")),
+        EventKind::Widening { site } => Some(format!("widening.{site}")),
+        EventKind::CegarIteration { .. } => Some("cegar.iteration".to_string()),
+        EventKind::CegarRefinement { .. } => Some("cegar.refinement".to_string()),
+        EventKind::CegarSplit { .. } => Some("cegar.split".to_string()),
+        EventKind::Incompleteness { .. } => Some("repair.incompleteness".to_string()),
+        _ => None,
+    }
+}
+
+/// A [`Sink`] adapter that offers every event to a [`FaultInjector`]
+/// before forwarding it. Splice it between a tracer and its real sinks:
+///
+/// ```text
+/// Tracer → InjectSink{ injector } → MultiSink → [jsonl, profiler, …]
+/// ```
+pub struct InjectSink {
+    inner: Arc<dyn Sink>,
+    injector: FaultInjector,
+}
+
+impl InjectSink {
+    pub fn new(inner: Arc<dyn Sink>, injector: FaultInjector) -> Self {
+        InjectSink { inner, injector }
+    }
+}
+
+impl Sink for InjectSink {
+    fn record(&self, event: &Event) {
+        // Forward first: if the fault panics, the event that triggered it
+        // is already on record — the trace tells the whole story.
+        self.inner.record(event);
+        self.injector.observe(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_trace::MemorySink;
+
+    fn span(seq: u64, phase: &str) -> Event {
+        Event {
+            seq,
+            t_ns: 0,
+            kind: EventKind::SpanEnter {
+                phase: phase.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_nonempty() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(!a.faults.is_empty() && a.faults.len() <= 3);
+            for f in &a.faults {
+                assert_ne!(f.kind.name(), "sleep", "generated plans stay deterministic");
+            }
+        }
+        assert_ne!(
+            FaultPlan::from_seed(1).describe(),
+            FaultPlan::from_seed(2).describe(),
+            "different seeds give different schedules"
+        );
+    }
+
+    #[test]
+    fn panic_fault_fires_on_the_nth_site_hit() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![FaultSpec {
+                site: "repair.".into(),
+                after: 1,
+                kind: FaultKind::Panic,
+            }],
+        };
+        let injector = FaultInjector::armed(&plan, Governor::unlimited(), FailSwitch::new());
+        injector.observe(&span(0, "verify.backward")); // no match
+        injector.observe(&span(1, "repair.forward")); // hit 0: below threshold
+        assert_eq!(injector.injected(), 0);
+        let i2 = injector.clone();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            i2.observe(&span(2, "repair.forward")); // hit 1: fires
+        }));
+        assert!(unwound.is_err(), "the panic fault must unwind");
+        assert_eq!(injector.injected(), 1);
+        assert_eq!(
+            injector.fired_log(),
+            vec![("repair.forward".into(), "panic")]
+        );
+        // One-shot: the spec never fires again.
+        injector.observe(&span(3, "repair.forward"));
+        assert_eq!(injector.injected(), 1);
+        // …until reset re-arms it.
+        injector.reset();
+        injector.observe(&span(4, "repair.forward"));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            injector.observe(&span(5, "repair.forward"));
+        }));
+        assert_eq!(injector.injected(), 2);
+    }
+
+    #[test]
+    fn cancel_fault_cancels_the_governor() {
+        let gov = Governor::cancellable();
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![FaultSpec {
+                site: "absint.star".into(),
+                after: 0,
+                kind: FaultKind::Cancel,
+            }],
+        };
+        let injector = FaultInjector::armed(&plan, gov.clone(), FailSwitch::new());
+        assert!(!gov.is_cancelled());
+        injector.observe(&span(0, "absint.star"));
+        assert!(gov.is_cancelled(), "cancel fault must cancel the governor");
+    }
+
+    #[test]
+    fn sink_fail_fault_trips_the_switch_and_flaky_writer_fails() {
+        let switch = FailSwitch::new();
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![FaultSpec {
+                site: "cache.exec".into(),
+                after: 0,
+                kind: FaultKind::SinkFail,
+            }],
+        };
+        let injector = FaultInjector::armed(&plan, Governor::unlimited(), switch.clone());
+        let mut w = FlakyWriter::new(Vec::new(), switch.clone());
+        assert!(w.write(b"ok").is_ok());
+        injector.observe(&Event {
+            seq: 0,
+            t_ns: 0,
+            kind: EventKind::CacheHit {
+                table: "exec".into(),
+            },
+        });
+        assert!(switch.is_tripped());
+        assert!(w.write(b"fails").is_err());
+        assert!(w.flush().is_err());
+    }
+
+    #[test]
+    fn poison_fault_invokes_the_hook() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![FaultSpec {
+                site: "verify.".into(),
+                after: 0,
+                kind: FaultKind::PoisonShard {
+                    table: "wlp".into(),
+                    shard: 5,
+                },
+            }],
+        };
+        let injector = FaultInjector::armed(&plan, Governor::unlimited(), FailSwitch::new());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        injector.on_poison(move |table, shard| {
+            sink.lock().unwrap().push((table.to_string(), shard));
+        });
+        injector.observe(&span(0, "verify.backward"));
+        assert_eq!(*seen.lock().unwrap(), vec![("wlp".to_string(), 5)]);
+    }
+
+    #[test]
+    fn inject_sink_forwards_then_fires_and_emits_fault_events() {
+        let memory = Arc::new(MemorySink::new());
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![FaultSpec {
+                site: "repair.forward".into(),
+                after: 0,
+                kind: FaultKind::Panic,
+            }],
+        };
+        let injector = FaultInjector::armed(&plan, Governor::unlimited(), FailSwitch::new());
+        let tracer = Tracer::new(Arc::new(InjectSink::new(memory.clone(), injector.clone())));
+        injector.set_tracer(&tracer);
+        tracer.emit(EventKind::Verdict {
+            phase: "warmup".into(),
+            verdict: "proved".into(),
+        });
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = tracer.span(|| "repair.forward".into());
+        }));
+        assert!(unwound.is_err());
+        let kinds: Vec<&'static str> = memory.drain().iter().map(|e| e.kind.kind_name()).collect();
+        // The triggering span_enter is on record, then the fault event,
+        // then the panic unwound (no span_exit).
+        assert_eq!(kinds, vec!["verdict", "span_enter", "fault_injected"]);
+    }
+
+    #[test]
+    fn disabled_injector_is_inert() {
+        let injector = FaultInjector::disabled();
+        injector.observe(&span(0, "repair.forward"));
+        assert_eq!(injector.injected(), 0);
+        assert!(!injector.is_armed());
+    }
+}

@@ -84,6 +84,19 @@ pub enum EventKind {
     /// The shrinker minimized a failing fuzz case from `before` to
     /// `after` basic commands.
     FuzzShrink { seed: u64, before: u64, after: u64 },
+    /// The fault injector fired a planned fault at a trace-point `site`;
+    /// `fault` names the kind (`panic`, `cancel`, `sleep`, `poison`,
+    /// `sink_fail`). Soundness of whatever survives is Thm 7.1/7.6.
+    FaultInjected { site: String, fault: String },
+    /// The supervisor retried a failed (panicked) task; `attempt` is the
+    /// 1-based retry number.
+    TaskRetried { site: String, attempt: u64 },
+    /// A memo-table shard poisoned by a panicking writer was quarantined:
+    /// cleared and rebuilt, falling back to uncached evaluation.
+    ShardQuarantined { table: String, shard: u64 },
+    /// A crash-safe checkpoint was atomically written after `items`
+    /// completed units of work.
+    CheckpointWritten { path: String, items: u64 },
 }
 
 /// Every wire-format `kind` value the engine can emit, in one place so
@@ -107,6 +120,10 @@ pub const KNOWN_KINDS: &[&str] = &[
     "cancelled",
     "fuzz_case",
     "fuzz_shrink",
+    "fault_injected",
+    "task_retried",
+    "shard_quarantined",
+    "checkpoint_written",
 ];
 
 impl EventKind {
@@ -131,6 +148,10 @@ impl EventKind {
             EventKind::Cancelled { .. } => "cancelled",
             EventKind::FuzzCase { .. } => "fuzz_case",
             EventKind::FuzzShrink { .. } => "fuzz_shrink",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::TaskRetried { .. } => "task_retried",
+            EventKind::ShardQuarantined { .. } => "shard_quarantined",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
         }
     }
 
@@ -242,6 +263,22 @@ impl Event {
                     ",\"seed\":{seed},\"before\":{before},\"after\":{after}"
                 );
             }
+            EventKind::FaultInjected { site, fault } => {
+                field_str(out, "site", site);
+                field_str(out, "fault", fault);
+            }
+            EventKind::TaskRetried { site, attempt } => {
+                field_str(out, "site", site);
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            EventKind::ShardQuarantined { table, shard } => {
+                field_str(out, "table", table);
+                let _ = write!(out, ",\"shard\":{shard}");
+            }
+            EventKind::CheckpointWritten { path, items } => {
+                field_str(out, "path", path);
+                let _ = write!(out, ",\"items\":{items}");
+            }
         }
         out.push('}');
     }
@@ -339,6 +376,22 @@ mod tests {
                 seed: 17,
                 before: 12,
                 after: 3,
+            },
+            EventKind::FaultInjected {
+                site: "repair.backward".into(),
+                fault: "panic".into(),
+            },
+            EventKind::TaskRetried {
+                site: "corpus.gauss_sum".into(),
+                attempt: 1,
+            },
+            EventKind::ShardQuarantined {
+                table: "exec".into(),
+                shard: 3,
+            },
+            EventKind::CheckpointWritten {
+                path: "sweep.ckpt.json".into(),
+                items: 50,
             },
         ];
         assert_eq!(samples.len(), KNOWN_KINDS.len(), "sample per kind");

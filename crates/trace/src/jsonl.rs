@@ -4,7 +4,8 @@ use crate::event::Event;
 use crate::tracer::Sink;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 struct Out {
     writer: BufWriter<Box<dyn Write + Send>>,
@@ -19,6 +20,9 @@ struct Out {
 /// flushed when the sink is dropped (or explicitly via [`JsonlSink::flush`]).
 pub struct JsonlSink {
     out: Mutex<Out>,
+    /// Set once the mutex has been recovered from a panic poison, so the
+    /// warning is printed at most once per sink.
+    poison_warned: AtomicBool,
 }
 
 impl JsonlSink {
@@ -33,6 +37,30 @@ impl JsonlSink {
                 writer: BufWriter::new(writer),
                 error: None,
             }),
+            poison_warned: AtomicBool::new(false),
+        }
+    }
+
+    /// Locks the writer, recovering from a mutex poisoned by a panicking
+    /// writer thread: the poison is cleared (warn-once) and tracing
+    /// continues best-effort, instead of every later write failing. The
+    /// buffered state is plain bytes plus a sticky error slot, so there
+    /// is no broken invariant to fear from the interrupted critical
+    /// section — at worst one line is torn, which trace consumers
+    /// already tolerate.
+    fn lock_recovering(&self) -> MutexGuard<'_, Out> {
+        match self.out.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.out.clear_poison();
+                if !self.poison_warned.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: trace sink mutex poisoned by a panicking writer; \
+                         recovered and continuing"
+                    );
+                }
+                poisoned.into_inner()
+            }
         }
     }
 
@@ -40,9 +68,7 @@ impl JsonlSink {
     /// the last [`JsonlSink::take_error`] — including earlier `write_all`
     /// failures that `record` could not surface.
     pub fn flush(&self) -> io::Result<()> {
-        let Ok(mut out) = self.out.lock() else {
-            return Err(io::Error::other("trace sink poisoned by a panic"));
-        };
+        let mut out = self.lock_recovering();
         if let Err(e) = out.writer.flush() {
             if out.error.is_none() {
                 out.error = Some(clone_io_error(&e));
@@ -57,7 +83,7 @@ impl JsonlSink {
 
     /// Takes the first recorded I/O error, if any, clearing it.
     pub fn take_error(&self) -> Option<io::Error> {
-        self.out.lock().ok().and_then(|mut out| out.error.take())
+        self.lock_recovering().error.take()
     }
 }
 
@@ -72,11 +98,10 @@ impl Sink for JsonlSink {
         event.to_jsonl(&mut line);
         line.push('\n');
         // Best-effort, but remember the first failure for flush/drop.
-        if let Ok(mut out) = self.out.lock() {
-            if let Err(e) = out.writer.write_all(line.as_bytes()) {
-                if out.error.is_none() {
-                    out.error = Some(e);
-                }
+        let mut out = self.lock_recovering();
+        if let Err(e) = out.writer.write_all(line.as_bytes()) {
+            if out.error.is_none() {
+                out.error = Some(e);
             }
         }
     }
@@ -84,15 +109,14 @@ impl Sink for JsonlSink {
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        if let Ok(mut out) = self.out.lock() {
-            if let Err(e) = out.writer.flush() {
-                if out.error.is_none() {
-                    out.error = Some(e);
-                }
+        let mut out = self.lock_recovering();
+        if let Err(e) = out.writer.flush() {
+            if out.error.is_none() {
+                out.error = Some(e);
             }
-            if let Some(e) = out.error.take() {
-                eprintln!("warning: trace output incomplete: {e}");
-            }
+        }
+        if let Some(e) = out.error.take() {
+            eprintln!("warning: trace output incomplete: {e}");
         }
     }
 }
@@ -177,6 +201,32 @@ mod tests {
         });
         let e = sink.take_error();
         assert!(e.is_some(), "buffered write failure must be recorded");
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_and_keeps_writing() {
+        let buf = Shared::default();
+        let sink = Arc::new(JsonlSink::from_writer(Box::new(buf.clone())));
+        // Poison the mutex: panic while holding the guard.
+        let poisoner = Arc::clone(&sink);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.out.lock().unwrap();
+            panic!("writer thread dies mid-record");
+        }));
+        assert!(sink.out.is_poisoned(), "setup: the mutex must be poisoned");
+        // Later writes and flushes must still succeed (was: io::Error forever).
+        sink.record(&Event {
+            seq: 0,
+            t_ns: 0,
+            kind: EventKind::CacheHit {
+                table: "exec".into(),
+            },
+        });
+        sink.flush().expect("recovered sink flushes clean");
+        assert!(!sink.out.is_poisoned(), "poison must be cleared");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "the post-poison event was written");
+        json::parse(text.lines().next().unwrap()).expect("valid JSON line");
     }
 
     #[test]

@@ -164,20 +164,58 @@ impl Sink for MemorySink {
 }
 
 /// Fans every event out to several sinks (e.g. JSONL file + profiler).
+///
+/// Degrades per-sink instead of failing the fan-out: a sink that panics
+/// while recording is disabled (with a one-time stderr warning) and the
+/// remaining sinks keep receiving events. Losing one observer must never
+/// cost the run — or its other observers — anything.
 pub struct MultiSink {
-    sinks: Vec<Arc<dyn Sink>>,
+    sinks: Vec<FanoutSlot>,
+}
+
+struct FanoutSlot {
+    sink: Arc<dyn Sink>,
+    disabled: std::sync::atomic::AtomicBool,
 }
 
 impl MultiSink {
     pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
-        MultiSink { sinks }
+        MultiSink {
+            sinks: sinks
+                .into_iter()
+                .map(|sink| FanoutSlot {
+                    sink,
+                    disabled: std::sync::atomic::AtomicBool::new(false),
+                })
+                .collect(),
+        }
+    }
+
+    /// How many sinks are still live (not disabled by a panic).
+    pub fn live_sinks(&self) -> usize {
+        self.sinks
+            .iter()
+            .filter(|s| !s.disabled.load(Ordering::Relaxed))
+            .count()
     }
 }
 
 impl Sink for MultiSink {
     fn record(&self, event: &Event) {
-        for sink in &self.sinks {
-            sink.record(event);
+        for slot in &self.sinks {
+            if slot.disabled.load(Ordering::Relaxed) {
+                continue;
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                slot.sink.record(event);
+            }));
+            if outcome.is_err() && !slot.disabled.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: a trace sink panicked while recording seq {}; \
+                     disabling that sink, others continue",
+                    event.seq
+                );
+            }
         }
     }
 }
@@ -247,5 +285,29 @@ mod tests {
         t.emit(EventKind::Widening { site: "s".into() });
         assert_eq!(a.drain().len(), 1);
         assert_eq!(b.drain().len(), 1);
+    }
+
+    /// A sink that panics on every record, to exercise fan-out degradation.
+    struct PanickySink;
+    impl Sink for PanickySink {
+        fn record(&self, _event: &Event) {
+            panic!("observer crashed");
+        }
+    }
+
+    #[test]
+    fn multi_sink_degrades_per_sink_on_panic() {
+        let healthy = Arc::new(MemorySink::new());
+        let multi = Arc::new(MultiSink::new(vec![
+            Arc::new(PanickySink) as Arc<dyn Sink>,
+            healthy.clone(),
+        ]));
+        let t = Tracer::new(multi.clone());
+        t.emit(EventKind::Widening { site: "a".into() });
+        t.emit(EventKind::Widening { site: "b".into() });
+        // The panicking sink is disabled after its first failure; the
+        // healthy sink saw every event.
+        assert_eq!(multi.live_sinks(), 1);
+        assert_eq!(healthy.drain().len(), 2);
     }
 }

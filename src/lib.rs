@@ -20,6 +20,10 @@
 //! - [`fuzz`] — the theorem-oracle fuzzer: seeded instance generation,
 //!   differential engine sweeps, greedy shrinking and replayable seed
 //!   files (see `FUZZING.md`).
+//! - [`resilience`] — deterministic fault injection (seeded fault plans
+//!   keyed on trace-point sites), `catch_unwind` supervision with
+//!   bounded retry, and crash-safe atomic checkpoints; the substrate of
+//!   `air chaos`.
 //!
 //! # Quickstart
 //!
@@ -48,4 +52,5 @@ pub use air_domains as domains;
 pub use air_fuzz as fuzz;
 pub use air_lang as lang;
 pub use air_lattice as lattice;
+pub use air_resilience as resilience;
 pub use air_trace as trace;

@@ -1,0 +1,720 @@
+//! Load generator for the `air serve` daemon (EXPERIMENTS.md, T13).
+//!
+//! Replays the checked-in corpus plus generated `air-fuzz` cases against
+//! a server — an in-process one by default, or a live daemon via
+//! `--connect ADDR` — and records:
+//!
+//! - **cold vs warm latency**: sequential round-trips over several
+//!   rounds; each response's `warm` flag classifies the sample, so the
+//!   cold population is exactly the first-request-per-table-set cost and
+//!   the warm population is every request that hit an existing table set;
+//! - **hit-rate-over-time**: the per-round cache hit rate derived from
+//!   consecutive cumulative `cache` snapshots;
+//! - **throughput**: N client connections each pipelining its whole
+//!   request list before reading a single response, so hundreds of
+//!   requests are in flight at once.
+//!
+//! Results go to `BENCH_serve.json` (`--out`); `--dump-responses FILE`
+//! records every response line for `serve_validate`; `--require-speedup
+//! X` turns the warm-cache acceptance criterion (warm p50 at least X
+//! times lower than cold p50) into the exit code, and `--shutdown` sends
+//! a shutdown frame so a `--connect`ed daemon drains and exits.
+//!
+//! ```text
+//! bench_serve [--connect ADDR] [--workers N] [--clients N] [--rounds N]
+//!             [--fuzz N] [--corpus DIR] [--out FILE]
+//!             [--dump-responses FILE] [--require-speedup X] [--shutdown]
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use air_fuzz::FuzzCase;
+use air_serve::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use air_serve::{start, ServeConfig};
+use air_trace::json::{self, Value};
+use air_trace::Tracer;
+
+struct Config {
+    connect: Option<String>,
+    workers: usize,
+    clients: usize,
+    rounds: usize,
+    fuzz: usize,
+    corpus: String,
+    out: String,
+    dump_responses: Option<String>,
+    require_speedup: Option<f64>,
+    shutdown: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            connect: None,
+            workers: 4,
+            clients: 8,
+            rounds: 6,
+            fuzz: 24,
+            corpus: "corpus".into(),
+            out: "BENCH_serve.json".into(),
+            dump_responses: None,
+            require_speedup: None,
+            shutdown: false,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&config) {
+        Ok(passed) => {
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("bench_serve: speedup requirement not met");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--connect" => config.connect = Some(value("--connect")?.clone()),
+            "--workers" => config.workers = num(value("--workers")?)?,
+            "--clients" => config.clients = num(value("--clients")?)?,
+            "--rounds" => config.rounds = num(value("--rounds")?)?,
+            "--fuzz" => config.fuzz = num(value("--fuzz")?)?,
+            "--corpus" => config.corpus = value("--corpus")?.clone(),
+            "--out" => config.out = value("--out")?.clone(),
+            "--dump-responses" => config.dump_responses = Some(value("--dump-responses")?.clone()),
+            "--require-speedup" => {
+                let raw = value("--require-speedup")?;
+                config.require_speedup =
+                    Some(raw.parse().map_err(|_| format!("bad speedup `{raw}`"))?);
+            }
+            "--shutdown" => config.shutdown = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if config.clients == 0 || config.rounds == 0 {
+        return Err("--clients and --rounds must be positive".into());
+    }
+    Ok(config)
+}
+
+fn num<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("bad number `{raw}`"))
+}
+
+/// Renders `s` as a quoted, escaped JSON string literal.
+fn q(s: &str) -> String {
+    let mut out = String::new();
+    json::escape_str(s, &mut out);
+    out
+}
+
+/// One request template: everything after the `id` field of the frame.
+struct WorkItem {
+    /// Where the item came from (corpus file stem or `fuzz-N`).
+    name: String,
+    /// Rendered JSON fields, starting with `"job":...`.
+    body: String,
+}
+
+struct Sample {
+    latency_ns: u64,
+    warm: bool,
+    round: usize,
+    exec_hits: u64,
+    exec_misses: u64,
+}
+
+fn run(config: &Config) -> Result<bool, String> {
+    // Boot an in-process server unless pointed at a live daemon.
+    let (addr, server) = match &config.connect {
+        Some(addr) => (
+            addr.parse::<SocketAddr>()
+                .map_err(|e| format!("bad --connect address `{addr}`: {e}"))?,
+            None,
+        ),
+        None => {
+            let server = start(
+                ServeConfig {
+                    tcp: Some("127.0.0.1:0".into()),
+                    workers: config.workers,
+                    ..ServeConfig::default()
+                },
+                Tracer::disabled(),
+            )
+            .map_err(|e| format!("in-process server failed to start: {e}"))?;
+            (
+                server.addr().expect("tcp transport has an address"),
+                Some(server),
+            )
+        }
+    };
+
+    let workload = build_workload(config)?;
+    eprintln!(
+        "bench_serve: {} workload items ({} corpus, {} fuzz), {} rounds, {} clients",
+        workload.len(),
+        workload
+            .iter()
+            .filter(|w| !w.name.starts_with("fuzz-"))
+            .count(),
+        workload
+            .iter()
+            .filter(|w| w.name.starts_with("fuzz-"))
+            .count(),
+        config.rounds,
+        config.clients,
+    );
+    let mut transcript: Vec<String> = Vec::new();
+
+    // Phase 1: sequential rounds on one connection — latency + hit rate.
+    let started = Instant::now();
+    let samples = latency_phase(addr, &workload, config.rounds, &mut transcript)?;
+
+    // Phase 2: pipelined clients — throughput under concurrency.
+    let throughput = throughput_phase(addr, &workload, config.clients, &mut transcript)?;
+
+    // Stats snapshot, then optionally drain the daemon.
+    let mut probe = Client::connect(addr)?;
+    let stats_line = probe.roundtrip(r#"{"id":"bench-stats","job":"stats"}"#)?;
+    transcript.push(stats_line);
+    if config.shutdown {
+        transcript.push(probe.roundtrip(r#"{"id":"bench-shutdown","job":"shutdown"}"#)?);
+    }
+    drop(probe);
+    let report = server.map(|s| {
+        s.stop();
+        s.join()
+    });
+
+    if let Some(path) = &config.dump_responses {
+        std::fs::write(path, transcript.join("\n") + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("bench_serve: {} response lines -> {path}", transcript.len());
+    }
+
+    let summary = render(config, &workload, &samples, &throughput, &report, started);
+    std::fs::write(&config.out, &summary)
+        .map_err(|e| format!("cannot write {}: {e}", config.out))?;
+
+    let cold = stats_of(&samples, false);
+    let warm = stats_of(&samples, true);
+    let passes = pass_speedup(&samples);
+    eprintln!(
+        "bench_serve: cold p50 {}us, warm p50 {}us, cold pass {}us vs warm pass {}us \
+         ({:.1}x), {:.0} req/s -> {}",
+        cold.p50 / 1_000,
+        warm.p50 / 1_000,
+        passes.cold_ns / 1_000,
+        passes.warm_ns / 1_000,
+        passes.speedup,
+        throughput.requests_per_s,
+        config.out,
+    );
+    Ok(config
+        .require_speedup
+        .is_none_or(|need| passes.speedup >= need))
+}
+
+// ---------------------------------------------------------------- workload
+
+fn build_workload(config: &Config) -> Result<Vec<WorkItem>, String> {
+    let mut items = corpus_items(&config.corpus)?;
+    for seed in 0..config.fuzz as u64 {
+        items.push(fuzz_item(seed));
+    }
+    if items.is_empty() {
+        return Err(format!(
+            "no workload: no corpus programs under `{}` and --fuzz 0",
+            config.corpus
+        ));
+    }
+    Ok(items)
+}
+
+/// Loads every `*.imp` under the corpus root and its `fuzz/` subdirectory
+/// that carries a `# Verified with:` header (the `slow/` subdirectory is
+/// intentionally skipped). Jobs rotate verify -> repair -> analyze so the
+/// mix exercises every engine path.
+fn corpus_items(root: &str) -> Result<Vec<WorkItem>, String> {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for dir in [root.to_string(), format!("{root}/fuzz")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "imp") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    let mut items = Vec::new();
+    for (idx, path) in files.iter().enumerate() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        // Two header conventions coexist in the corpus: the sweep's
+        // `# Verified with: vars "x:-8..8", ...` and the fuzz corpus's
+        // `# fuzz: domain "int" vars "x=-4..4" ...` (ranges use `=`).
+        let Some(header) = text
+            .lines()
+            .find(|l| l.contains("Verified with:") || l.contains("# fuzz:"))
+        else {
+            eprintln!("bench_serve: skipping {} (no header)", path.display());
+            continue;
+        };
+        let clause = |key: &str| header_clause(header, key);
+        let (Some(vars), Some(pre), Some(spec)) = (clause("vars"), clause("pre"), clause("spec"))
+        else {
+            eprintln!(
+                "bench_serve: skipping {} (incomplete header)",
+                path.display()
+            );
+            continue;
+        };
+        let vars = vars.replace('=', ":");
+        let job = ["verify", "repair", "analyze"][idx % 3];
+        let mut body = format!(
+            r#""job":"{job}","vars":{},"code":{},"pre":{},"spec":{}"#,
+            q(&vars),
+            q(&text),
+            q(pre),
+            q(spec),
+        );
+        if let Some(domain) = clause("domain") {
+            body.push_str(&format!(r#","domain":{}"#, q(domain)));
+        }
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| format!("corpus-{idx}"));
+        items.push(WorkItem { name, body });
+    }
+    Ok(items)
+}
+
+/// Extracts the quoted value of `key "..."` from a corpus header line
+/// (same convention as the CLI's corpus sweeper).
+fn header_clause<'a>(header: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("{key} \"");
+    let start = header.find(&pat)? + pat.len();
+    let rest = &header[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Renders a generated fuzz case as a request body. `Reg::to_source` is
+/// the parseable program form (Display is pretty-printed); pre and spec
+/// Display round-trips through `parse_bexp`.
+fn fuzz_item(seed: u64) -> WorkItem {
+    let case = FuzzCase::generate(seed);
+    let vars = case
+        .decls
+        .iter()
+        .map(|(name, lo, hi)| format!("{name}:{lo}..{hi}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let job = ["verify", "repair", "analyze"][(seed % 3) as usize];
+    let body = format!(
+        r#""job":"{job}","vars":{},"domain":{},"code":{},"pre":{},"spec":{}"#,
+        q(&vars),
+        q(&case.domain),
+        q(&case.program.to_source()),
+        q(&case.pre.to_string()),
+        q(&case.spec.to_string()),
+    );
+    WorkItem {
+        name: format!("fuzz-{seed}"),
+        body,
+    }
+}
+
+// ------------------------------------------------------------------ client
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, payload: &str) -> Result<(), String> {
+        write_frame(&mut self.writer, payload).map_err(|e| format!("send frame: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<String, String> {
+        read_frame(&mut self.reader, DEFAULT_MAX_FRAME)
+            .map_err(|e| format!("read frame: {e}"))?
+            .ok_or("server closed the connection".into())
+    }
+
+    fn roundtrip(&mut self, payload: &str) -> Result<String, String> {
+        self.send(payload)?;
+        self.recv()
+    }
+}
+
+// ----------------------------------------------------------------- phase 1
+
+fn latency_phase(
+    addr: SocketAddr,
+    workload: &[WorkItem],
+    rounds: usize,
+    transcript: &mut Vec<String>,
+) -> Result<Vec<Sample>, String> {
+    let mut client = Client::connect(addr)?;
+    let mut samples = Vec::with_capacity(rounds * workload.len());
+    for round in 0..rounds {
+        for (idx, item) in workload.iter().enumerate() {
+            let payload = format!(r#"{{"id":"lat-{round}-{idx}",{}}}"#, item.body);
+            let begun = Instant::now();
+            let line = client.roundtrip(&payload)?;
+            let latency_ns = begun.elapsed().as_nanos() as u64;
+            let doc =
+                json::parse(&line).map_err(|e| format!("{}: bad response JSON: {e}", item.name))?;
+            let get_num = |obj: &Value, key: &str| -> u64 {
+                obj.get(key).and_then(Value::as_num).unwrap_or(0.0) as u64
+            };
+            let cache = doc.get("cache");
+            samples.push(Sample {
+                latency_ns,
+                warm: doc.get("warm").and_then(Value::as_bool).unwrap_or(false),
+                round,
+                exec_hits: cache.map(|c| get_num(c, "exec_hits")).unwrap_or(0),
+                exec_misses: cache.map(|c| get_num(c, "exec_misses")).unwrap_or(0),
+            });
+            transcript.push(line);
+        }
+    }
+    Ok(samples)
+}
+
+// ----------------------------------------------------------------- phase 2
+
+struct Throughput {
+    requests: u64,
+    errors: u64,
+    wall_ns: u64,
+    requests_per_s: f64,
+    max_in_flight: u64,
+}
+
+/// Every client writes its entire request list before reading one
+/// response, so the aggregate in-flight count peaks at
+/// `clients * workload.len()`.
+fn throughput_phase(
+    addr: SocketAddr,
+    workload: &[WorkItem],
+    clients: usize,
+    transcript: &mut Vec<String>,
+) -> Result<Throughput, String> {
+    let begun = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let payloads: Vec<String> = workload
+                .iter()
+                .enumerate()
+                .map(|(idx, item)| format!(r#"{{"id":"tp-{c}-{idx}",{}}}"#, item.body))
+                .collect();
+            std::thread::spawn(move || -> Result<Vec<String>, String> {
+                let mut client = Client::connect(addr)?;
+                for payload in &payloads {
+                    client.send(payload)?;
+                }
+                let mut lines = Vec::with_capacity(payloads.len());
+                for _ in 0..payloads.len() {
+                    lines.push(client.recv()?);
+                }
+                Ok(lines)
+            })
+        })
+        .collect();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for handle in handles {
+        let lines = handle.join().map_err(|_| "client thread panicked")??;
+        for line in lines {
+            requests += 1;
+            if line.contains(r#""status":"error""#) {
+                errors += 1;
+            }
+            transcript.push(line);
+        }
+    }
+    let wall_ns = begun.elapsed().as_nanos() as u64;
+    Ok(Throughput {
+        requests,
+        errors,
+        wall_ns,
+        requests_per_s: requests as f64 / (wall_ns as f64 / 1e9),
+        max_in_flight: (clients * workload.len()) as u64,
+    })
+}
+
+// ----------------------------------------------------------------- summary
+
+#[derive(Default)]
+struct LatencyStats {
+    count: usize,
+    p50: u64,
+    p99: u64,
+    mean: u64,
+}
+
+struct PassSpeedup {
+    cold_ns: u64,
+    warm_ns: u64,
+    speedup: f64,
+}
+
+/// Whole-pass comparison: the wall time of the first pass over the
+/// workload (every table set built from scratch) against the median wall
+/// time of the later, warm passes. Per-request p50s are reported too,
+/// but the pass sums are dominated by the requests that do real work, so
+/// this is the stable form of the warm-cache acceptance criterion (tiny
+/// requests are wire-overhead-bound either way).
+fn pass_speedup(samples: &[Sample]) -> PassSpeedup {
+    let rounds = samples.iter().map(|s| s.round).max().map_or(0, |r| r + 1);
+    let sum = |round: usize| -> u64 {
+        samples
+            .iter()
+            .filter(|s| s.round == round)
+            .map(|s| s.latency_ns)
+            .sum()
+    };
+    let cold_ns = sum(0);
+    let mut warm_sums: Vec<u64> = (1..rounds).map(sum).collect();
+    warm_sums.sort_unstable();
+    let warm_ns = warm_sums
+        .get(warm_sums.len().saturating_sub(1) / 2)
+        .copied()
+        .unwrap_or(cold_ns);
+    PassSpeedup {
+        cold_ns,
+        warm_ns,
+        speedup: cold_ns as f64 / warm_ns.max(1) as f64,
+    }
+}
+
+fn stats_of(samples: &[Sample], warm: bool) -> LatencyStats {
+    let mut picked: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.warm == warm)
+        .map(|s| s.latency_ns)
+        .collect();
+    if picked.is_empty() {
+        return LatencyStats::default();
+    }
+    picked.sort_unstable();
+    let pct = |p: f64| picked[((picked.len() - 1) as f64 * p / 100.0).round() as usize];
+    LatencyStats {
+        count: picked.len(),
+        p50: pct(50.0),
+        p99: pct(99.0),
+        mean: picked.iter().sum::<u64>() / picked.len() as u64,
+    }
+}
+
+fn render(
+    config: &Config,
+    workload: &[WorkItem],
+    samples: &[Sample],
+    throughput: &Throughput,
+    report: &Option<air_serve::ServeReport>,
+    started: Instant,
+) -> String {
+    let cold = stats_of(samples, false);
+    let warm = stats_of(samples, true);
+    let speedup = cold.p50 as f64 / warm.p50.max(1) as f64;
+    let passes = pass_speedup(samples);
+    let stats_json = |s: &LatencyStats| {
+        format!(
+            r#"{{"count":{},"p50_ns":{},"p99_ns":{},"mean_ns":{}}}"#,
+            s.count, s.p50, s.p99, s.mean
+        )
+    };
+
+    // Hit-rate-over-time: per round, the delta of the cumulative cache
+    // counters across that round's samples.
+    let rounds = samples.iter().map(|s| s.round).max().map_or(0, |r| r + 1);
+    let mut round_rows = Vec::new();
+    let (mut prev_hits, mut prev_misses) = (0u64, 0u64);
+    for round in 0..rounds {
+        let in_round: Vec<&Sample> = samples.iter().filter(|s| s.round == round).collect();
+        let hits: u64 = in_round.iter().map(|s| s.exec_hits).max().unwrap_or(0);
+        let misses: u64 = in_round.iter().map(|s| s.exec_misses).max().unwrap_or(0);
+        let (dh, dm) = (
+            hits.saturating_sub(prev_hits),
+            misses.saturating_sub(prev_misses),
+        );
+        (prev_hits, prev_misses) = (hits, misses);
+        let rate = if dh + dm == 0 {
+            1.0
+        } else {
+            dh as f64 / (dh + dm) as f64
+        };
+        let mut lat: Vec<u64> = in_round.iter().map(|s| s.latency_ns).collect();
+        lat.sort_unstable();
+        let p50 = lat
+            .get(lat.len().saturating_sub(1) / 2)
+            .copied()
+            .unwrap_or(0);
+        round_rows.push(format!(
+            r#"{{"round":{},"p50_ns":{p50},"exec_hit_rate":{rate:.4}}}"#,
+            round + 1
+        ));
+    }
+
+    let report_json = match report {
+        Some(r) => format!(
+            r#"{{"served":{},"warm_hits":{},"aborts":{}}}"#,
+            r.served, r.warm_hits, r.aborts
+        ),
+        None => "null".into(),
+    };
+    let mut names: BTreeMap<&str, usize> = BTreeMap::new();
+    for item in workload {
+        let kind = if item.name.starts_with("fuzz-") {
+            "fuzz"
+        } else {
+            "corpus"
+        };
+        *names.entry(kind).or_default() += 1;
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"serve\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"config\": {{\"workers\":{workers},\"clients\":{clients},\"rounds\":{rounds},",
+            "\"corpus_items\":{corpus},\"fuzz_items\":{fuzz},\"workload\":{workload}}},\n",
+            "  \"latency\": {{\n",
+            "    \"cold\": {cold},\n",
+            "    \"warm\": {warm},\n",
+            "    \"speedup_p50\": {speedup:.2}\n",
+            "  }},\n",
+            "  \"passes\": {{\"cold_ns\":{pass_cold},\"warm_median_ns\":{pass_warm},",
+            "\"speedup\":{pass_speedup:.2}}},\n",
+            "  \"rounds\": [{round_rows}],\n",
+            "  \"throughput\": {{\"requests\":{requests},\"errors\":{errors},",
+            "\"max_in_flight\":{in_flight},\"wall_ns\":{wall_ns},\"requests_per_s\":{rps:.1}}},\n",
+            "  \"drain\": {drain},\n",
+            "  \"total_wall_ns\": {total}\n",
+            "}}\n",
+        ),
+        mode = if config.connect.is_some() {
+            "connect"
+        } else {
+            "in-process"
+        },
+        workers = config.workers,
+        clients = config.clients,
+        rounds = config.rounds,
+        corpus = names.get("corpus").copied().unwrap_or(0),
+        fuzz = names.get("fuzz").copied().unwrap_or(0),
+        workload = workload.len(),
+        cold = stats_json(&cold),
+        warm = stats_json(&warm),
+        speedup = speedup,
+        pass_cold = passes.cold_ns,
+        pass_warm = passes.warm_ns,
+        pass_speedup = passes.speedup,
+        round_rows = round_rows.join(","),
+        requests = throughput.requests,
+        errors = throughput.errors,
+        in_flight = throughput.max_in_flight,
+        wall_ns = throughput.wall_ns,
+        rps = throughput.requests_per_s,
+        drain = report_json,
+        total = started.elapsed().as_nanos(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_clause_extracts_quoted_values() {
+        let header = r#"# Verified with: vars "x:-8..8", pre "x != 0", spec "x >= 1"."#;
+        assert_eq!(header_clause(header, "vars"), Some("x:-8..8"));
+        assert_eq!(header_clause(header, "pre"), Some("x != 0"));
+        assert_eq!(header_clause(header, "spec"), Some("x >= 1"));
+        assert_eq!(header_clause(header, "domain"), None);
+    }
+
+    #[test]
+    fn fuzz_items_render_parseable_request_bodies() {
+        use air_lang::{parse_bexp, parse_program};
+        for seed in 0..16 {
+            let item = fuzz_item(seed);
+            let payload = format!(r#"{{"id":"t",{}}}"#, item.body);
+            let req = air_serve::protocol::parse_request(&payload)
+                .unwrap_or_else(|e| panic!("{payload}: {e:?}"));
+            let air_serve::protocol::Request::Job(job) = req else {
+                panic!("{payload}: expected an engine job");
+            };
+            // The server re-parses these with the engine's own parsers;
+            // a rendering the engine rejects would skew the benchmark
+            // toward cheap code-2 errors.
+            parse_program(&job.code).unwrap_or_else(|e| panic!("{}: {e}", job.code));
+            parse_bexp(&job.pre).unwrap_or_else(|e| panic!("{}: {e}", job.pre));
+            parse_bexp(&job.spec).unwrap_or_else(|e| panic!("{}: {e}", job.spec));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let samples: Vec<Sample> = (0..100)
+            .map(|i| Sample {
+                latency_ns: (i + 1) * 1000,
+                warm: i % 2 == 0,
+                round: 0,
+                exec_hits: 0,
+                exec_misses: 0,
+            })
+            .collect();
+        let warm = stats_of(&samples, true);
+        let cold = stats_of(&samples, false);
+        assert_eq!(warm.count + cold.count, 100);
+        assert!(warm.p50 <= warm.p99);
+        assert!(cold.p50 <= cold.p99);
+    }
+}

@@ -1,0 +1,315 @@
+//! Validate a JSONL transcript of `air serve` responses (one response
+//! object per line, as dumped by `bench_serve --dump-responses`) against
+//! the checked-in wire schema (`schemas/serve-response.schema.json`).
+//!
+//! ```text
+//! serve_validate <responses.jsonl> [schema.json]
+//! ```
+//!
+//! The validator fails (exit code 1) on:
+//!
+//! - a line that is not a JSON object,
+//! - a missing or mistyped envelope field,
+//! - an unknown `status` value (the status set is closed),
+//! - a missing or mistyped payload field for that status, or a field the
+//!   schema does not list,
+//! - malformed nested objects (`cache`, `alarms`, `error`), or an error
+//!   code outside the CLI taxonomy (2 usage, 3 budget, 4 internal).
+//!
+//! The CI `serve-smoke` job boots the daemon, fires a mixed concurrent
+//! workload through `bench_serve`, and pipes the recorded responses
+//! through this binary: every frame the daemon emits under load must be
+//! schema-valid.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use air_trace::json::{self, Value};
+
+const DEFAULT_SCHEMA: &str = "schemas/serve-response.schema.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (transcript, schema_path) = match args.as_slice() {
+        [t] => (t.as_str(), DEFAULT_SCHEMA),
+        [t, s] => (t.as_str(), s.as_str()),
+        _ => {
+            eprintln!("usage: serve_validate <responses.jsonl> [schema.json]");
+            return ExitCode::from(2);
+        }
+    };
+    match validate(transcript, schema_path) {
+        Ok(report) => {
+            // `writeln!` instead of `println!`: a closed pipe (e.g.
+            // `| head`) must not turn a successful validation into a
+            // panic.
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve_validate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Field name -> (JSON type name, required). Optional fields are written
+/// `"name?"` in the schema file.
+type FieldSpec = BTreeMap<String, (String, bool)>;
+
+struct Schema {
+    envelope: FieldSpec,
+    statuses: BTreeMap<String, FieldSpec>,
+    cache_fields: FieldSpec,
+    alarms_fields: FieldSpec,
+    error_fields: FieldSpec,
+}
+
+fn validate(transcript: &str, schema_path: &str) -> Result<String, String> {
+    let schema = load_schema(schema_path)?;
+    let text = std::fs::read_to_string(transcript)
+        .map_err(|e| format!("cannot read {transcript}: {e}"))?;
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc =
+            json::parse(line).map_err(|e| format!("{transcript}:{lineno}: malformed JSON: {e}"))?;
+        let status =
+            check_response(&schema, &doc).map_err(|e| format!("{transcript}:{lineno}: {e}"))?;
+        *counts.entry(status).or_default() += 1;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{transcript}: transcript is empty"));
+    }
+    let mut report = format!("{transcript}: {lines} responses valid");
+    for (status, n) in &counts {
+        report.push_str(&format!("\n  {status:<10} {n}"));
+    }
+    Ok(report)
+}
+
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let section = |key: &str| -> Result<FieldSpec, String> {
+        field_spec(doc.get(key).ok_or(format!("{path}: no {key:?}"))?)
+            .map_err(|e| format!("{path}: {key}: {e}"))
+    };
+    let statuses_obj = doc
+        .get("statuses")
+        .and_then(Value::as_obj)
+        .ok_or(format!("{path}: no \"statuses\" object"))?;
+    let mut statuses = BTreeMap::new();
+    for (status, fields) in statuses_obj {
+        let spec = field_spec(fields).map_err(|e| format!("{path}: status {status:?}: {e}"))?;
+        statuses.insert(status.clone(), spec);
+    }
+    Ok(Schema {
+        envelope: section("envelope")?,
+        statuses,
+        cache_fields: section("cache_fields")?,
+        alarms_fields: section("alarms_fields")?,
+        error_fields: section("error_fields")?,
+    })
+}
+
+fn field_spec(v: &Value) -> Result<FieldSpec, String> {
+    let obj = v.as_obj().ok_or("expected an object of field -> type")?;
+    let mut spec = FieldSpec::new();
+    for (field, ty) in obj {
+        let ty = ty
+            .as_str()
+            .ok_or_else(|| format!("field {field:?}: type must be a string"))?;
+        if !["string", "number", "bool", "object", "array"].contains(&ty) {
+            return Err(format!("field {field:?}: unsupported type {ty:?}"));
+        }
+        let (name, required) = match field.strip_suffix('?') {
+            Some(name) => (name, false),
+            None => (field.as_str(), true),
+        };
+        spec.insert(name.to_string(), (ty.to_string(), required));
+    }
+    Ok(spec)
+}
+
+/// Check one parsed response line; returns its status on success.
+fn check_response(schema: &Schema, doc: &Value) -> Result<String, String> {
+    let obj = doc.as_obj().ok_or("response is not a JSON object")?;
+    check_fields(obj, &schema.envelope, "envelope")?;
+    let status = obj
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or("missing \"status\"")?;
+    let payload = schema
+        .statuses
+        .get(status)
+        .ok_or_else(|| format!("unknown status {status:?}"))?;
+    check_fields(obj, payload, status)?;
+    // Closed schema: nothing beyond envelope + payload.
+    for field in obj.keys() {
+        if !schema.envelope.contains_key(field) && !payload.contains_key(field) {
+            return Err(format!("status {status:?}: unexpected field {field:?}"));
+        }
+    }
+    // Nested objects have their own closed field sets.
+    if let Some(cache) = obj.get("cache") {
+        check_nested(cache, &schema.cache_fields, "cache")?;
+    }
+    if let Some(alarms) = obj.get("alarms") {
+        check_nested(alarms, &schema.alarms_fields, "alarms")?;
+    }
+    if let Some(error) = obj.get("error") {
+        check_nested(error, &schema.error_fields, "error")?;
+        let code = error
+            .get("code")
+            .and_then(Value::as_num)
+            .ok_or("error.code is not a number")?;
+        if ![2.0, 3.0, 4.0].contains(&code) {
+            return Err(format!(
+                "error.code {code} outside the taxonomy (2 usage, 3 budget, 4 internal)"
+            ));
+        }
+    }
+    Ok(status.to_string())
+}
+
+fn check_nested(v: &Value, spec: &FieldSpec, what: &str) -> Result<(), String> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| format!("{what} is not an object"))?;
+    check_fields(obj, spec, what)?;
+    for field in obj.keys() {
+        if !spec.contains_key(field) {
+            return Err(format!("{what}: unexpected field {field:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_fields(obj: &BTreeMap<String, Value>, spec: &FieldSpec, what: &str) -> Result<(), String> {
+    for (field, (ty, required)) in spec {
+        let Some(value) = obj.get(field) else {
+            if *required {
+                return Err(format!("{what}: missing field {field:?}"));
+            }
+            continue;
+        };
+        let ok = match ty.as_str() {
+            "string" => matches!(value, Value::Str(_)),
+            "number" => matches!(value, Value::Num(_)),
+            "bool" => matches!(value, Value::Bool(_)),
+            "object" => matches!(value, Value::Obj(_)),
+            "array" => matches!(value, Value::Arr(_)),
+            _ => false,
+        };
+        if !ok {
+            return Err(format!("{what}: field {field:?} is not a {ty}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_schema() -> Schema {
+        load_schema(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/serve-response.schema.json"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_real_rendered_responses() {
+        // Every Response variant the server can emit must satisfy the
+        // checked-in schema — this pins schema and renderer together.
+        use air_serve::protocol::{CacheSnapshot, JobKind, Response};
+        let schema = test_schema();
+        let responses = [
+            Response::Verdict {
+                id: "r1".into(),
+                job: JobKind::Repair,
+                proved: true,
+                report: "PROVED\n".into(),
+                points: 1,
+                witness: None,
+                points_detail: vec!["{x ∈ [0,1]}".into()],
+                warm: true,
+                duration_ns: 12,
+                cache: CacheSnapshot {
+                    exec_hits: 1,
+                    exec_misses: 2,
+                },
+            },
+            Response::Verdict {
+                id: "r2".into(),
+                job: JobKind::Verify,
+                proved: false,
+                report: "REFUTED\n".into(),
+                points: 0,
+                witness: Some("{x → 5}".into()),
+                points_detail: vec![],
+                warm: false,
+                duration_ns: 3,
+                cache: CacheSnapshot::default(),
+            },
+            Response::Alarms {
+                id: "r3".into(),
+                total: 2,
+                true_alarms: 1,
+                false_alarms: 1,
+                warm: false,
+                duration_ns: 4,
+                cache: CacheSnapshot::default(),
+            },
+            Response::Ok {
+                id: "r4".into(),
+                detail: "pong".into(),
+                stats: None,
+            },
+            Response::Error {
+                id: "r5".into(),
+                code: 3,
+                message: "budget exhausted".into(),
+                phase: Some("repair.backward".into()),
+                spent: Some(9),
+                reason: Some("fuel".into()),
+            },
+        ];
+        for resp in responses {
+            let line = resp.to_json();
+            let doc = json::parse(&line).unwrap();
+            check_response(&schema, &doc).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_status_extra_field_and_bad_code() {
+        let schema = test_schema();
+        let unknown = json::parse(r#"{"id":"x","status":"victorious"}"#).unwrap();
+        assert!(check_response(&schema, &unknown)
+            .unwrap_err()
+            .contains("unknown status"));
+        let extra = json::parse(r#"{"id":"x","status":"ok","detail":"pong","bonus":1}"#).unwrap();
+        assert!(check_response(&schema, &extra)
+            .unwrap_err()
+            .contains("unexpected field"));
+        let bad_code =
+            json::parse(r#"{"id":"x","status":"error","error":{"code":7,"message":"m"}}"#).unwrap();
+        assert!(check_response(&schema, &bad_code)
+            .unwrap_err()
+            .contains("taxonomy"));
+        let missing = json::parse(r#"{"id":"x","status":"ok"}"#).unwrap();
+        assert!(check_response(&schema, &missing)
+            .unwrap_err()
+            .contains("missing field"));
+    }
+}

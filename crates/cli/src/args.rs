@@ -26,6 +26,8 @@ usage:
   air fuzz minimize FILE
   air chaos   [--dir PATH] [--plans N] [--seed N] [--fuel N] [--stats-json]
               [--trace FILE]
+  air serve   [--stdio] [--tcp ADDR] [--workers N] [--quota FUEL]
+              [--max-frame BYTES] [--trace FILE]
 
   --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
   PROG is the Imp-like surface syntax, e.g. \"while (x > 0) do { x := x - 1 }\"
@@ -53,6 +55,12 @@ usage:
   (worker panics, cache poisoning, sink failures, budget cancellation)
   and checks that every run degrades cleanly: structured exit codes, no
   aborts, and any partial invariant sound against concrete semantics
+  serve runs the repair-as-a-service daemon (see SERVING.md): verify/
+  analyze/repair jobs arrive as length-prefixed JSON frames on stdin
+  (--stdio) and/or a TCP socket (--tcp HOST:PORT, port 0 = ephemeral),
+  and warm caches persist across requests; --workers sizes the job pool,
+  --quota caps each tenant's lifetime fuel, --max-frame caps a request's
+  size in bytes
 
 exit codes: 0 proved / no alarms, 1 refuted / alarms, 2 usage error,
   3 budget exhausted, 4 internal error";
@@ -143,6 +151,25 @@ pub enum Command {
     Fuzz(FuzzCmd),
     /// `air chaos` — corpus sweep under seeded fault-injection plans.
     Chaos(ChaosTask),
+    /// `air serve` — the repair-as-a-service daemon (see SERVING.md).
+    Serve(ServeTask),
+}
+
+/// The `air serve` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeTask {
+    /// Serve length-prefixed frames on stdin/stdout.
+    pub stdio: bool,
+    /// TCP bind address (`HOST:PORT`, port 0 for ephemeral).
+    pub tcp: Option<String>,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Per-tenant lifetime fuel allowance.
+    pub quota: Option<u64>,
+    /// Maximum accepted frame payload, in bytes.
+    pub max_frame: Option<usize>,
+    /// Write a structured JSONL trace of the serving session to this file.
+    pub trace: Option<String>,
 }
 
 /// The `air chaos` payload.
@@ -460,6 +487,61 @@ fn parse_chaos(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
     }))
 }
 
+fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError> {
+    let mut stdio = false;
+    let mut tcp = None;
+    let mut workers = 2usize;
+    let mut quota = None;
+    let mut max_frame = None;
+    let mut trace = None;
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("flag `{flag}` needs a value")))
+        };
+        match flag.as_str() {
+            "--stdio" => stdio = true,
+            "--tcp" => tcp = Some(value()?),
+            "--workers" => {
+                let v = value()?;
+                workers = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --workers value `{v}`")))?;
+            }
+            "--quota" => {
+                let v = value()?;
+                quota = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad --quota value `{v}`")))?,
+                );
+            }
+            "--max-frame" => {
+                let v = value()?;
+                max_frame = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| ArgError(format!("bad --max-frame value `{v}`")))?,
+                );
+            }
+            "--trace" => trace = Some(value()?),
+            other => return Err(ArgError(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    if !stdio && tcp.is_none() {
+        return Err(ArgError(
+            "serve needs a transport: --stdio and/or --tcp ADDR".into(),
+        ));
+    }
+    Ok(Command::Serve(ServeTask {
+        stdio,
+        tcp,
+        workers,
+        quota,
+        max_frame,
+        trace,
+    }))
+}
+
 /// Parses a full argv (without the binary name).
 pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut it = argv.iter();
@@ -490,6 +572,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     }
     if sub == "chaos" {
         return parse_chaos(&mut it);
+    }
+    if sub == "serve" {
+        return parse_serve(&mut it);
     }
     let mut vars = None;
     let mut code = None;
@@ -1049,6 +1134,48 @@ mod tests {
         );
         assert!(parse(&argv(&["chaos", "--plans", "x"])).is_err());
         assert!(parse(&argv(&["chaos", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags_and_requires_a_transport() {
+        assert_eq!(
+            parse(&argv(&["serve", "--stdio"])).unwrap(),
+            Command::Serve(ServeTask {
+                stdio: true,
+                tcp: None,
+                workers: 2,
+                quota: None,
+                max_frame: None,
+                trace: None,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "serve",
+                "--tcp",
+                "127.0.0.1:0",
+                "--workers",
+                "8",
+                "--quota",
+                "50000",
+                "--max-frame",
+                "4096",
+                "--trace",
+                "s.jsonl",
+            ]))
+            .unwrap(),
+            Command::Serve(ServeTask {
+                stdio: false,
+                tcp: Some("127.0.0.1:0".into()),
+                workers: 8,
+                quota: Some(50000),
+                max_frame: Some(4096),
+                trace: Some("s.jsonl".into()),
+            })
+        );
+        assert!(parse(&argv(&["serve"])).is_err(), "needs a transport");
+        assert!(parse(&argv(&["serve", "--stdio", "--workers", "x"])).is_err());
+        assert!(parse(&argv(&["serve", "--stdio", "--bogus"])).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! air prove   --vars ... --code ... --pre ...                 # LCL_A derivation
 //! air corpus  [--dir corpus] [--jobs N] [--stats] [--uncached] # parallel sweep
 //! air trace summarize run.jsonl                               # aggregate a trace
+//! air serve --stdio --tcp 127.0.0.1:4777 [--workers N]        # repair-as-a-service
 //! ```
 //!
 //! `--stats` prints cache hit/miss counters and wall times (`--stats-json`

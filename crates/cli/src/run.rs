@@ -15,7 +15,9 @@ use air_lattice::{par_map_governed, Budget, CacheStats, Exhaustion, Governor};
 use air_resilience::Checkpointer;
 use air_trace::{json, EventKind, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
 
-use crate::args::{Command, CorpusTask, DomainKind, FuzzCmd, StrategyKind, Task, TraceFormat};
+use crate::args::{
+    Command, CorpusTask, DomainKind, FuzzCmd, ServeTask, StrategyKind, Task, TraceFormat,
+};
 
 /// The sign of a completed run (drives the exit code).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -179,7 +181,38 @@ pub fn run(command: Command) -> Result<Outcome, AirError> {
         Command::TraceSummarize { file } => trace_summarize(&file),
         Command::Fuzz(cmd) => fuzz(cmd),
         Command::Chaos(task) => crate::chaos::chaos(task),
+        Command::Serve(task) => serve(task),
     }
+}
+
+/// `air serve` — the repair-as-a-service daemon (see SERVING.md). Blocks
+/// until a `shutdown` frame or stdio EOF drains the server.
+fn serve(task: ServeTask) -> Result<Outcome, AirError> {
+    let session = TraceSession::open(task.trace.as_deref(), false)?;
+    let mut config = air_serve::ServeConfig {
+        stdio: task.stdio,
+        tcp: task.tcp.clone(),
+        workers: task.workers,
+        quota: task.quota,
+        ..air_serve::ServeConfig::default()
+    };
+    if let Some(max_frame) = task.max_frame {
+        config.max_frame = max_frame;
+    }
+    let server = air_serve::start(config, session.tracer()).map_err(AirError::Usage)?;
+    let report = server.join();
+    // Stdout belongs to the stdio transport; the drain summary goes to
+    // stderr with the readiness banner.
+    eprintln!(
+        "air-serve drained: served={} warm_hits={} aborts={}",
+        report.served, report.warm_hits, report.aborts
+    );
+    session.finish()?;
+    Ok(if report.aborts == 0 {
+        Outcome::Positive
+    } else {
+        Outcome::Negative
+    })
 }
 
 /// Rejects an unknown `--oracle NAME` before any work happens.

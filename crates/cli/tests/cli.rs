@@ -373,3 +373,43 @@ fn corpus_resume_restores_checkpointed_rows() {
     assert!(!cp.exists(), "checkpoint not removed after completion");
     let _ = std::fs::remove_dir_all(&tmp);
 }
+
+#[test]
+fn serve_stdio_round_trip_warm_cache_and_clean_drain() {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_air"))
+        .args(["serve", "--stdio", "--workers", "1"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn air binary");
+    let mut stdin = child.stdin.take().expect("stdin");
+    let verify = r#"{"id":"VID","job":"verify","vars":"x:-8..8","code":"if (x >= 1) then { skip } else { x := 1 - x }","pre":"x != 0","spec":"x >= 1"}"#;
+    let frames = [
+        r#"{"id":"p1","job":"ping"}"#.to_string(),
+        verify.replace("VID", "v1"),
+        verify.replace("VID", "v2"),
+        r#"{"id":"bye","job":"shutdown"}"#.to_string(),
+    ];
+    for payload in &frames {
+        write!(stdin, "{}\n{}\n", payload.len(), payload).expect("write frame");
+    }
+    drop(stdin);
+    let out = child.wait_with_output().expect("drain");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(r#""detail":"pong""#), "{stdout}");
+    assert!(stdout.contains(r#""status":"proved""#), "{stdout}");
+    // Same (vars, domain) key: the second verify must hit the warm table.
+    assert!(stdout.contains(r#""warm":true"#), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("air-serve listening stdio"), "{stderr}");
+    assert!(stderr.contains("aborts=0"), "{stderr}");
+}
+
+#[test]
+fn serve_without_transport_is_usage_exit_two() {
+    let out = air(&["serve"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -193,6 +193,16 @@ impl EnumDomain {
         self.memo.stats()
     }
 
+    /// Empties the shared base-closure memo and the hash-consing pool in
+    /// place — clones sharing them (e.g. the warm prototype a serve
+    /// daemon keeps per universe) all observe the reset. Closure results
+    /// are recomputed on the next request; verdicts are unaffected
+    /// (memoization only decides *whether* work is redone).
+    pub fn clear_caches(&self) {
+        self.memo.clear();
+        self.interner.clear();
+    }
+
     /// Hit/miss/entry counters of the closure-result hash-consing pool (a
     /// hit means a structurally equal closure result already existed).
     pub fn interner_stats(&self) -> CacheStats {

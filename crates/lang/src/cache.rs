@@ -103,6 +103,18 @@ impl SemCache {
         self.bypass_threshold
     }
 
+    /// Empties the exec/wlp/sat tables in place, through the shared
+    /// handles — every clone of this cache (warm engines, in-flight
+    /// verifiers) observes the reset. Hit/miss counters are preserved;
+    /// only memoized entries are shed. This is the `air serve flush`
+    /// reset hook: a long-lived daemon can bound its memory without
+    /// rebuilding the cache plumbing.
+    pub fn reset(&self) {
+        self.exec.clear();
+        self.wlp.clear();
+        self.sat.clear();
+    }
+
     /// Calls answered on the direct, unmemoized path so far (shared
     /// across clones, like the tables themselves).
     pub fn bypass_count(&self) -> u64 {

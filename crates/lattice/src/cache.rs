@@ -407,6 +407,16 @@ impl<T> Interner<T> {
             .all(|s| s.read().unwrap().is_empty())
     }
 
+    /// Drops every pooled value (outstanding `Arc`s stay alive; only the
+    /// canonical pool is emptied). The reset hook behind `air serve
+    /// flush`: long-lived engine processes can shed warm state without
+    /// re-creating the interner handles that clones already share.
+    pub fn clear(&self) {
+        for shard in self.inner.shards.iter() {
+            shard.write().unwrap().clear();
+        }
+    }
+
     /// Snapshot of the hit/miss/entry counters (a hit means the value was
     /// already pooled).
     pub fn stats(&self) -> CacheStats {

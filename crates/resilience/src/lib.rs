@@ -32,6 +32,7 @@
 
 pub mod checkpoint;
 mod fault;
+mod pool;
 mod supervisor;
 
 pub use checkpoint::{atomic_write, Checkpointer};
@@ -39,6 +40,7 @@ pub use fault::{
     FailSwitch, FaultInjector, FaultKind, FaultPlan, FaultSpec, FlakyWriter, InjectSink,
     SITE_VOCABULARY,
 };
+pub use pool::WorkerPool;
 pub use supervisor::{
     install_quiet_fault_hook, panic_message, RetryPolicy, Supervisor, TaskFailure,
 };

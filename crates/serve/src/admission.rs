@@ -1,0 +1,295 @@
+//! Governed admission: per-tenant fuel quotas and the priority job
+//! queue feeding the worker pool.
+//!
+//! Quota semantics (documented operator-side in `SERVING.md`): the
+//! server-wide `--quota FUEL` is a *lifetime fuel allowance per tenant*.
+//! A request declaring `fuel` above the tenant's remaining allowance is
+//! rejected at admission (error code 3, reason `"quota"`) before any
+//! work happens; a request declaring no fuel is capped at the remaining
+//! allowance instead of running unlimited. After a run, the fuel the
+//! governor actually counted is charged — so cheap requests do not
+//! consume their declared worst case, only what they spent.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Condvar, Mutex};
+
+/// Why admission rejected a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuotaRejection {
+    /// The tenant over its allowance.
+    pub tenant: String,
+    /// Fuel the request declared (`None` = unbounded ask).
+    pub requested: Option<u64>,
+    /// Fuel the tenant has left.
+    pub remaining: u64,
+    /// Fuel the tenant has spent so far.
+    pub spent: u64,
+}
+
+/// Per-tenant lifetime fuel accounting.
+#[derive(Debug)]
+pub struct TenantQuotas {
+    limit: Option<u64>,
+    spent: Mutex<HashMap<String, u64>>,
+}
+
+impl TenantQuotas {
+    /// `limit` is the lifetime fuel allowance per tenant; `None` disables
+    /// quota checks entirely.
+    pub fn new(limit: Option<u64>) -> TenantQuotas {
+        TenantQuotas {
+            limit,
+            spent: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admission check for a request declaring `requested` fuel. Returns
+    /// the *effective* fuel cap for the run: the declared fuel, or the
+    /// tenant's remaining allowance when nothing was declared (`None`
+    /// only when quotas are disabled and no fuel was declared).
+    ///
+    /// # Errors
+    ///
+    /// [`QuotaRejection`] when the tenant's allowance is exhausted or the
+    /// declared fuel exceeds what is left.
+    pub fn admit(
+        &self,
+        tenant: &str,
+        requested: Option<u64>,
+    ) -> Result<Option<u64>, QuotaRejection> {
+        let Some(limit) = self.limit else {
+            return Ok(requested);
+        };
+        let spent = self.spent_by(tenant);
+        let remaining = limit.saturating_sub(spent);
+        let reject = || QuotaRejection {
+            tenant: tenant.to_string(),
+            requested,
+            remaining,
+            spent,
+        };
+        if remaining == 0 {
+            return Err(reject());
+        }
+        match requested {
+            Some(fuel) if fuel > remaining => Err(reject()),
+            Some(fuel) => Ok(Some(fuel)),
+            None => Ok(Some(remaining)),
+        }
+    }
+
+    /// Charges fuel a completed (or cut-off) run actually spent.
+    pub fn charge(&self, tenant: &str, spent: u64) {
+        if self.limit.is_none() || spent == 0 {
+            return;
+        }
+        *self
+            .spent
+            .lock()
+            .unwrap()
+            .entry(tenant.to_string())
+            .or_insert(0) += spent;
+    }
+
+    /// Fuel the tenant has been charged so far.
+    pub fn spent_by(&self, tenant: &str) -> u64 {
+        self.spent.lock().unwrap().get(tenant).copied().unwrap_or(0)
+    }
+
+    /// `(tenant, spent)` rows, sorted by tenant for stable rendering.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = self
+            .spent
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(t, s)| (t.clone(), *s))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// The configured per-tenant allowance.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    // Max-heap: higher priority first, FIFO (lower seq) within a priority.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueState<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    closed: bool,
+}
+
+/// A blocking priority queue: readers enqueue admitted jobs, pool
+/// workers block on [`JobQueue::pop`]. Closing stops intake but lets
+/// workers drain what is already queued — `pop` returns `None` only
+/// when the queue is closed *and* empty, so a shutdown never drops an
+/// admitted request.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item; returns `false` (item dropped) if the queue is
+    /// closed.
+    pub fn push(&self, item: T, priority: i64) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return false;
+        }
+        let seq = state.seq;
+        state.seq += 1;
+        state.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available (highest priority, FIFO within
+    /// it) or the queue is closed and drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(entry) = state.heap.pop() {
+                return Some(entry.item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Stops intake and wakes every blocked worker.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().heap.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn unlimited_quota_admits_everything_verbatim() {
+        let q = TenantQuotas::new(None);
+        assert_eq!(q.admit("a", None), Ok(None));
+        assert_eq!(q.admit("a", Some(u64::MAX)), Ok(Some(u64::MAX)));
+        q.charge("a", 10); // no-op without a limit
+        assert_eq!(q.spent_by("a"), 0);
+    }
+
+    #[test]
+    fn quota_caps_rejects_and_charges_actual_spend() {
+        let q = TenantQuotas::new(Some(100));
+        // Undeclared fuel is capped at the remaining allowance.
+        assert_eq!(q.admit("a", None), Ok(Some(100)));
+        q.charge("a", 30);
+        assert_eq!(q.admit("a", None), Ok(Some(70)));
+        assert_eq!(q.admit("a", Some(70)), Ok(Some(70)));
+        let rej = q.admit("a", Some(71)).unwrap_err();
+        assert_eq!((rej.remaining, rej.spent), (70, 30));
+        // Tenants are independent.
+        assert_eq!(q.admit("b", Some(100)), Ok(Some(100)));
+        // Exhausting the allowance rejects even unbounded asks.
+        q.charge("a", 70);
+        assert!(q.admit("a", None).is_err());
+        assert_eq!(q.rows(), vec![("a".to_string(), 100)]);
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let q: JobQueue<&str> = JobQueue::new();
+        assert!(q.push("low-1", 0));
+        assert!(q.push("high", 5));
+        assert!(q.push("low-2", 0));
+        q.close();
+        assert_eq!(q.pop(), Some("high"));
+        assert_eq!(q.pop(), Some("low-1"));
+        assert_eq!(q.pop(), Some("low-2"));
+        assert_eq!(q.pop(), None);
+        assert!(!q.push("late", 0), "closed queue must refuse intake");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(JobQueue::<u32>::new());
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(x) = q2.pop() {
+                seen.push(x);
+            }
+            seen
+        });
+        for x in 0..10 {
+            q.push(x, 0);
+        }
+        q.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+}

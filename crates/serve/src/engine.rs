@@ -1,0 +1,644 @@
+//! The serving engine: a registry of warm table sets keyed by
+//! `(universe signature, domain)`, plus the request → verdict path.
+//!
+//! Cache-sharing rules (the soundness argument is spelled out in
+//! `DESIGN.md`):
+//!
+//! - Semantic caches and closure memos are keyed on *structural* values
+//!   (statements, state-set bitsets), so they must never be shared
+//!   across universes — two universes of different shapes would alias
+//!   equal-looking keys onto different store enumerations. The registry
+//!   key is therefore the normalized variable declaration string plus
+//!   the domain name; only requests agreeing on both share tables.
+//! - Within one key, sharing across requests *and tenants* is sound:
+//!   the tables are pure memoization of deterministic functions
+//!   (`exec`, `wlp`, `sat`, the base closure), so a hit returns exactly
+//!   what recomputation would. Repair never mutates the warm prototype —
+//!   each request clones it (sharing the base memo, copying the points
+//!   list) and adds points only to its private clone.
+
+use crate::protocol::{CacheSnapshot, JobKind, JobRequest, Response};
+use air_core::summarize::display_set;
+use air_core::{EnumDomain, RepairError, Verifier};
+use air_domains::{
+    AffineDomain, CongruenceEnv, ConstantEnv, IntervalEnv, OctagonDomain, ParityEnv, SignEnv,
+};
+use air_lang::{parse_bexp, parse_program, Concrete, SemCache, SemError, StateSet, Universe};
+use air_lattice::{Budget, Exhaustion, Governor};
+use air_trace::{json, EventKind, Tracer};
+
+use crate::admission::TenantQuotas;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Builds the named enumerated domain (same names as the CLI `--domain`).
+fn build_domain(name: &str, u: &Universe) -> Option<EnumDomain> {
+    Some(match name {
+        "int" => EnumDomain::from_abstraction(u, IntervalEnv::new(u)),
+        "oct" => EnumDomain::from_abstraction(u, OctagonDomain::new(u)),
+        "sign" => EnumDomain::from_abstraction(u, SignEnv::new(u)),
+        "parity" => EnumDomain::from_abstraction(u, ParityEnv::new(u)),
+        "const" => EnumDomain::from_abstraction(u, ConstantEnv::new(u)),
+        "cong" => EnumDomain::from_abstraction(u, CongruenceEnv::new(u)),
+        "karr" => EnumDomain::from_abstraction(u, AffineDomain::new(u)),
+        _ => return None,
+    })
+}
+
+/// The canonical registry key for a declaration list: `"x:-8..8,y:0..20"`.
+fn normalize_vars(decls: &[(String, i64, i64)]) -> String {
+    decls
+        .iter()
+        .map(|(n, lo, hi)| format!("{n}:{lo}..{hi}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One warm table set: the universe it is valid for, a domain prototype
+/// whose clones share the base-closure memo and interner, and the
+/// semantic cache shared by every verifier over this universe.
+struct WarmEntry {
+    universe: Arc<Universe>,
+    proto: EnumDomain,
+    sem: SemCache,
+    requests: u64,
+}
+
+/// The long-lived serving engine shared by all worker threads.
+pub struct ServeEngine {
+    registry: Mutex<HashMap<(String, String), WarmEntry>>,
+    quotas: TenantQuotas,
+    tracer: Tracer,
+    served: AtomicU64,
+    warm_hits: AtomicU64,
+}
+
+impl ServeEngine {
+    /// `quota` is the per-tenant lifetime fuel allowance (`None` =
+    /// unlimited); engine events flow through `tracer`.
+    pub fn new(quota: Option<u64>, tracer: Tracer) -> ServeEngine {
+        ServeEngine {
+            registry: Mutex::new(HashMap::new()),
+            quotas: TenantQuotas::new(quota),
+            tracer,
+            served: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The tracer engine events flow through.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Admission: emits `request_received`, checks the tenant quota and
+    /// mints the request's governor (always cancellable, budgeted by the
+    /// declared fuel/timeout capped to the tenant's remaining allowance).
+    ///
+    /// # Errors
+    ///
+    /// The ready-to-send quota rejection (code 3, reason `"quota"`).
+    // The Err IS the wire response: built once on a cold rejection path and
+    // serialized immediately, so boxing it would only add indirection.
+    #[allow(clippy::result_large_err)]
+    pub fn admit(&self, req: &JobRequest) -> Result<Governor, Response> {
+        self.tracer.emit_with(|| EventKind::RequestReceived {
+            id: req.id.clone(),
+            job: req.job.name().to_string(),
+            tenant: req.tenant.clone(),
+        });
+        match self.quotas.admit(&req.tenant, req.fuel) {
+            Ok(effective_fuel) => {
+                let budget = Budget {
+                    fuel: effective_fuel,
+                    timeout: req.timeout_ms.map(Duration::from_millis),
+                };
+                Ok(if budget.is_unlimited() {
+                    Governor::cancellable()
+                } else {
+                    Governor::new(budget)
+                })
+            }
+            Err(rej) => Err(Response::Error {
+                id: req.id.clone(),
+                code: 3,
+                message: format!(
+                    "tenant `{}` fuel quota exceeded: {} requested, {} of {} remaining",
+                    rej.tenant,
+                    rej.requested
+                        .map_or("unlimited".to_string(), |f| f.to_string()),
+                    rej.remaining,
+                    self.quotas.limit().unwrap_or(0),
+                ),
+                phase: Some("serve.admit".to_string()),
+                spent: Some(rej.spent),
+                reason: Some("quota".to_string()),
+            }),
+        }
+    }
+
+    /// Runs an admitted job under its governor and charges the fuel it
+    /// actually spent. Never panics outward by design — engine errors
+    /// come back as structured error responses (panics are the worker
+    /// pool supervisor's department).
+    pub fn handle(&self, req: &JobRequest, governor: &Governor) -> Response {
+        let started = Instant::now();
+        let response = self.run_job(req, governor, started);
+        self.quotas.charge(&req.tenant, governor.spent());
+        self.served.fetch_add(1, Ordering::Relaxed);
+        response
+    }
+
+    /// Looks up or builds the warm table set for a request. Returns
+    /// `(universe, domain clone, shared cache, was_warm)`.
+    #[allow(clippy::result_large_err)]
+    fn warm_entry(
+        &self,
+        req: &JobRequest,
+    ) -> Result<(Arc<Universe>, EnumDomain, SemCache, bool), Response> {
+        let key = (normalize_vars(&req.vars), req.domain.clone());
+        let mut registry = self.registry.lock().unwrap();
+        if let Some(entry) = registry.get_mut(&key) {
+            entry.requests += 1;
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                Arc::clone(&entry.universe),
+                entry.proto.clone(),
+                entry.sem.clone(),
+                true,
+            ));
+        }
+        let refs: Vec<(&str, i64, i64)> = req
+            .vars
+            .iter()
+            .map(|(n, lo, hi)| (n.as_str(), *lo, *hi))
+            .collect();
+        let universe =
+            Arc::new(Universe::new(&refs).map_err(|e| self.usage(req, format!("universe: {e}")))?);
+        let proto = build_domain(&req.domain, &universe)
+            .ok_or_else(|| self.usage(req, format!("unknown domain `{}`", req.domain)))?;
+        let sem = SemCache::new();
+        sem.set_tracer(&self.tracer);
+        let entry = WarmEntry {
+            universe: Arc::clone(&universe),
+            proto: proto.clone(),
+            sem: sem.clone(),
+            requests: 1,
+        };
+        registry.insert(key, entry);
+        Ok((universe, proto, sem, false))
+    }
+
+    fn usage(&self, req: &JobRequest, message: String) -> Response {
+        Response::Error {
+            id: req.id.clone(),
+            code: 2,
+            message,
+            phase: None,
+            spent: None,
+            reason: None,
+        }
+    }
+
+    fn budget(&self, req: &JobRequest, ex: &Exhaustion) -> Response {
+        Response::Error {
+            id: req.id.clone(),
+            code: 3,
+            message: format!(
+                "budget exhausted in {} ({} ticks spent): {}",
+                ex.phase,
+                ex.spent,
+                ex.reason.name()
+            ),
+            phase: Some(ex.phase.clone()),
+            spent: Some(ex.spent),
+            reason: Some(ex.reason.name().to_string()),
+        }
+    }
+
+    fn engine_error(&self, req: &JobRequest, e: RepairError) -> Response {
+        match e {
+            RepairError::Exhausted(partial) => self.budget(req, &partial.exhaustion),
+            RepairError::Sem(SemError::Exhausted(ex)) => self.budget(req, &ex),
+            RepairError::Sem(other) => self.usage(req, other.to_string()),
+            RepairError::Internal(message) => Response::Error {
+                id: req.id.clone(),
+                code: 4,
+                message,
+                phase: None,
+                spent: None,
+                reason: None,
+            },
+        }
+    }
+
+    #[allow(clippy::result_large_err)] // the `sat` closure errors with the wire response
+    fn run_job(&self, req: &JobRequest, governor: &Governor, started: Instant) -> Response {
+        let (universe, domain, sem, warm) = match self.warm_entry(req) {
+            Ok(parts) => parts,
+            Err(resp) => return resp,
+        };
+        let prog = match parse_program(&req.code) {
+            Ok(p) => p,
+            Err(e) => return self.usage(req, e.to_string()),
+        };
+        let conc = Concrete::new(&universe);
+        let sat = |text: &str, what: &str| -> Result<StateSet, Response> {
+            let bexp = parse_bexp(text).map_err(|e| self.usage(req, format!("{what}: {e}")))?;
+            conc.sat(&bexp)
+                .map_err(|e| self.usage(req, format!("{what}: {e}")))
+        };
+        let pre = match sat(&req.pre, "pre") {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let spec = match sat(&req.spec, "spec") {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let verifier = Verifier::with_cache(&universe, sem.clone())
+            .tracer(self.tracer.clone())
+            .governor(governor.clone());
+        match req.job {
+            JobKind::Verify | JobKind::Repair => {
+                let result = if req.strategy == "forward" {
+                    verifier.forward(domain, &prog, &pre, &spec)
+                } else {
+                    verifier.backward(domain, &prog, &pre, &spec)
+                };
+                let verdict = match result {
+                    Ok(v) => v,
+                    Err(e) => return self.engine_error(req, e),
+                };
+                let witness = match &verdict {
+                    air_core::Verdict::Refuted { witness, .. } => {
+                        Some(universe.display_store(witness))
+                    }
+                    air_core::Verdict::Proved { .. } => None,
+                };
+                let points_detail = if req.job == JobKind::Repair {
+                    verdict
+                        .added_points()
+                        .iter()
+                        .map(|p| display_set(&universe, p))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                Response::Verdict {
+                    id: req.id.clone(),
+                    job: req.job,
+                    proved: verdict.is_proved(),
+                    report: verdict.report(&universe),
+                    points: verdict.added_points().len(),
+                    witness,
+                    points_detail,
+                    warm,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    cache: snapshot(&sem),
+                }
+            }
+            JobKind::Analyze => {
+                let counts = match verifier.alarm_counts(&domain, &prog, &pre, &spec) {
+                    Ok(c) => c,
+                    Err(e) => return self.engine_error(req, e),
+                };
+                Response::Alarms {
+                    id: req.id.clone(),
+                    total: counts.total,
+                    true_alarms: counts.true_alarms,
+                    false_alarms: counts.false_alarms,
+                    warm,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    cache: snapshot(&sem),
+                }
+            }
+        }
+    }
+
+    /// Drops every warm table set after clearing its shared caches via
+    /// the reset hooks (`SemCache::reset`, `EnumDomain::clear_caches`),
+    /// so clones still held by in-flight requests also see empty tables.
+    /// Returns the number of table sets flushed.
+    pub fn flush(&self) -> usize {
+        let mut registry = self.registry.lock().unwrap();
+        for entry in registry.values() {
+            entry.sem.reset();
+            entry.proto.clear_caches();
+        }
+        let flushed = registry.len();
+        registry.clear();
+        flushed
+    }
+
+    /// Total engine jobs completed (any status).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that found their table set already warm.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// The `stats` admin payload: counters, per-tenant spend and one row
+    /// per warm table set.
+    pub fn stats_json(&self) -> String {
+        let mut out = format!(
+            "{{\"served\":{},\"warm_hits\":{}",
+            self.served(),
+            self.warm_hits()
+        );
+        match self.quotas.limit() {
+            Some(limit) => out.push_str(&format!(",\"quota\":{limit}")),
+            None => out.push_str(",\"quota\":null"),
+        }
+        out.push_str(",\"tenants\":{");
+        for (i, (tenant, spent)) in self.quotas.rows().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_str(tenant, &mut out);
+            out.push_str(&format!(":{spent}"));
+        }
+        out.push_str("},\"tables\":[");
+        let registry = self.registry.lock().unwrap();
+        let mut rows: Vec<(&(String, String), &WarmEntry)> = registry.iter().collect();
+        rows.sort_by_key(|(key, _)| *key);
+        for (i, ((vars, domain), entry)) in rows.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"vars\":");
+            json::escape_str(vars, &mut out);
+            out.push_str(",\"domain\":");
+            json::escape_str(domain, &mut out);
+            let exec = entry.sem.exec_stats();
+            let closure = entry.proto.cache_stats();
+            out.push_str(&format!(
+                ",\"requests\":{},\"stores\":{},\"exec\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\"closure\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}",
+                entry.requests,
+                entry.universe.size(),
+                exec.hits,
+                exec.misses,
+                exec.entries,
+                closure.hits,
+                closure.misses,
+                closure.entries,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn snapshot(sem: &SemCache) -> CacheSnapshot {
+    let exec = sem.exec_stats();
+    CacheSnapshot {
+        exec_hits: exec.hits,
+        exec_misses: exec.misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    fn job(json_text: &str) -> JobRequest {
+        match crate::protocol::parse_request(json_text).unwrap() {
+            Request::Job(job) => *job,
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(None, Tracer::disabled())
+    }
+
+    const ABSVAL: &str = r#"{"id":"r1","job":"verify","vars":"x:-8..8",
+        "code":"if (x >= 0) then { skip } else { x := 0 - x }",
+        "pre":"x != 0","spec":"x != 0"}"#;
+
+    #[test]
+    fn verify_proves_and_second_request_is_warm() {
+        let eng = engine();
+        let req = job(ABSVAL);
+        let g = eng.admit(&req).unwrap();
+        let first = eng.handle(&req, &g);
+        let Response::Verdict {
+            proved: true,
+            warm: false,
+            ref report,
+            ..
+        } = first
+        else {
+            panic!("expected cold proved verdict, got {first:?}");
+        };
+        assert!(report.starts_with("PROVED"));
+        let second = eng.handle(&req, &eng.admit(&req).unwrap());
+        let Response::Verdict {
+            proved: true,
+            warm: true,
+            report: ref report2,
+            ..
+        } = second
+        else {
+            panic!("expected warm proved verdict, got {second:?}");
+        };
+        // Warm caches must not change the answer, byte for byte.
+        assert_eq!(report, report2);
+        assert_eq!(eng.served(), 2);
+        assert_eq!(eng.warm_hits(), 1);
+    }
+
+    #[test]
+    fn served_report_is_byte_identical_to_direct_verifier() {
+        let eng = engine();
+        let req = job(ABSVAL);
+        let resp = eng.handle(&req, &eng.admit(&req).unwrap());
+        let Response::Verdict { report, .. } = resp else {
+            panic!("expected verdict");
+        };
+        // The CLI path: fresh verifier, fresh caches, same inputs.
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let conc = Concrete::new(&u);
+        let pre = conc.sat(&parse_bexp("x != 0").unwrap()).unwrap();
+        let spec = conc.sat(&parse_bexp("x != 0").unwrap()).unwrap();
+        let verdict = Verifier::new(&u).backward(dom, &prog, &pre, &spec).unwrap();
+        assert_eq!(report, verdict.report(&u));
+    }
+
+    #[test]
+    fn refuted_verdict_carries_witness_and_repair_carries_points() {
+        let eng = engine();
+        let refute = job(
+            r#"{"id":"r2","job":"verify","vars":"x:-8..8","code":"x := x + 1",
+               "pre":"x >= 0 && x <= 5","spec":"x <= 3"}"#,
+        );
+        let resp = eng.handle(&refute, &eng.admit(&refute).unwrap());
+        let Response::Verdict {
+            proved: false,
+            witness: Some(_),
+            ..
+        } = resp
+        else {
+            panic!("expected refutation with witness, got {resp:?}");
+        };
+        let repair = job(r#"{"id":"r3","job":"repair","vars":"x:-8..8",
+               "code":"if (x >= 0) then { skip } else { x := 0 - x }",
+               "pre":"x != 0","spec":"x != 0"}"#);
+        let resp = eng.handle(&repair, &eng.admit(&repair).unwrap());
+        let Response::Verdict {
+            points,
+            points_detail,
+            ..
+        } = resp
+        else {
+            panic!("expected verdict");
+        };
+        assert!(points > 0);
+        assert_eq!(points_detail.len(), points);
+    }
+
+    #[test]
+    fn analyze_counts_alarms() {
+        let eng = engine();
+        let req = job(r#"{"id":"a1","job":"analyze","vars":"x:-8..8",
+               "code":"if (x >= 0) then { skip } else { x := 0 - x }",
+               "pre":"x != 0","spec":"x != 0"}"#);
+        let resp = eng.handle(&req, &eng.admit(&req).unwrap());
+        let Response::Alarms {
+            total,
+            true_alarms,
+            false_alarms,
+            ..
+        } = resp
+        else {
+            panic!("expected alarms, got {resp:?}");
+        };
+        assert_eq!(true_alarms, 0);
+        assert!(total > 0 && false_alarms == total);
+    }
+
+    #[test]
+    fn zero_fuel_request_exhausts_with_code_3() {
+        let eng = engine();
+        let req = job(r#"{"id":"z","job":"verify","vars":"x:0..7","fuel":0,
+               "code":"while (x < 7) do { x := x + 1 }","pre":"x = 0","spec":"x = 7"}"#);
+        let resp = eng.handle(&req, &eng.admit(&req).unwrap());
+        let Response::Error {
+            code: 3,
+            reason: Some(ref reason),
+            ..
+        } = resp
+        else {
+            panic!("expected budget error, got {resp:?}");
+        };
+        assert_eq!(reason, "fuel");
+    }
+
+    #[test]
+    fn quota_rejects_at_admission_and_charges_actual_spend() {
+        let eng = ServeEngine::new(Some(50), Tracer::disabled());
+        let over = job(r#"{"id":"q1","job":"verify","tenant":"t0","fuel":51,
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
+        let resp = eng.admit(&over).unwrap_err();
+        let Response::Error {
+            code: 3,
+            reason: Some(ref reason),
+            ..
+        } = resp
+        else {
+            panic!("expected quota rejection, got {resp:?}");
+        };
+        assert_eq!(reason, "quota");
+        // A cheap run charges what it spent, not the cap.
+        let cheap = job(r#"{"id":"q2","job":"verify","tenant":"t0",
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
+        let g = eng.admit(&cheap).unwrap();
+        let resp = eng.handle(&cheap, &g);
+        assert!(matches!(resp, Response::Verdict { proved: true, .. }));
+        let spent = g.spent();
+        assert!(spent < 50, "trivial run must not eat the whole quota");
+        // Another tenant is unaffected.
+        let other = job(r#"{"id":"q3","job":"verify","tenant":"t1","fuel":50,
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
+        assert!(eng.admit(&other).is_ok());
+    }
+
+    #[test]
+    fn cancelled_governor_yields_code_3_cancelled() {
+        let eng = engine();
+        let req = job(r#"{"id":"c1","job":"verify","vars":"x:0..7",
+               "code":"while (x < 7) do { x := x + 1 }","pre":"x = 0","spec":"x = 7"}"#);
+        let g = eng.admit(&req).unwrap();
+        g.cancel();
+        let resp = eng.handle(&req, &g);
+        let Response::Error {
+            code: 3,
+            reason: Some(ref reason),
+            ..
+        } = resp
+        else {
+            panic!("expected cancellation, got {resp:?}");
+        };
+        assert_eq!(reason, "cancelled");
+    }
+
+    #[test]
+    fn usage_errors_carry_code_2() {
+        let eng = engine();
+        for bad in [
+            r#"{"id":"u1","job":"verify","vars":"x:0..1","code":"x := (","pre":"true","spec":"true"}"#,
+            r#"{"id":"u2","job":"verify","vars":"x:0..1","code":"skip","pre":"x <","spec":"true"}"#,
+            r#"{"id":"u3","job":"verify","vars":"x:5..0","code":"skip","pre":"true","spec":"true"}"#,
+            r#"{"id":"u4","job":"verify","vars":"x:0..1","domain":"poly","code":"skip","pre":"true","spec":"true"}"#,
+        ] {
+            let req = job(bad);
+            let resp = eng.handle(&req, &eng.admit(&req).unwrap());
+            assert!(
+                matches!(resp, Response::Error { code: 2, .. }),
+                "{bad}: {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_resets_warm_state_and_stats_render() {
+        let eng = engine();
+        let req = job(ABSVAL);
+        eng.handle(&req, &eng.admit(&req).unwrap());
+        eng.handle(&req, &eng.admit(&req).unwrap());
+        let stats = eng.stats_json();
+        let doc = json::parse(&stats).unwrap_or_else(|e| panic!("{stats}: {e}"));
+        assert_eq!(doc.get("served").and_then(json::Value::as_num), Some(2.0));
+        let tables = doc.get("tables").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(
+            tables[0].get("vars").and_then(json::Value::as_str),
+            Some("x:-8..8")
+        );
+        assert_eq!(eng.flush(), 1);
+        // After a flush the next request is cold again.
+        let resp = eng.handle(&req, &eng.admit(&req).unwrap());
+        assert!(matches!(resp, Response::Verdict { warm: false, .. }));
+    }
+
+    #[test]
+    fn admission_and_completion_emit_request_events() {
+        use air_trace::MemorySink;
+        let sink = Arc::new(MemorySink::new());
+        let eng = ServeEngine::new(None, Tracer::new(sink.clone()));
+        let req = job(ABSVAL);
+        let g = eng.admit(&req).unwrap();
+        eng.handle(&req, &g);
+        let kinds: Vec<&'static str> = sink.drain().iter().map(|e| e.kind.kind_name()).collect();
+        assert!(kinds.contains(&"request_received"), "{kinds:?}");
+        assert!(kinds.contains(&"verdict"), "{kinds:?}");
+    }
+}

@@ -1,0 +1,659 @@
+//! The `air serve` transports: a stdio reader, a TCP acceptor, and the
+//! supervised worker pool draining the admission queue.
+//!
+//! Threading model: one reader thread per transport/connection does the
+//! cheap work inline (framing, parsing, admission, control-plane
+//! requests), engine jobs go through the priority [`JobQueue`] to the
+//! [`WorkerPool`]. A panicking job is retried per the supervisor's
+//! policy and, once retries are exhausted, surfaces to the client as a
+//! code-4 error response — the worker thread itself survives, so one
+//! poisoned request cannot take the daemon down.
+//!
+//! Shutdown is drain-based: a `shutdown` frame (or stdio EOF, or
+//! [`RunningServer::stop`]) stops intake and closes the queue; workers
+//! finish every already-admitted job before retiring, so no admitted
+//! request is ever dropped without a response.
+
+use crate::admission::JobQueue;
+use crate::engine::ServeEngine;
+use crate::protocol::{read_frame, write_frame, JobRequest, Request, Response};
+use air_lattice::Governor;
+use air_resilience::{RetryPolicy, Supervisor, TaskFailure, WorkerPool};
+use air_trace::{EventKind, Tracer};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a server run is configured (the CLI's `air serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Serve length-prefixed frames on stdin/stdout.
+    pub stdio: bool,
+    /// Bind address for the TCP transport (e.g. `"127.0.0.1:4777"`,
+    /// port 0 for ephemeral).
+    pub tcp: Option<String>,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Per-tenant lifetime fuel allowance (`None` = unlimited).
+    pub quota: Option<u64>,
+    /// Maximum accepted frame payload, in bytes.
+    pub max_frame: usize,
+    /// Retry policy for panicking jobs.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            stdio: false,
+            tcp: None,
+            workers: 2,
+            quota: None,
+            max_frame: crate::protocol::DEFAULT_MAX_FRAME,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Final counters reported when the server drains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Engine jobs completed (any status).
+    pub served: u64,
+    /// Jobs that found their table set already warm.
+    pub warm_hits: u64,
+    /// Jobs lost to panics after exhausting retries (the smoke test
+    /// asserts this stays zero).
+    pub aborts: u64,
+}
+
+/// A response writer shared between the reader that owns the connection
+/// and the workers completing its jobs.
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// An admitted job travelling from a reader to a worker.
+struct Job {
+    request: JobRequest,
+    governor: Governor,
+    out: SharedWriter,
+    received: Instant,
+}
+
+/// State shared by readers, workers and the [`RunningServer`] handle.
+struct Shared {
+    engine: ServeEngine,
+    queue: JobQueue<Job>,
+    /// Governors of admitted-but-unfinished requests, keyed by request
+    /// id, so `cancel` frames can reach them from any connection.
+    inflight: Mutex<HashMap<String, Governor>>,
+    shutdown: AtomicBool,
+    aborts: AtomicU64,
+    max_frame: usize,
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn write_response(&self, out: &SharedWriter, resp: &Response) {
+        // A vanished client is not a server error: the job already ran
+        // and was charged; there is simply nobody left to tell.
+        let _ = write_frame(&mut *out.lock().unwrap(), &resp.to_json());
+    }
+
+    /// Completes a job: response out, in-flight registry cleaned up,
+    /// `request_completed` emitted with the admission-to-response span.
+    fn finish(&self, id: &str, received: Instant, out: &SharedWriter, resp: &Response) {
+        self.write_response(out, resp);
+        self.inflight.lock().unwrap().remove(id);
+        let status = completion_status(resp);
+        self.engine
+            .tracer()
+            .emit_with(|| EventKind::RequestCompleted {
+                id: id.to_string(),
+                status: status.to_string(),
+                duration_ns: received.elapsed().as_nanos() as u64,
+            });
+    }
+}
+
+/// Maps a response onto the `request_completed` status taxonomy.
+fn completion_status(resp: &Response) -> &'static str {
+    match resp {
+        Response::Error { code: 2, .. } => "usage",
+        Response::Error {
+            code: 3,
+            reason: Some(r),
+            ..
+        } if r == "cancelled" => "cancelled",
+        Response::Error { code: 3, .. } => "budget",
+        Response::Error { .. } => "internal",
+        _ => "ok",
+    }
+}
+
+/// One reader loop: frames in, control-plane answers and job admissions
+/// out. Returns when the stream ends, desyncs, or a shutdown lands.
+fn serve_reader(shared: &Arc<Shared>, reader: &mut impl BufRead, out: &SharedWriter) {
+    loop {
+        let text = match read_frame(reader, shared.max_frame) {
+            Ok(Some(text)) => text,
+            Ok(None) => return,
+            Err(e) => {
+                // Framing is lost after a bad length line; answer once
+                // and drop the connection rather than guess at resync.
+                shared.write_response(
+                    out,
+                    &Response::Error {
+                        id: String::new(),
+                        code: 2,
+                        message: e.to_string(),
+                        phase: None,
+                        spent: None,
+                        reason: None,
+                    },
+                );
+                return;
+            }
+        };
+        if !handle_frame(shared, &text, out) {
+            return;
+        }
+    }
+}
+
+/// Handles one frame; `false` means stop reading this connection.
+fn handle_frame(shared: &Arc<Shared>, text: &str, out: &SharedWriter) -> bool {
+    let req = match crate::protocol::parse_request(text) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.write_response(
+                out,
+                &Response::Error {
+                    id: String::new(),
+                    code: e.code,
+                    message: e.message,
+                    phase: None,
+                    spent: None,
+                    reason: None,
+                },
+            );
+            return true;
+        }
+    };
+    match req {
+        Request::Ping { id } => {
+            shared.write_response(
+                out,
+                &Response::Ok {
+                    id,
+                    detail: "pong".into(),
+                    stats: None,
+                },
+            );
+        }
+        Request::Stats { id } => {
+            shared.write_response(
+                out,
+                &Response::Ok {
+                    id,
+                    detail: "stats".into(),
+                    stats: Some(shared.engine.stats_json()),
+                },
+            );
+        }
+        Request::Flush { id } => {
+            let flushed = shared.engine.flush();
+            shared.write_response(
+                out,
+                &Response::Ok {
+                    id,
+                    detail: format!("flushed {flushed} table set(s)"),
+                    stats: None,
+                },
+            );
+        }
+        Request::Cancel { id, target } => {
+            let found = shared.inflight.lock().unwrap().get(&target).cloned();
+            let detail = match found {
+                Some(governor) => {
+                    governor.cancel();
+                    format!("cancellation signalled to `{target}`")
+                }
+                None => format!("no in-flight request `{target}`"),
+            };
+            shared.write_response(
+                out,
+                &Response::Ok {
+                    id,
+                    detail,
+                    stats: None,
+                },
+            );
+        }
+        Request::Shutdown { id } => {
+            shared.write_response(
+                out,
+                &Response::Ok {
+                    id,
+                    detail: "draining and shutting down".into(),
+                    stats: None,
+                },
+            );
+            shared.initiate_shutdown();
+            return false;
+        }
+        Request::Job(job) => admit_job(shared, *job, out),
+    }
+    true
+}
+
+/// Admission path: quota check, in-flight registration, enqueue.
+fn admit_job(shared: &Arc<Shared>, request: JobRequest, out: &SharedWriter) {
+    let received = Instant::now();
+    let governor = match shared.engine.admit(&request) {
+        Ok(governor) => governor,
+        Err(resp) => {
+            // Rejected requests still complete (they were received).
+            shared.finish(&request.id, received, out, &resp);
+            return;
+        }
+    };
+    shared
+        .inflight
+        .lock()
+        .unwrap()
+        .insert(request.id.clone(), governor.clone());
+    let priority = request.priority;
+    let id = request.id.clone();
+    let job = Job {
+        request,
+        governor,
+        out: Arc::clone(out),
+        received,
+    };
+    if !shared.queue.push(job, priority) {
+        let resp = Response::Error {
+            id: id.clone(),
+            code: 4,
+            message: "server is draining; request not admitted".into(),
+            phase: Some("serve.admit".into()),
+            spent: None,
+            reason: None,
+        };
+        shared.finish(&id, received, out, &resp);
+    }
+}
+
+/// What a worker does with a claimed job.
+fn run_job(shared: &Arc<Shared>, job: &Job) {
+    let resp = if job.governor.is_cancelled() {
+        // Cancelled while still queued: same wire shape as a
+        // cancellation that trips mid-run, without paying for the run.
+        Response::Error {
+            id: job.request.id.clone(),
+            code: 3,
+            message: "cancelled while queued".into(),
+            phase: Some("serve.queue".into()),
+            spent: Some(job.governor.spent()),
+            reason: Some("cancelled".into()),
+        }
+    } else {
+        shared.engine.handle(&job.request, &job.governor)
+    };
+    shared.finish(&job.request.id, job.received, &job.out, &resp);
+}
+
+/// Exhausted-retries path: the job keeps panicking; tell the client.
+fn fail_job(shared: &Arc<Shared>, job: Job, failure: TaskFailure) {
+    shared.aborts.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::Error {
+        id: job.request.id.clone(),
+        code: 4,
+        message: format!(
+            "job aborted after {} attempt(s): {}",
+            failure.attempts, failure.message
+        ),
+        phase: Some(failure.site.clone()),
+        spent: None,
+        reason: None,
+    };
+    shared.finish(&job.request.id, job.received, &job.out, &resp);
+}
+
+/// Handle to a running server. Dropping it does *not* stop the daemon;
+/// call [`RunningServer::stop`] then [`RunningServer::join`], or let a
+/// `shutdown` frame / stdio EOF drain it.
+pub struct RunningServer {
+    addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The bound TCP address, when the TCP transport is enabled.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Signals shutdown: intake stops, queued jobs still drain.
+    pub fn stop(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until the server drains (shutdown frame, stdio EOF or
+    /// [`RunningServer::stop`]), then reports final counters.
+    pub fn join(self) -> ServeReport {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Belt and braces: stop() and the shutdown frame already closed
+        // the queue, but a stdio EOF path reaches here first.
+        self.shared.queue.close();
+        if let Some(acceptor) = self.acceptor {
+            let _ = acceptor.join();
+        }
+        self.pool.join();
+        ServeReport {
+            served: self.shared.engine.served(),
+            warm_hits: self.shared.engine.warm_hits(),
+            aborts: self.shared.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Boots the daemon: binds the TCP transport (if configured), spawns
+/// the reader threads and the worker pool, prints the readiness banner
+/// to stderr (stdout is reserved for stdio frames) and returns the
+/// handle.
+///
+/// # Errors
+///
+/// A human-readable message when no transport is enabled or the TCP
+/// bind fails.
+pub fn start(config: ServeConfig, tracer: Tracer) -> Result<RunningServer, String> {
+    if !config.stdio && config.tcp.is_none() {
+        return Err("no transport enabled: pass --stdio and/or --tcp ADDR".into());
+    }
+    let shared = Arc::new(Shared {
+        engine: ServeEngine::new(config.quota, tracer),
+        queue: JobQueue::new(),
+        inflight: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        aborts: AtomicU64::new(0),
+        max_frame: config.max_frame,
+    });
+    let workers = config.workers.max(1);
+    let pool = {
+        let s_next = Arc::clone(&shared);
+        let s_run = Arc::clone(&shared);
+        let s_fail = Arc::clone(&shared);
+        WorkerPool::start(
+            workers,
+            Supervisor::new(config.retry),
+            move || s_next.queue.pop(),
+            |job: &Job| format!("serve.job.{}", job.request.id),
+            move |job| run_job(&s_run, job),
+            move |job, failure| fail_job(&s_fail, job, failure),
+        )
+    };
+    let mut addr = None;
+    let mut acceptor = None;
+    if let Some(bind) = &config.tcp {
+        let listener =
+            TcpListener::bind(bind).map_err(|e| format!("cannot bind tcp `{bind}`: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure tcp listener: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        addr = Some(bound);
+        let shared = Arc::clone(&shared);
+        acceptor = Some(
+            std::thread::Builder::new()
+                .name("air-serve-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?,
+        );
+    }
+    if config.stdio {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("air-serve-stdio".into())
+            .spawn(move || {
+                let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+                let mut reader = BufReader::new(std::io::stdin());
+                serve_reader(&shared, &mut reader, &out);
+                // EOF on stdin means the operator's session ended.
+                shared.initiate_shutdown();
+            })
+            .map_err(|e| format!("cannot spawn stdio reader: {e}"))?;
+    }
+    let transports = match (config.stdio, addr) {
+        (true, Some(a)) => format!("stdio tcp={a}"),
+        (true, None) => "stdio".to_string(),
+        (false, Some(a)) => format!("tcp={a}"),
+        (false, None) => unreachable!("transport checked above"),
+    };
+    eprintln!("air-serve listening {transports} workers={workers}");
+    Ok(RunningServer {
+        addr,
+        shared,
+        pool,
+        acceptor,
+    })
+}
+
+/// Non-blocking accept loop polling the shutdown flag between attempts;
+/// each connection gets a detached reader thread.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut conn = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                conn += 1;
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // Frames are small and latency-bound; Nagle batching
+                // would add tens of milliseconds per round trip.
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name(format!("air-serve-conn-{conn}"))
+                    .spawn(move || {
+                        let out: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+                        let mut reader = BufReader::new(stream);
+                        serve_reader(&shared, &mut reader, &out);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+    use air_trace::json::{self, Value};
+    use std::io::BufReader;
+    use std::net::TcpStream;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let writer = stream.try_clone().expect("clone");
+            Client {
+                reader: BufReader::new(stream),
+                writer,
+            }
+        }
+
+        fn send(&mut self, payload: &str) {
+            write_frame(&mut self.writer, payload).expect("send");
+        }
+
+        fn recv(&mut self) -> Value {
+            let text = read_frame(&mut self.reader, DEFAULT_MAX_FRAME)
+                .expect("frame")
+                .expect("response");
+            json::parse(&text).expect("response JSON")
+        }
+
+        fn roundtrip(&mut self, payload: &str) -> Value {
+            self.send(payload);
+            self.recv()
+        }
+    }
+
+    fn boot(quota: Option<u64>) -> RunningServer {
+        start(
+            ServeConfig {
+                tcp: Some("127.0.0.1:0".into()),
+                quota,
+                ..ServeConfig::default()
+            },
+            Tracer::disabled(),
+        )
+        .expect("server boots")
+    }
+
+    fn status(doc: &Value) -> String {
+        doc.get("status")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string()
+    }
+
+    #[test]
+    fn tcp_round_trip_ping_job_stats_shutdown() {
+        let server = boot(None);
+        let mut client = Client::connect(server.addr().unwrap());
+        assert_eq!(
+            status(&client.roundtrip(r#"{"id":"p1","job":"ping"}"#)),
+            "ok"
+        );
+        let verdict = client.roundtrip(
+            r#"{"id":"v1","job":"verify","vars":"x:-8..8",
+               "code":"if (x >= 0) then { skip } else { x := 0 - x }",
+               "pre":"x != 0","spec":"x != 0"}"#,
+        );
+        assert_eq!(status(&verdict), "proved");
+        assert_eq!(verdict.get("warm").and_then(Value::as_bool), Some(false));
+        let warm = client.roundtrip(
+            r#"{"id":"v2","job":"verify","vars":"x:-8..8",
+               "code":"if (x >= 0) then { skip } else { x := 0 - x }",
+               "pre":"x != 0","spec":"x != 0"}"#,
+        );
+        assert_eq!(warm.get("warm").and_then(Value::as_bool), Some(true));
+        let stats = client.roundtrip(r#"{"id":"s1","job":"stats"}"#);
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("served"))
+                .and_then(Value::as_num),
+            Some(2.0)
+        );
+        let bye = client.roundtrip(r#"{"id":"q","job":"shutdown"}"#);
+        assert_eq!(status(&bye), "ok");
+        let report = server.join();
+        assert_eq!(report.served, 2);
+        assert_eq!(report.warm_hits, 1);
+        assert_eq!(report.aborts, 0);
+    }
+
+    #[test]
+    fn malformed_and_unparseable_frames_answer_code_2() {
+        let server = boot(None);
+        let mut client = Client::connect(server.addr().unwrap());
+        // Parse errors keep the connection alive...
+        let doc = client.roundtrip("this is not json");
+        assert_eq!(status(&doc), "error");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_num),
+            Some(2.0)
+        );
+        // ...framing errors answer once and hang up.
+        self::write_raw(&mut client.writer, b"not-a-length\n");
+        let doc = client.recv();
+        assert_eq!(status(&doc), "error");
+        server.stop();
+        server.join();
+    }
+
+    fn write_raw(w: &mut impl std::io::Write, bytes: &[u8]) {
+        w.write_all(bytes).unwrap();
+        w.flush().unwrap();
+    }
+
+    #[test]
+    fn stop_drains_queued_jobs_before_retiring() {
+        let server = boot(None);
+        let mut client = Client::connect(server.addr().unwrap());
+        for i in 0..8 {
+            client.send(&format!(
+                r#"{{"id":"j{i}","job":"verify","vars":"x:-4..4",
+                   "code":"x := x + 1","pre":"x = 0","spec":"x = 1"}}"#
+            ));
+        }
+        let mut seen = 0;
+        while seen < 8 {
+            let doc = client.recv();
+            assert_eq!(status(&doc), "proved");
+            seen += 1;
+        }
+        server.stop();
+        let report = server.join();
+        assert_eq!(report.served, 8);
+        assert_eq!(report.aborts, 0);
+    }
+
+    #[test]
+    fn quota_rejection_over_the_wire() {
+        let server = boot(Some(10));
+        let mut client = Client::connect(server.addr().unwrap());
+        let doc = client.roundtrip(
+            r#"{"id":"q1","job":"verify","tenant":"t","fuel":11,
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#,
+        );
+        assert_eq!(status(&doc), "error");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("reason"))
+                .and_then(Value::as_str),
+            Some("quota")
+        );
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn no_transport_is_a_startup_error() {
+        let Err(err) = start(ServeConfig::default(), Tracer::disabled()) else {
+            panic!("expected startup error");
+        };
+        assert!(err.contains("no transport"), "{err}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Wire-contract tests against a live in-process server: malformed
+//! frames, oversized payloads, zero-fuel requests, mid-request
+//! cancellation, and the differential guarantee that a served repair
+//! verdict is byte-identical to the one-shot CLI path.
+
+use air_serve::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use air_serve::{start, RunningServer, ServeConfig};
+use air_trace::json::{self, Value};
+use air_trace::Tracer;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, payload: &str) {
+        write_frame(&mut self.writer, payload).expect("send frame");
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        use std::io::Write;
+        self.writer.write_all(bytes).expect("send raw");
+        self.writer.flush().expect("flush raw");
+    }
+
+    fn recv(&mut self) -> Value {
+        let text = read_frame(&mut self.reader, DEFAULT_MAX_FRAME)
+            .expect("read frame")
+            .expect("server response");
+        json::parse(&text).unwrap_or_else(|e| panic!("bad response JSON `{text}`: {e}"))
+    }
+
+    fn roundtrip(&mut self, payload: &str) -> Value {
+        self.send(payload);
+        self.recv()
+    }
+}
+
+fn boot(config: ServeConfig) -> RunningServer {
+    start(
+        ServeConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            ..config
+        },
+        Tracer::disabled(),
+    )
+    .expect("server boots")
+}
+
+fn status(doc: &Value) -> &str {
+    doc.get("status").and_then(Value::as_str).unwrap_or("")
+}
+
+fn error_code(doc: &Value) -> Option<f64> {
+    doc.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_num)
+}
+
+fn error_reason(doc: &Value) -> Option<&str> {
+    doc.get("error")
+        .and_then(|e| e.get("reason"))
+        .and_then(Value::as_str)
+}
+
+#[test]
+fn malformed_payloads_answer_code_2_and_keep_the_connection() {
+    let server = boot(ServeConfig::default());
+    let mut client = Client::connect(server.addr().unwrap());
+    for bad in [
+        "definitely not json",
+        "[1,2,3]",
+        r#"{"job":"ping"}"#,
+        r#"{"id":"x","job":"transmogrify"}"#,
+        r#"{"id":"x","job":"verify","vars":"x:0..1","code":"skip","spec":"true","fuel":-1}"#,
+    ] {
+        let doc = client.roundtrip(bad);
+        assert_eq!(status(&doc), "error", "{bad}");
+        assert_eq!(error_code(&doc), Some(2.0), "{bad}");
+    }
+    // The connection survived all five rejections.
+    assert_eq!(
+        status(&client.roundtrip(r#"{"id":"p","job":"ping"}"#)),
+        "ok"
+    );
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn oversized_payload_is_rejected_before_allocation() {
+    let server = boot(ServeConfig {
+        max_frame: 64,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.addr().unwrap());
+    // Declare a huge frame; the server must answer without reading it.
+    client.send_raw(b"999999999\n");
+    let doc = client.recv();
+    assert_eq!(status(&doc), "error");
+    assert_eq!(error_code(&doc), Some(2.0));
+    let msg = doc
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    assert!(msg.contains("exceeds"), "{msg}");
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn zero_fuel_request_exhausts_with_code_3() {
+    let server = boot(ServeConfig::default());
+    let mut client = Client::connect(server.addr().unwrap());
+    let doc = client.roundtrip(
+        r#"{"id":"z","job":"verify","vars":"x:0..7","fuel":0,
+           "code":"while (x < 7) do { x := x + 1 }","pre":"x = 0","spec":"x = 7"}"#,
+    );
+    assert_eq!(status(&doc), "error");
+    assert_eq!(error_code(&doc), Some(3.0));
+    assert_eq!(error_reason(&doc), Some("fuel"));
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn cancellation_reaches_a_request_from_another_connection() {
+    // One worker, so a long-running head-of-line job keeps later jobs
+    // queued: cancelling a *queued* request is deterministic.
+    let server = boot(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr().unwrap();
+    let mut submitter = Client::connect(addr);
+    // A queue-filler the worker will chew on (bounded but not instant),
+    // then the victim we cancel while it still sits in the queue.
+    submitter.send(
+        r#"{"id":"head","job":"verify","vars":"x:-9..9,y:-9..9",
+           "code":"while (x < 9) do { x := x + 1 ; y := 0 - x }",
+           "pre":"x = 0 - 9 && y = 9","spec":"x = 9"}"#,
+    );
+    submitter.send(
+        r#"{"id":"victim","job":"verify","vars":"x:0..7",
+           "code":"while (x < 7) do { x := x + 1 }","pre":"x = 0","spec":"x = 7"}"#,
+    );
+    let mut canceller = Client::connect(addr);
+    // Retry until the victim is registered in-flight (admission happens
+    // on the reader thread, racing this connection).
+    let mut cancelled = false;
+    for _ in 0..500 {
+        let doc = canceller.roundtrip(r#"{"id":"c","job":"cancel","target":"victim"}"#);
+        let detail = doc.get("detail").and_then(Value::as_str).unwrap_or("");
+        if detail.contains("signalled") {
+            cancelled = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(cancelled, "victim never became cancellable");
+    // The victim's response is a code-3 cancellation whether it was
+    // still queued or already running when the signal landed.
+    let mut saw_victim = false;
+    for _ in 0..2 {
+        let doc = submitter.recv();
+        if doc.get("id").and_then(Value::as_str) == Some("victim") {
+            assert_eq!(status(&doc), "error", "{doc:?}");
+            assert_eq!(error_code(&doc), Some(3.0));
+            assert_eq!(error_reason(&doc), Some("cancelled"));
+            saw_victim = true;
+        }
+    }
+    assert!(saw_victim, "victim response missing");
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn served_repair_verdict_is_byte_identical_to_the_cli_path() {
+    use air_core::{EnumDomain, Verifier};
+    use air_domains::OctagonDomain;
+    use air_lang::{parse_bexp, parse_program, Concrete, Universe};
+
+    let code = "if (x >= 0) then { skip } else { x := 0 - x }";
+    let server = boot(ServeConfig::default());
+    let mut client = Client::connect(server.addr().unwrap());
+    let doc = client.roundtrip(&format!(
+        r#"{{"id":"d1","job":"repair","vars":"x:-8..8","domain":"oct",
+           "code":"{code}","pre":"x != 0","spec":"x != 0"}}"#
+    ));
+    assert_eq!(status(&doc), "proved");
+    let served_report = doc
+        .get("report")
+        .and_then(Value::as_str)
+        .expect("report field");
+
+    // The one-shot path: fresh universe, fresh caches, same inputs —
+    // exactly what `air verify` prints.
+    let u = Universe::new(&[("x", -8, 8)]).unwrap();
+    let dom = EnumDomain::from_abstraction(&u, OctagonDomain::new(&u));
+    let prog = parse_program(code).unwrap();
+    let conc = Concrete::new(&u);
+    let pre = conc.sat(&parse_bexp("x != 0").unwrap()).unwrap();
+    let spec = conc.sat(&parse_bexp("x != 0").unwrap()).unwrap();
+    let verdict = Verifier::new(&u).backward(dom, &prog, &pre, &spec).unwrap();
+    assert_eq!(served_report, verdict.report(&u));
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn flush_empties_warm_tables_over_the_wire() {
+    let server = boot(ServeConfig::default());
+    let mut client = Client::connect(server.addr().unwrap());
+    let req =
+        r#"{"id":"w","job":"verify","vars":"x:-4..4","code":"skip","pre":"true","spec":"true"}"#;
+    client.roundtrip(req);
+    let doc = client.roundtrip(&req.replace("\"w\"", "\"w2\""));
+    assert_eq!(doc.get("warm").and_then(Value::as_bool), Some(true));
+    let doc = client.roundtrip(r#"{"id":"f","job":"flush"}"#);
+    assert!(doc
+        .get("detail")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .contains("flushed 1"));
+    let doc = client.roundtrip(&req.replace("\"w\"", "\"w3\""));
+    assert_eq!(doc.get("warm").and_then(Value::as_bool), Some(false));
+    server.stop();
+    server.join();
+}

@@ -97,6 +97,22 @@ pub enum EventKind {
     /// A crash-safe checkpoint was atomically written after `items`
     /// completed units of work.
     CheckpointWritten { path: String, items: u64 },
+    /// The serve daemon accepted a request into the admission queue.
+    /// `job` is the request kind (`verify`, `analyze`, ...); the field is
+    /// not called `kind` because that name is the envelope discriminant.
+    RequestReceived {
+        id: String,
+        job: String,
+        tenant: String,
+    },
+    /// A served request finished; `status` is `ok`, `usage`, `budget`,
+    /// `internal` or `cancelled`, and `duration_ns` spans admission to
+    /// response (queueing included).
+    RequestCompleted {
+        id: String,
+        status: String,
+        duration_ns: u64,
+    },
 }
 
 /// Every wire-format `kind` value the engine can emit, in one place so
@@ -124,6 +140,8 @@ pub const KNOWN_KINDS: &[&str] = &[
     "task_retried",
     "shard_quarantined",
     "checkpoint_written",
+    "request_received",
+    "request_completed",
 ];
 
 impl EventKind {
@@ -152,6 +170,8 @@ impl EventKind {
             EventKind::TaskRetried { .. } => "task_retried",
             EventKind::ShardQuarantined { .. } => "shard_quarantined",
             EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::RequestReceived { .. } => "request_received",
+            EventKind::RequestCompleted { .. } => "request_completed",
         }
     }
 
@@ -279,6 +299,20 @@ impl Event {
                 field_str(out, "path", path);
                 let _ = write!(out, ",\"items\":{items}");
             }
+            EventKind::RequestReceived { id, job, tenant } => {
+                field_str(out, "id", id);
+                field_str(out, "job", job);
+                field_str(out, "tenant", tenant);
+            }
+            EventKind::RequestCompleted {
+                id,
+                status,
+                duration_ns,
+            } => {
+                field_str(out, "id", id);
+                field_str(out, "status", status);
+                let _ = write!(out, ",\"duration_ns\":{duration_ns}");
+            }
         }
         out.push('}');
     }
@@ -392,6 +426,16 @@ mod tests {
             EventKind::CheckpointWritten {
                 path: "sweep.ckpt.json".into(),
                 items: 50,
+            },
+            EventKind::RequestReceived {
+                id: "req-1".into(),
+                job: "verify".into(),
+                tenant: "default".into(),
+            },
+            EventKind::RequestCompleted {
+                id: "req-1".into(),
+                status: "ok".into(),
+                duration_ns: 1234,
             },
         ];
         assert_eq!(samples.len(), KNOWN_KINDS.len(), "sample per kind");

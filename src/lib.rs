@@ -24,6 +24,9 @@
 //!   keyed on trace-point sites), `catch_unwind` supervision with
 //!   bounded retry, and crash-safe atomic checkpoints; the substrate of
 //!   `air chaos`.
+//! - [`serve`] — repair-as-a-service: the `air serve` daemon keeping
+//!   interner, memo tables and semantic caches warm across requests,
+//!   with governed admission and per-tenant quotas (see `SERVING.md`).
 //!
 //! # Quickstart
 //!
@@ -53,4 +56,5 @@ pub use air_fuzz as fuzz;
 pub use air_lang as lang;
 pub use air_lattice as lattice;
 pub use air_resilience as resilience;
+pub use air_serve as serve;
 pub use air_trace as trace;

@@ -6,9 +6,15 @@
 //! A request declaring `fuel` above the tenant's remaining allowance is
 //! rejected at admission (error code 3, reason `"quota"`) before any
 //! work happens; a request declaring no fuel is capped at the remaining
-//! allowance instead of running unlimited. After a run, the fuel the
-//! governor actually counted is charged — so cheap requests do not
-//! consume their declared worst case, only what they spent.
+//! allowance instead of running unlimited.
+//!
+//! Admission *reserves* the effective fuel against the allowance, so N
+//! concurrent requests from one tenant are admitted against
+//! `limit - spent - reserved`, never each against the same remainder.
+//! When the run completes, [`TenantQuotas::settle`] releases the
+//! reservation and charges the fuel the governor actually counted — so
+//! cheap requests do not consume their declared worst case, only what
+//! they spent.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Condvar, Mutex};
@@ -20,17 +26,35 @@ pub struct QuotaRejection {
     pub tenant: String,
     /// Fuel the request declared (`None` = unbounded ask).
     pub requested: Option<u64>,
-    /// Fuel the tenant has left.
+    /// Fuel the tenant has left, net of in-flight reservations.
     pub remaining: u64,
     /// Fuel the tenant has spent so far.
     pub spent: u64,
+}
+
+/// A granted admission: the effective fuel cap plus the reservation held
+/// against the tenant's allowance until [`TenantQuotas::settle`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// Effective fuel cap for the run: the declared fuel, or the tenant's
+    /// available allowance when nothing was declared (`None` only when
+    /// quotas are disabled and no fuel was declared).
+    pub effective: Option<u64>,
+    /// Fuel reserved at admission; pass back to [`TenantQuotas::settle`].
+    pub reserved: u64,
+}
+
+#[derive(Debug, Default)]
+struct Account {
+    spent: u64,
+    reserved: u64,
 }
 
 /// Per-tenant lifetime fuel accounting.
 #[derive(Debug)]
 pub struct TenantQuotas {
     limit: Option<u64>,
-    spent: Mutex<HashMap<String, u64>>,
+    accounts: Mutex<HashMap<String, Account>>,
 }
 
 impl TenantQuotas {
@@ -39,71 +63,97 @@ impl TenantQuotas {
     pub fn new(limit: Option<u64>) -> TenantQuotas {
         TenantQuotas {
             limit,
-            spent: Mutex::new(HashMap::new()),
+            accounts: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Admission check for a request declaring `requested` fuel. Returns
-    /// the *effective* fuel cap for the run: the declared fuel, or the
-    /// tenant's remaining allowance when nothing was declared (`None`
-    /// only when quotas are disabled and no fuel was declared).
+    /// Admission check for a request declaring `requested` fuel. The
+    /// effective fuel is *reserved* under the same lock as the check, so
+    /// concurrent requests from one tenant each see an allowance net of
+    /// the others' reservations — a tenant can never be admitted past its
+    /// lifetime limit no matter how many requests are in flight. Every
+    /// granted admission must eventually be passed to
+    /// [`TenantQuotas::settle`].
     ///
     /// # Errors
     ///
-    /// [`QuotaRejection`] when the tenant's allowance is exhausted or the
-    /// declared fuel exceeds what is left.
-    pub fn admit(
-        &self,
-        tenant: &str,
-        requested: Option<u64>,
-    ) -> Result<Option<u64>, QuotaRejection> {
+    /// [`QuotaRejection`] when the tenant's allowance (net of spend and
+    /// reservations) is exhausted or the declared fuel exceeds it.
+    pub fn admit(&self, tenant: &str, requested: Option<u64>) -> Result<Admission, QuotaRejection> {
         let Some(limit) = self.limit else {
-            return Ok(requested);
+            return Ok(Admission {
+                effective: requested,
+                reserved: 0,
+            });
         };
-        let spent = self.spent_by(tenant);
-        let remaining = limit.saturating_sub(spent);
-        let reject = || QuotaRejection {
+        let mut accounts = self.accounts.lock().unwrap();
+        let account = accounts.entry(tenant.to_string()).or_default();
+        let remaining = limit
+            .saturating_sub(account.spent)
+            .saturating_sub(account.reserved);
+        let reject = |account: &Account| QuotaRejection {
             tenant: tenant.to_string(),
             requested,
             remaining,
-            spent,
+            spent: account.spent,
         };
         if remaining == 0 {
-            return Err(reject());
+            return Err(reject(account));
         }
-        match requested {
-            Some(fuel) if fuel > remaining => Err(reject()),
-            Some(fuel) => Ok(Some(fuel)),
-            None => Ok(Some(remaining)),
-        }
+        let effective = match requested {
+            Some(fuel) if fuel > remaining => return Err(reject(account)),
+            Some(fuel) => fuel,
+            None => remaining,
+        };
+        account.reserved += effective;
+        Ok(Admission {
+            effective: Some(effective),
+            reserved: effective,
+        })
     }
 
-    /// Charges fuel a completed (or cut-off) run actually spent.
-    pub fn charge(&self, tenant: &str, spent: u64) {
-        if self.limit.is_none() || spent == 0 {
+    /// Converts an admission's reservation into actual spend: releases
+    /// `reserved` and charges the fuel the run actually counted. Call
+    /// exactly once per granted admission, on every completion path —
+    /// success, budget cutoff, cancellation, abort, or drain rejection.
+    pub fn settle(&self, tenant: &str, reserved: u64, spent: u64) {
+        if self.limit.is_none() {
             return;
         }
-        *self
-            .spent
-            .lock()
-            .unwrap()
-            .entry(tenant.to_string())
-            .or_insert(0) += spent;
+        let mut accounts = self.accounts.lock().unwrap();
+        let account = accounts.entry(tenant.to_string()).or_default();
+        account.reserved = account.reserved.saturating_sub(reserved);
+        account.spent += spent;
     }
 
     /// Fuel the tenant has been charged so far.
     pub fn spent_by(&self, tenant: &str) -> u64 {
-        self.spent.lock().unwrap().get(tenant).copied().unwrap_or(0)
+        self.accounts
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .map_or(0, |a| a.spent)
     }
 
-    /// `(tenant, spent)` rows, sorted by tenant for stable rendering.
+    /// Fuel currently reserved by the tenant's in-flight admissions.
+    pub fn reserved_by(&self, tenant: &str) -> u64 {
+        self.accounts
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .map_or(0, |a| a.reserved)
+    }
+
+    /// `(tenant, spent)` rows for tenants with non-zero spend, sorted by
+    /// tenant for stable rendering.
     pub fn rows(&self) -> Vec<(String, u64)> {
         let mut rows: Vec<(String, u64)> = self
-            .spent
+            .accounts
             .lock()
             .unwrap()
             .iter()
-            .map(|(t, s)| (t.clone(), *s))
+            .filter(|(_, a)| a.spent > 0)
+            .map(|(t, a)| (t.clone(), a.spent))
             .collect();
         rows.sort();
         rows
@@ -176,12 +226,17 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// Enqueues an item; returns `false` (item dropped) if the queue is
-    /// closed.
-    pub fn push(&self, item: T, priority: i64) -> bool {
+    /// Enqueues an item; a closed queue refuses intake and hands the
+    /// item back so the caller can unwind its admission (respond, settle
+    /// the quota reservation).
+    ///
+    /// # Errors
+    ///
+    /// The refused item, when the queue is closed.
+    pub fn push(&self, item: T, priority: i64) -> Result<(), T> {
         let mut state = self.state.lock().unwrap();
         if state.closed {
-            return false;
+            return Err(item);
         }
         let seq = state.seq;
         state.seq += 1;
@@ -192,7 +247,7 @@ impl<T> JobQueue<T> {
         });
         drop(state);
         self.ready.notify_one();
-        true
+        Ok(())
     }
 
     /// Blocks until an item is available (highest priority, FIFO within
@@ -235,9 +290,11 @@ mod tests {
     #[test]
     fn unlimited_quota_admits_everything_verbatim() {
         let q = TenantQuotas::new(None);
-        assert_eq!(q.admit("a", None), Ok(None));
-        assert_eq!(q.admit("a", Some(u64::MAX)), Ok(Some(u64::MAX)));
-        q.charge("a", 10); // no-op without a limit
+        let a = q.admit("a", None).unwrap();
+        assert_eq!((a.effective, a.reserved), (None, 0));
+        let a = q.admit("a", Some(u64::MAX)).unwrap();
+        assert_eq!((a.effective, a.reserved), (Some(u64::MAX), 0));
+        q.settle("a", 0, 10); // no-op without a limit
         assert_eq!(q.spent_by("a"), 0);
     }
 
@@ -245,32 +302,67 @@ mod tests {
     fn quota_caps_rejects_and_charges_actual_spend() {
         let q = TenantQuotas::new(Some(100));
         // Undeclared fuel is capped at the remaining allowance.
-        assert_eq!(q.admit("a", None), Ok(Some(100)));
-        q.charge("a", 30);
-        assert_eq!(q.admit("a", None), Ok(Some(70)));
-        assert_eq!(q.admit("a", Some(70)), Ok(Some(70)));
+        let a = q.admit("a", None).unwrap();
+        assert_eq!((a.effective, a.reserved), (Some(100), 100));
+        // The run spent 30 of its 100-fuel reservation.
+        q.settle("a", a.reserved, 30);
+        assert_eq!((q.spent_by("a"), q.reserved_by("a")), (30, 0));
+        let a = q.admit("a", None).unwrap();
+        assert_eq!(a.effective, Some(70));
+        q.settle("a", a.reserved, 0);
+        assert_eq!(q.admit("a", Some(70)).map(|a| a.effective), Ok(Some(70)));
+        let rej = q.admit("a", Some(1)).unwrap_err();
+        assert_eq!((rej.remaining, rej.spent), (0, 30));
+        q.settle("a", 70, 0);
         let rej = q.admit("a", Some(71)).unwrap_err();
         assert_eq!((rej.remaining, rej.spent), (70, 30));
         // Tenants are independent.
-        assert_eq!(q.admit("b", Some(100)), Ok(Some(100)));
+        assert!(q.admit("b", Some(100)).is_ok());
         // Exhausting the allowance rejects even unbounded asks.
-        q.charge("a", 70);
+        q.settle("a", 0, 70);
         assert!(q.admit("a", None).is_err());
         assert_eq!(q.rows(), vec![("a".to_string(), 100)]);
     }
 
     #[test]
+    fn concurrent_admissions_share_one_allowance() {
+        let q = TenantQuotas::new(Some(100));
+        // Two in-flight requests reserve against the same allowance: the
+        // first undeclared ask takes everything, so a concurrent one is
+        // rejected rather than double-admitted against the same remainder.
+        let first = q.admit("a", None).unwrap();
+        assert_eq!(first.reserved, 100);
+        let rej = q.admit("a", None).unwrap_err();
+        assert_eq!(rej.remaining, 0);
+        // Declared asks split the allowance instead.
+        q.settle("a", first.reserved, 0);
+        let a1 = q.admit("a", Some(60)).unwrap();
+        let rej = q.admit("a", Some(60)).unwrap_err();
+        assert_eq!(rej.remaining, 40);
+        let a2 = q.admit("a", Some(40)).unwrap();
+        // Settling releases reservations and bills only actual spend.
+        q.settle("a", a1.reserved, 5);
+        q.settle("a", a2.reserved, 7);
+        assert_eq!((q.spent_by("a"), q.reserved_by("a")), (12, 0));
+        assert_eq!(q.admit("a", Some(88)).unwrap().effective, Some(88));
+    }
+
+    #[test]
     fn queue_orders_by_priority_then_fifo() {
         let q: JobQueue<&str> = JobQueue::new();
-        assert!(q.push("low-1", 0));
-        assert!(q.push("high", 5));
-        assert!(q.push("low-2", 0));
+        assert!(q.push("low-1", 0).is_ok());
+        assert!(q.push("high", 5).is_ok());
+        assert!(q.push("low-2", 0).is_ok());
         q.close();
         assert_eq!(q.pop(), Some("high"));
         assert_eq!(q.pop(), Some("low-1"));
         assert_eq!(q.pop(), Some("low-2"));
         assert_eq!(q.pop(), None);
-        assert!(!q.push("late", 0), "closed queue must refuse intake");
+        assert_eq!(
+            q.push("late", 0),
+            Err("late"),
+            "closed queue must hand the item back"
+        );
     }
 
     #[test]
@@ -285,7 +377,7 @@ mod tests {
             seen
         });
         for x in 0..10 {
-            q.push(x, 0);
+            q.push(x, 0).unwrap();
         }
         q.close();
         let mut seen = consumer.join().unwrap();

@@ -29,7 +29,7 @@ use air_trace::{json, EventKind, Tracer};
 
 use crate::admission::TenantQuotas;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -66,6 +66,23 @@ struct WarmEntry {
     requests: u64,
 }
 
+/// An admitted request: its governor plus the fuel reservation the
+/// admission holds against the tenant's allowance until
+/// [`ServeEngine::settle`] converts it into actual spend.
+#[derive(Debug)]
+pub struct Admitted {
+    governor: Governor,
+    reserved: u64,
+    settled: AtomicBool,
+}
+
+impl Admitted {
+    /// The governor budgeting and cancelling this request.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+}
+
 /// The long-lived serving engine shared by all worker threads.
 pub struct ServeEngine {
     registry: Mutex<HashMap<(String, String), WarmEntry>>,
@@ -93,9 +110,12 @@ impl ServeEngine {
         self.tracer.clone()
     }
 
-    /// Admission: emits `request_received`, checks the tenant quota and
+    /// Admission: emits `request_received`, checks the tenant quota,
+    /// reserves the effective fuel against the tenant's allowance and
     /// mints the request's governor (always cancellable, budgeted by the
-    /// declared fuel/timeout capped to the tenant's remaining allowance).
+    /// declared fuel/timeout capped to the tenant's available allowance).
+    /// Every granted admission must reach [`ServeEngine::settle`] on some
+    /// completion path, or the reservation leaks.
     ///
     /// # Errors
     ///
@@ -103,22 +123,26 @@ impl ServeEngine {
     // The Err IS the wire response: built once on a cold rejection path and
     // serialized immediately, so boxing it would only add indirection.
     #[allow(clippy::result_large_err)]
-    pub fn admit(&self, req: &JobRequest) -> Result<Governor, Response> {
+    pub fn admit(&self, req: &JobRequest) -> Result<Admitted, Response> {
         self.tracer.emit_with(|| EventKind::RequestReceived {
             id: req.id.clone(),
             job: req.job.name().to_string(),
             tenant: req.tenant.clone(),
         });
         match self.quotas.admit(&req.tenant, req.fuel) {
-            Ok(effective_fuel) => {
+            Ok(admission) => {
                 let budget = Budget {
-                    fuel: effective_fuel,
+                    fuel: admission.effective,
                     timeout: req.timeout_ms.map(Duration::from_millis),
                 };
-                Ok(if budget.is_unlimited() {
-                    Governor::cancellable()
-                } else {
-                    Governor::new(budget)
+                Ok(Admitted {
+                    governor: if budget.is_unlimited() {
+                        Governor::cancellable()
+                    } else {
+                        Governor::new(budget)
+                    },
+                    reserved: admission.reserved,
+                    settled: AtomicBool::new(false),
                 })
             }
             Err(rej) => Err(Response::Error {
@@ -139,16 +163,30 @@ impl ServeEngine {
         }
     }
 
-    /// Runs an admitted job under its governor and charges the fuel it
-    /// actually spent. Never panics outward by design — engine errors
-    /// come back as structured error responses (panics are the worker
-    /// pool supervisor's department).
-    pub fn handle(&self, req: &JobRequest, governor: &Governor) -> Response {
+    /// Runs an admitted job under its governor, then settles the
+    /// admission (reservation released, actual fuel charged). Never
+    /// panics outward by design — engine errors come back as structured
+    /// error responses (panics are the worker pool supervisor's
+    /// department, and a panicking job is settled by its abort path).
+    pub fn handle(&self, req: &JobRequest, admitted: &Admitted) -> Response {
         let started = Instant::now();
-        let response = self.run_job(req, governor, started);
-        self.quotas.charge(&req.tenant, governor.spent());
+        let response = self.run_job(req, &admitted.governor, started);
+        self.settle(req, admitted);
         self.served.fetch_add(1, Ordering::Relaxed);
         response
+    }
+
+    /// Settles an admission: releases its quota reservation and charges
+    /// the fuel the governor actually counted. Idempotent — exactly one
+    /// completion path (normal, cancelled-while-queued, aborted after
+    /// retries, drain-rejected, duplicate-id-rejected) does the
+    /// accounting, later calls are no-ops.
+    pub fn settle(&self, req: &JobRequest, admitted: &Admitted) {
+        if admitted.settled.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.quotas
+            .settle(&req.tenant, admitted.reserved, admitted.governor.spent());
     }
 
     /// Looks up or builds the warm table set for a request. Returns
@@ -159,17 +197,13 @@ impl ServeEngine {
         req: &JobRequest,
     ) -> Result<(Arc<Universe>, EnumDomain, SemCache, bool), Response> {
         let key = (normalize_vars(&req.vars), req.domain.clone());
-        let mut registry = self.registry.lock().unwrap();
-        if let Some(entry) = registry.get_mut(&key) {
-            entry.requests += 1;
-            self.warm_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((
-                Arc::clone(&entry.universe),
-                entry.proto.clone(),
-                entry.sem.clone(),
-                true,
-            ));
+        if let Some(hit) = self.lookup_warm(&key) {
+            return Ok(hit);
         }
+        // Cold path: build outside the registry lock. `Universe::new` and
+        // `build_domain` enumerate the store space and can be slow for
+        // large var ranges; holding the lock here would stall every warm
+        // hit on unrelated keys behind one cold request.
         let refs: Vec<(&str, i64, i64)> = req
             .vars
             .iter()
@@ -181,14 +215,46 @@ impl ServeEngine {
             .ok_or_else(|| self.usage(req, format!("unknown domain `{}`", req.domain)))?;
         let sem = SemCache::new();
         sem.set_tracer(&self.tracer);
-        let entry = WarmEntry {
-            universe: Arc::clone(&universe),
-            proto: proto.clone(),
-            sem: sem.clone(),
-            requests: 1,
-        };
-        registry.insert(key, entry);
+        let mut registry = self.registry.lock().unwrap();
+        if let Some(entry) = registry.get_mut(&key) {
+            // Lost the build race: adopt the first builder's tables so
+            // every request on this key keeps sharing one table set.
+            entry.requests += 1;
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                Arc::clone(&entry.universe),
+                entry.proto.clone(),
+                entry.sem.clone(),
+                true,
+            ));
+        }
+        registry.insert(
+            key,
+            WarmEntry {
+                universe: Arc::clone(&universe),
+                proto: proto.clone(),
+                sem: sem.clone(),
+                requests: 1,
+            },
+        );
         Ok((universe, proto, sem, false))
+    }
+
+    /// Registry lookup for an existing table set, bumping its counters.
+    fn lookup_warm(
+        &self,
+        key: &(String, String),
+    ) -> Option<(Arc<Universe>, EnumDomain, SemCache, bool)> {
+        let mut registry = self.registry.lock().unwrap();
+        let entry = registry.get_mut(key)?;
+        entry.requests += 1;
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        Some((
+            Arc::clone(&entry.universe),
+            entry.proto.clone(),
+            entry.sem.clone(),
+            true,
+        ))
     }
 
     fn usage(&self, req: &JobRequest, message: String) -> Response {
@@ -560,10 +626,10 @@ mod tests {
         // A cheap run charges what it spent, not the cap.
         let cheap = job(r#"{"id":"q2","job":"verify","tenant":"t0",
                "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
-        let g = eng.admit(&cheap).unwrap();
-        let resp = eng.handle(&cheap, &g);
+        let admitted = eng.admit(&cheap).unwrap();
+        let resp = eng.handle(&cheap, &admitted);
         assert!(matches!(resp, Response::Verdict { proved: true, .. }));
-        let spent = g.spent();
+        let spent = admitted.governor().spent();
         assert!(spent < 50, "trivial run must not eat the whole quota");
         // Another tenant is unaffected.
         let other = job(r#"{"id":"q3","job":"verify","tenant":"t1","fuel":50,
@@ -572,13 +638,48 @@ mod tests {
     }
 
     #[test]
+    fn admission_reserves_fuel_until_the_run_settles() {
+        let eng = ServeEngine::new(Some(100), Tracer::disabled());
+        let declared = job(r#"{"id":"i1","job":"verify","tenant":"t0","fuel":60,
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
+        let inflight = eng.admit(&declared).unwrap();
+        // While i1 is in flight its 60 fuel is reserved: a concurrent
+        // 60-fuel ask must be rejected, not admitted against the same
+        // remainder — and an undeclared ask is capped at what is left.
+        let concurrent = job(r#"{"id":"i2","job":"verify","tenant":"t0","fuel":60,
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
+        let resp = eng.admit(&concurrent).unwrap_err();
+        let Response::Error {
+            code: 3,
+            reason: Some(ref reason),
+            ..
+        } = resp
+        else {
+            panic!("expected quota rejection, got {resp:?}");
+        };
+        assert_eq!(reason, "quota");
+        // Completing the run releases the reservation and bills only the
+        // actual spend, so the concurrent ask now fits.
+        let resp = eng.handle(&declared, &inflight);
+        assert!(matches!(resp, Response::Verdict { proved: true, .. }));
+        let second = eng.admit(&concurrent).unwrap();
+        // Settling twice is a no-op: abort/cancel paths may race handle.
+        eng.settle(&declared, &inflight);
+        eng.settle(&concurrent, &second);
+        eng.settle(&concurrent, &second);
+        let third = job(r#"{"id":"i3","job":"verify","tenant":"t0",
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
+        assert!(eng.admit(&third).is_ok());
+    }
+
+    #[test]
     fn cancelled_governor_yields_code_3_cancelled() {
         let eng = engine();
         let req = job(r#"{"id":"c1","job":"verify","vars":"x:0..7",
                "code":"while (x < 7) do { x := x + 1 }","pre":"x = 0","spec":"x = 7"}"#);
-        let g = eng.admit(&req).unwrap();
-        g.cancel();
-        let resp = eng.handle(&req, &g);
+        let admitted = eng.admit(&req).unwrap();
+        admitted.governor().cancel();
+        let resp = eng.handle(&req, &admitted);
         let Response::Error {
             code: 3,
             reason: Some(ref reason),

@@ -28,8 +28,8 @@ pub mod engine;
 pub mod protocol;
 pub mod server;
 
-pub use admission::{JobQueue, QuotaRejection, TenantQuotas};
-pub use engine::ServeEngine;
+pub use admission::{Admission, JobQueue, QuotaRejection, TenantQuotas};
+pub use engine::{Admitted, ServeEngine};
 pub use protocol::{
     read_frame, write_frame, CacheSnapshot, FrameError, JobKind, JobRequest, Request, Response,
     DEFAULT_MAX_FRAME,

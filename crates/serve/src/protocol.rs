@@ -22,6 +22,12 @@ use std::io::{BufRead, Write};
 /// are rejected before any allocation of the payload buffer.
 pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 
+/// Cap on the length line itself: 20 digits cover `u64::MAX`, plus slack
+/// for a `\r` and stray whitespace. A client streaming bytes with no
+/// newline is cut off here instead of growing a line buffer without
+/// bound.
+const MAX_LENGTH_LINE: usize = 32;
+
 /// Why a frame could not be read.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrameError {
@@ -52,23 +58,54 @@ impl fmt::Display for FrameError {
     }
 }
 
+/// Reads one line, byte by byte, capped at [`MAX_LENGTH_LINE`] bytes —
+/// no valid length line needs more, and an unbounded `read_line` here
+/// would let a newline-free stream exhaust memory despite the frame cap.
+/// Returns `Ok(None)` on clean EOF before any byte.
+fn read_length_line(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = match r.read(&mut byte) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Malformed(format!("cannot read length line: {e}"))),
+        };
+        if n == 0 {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            // EOF mid-line: hand back what arrived; the caller's parse
+            // (and the payload read after it) reports the real problem.
+            return Ok(Some(line));
+        }
+        if byte[0] == b'\n' {
+            return Ok(Some(line));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LENGTH_LINE {
+            return Err(FrameError::Malformed(format!(
+                "length line exceeds {MAX_LENGTH_LINE} bytes without a newline"
+            )));
+        }
+    }
+}
+
 /// Reads one frame: skips blank lines, reads a decimal length line, then
 /// exactly that many payload bytes (which must be UTF-8). Returns
 /// `Ok(None)` on clean EOF before a length line.
 ///
 /// # Errors
 ///
-/// [`FrameError`] on truncation, a non-decimal length line, a non-UTF-8
-/// payload, or a length above `max`.
+/// [`FrameError`] on truncation, a non-decimal or over-long length line,
+/// a non-UTF-8 payload, or a length above `max`.
 pub fn read_frame(r: &mut impl BufRead, max: usize) -> Result<Option<String>, FrameError> {
     let len = loop {
-        let mut line = String::new();
-        let n = r
-            .read_line(&mut line)
-            .map_err(|e| FrameError::Malformed(format!("cannot read length line: {e}")))?;
-        if n == 0 {
+        let Some(line) = read_length_line(r)? else {
             return Ok(None);
-        }
+        };
+        let line = String::from_utf8(line)
+            .map_err(|_| FrameError::Malformed("length line is not valid UTF-8".into()))?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -178,9 +215,13 @@ pub enum Request {
         id: String,
     },
     /// Cooperatively cancel an in-flight or queued request by id.
+    /// Tenant-scoped: only reaches a job whose request declared the
+    /// same `tenant`.
     Cancel {
         /// Request id.
         id: String,
+        /// Tenant owning the target request (default `"anon"`).
+        tenant: String,
         /// The id of the request to cancel.
         target: String,
     },
@@ -289,7 +330,11 @@ pub fn parse_request(text: &str) -> Result<Request, ProtoError> {
                 .ok_or_else(|| {
                     ProtoError::usage("`cancel` requires a non-empty string `target` field")
                 })?;
-            return Ok(Request::Cancel { id, target });
+            return Ok(Request::Cancel {
+                id,
+                tenant: get_str(&doc, "tenant").unwrap_or_else(|| "anon".into()),
+                target,
+            });
         }
         "verify" => JobKind::Verify,
         "analyze" => JobKind::Analyze,
@@ -587,6 +632,36 @@ mod tests {
     }
 
     #[test]
+    fn newline_free_stream_errors_at_the_length_line_cap() {
+        // A client streaming bytes with no newline must be rejected at
+        // MAX_LENGTH_LINE, not buffered without bound: only the first
+        // cap-plus-one bytes of this 4 KiB stream are ever read.
+        let mut r = Cursor::new(vec![b'9'; 4096]);
+        let err = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+        assert!(
+            (r.position() as usize) <= MAX_LENGTH_LINE + 1,
+            "read {} bytes past the cap",
+            r.position()
+        );
+        // Same for an endless run of blank padding.
+        let mut r = Cursor::new(vec![b' '; 4096]);
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Malformed(_))
+        ));
+        // A length line at the cap still parses fine.
+        let mut stream = vec![b' '; MAX_LENGTH_LINE - 1];
+        stream.push(b'2');
+        stream.extend_from_slice(b"\n{}");
+        let mut r = Cursor::new(stream);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some("{}")
+        );
+    }
+
+    #[test]
     fn parses_a_full_verify_request() {
         let req = parse_request(
             r#"{"id":"r1","job":"verify","tenant":"t0","priority":5,
@@ -634,6 +709,15 @@ mod tests {
             parse_request(r#"{"id":"c","job":"cancel","target":"r9"}"#).unwrap(),
             Request::Cancel {
                 id: "c".into(),
+                tenant: "anon".into(),
+                target: "r9".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"c","job":"cancel","tenant":"t0","target":"r9"}"#).unwrap(),
+            Request::Cancel {
+                id: "c".into(),
+                tenant: "t0".into(),
                 target: "r9".into()
             }
         );

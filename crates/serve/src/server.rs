@@ -15,7 +15,7 @@
 //! request is ever dropped without a response.
 
 use crate::admission::JobQueue;
-use crate::engine::ServeEngine;
+use crate::engine::{Admitted, ServeEngine};
 use crate::protocol::{read_frame, write_frame, JobRequest, Request, Response};
 use air_lattice::Governor;
 use air_resilience::{RetryPolicy, Supervisor, TaskFailure, WorkerPool};
@@ -78,18 +78,28 @@ type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 /// An admitted job travelling from a reader to a worker.
 struct Job {
     request: JobRequest,
-    governor: Governor,
+    admitted: Admitted,
     out: SharedWriter,
     received: Instant,
+}
+
+/// In-flight registry key: `(tenant, request id)`. Tenant-scoping means
+/// one tenant's `cancel` can never reach another tenant's job, and two
+/// tenants may use the same request id without colliding.
+type InflightKey = (String, String);
+
+fn inflight_key(request: &JobRequest) -> InflightKey {
+    (request.tenant.clone(), request.id.clone())
 }
 
 /// State shared by readers, workers and the [`RunningServer`] handle.
 struct Shared {
     engine: ServeEngine,
     queue: JobQueue<Job>,
-    /// Governors of admitted-but-unfinished requests, keyed by request
-    /// id, so `cancel` frames can reach them from any connection.
-    inflight: Mutex<HashMap<String, Governor>>,
+    /// Governors of admitted-but-unfinished requests, keyed by
+    /// `(tenant, request id)`, so `cancel` frames can reach them from
+    /// any connection declaring the same tenant.
+    inflight: Mutex<HashMap<InflightKey, Governor>>,
     shutdown: AtomicBool,
     aborts: AtomicU64,
     max_frame: usize,
@@ -107,11 +117,26 @@ impl Shared {
         let _ = write_frame(&mut *out.lock().unwrap(), &resp.to_json());
     }
 
-    /// Completes a job: response out, in-flight registry cleaned up,
-    /// `request_completed` emitted with the admission-to-response span.
-    fn finish(&self, id: &str, received: Instant, out: &SharedWriter, resp: &Response) {
+    /// Completes a request that never entered the in-flight registry
+    /// (quota and duplicate-id rejections): response out,
+    /// `request_completed` emitted. Deliberately does NOT touch the
+    /// registry — removing here could evict the live entry of another
+    /// request that legitimately owns the same key.
+    fn reject(&self, id: &str, received: Instant, out: &SharedWriter, resp: &Response) {
         self.write_response(out, resp);
-        self.inflight.lock().unwrap().remove(id);
+        self.emit_completed(id, received, resp);
+    }
+
+    /// Completes a registered job: response out, in-flight registry
+    /// entry freed, `request_completed` emitted with the
+    /// admission-to-response span.
+    fn finish(&self, key: &InflightKey, received: Instant, out: &SharedWriter, resp: &Response) {
+        self.write_response(out, resp);
+        self.inflight.lock().unwrap().remove(key);
+        self.emit_completed(&key.1, received, resp);
+    }
+
+    fn emit_completed(&self, id: &str, received: Instant, resp: &Response) {
         let status = completion_status(resp);
         self.engine
             .tracer()
@@ -219,14 +244,19 @@ fn handle_frame(shared: &Arc<Shared>, text: &str, out: &SharedWriter) -> bool {
                 },
             );
         }
-        Request::Cancel { id, target } => {
-            let found = shared.inflight.lock().unwrap().get(&target).cloned();
+        Request::Cancel { id, tenant, target } => {
+            // Cancellation is tenant-scoped: the cancel frame must
+            // declare the victim's tenant, so one tenant guessing
+            // another's request ids cannot cancel their jobs.
+            let key = (tenant, target);
+            let found = shared.inflight.lock().unwrap().get(&key).cloned();
+            let (tenant, target) = key;
             let detail = match found {
                 Some(governor) => {
                     governor.cancel();
                     format!("cancellation signalled to `{target}`")
                 }
-                None => format!("no in-flight request `{target}`"),
+                None => format!("no in-flight request `{target}` for tenant `{tenant}`"),
             };
             shared.write_response(
                 out,
@@ -257,62 +287,93 @@ fn handle_frame(shared: &Arc<Shared>, text: &str, out: &SharedWriter) -> bool {
 /// Admission path: quota check, in-flight registration, enqueue.
 fn admit_job(shared: &Arc<Shared>, request: JobRequest, out: &SharedWriter) {
     let received = Instant::now();
-    let governor = match shared.engine.admit(&request) {
-        Ok(governor) => governor,
+    let admitted = match shared.engine.admit(&request) {
+        Ok(admitted) => admitted,
         Err(resp) => {
             // Rejected requests still complete (they were received).
-            shared.finish(&request.id, received, out, &resp);
+            shared.reject(&request.id, received, out, &resp);
             return;
         }
     };
-    shared
-        .inflight
-        .lock()
-        .unwrap()
-        .insert(request.id.clone(), governor.clone());
+    let key = inflight_key(&request);
+    // Check-and-insert under one lock: a duplicate id would otherwise
+    // overwrite the live governor, leaving the first request
+    // uncancellable and the registry corrupted at removal time.
+    {
+        use std::collections::hash_map::Entry;
+        let mut inflight = shared.inflight.lock().unwrap();
+        match inflight.entry(key.clone()) {
+            Entry::Occupied(_) => {
+                drop(inflight);
+                shared.engine.settle(&request, &admitted);
+                let resp = Response::Error {
+                    id: request.id.clone(),
+                    code: 2,
+                    message: format!(
+                        "request id `{}` is already in flight for tenant `{}`",
+                        request.id, request.tenant
+                    ),
+                    phase: Some("serve.admit".into()),
+                    spent: None,
+                    reason: None,
+                };
+                shared.reject(&request.id, received, out, &resp);
+                return;
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(admitted.governor().clone());
+            }
+        }
+    }
     let priority = request.priority;
-    let id = request.id.clone();
     let job = Job {
         request,
-        governor,
+        admitted,
         out: Arc::clone(out),
         received,
     };
-    if !shared.queue.push(job, priority) {
+    if let Err(job) = shared.queue.push(job, priority) {
+        // Admitted but never queued: release the quota reservation.
+        shared.engine.settle(&job.request, &job.admitted);
         let resp = Response::Error {
-            id: id.clone(),
+            id: job.request.id.clone(),
             code: 4,
             message: "server is draining; request not admitted".into(),
             phase: Some("serve.admit".into()),
             spent: None,
             reason: None,
         };
-        shared.finish(&id, received, out, &resp);
+        shared.finish(&key, job.received, &job.out, &resp);
     }
 }
 
 /// What a worker does with a claimed job.
 fn run_job(shared: &Arc<Shared>, job: &Job) {
-    let resp = if job.governor.is_cancelled() {
+    let resp = if job.admitted.governor().is_cancelled() {
         // Cancelled while still queued: same wire shape as a
-        // cancellation that trips mid-run, without paying for the run.
+        // cancellation that trips mid-run, without paying for the run —
+        // settle here since `handle` (which normally settles) never runs.
+        shared.engine.settle(&job.request, &job.admitted);
         Response::Error {
             id: job.request.id.clone(),
             code: 3,
             message: "cancelled while queued".into(),
             phase: Some("serve.queue".into()),
-            spent: Some(job.governor.spent()),
+            spent: Some(job.admitted.governor().spent()),
             reason: Some("cancelled".into()),
         }
     } else {
-        shared.engine.handle(&job.request, &job.governor)
+        shared.engine.handle(&job.request, &job.admitted)
     };
-    shared.finish(&job.request.id, job.received, &job.out, &resp);
+    shared.finish(&inflight_key(&job.request), job.received, &job.out, &resp);
 }
 
 /// Exhausted-retries path: the job keeps panicking; tell the client.
 fn fail_job(shared: &Arc<Shared>, job: Job, failure: TaskFailure) {
     shared.aborts.fetch_add(1, Ordering::Relaxed);
+    // Every attempt died inside `handle`, before its settle: bill the
+    // fuel the aborted attempts burned and release the reservation.
+    shared.engine.settle(&job.request, &job.admitted);
     let resp = Response::Error {
         id: job.request.id.clone(),
         code: 4,
@@ -321,10 +382,10 @@ fn fail_job(shared: &Arc<Shared>, job: Job, failure: TaskFailure) {
             failure.attempts, failure.message
         ),
         phase: Some(failure.site.clone()),
-        spent: None,
+        spent: Some(job.admitted.governor().spent()),
         reason: None,
     };
-    shared.finish(&job.request.id, job.received, &job.out, &resp);
+    shared.finish(&inflight_key(&job.request), job.received, &job.out, &resp);
 }
 
 /// Handle to a running server. Dropping it does *not* stop the daemon;

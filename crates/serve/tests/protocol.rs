@@ -189,6 +189,135 @@ fn cancellation_reaches_a_request_from_another_connection() {
 }
 
 #[test]
+fn newline_free_stream_is_cut_off_at_the_length_line_cap() {
+    let server = boot(ServeConfig::default());
+    let mut client = Client::connect(server.addr().unwrap());
+    // No newline ever arrives: the server must answer a code-2 error at
+    // its length-line cap instead of buffering the stream without bound.
+    client.send_raw(&[b'7'; 4096]);
+    let doc = client.recv();
+    assert_eq!(status(&doc), "error");
+    assert_eq!(error_code(&doc), Some(2.0));
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn cancel_is_tenant_scoped_and_duplicate_ids_are_rejected() {
+    let server = boot(ServeConfig::default());
+    let addr = server.addr().unwrap();
+    let mut submitter = Client::connect(addr);
+    // The victim is deliberately heavy (a cold ~6.5k-store universe plus
+    // a loop fixpoint) so it is still in flight while the probes below
+    // land; every probe is answered inline by reader threads and takes
+    // microseconds against the victim's tens of milliseconds.
+    let victim = r#"{"id":"victim","job":"verify","tenant":"alice","vars":"x:-40..40,y:-40..40",
+           "code":"while (x < 40) do { x := x + 1 ; y := 0 - x }",
+           "pre":"x = 0 - 40 && y = 40","spec":"x = 40"}"#;
+    submitter.send(victim);
+    // The reader thread admits frames in order, so a pong proves the
+    // victim is registered in flight before we probe it.
+    submitter.send(r#"{"id":"barrier","job":"ping"}"#);
+    let doc = submitter.recv();
+    assert_eq!(doc.get("id").and_then(Value::as_str), Some("barrier"));
+    // Reusing an in-flight (tenant, id) is a usage error — it must not
+    // overwrite the live registration.
+    let doc = {
+        submitter.send(victim);
+        submitter.recv()
+    };
+    assert_eq!(doc.get("id").and_then(Value::as_str), Some("victim"));
+    assert_eq!(error_code(&doc), Some(2.0));
+    let msg = doc
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    assert!(msg.contains("already in flight"), "{msg}");
+    // A different tenant may reuse the id freely: namespaces are per
+    // tenant, so this is admitted and runs alongside alice's.
+    let doc = {
+        submitter.send(&victim.replace("\"alice\"", "\"carol\""));
+        submitter.send(r#"{"id":"barrier2","job":"ping"}"#);
+        submitter.recv()
+    };
+    assert_eq!(doc.get("id").and_then(Value::as_str), Some("barrier2"));
+    // Another tenant cannot cancel alice's job, even knowing its id.
+    let mut canceller = Client::connect(addr);
+    let doc = canceller
+        .roundtrip(r#"{"id":"c1","job":"cancel","tenant":"mallory","target":"victim"}"#);
+    let detail = doc.get("detail").and_then(Value::as_str).unwrap_or("");
+    assert!(detail.contains("no in-flight"), "{detail}");
+    // The owning tenant can.
+    let doc =
+        canceller.roundtrip(r#"{"id":"c2","job":"cancel","tenant":"alice","target":"victim"}"#);
+    let detail = doc.get("detail").and_then(Value::as_str).unwrap_or("");
+    assert!(detail.contains("signalled"), "{detail}");
+    // Alice's victim dies cancelled; carol's same-id job is untouched
+    // and completes normally once the worker reaches it.
+    let mut saw_cancelled = false;
+    let mut saw_carol = false;
+    while !(saw_cancelled && saw_carol) {
+        let doc = submitter.recv();
+        if doc.get("id").and_then(Value::as_str) != Some("victim") {
+            continue;
+        }
+        if status(&doc) == "error" {
+            assert_eq!(error_code(&doc), Some(3.0));
+            assert_eq!(error_reason(&doc), Some("cancelled"));
+            saw_cancelled = true;
+        } else {
+            assert_eq!(status(&doc), "proved");
+            saw_carol = true;
+        }
+    }
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn quota_reservations_bound_concurrent_admissions() {
+    // Lifetime allowance 10M: while a 600k-fuel request is in flight its
+    // fuel is reserved, so a concurrent 9.5M ask from the same tenant
+    // must be rejected at admission — requests may never each be
+    // admitted against the same remainder. The head job is heavy (a
+    // cold ~6.5k-store universe) so it is reliably still in flight when
+    // the probe, admitted microseconds later by the same reader thread,
+    // hits the quota check. Margins are wide on purpose: head can spend
+    // at most its declared 600k, so probe2's 9M always fits afterwards
+    // and only a still-held reservation could reject the 9.5M probe.
+    let server = boot(ServeConfig {
+        workers: 1,
+        quota: Some(10_000_000),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.addr().unwrap());
+    client.send(
+        r#"{"id":"head","job":"verify","tenant":"t0","fuel":600000,
+           "vars":"x:-40..40,y:-40..40",
+           "code":"while (x < 40) do { x := x + 1 ; y := 0 - x }",
+           "pre":"x = 0 - 40 && y = 40","spec":"x = 40"}"#,
+    );
+    let doc = client.roundtrip(
+        r#"{"id":"probe","job":"verify","tenant":"t0","fuel":9500000,
+           "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#,
+    );
+    assert_eq!(error_code(&doc), Some(3.0), "{doc:?}");
+    assert_eq!(error_reason(&doc), Some("quota"));
+    // Once head settles (verdict or fuel cutoff), its reservation is
+    // released and only actual spend is charged — 9M now fits.
+    let doc = client.recv();
+    assert_eq!(doc.get("id").and_then(Value::as_str), Some("head"));
+    let doc = client.roundtrip(
+        r#"{"id":"probe2","job":"verify","tenant":"t0","fuel":9000000,
+           "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#,
+    );
+    assert_eq!(status(&doc), "proved", "{doc:?}");
+    server.stop();
+    server.join();
+}
+
+#[test]
 fn served_repair_verdict_is_byte_identical_to_the_cli_path() {
     use air_core::{EnumDomain, Verifier};
     use air_domains::OctagonDomain;

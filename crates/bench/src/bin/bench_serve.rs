@@ -20,10 +20,22 @@
 //! times lower than cold p50) into the exit code, and `--shutdown` sends
 //! a shutdown frame so a `--connect`ed daemon drains and exits.
 //!
+//! The run also audits the daemon's metrics plane: it fetches a
+//! `metrics` snapshot at the end and cross-checks the counters against
+//! what the load generator actually sent — exact equality in-process
+//! (nobody else is talking to the server), `>=` against a `--connect`ed
+//! daemon. `--metrics-out FILE` saves the snapshot for
+//! `metrics_validate`; `--measure-overhead` times the request path on
+//! two fresh engines (metrics disabled vs the daemon's enabled wiring)
+//! and records the relative cost, and `--require-overhead-below PCT`
+//! turns that cost into the exit code (the acceptance bar is 2%).
+//!
 //! ```text
 //! bench_serve [--connect ADDR] [--workers N] [--clients N] [--rounds N]
 //!             [--fuzz N] [--corpus DIR] [--out FILE]
 //!             [--dump-responses FILE] [--require-speedup X] [--shutdown]
+//!             [--metrics-out FILE] [--measure-overhead]
+//!             [--require-overhead-below PCT]
 //! ```
 
 use std::collections::BTreeMap;
@@ -34,7 +46,7 @@ use std::time::Instant;
 
 use air_fuzz::FuzzCase;
 use air_serve::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
-use air_serve::{start, ServeConfig};
+use air_serve::{start, ServeConfig, ServeEngine};
 use air_trace::json::{self, Value};
 use air_trace::Tracer;
 
@@ -49,6 +61,9 @@ struct Config {
     dump_responses: Option<String>,
     require_speedup: Option<f64>,
     shutdown: bool,
+    metrics_out: Option<String>,
+    measure_overhead: bool,
+    require_overhead_below: Option<f64>,
 }
 
 impl Default for Config {
@@ -64,6 +79,9 @@ impl Default for Config {
             dump_responses: None,
             require_speedup: None,
             shutdown: false,
+            metrics_out: None,
+            measure_overhead: false,
+            require_overhead_below: None,
         }
     }
 }
@@ -82,7 +100,7 @@ fn main() -> ExitCode {
             if passed {
                 ExitCode::SUCCESS
             } else {
-                eprintln!("bench_serve: speedup requirement not met");
+                eprintln!("bench_serve: acceptance criteria not met");
                 ExitCode::FAILURE
             }
         }
@@ -115,11 +133,22 @@ fn parse_args(argv: &[String]) -> Result<Config, String> {
                     Some(raw.parse().map_err(|_| format!("bad speedup `{raw}`"))?);
             }
             "--shutdown" => config.shutdown = true,
+            "--metrics-out" => config.metrics_out = Some(value("--metrics-out")?.clone()),
+            "--measure-overhead" => config.measure_overhead = true,
+            "--require-overhead-below" => {
+                let raw = value("--require-overhead-below")?;
+                config.require_overhead_below =
+                    Some(raw.parse().map_err(|_| format!("bad percentage `{raw}`"))?);
+                config.measure_overhead = true;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if config.clients == 0 || config.rounds == 0 {
         return Err("--clients and --rounds must be positive".into());
+    }
+    if config.measure_overhead && config.connect.is_some() {
+        return Err("--measure-overhead needs an in-process server (drop --connect)".into());
     }
     Ok(config)
 }
@@ -200,10 +229,38 @@ fn run(config: &Config) -> Result<bool, String> {
     // Phase 2: pipelined clients — throughput under concurrency.
     let throughput = throughput_phase(addr, &workload, config.clients, &mut transcript)?;
 
-    // Stats snapshot, then optionally drain the daemon.
+    // Stats + metrics snapshots, then optionally drain the daemon.
     let mut probe = Client::connect(addr)?;
     let stats_line = probe.roundtrip(r#"{"id":"bench-stats","job":"stats"}"#)?;
     transcript.push(stats_line);
+    let metrics_line = probe.roundtrip(r#"{"id":"bench-metrics","job":"metrics"}"#)?;
+    let metrics_snapshot = extract_stats(&metrics_line)
+        .ok_or("metrics response carries no snapshot payload")?
+        .to_string();
+    transcript.push(metrics_line.clone());
+    let requests_sent = samples.len() as u64 + throughput.requests;
+    let metrics_requests = counter_sum(&metrics_snapshot, "air_serve_requests_total")?;
+    // Differential check, load generator vs metrics plane: in-process
+    // nobody else talks to the server, so the counter must agree exactly
+    // with what we sent; a live daemon may have served other clients, so
+    // the counter is a lower-bounded superset.
+    if config.connect.is_none() && metrics_requests != requests_sent {
+        return Err(format!(
+            "metrics plane lost requests: air_serve_requests_total = {metrics_requests}, \
+             but the load generator sent {requests_sent}"
+        ));
+    }
+    if metrics_requests < requests_sent {
+        return Err(format!(
+            "metrics plane undercounts: air_serve_requests_total = {metrics_requests} \
+             < {requests_sent} requests sent"
+        ));
+    }
+    if let Some(path) = &config.metrics_out {
+        std::fs::write(path, metrics_snapshot.clone() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("bench_serve: metrics snapshot -> {path}");
+    }
     if config.shutdown {
         transcript.push(probe.roundtrip(r#"{"id":"bench-shutdown","job":"shutdown"}"#)?);
     }
@@ -219,7 +276,28 @@ fn run(config: &Config) -> Result<bool, String> {
         eprintln!("bench_serve: {} response lines -> {path}", transcript.len());
     }
 
-    let summary = render(config, &workload, &samples, &throughput, &report, started);
+    // Optional disabled-vs-enabled overhead measurement on fresh
+    // in-process servers (the main run's caches would skew it).
+    let overhead = if config.measure_overhead {
+        Some(overhead_phase(
+            config,
+            &workload,
+            stats_of(&samples, true).p50,
+        )?)
+    } else {
+        None
+    };
+
+    let summary = render(
+        config,
+        &workload,
+        &samples,
+        &throughput,
+        &report,
+        metrics_requests,
+        overhead,
+        started,
+    );
     std::fs::write(&config.out, &summary)
         .map_err(|e| format!("cannot write {}: {e}", config.out))?;
 
@@ -237,9 +315,200 @@ fn run(config: &Config) -> Result<bool, String> {
         throughput.requests_per_s,
         config.out,
     );
-    Ok(config
+    let mut passed = config
         .require_speedup
-        .is_none_or(|need| passes.speedup >= need))
+        .is_none_or(|need| passes.speedup >= need);
+    if let (Some(bar), Some(measured)) = (config.require_overhead_below, overhead) {
+        if measured.overhead_pct >= bar {
+            eprintln!(
+                "bench_serve: metrics overhead {:.2}% is not below the {bar}% bar",
+                measured.overhead_pct
+            );
+            passed = false;
+        }
+    }
+    Ok(passed)
+}
+
+// ----------------------------------------------------------------- metrics
+
+/// Extracts the raw snapshot JSON from a `metrics` response line. The
+/// pre-rendered `stats` payload is always the last field of an `ok`
+/// frame, so the payload runs from after `,"stats":` to the frame's
+/// closing brace.
+fn extract_stats(line: &str) -> Option<&str> {
+    let marker = r#","stats":"#;
+    let start = line.find(marker)? + marker.len();
+    let body = line.get(start..line.len().checked_sub(1)?)?;
+    body.starts_with('{').then_some(body)
+}
+
+/// Sum of one counter's value across all label sets in a snapshot.
+fn counter_sum(snapshot: &str, name: &str) -> Result<u64, String> {
+    let doc = json::parse(snapshot).map_err(|e| format!("bad metrics snapshot: {e}"))?;
+    Ok(doc
+        .get("counters")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|row| row.get("name").and_then(Value::as_str) == Some(name))
+        .filter_map(|row| row.get("value").and_then(Value::as_num))
+        .map(|n| n as u64)
+        .sum())
+}
+
+#[derive(Clone, Copy)]
+struct Overhead {
+    disabled_rps: f64,
+    enabled_rps: f64,
+    /// Added cost per request in nanoseconds (enabled minus disabled
+    /// engine floor).
+    delta_ns: f64,
+    /// Relative cost against the bare engine floor — a conservative
+    /// upper bound, since the daemon's real request path also carries
+    /// transport and queueing that the metrics plane does not touch.
+    engine_pct: f64,
+    /// The headline number: `delta_ns` against the daemon's measured
+    /// warm p50 from the latency phase, i.e. the fraction of a served
+    /// warm request spent in the metrics plane. Negative when the
+    /// enabled floor came out faster (cost below noise). Falls back to
+    /// `engine_pct` when the latency phase produced no warm samples.
+    overhead_pct: f64,
+}
+
+/// Request cost with the metrics plane disabled vs enabled.
+///
+/// The instrument drives two fresh [`ServeEngine`]s *directly* —
+/// `admit` + `handle` on this thread, no sockets, no worker pool —
+/// because that span is where every per-request metrics cost lives:
+/// the serve-layer counters and histograms, and the trace events the
+/// [`air_trace::MetricsBridge`] aggregates. Transport and queueing are identical
+/// on both sides by construction (the registry is untouched between
+/// requests) and their wall-clock jitter is ~50x the signal here: TCP
+/// round-trip instruments, even taking per-request minima over dozens
+/// of passes, swung ±4% on an unchanged build — useless against a 2%
+/// bar — while direct engine calls resolve it cleanly.
+///
+/// The enabled engine gets the daemon's exact wiring (a bridge-teed
+/// tracer feeding the same registry, per `air serve --metrics`). Both
+/// engines get one warm-up pass so the comparison measures the steady
+/// warm state, then `PAIRS` alternating passes; the reported cost
+/// compares summed *per-request minima* across passes — interference
+/// only ever adds time, so the floor is the best estimate of each
+/// request's unimpeded cost, and taking it per request means a stall
+/// landing on one request of one pass costs nothing. The whole cycle
+/// runs `REPS` times with freshly built engines — each rep draws new
+/// heap placements for the warm tables and registry, so per-allocation
+/// cache-set luck washes out of the cross-rep floors.
+///
+/// Two relative numbers come out. `engine_pct` divides by the bare
+/// engine floor — conservative, since a daemon request also spends
+/// ~half its time in framing, queueing and socket syscalls that the
+/// metrics plane never touches. The headline `overhead_pct` divides
+/// the same absolute delta by the warm p50 the latency phase just
+/// measured over real TCP round-trips: the fraction of a served warm
+/// request spent on metrics, which is what the < 2% acceptance bar is
+/// about.
+fn overhead_phase(
+    config: &Config,
+    workload: &[WorkItem],
+    warm_p50_ns: u64,
+) -> Result<Overhead, String> {
+    const REPS: usize = 5;
+    let (mut d_floor, mut e_floor) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        let (d, e) = overhead_rep(config, workload)?;
+        d_floor = d_floor.min(d);
+        e_floor = e_floor.min(e);
+    }
+    let n = workload.len() as f64;
+    // ratio = enabled_time / disabled_time; the throughput cost is
+    // 1 - 1/ratio, e.g. 2% slower requests = 1.96% fewer req/s.
+    let ratio = e_floor / d_floor.max(1e-9);
+    let engine_pct = (ratio - 1.0) / ratio * 100.0;
+    let delta_ns = (e_floor - d_floor) / n * 1e9;
+    // The cost a daemon operator actually pays: the added nanoseconds
+    // against what a served warm request costs end to end (transport
+    // included — the metrics plane adds nothing there).
+    let overhead_pct = if warm_p50_ns > 0 {
+        delta_ns / warm_p50_ns as f64 * 100.0
+    } else {
+        engine_pct
+    };
+    let overhead = Overhead {
+        disabled_rps: n / d_floor,
+        enabled_rps: n / e_floor,
+        delta_ns,
+        engine_pct,
+        overhead_pct,
+    };
+    eprintln!(
+        "bench_serve: metrics overhead {:.2}% of a warm request ({:.0}ns added; engine floors {:.0} req/s disabled vs {:.0} req/s enabled, {:.2}% engine-relative)",
+        overhead.overhead_pct, delta_ns, overhead.disabled_rps, overhead.enabled_rps, engine_pct
+    );
+    Ok(overhead)
+}
+
+/// One boot-measure-shutdown cycle of the overhead instrument; returns
+/// the summed per-request floors `(disabled_secs, enabled_secs)`.
+/// One measurement cycle; returns the summed per-request floors
+/// `(disabled_secs, enabled_secs)`.
+fn overhead_rep(_config: &Config, workload: &[WorkItem]) -> Result<(f64, f64), String> {
+    const PAIRS: usize = 31;
+    // Parse the workload into engine-level job requests up front —
+    // framing and parsing are not the cost under measurement.
+    let mut requests = Vec::with_capacity(workload.len());
+    for (idx, item) in workload.iter().enumerate() {
+        let payload = format!(r#"{{"id":"ovh-{idx}",{}}}"#, item.body);
+        match air_serve::protocol::parse_request(&payload)
+            .map_err(|e| format!("overhead workload item `{}`: {}", item.name, e.message))?
+        {
+            air_serve::Request::Job(job) => requests.push(*job),
+            other => return Err(format!("overhead workload item parsed as {other:?}")),
+        }
+    }
+    let d_engine = ServeEngine::new(None, Tracer::disabled());
+    // The daemon's exact enabled wiring: serve-layer metrics plus a
+    // bridge-teed tracer folding engine events into the same registry.
+    let e_metrics = air_metrics::MetricsRegistry::new();
+    let e_engine = ServeEngine::with_metrics(
+        None,
+        Tracer::disabled().tee(std::sync::Arc::new(air_trace::MetricsBridge::new(
+            e_metrics.clone(),
+        ))),
+        e_metrics,
+    );
+    // Per-request minimum over all passes: a stall that lands on one
+    // request of one pass no longer poisons that whole pass's floor.
+    let pass = |engine: &ServeEngine, best: &mut [f64]| -> Result<(), String> {
+        for (idx, req) in requests.iter().enumerate() {
+            let begun = Instant::now();
+            let admitted = engine
+                .admit(req)
+                .map_err(|_| format!("overhead request `{}` rejected at admission", req.id))?;
+            let response = engine.handle(req, &admitted);
+            let took = begun.elapsed().as_secs_f64();
+            if matches!(response, air_serve::Response::Error { .. }) {
+                return Err(format!(
+                    "overhead request `{}` failed: {response:?}",
+                    req.id
+                ));
+            }
+            if took < best[idx] {
+                best[idx] = took;
+            }
+        }
+        Ok(())
+    };
+    let mut d_best = vec![f64::INFINITY; requests.len()];
+    let mut e_best = vec![f64::INFINITY; requests.len()];
+    pass(&d_engine, &mut vec![f64::INFINITY; requests.len()])?; // warm-up
+    pass(&e_engine, &mut vec![f64::INFINITY; requests.len()])?; // warm-up
+    for _ in 0..PAIRS {
+        pass(&d_engine, &mut d_best)?;
+        pass(&e_engine, &mut e_best)?;
+    }
+    Ok((d_best.iter().sum(), e_best.iter().sum()))
 }
 
 // ---------------------------------------------------------------- workload
@@ -552,12 +821,15 @@ fn stats_of(samples: &[Sample], warm: bool) -> LatencyStats {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render(
     config: &Config,
     workload: &[WorkItem],
     samples: &[Sample],
     throughput: &Throughput,
     report: &Option<air_serve::ServeReport>,
+    metrics_requests: u64,
+    overhead: Option<Overhead>,
     started: Instant,
 ) -> String {
     let cold = stats_of(samples, false);
@@ -636,6 +908,7 @@ fn render(
             "  \"throughput\": {{\"requests\":{requests},\"errors\":{errors},",
             "\"max_in_flight\":{in_flight},\"wall_ns\":{wall_ns},\"requests_per_s\":{rps:.1}}},\n",
             "  \"drain\": {drain},\n",
+            "  \"metrics\": {{\"requests_total\":{metrics_requests},\"overhead\":{overhead}}},\n",
             "  \"total_wall_ns\": {total}\n",
             "}}\n",
         ),
@@ -663,6 +936,14 @@ fn render(
         wall_ns = throughput.wall_ns,
         rps = throughput.requests_per_s,
         drain = report_json,
+        metrics_requests = metrics_requests,
+        overhead = match overhead {
+            Some(o) => format!(
+                r#"{{"disabled_rps":{:.1},"enabled_rps":{:.1},"delta_ns_per_request":{:.0},"engine_pct":{:.2},"overhead_pct":{:.2}}}"#,
+                o.disabled_rps, o.enabled_rps, o.delta_ns, o.engine_pct, o.overhead_pct
+            ),
+            None => "null".into(),
+        },
         total = started.elapsed().as_nanos(),
     )
 }
@@ -698,6 +979,23 @@ mod tests {
             parse_bexp(&job.pre).unwrap_or_else(|e| panic!("{}: {e}", job.pre));
             parse_bexp(&job.spec).unwrap_or_else(|e| panic!("{}: {e}", job.spec));
         }
+    }
+
+    #[test]
+    fn extract_stats_and_counter_sum_read_a_metrics_frame() {
+        let line = r#"{"id":"m","status":"ok","detail":"metrics","stats":{"schema":"air-metrics-snapshot/1","counters":[{"name":"air_serve_requests_total","labels":{"tenant":"anon"},"value":3},{"name":"air_serve_requests_total","labels":{"tenant":"t1"},"value":2}],"gauges":[],"histograms":[]}}"#;
+        let snapshot = extract_stats(line).unwrap();
+        assert!(snapshot.starts_with(r#"{"schema""#) && snapshot.ends_with("}"));
+        assert_eq!(
+            counter_sum(snapshot, "air_serve_requests_total").unwrap(),
+            5
+        );
+        assert_eq!(counter_sum(snapshot, "absent").unwrap(), 0);
+        // A frame without a payload (plain ok) yields no snapshot.
+        assert_eq!(
+            extract_stats(r#"{"id":"m","status":"ok","detail":"pong"}"#),
+            None
+        );
     }
 
     #[test]

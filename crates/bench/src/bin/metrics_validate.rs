@@ -1,0 +1,502 @@
+//! Validate a metrics snapshot document (as dumped by `bench_serve
+//! --metrics-out` or the `metrics` wire job) against the checked-in
+//! schema (`schemas/metrics-snapshot.schema.json`).
+//!
+//! ```text
+//! metrics_validate <snapshot.json> [--schema FILE] [--prev FILE] [--require-warm-hits]
+//! ```
+//!
+//! The validator fails (exit code 1) on:
+//!
+//! - a document that is not a JSON object, or whose `schema` header
+//!   does not match the schema file's version string,
+//! - a missing, mistyped, or unknown field on any series row (the row
+//!   shapes are closed),
+//! - a negative or non-integer counter/gauge/histogram number,
+//! - histogram buckets out of ascending `le` order, or bucket counts
+//!   that do not sum to the row's `count` (snapshots are taken at
+//!   quiescence, so the invariant is exact),
+//! - with `--prev`, a counter series or histogram count that went
+//!   backwards relative to the earlier snapshot of the same daemon
+//!   (counters are cumulative — CI scrapes twice and feeds both), and
+//! - with `--require-warm-hits`, a snapshot without at least one warm
+//!   request-latency sample (`air_serve_request_duration_ns{temp="warm"}`)
+//!   and one warm-table lookup hit — the CI `metrics-smoke` job replays
+//!   the same program twice, so a snapshot without warm activity means
+//!   the metrics plane lost the cache story.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use air_trace::json::{self, Value};
+
+const DEFAULT_SCHEMA: &str = "schemas/metrics-snapshot.schema.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut snapshot = None;
+    let mut schema_path = DEFAULT_SCHEMA.to_string();
+    let mut prev = None;
+    let mut require_warm_hits = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => match it.next() {
+                Some(v) => schema_path = v,
+                None => return usage("--schema needs a file"),
+            },
+            "--prev" => match it.next() {
+                Some(v) => prev = Some(v),
+                None => return usage("--prev needs a file"),
+            },
+            "--require-warm-hits" => require_warm_hits = true,
+            _ if snapshot.is_none() && !arg.starts_with("--") => snapshot = Some(arg),
+            _ => return usage(&format!("unexpected argument {arg:?}")),
+        }
+    }
+    let Some(snapshot) = snapshot else {
+        return usage("no snapshot file");
+    };
+    match validate(&snapshot, &schema_path, prev.as_deref(), require_warm_hits) {
+        Ok(report) => {
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("metrics_validate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!(
+        "metrics_validate: {why}\nusage: metrics_validate <snapshot.json> \
+         [--schema FILE] [--prev FILE] [--require-warm-hits]"
+    );
+    ExitCode::from(2)
+}
+
+/// Field name -> (JSON type name, required). Same convention as
+/// `serve_validate`: optional fields are written `"name?"`.
+type FieldSpec = BTreeMap<String, (String, bool)>;
+
+struct Schema {
+    version: String,
+    counter: FieldSpec,
+    gauge: FieldSpec,
+    histogram: FieldSpec,
+    bucket: FieldSpec,
+}
+
+fn validate(
+    snapshot: &str,
+    schema_path: &str,
+    prev: Option<&str>,
+    require_warm_hits: bool,
+) -> Result<String, String> {
+    let schema = load_schema(schema_path)?;
+    let doc = load_snapshot(snapshot)?;
+    check_snapshot(&schema, &doc).map_err(|e| format!("{snapshot}: {e}"))?;
+    let mut report = format!(
+        "{snapshot}: valid ({} counters, {} gauges, {} histograms)",
+        series(&doc, "counters").len(),
+        series(&doc, "gauges").len(),
+        series(&doc, "histograms").len()
+    );
+    if let Some(prev_path) = prev {
+        let prev_doc = load_snapshot(prev_path)?;
+        check_snapshot(&schema, &prev_doc).map_err(|e| format!("{prev_path}: {e}"))?;
+        check_monotone(&prev_doc, &doc).map_err(|e| format!("{snapshot} vs {prev_path}: {e}"))?;
+        report.push_str(&format!("\n  monotone over {prev_path}"));
+    }
+    if require_warm_hits {
+        check_warm_hits(&doc).map_err(|e| format!("{snapshot}: {e}"))?;
+        report.push_str("\n  warm activity present");
+    }
+    Ok(report)
+}
+
+fn load_snapshot(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(text.trim()).map_err(|e| format!("{path}: malformed JSON: {e}"))
+}
+
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let section = |key: &str| -> Result<FieldSpec, String> {
+        field_spec(doc.get(key).ok_or(format!("{path}: no {key:?}"))?)
+            .map_err(|e| format!("{path}: {key}: {e}"))
+    };
+    Ok(Schema {
+        version: doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or(format!("{path}: no \"schema\" version string"))?
+            .to_string(),
+        counter: section("counter_fields")?,
+        gauge: section("gauge_fields")?,
+        histogram: section("histogram_fields")?,
+        bucket: section("bucket_fields")?,
+    })
+}
+
+fn field_spec(v: &Value) -> Result<FieldSpec, String> {
+    let obj = v.as_obj().ok_or("expected an object of field -> type")?;
+    let mut spec = FieldSpec::new();
+    for (field, ty) in obj {
+        let ty = ty
+            .as_str()
+            .ok_or_else(|| format!("field {field:?}: type must be a string"))?;
+        if !["string", "number", "bool", "object", "array"].contains(&ty) {
+            return Err(format!("field {field:?}: unsupported type {ty:?}"));
+        }
+        let (name, required) = match field.strip_suffix('?') {
+            Some(name) => (name, false),
+            None => (field.as_str(), true),
+        };
+        spec.insert(name.to_string(), (ty.to_string(), required));
+    }
+    Ok(spec)
+}
+
+fn series<'a>(doc: &'a Value, key: &str) -> &'a [Value] {
+    doc.get(key).and_then(Value::as_arr).unwrap_or(&[])
+}
+
+/// A non-negative integral number, or an error naming the field.
+fn uint(v: Option<&Value>, what: &str) -> Result<u64, String> {
+    let n = v
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("{what} is not a number"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{what} = {n} is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+/// `name{sorted labels}` — the identity of one series across snapshots.
+fn series_key(row: &Value) -> String {
+    let name = row.get("name").and_then(Value::as_str).unwrap_or("?");
+    let mut key = format!("{name}{{");
+    if let Some(labels) = row.get("labels").and_then(Value::as_obj) {
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                key.push(',');
+            }
+            key.push_str(k);
+            key.push('=');
+            key.push_str(v.as_str().unwrap_or("?"));
+        }
+    }
+    key.push('}');
+    key
+}
+
+fn check_snapshot(schema: &Schema, doc: &Value) -> Result<(), String> {
+    let obj = doc.as_obj().ok_or("snapshot is not a JSON object")?;
+    let version = obj
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" header")?;
+    if version != schema.version {
+        return Err(format!(
+            "schema header {version:?} does not match {:?}",
+            schema.version
+        ));
+    }
+    for key in obj.keys() {
+        if !["schema", "counters", "gauges", "histograms"].contains(&key.as_str()) {
+            return Err(format!("unexpected top-level field {key:?}"));
+        }
+    }
+    for (section, spec) in [
+        ("counters", &schema.counter),
+        ("gauges", &schema.gauge),
+        ("histograms", &schema.histogram),
+    ] {
+        let rows = obj
+            .get(section)
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("missing {section:?} array"))?;
+        for (idx, row) in rows.iter().enumerate() {
+            let what = format!("{section}[{idx}]");
+            check_row(row, spec, &what)?;
+            match section {
+                "counters" => {
+                    uint(row.get("value"), &format!("{what}.value"))?;
+                }
+                "gauges" => {
+                    // Gauges may be negative but must be integral.
+                    let n = row
+                        .get("value")
+                        .and_then(Value::as_num)
+                        .ok_or_else(|| format!("{what}.value is not a number"))?;
+                    if n.fract() != 0.0 {
+                        return Err(format!("{what}.value = {n} is not an integer"));
+                    }
+                }
+                _ => check_histogram(row, schema, &what)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_row(row: &Value, spec: &FieldSpec, what: &str) -> Result<(), String> {
+    let obj = row
+        .as_obj()
+        .ok_or_else(|| format!("{what} is not an object"))?;
+    for (field, (ty, required)) in spec {
+        let Some(value) = obj.get(field) else {
+            if *required {
+                return Err(format!("{what}: missing field {field:?}"));
+            }
+            continue;
+        };
+        let ok = match ty.as_str() {
+            "string" => matches!(value, Value::Str(_)),
+            "number" => matches!(value, Value::Num(_)),
+            "bool" => matches!(value, Value::Bool(_)),
+            "object" => matches!(value, Value::Obj(_)),
+            "array" => matches!(value, Value::Arr(_)),
+            _ => false,
+        };
+        if !ok {
+            return Err(format!("{what}: field {field:?} is not a {ty}"));
+        }
+    }
+    for field in obj.keys() {
+        if !spec.contains_key(field) {
+            return Err(format!("{what}: unexpected field {field:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_histogram(row: &Value, schema: &Schema, what: &str) -> Result<(), String> {
+    let count = uint(row.get("count"), &format!("{what}.count"))?;
+    uint(row.get("sum"), &format!("{what}.sum"))?;
+    for q in ["p50", "p90", "p99"] {
+        uint(row.get(q), &format!("{what}.{q}"))?;
+    }
+    let buckets = row
+        .get("buckets")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{what}: missing buckets"))?;
+    let mut total = 0u64;
+    let mut last_le = None;
+    for (idx, bucket) in buckets.iter().enumerate() {
+        let bwhat = format!("{what}.buckets[{idx}]");
+        check_row(bucket, &schema.bucket, &bwhat)?;
+        let le = uint(bucket.get("le"), &format!("{bwhat}.le"))?;
+        if let Some(prev) = last_le {
+            if le <= prev {
+                return Err(format!("{bwhat}: le {le} not above previous {prev}"));
+            }
+        }
+        last_le = Some(le);
+        total += uint(bucket.get("count"), &format!("{bwhat}.count"))?;
+    }
+    if total != count {
+        return Err(format!(
+            "{what}: bucket counts sum to {total} but count is {count}"
+        ));
+    }
+    Ok(())
+}
+
+/// Every counter series and histogram count in `prev` must still exist
+/// in `cur` with a value at least as large: both snapshots came from one
+/// daemon lifetime, and these numbers only go up.
+fn check_monotone(prev: &Value, cur: &Value) -> Result<(), String> {
+    let index = |doc: &Value, section: &str, field: &str| -> BTreeMap<String, u64> {
+        series(doc, section)
+            .iter()
+            .filter_map(|row| {
+                let v = row.get(field).and_then(Value::as_num)? as u64;
+                Some((series_key(row), v))
+            })
+            .collect()
+    };
+    for (section, field) in [("counters", "value"), ("histograms", "count")] {
+        let before = index(prev, section, field);
+        let after = index(cur, section, field);
+        for (key, was) in &before {
+            match after.get(key) {
+                None => return Err(format!("{section} series {key} disappeared")),
+                Some(now) if now < was => {
+                    return Err(format!(
+                        "{section} series {key} went backwards: {was} -> {now}"
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The CI smoke run replays identical programs, so the warm path must
+/// have fired: at least one warm request-latency sample and one
+/// warm-table lookup hit.
+fn check_warm_hits(doc: &Value) -> Result<(), String> {
+    let warm_samples: u64 = series(doc, "histograms")
+        .iter()
+        .filter(|row| {
+            row.get("name").and_then(Value::as_str) == Some("air_serve_request_duration_ns")
+                && row
+                    .get("labels")
+                    .and_then(|l| l.get("temp"))
+                    .and_then(Value::as_str)
+                    == Some("warm")
+        })
+        .filter_map(|row| row.get("count").and_then(Value::as_num))
+        .map(|n| n as u64)
+        .sum();
+    if warm_samples == 0 {
+        return Err("no warm request-latency samples (temp=\"warm\" histogram empty)".into());
+    }
+    let warm_lookup_hits: u64 = series(doc, "counters")
+        .iter()
+        .filter(|row| {
+            row.get("name").and_then(Value::as_str) == Some("air_serve_warm_lookups_total")
+                && row
+                    .get("labels")
+                    .and_then(|l| l.get("result"))
+                    .and_then(Value::as_str)
+                    == Some("hit")
+        })
+        .filter_map(|row| row.get("value").and_then(Value::as_num))
+        .map(|n| n as u64)
+        .sum();
+    if warm_lookup_hits == 0 {
+        return Err(
+            "no warm-table lookup hits (air_serve_warm_lookups_total result=\"hit\")".into(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_schema() -> Schema {
+        load_schema(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/metrics-snapshot.schema.json"
+        ))
+        .unwrap()
+    }
+
+    /// A real snapshot rendered by the real registry: schema and
+    /// renderer must stay pinned together.
+    fn real_snapshot() -> Value {
+        let metrics = air_metrics::MetricsRegistry::new();
+        metrics.inc(
+            "air_serve_requests_total",
+            &[("tenant", "anon"), ("job", "verify"), ("status", "ok")],
+        );
+        metrics.inc(
+            "air_serve_warm_lookups_total",
+            &[("vars", "x:0..1"), ("domain", "int"), ("result", "hit")],
+        );
+        metrics.set_gauge("air_serve_queue_depth", &[], 0);
+        metrics.observe(
+            "air_serve_request_duration_ns",
+            &[("tenant", "anon"), ("temp", "warm")],
+            1500,
+        );
+        json::parse(&metrics.snapshot().to_json()).unwrap()
+    }
+
+    #[test]
+    fn accepts_a_real_rendered_snapshot() {
+        let doc = real_snapshot();
+        check_snapshot(&test_schema(), &doc).unwrap();
+        check_warm_hits(&doc).unwrap();
+        // A snapshot is monotone over itself.
+        check_monotone(&doc, &doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_header_extra_field_and_bucket_mismatch() {
+        let schema = test_schema();
+        let wrong_header = json::parse(
+            r#"{"schema":"air-metrics-snapshot/9","counters":[],"gauges":[],"histograms":[]}"#,
+        )
+        .unwrap();
+        assert!(check_snapshot(&schema, &wrong_header)
+            .unwrap_err()
+            .contains("does not match"));
+        let extra = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[{"name":"c","labels":{},"value":1,"bonus":2}],"gauges":[],"histograms":[]}"#,
+        )
+        .unwrap();
+        assert!(check_snapshot(&schema, &extra)
+            .unwrap_err()
+            .contains("unexpected field"));
+        let mismatch = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[],"gauges":[],"histograms":[
+                {"name":"h","labels":{},"count":3,"sum":10,"p50":1,"p90":1,"p99":1,
+                 "buckets":[{"le":1,"count":1},{"le":3,"count":1}]}]}"#,
+        )
+        .unwrap();
+        assert!(check_snapshot(&schema, &mismatch)
+            .unwrap_err()
+            .contains("sum to 2 but count is 3"));
+        let unsorted = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[],"gauges":[],"histograms":[
+                {"name":"h","labels":{},"count":2,"sum":10,"p50":1,"p90":1,"p99":1,
+                 "buckets":[{"le":3,"count":1},{"le":1,"count":1}]}]}"#,
+        )
+        .unwrap();
+        assert!(check_snapshot(&schema, &unsorted)
+            .unwrap_err()
+            .contains("not above previous"));
+    }
+
+    #[test]
+    fn monotonicity_catches_regressing_and_vanishing_series() {
+        let prev = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[{"name":"c","labels":{"t":"a"},"value":5}],"gauges":[],"histograms":[]}"#,
+        )
+        .unwrap();
+        let regressed = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[{"name":"c","labels":{"t":"a"},"value":4}],"gauges":[],"histograms":[]}"#,
+        )
+        .unwrap();
+        assert!(check_monotone(&prev, &regressed)
+            .unwrap_err()
+            .contains("went backwards"));
+        let vanished = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[],"gauges":[],"histograms":[]}"#,
+        )
+        .unwrap();
+        assert!(check_monotone(&prev, &vanished)
+            .unwrap_err()
+            .contains("disappeared"));
+        // Growth and new series are fine.
+        let grown = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[{"name":"c","labels":{"t":"a"},"value":9},{"name":"c","labels":{"t":"b"},"value":1}],"gauges":[],"histograms":[]}"#,
+        )
+        .unwrap();
+        check_monotone(&prev, &grown).unwrap();
+    }
+
+    #[test]
+    fn warm_gate_requires_both_signals() {
+        let cold_only = json::parse(
+            r#"{"schema":"air-metrics-snapshot/1","counters":[],"gauges":[],"histograms":[
+                {"name":"air_serve_request_duration_ns","labels":{"tenant":"anon","temp":"cold"},
+                 "count":1,"sum":5,"p50":7,"p90":7,"p99":7,"buckets":[{"le":7,"count":1}]}]}"#,
+        )
+        .unwrap();
+        assert!(check_warm_hits(&cold_only)
+            .unwrap_err()
+            .contains("no warm request-latency samples"));
+    }
+}

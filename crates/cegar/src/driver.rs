@@ -278,7 +278,7 @@ impl<'t> Cegar<'t> {
                 return Err(CegarError::Exhausted(e));
             }
             stats.iterations += 1;
-            self.trace.emit_with(|| EventKind::CegarIteration {
+            self.trace.emit_detail_with(|| EventKind::CegarIteration {
                 iteration: stats.iterations,
                 blocks: partition.num_blocks(),
             });
@@ -306,7 +306,7 @@ impl<'t> Cegar<'t> {
                 });
             }
             stats.refinements += 1;
-            self.trace.emit_with(|| EventKind::CegarRefinement {
+            self.trace.emit_detail_with(|| EventKind::CegarRefinement {
                 iteration: stats.iterations,
             });
             let splits = match self.heuristic {
@@ -323,7 +323,7 @@ impl<'t> Cegar<'t> {
                 ),
             };
             stats.splits += splits;
-            self.trace.emit_with(|| EventKind::CegarSplit {
+            self.trace.emit_detail_with(|| EventKind::CegarSplit {
                 heuristic: self.heuristic.label().to_string(),
                 splits,
                 blocks: partition.num_blocks(),
@@ -332,7 +332,7 @@ impl<'t> Cegar<'t> {
     }
 
     fn trace_verdict(&self, safe: bool) {
-        self.trace.emit_with(|| EventKind::Verdict {
+        self.trace.emit_detail_with(|| EventKind::Verdict {
             phase: "cegar".to_string(),
             verdict: if safe { "safe" } else { "unsafe" }.to_string(),
         });

@@ -27,7 +27,9 @@ usage:
   air chaos   [--dir PATH] [--plans N] [--seed N] [--fuel N] [--stats-json]
               [--trace FILE]
   air serve   [--stdio] [--tcp ADDR] [--workers N] [--quota FUEL]
-              [--max-frame BYTES] [--trace FILE]
+              [--max-frame BYTES] [--trace FILE] [--metrics-addr ADDR]
+              [--no-metrics]
+  air top     --connect ADDR [--interval-ms N] [--iterations N] [--plain]
 
   --vars declares bounded variables, e.g. \"x:-8..8,y:0..20\"
   PROG is the Imp-like surface syntax, e.g. \"while (x > 0) do { x := x - 1 }\"
@@ -60,7 +62,14 @@ usage:
   (--stdio) and/or a TCP socket (--tcp HOST:PORT, port 0 = ephemeral),
   and warm caches persist across requests; --workers sizes the job pool,
   --quota caps each tenant's lifetime fuel, --max-frame caps a request's
-  size in bytes
+  size in bytes; --metrics-addr serves Prometheus text exposition on
+  HOST:PORT (curl- and nc-friendly); --no-metrics disables the metrics
+  plane entirely
+  top polls a running daemon's `metrics` job over --connect HOST:PORT
+  and renders a one-screen live summary (req/s, p50/p99 cold and warm
+  latency, warm hit rate, queue depth, per-tenant fuel spend) every
+  --interval-ms (default 1000); --iterations N stops after N screens
+  (0 = run until interrupted), --plain skips terminal escapes for logs
 
 exit codes: 0 proved / no alarms, 1 refuted / alarms, 2 usage error,
   3 budget exhausted, 4 internal error";
@@ -153,6 +162,21 @@ pub enum Command {
     Chaos(ChaosTask),
     /// `air serve` — the repair-as-a-service daemon (see SERVING.md).
     Serve(ServeTask),
+    /// `air top` — live metrics view of a running daemon.
+    Top(TopTask),
+}
+
+/// The `air top` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopTask {
+    /// Address of the running daemon's wire protocol (`HOST:PORT`).
+    pub connect: String,
+    /// Milliseconds between polls.
+    pub interval_ms: u64,
+    /// Screens to render before exiting (`0` = until interrupted).
+    pub iterations: u64,
+    /// Plain output: no cursor-home escapes, one block per poll.
+    pub plain: bool,
 }
 
 /// The `air serve` payload.
@@ -170,6 +194,10 @@ pub struct ServeTask {
     pub max_frame: Option<usize>,
     /// Write a structured JSONL trace of the serving session to this file.
     pub trace: Option<String>,
+    /// Bind address of the Prometheus text exposition listener.
+    pub metrics_addr: Option<String>,
+    /// Whether the metrics plane collects at all.
+    pub metrics: bool,
 }
 
 /// The `air chaos` payload.
@@ -494,6 +522,8 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
     let mut quota = None;
     let mut max_frame = None;
     let mut trace = None;
+    let mut metrics_addr = None;
+    let mut metrics = true;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -503,6 +533,8 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
         match flag.as_str() {
             "--stdio" => stdio = true,
             "--tcp" => tcp = Some(value()?),
+            "--metrics-addr" => metrics_addr = Some(value()?),
+            "--no-metrics" => metrics = false,
             "--workers" => {
                 let v = value()?;
                 workers = v
@@ -532,6 +564,11 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
             "serve needs a transport: --stdio and/or --tcp ADDR".into(),
         ));
     }
+    if !metrics && metrics_addr.is_some() {
+        return Err(ArgError(
+            "--metrics-addr needs the metrics plane; drop --no-metrics".into(),
+        ));
+    }
     Ok(Command::Serve(ServeTask {
         stdio,
         tcp,
@@ -539,6 +576,45 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
         quota,
         max_frame,
         trace,
+        metrics_addr,
+        metrics,
+    }))
+}
+
+fn parse_top(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError> {
+    let mut connect = None;
+    let mut interval_ms = 1000u64;
+    let mut iterations = 0u64;
+    let mut plain = false;
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("flag `{flag}` needs a value")))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value()?),
+            "--interval-ms" => {
+                let v = value()?;
+                interval_ms = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --interval-ms value `{v}`")))?;
+            }
+            "--iterations" => {
+                let v = value()?;
+                iterations = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --iterations value `{v}`")))?;
+            }
+            "--plain" => plain = true,
+            other => return Err(ArgError(format!("unknown top flag `{other}`"))),
+        }
+    }
+    Ok(Command::Top(TopTask {
+        connect: connect.ok_or_else(|| ArgError("top requires --connect HOST:PORT".into()))?,
+        interval_ms: interval_ms.max(1),
+        iterations,
+        plain,
     }))
 }
 
@@ -575,6 +651,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     }
     if sub == "serve" {
         return parse_serve(&mut it);
+    }
+    if sub == "top" {
+        return parse_top(&mut it);
     }
     let mut vars = None;
     let mut code = None;
@@ -1147,6 +1226,8 @@ mod tests {
                 quota: None,
                 max_frame: None,
                 trace: None,
+                metrics_addr: None,
+                metrics: true,
             })
         );
         assert_eq!(
@@ -1162,6 +1243,8 @@ mod tests {
                 "4096",
                 "--trace",
                 "s.jsonl",
+                "--metrics-addr",
+                "127.0.0.1:9100",
             ]))
             .unwrap(),
             Command::Serve(ServeTask {
@@ -1171,11 +1254,70 @@ mod tests {
                 quota: Some(50000),
                 max_frame: Some(4096),
                 trace: Some("s.jsonl".into()),
+                metrics_addr: Some("127.0.0.1:9100".into()),
+                metrics: true,
             })
         );
+        let Command::Serve(task) = parse(&argv(&["serve", "--stdio", "--no-metrics"])).unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert!(!task.metrics);
         assert!(parse(&argv(&["serve"])).is_err(), "needs a transport");
         assert!(parse(&argv(&["serve", "--stdio", "--workers", "x"])).is_err());
         assert!(parse(&argv(&["serve", "--stdio", "--bogus"])).is_err());
+        assert!(
+            parse(&argv(&[
+                "serve",
+                "--stdio",
+                "--no-metrics",
+                "--metrics-addr",
+                "127.0.0.1:9100",
+            ]))
+            .is_err(),
+            "exposition needs the plane on"
+        );
+    }
+
+    #[test]
+    fn parses_top_flags_and_requires_connect() {
+        assert_eq!(
+            parse(&argv(&["top", "--connect", "127.0.0.1:4777"])).unwrap(),
+            Command::Top(TopTask {
+                connect: "127.0.0.1:4777".into(),
+                interval_ms: 1000,
+                iterations: 0,
+                plain: false,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "top",
+                "--connect",
+                "h:1",
+                "--interval-ms",
+                "250",
+                "--iterations",
+                "3",
+                "--plain",
+            ]))
+            .unwrap(),
+            Command::Top(TopTask {
+                connect: "h:1".into(),
+                interval_ms: 250,
+                iterations: 3,
+                plain: true,
+            })
+        );
+        assert!(parse(&argv(&["top"])).is_err(), "needs --connect");
+        assert!(parse(&argv(&["top", "--connect", "h:1", "--bogus"])).is_err());
+        // interval 0 would spin; it is clamped to 1ms.
+        let Command::Top(task) =
+            parse(&argv(&["top", "--connect", "h:1", "--interval-ms", "0"])).unwrap()
+        else {
+            panic!("expected top");
+        };
+        assert_eq!(task.interval_ms, 1);
     }
 
     #[test]

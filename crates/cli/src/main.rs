@@ -9,6 +9,7 @@
 //! air corpus  [--dir corpus] [--jobs N] [--stats] [--uncached] # parallel sweep
 //! air trace summarize run.jsonl                               # aggregate a trace
 //! air serve --stdio --tcp 127.0.0.1:4777 [--workers N]        # repair-as-a-service
+//! air top --connect 127.0.0.1:4777 [--interval-ms N]          # live daemon summary
 //! ```
 //!
 //! `--stats` prints cache hit/miss counters and wall times (`--stats-json`
@@ -28,6 +29,7 @@ use std::process::ExitCode;
 mod args;
 mod chaos;
 mod run;
+mod top;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

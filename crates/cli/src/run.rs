@@ -182,6 +182,7 @@ pub fn run(command: Command) -> Result<Outcome, AirError> {
         Command::Fuzz(cmd) => fuzz(cmd),
         Command::Chaos(task) => crate::chaos::chaos(task),
         Command::Serve(task) => serve(task),
+        Command::Top(task) => crate::top::top(task),
     }
 }
 
@@ -194,6 +195,8 @@ fn serve(task: ServeTask) -> Result<Outcome, AirError> {
         tcp: task.tcp.clone(),
         workers: task.workers,
         quota: task.quota,
+        metrics: task.metrics,
+        metrics_addr: task.metrics_addr.clone(),
         ..air_serve::ServeConfig::default()
     };
     if let Some(max_frame) = task.max_frame {

@@ -1,0 +1,414 @@
+//! `air top` — a live one-screen summary of a running daemon.
+//!
+//! Polls the daemon's `metrics` wire job every `--interval-ms` and
+//! renders request throughput (from counter deltas between polls),
+//! cold/warm latency quantiles, warm-table hit rate, queue depth,
+//! worker utilization, the busiest engine phases and per-tenant fuel
+//! spend. Everything is derived from the JSON metrics snapshot
+//! (`schemas/metrics-snapshot.schema.json`); the renderer is pure so
+//! tests can drive it with fabricated snapshots.
+
+use crate::args::TopTask;
+use crate::run::{AirError, Outcome};
+use air_serve::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use air_trace::json::{self, Value};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One decoded metrics snapshot, reduced to what the screen shows.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct View {
+    /// Sum of `air_serve_requests_total` across all label sets.
+    pub requests: u64,
+    /// `(status, count)` rows, descending by count.
+    pub by_status: Vec<(String, u64)>,
+    /// Merged cold latency histogram `(count, p50_ns, p99_ns)`.
+    pub cold: Option<(u64, u64, u64)>,
+    /// Merged warm latency histogram `(count, p50_ns, p99_ns)`.
+    pub warm: Option<(u64, u64, u64)>,
+    /// Warm-table lookups: `(hits, total)`.
+    pub lookups: (u64, u64),
+    /// `air_serve_warm_tables` gauge.
+    pub tables: i64,
+    /// `air_serve_queue_depth` gauge.
+    pub queue: i64,
+    /// `air_serve_workers_busy` / `air_serve_workers` gauges.
+    pub workers: (i64, i64),
+    /// `(phase, count, p50_ns, p99_ns)` rows, descending by count.
+    pub phases: Vec<(String, u64, u64, u64)>,
+    /// `(tenant, fuel)` rows from `air_serve_fuel_spent_total`,
+    /// descending by fuel.
+    pub tenants: Vec<(String, u64)>,
+}
+
+fn as_u64(v: Option<&Value>) -> u64 {
+    v.and_then(Value::as_num).map_or(0, |n| n as u64)
+}
+
+fn label<'a>(row: &'a Value, key: &str) -> Option<&'a str> {
+    row.get("labels")
+        .and_then(|l| l.get(key))
+        .and_then(Value::as_str)
+}
+
+/// Merges non-cumulative `(le, count)` buckets from several histogram
+/// rows (e.g. the per-tenant cold-latency series) and estimates a
+/// quantile the same way the registry does: the upper bound of the
+/// first bucket whose cumulative count reaches `ceil(q * total)`.
+fn merged_quantile(rows: &[&Value], q: f64) -> u64 {
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    let mut total = 0u64;
+    for row in rows {
+        total += as_u64(row.get("count"));
+        if let Some(bs) = row.get("buckets").and_then(Value::as_arr) {
+            for b in bs {
+                let le = as_u64(b.get("le"));
+                let count = as_u64(b.get("count"));
+                match buckets.iter_mut().find(|(l, _)| *l == le) {
+                    Some((_, c)) => *c += count,
+                    None => buckets.push((le, count)),
+                }
+            }
+        }
+    }
+    if total == 0 {
+        return 0;
+    }
+    buckets.sort_unstable();
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (le, count) in &buckets {
+        seen += count;
+        if seen >= rank {
+            return *le;
+        }
+    }
+    buckets.last().map_or(0, |(le, _)| *le)
+}
+
+/// Reduces a parsed snapshot document to the screen's [`View`].
+pub(crate) fn view_of(snap: &Value) -> View {
+    let mut view = View::default();
+    let empty = Vec::new();
+    let counters = snap
+        .get("counters")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+    let gauges = snap.get("gauges").and_then(Value::as_arr).unwrap_or(&empty);
+    let histograms = snap
+        .get("histograms")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+
+    let mut by_status: Vec<(String, u64)> = Vec::new();
+    for c in counters {
+        let name = c.get("name").and_then(Value::as_str).unwrap_or_default();
+        let value = as_u64(c.get("value"));
+        match name {
+            "air_serve_requests_total" => {
+                view.requests += value;
+                let status = label(c, "status").unwrap_or("?").to_string();
+                match by_status.iter_mut().find(|(s, _)| *s == status) {
+                    Some((_, n)) => *n += value,
+                    None => by_status.push((status, value)),
+                }
+            }
+            "air_serve_warm_lookups_total" => {
+                view.lookups.1 += value;
+                if label(c, "result") == Some("hit") {
+                    view.lookups.0 += value;
+                }
+            }
+            "air_serve_fuel_spent_total" => {
+                let tenant = label(c, "tenant").unwrap_or("?").to_string();
+                view.tenants.push((tenant, value));
+            }
+            _ => {}
+        }
+    }
+    by_status.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    view.by_status = by_status;
+    view.tenants
+        .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    for g in gauges {
+        let value = g
+            .get("value")
+            .and_then(Value::as_num)
+            .map_or(0, |n| n as i64);
+        match g.get("name").and_then(Value::as_str).unwrap_or_default() {
+            "air_serve_warm_tables" => view.tables = value,
+            "air_serve_queue_depth" => view.queue = value,
+            "air_serve_workers" => view.workers.1 = value,
+            "air_serve_workers_busy" => view.workers.0 = value,
+            _ => {}
+        }
+    }
+
+    for temp in ["cold", "warm"] {
+        let rows: Vec<&Value> = histograms
+            .iter()
+            .filter(|h| {
+                h.get("name").and_then(Value::as_str) == Some("air_serve_request_duration_ns")
+                    && label(h, "temp") == Some(temp)
+            })
+            .collect();
+        let count: u64 = rows.iter().map(|r| as_u64(r.get("count"))).sum();
+        if count > 0 {
+            let merged = (
+                count,
+                merged_quantile(&rows, 0.50),
+                merged_quantile(&rows, 0.99),
+            );
+            if temp == "cold" {
+                view.cold = Some(merged);
+            } else {
+                view.warm = Some(merged);
+            }
+        }
+    }
+
+    for h in histograms {
+        if h.get("name").and_then(Value::as_str) != Some("air_phase_duration_ns") {
+            continue;
+        }
+        let phase = label(h, "phase").unwrap_or("?").to_string();
+        view.phases.push((
+            phase,
+            as_u64(h.get("count")),
+            as_u64(h.get("p50")),
+            as_u64(h.get("p99")),
+        ));
+    }
+    view.phases
+        .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    view
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+/// Renders one screen. `rate` is requests/second derived from the
+/// previous poll (`None` on the first screen).
+pub(crate) fn render(view: &View, target: &str, poll: u64, rate: Option<f64>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("air top — {target} — poll {poll}\n"));
+    let rate = rate.map_or("--".to_string(), |r| format!("{r:.1}"));
+    let statuses = if view.by_status.is_empty() {
+        "none yet".to_string()
+    } else {
+        view.by_status
+            .iter()
+            .map(|(s, n)| format!("{s} {n}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&format!(
+        "requests  {} total | {rate} req/s | {statuses}\n",
+        view.requests
+    ));
+    for (name, row) in [("cold", &view.cold), ("warm", &view.warm)] {
+        match row {
+            Some((count, p50, p99)) => out.push_str(&format!(
+                "latency   {name} p50 {} p99 {} (n={count})\n",
+                ms(*p50),
+                ms(*p99)
+            )),
+            None => out.push_str(&format!("latency   {name} (no samples)\n")),
+        }
+    }
+    let (hits, total) = view.lookups;
+    let hit_rate = if total > 0 {
+        format!(
+            "{:.1}% hit ({hits}/{total})",
+            hits as f64 * 100.0 / total as f64
+        )
+    } else {
+        "no lookups".to_string()
+    };
+    out.push_str(&format!(
+        "caches    {hit_rate} | {} warm table(s)\n",
+        view.tables
+    ));
+    out.push_str(&format!(
+        "pool      queue {} | workers {}/{} busy\n",
+        view.queue, view.workers.0, view.workers.1
+    ));
+    if !view.phases.is_empty() {
+        out.push_str("phases    (top by count)\n");
+        for (phase, count, p50, p99) in view.phases.iter().take(4) {
+            out.push_str(&format!(
+                "  {phase:<24} n={count:<7} p50 {} p99 {}\n",
+                ms(*p50),
+                ms(*p99)
+            ));
+        }
+    }
+    if !view.tenants.is_empty() {
+        out.push_str("tenants   (fuel spent)\n");
+        for (tenant, fuel) in view.tenants.iter().take(4) {
+            out.push_str(&format!("  {tenant:<24} {fuel}\n"));
+        }
+    }
+    out
+}
+
+/// One `metrics` round trip over an established connection.
+fn poll_metrics(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    poll: u64,
+) -> Result<Value, AirError> {
+    let request = format!("{{\"id\":\"top-{poll}\",\"job\":\"metrics\"}}");
+    write_frame(writer, &request)
+        .map_err(|e| AirError::Internal(format!("cannot send metrics request: {e}")))?;
+    let text = read_frame(reader, DEFAULT_MAX_FRAME)
+        .map_err(|e| AirError::Internal(format!("bad metrics response frame: {e}")))?
+        .ok_or_else(|| AirError::Internal("daemon closed the connection".into()))?;
+    let doc = json::parse(&text)
+        .map_err(|e| AirError::Internal(format!("metrics response is not JSON: {e}")))?;
+    if doc.get("status").and_then(Value::as_str) != Some("ok") {
+        return Err(AirError::Internal(format!(
+            "daemon rejected the metrics job: {text}"
+        )));
+    }
+    doc.get("stats")
+        .cloned()
+        .ok_or_else(|| AirError::Internal("metrics response lacks a payload".into()))
+}
+
+/// `air top` — poll and render until `--iterations` screens are done.
+pub(crate) fn top(task: TopTask) -> Result<Outcome, AirError> {
+    let stream = TcpStream::connect(&task.connect)
+        .map_err(|e| AirError::Usage(format!("cannot connect to `{}`: {e}", task.connect)))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| AirError::Internal(format!("cannot clone connection: {e}")))?;
+    let mut writer = writer;
+    let mut reader = BufReader::new(stream);
+    let mut poll = 0u64;
+    let mut last: Option<(u64, Instant)> = None;
+    loop {
+        poll += 1;
+        let snap = poll_metrics(&mut reader, &mut writer, poll)?;
+        let view = view_of(&snap);
+        let now = Instant::now();
+        let rate = last.map(|(prev_requests, prev_t)| {
+            let dt = now.duration_since(prev_t).as_secs_f64().max(1e-9);
+            view.requests.saturating_sub(prev_requests) as f64 / dt
+        });
+        last = Some((view.requests, now));
+        let screen = render(&view, &task.connect, poll, rate);
+        if task.plain {
+            println!("{screen}");
+        } else {
+            // Clear + cursor home, so the summary repaints in place.
+            print!("\x1b[2J\x1b[H{screen}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        if task.iterations != 0 && poll >= task.iterations {
+            return Ok(Outcome::Positive);
+        }
+        std::thread::sleep(Duration::from_millis(task.interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP: &str = r#"{
+      "schema":"air-metrics-snapshot/1",
+      "counters":[
+        {"name":"air_serve_requests_total","labels":{"tenant":"anon","job":"verify","status":"ok"},"value":9},
+        {"name":"air_serve_requests_total","labels":{"tenant":"t1","job":"verify","status":"ok"},"value":2},
+        {"name":"air_serve_requests_total","labels":{"tenant":"t1","job":"verify","status":"budget"},"value":1},
+        {"name":"air_serve_warm_lookups_total","labels":{"vars":"x:0..1","domain":"int","result":"hit"},"value":10},
+        {"name":"air_serve_warm_lookups_total","labels":{"vars":"x:0..1","domain":"int","result":"miss"},"value":2},
+        {"name":"air_serve_fuel_spent_total","labels":{"tenant":"t1"},"value":700},
+        {"name":"air_serve_fuel_spent_total","labels":{"tenant":"anon"},"value":40}
+      ],
+      "gauges":[
+        {"name":"air_serve_warm_tables","labels":{},"value":2},
+        {"name":"air_serve_queue_depth","labels":{},"value":3},
+        {"name":"air_serve_workers","labels":{},"value":4},
+        {"name":"air_serve_workers_busy","labels":{},"value":1}
+      ],
+      "histograms":[
+        {"name":"air_serve_request_duration_ns","labels":{"tenant":"anon","temp":"cold"},
+         "count":2,"sum":3000000,"p50":2097151,"p90":2097151,"p99":2097151,
+         "buckets":[{"le":2097151,"count":2}]},
+        {"name":"air_serve_request_duration_ns","labels":{"tenant":"t1","temp":"cold"},
+         "count":1,"sum":40000000,"p50":67108863,"p90":67108863,"p99":67108863,
+         "buckets":[{"le":67108863,"count":1}]},
+        {"name":"air_serve_request_duration_ns","labels":{"tenant":"anon","temp":"warm"},
+         "count":9,"sum":2000000,"p50":262143,"p90":262143,"p99":262143,
+         "buckets":[{"le":262143,"count":9}]},
+        {"name":"air_phase_duration_ns","labels":{"phase":"verify.backward"},
+         "count":12,"sum":9000000,"p50":1048575,"p90":1048575,"p99":1048575,
+         "buckets":[{"le":1048575,"count":12}]}
+      ]
+    }"#;
+
+    #[test]
+    fn view_reduces_the_snapshot() {
+        let view = view_of(&json::parse(SNAP).unwrap());
+        assert_eq!(view.requests, 12);
+        assert_eq!(view.by_status[0], ("ok".to_string(), 11));
+        assert_eq!(view.by_status[1], ("budget".to_string(), 1));
+        assert_eq!(view.lookups, (10, 12));
+        assert_eq!(view.tables, 2);
+        assert_eq!(view.queue, 3);
+        assert_eq!(view.workers, (1, 4));
+        // Cold rows merge across tenants: 3 samples, p50 from the dense
+        // bucket, p99 from the slow outlier.
+        let (count, p50, p99) = view.cold.unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(p50, 2097151);
+        assert_eq!(p99, 67108863);
+        let (warm_count, _, _) = view.warm.unwrap();
+        assert_eq!(warm_count, 9);
+        assert_eq!(view.phases[0].0, "verify.backward");
+        // Tenants sorted by spend.
+        assert_eq!(view.tenants[0], ("t1".to_string(), 700));
+    }
+
+    #[test]
+    fn render_is_one_screen_with_rate() {
+        let view = view_of(&json::parse(SNAP).unwrap());
+        let screen = render(&view, "127.0.0.1:4777", 3, Some(12.5));
+        assert!(
+            screen.contains("air top — 127.0.0.1:4777 — poll 3"),
+            "{screen}"
+        );
+        assert!(screen.contains("12 total | 12.5 req/s"), "{screen}");
+        assert!(screen.contains("ok 11  budget 1"), "{screen}");
+        assert!(
+            screen.contains("cold p50 2.1ms p99 67.1ms (n=3)"),
+            "{screen}"
+        );
+        assert!(screen.contains("83.3% hit (10/12)"), "{screen}");
+        assert!(screen.contains("queue 3 | workers 1/4 busy"), "{screen}");
+        assert!(screen.contains("verify.backward"), "{screen}");
+        assert!(screen.contains("t1"), "{screen}");
+        assert!(screen.lines().count() <= 16, "one screen, not a scroll");
+    }
+
+    #[test]
+    fn first_poll_has_no_rate_and_empty_snapshot_renders() {
+        let view = view_of(
+            &json::parse(
+                r#"{"schema":"air-metrics-snapshot/1","counters":[],"gauges":[],"histograms":[]}"#,
+            )
+            .unwrap(),
+        );
+        let screen = render(&view, "h:1", 1, None);
+        assert!(screen.contains("-- req/s"), "{screen}");
+        assert!(screen.contains("none yet"), "{screen}");
+        assert!(screen.contains("no lookups"), "{screen}");
+        assert!(screen.contains("cold (no samples)"), "{screen}");
+    }
+}

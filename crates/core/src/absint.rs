@@ -151,7 +151,7 @@ impl<'u> AbstractSemantics<'u> {
                     x = match self.strategy {
                         StarStrategy::Lfp => grown,
                         StarStrategy::PointedWidening => {
-                            self.trace.emit_with(|| EventKind::Widening {
+                            self.trace.emit_detail_with(|| EventKind::Widening {
                                 site: "absint.star".to_string(),
                             });
                             dom.pointed_widen(&x, &grown)

@@ -194,11 +194,11 @@ impl<'u> BackwardRepair<'u> {
             Ok(done) => done,
             Err(e) => return Err(self.exhausted(e, base, &ctx, r, p)),
         };
-        self.trace.emit_with(|| EventKind::Counter {
+        self.trace.emit_detail_with(|| EventKind::Counter {
             name: "backward.calls".to_string(),
             delta: ctx.calls as u64,
         });
-        self.trace.emit_with(|| EventKind::Counter {
+        self.trace.emit_detail_with(|| EventKind::Counter {
             name: "backward.inv_iterations".to_string(),
             delta: ctx.inv_iterations as u64,
         });
@@ -285,7 +285,7 @@ impl<'u> BackwardRepair<'u> {
     }
 
     fn trace_point(&self, rule: &str, exp: &impl std::fmt::Display, point: &StateSet) {
-        self.trace.emit_with(|| EventKind::ShellPoint {
+        self.trace.emit_detail_with(|| EventKind::ShellPoint {
             rule: rule.to_string(),
             exp: exp.to_string(),
             point_size: point.len(),
@@ -332,7 +332,7 @@ impl<'u> BackwardRepair<'u> {
                 // Reaching this case means line 2 failed: the abstract
                 // image of `e` escapes `S`, a local incompleteness
                 // witness in the sense of Def. 4.1.
-                self.trace.emit_with(|| EventKind::Incompleteness {
+                self.trace.emit_detail_with(|| EventKind::Incompleteness {
                     exp: e.to_string(),
                     input_size: p.len(),
                 });
@@ -376,7 +376,7 @@ impl<'u> BackwardRepair<'u> {
                     let unrolled = match self.strategy {
                         UnrollStrategy::Join => grown,
                         UnrollStrategy::PointedWidening => {
-                            self.trace.emit_with(|| EventKind::Widening {
+                            self.trace.emit_detail_with(|| EventKind::Widening {
                                 site: "backward.star".to_string(),
                             });
                             dom.pointed_widen(&p, &grown)

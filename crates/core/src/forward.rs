@@ -279,11 +279,11 @@ impl<'u> ForwardRepair<'u> {
             match self.find(&dom, r, p, &mut obligations_checked) {
                 Err(e) => return Err(self.exhausted(e, &dom, r, p)),
                 Ok(FindOutcome::Under(q)) => {
-                    self.trace.emit_with(|| EventKind::Counter {
+                    self.trace.emit_detail_with(|| EventKind::Counter {
                         name: "forward.analysis_runs".to_string(),
                         delta: analysis_runs as u64,
                     });
-                    self.trace.emit_with(|| EventKind::Counter {
+                    self.trace.emit_detail_with(|| EventKind::Counter {
                         name: "forward.obligations_checked".to_string(),
                         delta: obligations_checked as u64,
                     });
@@ -297,7 +297,7 @@ impl<'u> ForwardRepair<'u> {
                     });
                 }
                 Ok(FindOutcome::Incomplete(ob)) => {
-                    self.trace.emit_with(|| EventKind::Incompleteness {
+                    self.trace.emit_detail_with(|| EventKind::Incompleteness {
                         exp: ob.exp.to_string(),
                         input_size: ob.input.len(),
                     });
@@ -313,7 +313,7 @@ impl<'u> ForwardRepair<'u> {
                         Ok(found) => found,
                         Err(e) => return Err(self.exhausted(e, &dom, r, p)),
                     };
-                    self.trace.emit_with(|| EventKind::ShellPoint {
+                    self.trace.emit_detail_with(|| EventKind::ShellPoint {
                         rule: rule.to_string(),
                         exp: ob.exp.to_string(),
                         point_size: point.len(),

@@ -358,7 +358,7 @@ impl<'u> Lcl<'u> {
     }
 
     fn trace_rule(&self, rule: &'static str) {
-        self.trace.emit_with(|| EventKind::LclRule {
+        self.trace.emit_detail_with(|| EventKind::LclRule {
             rule: rule.to_string(),
         });
     }
@@ -683,7 +683,7 @@ impl<'u> Lcl<'u> {
             match self.derive(&dom, p, r) {
                 Ok(d) => return Ok((d, dom)),
                 Err(LclError::Obligation { input, exp }) => {
-                    self.trace.emit_with(|| EventKind::Incompleteness {
+                    self.trace.emit_detail_with(|| EventKind::Incompleteness {
                         exp: exp.to_string(),
                         input_size: input.len(),
                     });
@@ -706,7 +706,7 @@ impl<'u> Lcl<'u> {
                         Ok(found) => found,
                         Err(e) => return Err(self.exhausted(e.into(), &dom)),
                     };
-                    self.trace.emit_with(|| EventKind::ShellPoint {
+                    self.trace.emit_detail_with(|| EventKind::ShellPoint {
                         rule: rule.to_string(),
                         exp: exp.to_string(),
                         point_size: point.len(),
@@ -786,7 +786,7 @@ impl<'u> Lcl<'u> {
                     "Q ⊄ Spec but Q ∖ Spec is empty".to_string(),
                 ));
             };
-            self.trace.emit_with(|| EventKind::Verdict {
+            self.trace.emit_detail_with(|| EventKind::Verdict {
                 phase: "lcl.prove_spec".to_string(),
                 verdict: "true_alarm".to_string(),
             });
@@ -800,7 +800,7 @@ impl<'u> Lcl<'u> {
             repaired.close(q).is_subset(spec),
             "A(Q) ≤ Spec after tightening"
         );
-        self.trace.emit_with(|| EventKind::Verdict {
+        self.trace.emit_detail_with(|| EventKind::Verdict {
             phase: "lcl.prove_spec".to_string(),
             verdict: "valid".to_string(),
         });

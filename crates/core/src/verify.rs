@@ -200,7 +200,7 @@ impl<'u> Verifier<'u> {
     }
 
     fn trace_verdict(&self, phase: &'static str, proved: bool) {
-        self.trace.emit_with(|| EventKind::Verdict {
+        self.trace.emit_detail_with(|| EventKind::Verdict {
             phase: phase.to_string(),
             verdict: if proved { "proved" } else { "refuted" }.to_string(),
         });

@@ -141,9 +141,7 @@ impl SemCache {
         }
         self.bypasses.fetch_add(1, Ordering::Relaxed);
         if let Some(tracer) = self.trace.get() {
-            tracer.emit_with(|| EventKind::CacheBypass {
-                table: table.to_string(),
-            });
+            tracer.emit_with(|| EventKind::CacheBypass { table });
         }
         true
     }

@@ -108,7 +108,7 @@ struct MemoInner<K, V> {
     /// every counted hit/miss also emits a `cache_hit`/`cache_miss`
     /// trace event tagged with the table name. Reading an unset
     /// `OnceLock` is one atomic load, so untraced tables stay cheap.
-    trace: OnceLock<(String, Tracer)>,
+    trace: OnceLock<(&'static str, Tracer)>,
 }
 
 /// A sharded, thread-safe memo table.
@@ -154,9 +154,9 @@ impl<K, V> MemoTable<K, V> {
     /// name and start emitting `cache_hit`/`cache_miss` events through
     /// `tracer`. Disabled tracers are ignored; only the first enabled
     /// tracer wins — later calls are no-ops.
-    pub fn set_tracer(&self, table: &str, tracer: &Tracer) {
+    pub fn set_tracer(&self, table: &'static str, tracer: &Tracer) {
         if tracer.is_enabled() {
-            let _ = self.inner.trace.set((table.to_string(), tracer.clone()));
+            let _ = self.inner.trace.set((table, tracer.clone()));
         }
     }
 
@@ -164,13 +164,9 @@ impl<K, V> MemoTable<K, V> {
         if let Some((name, tracer)) = self.inner.trace.get() {
             tracer.emit_with(|| {
                 if hit {
-                    EventKind::CacheHit {
-                        table: name.clone(),
-                    }
+                    EventKind::CacheHit { table: name }
                 } else {
-                    EventKind::CacheMiss {
-                        table: name.clone(),
-                    }
+                    EventKind::CacheMiss { table: name }
                 }
             });
         }
@@ -221,7 +217,7 @@ impl<K, V> MemoTable<K, V> {
         self.inner.quarantines.fetch_add(1, Ordering::Relaxed);
         if let Some((name, tracer)) = self.inner.trace.get() {
             tracer.emit_with(|| EventKind::ShardQuarantined {
-                table: name.clone(),
+                table: name,
                 shard: idx as u64,
             });
         }
@@ -544,7 +540,7 @@ mod tests {
             "a shard_quarantined event must be traced"
         );
         match &quarantined[0].kind {
-            EventKind::ShardQuarantined { table: t, .. } => assert_eq!(t, "exec"),
+            EventKind::ShardQuarantined { table: t, .. } => assert_eq!(*t, "exec"),
             _ => unreachable!(),
         }
     }
@@ -603,7 +599,7 @@ mod tests {
         for e in &events {
             match &e.kind {
                 EventKind::CacheHit { table } | EventKind::CacheMiss { table } => {
-                    assert_eq!(table, "closure");
+                    assert_eq!(*table, "closure");
                 }
                 other => panic!("unexpected event {other:?}"),
             }

@@ -1,0 +1,472 @@
+//! The labelled metrics registry and its per-series handles.
+//!
+//! A *series* is a metric name plus a sorted label set, e.g.
+//! `air_serve_requests_total{job="verify", tenant="anon"}`. The registry
+//! interns each series once (a write-locked first use) and hands back an
+//! `Arc`'d atomic; every subsequent update of that series is lock-free.
+//! Label values are dynamic (tenant ids arrive over the wire), so
+//! callers on per-request paths use the direct `add`/`set_gauge`/
+//! `observe` methods — in the steady state those take a *shared* read
+//! lock and compare the borrowed label slice in place, so concurrent
+//! request threads neither serialize nor allocate. Callers updating a
+//! fixed series in a loop hoist a `*_handle` once and pay no locks at
+//! all.
+//!
+//! Like `air_trace::Tracer`, a registry is a cheap clonable handle that
+//! is either enabled (`Some(Arc<Inner>)`) or disabled
+//! ([`MetricsRegistry::disabled`]) — the disabled path is a single branch,
+//! which is what keeps the metrics plane affordable enough to leave on
+//! by default in `air serve` (measured in `BENCH_serve.json`).
+//!
+//! Naming follows Prometheus conventions: `snake_case` names matching
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, counters suffixed `_total`, durations in
+//! `_ns`. Invalid names panic in debug builds (they would corrupt the
+//! exposition format) and are accepted verbatim in release builds.
+
+use crate::histogram::Histogram;
+use crate::snapshot::{BucketRow, CounterRow, GaugeRow, HistogramRow, Snapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// One registered series: metric name, sorted label set, and the shared
+/// atomic the handles update.
+struct Series<T> {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: Arc<T>,
+}
+
+/// 64-bit FNV-1a over one byte string, continuing from `seed`.
+fn fnv(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Hash of a series identity that is *insensitive to label order*:
+/// each `(key, value)` pair hashes on its own (key and value chained,
+/// so the pair binds them together) and the pair hashes combine by
+/// XOR, which commutes. Call sites can therefore pass labels in any
+/// order without an allocation or a sort on the hot path; real
+/// equality is still verified against the stored sorted set.
+fn series_hash(name: &str, labels: &[(&str, &str)]) -> u64 {
+    let mut h = fnv(FNV_OFFSET, name.as_bytes());
+    for (k, v) in labels {
+        // The `=` separator keeps ("ab","c") distinct from ("a","bc").
+        h ^= fnv(fnv(fnv(FNV_OFFSET, k.as_bytes()), b"="), v.as_bytes());
+    }
+    h
+}
+
+/// A read-mostly series table indexed by [`series_hash`].
+///
+/// The steady state of a daemon is "every series already exists", so
+/// the lookup path must not allocate or serialize writers: it takes the
+/// `RwLock` in *read* mode (updates on distinct connections proceed in
+/// parallel), finds the hash bucket in O(1), and verifies the caller's
+/// borrowed label slice against the stored set in place — no owned key
+/// is built, and the cost does not grow with the number of label sets
+/// under one name (per-tenant and per-program cardinality stays cheap).
+/// Only a first-use miss upgrades to the write lock and interns the
+/// series.
+struct Table<T> {
+    map: RwLock<HashMap<u64, Vec<Series<T>>>>,
+}
+
+impl<T> Default for Table<T> {
+    fn default() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+/// Multiset equality between a stored sorted label set and a caller's
+/// slice in whatever order the call site wrote it. Stored keys are
+/// unique, so length + membership is exact (call sites never repeat a
+/// label key).
+fn labels_eq(stored: &[(String, String)], query: &[(&str, &str)]) -> bool {
+    stored.len() == query.len()
+        && query
+            .iter()
+            .all(|(k, v)| stored.iter().any(|(sk, sv)| sk == k && sv == v))
+}
+
+impl<T: Default> Table<T> {
+    fn intern(&self, name: &str, labels: &[(&str, &str)]) -> Arc<T> {
+        #[cfg(debug_assertions)]
+        debug_check_name(name);
+        let hash = series_hash(name, labels);
+        // Fast path: the series exists; shared lock, zero allocations.
+        {
+            let map = self.map.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(rows) = map.get(&hash) {
+                if let Some(row) = rows
+                    .iter()
+                    .find(|r| r.name == name && labels_eq(&r.labels, labels))
+                {
+                    return Arc::clone(&row.value);
+                }
+            }
+        }
+        // First use: intern under the write lock, re-checking for a
+        // racing interner of the same series.
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
+        let rows = map.entry(hash).or_default();
+        if let Some(row) = rows
+            .iter()
+            .find(|r| r.name == name && labels_eq(&r.labels, labels))
+        {
+            return Arc::clone(&row.value);
+        }
+        let value = Arc::new(T::default());
+        rows.push(Series {
+            name: name.to_string(),
+            labels: sorted,
+            value: Arc::clone(&value),
+        });
+        value
+    }
+
+    /// Visit every series in (name, labels) order — snapshots must be
+    /// deterministic and exposition groups `# TYPE` lines by name, so
+    /// the hash-ordered buckets are sorted here, on the cold path.
+    fn for_each(&self, mut f: impl FnMut(&str, &[(String, String)], &T)) {
+        let map = self.map.read().unwrap_or_else(PoisonError::into_inner);
+        let mut all: Vec<&Series<T>> = map.values().flatten().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        for row in all {
+            f(&row.name, &row.labels, &row.value);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Table<AtomicU64>,
+    gauges: Table<AtomicI64>,
+    histograms: Table<Histogram>,
+}
+
+/// Cheap clonable handle to a metrics registry; see module docs.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+/// Lock-free handle to one counter series (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct CounterHandle(Option<Arc<AtomicU64>>);
+
+/// Lock-free handle to one gauge series (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct GaugeHandle(Option<Arc<AtomicI64>>);
+
+/// Lock-free handle to one histogram series (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl CounterHandle {
+    /// Add `delta` to the counter (1 for plain increments).
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+impl GaugeHandle {
+    /// Set the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `delta` (possibly negative) to the gauge.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn value(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+impl HistogramHandle {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.observe(v);
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+fn debug_check_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    let tail_ok = chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    debug_assert!(
+        head_ok && tail_ok,
+        "metric name {name:?} is not a valid Prometheus identifier"
+    );
+}
+
+impl MetricsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A registry on which every operation is a no-op and every
+    /// snapshot is empty. Handles vended by a disabled registry are
+    /// themselves no-ops.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to a counter series, creating it at 0 on first use.
+    #[inline]
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if self.inner.is_some() {
+            self.counter_handle(name, labels).add(delta);
+        }
+    }
+
+    /// Increment a counter series by 1.
+    #[inline]
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Set a gauge series to an absolute value, creating it on first use.
+    #[inline]
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], v: i64) {
+        if self.inner.is_some() {
+            self.gauge_handle(name, labels).set(v);
+        }
+    }
+
+    /// Record one observation into a histogram series, creating it on
+    /// first use.
+    #[inline]
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        if self.inner.is_some() {
+            self.histogram_handle(name, labels).observe(v);
+        }
+    }
+
+    /// Intern a counter series and return its lock-free handle.
+    pub fn counter_handle(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        CounterHandle(
+            self.inner
+                .as_ref()
+                .map(|inner| inner.counters.intern(name, labels)),
+        )
+    }
+
+    /// Intern a gauge series and return its lock-free handle.
+    pub fn gauge_handle(&self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
+        GaugeHandle(
+            self.inner
+                .as_ref()
+                .map(|inner| inner.gauges.intern(name, labels)),
+        )
+    }
+
+    /// Intern a histogram series and return its lock-free handle.
+    pub fn histogram_handle(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        HistogramHandle(
+            self.inner
+                .as_ref()
+                .map(|inner| inner.histograms.intern(name, labels)),
+        )
+    }
+
+    /// Capture every registered series into a sorted, self-contained
+    /// [`Snapshot`]. Concurrent updates during the capture can only
+    /// *add* to what the snapshot sees (histograms keep
+    /// `sum(buckets) >= count`, see `histogram` module docs); a disabled
+    /// registry snapshots empty.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let mut counters = Vec::new();
+        inner.counters.for_each(|name, labels, v| {
+            counters.push(CounterRow {
+                name: name.to_string(),
+                labels: labels.to_vec(),
+                value: v.load(Ordering::Relaxed),
+            });
+        });
+        let mut gauges = Vec::new();
+        inner.gauges.for_each(|name, labels, v| {
+            gauges.push(GaugeRow {
+                name: name.to_string(),
+                labels: labels.to_vec(),
+                value: v.load(Ordering::Relaxed),
+            });
+        });
+        let mut histograms = Vec::new();
+        inner.histograms.for_each(|name, labels, h| {
+            // Count before buckets: mid-flight observers may bump a
+            // bucket we then see, never the other way round.
+            let count = h.count();
+            let sum = h.sum();
+            let counts = h.counts();
+            histograms.push(HistogramRow {
+                name: name.to_string(),
+                labels: labels.to_vec(),
+                count,
+                sum,
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
+                buckets: counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| BucketRow {
+                        le: crate::histogram::bucket_upper_bound(i),
+                        count: c,
+                    })
+                    .collect(),
+            });
+        });
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let m = MetricsRegistry::disabled();
+        m.inc("air_x_total", &[]);
+        m.set_gauge("air_g", &[("k", "v")], 7);
+        m.observe("air_h_ns", &[], 1234);
+        let snap = m.snapshot();
+        assert!(!m.is_enabled());
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+        // Handles from a disabled registry are no-ops too.
+        let c = m.counter_handle("air_x_total", &[]);
+        c.add(5);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let m = MetricsRegistry::new();
+        m.inc("air_req_total", &[("tenant", "a"), ("job", "verify")]);
+        m.inc("air_req_total", &[("job", "verify"), ("tenant", "a")]);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 2);
+    }
+
+    #[test]
+    fn distinct_label_values_are_distinct_series() {
+        let m = MetricsRegistry::new();
+        m.add("air_fuel_total", &[("tenant", "a")], 10);
+        m.add("air_fuel_total", &[("tenant", "b")], 20);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("air_fuel_total", &[("tenant", "a")]), Some(10));
+        assert_eq!(snap.counter("air_fuel_total", &[("tenant", "b")]), Some(20));
+        assert_eq!(snap.counter_sum("air_fuel_total"), 30);
+    }
+
+    #[test]
+    fn gauges_hold_last_set_value() {
+        let m = MetricsRegistry::new();
+        let g = m.gauge_handle("air_queue_depth", &[]);
+        g.set(5);
+        g.add(-2);
+        m.set_gauge("air_queue_depth", &[], 9);
+        assert_eq!(m.snapshot().gauge("air_queue_depth", &[]), Some(9));
+    }
+
+    /// Satellite 3 (part 1, registry flavor): many threads hammer
+    /// overlapping series through the locked lookup path; nothing is
+    /// lost and every histogram snapshot satisfies the bucket-sum
+    /// invariant.
+    #[test]
+    fn concurrent_registry_updates_are_exact() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 2_000;
+        let m = MetricsRegistry::new();
+        thread::scope(|s| {
+            for t in 0..THREADS {
+                let m = m.clone();
+                s.spawn(move || {
+                    let tenant = if t % 2 == 0 { "even" } else { "odd" };
+                    for i in 0..PER_THREAD {
+                        m.inc("air_req_total", &[("tenant", tenant)]);
+                        m.observe("air_lat_ns", &[("tenant", tenant)], i);
+                    }
+                });
+            }
+            // Concurrent snapshots must each be internally consistent.
+            for _ in 0..50 {
+                for row in &m.snapshot().histograms {
+                    let bucket_sum: u64 = row.buckets.iter().map(|b| b.count).sum();
+                    assert!(bucket_sum >= row.count, "snapshot lost observations");
+                }
+            }
+        });
+        let snap = m.snapshot();
+        let total = (THREADS as u64 / 2) * PER_THREAD;
+        assert_eq!(
+            snap.counter("air_req_total", &[("tenant", "even")]),
+            Some(total)
+        );
+        assert_eq!(
+            snap.counter("air_req_total", &[("tenant", "odd")]),
+            Some(total)
+        );
+        for row in &snap.histograms {
+            assert_eq!(row.count, total);
+            assert_eq!(row.buckets.iter().map(|b| b.count).sum::<u64>(), total);
+        }
+    }
+}

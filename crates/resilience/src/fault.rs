@@ -507,9 +507,7 @@ mod tests {
         injector.observe(&Event {
             seq: 0,
             t_ns: 0,
-            kind: EventKind::CacheHit {
-                table: "exec".into(),
-            },
+            kind: EventKind::CacheHit { table: "exec" },
         });
         assert!(switch.is_tripped());
         assert!(w.write(b"fails").is_err());

@@ -40,7 +40,7 @@ pub use fault::{
     FailSwitch, FaultInjector, FaultKind, FaultPlan, FaultSpec, FlakyWriter, InjectSink,
     SITE_VOCABULARY,
 };
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};
 pub use supervisor::{
     install_quiet_fault_hook, panic_message, RetryPolicy, Supervisor, TaskFailure,
 };

@@ -13,14 +13,45 @@
 //! callbacks, never to one inside a job.
 
 use crate::supervisor::{Supervisor, TaskFailure};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Live utilization counters maintained by the pool's own workers, for
+/// the serve metrics plane (`air_serve_workers_busy` and friends) and
+/// any other observer that wants to sample a running pool. All fields
+/// are monotone except `busy`, which is the number of workers currently
+/// inside a job (supervised run + failure callback included).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    busy: AtomicUsize,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl PoolStats {
+    /// Workers currently executing a job.
+    pub fn busy(&self) -> usize {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that finished cleanly (possibly after supervised retries).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose retries were exhausted and went to the `fail` callback.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
 
 /// Handle to a running pool; dropping it detaches the workers, `join`
 /// waits for them to retire (i.e. for `next` to return `None` once per
 /// worker).
 pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
 }
 
 impl WorkerPool {
@@ -47,33 +78,48 @@ impl WorkerPool {
         let site = Arc::new(site);
         let run = Arc::new(run);
         let fail = Arc::new(fail);
+        let stats = Arc::new(PoolStats::default());
         let handles = (0..workers.max(1))
             .map(|i| {
                 let next = Arc::clone(&next);
                 let site = Arc::clone(&site);
                 let run = Arc::clone(&run);
                 let fail = Arc::clone(&fail);
+                let stats = Arc::clone(&stats);
                 let sup = supervisor.clone();
                 std::thread::Builder::new()
                     .name(format!("air-pool-{i}"))
                     .spawn(move || {
                         while let Some(job) = next() {
                             let at = site(&job);
+                            stats.busy.fetch_add(1, Ordering::Relaxed);
                             match sup.run(&at, || run(&job)) {
-                                Ok(()) => {}
-                                Err(failure) => fail(job, failure),
+                                Ok(()) => {
+                                    stats.completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(failure) => {
+                                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                                    fail(job, failure);
+                                }
                             }
+                            stats.busy.fetch_sub(1, Ordering::Relaxed);
                         }
                     })
                     .expect("spawn pool worker")
             })
             .collect();
-        WorkerPool { handles }
+        WorkerPool { handles, stats }
     }
 
     /// Number of worker threads started.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Shared handle to the pool's live utilization counters; stays
+    /// valid (and frozen at final values) after the pool is joined.
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Blocks until every worker has retired (each saw `next() == None`).
@@ -154,6 +200,32 @@ mod tests {
         assert_eq!(failures[0].0, 13);
         assert_eq!(failures[0].1.attempts, 2);
         assert!(failures[0].1.message.contains("poisoned job"));
+    }
+
+    #[test]
+    fn stats_track_completions_failures_and_quiescence() {
+        let queue = drain_pool(vec![1, 2, 3, 13]);
+        let q = Arc::clone(&queue);
+        let pool = WorkerPool::start(
+            2,
+            Supervisor::new(RetryPolicy {
+                max_attempts: 1,
+                backoff: std::time::Duration::ZERO,
+            }),
+            move || q.lock().unwrap().pop(),
+            |j: &u64| format!("job.{j}"),
+            |j| {
+                if *j == 13 {
+                    panic!("bad job");
+                }
+            },
+            |_, _| {},
+        );
+        let stats = pool.stats();
+        pool.join();
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.failed(), 1);
+        assert_eq!(stats.busy(), 0, "all workers idle after join");
     }
 
     #[test]

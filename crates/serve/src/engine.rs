@@ -25,6 +25,7 @@ use air_domains::{
 };
 use air_lang::{parse_bexp, parse_program, Concrete, SemCache, SemError, StateSet, Universe};
 use air_lattice::{Budget, Exhaustion, Governor};
+use air_metrics::MetricsRegistry;
 use air_trace::{json, EventKind, Tracer};
 
 use crate::admission::TenantQuotas;
@@ -88,18 +89,33 @@ pub struct ServeEngine {
     registry: Mutex<HashMap<(String, String), WarmEntry>>,
     quotas: TenantQuotas,
     tracer: Tracer,
+    metrics: MetricsRegistry,
     served: AtomicU64,
     warm_hits: AtomicU64,
 }
 
 impl ServeEngine {
     /// `quota` is the per-tenant lifetime fuel allowance (`None` =
-    /// unlimited); engine events flow through `tracer`.
+    /// unlimited); engine events flow through `tracer`. The metrics
+    /// plane is disabled — the daemon path uses
+    /// [`ServeEngine::with_metrics`].
     pub fn new(quota: Option<u64>, tracer: Tracer) -> ServeEngine {
+        Self::with_metrics(quota, tracer, MetricsRegistry::disabled())
+    }
+
+    /// Like [`ServeEngine::new`], but aggregating request, quota and
+    /// warm-cache telemetry into `metrics` (see the metric inventory in
+    /// `SERVING.md` § Monitoring).
+    pub fn with_metrics(
+        quota: Option<u64>,
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+    ) -> ServeEngine {
         ServeEngine {
             registry: Mutex::new(HashMap::new()),
             quotas: TenantQuotas::new(quota),
             tracer,
+            metrics,
             served: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
         }
@@ -108,6 +124,12 @@ impl ServeEngine {
     /// The tracer engine events flow through.
     pub fn tracer(&self) -> Tracer {
         self.tracer.clone()
+    }
+
+    /// The metrics registry this engine reports into (disabled unless
+    /// built via [`ServeEngine::with_metrics`]).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.clone()
     }
 
     /// Admission: emits `request_received`, checks the tenant quota,
@@ -124,13 +146,20 @@ impl ServeEngine {
     // serialized immediately, so boxing it would only add indirection.
     #[allow(clippy::result_large_err)]
     pub fn admit(&self, req: &JobRequest) -> Result<Admitted, Response> {
-        self.tracer.emit_with(|| EventKind::RequestReceived {
+        self.tracer.emit_detail_with(|| EventKind::RequestReceived {
             id: req.id.clone(),
             job: req.job.name().to_string(),
             tenant: req.tenant.clone(),
         });
         match self.quotas.admit(&req.tenant, req.fuel) {
             Ok(admission) => {
+                if admission.reserved > 0 {
+                    self.metrics.add(
+                        "air_serve_fuel_reserved_total",
+                        &[("tenant", req.tenant.as_str())],
+                        admission.reserved,
+                    );
+                }
                 let budget = Budget {
                     fuel: admission.effective,
                     timeout: req.timeout_ms.map(Duration::from_millis),
@@ -145,21 +174,31 @@ impl ServeEngine {
                     settled: AtomicBool::new(false),
                 })
             }
-            Err(rej) => Err(Response::Error {
-                id: req.id.clone(),
-                code: 3,
-                message: format!(
-                    "tenant `{}` fuel quota exceeded: {} requested, {} of {} remaining",
-                    rej.tenant,
-                    rej.requested
-                        .map_or("unlimited".to_string(), |f| f.to_string()),
-                    rej.remaining,
-                    self.quotas.limit().unwrap_or(0),
-                ),
-                phase: Some("serve.admit".to_string()),
-                spent: Some(rej.spent),
-                reason: Some("quota".to_string()),
-            }),
+            Err(rej) => Err(self.reject_metered(req, rej)),
+        }
+    }
+
+    /// Builds the code-3 quota rejection and counts it
+    /// (`air_serve_rejects_total{tenant, reason="quota"}`).
+    fn reject_metered(&self, req: &JobRequest, rej: crate::admission::QuotaRejection) -> Response {
+        self.metrics.inc(
+            "air_serve_rejects_total",
+            &[("tenant", req.tenant.as_str()), ("reason", "quota")],
+        );
+        Response::Error {
+            id: req.id.clone(),
+            code: 3,
+            message: format!(
+                "tenant `{}` fuel quota exceeded: {} requested, {} of {} remaining",
+                rej.tenant,
+                rej.requested
+                    .map_or("unlimited".to_string(), |f| f.to_string()),
+                rej.remaining,
+                self.quotas.limit().unwrap_or(0),
+            ),
+            phase: Some("serve.admit".to_string()),
+            spent: Some(rej.spent),
+            reason: Some("quota".to_string()),
         }
     }
 
@@ -173,6 +212,28 @@ impl ServeEngine {
         let response = self.run_job(req, &admitted.governor, started);
         self.settle(req, admitted);
         self.served.fetch_add(1, Ordering::Relaxed);
+        if self.metrics.is_enabled() {
+            self.metrics.inc(
+                "air_serve_requests_total",
+                &[
+                    ("tenant", req.tenant.as_str()),
+                    ("job", req.job.name()),
+                    ("status", response.status_name()),
+                ],
+            );
+            // Latency histograms only for runs that reached the engine
+            // (errors have no meaningful warm/cold temperature).
+            if let Some(warm) = response.warm_flag() {
+                self.metrics.observe(
+                    "air_serve_request_duration_ns",
+                    &[
+                        ("tenant", req.tenant.as_str()),
+                        ("temp", if warm { "warm" } else { "cold" }),
+                    ],
+                    started.elapsed().as_nanos() as u64,
+                );
+            }
+        }
         response
     }
 
@@ -185,8 +246,15 @@ impl ServeEngine {
         if admitted.settled.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.quotas
-            .settle(&req.tenant, admitted.reserved, admitted.governor.spent());
+        let spent = admitted.governor.spent();
+        self.quotas.settle(&req.tenant, admitted.reserved, spent);
+        if spent > 0 {
+            self.metrics.add(
+                "air_serve_fuel_spent_total",
+                &[("tenant", req.tenant.as_str())],
+                spent,
+            );
+        }
     }
 
     /// Looks up or builds the warm table set for a request. Returns
@@ -221,15 +289,18 @@ impl ServeEngine {
             // every request on this key keeps sharing one table set.
             entry.requests += 1;
             self.warm_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((
+            let hit = (
                 Arc::clone(&entry.universe),
                 entry.proto.clone(),
                 entry.sem.clone(),
                 true,
-            ));
+            );
+            drop(registry);
+            self.count_warm_lookup(&key, "hit");
+            return Ok(hit);
         }
         registry.insert(
-            key,
+            key.clone(),
             WarmEntry {
                 universe: Arc::clone(&universe),
                 proto: proto.clone(),
@@ -237,7 +308,26 @@ impl ServeEngine {
                 requests: 1,
             },
         );
+        let tables = registry.len();
+        drop(registry);
+        self.count_warm_lookup(&key, "miss");
+        self.metrics
+            .set_gauge("air_serve_warm_tables", &[], tables as i64);
         Ok((universe, proto, sem, false))
+    }
+
+    /// `air_serve_warm_lookups_total{vars, domain, result}`: one row per
+    /// table-set key and outcome. The sum of `result="hit"` rows always
+    /// equals [`ServeEngine::warm_hits`] — the differential test pins it.
+    fn count_warm_lookup(&self, key: &(String, String), result: &str) {
+        self.metrics.inc(
+            "air_serve_warm_lookups_total",
+            &[
+                ("vars", key.0.as_str()),
+                ("domain", key.1.as_str()),
+                ("result", result),
+            ],
+        );
     }
 
     /// Registry lookup for an existing table set, bumping its counters.
@@ -249,12 +339,15 @@ impl ServeEngine {
         let entry = registry.get_mut(key)?;
         entry.requests += 1;
         self.warm_hits.fetch_add(1, Ordering::Relaxed);
-        Some((
+        let hit = (
             Arc::clone(&entry.universe),
             entry.proto.clone(),
             entry.sem.clone(),
             true,
-        ))
+        );
+        drop(registry);
+        self.count_warm_lookup(key, "hit");
+        Some(hit)
     }
 
     fn usage(&self, req: &JobRequest, message: String) -> Response {
@@ -396,7 +489,43 @@ impl ServeEngine {
         }
         let flushed = registry.len();
         registry.clear();
+        drop(registry);
+        self.metrics.set_gauge("air_serve_warm_tables", &[], 0);
         flushed
+    }
+
+    /// Refreshes the sampled-at-scrape gauges: warm-table count and
+    /// per-table cache hit ratios (in permille, so they stay integers).
+    /// The server calls this before answering a `metrics` job or an
+    /// exposition scrape; between scrapes the gauges just hold their
+    /// last sampled value.
+    pub fn refresh_gauges(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let registry = self.registry.lock().unwrap();
+        self.metrics
+            .set_gauge("air_serve_warm_tables", &[], registry.len() as i64);
+        for ((vars, domain), entry) in registry.iter() {
+            let exec = entry.sem.exec_stats();
+            let closure = entry.proto.cache_stats();
+            for (layer, hits, misses) in [
+                ("exec", exec.hits, exec.misses),
+                ("closure", closure.hits, closure.misses),
+            ] {
+                if let Some(permille) = hits.saturating_mul(1000).checked_div(hits + misses) {
+                    self.metrics.set_gauge(
+                        "air_serve_cache_hit_permille",
+                        &[
+                            ("vars", vars.as_str()),
+                            ("domain", domain.as_str()),
+                            ("layer", layer),
+                        ],
+                        permille as i64,
+                    );
+                }
+            }
+        }
     }
 
     /// Total engine jobs completed (any status).
@@ -728,6 +857,82 @@ mod tests {
         // After a flush the next request is cold again.
         let resp = eng.handle(&req, &eng.admit(&req).unwrap());
         assert!(matches!(resp, Response::Verdict { warm: false, .. }));
+    }
+
+    #[test]
+    fn metrics_agree_with_stats_counters() {
+        // The differential check behind the serve-layer instrumentation:
+        // whatever the `stats` job reports must be recoverable from the
+        // metrics snapshot, so the two observability surfaces can never
+        // drift apart silently.
+        let eng = ServeEngine::with_metrics(None, Tracer::disabled(), MetricsRegistry::new());
+        let warm_req = job(ABSVAL);
+        let other = job(r#"{"id":"r9","job":"verify","tenant":"t1","vars":"y:0..3",
+               "code":"y := y + 1","pre":"y = 0","spec":"y = 1"}"#);
+        for req in [&warm_req, &warm_req, &warm_req, &other] {
+            eng.handle(req, &eng.admit(req).unwrap());
+        }
+        eng.refresh_gauges();
+        let snap = eng.metrics().snapshot();
+        assert_eq!(snap.counter_sum("air_serve_requests_total"), eng.served());
+        assert_eq!(
+            snap.counter_sum_where("air_serve_warm_lookups_total", "result", "hit"),
+            eng.warm_hits()
+        );
+        assert_eq!(
+            snap.gauge("air_serve_warm_tables", &[]),
+            Some(2),
+            "one table set per (vars, domain) key"
+        );
+        // Latency histograms split by temperature and cover every run.
+        let warm = snap
+            .histogram(
+                "air_serve_request_duration_ns",
+                &[("tenant", "anon"), ("temp", "warm")],
+            )
+            .expect("warm latency histogram");
+        assert_eq!(warm.count, 2);
+        let cold_anon = snap
+            .histogram(
+                "air_serve_request_duration_ns",
+                &[("tenant", "anon"), ("temp", "cold")],
+            )
+            .expect("cold latency histogram");
+        let cold_t1 = snap
+            .histogram(
+                "air_serve_request_duration_ns",
+                &[("tenant", "t1"), ("temp", "cold")],
+            )
+            .expect("t1 cold latency histogram");
+        assert_eq!(cold_anon.count + cold_t1.count, 2);
+        // Fuel accounting: spend shows up per tenant and every reserve
+        // was settled (spent <= reserved, both tenants present).
+        let spent = snap.counter_sum("air_serve_fuel_spent_total");
+        let reserved = snap.counter_sum("air_serve_fuel_reserved_total");
+        assert!(spent > 0, "engine runs burn fuel");
+        assert_eq!(reserved, 0, "unlimited quota reserves nothing up front");
+    }
+
+    #[test]
+    fn quota_rejections_are_counted_per_tenant() {
+        let eng = ServeEngine::with_metrics(Some(10), Tracer::disabled(), MetricsRegistry::new());
+        let over = job(r#"{"id":"m1","job":"verify","tenant":"t7","fuel":11,
+               "vars":"x:0..1","code":"skip","pre":"true","spec":"true"}"#);
+        assert!(eng.admit(&over).is_err());
+        assert!(eng.admit(&over).is_err());
+        let snap = eng.metrics().snapshot();
+        assert_eq!(
+            snap.counter(
+                "air_serve_rejects_total",
+                &[("tenant", "t7"), ("reason", "quota")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("air_serve_fuel_reserved_total", &[("tenant", "t7")]),
+            None,
+            "rejected admissions reserve nothing"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ fn read_length_line(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, FrameError>
         let n = match r.read(&mut byte) {
             Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Malformed(format!("cannot read length line: {e}"))),
+            Err(e) => {
+                return Err(FrameError::Malformed(format!(
+                    "cannot read length line: {e}"
+                )))
+            }
         };
         if n == 0 {
             if line.is_empty() {
@@ -209,6 +213,13 @@ pub enum Request {
         /// Request id.
         id: String,
     },
+    /// A full metrics snapshot (`schemas/metrics-snapshot.schema.json`)
+    /// as a JSON payload — the wire-protocol sibling of the
+    /// `--metrics-addr` Prometheus exposition.
+    Metrics {
+        /// Request id.
+        id: String,
+    },
     /// Drop every warm table (memo, interner, semantic caches).
     Flush {
         /// Request id.
@@ -322,6 +333,7 @@ pub fn parse_request(text: &str) -> Result<Request, ProtoError> {
     let kind = match job.as_str() {
         "ping" => return Ok(Request::Ping { id }),
         "stats" => return Ok(Request::Stats { id }),
+        "metrics" => return Ok(Request::Metrics { id }),
         "flush" => return Ok(Request::Flush { id }),
         "shutdown" => return Ok(Request::Shutdown { id }),
         "cancel" => {
@@ -341,7 +353,7 @@ pub fn parse_request(text: &str) -> Result<Request, ProtoError> {
         "repair" => JobKind::Repair,
         other => {
             return Err(ProtoError::usage(format!(
-                "unknown job `{other}` (known: verify, analyze, repair, ping, stats, flush, cancel, shutdown)"
+                "unknown job `{other}` (known: verify, analyze, repair, ping, stats, metrics, flush, cancel, shutdown)"
             )))
         }
     };
@@ -480,6 +492,35 @@ impl Response {
             Response::Alarms { .. } => "alarms",
             Response::Ok { .. } => "ok",
             Response::Error { .. } => "error",
+        }
+    }
+
+    /// Maps a response onto the completion-status taxonomy shared by
+    /// `request_completed` trace events and the
+    /// `air_serve_requests_total{status=...}` metric label: `ok` for any
+    /// successful frame, and `usage` / `budget` / `cancelled` /
+    /// `internal` following the error-code taxonomy.
+    pub fn status_name(&self) -> &'static str {
+        match self {
+            Response::Error { code: 2, .. } => "usage",
+            Response::Error {
+                code: 3,
+                reason: Some(r),
+                ..
+            } if r == "cancelled" => "cancelled",
+            Response::Error { code: 3, .. } => "budget",
+            Response::Error { .. } => "internal",
+            _ => "ok",
+        }
+    }
+
+    /// Whether the request hit a pre-warmed table set — `Some` only for
+    /// engine verdicts, which are the frames that carry a `warm` field.
+    /// Drives the `temp` label of the request-latency histogram.
+    pub fn warm_flag(&self) -> Option<bool> {
+        match self {
+            Response::Verdict { warm, .. } | Response::Alarms { warm, .. } => Some(*warm),
+            _ => None,
         }
     }
 

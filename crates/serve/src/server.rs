@@ -18,15 +18,28 @@ use crate::admission::JobQueue;
 use crate::engine::{Admitted, ServeEngine};
 use crate::protocol::{read_frame, write_frame, JobRequest, Request, Response};
 use air_lattice::Governor;
-use air_resilience::{RetryPolicy, Supervisor, TaskFailure, WorkerPool};
-use air_trace::{EventKind, Tracer};
+use air_metrics::MetricsRegistry;
+use air_resilience::{PoolStats, RetryPolicy, Supervisor, TaskFailure, WorkerPool};
+use air_trace::{EventKind, MetricsBridge, Tracer};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard from a poisoned lock. The
+/// daemon's shared mutexes guard plain data (a response writer, the
+/// in-flight governor map) whose invariants hold between statements, so
+/// a panic on another thread — already contained by the worker pool's
+/// supervisor — must not cascade into panics on every thread that
+/// touches the same lock afterwards. This is the serve-side arm of the
+/// panic-elimination policy: I/O and lock failures degrade to error
+/// responses or recovered guards, never to a daemon abort.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How a server run is configured (the CLI's `air serve` flags).
 #[derive(Clone, Debug)]
@@ -44,6 +57,12 @@ pub struct ServeConfig {
     pub max_frame: usize,
     /// Retry policy for panicking jobs.
     pub retry: RetryPolicy,
+    /// Whether the metrics plane collects at all (on by default; the
+    /// bench harness turns it off to measure its overhead).
+    pub metrics: bool,
+    /// Bind address for the Prometheus text exposition listener
+    /// (`None` = no listener; the `metrics` wire job still works).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +74,8 @@ impl Default for ServeConfig {
             quota: None,
             max_frame: crate::protocol::DEFAULT_MAX_FRAME,
             retry: RetryPolicy::default(),
+            metrics: true,
+            metrics_addr: None,
         }
     }
 }
@@ -103,6 +124,11 @@ struct Shared {
     shutdown: AtomicBool,
     aborts: AtomicU64,
     max_frame: usize,
+    /// The pool's live utilization counters, filled in right after the
+    /// pool starts (the pool's closures need `Shared` first).
+    pool_stats: OnceLock<Arc<PoolStats>>,
+    /// Worker threads configured, for the `air_serve_workers` gauge.
+    workers: usize,
 }
 
 impl Shared {
@@ -114,7 +140,25 @@ impl Shared {
     fn write_response(&self, out: &SharedWriter, resp: &Response) {
         // A vanished client is not a server error: the job already ran
         // and was charged; there is simply nobody left to tell.
-        let _ = write_frame(&mut *out.lock().unwrap(), &resp.to_json());
+        let _ = write_frame(&mut *lock_clean(out), &resp.to_json());
+    }
+
+    /// Refreshes every sampled-at-scrape gauge, then snapshots. Both the
+    /// `metrics` wire job and the exposition listener go through here,
+    /// so the two views always agree on what "current" means.
+    fn metrics_snapshot(&self) -> air_metrics::Snapshot {
+        let metrics = self.engine.metrics();
+        if metrics.is_enabled() {
+            self.engine.refresh_gauges();
+            metrics.set_gauge("air_serve_queue_depth", &[], self.queue.len() as i64);
+            metrics.set_gauge("air_serve_workers", &[], self.workers as i64);
+            if let Some(stats) = self.pool_stats.get() {
+                metrics.set_gauge("air_serve_workers_busy", &[], stats.busy() as i64);
+                metrics.set_gauge("air_serve_jobs_completed", &[], stats.completed() as i64);
+                metrics.set_gauge("air_serve_jobs_failed", &[], stats.failed() as i64);
+            }
+        }
+        metrics.snapshot()
     }
 
     /// Completes a request that never entered the in-flight registry
@@ -132,7 +176,7 @@ impl Shared {
     /// admission-to-response span.
     fn finish(&self, key: &InflightKey, received: Instant, out: &SharedWriter, resp: &Response) {
         self.write_response(out, resp);
-        self.inflight.lock().unwrap().remove(key);
+        lock_clean(&self.inflight).remove(key);
         self.emit_completed(&key.1, received, resp);
     }
 
@@ -140,7 +184,7 @@ impl Shared {
         let status = completion_status(resp);
         self.engine
             .tracer()
-            .emit_with(|| EventKind::RequestCompleted {
+            .emit_detail_with(|| EventKind::RequestCompleted {
                 id: id.to_string(),
                 status: status.to_string(),
                 duration_ns: received.elapsed().as_nanos() as u64,
@@ -148,19 +192,10 @@ impl Shared {
     }
 }
 
-/// Maps a response onto the `request_completed` status taxonomy.
+/// Maps a response onto the `request_completed` status taxonomy (the
+/// same taxonomy the metrics plane uses for its `status` label).
 fn completion_status(resp: &Response) -> &'static str {
-    match resp {
-        Response::Error { code: 2, .. } => "usage",
-        Response::Error {
-            code: 3,
-            reason: Some(r),
-            ..
-        } if r == "cancelled" => "cancelled",
-        Response::Error { code: 3, .. } => "budget",
-        Response::Error { .. } => "internal",
-        _ => "ok",
-    }
+    resp.status_name()
 }
 
 /// One reader loop: frames in, control-plane answers and job admissions
@@ -233,6 +268,16 @@ fn handle_frame(shared: &Arc<Shared>, text: &str, out: &SharedWriter) -> bool {
                 },
             );
         }
+        Request::Metrics { id } => {
+            shared.write_response(
+                out,
+                &Response::Ok {
+                    id,
+                    detail: "metrics".into(),
+                    stats: Some(shared.metrics_snapshot().to_json()),
+                },
+            );
+        }
         Request::Flush { id } => {
             let flushed = shared.engine.flush();
             shared.write_response(
@@ -249,7 +294,7 @@ fn handle_frame(shared: &Arc<Shared>, text: &str, out: &SharedWriter) -> bool {
             // declare the victim's tenant, so one tenant guessing
             // another's request ids cannot cancel their jobs.
             let key = (tenant, target);
-            let found = shared.inflight.lock().unwrap().get(&key).cloned();
+            let found = lock_clean(&shared.inflight).get(&key).cloned();
             let (tenant, target) = key;
             let detail = match found {
                 Some(governor) => {
@@ -301,7 +346,7 @@ fn admit_job(shared: &Arc<Shared>, request: JobRequest, out: &SharedWriter) {
     // uncancellable and the registry corrupted at removal time.
     {
         use std::collections::hash_map::Entry;
-        let mut inflight = shared.inflight.lock().unwrap();
+        let mut inflight = lock_clean(&shared.inflight);
         match inflight.entry(key.clone()) {
             Entry::Occupied(_) => {
                 drop(inflight);
@@ -393,15 +438,23 @@ fn fail_job(shared: &Arc<Shared>, job: Job, failure: TaskFailure) {
 /// `shutdown` frame / stdio EOF drain it.
 pub struct RunningServer {
     addr: Option<SocketAddr>,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     pool: WorkerPool,
     acceptor: Option<JoinHandle<()>>,
+    metrics_acceptor: Option<JoinHandle<()>>,
 }
 
 impl RunningServer {
     /// The bound TCP address, when the TCP transport is enabled.
     pub fn addr(&self) -> Option<SocketAddr> {
         self.addr
+    }
+
+    /// The bound Prometheus exposition address, when `--metrics-addr`
+    /// is configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Signals shutdown: intake stops, queued jobs still drain.
@@ -419,6 +472,9 @@ impl RunningServer {
         // the queue, but a stdio EOF path reaches here first.
         self.shared.queue.close();
         if let Some(acceptor) = self.acceptor {
+            let _ = acceptor.join();
+        }
+        if let Some(acceptor) = self.metrics_acceptor {
             let _ = acceptor.join();
         }
         self.pool.join();
@@ -443,15 +499,31 @@ pub fn start(config: ServeConfig, tracer: Tracer) -> Result<RunningServer, Strin
     if !config.stdio && config.tcp.is_none() {
         return Err("no transport enabled: pass --stdio and/or --tcp ADDR".into());
     }
+    let metrics = if config.metrics {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
+    // Engine-phase telemetry (span durations, cache events, budget
+    // exhaustions) arrives via the trace stream: a bridge sink rides
+    // next to whatever sink the operator configured, folding events
+    // into the same registry the serve-layer metrics land in.
+    let tracer = if metrics.is_enabled() {
+        tracer.tee(Arc::new(MetricsBridge::new(metrics.clone())))
+    } else {
+        tracer
+    };
+    let workers = config.workers.max(1);
     let shared = Arc::new(Shared {
-        engine: ServeEngine::new(config.quota, tracer),
+        engine: ServeEngine::with_metrics(config.quota, tracer, metrics),
         queue: JobQueue::new(),
         inflight: Mutex::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
         aborts: AtomicU64::new(0),
         max_frame: config.max_frame,
+        pool_stats: OnceLock::new(),
+        workers,
     });
-    let workers = config.workers.max(1);
     let pool = {
         let s_next = Arc::clone(&shared);
         let s_run = Arc::clone(&shared);
@@ -465,6 +537,27 @@ pub fn start(config: ServeConfig, tracer: Tracer) -> Result<RunningServer, Strin
             move |job, failure| fail_job(&s_fail, job, failure),
         )
     };
+    let _ = shared.pool_stats.set(pool.stats());
+    let mut metrics_addr = None;
+    let mut metrics_acceptor = None;
+    if let Some(bind) = &config.metrics_addr {
+        let listener = TcpListener::bind(bind)
+            .map_err(|e| format!("cannot bind metrics listener `{bind}`: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure metrics listener: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound metrics address: {e}"))?;
+        metrics_addr = Some(bound);
+        let shared = Arc::clone(&shared);
+        metrics_acceptor = Some(
+            std::thread::Builder::new()
+                .name("air-serve-metrics".into())
+                .spawn(move || metrics_accept_loop(&shared, &listener))
+                .map_err(|e| format!("cannot spawn metrics acceptor: {e}"))?,
+        );
+    }
     let mut addr = None;
     let mut acceptor = None;
     if let Some(bind) = &config.tcp {
@@ -504,13 +597,74 @@ pub fn start(config: ServeConfig, tracer: Tracer) -> Result<RunningServer, Strin
         (false, Some(a)) => format!("tcp={a}"),
         (false, None) => unreachable!("transport checked above"),
     };
-    eprintln!("air-serve listening {transports} workers={workers}");
+    match metrics_addr {
+        Some(m) => eprintln!("air-serve listening {transports} workers={workers} metrics={m}"),
+        None => eprintln!("air-serve listening {transports} workers={workers}"),
+    }
     Ok(RunningServer {
         addr,
+        metrics_addr,
         shared,
         pool,
         acceptor,
+        metrics_acceptor,
     })
+}
+
+/// Accept loop of the Prometheus exposition listener. Every connection
+/// gets one scrape answered inline — exposition traffic is rare (one
+/// request per scrape interval) and the render is cheap, so there is no
+/// per-connection thread.
+fn metrics_accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => answer_scrape(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Answers one scrape connection with a Prometheus text-format page.
+///
+/// The request side is deliberately forgiving: the listener reads until
+/// a blank line (the end of an HTTP request head), EOF, or a short
+/// timeout, then answers regardless of what arrived — so `curl`, a real
+/// Prometheus scraper, and a bare `nc HOST PORT < /dev/null` all get
+/// the page. Failures just drop the connection; a lost scrape must
+/// never disturb the daemon.
+fn answer_scrape(shared: &Arc<Shared>, mut stream: std::net::TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut buf = [0u8; 512];
+    let mut head: Vec<u8> = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                    || head.len() > 8192
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = shared.metrics_snapshot().to_prometheus();
+    let _ = write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.flush();
 }
 
 /// Non-blocking accept loop polling the shutdown flag between attempts;
@@ -706,6 +860,154 @@ mod tests {
                 .and_then(Value::as_str),
             Some("quota")
         );
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn metrics_job_agrees_with_stats_over_the_wire() {
+        let server = boot(None);
+        let mut client = Client::connect(server.addr().unwrap());
+        for i in 0..3 {
+            let doc = client.roundtrip(&format!(
+                r#"{{"id":"w{i}","job":"verify","vars":"x:-4..4",
+                   "code":"x := x + 1","pre":"x = 0","spec":"x = 1"}}"#
+            ));
+            assert_eq!(status(&doc), "proved");
+        }
+        let stats = client.roundtrip(r#"{"id":"s","job":"stats"}"#);
+        let served = stats
+            .get("stats")
+            .and_then(|s| s.get("served"))
+            .and_then(Value::as_num)
+            .unwrap();
+        let warm_hits = stats
+            .get("stats")
+            .and_then(|s| s.get("warm_hits"))
+            .and_then(Value::as_num)
+            .unwrap();
+        let doc = client.roundtrip(r#"{"id":"m","job":"metrics"}"#);
+        assert_eq!(status(&doc), "ok");
+        let snap = doc.get("stats").expect("metrics payload");
+        assert_eq!(
+            snap.get("schema").and_then(Value::as_str),
+            Some(air_metrics::SCHEMA_ID)
+        );
+        // Differential: the metrics snapshot recovers the stats counters.
+        let counters = snap.get("counters").and_then(Value::as_arr).unwrap();
+        let sum_where = |name: &str, key: &str, val: &str| -> f64 {
+            counters
+                .iter()
+                .filter(|c| {
+                    c.get("name").and_then(Value::as_str) == Some(name)
+                        && (key.is_empty()
+                            || c.get("labels")
+                                .and_then(|l| l.get(key))
+                                .and_then(Value::as_str)
+                                == Some(val))
+                })
+                .filter_map(|c| c.get("value").and_then(Value::as_num))
+                .sum()
+        };
+        assert_eq!(sum_where("air_serve_requests_total", "", ""), served);
+        assert_eq!(
+            sum_where("air_serve_warm_lookups_total", "result", "hit"),
+            warm_hits
+        );
+        // The sampled gauges are present and sane.
+        let gauges = snap.get("gauges").and_then(Value::as_arr).unwrap();
+        let gauge = |name: &str| -> Option<f64> {
+            gauges
+                .iter()
+                .find(|g| g.get("name").and_then(Value::as_str) == Some(name))
+                .and_then(|g| g.get("value").and_then(Value::as_num))
+        };
+        assert_eq!(gauge("air_serve_warm_tables"), Some(1.0));
+        assert_eq!(gauge("air_serve_workers"), Some(2.0));
+        assert_eq!(gauge("air_serve_queue_depth"), Some(0.0));
+        // Engine-phase histograms arrived through the trace bridge.
+        let histograms = snap.get("histograms").and_then(Value::as_arr).unwrap();
+        assert!(
+            histograms.iter().any(|h| {
+                h.get("name").and_then(Value::as_str) == Some("air_phase_duration_ns")
+            }),
+            "bridge must fold span exits into phase histograms"
+        );
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn exposition_listener_answers_prometheus_text() {
+        let server = start(
+            ServeConfig {
+                tcp: Some("127.0.0.1:0".into()),
+                metrics_addr: Some("127.0.0.1:0".into()),
+                ..ServeConfig::default()
+            },
+            Tracer::disabled(),
+        )
+        .expect("server boots");
+        let mut client = Client::connect(server.addr().unwrap());
+        let doc = client.roundtrip(
+            r#"{"id":"v","job":"verify","vars":"x:-4..4",
+               "code":"x := x + 1","pre":"x = 0","spec":"x = 1"}"#,
+        );
+        assert_eq!(status(&doc), "proved");
+        let scrape = |with_request: bool| -> String {
+            let mut s = TcpStream::connect(server.metrics_addr().unwrap()).expect("scrape");
+            if with_request {
+                s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+            } else {
+                // A bare `nc`-style probe: half-close the write side.
+                s.shutdown(std::net::Shutdown::Write).unwrap();
+            }
+            let mut page = String::new();
+            s.read_to_string(&mut page).expect("page");
+            page
+        };
+        for page in [scrape(true), scrape(false)] {
+            assert!(page.starts_with("HTTP/1.0 200 OK"), "{page}");
+            assert!(page.contains("text/plain; version=0.0.4"), "{page}");
+            assert!(
+                page.contains("# TYPE air_serve_requests_total counter"),
+                "{page}"
+            );
+            assert!(
+                page.contains("air_serve_request_duration_ns_bucket"),
+                "{page}"
+            );
+            assert!(page.contains("le=\"+Inf\""), "{page}");
+            assert!(page.contains("air_serve_warm_tables 1"), "{page}");
+        }
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn metrics_disabled_serves_empty_snapshot() {
+        let server = start(
+            ServeConfig {
+                tcp: Some("127.0.0.1:0".into()),
+                metrics: false,
+                ..ServeConfig::default()
+            },
+            Tracer::disabled(),
+        )
+        .expect("server boots");
+        let mut client = Client::connect(server.addr().unwrap());
+        client.roundtrip(
+            r#"{"id":"v","job":"verify","vars":"x:-4..4",
+               "code":"x := x + 1","pre":"x = 0","spec":"x = 1"}"#,
+        );
+        let doc = client.roundtrip(r#"{"id":"m","job":"metrics"}"#);
+        assert_eq!(status(&doc), "ok");
+        let counters = doc
+            .get("stats")
+            .and_then(|s| s.get("counters"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert!(counters.is_empty(), "disabled plane collects nothing");
         server.stop();
         server.join();
     }

@@ -244,8 +244,8 @@ fn cancel_is_tenant_scoped_and_duplicate_ids_are_rejected() {
     assert_eq!(doc.get("id").and_then(Value::as_str), Some("barrier2"));
     // Another tenant cannot cancel alice's job, even knowing its id.
     let mut canceller = Client::connect(addr);
-    let doc = canceller
-        .roundtrip(r#"{"id":"c1","job":"cancel","tenant":"mallory","target":"victim"}"#);
+    let doc =
+        canceller.roundtrip(r#"{"id":"c1","job":"cancel","tenant":"mallory","target":"victim"}"#);
     let detail = doc.get("detail").and_then(Value::as_str).unwrap_or("");
     assert!(detail.contains("no in-flight"), "{detail}");
     // The owning tenant can.

@@ -54,11 +54,11 @@ pub enum EventKind {
         blocks: usize,
     },
     /// Memo-table hit in `table` (exec/wlp/sat/closure/...).
-    CacheHit { table: String },
+    CacheHit { table: &'static str },
     /// Memo-table miss in `table`.
-    CacheMiss { table: String },
+    CacheMiss { table: &'static str },
     /// A memoization layer was deliberately skipped (e.g. small universe).
-    CacheBypass { table: String },
+    CacheBypass { table: &'static str },
     /// A named monotone counter increment.
     Counter { name: String, delta: u64 },
     /// Final verdict of a phase (`proved`, `refuted`, `true_alarm`, ...).
@@ -93,7 +93,7 @@ pub enum EventKind {
     TaskRetried { site: String, attempt: u64 },
     /// A memo-table shard poisoned by a panicking writer was quarantined:
     /// cleared and rebuilt, falling back to uncached evaluation.
-    ShardQuarantined { table: String, shard: u64 },
+    ShardQuarantined { table: &'static str, shard: u64 },
     /// A crash-safe checkpoint was atomically written after `items`
     /// completed units of work.
     CheckpointWritten { path: String, items: u64 },
@@ -376,15 +376,9 @@ mod tests {
                 splits: 2,
                 blocks: 6,
             },
-            EventKind::CacheHit {
-                table: "exec".into(),
-            },
-            EventKind::CacheMiss {
-                table: "exec".into(),
-            },
-            EventKind::CacheBypass {
-                table: "exec".into(),
-            },
+            EventKind::CacheHit { table: "exec" },
+            EventKind::CacheMiss { table: "exec" },
+            EventKind::CacheBypass { table: "exec" },
             EventKind::Counter {
                 name: "analysis_runs".into(),
                 delta: 1,
@@ -420,7 +414,7 @@ mod tests {
                 attempt: 1,
             },
             EventKind::ShardQuarantined {
-                table: "exec".into(),
+                table: "exec",
                 shard: 3,
             },
             EventKind::CheckpointWritten {
@@ -451,7 +445,7 @@ mod tests {
 
     #[test]
     fn cache_telemetry_predicate_matches_exactly_the_cache_kinds() {
-        let hit = EventKind::CacheHit { table: "t".into() };
+        let hit = EventKind::CacheHit { table: "t" };
         let span = EventKind::SpanEnter { phase: "p".into() };
         assert!(hit.is_cache_telemetry());
         assert!(!span.is_cache_telemetry());

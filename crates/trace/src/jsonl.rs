@@ -159,9 +159,7 @@ mod tests {
         {
             let t = Tracer::new(Arc::new(JsonlSink::from_writer(Box::new(buf.clone()))));
             let _span = t.span(|| "phase".into());
-            t.emit(EventKind::CacheHit {
-                table: "exec".into(),
-            });
+            t.emit(EventKind::CacheHit { table: "exec" });
         }
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -218,9 +216,7 @@ mod tests {
         sink.record(&Event {
             seq: 0,
             t_ns: 0,
-            kind: EventKind::CacheHit {
-                table: "exec".into(),
-            },
+            kind: EventKind::CacheHit { table: "exec" },
         });
         sink.flush().expect("recovered sink flushes clean");
         assert!(!sink.out.is_poisoned(), "poison must be cleared");
@@ -236,9 +232,7 @@ mod tests {
         sink.record(&Event {
             seq: 0,
             t_ns: 0,
-            kind: EventKind::CacheHit {
-                table: "exec".into(),
-            },
+            kind: EventKind::CacheHit { table: "exec" },
         });
         sink.flush().expect("no error on a healthy writer");
         assert!(sink.take_error().is_none());

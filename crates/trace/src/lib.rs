@@ -1,6 +1,9 @@
 //! # air-trace — structured event tracing and phase profiling
 //!
-//! Zero-dependency observability substrate for the AIR engine. The
+//! Dependency-light observability substrate for the AIR engine (its
+//! only dependency is the workspace's own zero-dependency
+//! `air-metrics`, which supplies the histogram type behind
+//! [`PhaseStat`] percentiles and the [`MetricsBridge`] sink). The
 //! pipeline (verifier, forward/backward repair, LCL_A derivations,
 //! CEGAR) reports every interesting step as a typed [`Event`] through a
 //! [`Tracer`] handle; sinks turn the stream into a JSONL log
@@ -35,9 +38,11 @@
 //! | [`jsonl`] | [`JsonlSink`] file/writer sink |
 //! | [`profile`] | [`Profiler`] aggregating sink |
 //! | [`summary`] | [`Summary`] aggregates + table renderer (`air trace summarize`) |
+//! | [`bridge`] | [`MetricsBridge`] sink folding span exits into metric histograms |
 //! | [`dot`] | [`DotBuilder`] Graphviz export |
 //! | [`json`] | dependency-free JSON escape/parse helpers |
 
+pub mod bridge;
 pub mod dot;
 pub mod event;
 pub mod json;
@@ -46,6 +51,7 @@ pub mod profile;
 pub mod summary;
 pub mod tracer;
 
+pub use bridge::{MetricsBridge, PHASE_DURATION_METRIC};
 pub use dot::{DotBuilder, NodeId};
 pub use event::{Event, EventKind, KNOWN_KINDS};
 pub use jsonl::JsonlSink;

@@ -59,9 +59,7 @@ mod tests {
         let t = Tracer::new(profiler.clone());
         for _ in 0..3 {
             let _span = t.span(|| "work".into());
-            t.emit(EventKind::CacheMiss {
-                table: "wlp".into(),
-            });
+            t.emit(EventKind::CacheMiss { table: "wlp" });
         }
         t.emit(EventKind::Counter {
             name: "widenings".into(),

@@ -3,15 +3,29 @@
 //! sink or after the fact from a JSONL file (`air trace summarize`).
 
 use crate::json::{self, Value};
+use air_metrics::Histogram;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Per-phase aggregate: how many times the phase ran and its total
-/// wall-clock time (sum over all spans, including nested ones).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Per-phase aggregate: how many times the phase ran, its total
+/// wall-clock time (sum over all spans, including nested ones), and a
+/// log2-bucket histogram of per-span durations for the p50/p90/p99
+/// columns. The histogram is `air_metrics::Histogram`, the same code
+/// that backs the serve metrics plane, so `air trace summarize` and a
+/// scraped daemon report quantiles with identical semantics (bucket
+/// upper bounds, ≤ 2x relative error).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseStat {
     pub count: u64,
     pub total_ns: u64,
+    pub durations: Histogram,
+}
+
+impl PhaseStat {
+    /// Upper-bound estimate of the `q`-quantile of span durations, ns.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.durations.quantile(q)
+    }
 }
 
 /// Aggregated trace statistics; renderable as a text table.
@@ -34,6 +48,7 @@ impl Summary {
         let stat = self.phases.entry(phase.to_string()).or_default();
         stat.count += 1;
         stat.total_ns += duration_ns;
+        stat.durations.observe(duration_ns);
     }
 
     pub fn record_counter(&mut self, name: &str, delta: u64) {
@@ -93,87 +108,89 @@ impl Summary {
             .collect()
     }
 
-    /// Render the per-phase time/count table plus event-kind and counter
-    /// tables as aligned plain text.
+    /// Render the per-phase time/count/percentile table plus event-kind
+    /// and counter tables as aligned plain text.
     pub fn render(&self) -> String {
+        let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
         let mut out = String::new();
         let _ = writeln!(out, "{} events", self.events);
         if !self.phases.is_empty() {
             out.push('\n');
             render_table(
                 &mut out,
-                ("phase", "count", "total ms"),
-                self.phases.iter().map(|(name, stat)| {
-                    (
-                        name.clone(),
-                        stat.count.to_string(),
-                        format!("{:.3}", stat.total_ns as f64 / 1e6),
-                    )
-                }),
+                &["phase", "count", "total ms", "p50 ms", "p90 ms", "p99 ms"],
+                self.phases
+                    .iter()
+                    .map(|(name, stat)| {
+                        vec![
+                            name.clone(),
+                            stat.count.to_string(),
+                            ms(stat.total_ns),
+                            ms(stat.quantile_ns(0.50)),
+                            ms(stat.quantile_ns(0.90)),
+                            ms(stat.quantile_ns(0.99)),
+                        ]
+                    })
+                    .collect(),
             );
         }
         if !self.kinds.is_empty() {
             out.push('\n');
             render_table(
                 &mut out,
-                ("event kind", "count", ""),
+                &["event kind", "count"],
                 self.kinds
                     .iter()
-                    .map(|(kind, n)| (kind.clone(), n.to_string(), String::new())),
+                    .map(|(kind, n)| vec![kind.clone(), n.to_string()])
+                    .collect(),
             );
         }
         if !self.counters.is_empty() {
             out.push('\n');
             render_table(
                 &mut out,
-                ("counter", "total", ""),
+                &["counter", "total"],
                 self.counters
                     .iter()
-                    .map(|(name, n)| (name.clone(), n.to_string(), String::new())),
+                    .map(|(name, n)| vec![name.clone(), n.to_string()])
+                    .collect(),
             );
         }
         out
     }
 }
 
-/// Three-column left/right/right table; the third column is dropped when
-/// every cell (and the header) is empty.
-fn render_table(
-    out: &mut String,
-    headers: (&str, &str, &str),
-    rows: impl Iterator<Item = (String, String, String)>,
-) {
-    let rows: Vec<(String, String, String)> = rows.collect();
-    let three = !headers.2.is_empty() || rows.iter().any(|r| !r.2.is_empty());
-    let w0 = rows
-        .iter()
-        .map(|r| r.0.len())
-        .chain([headers.0.len()])
-        .max()
-        .unwrap_or(0);
-    let w1 = rows
-        .iter()
-        .map(|r| r.1.len())
-        .chain([headers.1.len()])
-        .max()
-        .unwrap_or(0);
-    let w2 = rows
-        .iter()
-        .map(|r| r.2.len())
-        .chain([headers.2.len()])
-        .max()
-        .unwrap_or(0);
-    let mut line = |c0: &str, c1: &str, c2: &str| {
-        if three {
-            let _ = writeln!(out, "{c0:<w0$}  {c1:>w1$}  {c2:>w2$}");
-        } else {
-            let _ = writeln!(out, "{c0:<w0$}  {c1:>w1$}");
+/// Aligned plain-text table: first column left-aligned, the rest
+/// right-aligned. Rows shorter than the header are padded with empties.
+fn render_table(out: &mut String, headers: &[&str], rows: Vec<Vec<String>>) {
+    let cols = headers.len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| {
+            rows.iter()
+                .map(|r| r.get(c).map_or(0, String::len))
+                .chain([headers[c].len()])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut line = |cells: &[String]| {
+        for (c, w) in widths.iter().enumerate() {
+            let cell = cells.get(c).map_or("", String::as_str);
+            if c > 0 {
+                out.push_str("  ");
+            }
+            let _ = if c == 0 {
+                write!(out, "{cell:<w$}")
+            } else {
+                write!(out, "{cell:>w$}")
+            };
         }
+        out.push('\n');
     };
-    line(headers.0, headers.1, headers.2);
-    line(&"-".repeat(w0), &"-".repeat(w1), &"-".repeat(w2));
-    for (c0, c1, c2) in &rows {
-        line(c0, c1, c2);
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in &rows {
+        line(row);
     }
 }
 
@@ -194,18 +211,35 @@ mod tests {
         assert_eq!(s.kinds["cache_hit"], 1);
         assert_eq!(s.kinds["span_exit"], 2);
         assert_eq!(s.counters["runs"], 2);
-        assert_eq!(
-            s.phases["p"],
-            PhaseStat {
-                count: 2,
-                total_ns: 3_000_000
-            }
-        );
+        assert_eq!(s.phases["p"].count, 2);
+        assert_eq!(s.phases["p"].total_ns, 3_000_000);
         assert_eq!(s.phase_ms(), vec![("p".to_string(), 3.0)]);
         let table = s.render();
         assert!(table.contains("phase"), "{table}");
         assert!(table.contains("3.000"), "{table}");
         assert!(table.contains("cache_hit"), "{table}");
+    }
+
+    #[test]
+    fn phase_percentiles_come_from_the_shared_histogram() {
+        let mut s = Summary::default();
+        // 99 fast spans (~1ms, log2 bucket ub 1_048_575 ns) and one slow
+        // outlier (~1s, bucket ub 1_073_741_823 ns): the median stays in
+        // the fast bucket, p99 lands on it too (rank 100*0.99 = 99), and
+        // only the max reaches the outlier bucket.
+        for _ in 0..99 {
+            s.record_span_exit("p", 1_000_000);
+        }
+        s.record_span_exit("p", 1_000_000_000);
+        let stat = &s.phases["p"];
+        assert_eq!(stat.quantile_ns(0.50), (1 << 20) - 1);
+        assert_eq!(stat.quantile_ns(0.99), (1 << 20) - 1);
+        assert_eq!(stat.quantile_ns(1.0), (1 << 30) - 1);
+        let table = s.render();
+        assert!(table.contains("p50 ms"), "{table}");
+        assert!(table.contains("p99 ms"), "{table}");
+        // 1_048_575 ns renders as 1.049 ms in the p50 column.
+        assert!(table.contains("1.049"), "{table}");
     }
 
     #[test]

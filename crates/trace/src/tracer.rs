@@ -16,12 +16,39 @@ use std::time::Instant;
 /// be thread-safe: parallel sweeps share one sink across workers.
 pub trait Sink: Send + Sync {
     fn record(&self, event: &Event);
+
+    /// Whether this sink reads `Event::seq` / `Event::t_ns`. Defaults to
+    /// `true`. A purely aggregating sink (e.g. the metrics bridge) can
+    /// return `false`; when *every* attached sink declines, the tracer
+    /// skips the per-event clock read and sequence stamp and delivers
+    /// events with `seq == 0` and `t_ns == 0`. Span durations are not
+    /// affected — spans measure their own elapsed time.
+    fn wants_timestamps(&self) -> bool {
+        true
+    }
+
+    /// Whether this sink consumes high-frequency *detail* events —
+    /// derivation rules, shell points, incompleteness witnesses,
+    /// verdicts, counters, span enters — whose payloads render
+    /// expressions and allocate. Defaults to `true`. The metrics bridge
+    /// aggregates a small closed set of events and returns `false`;
+    /// when every attached sink declines, [`Tracer::emit_detail_with`]
+    /// never runs its payload closure, so a daemon that traces only
+    /// into metrics skips the rendering cost entirely.
+    fn wants_detail(&self) -> bool {
+        true
+    }
 }
 
 struct Inner {
     sink: Arc<dyn Sink>,
     seq: AtomicU64,
     epoch: Instant,
+    /// Cached `sink.wants_timestamps()`: consulted on every event, and
+    /// sinks never change their answer after construction.
+    stamp: bool,
+    /// Cached `sink.wants_detail()`, same lifecycle as `stamp`.
+    detail: bool,
 }
 
 /// Cheap handle to a trace sink; `Tracer::default()` is disabled.
@@ -38,11 +65,15 @@ impl Tracer {
 
     /// A tracer forwarding to `sink`, with its epoch set to now.
     pub fn new(sink: Arc<dyn Sink>) -> Self {
+        let stamp = sink.wants_timestamps();
+        let detail = sink.wants_detail();
         Tracer {
             inner: Some(Arc::new(Inner {
                 sink,
                 seq: AtomicU64::new(0),
                 epoch: Instant::now(),
+                stamp,
+                detail,
             })),
         }
     }
@@ -50,6 +81,23 @@ impl Tracer {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A tracer that feeds `extra` *in addition to* whatever this tracer
+    /// already feeds: the way `air serve` attaches a metrics bridge next
+    /// to an operator-requested JSONL sink without knowing what that
+    /// sink is. If `self` is disabled the result records to `extra`
+    /// alone. The returned tracer is a fresh handle (own epoch and
+    /// sequence counter); clones of `self` keep recording to the
+    /// original sink only.
+    pub fn tee(&self, extra: Arc<dyn Sink>) -> Tracer {
+        match &self.inner {
+            None => Tracer::new(extra),
+            Some(inner) => Tracer::new(Arc::new(MultiSink::new(vec![
+                Arc::clone(&inner.sink),
+                extra,
+            ]))),
+        }
     }
 
     /// Emit one event. When disabled this is a single branch.
@@ -69,6 +117,21 @@ impl Tracer {
         }
     }
 
+    /// Like [`emit_with`](Self::emit_with), for *detail* events no
+    /// aggregating sink consumes (see [`Sink::wants_detail`]): the
+    /// closure additionally does not run when every attached sink has
+    /// declined detail. Engines use this for derivation-rule, shell,
+    /// witness, verdict and counter events; aggregated events (cache
+    /// traffic, budget exhaustion, span exits) keep `emit_with`.
+    #[inline]
+    pub fn emit_detail_with(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(inner) = &self.inner {
+            if inner.detail {
+                inner.record(kind());
+            }
+        }
+    }
+
     /// Enter a named phase; the returned guard emits `span_exit` with the
     /// measured duration when dropped. The phase name closure only runs
     /// when tracing is enabled, so hot paths pay no formatting cost.
@@ -78,9 +141,13 @@ impl Tracer {
             None => Span { active: None },
             Some(inner) => {
                 let phase = phase();
-                inner.record(EventKind::SpanEnter {
-                    phase: phase.clone(),
-                });
+                // `span_enter` is pure detail: only the paired exit
+                // carries the measured duration the bridge aggregates.
+                if inner.detail {
+                    inner.record(EventKind::SpanEnter {
+                        phase: phase.clone(),
+                    });
+                }
                 Span {
                     active: Some(ActiveSpan {
                         inner: Arc::clone(inner),
@@ -103,11 +170,15 @@ impl std::fmt::Debug for Tracer {
 
 impl Inner {
     fn record(&self, kind: EventKind) {
-        let event = Event {
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            t_ns: self.epoch.elapsed().as_nanos() as u64,
-            kind,
+        let (seq, t_ns) = if self.stamp {
+            (
+                self.seq.fetch_add(1, Ordering::Relaxed),
+                self.epoch.elapsed().as_nanos() as u64,
+            )
+        } else {
+            (0, 0)
         };
+        let event = Event { seq, t_ns, kind };
         self.sink.record(&event);
     }
 }
@@ -127,10 +198,8 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
             let duration_ns = active.start.elapsed().as_nanos() as u64;
-            active.inner.record(EventKind::SpanExit {
-                phase: active.phase.clone(),
-                duration_ns,
-            });
+            let ActiveSpan { inner, phase, .. } = active;
+            inner.record(EventKind::SpanExit { phase, duration_ns });
         }
     }
 }
@@ -201,6 +270,16 @@ impl MultiSink {
 }
 
 impl Sink for MultiSink {
+    /// A fan-out stamps events iff any child wants them stamped.
+    fn wants_timestamps(&self) -> bool {
+        self.sinks.iter().any(|s| s.sink.wants_timestamps())
+    }
+
+    /// A fan-out carries detail events iff any child wants them.
+    fn wants_detail(&self) -> bool {
+        self.sinks.iter().any(|s| s.sink.wants_detail())
+    }
+
     fn record(&self, event: &Event) {
         for slot in &self.sinks {
             if slot.disabled.load(Ordering::Relaxed) {
@@ -293,6 +372,36 @@ mod tests {
         fn record(&self, _event: &Event) {
             panic!("observer crashed");
         }
+    }
+
+    /// Buffers like `MemorySink` but declines timestamps.
+    #[derive(Default)]
+    struct StamplessSink(Mutex<Vec<Event>>);
+    impl Sink for StamplessSink {
+        fn wants_timestamps(&self) -> bool {
+            false
+        }
+        fn record(&self, event: &Event) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn stampless_sinks_skip_the_clock_but_teeing_a_stamped_sink_restores_it() {
+        let quiet = Arc::new(StamplessSink::default());
+        let t = Tracer::new(quiet.clone());
+        t.emit(EventKind::Widening { site: "a".into() });
+        t.emit(EventKind::Widening { site: "b".into() });
+        let events = std::mem::take(&mut *quiet.0.lock().unwrap());
+        assert!(events.iter().all(|e| e.seq == 0 && e.t_ns == 0));
+
+        // Tee in a sink that wants timestamps: the fan-out stamps again.
+        let full = Arc::new(MemorySink::new());
+        let t2 = t.tee(full.clone());
+        t2.emit(EventKind::Widening { site: "c".into() });
+        t2.emit(EventKind::Widening { site: "d".into() });
+        let seqs: Vec<u64> = full.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1]);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The focused repair benchmark and the CI `perf-smoke` gate.
+//!
+//! ```text
+//! bench_repair                              # full suite; rewrites BENCH_repair.json
+//! bench_repair --edit-loop                  # edit-loop section only, no file write
+//! bench_repair --require-sweep-speedup 5.0  # exit 1 unless the warm corpus
+//!                                           # sweep beats uncached-sequential 5x
+//! bench_repair --no-write                   # never touch BENCH_repair.json
+//! ```
+//!
+//! All measurements come from `air_bench::repair_bench`, the same module
+//! `bench_tables` drives for tables T9/T10 — the two binaries cannot
+//! disagree on protocol. The edit-loop section always enforces its own
+//! sublinearity bar: re-verifying every single-statement edit through a
+//! warm [`air_core::RepairSession`] must beat from-scratch verification
+//! on the corpus total, or the process exits 1.
+
+use std::process::ExitCode;
+
+use air_bench::repair_bench::{self, measure_edit_loop, measure_sweep};
+use air_bench::verification_corpus;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_repair [--edit-loop] [--require-sweep-speedup X] [--no-write]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut edit_loop_only = false;
+    let mut require_sweep: Option<f64> = None;
+    let mut no_write = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--edit-loop" => edit_loop_only = true,
+            "--no-write" => no_write = true,
+            "--require-sweep-speedup" => {
+                let Some(x) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                require_sweep = Some(x);
+            }
+            _ => return usage(),
+        }
+    }
+    let corpus = verification_corpus();
+    let mut failed = false;
+
+    if edit_loop_only {
+        println!("bench_repair — incremental edit loop (corpus/)");
+        let rows = measure_edit_loop(&corpus);
+        repair_bench::print_edit_loop(&rows);
+        failed |= !check_edit_loop(&rows);
+        if let Some(bar) = require_sweep {
+            let sweep = measure_sweep(&corpus);
+            repair_bench::print_sweep(&sweep);
+            failed |= !check_sweep(&sweep, bar);
+        }
+    } else {
+        println!("bench_repair — memoized repair vs the uncached baseline (corpus/)");
+        let bench = repair_bench::measure_all();
+        repair_bench::print_programs(&bench.programs);
+        repair_bench::print_sweep(&bench.sweep);
+        println!("\nincremental edit loop:");
+        repair_bench::print_edit_loop(&bench.edit_loop);
+        println!(
+            "governor overhead: ungoverned {:.3} ms, governed {:.3} ms ({:+.2}%)",
+            bench.governor.ungoverned_ms,
+            bench.governor.governed_ms,
+            bench.governor.overhead_pct()
+        );
+        failed |= !check_edit_loop(&bench.edit_loop);
+        if let Some(bar) = require_sweep {
+            failed |= !check_sweep(&bench.sweep, bar);
+        }
+        if !no_write && !failed {
+            repair_bench::write_json("BENCH_repair.json", &bench);
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The tentpole gate: warm corpus sweep vs uncached-sequential.
+fn check_sweep(sweep: &repair_bench::SweepResult, bar: f64) -> bool {
+    let ok = sweep.speedup() >= bar;
+    if !ok {
+        eprintln!(
+            "FAIL: corpus sweep speedup {:.2}x is below the required {bar:.2}x",
+            sweep.speedup()
+        );
+    }
+    ok
+}
+
+/// The sublinearity bar: the warm edit loop must beat from-scratch on
+/// the corpus total (per-program times are too small to gate singly on
+/// a one-core box).
+fn check_edit_loop(rows: &[repair_bench::EditLoopRow]) -> bool {
+    let warm: f64 = rows.iter().map(|r| r.warm_ms).sum();
+    let scratch: f64 = rows.iter().map(|r| r.scratch_ms).sum();
+    let ok = warm < scratch;
+    if !ok {
+        eprintln!(
+            "FAIL: warm edit loop ({warm:.3} ms) did not beat from-scratch ({scratch:.3} ms)"
+        );
+    }
+    ok
+}

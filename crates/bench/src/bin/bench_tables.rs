@@ -3,8 +3,7 @@
 //!
 //! Run with `cargo run -p air-bench --bin bench_tables --release`.
 
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use air_bench::{
     absval_program, alarm_corpus, branch_chain_program, branch_chain_workload, countdown_program,
@@ -15,8 +14,6 @@ use air_cegar::driver::{Cegar, Heuristic};
 use air_core::{BackwardRepair, EnumDomain, ForwardRepair, Verifier};
 use air_domains::BooleanPredicateDomain;
 use air_lang::{parse_bexp, Universe};
-use air_lattice::{Budget, Governor};
-use air_trace::{Profiler, Tracer};
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -447,227 +444,28 @@ fn t8_random_corpus() {
 }
 
 /// One corpus program's cached-vs-uncached measurement.
-struct RepairBenchRow {
-    name: String,
-    proved: bool,
-    points: usize,
-    uncached_ms: f64,
-    cached_ms: f64,
-    exec_hits: u64,
-    exec_misses: u64,
-    exec_bypasses: u64,
-    closure_hits: u64,
-    closure_misses: u64,
-    /// Per-phase wall time from one traced run (phase name, milliseconds),
-    /// measured outside the timed loops so tracing never pollutes them.
-    phase_ms: Vec<(String, f64)>,
-}
-
-impl RepairBenchRow {
-    fn speedup(&self) -> f64 {
-        if self.cached_ms > 0.0 {
-            self.uncached_ms / self.cached_ms
-        } else {
-            1.0
-        }
-    }
-}
-
-fn json_rate(hits: u64, misses: u64) -> f64 {
-    let lookups = hits + misses;
-    if lookups == 0 {
-        0.0
-    } else {
-        hits as f64 / lookups as f64
-    }
-}
-
-/// T9 — the memoization benchmark behind `BENCH_repair.json`: for each
-/// corpus program, backward repair with the semantic caches disabled (the
-/// seed's sequential path) vs enabled, best-of-`RUNS` wall times, plus a
-/// whole-corpus sweep sequential-uncached vs parallel-cached. Caches are
-/// built fresh for every run, so hit counts measure within-run reuse only.
-fn t9_repair_benchmark() -> String {
-    const RUNS: usize = 7;
-    const SWEEP_RUNS: usize = 3;
+/// T9 — the memoization benchmark behind `BENCH_repair.json`, measured
+/// by `air_bench::repair_bench` (shared with the `bench_repair` binary
+/// and the CI `perf-smoke` gate): per-program uncached vs cold-cached vs
+/// steady-state repair, the warm corpus sweep, and the incremental edit
+/// loop through `RepairSession`.
+fn t9_repair_benchmark() -> air_bench::repair_bench::RepairBench {
     println!("\nT9 — memoized repair vs the uncached baseline (corpus/)");
     let corpus = air_bench::verification_corpus();
-    let mut rows: Vec<RepairBenchRow> = Vec::new();
-    for task in &corpus {
-        let mut uncached_ms = f64::INFINITY;
-        for _ in 0..RUNS {
-            let dom = int_domain(&task.universe);
-            let (v, ms) = timed(|| {
-                Verifier::uncached(&task.universe)
-                    .backward(dom, &task.prog, &task.pre, &task.spec)
-                    .expect("corpus program verifies")
-            });
-            assert!(v.is_proved(), "{}", task.name);
-            uncached_ms = uncached_ms.min(ms);
-        }
-        let mut cached_ms = f64::INFINITY;
-        let mut row = None;
-        for _ in 0..RUNS {
-            let dom = int_domain(&task.universe);
-            let verifier = Verifier::new(&task.universe);
-            let (v, ms) = timed(|| {
-                verifier
-                    .backward(dom, &task.prog, &task.pre, &task.spec)
-                    .expect("corpus program verifies")
-            });
-            cached_ms = cached_ms.min(ms);
-            let sem_cache = verifier.cache().expect("cached verifier");
-            let exec = sem_cache.exec_stats();
-            let bypasses = sem_cache.bypass_count();
-            let closure = v.domain().cache_stats();
-            row = Some(RepairBenchRow {
-                name: task.name.clone(),
-                proved: v.is_proved(),
-                points: v.added_points().len(),
-                uncached_ms,
-                cached_ms: 0.0,
-                exec_hits: exec.hits,
-                exec_misses: exec.misses,
-                exec_bypasses: bypasses,
-                closure_hits: closure.hits,
-                closure_misses: closure.misses,
-                phase_ms: Vec::new(),
-            });
-        }
-        let mut row = row.expect("at least one run");
-        row.cached_ms = cached_ms;
-        // One extra traced run, after the timed ones, to attribute wall
-        // time to pipeline phases (verify/repair/lcl spans).
-        let profiler = Arc::new(Profiler::new());
-        let dom = int_domain(&task.universe);
-        let v = Verifier::new(&task.universe)
-            .tracer(Tracer::new(profiler.clone()))
-            .backward(dom, &task.prog, &task.pre, &task.spec)
-            .expect("corpus program verifies");
-        assert!(v.is_proved(), "{}", task.name);
-        row.phase_ms = profiler.summary().phase_ms();
-        rows.push(row);
+    let programs = air_bench::repair_bench::measure_programs(&corpus);
+    air_bench::repair_bench::print_programs(&programs);
+    let sweep = air_bench::repair_bench::measure_sweep(&corpus);
+    air_bench::repair_bench::print_sweep(&sweep);
+    println!("\nincremental edit loop (warm RepairSession vs from-scratch):");
+    let edit_loop = air_bench::repair_bench::measure_edit_loop(&corpus);
+    air_bench::repair_bench::print_edit_loop(&edit_loop);
+    let governor = air_bench::repair_bench::measure_governor(&corpus);
+    air_bench::repair_bench::RepairBench {
+        programs,
+        sweep,
+        edit_loop,
+        governor,
     }
-
-    let sweep_jobs = air_lattice::available_jobs();
-    let mut sweep_uncached_ms = f64::INFINITY;
-    for _ in 0..SWEEP_RUNS {
-        let (_, ms) = timed(|| {
-            for task in &corpus {
-                let dom = int_domain(&task.universe);
-                let v = Verifier::uncached(&task.universe)
-                    .backward(dom, &task.prog, &task.pre, &task.spec)
-                    .expect("corpus program verifies");
-                assert!(v.is_proved());
-            }
-        });
-        sweep_uncached_ms = sweep_uncached_ms.min(ms);
-    }
-    let mut sweep_cached_ms = f64::INFINITY;
-    for _ in 0..SWEEP_RUNS {
-        let (results, ms) = timed(|| {
-            air_lattice::par_map(sweep_jobs, &corpus, |task| {
-                let dom = int_domain(&task.universe);
-                Verifier::new(&task.universe)
-                    .backward(dom, &task.prog, &task.pre, &task.spec)
-                    .expect("corpus program verifies")
-                    .is_proved()
-            })
-        });
-        assert!(results.iter().all(|&p| p));
-        sweep_cached_ms = sweep_cached_ms.min(ms);
-    }
-    let sweep_speedup = sweep_uncached_ms / sweep_cached_ms.max(1e-9);
-
-    let widths = [14, 14, 12, 10, 16, 16];
-    println!(
-        "{}",
-        table_row(
-            &[
-                "program".into(),
-                "uncached ms".into(),
-                "cached ms".into(),
-                "speedup".into(),
-                "exec hit rate".into(),
-                "closure hit rate".into(),
-            ],
-            &widths
-        )
-    );
-    for row in &rows {
-        println!(
-            "{}",
-            table_row(
-                &[
-                    row.name.clone(),
-                    format!("{:.3}", row.uncached_ms),
-                    format!("{:.3}", row.cached_ms),
-                    format!("{:.2}x", row.speedup()),
-                    if row.exec_hits + row.exec_misses == 0 && row.exec_bypasses > 0 {
-                        format!("bypass ({})", row.exec_bypasses)
-                    } else {
-                        format!("{:.1}%", 100.0 * json_rate(row.exec_hits, row.exec_misses))
-                    },
-                    format!(
-                        "{:.1}%",
-                        100.0 * json_rate(row.closure_hits, row.closure_misses)
-                    ),
-                ],
-                &widths
-            )
-        );
-    }
-    println!(
-        "corpus sweep ({} jobs): sequential uncached {:.3} ms, parallel cached {:.3} ms ({:.2}x)",
-        sweep_jobs, sweep_uncached_ms, sweep_cached_ms, sweep_speedup
-    );
-
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"repair\",\n");
-    json.push_str(&format!("  \"cores\": {},\n", sweep_jobs));
-    json.push_str(&format!("  \"runs_per_measurement\": {RUNS},\n"));
-    json.push_str("  \"programs\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let phase_ms = row
-            .phase_ms
-            .iter()
-            .map(|(phase, ms)| format!("\"{phase}\": {ms:.3}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"proved\": {}, \"points\": {}, \
-             \"uncached_ms\": {:.3}, \"cached_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"exec_cache\": {{\"hits\": {}, \"misses\": {}, \"bypasses\": {}, \"hit_rate\": {:.3}}}, \
-             \"closure_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}, \
-             \"phase_ms\": {{{}}}}}{}\n",
-            row.name,
-            row.proved,
-            row.points,
-            row.uncached_ms,
-            row.cached_ms,
-            row.speedup(),
-            row.exec_hits,
-            row.exec_misses,
-            row.exec_bypasses,
-            json_rate(row.exec_hits, row.exec_misses),
-            row.closure_hits,
-            row.closure_misses,
-            json_rate(row.closure_hits, row.closure_misses),
-            phase_ms,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"corpus_sweep\": {{\"programs\": {}, \"jobs\": {}, \
-         \"sequential_uncached_ms\": {:.3}, \"parallel_cached_ms\": {:.3}, \"speedup\": {:.3}}},\n",
-        rows.len(),
-        sweep_jobs,
-        sweep_uncached_ms,
-        sweep_cached_ms,
-        sweep_speedup
-    ));
-    json
 }
 
 /// T10 — governor overhead: the whole corpus verified backward with no
@@ -676,73 +474,19 @@ fn t9_repair_benchmark() -> String {
 /// full cost (atomic tick + fuel compare + strided clock sample). The
 /// engines' contract is that a `--fuel`/`--timeout-ms` run you never
 /// exhaust costs the same run you'd have had without the flags; this table
-/// holds the regression bar (< 2% overhead). Appends its rows to the
-/// `BENCH_repair.json` body started by T9 and writes the file.
-fn t10_governor_overhead(mut json: String) {
-    const RUNS: usize = 9;
+/// holds the regression bar (< 2% overhead). Writes `BENCH_repair.json`
+/// with every measured section, carrying the fuzz-campaign row (T11,
+/// produced by `air fuzz run`) across reruns.
+fn t10_governor_overhead(bench: air_bench::repair_bench::RepairBench) {
     println!("\nT10 — governor overhead (ungoverned vs generous fuel + deadline)");
-    let corpus = air_bench::verification_corpus();
-    let generous = || {
-        Governor::new(Budget {
-            fuel: Some(u64::MAX),
-            timeout: Some(Duration::from_secs(3600)),
-        })
-    };
-    let mut ungoverned_ms = f64::INFINITY;
-    let mut governed_ms = f64::INFINITY;
-    for _ in 0..RUNS {
-        let (_, ms) = timed(|| {
-            for task in &corpus {
-                let dom = int_domain(&task.universe);
-                let v = Verifier::new(&task.universe)
-                    .backward(dom, &task.prog, &task.pre, &task.spec)
-                    .expect("corpus program verifies");
-                assert!(v.is_proved(), "{}", task.name);
-            }
-        });
-        ungoverned_ms = ungoverned_ms.min(ms);
-        let (_, ms) = timed(|| {
-            for task in &corpus {
-                let dom = int_domain(&task.universe);
-                let v = Verifier::new(&task.universe)
-                    .governor(generous())
-                    .backward(dom, &task.prog, &task.pre, &task.spec)
-                    .expect("a generous budget never trips");
-                assert!(v.is_proved(), "{}", task.name);
-            }
-        });
-        governed_ms = governed_ms.min(ms);
-    }
-    let overhead = governed_ms / ungoverned_ms.max(1e-9) - 1.0;
     println!(
-        "corpus backward verify: ungoverned {ungoverned_ms:.3} ms, \
-         governed {governed_ms:.3} ms, overhead {:.2}%",
-        100.0 * overhead
+        "corpus backward verify: ungoverned {:.3} ms, \
+         governed {:.3} ms, overhead {:.2}%",
+        bench.governor.ungoverned_ms,
+        bench.governor.governed_ms,
+        bench.governor.overhead_pct()
     );
-    // The fuzz-campaign row (T11, produced by `air fuzz run` and recorded
-    // in EXPERIMENTS.md) shares this file; carry it across bench reruns.
-    let fuzz_row = std::fs::read_to_string("BENCH_repair.json")
-        .ok()
-        .and_then(|old| {
-            old.lines()
-                .find(|l| l.trim_start().starts_with("\"fuzz_campaign\":"))
-                .map(|l| l.trim_end().trim_end_matches(',').to_string())
-        });
-    json.push_str(&format!(
-        "  \"governor_overhead\": {{\"runs\": {RUNS}, \"ungoverned_ms\": {:.3}, \
-         \"governed_ms\": {:.3}, \"overhead_pct\": {:.3}}}{}\n",
-        ungoverned_ms,
-        governed_ms,
-        100.0 * overhead,
-        if fuzz_row.is_some() { "," } else { "" }
-    ));
-    if let Some(row) = fuzz_row {
-        json.push_str(&row);
-        json.push('\n');
-    }
-    json.push_str("}\n");
-    std::fs::write("BENCH_repair.json", &json).expect("BENCH_repair.json writes");
-    println!("wrote BENCH_repair.json");
+    air_bench::repair_bench::write_json("BENCH_repair.json", &bench);
 }
 
 fn main() {
@@ -755,7 +499,7 @@ fn main() {
     t6_alarm_removal();
     t7_ablations();
     t8_random_corpus();
-    let json = t9_repair_benchmark();
-    t10_governor_overhead(json);
+    let bench = t9_repair_benchmark();
+    t10_governor_overhead(bench);
     println!("\nall tables generated.");
 }

@@ -64,6 +64,7 @@ struct Schema {
     cache_fields: FieldSpec,
     alarms_fields: FieldSpec,
     error_fields: FieldSpec,
+    reuse_fields: FieldSpec,
 }
 
 fn validate(transcript: &str, schema_path: &str) -> Result<String, String> {
@@ -116,6 +117,7 @@ fn load_schema(path: &str) -> Result<Schema, String> {
         cache_fields: section("cache_fields")?,
         alarms_fields: section("alarms_fields")?,
         error_fields: section("error_fields")?,
+        reuse_fields: section("reuse_fields")?,
     })
 }
 
@@ -163,6 +165,9 @@ fn check_response(schema: &Schema, doc: &Value) -> Result<String, String> {
     }
     if let Some(alarms) = obj.get("alarms") {
         check_nested(alarms, &schema.alarms_fields, "alarms")?;
+    }
+    if let Some(reuse) = obj.get("reuse") {
+        check_nested(reuse, &schema.reuse_fields, "reuse")?;
     }
     if let Some(error) = obj.get("error") {
         check_nested(error, &schema.error_fields, "error")?;
@@ -231,7 +236,7 @@ mod tests {
     fn accepts_real_rendered_responses() {
         // Every Response variant the server can emit must satisfy the
         // checked-in schema — this pins schema and renderer together.
-        use air_serve::protocol::{CacheSnapshot, JobKind, Response};
+        use air_serve::protocol::{CacheSnapshot, JobKind, Response, ReuseSnapshot};
         let schema = test_schema();
         let responses = [
             Response::Verdict {
@@ -248,6 +253,23 @@ mod tests {
                     exec_hits: 1,
                     exec_misses: 2,
                 },
+                reuse: None,
+            },
+            Response::Verdict {
+                id: "r6".into(),
+                job: JobKind::Reverify,
+                proved: true,
+                report: "PROVED\n".into(),
+                points: 0,
+                witness: None,
+                points_detail: vec![],
+                warm: true,
+                duration_ns: 8,
+                cache: CacheSnapshot::default(),
+                reuse: Some(ReuseSnapshot {
+                    program_nodes: 9,
+                    fresh_nodes: 2,
+                }),
             },
             Response::Verdict {
                 id: "r2".into(),
@@ -260,6 +282,7 @@ mod tests {
                 warm: false,
                 duration_ns: 3,
                 cache: CacheSnapshot::default(),
+                reuse: None,
             },
             Response::Alarms {
                 id: "r3".into(),

@@ -8,6 +8,8 @@
 //! correspondences are catalogued in `PAPER_MAP.md` at the repository
 //! root.
 
+pub mod repair_bench;
+
 use air_cegar::partition::Partition;
 use air_cegar::ts::TransitionSystem;
 use air_core::EnumDomain;

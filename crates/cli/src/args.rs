@@ -18,6 +18,8 @@ usage:
   air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--stats]
               [--stats-json] [--uncached] [--trace FILE] [--profile]
               [--fuel N] [--timeout-ms N] [--checkpoint FILE] [--resume]
+  air repair  FILE [--edit FILE]... [--domain ...] [--stats] [--stats-json]
+              [--trace FILE] [--fuel N] [--timeout-ms N]
   air trace summarize FILE
   air fuzz run      [--seed N] [--cases N] [--oracle NAME] [--corpus-dir PATH]
                     [--no-shrink] [--stats-json] [--trace FILE]
@@ -45,6 +47,12 @@ usage:
   --fuel N caps engine-loop iterations; --timeout-ms N sets a wall-clock
   deadline; exhausting either stops the run with exit code 3 and the best
   partial result (corpus sweeps share one budget across all programs)
+  repair verifies FILE (a corpus-style *.imp with a `# Verified with:`
+  header), then re-verifies every --edit revision *incrementally* in one
+  warm session: memoized wlp/exec/closure derivations carry over, so each
+  re-repair costs roughly the structural distance of the edit, and every
+  verdict is byte-identical to a from-scratch run; an --edit file reuses
+  the base header unless it carries its own (same variables required)
   trace summarize aggregates a JSONL trace into per-phase tables
   fuzz run sweeps seeded random instances through every engine
   configuration and checks the paper's theorem oracles (see FUZZING.md);
@@ -151,6 +159,8 @@ pub enum Command {
     Prove(Task),
     /// `air corpus` — verify every program in a corpus directory.
     Corpus(CorpusTask),
+    /// `air repair` — incremental re-repair of edited revisions.
+    Repair(RepairTask),
     /// `air trace summarize` — aggregate a JSONL trace into tables.
     TraceSummarize {
         /// Path of the JSONL trace file.
@@ -288,6 +298,29 @@ pub struct Task {
     /// Fuel budget: maximum engine-loop iterations before exit code 3.
     pub fuel: Option<u64>,
     /// Wall-clock budget in milliseconds before exit code 3.
+    pub timeout_ms: Option<u64>,
+}
+
+/// The `air repair` payload: one base program plus edited revisions,
+/// re-verified incrementally in a single warm session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairTask {
+    /// The base program: a corpus-style `*.imp` with a `# Verified
+    /// with:` header.
+    pub file: String,
+    /// Edited revisions, re-verified in order against the warm session.
+    pub edits: Vec<String>,
+    /// Base domain (overridden by a `domain` header clause).
+    pub domain: DomainKind,
+    /// Print per-revision timings, reuse and cache counters.
+    pub stats: bool,
+    /// Print the same statistics as machine-readable JSON lines.
+    pub stats_json: bool,
+    /// Write a structured JSONL trace of the whole session to this file.
+    pub trace: Option<String>,
+    /// Fuel budget shared by the whole session.
+    pub fuel: Option<u64>,
+    /// Wall-clock budget in milliseconds for the whole session.
     pub timeout_ms: Option<u64>,
 }
 
@@ -581,6 +614,60 @@ fn parse_serve(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
     }))
 }
 
+fn parse_repair(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError> {
+    let mut file = None;
+    let mut edits = Vec::new();
+    let mut domain = DomainKind::default();
+    let mut stats = false;
+    let mut stats_json = false;
+    let mut trace = None;
+    let mut fuel = None;
+    let mut timeout_ms = None;
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("flag `{arg}` needs a value")))
+        };
+        match arg.as_str() {
+            "--edit" => edits.push(value()?),
+            "--domain" => domain = DomainKind::parse(&value()?)?,
+            "--stats" => stats = true,
+            "--stats-json" => stats_json = true,
+            "--trace" => trace = Some(value()?),
+            "--fuel" => {
+                let v = value()?;
+                fuel = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad --fuel value `{v}`")))?,
+                );
+            }
+            "--timeout-ms" => {
+                let v = value()?;
+                timeout_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ArgError(format!("bad --timeout-ms value `{v}`")))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(ArgError(format!("unknown repair flag `{other}`")))
+            }
+            _ if file.is_none() => file = Some(arg.clone()),
+            other => return Err(ArgError(format!("unexpected argument `{other}`"))),
+        }
+    }
+    Ok(Command::Repair(RepairTask {
+        file: file.ok_or_else(|| ArgError("`repair` needs a FILE".into()))?,
+        edits,
+        domain,
+        stats,
+        stats_json,
+        trace,
+        fuel,
+        timeout_ms,
+    }))
+}
+
 fn parse_top(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError> {
     let mut connect = None;
     let mut interval_ms = 1000u64;
@@ -654,6 +741,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     }
     if sub == "top" {
         return parse_top(&mut it);
+    }
+    if sub == "repair" {
+        return parse_repair(&mut it);
     }
     let mut vars = None;
     let mut code = None;
@@ -1171,6 +1261,58 @@ mod tests {
             "x.json",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_repair_and_edit_chain() {
+        assert_eq!(
+            parse(&argv(&["repair", "base.imp"])).unwrap(),
+            Command::Repair(RepairTask {
+                file: "base.imp".into(),
+                edits: vec![],
+                domain: DomainKind::Int,
+                stats: false,
+                stats_json: false,
+                trace: None,
+                fuel: None,
+                timeout_ms: None,
+            })
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "repair",
+                "base.imp",
+                "--edit",
+                "v2.imp",
+                "--edit",
+                "v3.imp",
+                "--domain",
+                "oct",
+                "--stats",
+                "--stats-json",
+                "--trace",
+                "r.jsonl",
+                "--fuel",
+                "900",
+                "--timeout-ms",
+                "50",
+            ]))
+            .unwrap(),
+            Command::Repair(RepairTask {
+                file: "base.imp".into(),
+                edits: vec!["v2.imp".into(), "v3.imp".into()],
+                domain: DomainKind::Oct,
+                stats: true,
+                stats_json: true,
+                trace: Some("r.jsonl".into()),
+                fuel: Some(900),
+                timeout_ms: Some(50),
+            })
+        );
+        assert!(parse(&argv(&["repair"])).is_err(), "needs a FILE");
+        assert!(parse(&argv(&["repair", "a.imp", "b.imp"])).is_err());
+        assert!(parse(&argv(&["repair", "a.imp", "--edit"])).is_err());
+        assert!(parse(&argv(&["repair", "a.imp", "--bogus"])).is_err());
     }
 
     #[test]

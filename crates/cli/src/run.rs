@@ -16,7 +16,8 @@ use air_resilience::Checkpointer;
 use air_trace::{json, EventKind, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
 
 use crate::args::{
-    Command, CorpusTask, DomainKind, FuzzCmd, ServeTask, StrategyKind, Task, TraceFormat,
+    Command, CorpusTask, DomainKind, FuzzCmd, RepairTask, ServeTask, StrategyKind, Task,
+    TraceFormat,
 };
 
 /// The sign of a completed run (drives the exit code).
@@ -178,6 +179,7 @@ pub fn run(command: Command) -> Result<Outcome, AirError> {
         Command::Analyze(task) => analyze(task),
         Command::Prove(task) => prove(task),
         Command::Corpus(task) => corpus(task),
+        Command::Repair(task) => repair(task),
         Command::TraceSummarize { file } => trace_summarize(&file),
         Command::Fuzz(cmd) => fuzz(cmd),
         Command::Chaos(task) => crate::chaos::chaos(task),
@@ -712,6 +714,122 @@ fn prove(task: Task) -> Result<Outcome, AirError> {
     );
     session.finish()?;
     Ok(Outcome::Positive)
+}
+
+/// Runs one revision through the warm session, printing its verdict and
+/// (for edits) the node-reuse line. Returns whether the spec was proved.
+fn repair_revision(
+    session: &mut air_core::RepairSession,
+    u: &Universe,
+    label: &str,
+    prog: &air_lang::Reg,
+    pre: &StateSet,
+    spec: &StateSet,
+    task: &RepairTask,
+) -> Result<bool, AirError> {
+    let started = Instant::now();
+    let outcome = session
+        .verify(prog, pre, spec)
+        .map_err(|e| engine_error(u, e))?;
+    let elapsed = started.elapsed().as_secs_f64();
+    print!("{}", outcome.verdict.report(u));
+    let reuse = outcome.reuse;
+    if reuse.incremental {
+        println!(
+            "reuse: {}/{} node(s) warm ({:.0}%), {} fresh",
+            reuse.reused_nodes(),
+            reuse.program_nodes,
+            reuse.reuse_ratio() * 100.0,
+            reuse.fresh_nodes
+        );
+    }
+    if task.stats {
+        print_stats(label, Some(session.cache()), session.base(), elapsed);
+    }
+    if task.stats_json {
+        println!(
+            "{}",
+            stats_json(label, Some(session.cache()), session.base(), elapsed)
+        );
+    }
+    Ok(outcome.verdict.is_proved())
+}
+
+/// `air repair FILE --edit FILE...` — verify the base program, then
+/// re-verify each edited revision incrementally in one warm
+/// [`air_core::RepairSession`]. Verdicts are byte-identical to
+/// from-scratch runs; only the cost shrinks.
+fn repair(task: RepairTask) -> Result<Outcome, AirError> {
+    // The corpus header reader wants sweep defaults; repair has none.
+    let corpus_defaults = CorpusTask {
+        dir: String::new(),
+        jobs: 0,
+        domain: task.domain,
+        strategy: StrategyKind::Backward,
+        stats: false,
+        stats_json: false,
+        uncached: false,
+        trace: None,
+        profile: false,
+        fuel: None,
+        timeout_ms: None,
+        checkpoint: None,
+        resume: false,
+    };
+    let (name, base_task) = parse_corpus_file(std::path::Path::new(&task.file), &corpus_defaults)?;
+    let u = build_universe(&base_task)?;
+    let dom = build_domain(&base_task, &u);
+    let (prog, pre, spec) = build_sets(&base_task, &u)?;
+    let Some(spec) = spec else {
+        return Err(AirError::Usage(format!(
+            "{name}: corpus header produced no spec"
+        )));
+    };
+    let trace_session = TraceSession::open(task.trace.as_deref(), false)?;
+    let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
+    let mut session = air_core::RepairSession::new(u.clone(), dom)
+        .tracer(trace_session.tracer())
+        .governor(governor);
+    println!("base:      {name}");
+    println!("universe:  {} stores", u.size());
+    println!("domain:    {}\n", session.base().base_name());
+    let mut all_proved = repair_revision(&mut session, &u, &name, &prog, &pre, &spec, &task)?;
+    for (i, edit) in task.edits.iter().enumerate() {
+        let edit_path = std::path::Path::new(edit);
+        let text = std::fs::read_to_string(edit_path)
+            .map_err(|e| usage(format!("cannot read `{edit}`: {e}")))?;
+        // An edited revision reuses the base header unless it carries its
+        // own (over the same variables — the session owns one universe).
+        let has_header = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with('#'))
+            .any(|l| l.contains("Verified with:"));
+        let rev_task = if has_header {
+            let (_, t) = parse_corpus_file(edit_path, &corpus_defaults)?;
+            if t.vars != base_task.vars {
+                return Err(AirError::Usage(format!(
+                    "{edit}: --edit revisions must declare the base program's variables"
+                )));
+            }
+            t
+        } else {
+            Task {
+                code: text,
+                ..base_task.clone()
+            }
+        };
+        let (eprog, epre, espec) = build_sets(&rev_task, &u)?;
+        let espec = espec.unwrap_or_else(|| spec.clone());
+        println!("\n--- edit {}: {edit} ---", i + 1);
+        let label = format!("edit-{}", i + 1);
+        all_proved &= repair_revision(&mut session, &u, &label, &eprog, &epre, &espec, &task)?;
+    }
+    trace_session.finish()?;
+    Ok(if all_proved {
+        Outcome::Positive
+    } else {
+        Outcome::Negative
+    })
 }
 
 /// How one corpus program ended. Every program gets a row — the sweep is

@@ -8,7 +8,7 @@
 //! the paper's widened analyses.
 
 use air_lang::ast::Reg;
-use air_lang::{Concrete, SemCache, SemError, StateSet};
+use air_lang::{Concrete, SemCache, SemError, StateSet, TermId, TermNode};
 use air_lattice::Governor;
 use air_trace::{EventKind, Tracer};
 
@@ -52,6 +52,12 @@ pub struct AbstractSemantics<'u> {
     sem: Concrete<'u>,
     strategy: StarStrategy,
     cache: Option<SemCache>,
+    /// Whether leaf images go through the cache's concrete exec table.
+    /// Resolved once at construction from the cache's bypass threshold,
+    /// so small universes never pay a per-call probe: their leaves call
+    /// the concrete semantics directly while the id-space image memo
+    /// (which wins from the first repeated subterm) stays on.
+    exec_table: bool,
     trace: Tracer,
     governor: Governor,
 }
@@ -66,10 +72,12 @@ impl<'u> AbstractSemantics<'u> {
     /// Creates the interpreter memoizing concrete transfer images into
     /// `cache` (shareable across engines and threads).
     pub fn with_cache(universe: &'u air_lang::Universe, cache: SemCache) -> Self {
+        let exec_table = !cache.is_bypassed(universe.size());
         AbstractSemantics {
             sem: Concrete::new(universe),
             strategy: StarStrategy::Lfp,
             cache: Some(cache),
+            exec_table,
             trace: Tracer::disabled(),
             governor: Governor::unlimited(),
         }
@@ -81,6 +89,7 @@ impl<'u> AbstractSemantics<'u> {
             sem: Concrete::new(universe),
             strategy: StarStrategy::Lfp,
             cache: None,
+            exec_table: false,
             trace: Tracer::disabled(),
             governor: Governor::unlimited(),
         }
@@ -121,20 +130,108 @@ impl<'u> AbstractSemantics<'u> {
     /// inputs; the function also accepts raw sets and closes basic-command
     /// outputs).
     ///
+    /// With a cache attached, the term is interned once and interpreted
+    /// in id space, memoizing the *abstract* image of every node in the
+    /// domain's per-`N` image memo — so re-analyses of a subterm on an
+    /// input already seen in this refinement are O(1). Universes at or
+    /// under the bypass cutoff skip only the concrete exec table (leaves
+    /// evaluate directly); see the `exec_table` field. The uncached
+    /// interpreter below is the reference path and recomputes everything.
+    ///
     /// # Errors
     ///
     /// Propagates [`SemError`] from concrete transfer functions (universe
     /// escapes, overflow).
     pub fn exec(&self, dom: &EnumDomain, r: &Reg, a: &StateSet) -> Result<StateSet, SemError> {
+        if let Some(cache) = &self.cache {
+            if self.strategy == StarStrategy::Lfp {
+                let root = cache.intern(r).root;
+                return self.exec_node(dom, cache, root, a);
+            }
+        }
+        self.exec_plain(dom, r, a)
+    }
+
+    /// Id-keyed [`exec`](Self::exec): `id` must come from the arena of the
+    /// cache this interpreter was built with. Engines that intern their
+    /// program once drive this entry point to skip the per-call interning
+    /// walk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`]; panics if this interpreter has no cache.
+    pub fn exec_id(
+        &self,
+        dom: &EnumDomain,
+        id: TermId,
+        a: &StateSet,
+    ) -> Result<StateSet, SemError> {
+        let cache = self.cache.as_ref().expect("exec_id requires a cache");
+        if self.strategy == StarStrategy::Lfp {
+            self.exec_node(dom, cache, id, a)
+        } else {
+            self.exec_plain(dom, &cache.arena().resolve(id), a)
+        }
+    }
+
+    /// The memoized id-space interpreter: one `absmemo` entry per
+    /// `(node, input)` reached in this refinement.
+    fn exec_node(
+        &self,
+        dom: &EnumDomain,
+        cache: &SemCache,
+        id: TermId,
+        a: &StateSet,
+    ) -> Result<StateSet, SemError> {
+        let key = (cache.arena().token(), id, a.clone());
+        dom.abs_memo()
+            .try_get_or_insert_with(&key, || match cache.arena().node(id) {
+                TermNode::Basic(e) => {
+                    let image = if self.exec_table {
+                        cache.exec_exp(&self.sem, &e, a)?
+                    } else {
+                        self.sem.exec_exp(&e, a)?
+                    };
+                    Ok(dom.close(&image))
+                }
+                TermNode::Seq(r1, r2) => {
+                    let mid = self.exec_node(dom, cache, r1, a)?;
+                    self.exec_node(dom, cache, r2, &mid)
+                }
+                TermNode::Choice(r1, r2) => {
+                    let l = self.exec_node(dom, cache, r1, a)?;
+                    let rr = self.exec_node(dom, cache, r2, a)?;
+                    Ok(dom.close(&l.union(&rr)))
+                }
+                TermNode::Star(body) => {
+                    let mut x = dom.close(a);
+                    // Same strictly-increasing Lfp iteration as the plain
+                    // path; each round's body image is memoized.
+                    for _ in 0..=self.sem.universe().size() {
+                        self.governor.check_with(|| "absint.star".to_string())?;
+                        let step = self.exec_node(dom, cache, body, &x)?;
+                        let grown = dom.close(&x.union(&step));
+                        if grown.is_subset(&x) {
+                            return Ok(x);
+                        }
+                        x = grown;
+                    }
+                    Err(SemError::Divergence)
+                }
+            })
+    }
+
+    /// The reference interpreter over the plain AST (no image memo).
+    fn exec_plain(&self, dom: &EnumDomain, r: &Reg, a: &StateSet) -> Result<StateSet, SemError> {
         match r {
             Reg::Basic(e) => Ok(dom.close(&self.exec_exp(e, a)?)),
             Reg::Seq(r1, r2) => {
-                let mid = self.exec(dom, r1, a)?;
-                self.exec(dom, r2, &mid)
+                let mid = self.exec_plain(dom, r1, a)?;
+                self.exec_plain(dom, r2, &mid)
             }
             Reg::Choice(r1, r2) => {
-                let l = self.exec(dom, r1, a)?;
-                let rr = self.exec(dom, r2, a)?;
+                let l = self.exec_plain(dom, r1, a)?;
+                let rr = self.exec_plain(dom, r2, a)?;
                 Ok(dom.close(&l.union(&rr)))
             }
             Reg::Star(body) => {
@@ -143,7 +240,7 @@ impl<'u> AbstractSemantics<'u> {
                 // for Lfp; pointed widening converges at least as fast.
                 for _ in 0..=self.sem.universe().size() {
                     self.governor.check_with(|| "absint.star".to_string())?;
-                    let step = self.exec(dom, body, &x)?;
+                    let step = self.exec_plain(dom, body, &x)?;
                     let grown = dom.close(&x.union(&step));
                     if grown.is_subset(&x) {
                         return Ok(x);

@@ -10,14 +10,19 @@
 //! algorithm) or the pointed widening `∇_N` of Definition 7.11 (the
 //! widened variant of Section 7.2, Example 7.13).
 
+use std::collections::HashMap;
+
 use air_lang::ast::Reg;
-use air_lang::{SemCache, StateSet, Universe, Wlp};
+use air_lang::{SemCache, StateSet, TermId, TermNode, Universe, Wlp};
 use air_lattice::{ExhaustReason, Exhaustion, Governor};
 use air_trace::{EventKind, Tracer};
 
 use crate::absint::AbstractSemantics;
 use crate::domain::EnumDomain;
 use crate::forward::RepairError;
+
+/// Arena id of a discovered refinement point within one repair run.
+type PointId = u32;
 
 /// How the star case grows its unrolled input (line 20 of Algorithm 2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -84,14 +89,106 @@ pub struct BackwardRepair<'u> {
     governor: Governor,
 }
 
-struct Ctx {
+/// Per-repair mutable state. The recursion used to clone whole
+/// `Vec<StateSet>` point lists at every `bRepair` split; the arena keeps
+/// each distinct point once (`points`, in discovery order) and the
+/// in-flight `N` travels as a small `Vec<PointId>` — splitting copies a
+/// handful of `u32`s.
+struct Ctx<'u> {
     calls: usize,
     inv_iterations: usize,
     max_calls: usize,
+    /// Hoisted abstract interpreter: one engine for the whole run instead
+    /// of one per `abs_exec` call.
+    sem: AbstractSemantics<'u>,
+    /// The strategy's cache (arena and memo tables), when caching is on.
+    cache: Option<SemCache>,
+    /// Whether `wlp` goes through the cache's memo table. Decided once
+    /// per run by [`SemCache::demote_for`]: small universes run with the
+    /// tables demoted and zero per-call probes in the hot loop.
+    use_tables: bool,
+    /// The point arena: every distinct point discovered, in order.
+    points: Vec<StateSet>,
+    /// Reverse index of `points` for O(1) dedup on push.
+    ids: HashMap<StateSet, PointId>,
     /// The longest point set seen on any `bRepair` path — the best
     /// partial refinement to report if the budget runs out (the error
     /// path of Algorithm 2 discards the in-flight `N`).
-    best_points: Vec<StateSet>,
+    best_points: Vec<PointId>,
+    /// Refinement domains `A ⊞ N` by point-id list: `with_points` re-runs
+    /// expressibility closures per point, so recursion siblings sharing
+    /// an `N` must share the built domain instead of rebuilding it.
+    dom_cache: HashMap<Vec<PointId>, EnumDomain>,
+}
+
+impl<'u> Ctx<'u> {
+    /// Arena id for `p`, interning it on first sight.
+    fn point_id(&mut self, p: &StateSet) -> PointId {
+        if let Some(&id) = self.ids.get(p) {
+            return id;
+        }
+        let id = PointId::try_from(self.points.len()).expect("point arena overflow");
+        self.points.push(p.clone());
+        self.ids.insert(p.clone(), id);
+        id
+    }
+
+    /// Pushes `p` onto `n` unless already present; reports whether it was
+    /// new (so call sites only trace points that actually refine).
+    fn push(&mut self, n: &mut Vec<PointId>, p: &StateSet) -> bool {
+        let id = self.point_id(p);
+        if n.contains(&id) {
+            false
+        } else {
+            n.push(id);
+            true
+        }
+    }
+
+    fn union_ids(a: Vec<PointId>, b: Vec<PointId>) -> Vec<PointId> {
+        let mut out = a;
+        for id in b {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// The state sets behind an id list (outcome boundaries only).
+    fn materialize(&self, n: &[PointId]) -> Vec<StateSet> {
+        n.iter()
+            .map(|&id| self.points[id as usize].clone())
+            .collect()
+    }
+
+    /// The arena children of `rid`, aligned with the structural children
+    /// of the matched [`Reg`] node (`None`s when the run is uncached).
+    /// Interning is structural, so a `Seq` reg always resolves to a `Seq`
+    /// node, and so on.
+    fn child_ids(&self, rid: Option<TermId>) -> (Option<TermId>, Option<TermId>) {
+        match (rid, &self.cache) {
+            (Some(id), Some(cache)) => match cache.arena().node(id) {
+                TermNode::Seq(a, b) | TermNode::Choice(a, b) => (Some(a), Some(b)),
+                TermNode::Star(body) => (Some(body), None),
+                TermNode::Basic(_) => (None, None),
+            },
+            _ => (None, None),
+        }
+    }
+
+    /// The refinement `base ⊞ N` for an id list, built once per distinct
+    /// `N` and shared by every recursive call that reaches it.
+    fn domain<'a>(
+        dom_cache: &'a mut HashMap<Vec<PointId>, EnumDomain>,
+        points: &[StateSet],
+        base: &EnumDomain,
+        n: &[PointId],
+    ) -> &'a EnumDomain {
+        dom_cache
+            .entry(n.to_vec())
+            .or_insert_with(|| base.with_points(n.iter().map(|&id| points[id as usize].clone())))
+    }
 }
 
 impl<'u> BackwardRepair<'u> {
@@ -183,17 +280,51 @@ impl<'u> BackwardRepair<'u> {
         spec: &StateSet,
     ) -> Result<BackwardOutcome, RepairError> {
         let _span = self.trace.span(|| "repair.backward".to_string());
+        // One engine-level bypass decision for the whole run (counted and
+        // traced once): at or under the threshold the wlp/exec memo
+        // tables are demoted — they cannot amortize on sets this small —
+        // so the hot loops carry no per-call probes either way.
+        let use_tables = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| !c.demote_for(self.universe.size()));
+        // Intern the program once; the recursion then travels in id space
+        // and every abstract image lookup keys on a `u32`. On a demoted
+        // (small) universe the image memo only pays off when warm, so the
+        // first sight of a program — `fresh_nodes > 0`, nothing memoized
+        // under these ids yet — runs the pure reference path instead of
+        // funding memo writes it will never read; re-repairs of a known
+        // program take the id path and reap them.
+        let interned = self.cache.as_ref().map(|c| c.intern(r));
+        let use_ids = match &interned {
+            Some(outcome) => use_tables || outcome.fresh_nodes == 0,
+            None => false,
+        };
+        let cache = self.cache.clone().filter(|_| use_ids);
+        let sem = match &cache {
+            Some(cache) => AbstractSemantics::with_cache(self.universe, cache.clone()),
+            None => AbstractSemantics::uncached(self.universe),
+        }
+        .governor(self.governor.clone());
+        let root = interned.filter(|_| use_ids).map(|o| o.root);
         let mut ctx = Ctx {
             calls: 0,
             inv_iterations: 0,
             max_calls: self.max_calls,
+            sem,
+            cache,
+            use_tables,
+            points: Vec::new(),
+            ids: HashMap::new(),
             best_points: Vec::new(),
+            dom_cache: HashMap::new(),
         };
         let p_hat = base.close(p);
-        let (valid_input, points) = match self.brepair(base, Vec::new(), p_hat, r, spec, &mut ctx) {
-            Ok(done) => done,
-            Err(e) => return Err(self.exhausted(e, base, &ctx, r, p)),
-        };
+        let (valid_input, points) =
+            match self.brepair(base, Vec::new(), p_hat, r, root, spec, &mut ctx) {
+                Ok((v, n)) => (v, ctx.materialize(&n)),
+                Err(e) => return Err(self.exhausted(e, base, &ctx, r, p)),
+            };
         self.trace.emit_detail_with(|| EventKind::Counter {
             name: "backward.calls".to_string(),
             delta: ctx.calls as u64,
@@ -227,7 +358,7 @@ impl<'u> BackwardRepair<'u> {
             return err;
         };
         if partial.points.is_empty() {
-            partial.points = ctx.best_points.clone();
+            partial.points = ctx.materialize(&ctx.best_points);
         }
         if partial.invariant.is_none() {
             // Ungoverned pass: the absint fixpoint is bounded by the
@@ -247,41 +378,47 @@ impl<'u> BackwardRepair<'u> {
         RepairError::Exhausted(partial)
     }
 
-    /// `⟦r⟧♯_{A⊞N} P` in the current refinement.
+    /// `⟦r⟧♯_{A⊞N} P` in the current refinement (domain and interpreter
+    /// both come from the per-run context caches).
     fn abs_exec(
         &self,
         base: &EnumDomain,
-        n: &[StateSet],
+        ctx: &mut Ctx<'_>,
+        n: &[PointId],
         r: &Reg,
+        rid: Option<TermId>,
         p: &StateSet,
     ) -> Result<StateSet, RepairError> {
-        let dom = base.with_points(n.iter().cloned());
-        let sem = match &self.cache {
-            Some(cache) => AbstractSemantics::with_cache(self.universe, cache.clone()),
-            None => AbstractSemantics::uncached(self.universe),
-        }
-        .governor(self.governor.clone());
-        Ok(sem.exec(&dom, r, &dom.close(p))?)
+        let Ctx {
+            sem,
+            points,
+            dom_cache,
+            ..
+        } = ctx;
+        let dom = Ctx::domain(dom_cache, points, base, n);
+        let a = dom.close(p);
+        Ok(match rid {
+            Some(id) => sem.exec_id(dom, id, &a)?,
+            None => sem.exec(dom, r, &a)?,
+        })
     }
 
-    /// `V⟨P, r, S⟩ = P ∩ wlp(r, S)`, through the cache when enabled.
-    fn valid_input(&self, p: &StateSet, r: &Reg, s: &StateSet) -> Result<StateSet, RepairError> {
-        let w = match &self.cache {
-            Some(cache) => cache.wlp_reg(&self.wlp, r, s)?,
-            None => self.wlp.reg(r, s)?,
+    /// `V⟨P, r, S⟩ = P ∩ wlp(r, S)`, through the run's effective cache
+    /// when enabled.
+    fn valid_input(
+        &self,
+        ctx: &Ctx<'_>,
+        p: &StateSet,
+        r: &Reg,
+        rid: Option<TermId>,
+        s: &StateSet,
+    ) -> Result<StateSet, RepairError> {
+        let w = match (&ctx.cache, rid) {
+            (Some(cache), Some(id)) if ctx.use_tables => cache.wlp_id(&self.wlp, id, s)?,
+            (Some(cache), None) if ctx.use_tables => cache.wlp_reg(&self.wlp, r, s)?,
+            _ => self.wlp.reg(r, s)?,
         };
         Ok(p.intersection(&w))
-    }
-
-    /// Pushes `p` unless already present; reports whether it was new (so
-    /// call sites only trace points that actually refine the domain).
-    fn push(n: &mut Vec<StateSet>, p: StateSet) -> bool {
-        if !n.contains(&p) {
-            n.push(p);
-            true
-        } else {
-            false
-        }
     }
 
     fn trace_point(&self, rule: &str, exp: &impl std::fmt::Display, point: &StateSet) {
@@ -292,23 +429,17 @@ impl<'u> BackwardRepair<'u> {
         });
     }
 
-    fn union_points(mut a: Vec<StateSet>, b: Vec<StateSet>) -> Vec<StateSet> {
-        for p in b {
-            Self::push(&mut a, p);
-        }
-        a
-    }
-
     #[allow(clippy::too_many_arguments)]
     fn brepair(
         &self,
         base: &EnumDomain,
-        mut n: Vec<StateSet>,
+        mut n: Vec<PointId>,
         p: StateSet,
         r: &Reg,
+        rid: Option<TermId>,
         s: &StateSet,
-        ctx: &mut Ctx,
-    ) -> Result<(StateSet, Vec<StateSet>), RepairError> {
+        ctx: &mut Ctx<'_>,
+    ) -> Result<(StateSet, Vec<PointId>), RepairError> {
         ctx.calls += 1;
         self.governor.check_with(|| "repair.backward".to_string())?;
         if ctx.calls > ctx.max_calls {
@@ -323,7 +454,7 @@ impl<'u> BackwardRepair<'u> {
             ctx.best_points = n.clone();
         }
         // Line 2: if ⟦r⟧♯_{A⊞N} P ≤ S then return ⟨P, N⟩.
-        if self.abs_exec(base, &n, r, &p)?.is_subset(s) {
+        if self.abs_exec(base, ctx, &n, r, rid, &p)?.is_subset(s) {
             return Ok((p, n));
         }
         match r {
@@ -336,42 +467,47 @@ impl<'u> BackwardRepair<'u> {
                     exp: e.to_string(),
                     input_size: p.len(),
                 });
-                let v = self.valid_input(&p, r, s)?;
-                let q = s.intersection(&self.abs_exec(base, &n, r, &p)?);
-                if Self::push(&mut n, v.clone()) {
+                let v = self.valid_input(ctx, &p, r, rid, s)?;
+                let q = s.intersection(&self.abs_exec(base, ctx, &n, r, rid, &p)?);
+                if ctx.push(&mut n, &v) {
                     self.trace_point("bRepair basic: V⟨P,e,S⟩ (Alg 2 l.5)", e, &v);
                 }
-                let q_new = Self::push(&mut n, q.clone());
-                if q_new {
+                if ctx.push(&mut n, &q) {
                     self.trace_point("bRepair basic: S ∧ ⟦e⟧♯P (Alg 2 l.5)", e, &q);
                 }
                 Ok((v, n))
             }
             // Lines 7–10: sequential composition.
             Reg::Seq(r0, r1) => {
-                let mid = self.abs_exec(base, &n, r0, &p)?;
-                let (v1, n1) = self.brepair(base, n.clone(), mid, r1, s, ctx)?;
-                let (v0, n0) = self.brepair(base, n, p, r0, &v1, ctx)?;
-                Ok((v0, Self::union_points(n0, n1)))
+                let (id0, id1) = ctx.child_ids(rid);
+                let mid = self.abs_exec(base, ctx, &n, r0, id0, &p)?;
+                let (v1, n1) = self.brepair(base, n.clone(), mid, r1, id1, s, ctx)?;
+                let (v0, n0) = self.brepair(base, n, p, r0, id0, &v1, ctx)?;
+                Ok((v0, Ctx::union_ids(n0, n1)))
             }
             // Lines 11–15: choice.
             Reg::Choice(r0, r1) => {
-                let (v0, n0) = self.brepair(base, n.clone(), p.clone(), r0, s, ctx)?;
-                let (v1, n1) = self.brepair(base, n.clone(), p.clone(), r1, s, ctx)?;
-                let q = s.intersection(&self.abs_exec(base, &n, r, &p)?);
-                let mut out = Self::union_points(n0, n1);
-                if Self::push(&mut out, q.clone()) {
+                let (id0, id1) = ctx.child_ids(rid);
+                let (v0, n0) = self.brepair(base, n.clone(), p.clone(), r0, id0, s, ctx)?;
+                let (v1, n1) = self.brepair(base, n.clone(), p.clone(), r1, id1, s, ctx)?;
+                let q = s.intersection(&self.abs_exec(base, ctx, &n, r, rid, &p)?);
+                let mut out = Ctx::union_ids(n0, n1);
+                if ctx.push(&mut out, &q) {
                     self.trace_point("bRepair choice: S ∧ ⟦r⟧♯P (Alg 2 l.14)", r, &q);
                 }
                 Ok((v0.intersection(&v1), out))
             }
             // Lines 16–21: Kleene star.
             Reg::Star(r0) => {
-                let r_step = self.abs_exec(base, &n, r0, &p)?;
+                let (body_id, _) = ctx.child_ids(rid);
+                let r_step = self.abs_exec(base, ctx, &n, r0, body_id, &p)?;
                 if r_step.is_subset(&p) {
-                    self.inv(base, n, p, r0, s.clone(), ctx)
+                    self.inv(base, n, p, r0, body_id, s.clone(), ctx)
                 } else {
-                    let dom = base.with_points(n.iter().cloned());
+                    let Ctx {
+                        points, dom_cache, ..
+                    } = &mut *ctx;
+                    let dom = Ctx::domain(dom_cache, points, base, &n);
                     let grown = dom.join(&p, &r_step);
                     let unrolled = match self.strategy {
                         UnrollStrategy::Join => grown,
@@ -382,7 +518,7 @@ impl<'u> BackwardRepair<'u> {
                             dom.pointed_widen(&p, &grown)
                         }
                     };
-                    let (v1, n1) = self.brepair(base, n, unrolled, r, s, ctx)?;
+                    let (v1, n1) = self.brepair(base, n, unrolled, r, rid, s, ctx)?;
                     Ok((p.intersection(&v1), n1))
                 }
             }
@@ -390,25 +526,27 @@ impl<'u> BackwardRepair<'u> {
     }
 
     /// Lines 22–27: the loop-invariant fixpoint `inv_A`.
+    #[allow(clippy::too_many_arguments)]
     fn inv(
         &self,
         base: &EnumDomain,
-        n: Vec<StateSet>,
+        n: Vec<PointId>,
         p: StateSet,
         r: &Reg,
+        rid: Option<TermId>,
         mut v1: StateSet,
-        ctx: &mut Ctx,
-    ) -> Result<(StateSet, Vec<StateSet>), RepairError> {
+        ctx: &mut Ctx<'_>,
+    ) -> Result<(StateSet, Vec<PointId>), RepairError> {
         loop {
             ctx.inv_iterations += 1;
             self.governor
                 .check_with(|| "repair.backward.inv".to_string())?;
             let v0 = p.intersection(&v1);
             let mut n0 = n.clone();
-            if Self::push(&mut n0, v0.clone()) {
+            if ctx.push(&mut n0, &v0) {
                 self.trace_point("bRepair inv: P ∧ V₁ (Alg 2 l.24)", r, &v0);
             }
-            let (next_v1, n1) = self.brepair(base, n0, v0.clone(), r, &v0, ctx)?;
+            let (next_v1, n1) = self.brepair(base, n0, v0.clone(), r, rid, &v0, ctx)?;
             if next_v1 == v0 {
                 return Ok((next_v1, n1));
             }

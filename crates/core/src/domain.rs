@@ -22,9 +22,14 @@ use std::fmt;
 use std::sync::Arc;
 
 use air_domains::Abstraction;
-use air_lang::{StateSet, Universe};
+use air_lang::{StateSet, TermId, Universe};
 use air_lattice::{CacheStats, Interner, MemoTable};
 use air_trace::Tracer;
+
+/// Key of the abstract-image memo: `(arena token, term id, input)`. The
+/// token pins entries to the [`TermArena`](air_lang::TermArena) that
+/// issued the id, so two caches' ids can never alias one another.
+type AbsImageKey = (u64, TermId, StateSet);
 
 /// A unary operator on state sets (the base closure).
 type SetOp = Box<dyn Fn(&StateSet) -> StateSet + Send + Sync>;
@@ -75,6 +80,11 @@ pub struct EnumDomain {
     memo: MemoTable<StateSet, Arc<StateSet>>,
     interner: Interner<StateSet>,
     points: Vec<StateSet>,
+    /// Memoized whole-term abstract images `⟦r⟧♯_{A⊞N}(a)` for *this*
+    /// point list, keyed by [`AbsImageKey`]. Shared by clones (same `N` ⇒
+    /// same images); replaced wholesale the moment the point list grows,
+    /// since every image depends on `N`.
+    absmemo: MemoTable<AbsImageKey, StateSet>,
 }
 
 impl fmt::Debug for EnumDomain {
@@ -118,6 +128,7 @@ impl EnumDomain {
             memo: MemoTable::new(),
             interner: Interner::new(),
             points: Vec::new(),
+            absmemo: MemoTable::new(),
         }
     }
 
@@ -150,6 +161,7 @@ impl EnumDomain {
             memo: MemoTable::new(),
             interner: Interner::new(),
             points: Vec::new(),
+            absmemo: MemoTable::new(),
         }
     }
 
@@ -182,15 +194,37 @@ impl EnumDomain {
     /// thread-safe table shared by all clones; results are hash-consed so
     /// the many inputs collapsing to one fixpoint share storage.
     pub fn base_close(&self, c: &StateSet) -> StateSet {
-        let shared = self
-            .memo
-            .get_or_insert_with(c, || self.interner.intern((self.base.close)(c)));
+        let mut computed = false;
+        let shared = self.memo.get_or_insert_with(c, || {
+            computed = true;
+            self.interner.intern((self.base.close)(c))
+        });
+        // Closures are idempotent: `A(A(c)) = A(c)`. Seed the fixpoint as
+        // its own key on every fresh computation, so closing an
+        // already-closed set — the common case once callers pass
+        // `close`d inputs around — hits on first sight instead of
+        // keying the table on the pre-image alone.
+        if computed && *shared != *c {
+            self.memo.insert((*shared).clone(), Arc::clone(&shared));
+        }
         (*shared).clone()
     }
 
     /// Hit/miss/entry counters of the base-closure memo table.
     pub fn cache_stats(&self) -> CacheStats {
         self.memo.stats()
+    }
+
+    /// The whole-term abstract-image memo for this exact point list (see
+    /// the `absmemo` field). The abstract interpreter checks it at every
+    /// term node; anything else should treat it as opaque.
+    pub(crate) fn abs_memo(&self) -> &MemoTable<AbsImageKey, StateSet> {
+        &self.absmemo
+    }
+
+    /// Hit/miss/entry counters of the abstract-image memo.
+    pub fn abs_cache_stats(&self) -> CacheStats {
+        self.absmemo.stats()
     }
 
     /// Empties the shared base-closure memo and the hash-consing pool in
@@ -201,6 +235,7 @@ impl EnumDomain {
     pub fn clear_caches(&self) {
         self.memo.clear();
         self.interner.clear();
+        self.absmemo.clear();
     }
 
     /// Hit/miss/entry counters of the closure-result hash-consing pool (a
@@ -226,6 +261,7 @@ impl EnumDomain {
             memo: MemoTable::new(),
             interner: Interner::new(),
             points: self.points.clone(),
+            absmemo: MemoTable::new(),
         }
     }
 
@@ -252,6 +288,9 @@ impl EnumDomain {
             return false;
         }
         self.points.push(p);
+        // Every memoized abstract image was computed in the old `N`;
+        // detach from the shared table rather than poison the siblings.
+        self.absmemo = MemoTable::new();
         true
     }
 
@@ -468,14 +507,19 @@ mod tests {
         let u = universe();
         let dom = EnumDomain::from_abstraction(&u, SignEnv::new(&u));
         // Two distinct inputs with the same Sign closure (>0).
-        dom.base_close(&u.of_values([1]));
+        let closed = dom.base_close(&u.of_values([1]));
         dom.base_close(&u.of_values([2]));
         dom.base_close(&u.of_values([1])); // memo hit
         let memo = dom.cache_stats();
-        assert_eq!((memo.hits, memo.misses, memo.entries), (1, 2, 2));
+        // Three entries: the two pre-images plus their (shared) closure
+        // result, seeded as its own key by idempotence.
+        assert_eq!((memo.hits, memo.misses, memo.entries), (1, 2, 3));
         // The two entries collapse to one interned closure result.
         let pool = dom.interner_stats();
         assert_eq!((pool.hits, pool.entries), (1, 1));
+        // Closing an already-closed set hits on first sight.
+        dom.base_close(&closed);
+        assert_eq!(dom.cache_stats().hits, 2);
     }
 
     #[test]

@@ -267,6 +267,14 @@ impl<'u> ForwardRepair<'u> {
         p: &StateSet,
     ) -> Result<RepairOutcome, RepairError> {
         let _span = self.trace.span(|| "repair.forward".to_string());
+        // Engine-level demotion: on universes at or under the bypass
+        // threshold the memo tables cannot win, so drop the cache once
+        // here (one counted/traced bypass) and run the whole loop on the
+        // plain path with zero per-obligation probes.
+        let cache = self
+            .cache
+            .as_ref()
+            .filter(|c| !c.demote_for(self.universe.size()));
         let mut repairs = 0;
         let mut analysis_runs = 0;
         let mut obligations_checked = 0;
@@ -276,7 +284,7 @@ impl<'u> ForwardRepair<'u> {
             if let Err(e) = self.governor.check_with(|| "repair.forward".to_string()) {
                 return Err(self.exhausted(e.into(), &dom, r, p));
             }
-            match self.find(&dom, r, p, &mut obligations_checked) {
+            match self.find(&dom, cache, r, p, &mut obligations_checked) {
                 Err(e) => return Err(self.exhausted(e, &dom, r, p)),
                 Ok(FindOutcome::Under(q)) => {
                     self.trace.emit_detail_with(|| EventKind::Counter {
@@ -388,6 +396,7 @@ impl<'u> ForwardRepair<'u> {
     fn find(
         &self,
         dom: &EnumDomain,
+        cache: Option<&SemCache>,
         r: &Reg,
         p: &StateSet,
         checked: &mut usize,
@@ -397,7 +406,7 @@ impl<'u> ForwardRepair<'u> {
             Reg::Basic(e) => {
                 *checked += 1;
                 if self.lc.check_exp(dom, e, p)? {
-                    let image = match &self.cache {
+                    let image = match cache {
                         Some(cache) => cache.exec_exp(&sem, e, p)?,
                         None => sem.exec_exp(e, p)?,
                     };
@@ -409,16 +418,16 @@ impl<'u> ForwardRepair<'u> {
                     }))
                 }
             }
-            Reg::Seq(r1, r2) => match self.find(dom, r1, p, checked)? {
-                FindOutcome::Under(q) => self.find(dom, r2, &q, checked),
+            Reg::Seq(r1, r2) => match self.find(dom, cache, r1, p, checked)? {
+                FindOutcome::Under(q) => self.find(dom, cache, r2, &q, checked),
                 incomplete => Ok(incomplete),
             },
             Reg::Choice(r1, r2) => {
-                let q1 = match self.find(dom, r1, p, checked)? {
+                let q1 = match self.find(dom, cache, r1, p, checked)? {
                     FindOutcome::Under(q) => q,
                     incomplete => return Ok(incomplete),
                 };
-                let q2 = match self.find(dom, r2, p, checked)? {
+                let q2 = match self.find(dom, cache, r2, p, checked)? {
                     FindOutcome::Under(q) => q,
                     incomplete => return Ok(incomplete),
                 };
@@ -431,7 +440,7 @@ impl<'u> ForwardRepair<'u> {
                 for _ in 0..=self.universe.size() {
                     self.governor
                         .check_with(|| "repair.forward.find".to_string())?;
-                    let step = match self.find(dom, body, &acc, checked)? {
+                    let step = match self.find(dom, cache, body, &acc, checked)? {
                         FindOutcome::Under(q) => q,
                         incomplete => return Ok(incomplete),
                     };

@@ -961,7 +961,7 @@ mod tests {
         // Invalid relax: postcondition shrink that changes the abstraction.
         let bad2 = Derivation::Relax {
             triple: Triple {
-                pre: p.clone(),
+                pre: p,
                 reg: prog,
                 post: u.empty(),
             },

@@ -23,6 +23,8 @@
 //! - [`forward`] — Algorithm 1, `fRepair` (§7.1).
 //! - [`backward`] — Algorithm 2, `bRepair` and `inv` (§7.2).
 //! - [`verify`] — the user-facing verifier built on Corollary 7.7.
+//! - [`session`] — incremental re-repair: warm [`RepairSession`]s whose
+//!   re-verification cost tracks the structural distance of an edit.
 //! - [`summarize`](mod@summarize) — renders repaired abstract elements as unions of boxes
 //!   so they print like the paper's `P̄`, `R₁…R₃`, `V̄`.
 //!
@@ -58,6 +60,9 @@
 // Repair engines run on user-influenced programs: a reachable
 // `unwrap()` is an abort, not an error. Tests may still use it freely.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+// The hot path lives here: a clone of a `StateSet` or an `EnumDomain`
+// copies whole bitsets, so a redundant one is a real regression.
+#![deny(clippy::redundant_clone)]
 
 pub mod absint;
 pub mod backward;
@@ -67,6 +72,7 @@ pub mod global;
 pub mod lcl;
 pub mod local;
 pub mod oracles;
+pub mod session;
 pub mod summarize;
 pub mod verify;
 
@@ -77,5 +83,6 @@ pub use forward::{ForwardRepair, PartialRepair, RepairError, RepairOutcome, Repa
 pub use lcl::{Derivation, Lcl, LclError, SpecVerdict, Triple};
 pub use local::{LocalCompleteness, ShellResult};
 pub use oracles::{run_oracle, OracleInstance, OracleOutcome, ORACLES};
+pub use session::{RepairSession, ReuseStats, SessionOutcome};
 pub use summarize::{summarize, BoxSummary};
 pub use verify::{Verdict, Verifier};

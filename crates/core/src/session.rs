@@ -1,0 +1,241 @@
+//! Incremental re-repair: a long-lived verification session.
+//!
+//! A [`RepairSession`] owns the warm state of one `(universe, domain)`
+//! pair — the shared [`SemCache`] (term arena, `wlp`/exec tables) and a
+//! base [`EnumDomain`] whose closure and image memos persist across
+//! verifications. Verifying a program warms those tables; re-verifying
+//! it after an edit re-interns the program into the same arena, so every
+//! subterm untouched by the edit keeps its id and with it every memoized
+//! derivation — `wlp` sets, concrete transfer images, whole-term abstract
+//! images. The re-repair cost is then proportional to the *edit*, not
+//! the program: [`ReuseStats::fresh_nodes`] is exactly the structural
+//! distance between the new program and everything the session has seen.
+//!
+//! Determinism: warm tables only memoize pure functions, so a session
+//! verdict is byte-identical to a from-scratch run of the same program
+//! (the edited-program equivalence tests in the umbrella crate pin this).
+
+use air_lang::{SemCache, StateSet, TermArena, Universe};
+use air_lattice::Governor;
+use air_trace::Tracer;
+
+use crate::domain::EnumDomain;
+use crate::verify::{Verdict, Verifier};
+use crate::RepairError;
+
+/// What a session verification reused from its warm state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Distinct structural nodes in the verified program.
+    pub program_nodes: usize,
+    /// Nodes this verification added to the session arena — the
+    /// structural distance from everything verified before (`0` when
+    /// re-verifying an unchanged program).
+    pub fresh_nodes: usize,
+    /// `true` when the session had verified at least one program before
+    /// this call (so warm-table reuse was possible at all).
+    pub incremental: bool,
+}
+
+impl ReuseStats {
+    /// Nodes already interned before this call: `program_nodes -
+    /// fresh_nodes`.
+    pub fn reused_nodes(&self) -> usize {
+        self.program_nodes - self.fresh_nodes
+    }
+
+    /// Fraction of the program's nodes that were already known, in
+    /// `[0, 1]`; `0` for an empty program.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.program_nodes == 0 {
+            0.0
+        } else {
+            self.reused_nodes() as f64 / self.program_nodes as f64
+        }
+    }
+}
+
+/// A session verdict: the ordinary [`Verdict`] plus what was reused.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The verification verdict — byte-identical to a from-scratch run.
+    pub verdict: Verdict,
+    /// Warm-state reuse accounting for this call.
+    pub reuse: ReuseStats,
+}
+
+/// A long-lived verification session with warm caches (see the module
+/// docs). Construct once per `(universe, base domain)` pair; call
+/// [`verify`](RepairSession::verify) for every program revision.
+#[derive(Clone, Debug)]
+pub struct RepairSession {
+    universe: Universe,
+    base: EnumDomain,
+    cache: SemCache,
+    tracer: Tracer,
+    governor: Governor,
+    runs: usize,
+}
+
+impl RepairSession {
+    /// Creates a session over `universe` starting every verification
+    /// from `base` (the unrefined domain; repairs never mutate it).
+    pub fn new(universe: Universe, base: EnumDomain) -> RepairSession {
+        RepairSession {
+            universe,
+            base,
+            cache: SemCache::new(),
+            tracer: Tracer::disabled(),
+            governor: Governor::unlimited(),
+            runs: 0,
+        }
+    }
+
+    /// Routes engine and cache telemetry through `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.cache.set_tracer(&tracer);
+        self.tracer = tracer;
+        self
+    }
+
+    /// Enforces `governor` in every verification this session runs.
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// The session's universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The session's base domain (unrefined; verdicts carry the repaired
+    /// clones).
+    pub fn base(&self) -> &EnumDomain {
+        &self.base
+    }
+
+    /// The shared semantic cache (for stats snapshots).
+    pub fn cache(&self) -> &SemCache {
+        &self.cache
+    }
+
+    /// Verifications run so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Verifies `⟦r⟧pre ≤ spec` by backward repair, reusing every warm
+    /// derivation from earlier calls. The first call is an ordinary cold
+    /// verification that warms the session; later calls — re-verifying
+    /// after an edit, or re-checking unchanged programs — pay roughly
+    /// per-fresh-node cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RepairError`] exactly like [`Verifier::backward`].
+    pub fn verify(
+        &mut self,
+        r: &air_lang::ast::Reg,
+        pre: &StateSet,
+        spec: &StateSet,
+    ) -> Result<SessionOutcome, RepairError> {
+        // Intern before the run so the outcome reports the structural
+        // distance of *this revision* (the engine's own intern call then
+        // sees zero fresh nodes).
+        let outcome = self.cache.intern(r);
+        let program_nodes = TermArena::new().intern(r).fresh_nodes;
+        let incremental = self.runs > 0;
+        let verdict = Verifier::with_cache(&self.universe, self.cache.clone())
+            .tracer(self.tracer.clone())
+            .governor(self.governor.clone())
+            .backward(self.base.clone(), r, pre, spec)?;
+        self.runs += 1;
+        Ok(SessionOutcome {
+            verdict,
+            reuse: ReuseStats {
+                program_nodes,
+                fresh_nodes: outcome.fresh_nodes,
+                incremental,
+            },
+        })
+    }
+
+    /// Drops every warm table (arena ids survive; memo entries do not).
+    /// The reset hook for long-lived daemons.
+    pub fn flush(&mut self) {
+        self.cache.reset();
+        self.base.clear_caches();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_domains::IntervalEnv;
+    use air_lang::parse_program;
+
+    fn session() -> (RepairSession, StateSet, StateSet) {
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let pre = u.filter(|s| s[0] % 2 != 0);
+        let spec = u.filter(|s| s[0] != 0);
+        (RepairSession::new(u, dom), pre, spec)
+    }
+
+    #[test]
+    fn reverifying_unchanged_program_reuses_everything() {
+        let (mut sess, pre, spec) = session();
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let first = sess.verify(&prog, &pre, &spec).unwrap();
+        assert!(first.verdict.is_proved());
+        assert!(!first.reuse.incremental);
+        assert!(first.reuse.fresh_nodes > 0);
+        let again = sess.verify(&prog, &pre, &spec).unwrap();
+        assert!(again.verdict.is_proved());
+        assert!(again.reuse.incremental);
+        assert_eq!(again.reuse.fresh_nodes, 0, "unchanged program: full reuse");
+        assert_eq!(again.reuse.reuse_ratio(), 1.0);
+    }
+
+    #[test]
+    fn edits_cost_their_structural_distance() {
+        let (mut sess, pre, spec) = session();
+        let v1 = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let v2 = parse_program("if (x >= 0) then { x := x } else { x := 0 - x }").unwrap();
+        sess.verify(&v1, &pre, &spec).unwrap();
+        let edited = sess.verify(&v2, &pre, &spec).unwrap();
+        let total = edited.reuse.program_nodes;
+        assert!(edited.reuse.fresh_nodes < total, "most nodes reused");
+        assert!(edited.reuse.reused_nodes() > 0);
+    }
+
+    #[test]
+    fn session_verdict_matches_from_scratch() {
+        let (mut sess, pre, spec) = session();
+        let v1 = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let v2 = parse_program("if (x > 0) then { skip } else { x := 0 - x }").unwrap();
+        sess.verify(&v1, &pre, &spec).unwrap();
+        let incremental = sess.verify(&v2, &pre, &spec).unwrap();
+        let u = sess.universe().clone();
+        let scratch = Verifier::new(&u)
+            .backward(sess.base().clone_fresh_caches(), &v2, &pre, &spec)
+            .unwrap();
+        assert_eq!(
+            incremental.verdict.report(&u),
+            scratch.report(&u),
+            "incremental re-repair must be byte-identical to from-scratch"
+        );
+    }
+
+    #[test]
+    fn flush_drops_warm_state_but_keeps_results_identical() {
+        let (mut sess, pre, spec) = session();
+        let prog = parse_program("if (x >= 0) then { skip } else { x := 0 - x }").unwrap();
+        let before = sess.verify(&prog, &pre, &spec).unwrap();
+        sess.flush();
+        let after = sess.verify(&prog, &pre, &spec).unwrap();
+        let u = sess.universe().clone();
+        assert_eq!(before.verdict.report(&u), after.verdict.report(&u));
+    }
+}

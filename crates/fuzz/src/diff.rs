@@ -3,10 +3,12 @@
 //! The same instance is pushed through every configuration axis the
 //! ROADMAP exposes — cached vs uncached [`SemCache`](air_lang::SemCache), governed vs
 //! ungoverned, sequential vs [`par_map_governed`] parallelism, the
-//! `LCL_A` prover vs the repair engines, and (axis 7) a fault-injected
-//! run recovered by the [`Supervisor`] vs the fault-free run — and any
-//! observable disagreement is reported as a human-readable message. An
-//! empty result is agreement everywhere.
+//! `LCL_A` prover vs the repair engines, (axis 7) a fault-injected
+//! run recovered by the [`Supervisor`] vs the fault-free run, and
+//! (axis 8) a warm [`RepairSession`] incrementally re-verifying the
+//! unchanged program and a single-statement edit of it vs from-scratch
+//! runs — and any observable disagreement is reported as a
+//! human-readable message. An empty result is agreement everywhere.
 //!
 //! Budget cutoffs are *not* disagreements: a tightly-governed run may
 //! legitimately stop early, but its partial invariant must still be a
@@ -16,8 +18,8 @@
 use std::sync::Arc;
 
 use crate::case::BuiltCase;
-use air_core::{BackwardRepair, ForwardRepair, Lcl, RepairError, Verifier};
-use air_lang::{Concrete, SemError, StateSet};
+use air_core::{BackwardRepair, ForwardRepair, Lcl, RepairError, RepairSession, Verifier};
+use air_lang::{Concrete, Exp, Reg, SemError, StateSet};
 use air_lattice::{par_map_governed, Budget, Governor};
 use air_resilience::{
     FailSwitch, FaultInjector, FaultKind, FaultPlan, FaultSpec, InjectSink, RetryPolicy, Supervisor,
@@ -208,7 +210,102 @@ pub fn differential_sweep(b: &BuiltCase) -> Result<Vec<String>, SemError> {
         }
     }
 
+    // Axis 8 — incremental re-repair vs from-scratch. A warm
+    // RepairSession re-verifying the unchanged program, then a
+    // single-statement edit of it, must reproduce the from-scratch
+    // verdicts bit for bit: warm arenas and memo tables are pure, so
+    // reuse may only change the cost, never the answer.
+    let mut session = RepairSession::new(b.universe.clone(), b.domain.clone());
+    let warm_first = session.verify(r, &b.pre, &b.spec);
+    let warm_again = session.verify(r, &b.pre, &b.spec);
+    match (&plain, &warm_again) {
+        (Ok(p), Ok(s)) => {
+            if p.is_proved() != s.verdict.is_proved()
+                || p.valid_input() != s.verdict.valid_input()
+                || p.added_points() != s.verdict.added_points()
+            {
+                diffs.push(
+                    "reverify: warm session disagrees with from-scratch on the unchanged program"
+                        .into(),
+                );
+            }
+            if s.reuse.fresh_nodes != 0 {
+                diffs.push("reverify: re-interning an unchanged program added arena nodes".into());
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => check_repair_error(e)?,
+    }
+    if let Err(e) = &warm_first {
+        check_repair_error(e)?;
+    }
+    let edited = skip_one_statement(r, b.case.seed);
+    let warm_edit = session.verify(&edited, &b.pre, &b.spec);
+    let scratch_edit = Verifier::new(u).backward(b.domain.clone(), &edited, &b.pre, &b.spec);
+    match (warm_edit, scratch_edit) {
+        (Ok(s), Ok(p)) => {
+            if p.is_proved() != s.verdict.is_proved()
+                || p.valid_input() != s.verdict.valid_input()
+                || p.added_points() != s.verdict.added_points()
+            {
+                diffs.push(
+                    "reverify: warm session disagrees with from-scratch on an edited program"
+                        .into(),
+                );
+            }
+        }
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
+            if let Some(msg) = repair_error_diff("reverify edit asymmetry", &e)? {
+                diffs.push(msg);
+            }
+        }
+        (Err(a), Err(b2)) => {
+            check_repair_error(&a)?;
+            check_repair_error(&b2)?;
+        }
+    }
+
     Ok(diffs)
+}
+
+/// A deterministic single-statement edit: the `seed`-chosen basic
+/// command is replaced by `skip`, leaving every other node untouched —
+/// the shape of edit the incremental re-repair axis is about.
+pub fn skip_one_statement(r: &Reg, seed: u64) -> Reg {
+    let leaves = count_basic(r);
+    let target = (seed as usize) % leaves.max(1);
+    let mut next = 0usize;
+    replace_basic(r, target, &mut next)
+}
+
+fn count_basic(r: &Reg) -> usize {
+    match r {
+        Reg::Basic(_) => 1,
+        Reg::Seq(a, b) | Reg::Choice(a, b) => count_basic(a) + count_basic(b),
+        Reg::Star(body) => count_basic(body),
+    }
+}
+
+fn replace_basic(r: &Reg, target: usize, next: &mut usize) -> Reg {
+    match r {
+        Reg::Basic(e) => {
+            let here = *next;
+            *next += 1;
+            if here == target {
+                Reg::Basic(Exp::Skip)
+            } else {
+                Reg::Basic(e.clone())
+            }
+        }
+        Reg::Seq(a, b) => Reg::Seq(
+            Box::new(replace_basic(a, target, next)),
+            Box::new(replace_basic(b, target, next)),
+        ),
+        Reg::Choice(a, b) => Reg::Choice(
+            Box::new(replace_basic(a, target, next)),
+            Box::new(replace_basic(b, target, next)),
+        ),
+        Reg::Star(body) => Reg::Star(Box::new(replace_basic(body, target, next))),
+    }
 }
 
 fn derived_set(b: &BuiltCase, salt: u64) -> StateSet {

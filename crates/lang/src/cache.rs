@@ -35,6 +35,7 @@ use air_trace::{EventKind, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use crate::arena::{TermArena, TermId, TermNode};
 use crate::ast::{BExp, Exp, Reg};
 use crate::semantics::{Concrete, SemError};
 use crate::store::StateSet;
@@ -53,11 +54,14 @@ pub const DEFAULT_BYPASS_THRESHOLD: usize = 64;
 /// A shared, thread-safe cache for concrete execution, `wlp` and guard
 /// satisfaction over one universe.
 ///
-/// Keys embed the command and input set; the `exec` table additionally
-/// keys on the semantics' strictness so the universe-restricted and
-/// strict modes never alias. A cache must not be reused across
-/// universes (keys would collide structurally); every engine in
-/// `air-core` creates or receives one per universe.
+/// Commands are interned into a shared [`TermArena`] and keys carry the
+/// resulting [`TermId`] — a `u32` — next to the input set, so a lookup
+/// hashes an integer and a (hash-cached) bitset instead of deep-cloning
+/// and deep-hashing an AST subtree. The `exec` table additionally keys
+/// on the semantics' strictness so the universe-restricted and strict
+/// modes never alias. A cache must not be reused across universes (keys
+/// would collide structurally); every engine in `air-core` creates or
+/// receives one per universe.
 ///
 /// Calls on universes of at most [`bypass_threshold`](Self::bypass_threshold)
 /// states skip the tables entirely and run the uncached transformer
@@ -65,8 +69,9 @@ pub const DEFAULT_BYPASS_THRESHOLD: usize = 64;
 /// counter and, when traced, emits a `cache_bypass` event.
 #[derive(Clone, Debug)]
 pub struct SemCache {
-    exec: MemoTable<(bool, Reg, StateSet), StateSet>,
-    wlp: MemoTable<(Reg, StateSet), StateSet>,
+    arena: TermArena,
+    exec: MemoTable<(bool, TermId, StateSet), StateSet>,
+    wlp: MemoTable<(TermId, StateSet), StateSet>,
     sat: MemoTable<BExp, StateSet>,
     bypass_threshold: usize,
     bypasses: Arc<AtomicU64>,
@@ -89,6 +94,7 @@ impl SemCache {
     /// `threshold` states (`0` disables the bypass).
     pub fn with_bypass_threshold(threshold: usize) -> Self {
         SemCache {
+            arena: TermArena::new(),
             exec: MemoTable::new(),
             wlp: MemoTable::new(),
             sat: MemoTable::new(),
@@ -101,6 +107,13 @@ impl SemCache {
     /// The universe-size cutoff below which calls skip the tables.
     pub fn bypass_threshold(&self) -> usize {
         self.bypass_threshold
+    }
+
+    /// `true` if calls over `universe_size` states take the direct path.
+    /// Pure probe: nothing is counted or traced (see
+    /// [`demote_for`](Self::demote_for) for the recording variant).
+    pub fn is_bypassed(&self, universe_size: usize) -> bool {
+        universe_size <= self.bypass_threshold
     }
 
     /// Empties the exec/wlp/sat tables in place, through the shared
@@ -133,6 +146,22 @@ impl SemCache {
         }
     }
 
+    /// Engine-level demotion: `true` (counting and tracing one bypass) if
+    /// a whole engine run over `universe_size` states should drop this
+    /// cache and take the direct path.
+    ///
+    /// The per-call [`bypass`](Self::bypass) check keeps tiny universes
+    /// off the tables, but each call still pays the branch, the shared
+    /// counter bump and the tracer probe — measurably slower than never
+    /// asking. Engines (`Verifier`, the repair strategies) instead ask
+    /// once up front and, when demoted, run their unmemoized reference
+    /// path for the entire call: the hot loop then contains no cache code
+    /// at all. One bypass is counted (and traced, when a tracer is
+    /// attached) for the whole run.
+    pub fn demote_for(&self, universe_size: usize) -> bool {
+        self.bypass("engine", universe_size)
+    }
+
     /// `true` (counting and tracing the fact) if a call over
     /// `universe_size` states should run unmemoized.
     fn bypass(&self, table: &'static str, universe_size: usize) -> bool {
@@ -144,6 +173,22 @@ impl SemCache {
             tracer.emit_with(|| EventKind::CacheBypass { table });
         }
         true
+    }
+
+    /// The shared term arena behind this cache's keys. Engines that hold
+    /// a cache can intern their program once and drive the id-based entry
+    /// points ([`exec_id`](Self::exec_id), [`wlp_id`](Self::wlp_id))
+    /// directly, skipping the per-call interning walk.
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
+    }
+
+    /// Interns `r` into the shared arena (see [`TermArena::intern`]); the
+    /// outcome's `fresh_nodes` is the number of subterms this cache had
+    /// never seen — zero means every node already has warm entries
+    /// available, which is the incremental re-repair fast path.
+    pub fn intern(&self, r: &Reg) -> crate::arena::InternOutcome {
+        self.arena.intern(r)
     }
 
     /// Cached collecting semantics of a basic command: `⟦e⟧S`.
@@ -161,7 +206,7 @@ impl SemCache {
         if self.bypass("exec", sem.universe().size()) {
             return sem.exec_exp(e, s);
         }
-        let key = (sem.is_strict(), Reg::Basic(e.clone()), s.clone());
+        let key = (sem.is_strict(), self.arena.intern_exp(e), s.clone());
         self.exec
             .try_get_or_insert_with(&key, || sem.exec_exp(e, s))
     }
@@ -177,26 +222,57 @@ impl SemCache {
         if self.bypass("exec", sem.universe().size()) {
             return sem.exec(r, s);
         }
-        let key = (sem.is_strict(), r.clone(), s.clone());
-        self.exec.try_get_or_insert_with(&key, || match r {
-            Reg::Basic(e) => sem.exec_exp(e, s),
-            Reg::Seq(r1, r2) => {
-                let mid = self.exec(sem, r1, s)?;
-                self.exec(sem, r2, &mid)
-            }
-            Reg::Choice(r1, r2) => Ok(self.exec(sem, r1, s)?.union(&self.exec(sem, r2, s)?)),
-            Reg::Star(body) => {
-                // Same lfp iteration as `Concrete::exec`, with each round's
-                // body image cached.
-                let mut acc = s.clone();
-                for _ in 0..=sem.universe().size() {
-                    let next = acc.union(&self.exec(sem, body, &acc)?);
-                    if next == acc {
-                        return Ok(acc);
-                    }
-                    acc = next;
+        self.exec_node(sem, self.arena.intern(r).root, s)
+    }
+
+    /// Id-keyed [`exec`](Self::exec): `id` must come from this cache's
+    /// [`arena`](Self::arena).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`]; errors are not cached.
+    pub fn exec_id(
+        &self,
+        sem: &Concrete<'_>,
+        id: TermId,
+        s: &StateSet,
+    ) -> Result<StateSet, SemError> {
+        if self.bypass("exec", sem.universe().size()) {
+            return sem.exec(&self.arena.resolve(id), s);
+        }
+        self.exec_node(sem, id, s)
+    }
+
+    fn exec_node(
+        &self,
+        sem: &Concrete<'_>,
+        id: TermId,
+        s: &StateSet,
+    ) -> Result<StateSet, SemError> {
+        let key = (sem.is_strict(), id, s.clone());
+        self.exec.try_get_or_insert_with(&key, || {
+            match self.arena.node(id) {
+                TermNode::Basic(e) => sem.exec_exp(&e, s),
+                TermNode::Seq(r1, r2) => {
+                    let mid = self.exec_node(sem, r1, s)?;
+                    self.exec_node(sem, r2, &mid)
                 }
-                Err(SemError::Divergence)
+                TermNode::Choice(r1, r2) => Ok(self
+                    .exec_node(sem, r1, s)?
+                    .union(&self.exec_node(sem, r2, s)?)),
+                TermNode::Star(body) => {
+                    // Same lfp iteration as `Concrete::exec`, with each
+                    // round's body image cached.
+                    let mut acc = s.clone();
+                    for _ in 0..=sem.universe().size() {
+                        let next = acc.union(&self.exec_node(sem, body, &acc)?);
+                        if next == acc {
+                            return Ok(acc);
+                        }
+                        acc = next;
+                    }
+                    Err(SemError::Divergence)
+                }
             }
         })
     }
@@ -210,7 +286,7 @@ impl SemCache {
         if self.bypass("wlp", wlp.universe().size()) {
             return wlp.exp(e, post);
         }
-        let key = (Reg::Basic(e.clone()), post.clone());
+        let key = (self.arena.intern_exp(e), post.clone());
         self.wlp.try_get_or_insert_with(&key, || wlp.exp(e, post))
     }
 
@@ -224,28 +300,47 @@ impl SemCache {
         if self.bypass("wlp", wlp.universe().size()) {
             return wlp.reg(r, post);
         }
-        let key = (r.clone(), post.clone());
-        self.wlp.try_get_or_insert_with(&key, || match r {
-            Reg::Basic(e) => wlp.exp(e, post),
-            Reg::Seq(r1, r2) => {
-                let mid = self.wlp_reg(wlp, r2, post)?;
-                self.wlp_reg(wlp, r1, &mid)
-            }
-            Reg::Choice(r1, r2) => Ok(self
-                .wlp_reg(wlp, r1, post)?
-                .intersection(&self.wlp_reg(wlp, r2, post)?)),
-            Reg::Star(body) => {
-                // Same gfp iteration as `Wlp::reg`, with each round's body
-                // wlp cached.
-                let mut acc = post.clone();
-                for _ in 0..=wlp.universe().size() {
-                    let next = post.intersection(&self.wlp_reg(wlp, body, &acc)?);
-                    if next == acc {
-                        return Ok(acc);
-                    }
-                    acc = next;
+        self.wlp_node(wlp, self.arena.intern(r).root, post)
+    }
+
+    /// Id-keyed [`wlp_reg`](Self::wlp_reg): `id` must come from this
+    /// cache's [`arena`](Self::arena).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SemError`]; errors are not cached.
+    pub fn wlp_id(&self, wlp: &Wlp<'_>, id: TermId, post: &StateSet) -> Result<StateSet, SemError> {
+        if self.bypass("wlp", wlp.universe().size()) {
+            return wlp.reg(&self.arena.resolve(id), post);
+        }
+        self.wlp_node(wlp, id, post)
+    }
+
+    fn wlp_node(&self, wlp: &Wlp<'_>, id: TermId, post: &StateSet) -> Result<StateSet, SemError> {
+        let key = (id, post.clone());
+        self.wlp.try_get_or_insert_with(&key, || {
+            match self.arena.node(id) {
+                TermNode::Basic(e) => wlp.exp(&e, post),
+                TermNode::Seq(r1, r2) => {
+                    let mid = self.wlp_node(wlp, r2, post)?;
+                    self.wlp_node(wlp, r1, &mid)
                 }
-                Err(SemError::Divergence)
+                TermNode::Choice(r1, r2) => Ok(self
+                    .wlp_node(wlp, r1, post)?
+                    .intersection(&self.wlp_node(wlp, r2, post)?)),
+                TermNode::Star(body) => {
+                    // Same gfp iteration as `Wlp::reg`, with each round's
+                    // body wlp cached.
+                    let mut acc = post.clone();
+                    for _ in 0..=wlp.universe().size() {
+                        let next = post.intersection(&self.wlp_node(wlp, body, &acc)?);
+                        if next == acc {
+                            return Ok(acc);
+                        }
+                        acc = next;
+                    }
+                    Err(SemError::Divergence)
+                }
             }
         })
     }

@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod ast;
 pub mod cache;
 pub mod gen;
@@ -48,6 +49,7 @@ pub mod semantics;
 pub mod store;
 pub mod wlp;
 
+pub use arena::{InternOutcome, TermArena, TermId, TermNode};
 pub use ast::{AExp, BExp, Exp, Reg};
 pub use cache::{SemCache, DEFAULT_BYPASS_THRESHOLD};
 pub use parser::{parse_bexp, parse_program, ParseError};

@@ -96,6 +96,15 @@ struct VarInfo {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Universe {
+    /// All universe data sits behind one `Arc`: a universe is immutable
+    /// after construction and is cloned into every domain, engine and
+    /// warm-cache entry, so `clone()` must be a reference bump, not a
+    /// deep copy of the variable table and its `HashMap`.
+    inner: Arc<UniverseInner>,
+}
+
+#[derive(Debug)]
+struct UniverseInner {
     vars: Vec<VarInfo>,
     index: HashMap<Arc<str>, usize>,
     /// Mixed-radix strides: `strides[i]` = product of later ranges.
@@ -145,31 +154,33 @@ impl Universe {
             strides[i] = strides[i + 1] * (vars[i + 1].hi - vars[i + 1].lo + 1) as usize;
         }
         Ok(Universe {
-            vars,
-            index,
-            strides,
-            size,
+            inner: Arc::new(UniverseInner {
+                vars,
+                index,
+                strides,
+                size,
+            }),
         })
     }
 
     /// Number of stores in the universe.
     pub fn size(&self) -> usize {
-        self.size
+        self.inner.size
     }
 
     /// Number of declared variables.
     pub fn num_vars(&self) -> usize {
-        self.vars.len()
+        self.inner.vars.len()
     }
 
     /// The declared variable names, in declaration order.
     pub fn var_names(&self) -> impl Iterator<Item = &str> {
-        self.vars.iter().map(|v| &*v.name)
+        self.inner.vars.iter().map(|v| &*v.name)
     }
 
     /// Index of a variable in store order, if declared.
     pub fn var_index(&self, name: &str) -> Option<usize> {
-        self.index.get(name).copied()
+        self.inner.index.get(name).copied()
     }
 
     /// Declared range `[lo, hi]` of the `i`-th variable.
@@ -178,13 +189,14 @@ impl Universe {
     ///
     /// Panics if `i` is out of range.
     pub fn var_range(&self, i: usize) -> (i64, i64) {
-        (self.vars[i].lo, self.vars[i].hi)
+        (self.inner.vars[i].lo, self.inner.vars[i].hi)
     }
 
     /// Returns `true` if `store` lies inside every declared range.
     pub fn contains_store(&self, store: &[i64]) -> bool {
-        store.len() == self.vars.len()
+        store.len() == self.inner.vars.len()
             && self
+                .inner
                 .vars
                 .iter()
                 .zip(store)
@@ -197,8 +209,8 @@ impl Universe {
             return None;
         }
         let mut idx = 0;
-        for (i, (v, &x)) in self.vars.iter().zip(store).enumerate() {
-            idx += (x - v.lo) as usize * self.strides[i];
+        for (i, (v, &x)) in self.inner.vars.iter().zip(store).enumerate() {
+            idx += (x - v.lo) as usize * self.inner.strides[i];
         }
         Some(idx)
     }
@@ -210,15 +222,15 @@ impl Universe {
     /// Panics if `idx >= size()`.
     pub fn store_at(&self, idx: usize) -> Store {
         assert!(
-            idx < self.size,
+            idx < self.inner.size,
             "store index {idx} out of universe size {}",
-            self.size
+            self.inner.size
         );
         let mut rem = idx;
-        let mut store = Vec::with_capacity(self.vars.len());
-        for (i, v) in self.vars.iter().enumerate() {
-            let q = rem / self.strides[i];
-            rem %= self.strides[i];
+        let mut store = Vec::with_capacity(self.inner.vars.len());
+        for (i, v) in self.inner.vars.iter().enumerate() {
+            let q = rem / self.inner.strides[i];
+            rem %= self.inner.strides[i];
             store.push(v.lo + q as i64);
         }
         store
@@ -226,17 +238,17 @@ impl Universe {
 
     /// Iterates over all stores, paired with their indices.
     pub fn iter_stores(&self) -> impl Iterator<Item = (usize, Store)> + '_ {
-        (0..self.size).map(|i| (i, self.store_at(i)))
+        (0..self.inner.size).map(|i| (i, self.store_at(i)))
     }
 
     /// The empty state set `⊥ = ∅`.
     pub fn empty(&self) -> StateSet {
-        BitVecSet::new(self.size)
+        BitVecSet::new(self.inner.size)
     }
 
     /// The full state set `⊤ = Σ`.
     pub fn full(&self) -> StateSet {
-        BitVecSet::full(self.size)
+        BitVecSet::full(self.inner.size)
     }
 
     /// The set of stores satisfying a predicate.
@@ -280,7 +292,7 @@ impl Universe {
     /// Panics if the universe has more than one variable.
     pub fn of_values<I: IntoIterator<Item = i64>>(&self, values: I) -> StateSet {
         assert_eq!(
-            self.vars.len(),
+            self.inner.vars.len(),
             1,
             "of_values requires a single-variable universe"
         );
@@ -295,7 +307,8 @@ impl Universe {
 
     /// Renders a store as `x=1, y=2`.
     pub fn display_store(&self, store: &[i64]) -> String {
-        self.vars
+        self.inner
+            .vars
             .iter()
             .zip(store)
             .map(|(v, x)| format!("{}={}", v.name, x))

@@ -1,19 +1,54 @@
-//! A compact dynamic bitset.
+//! A compact dynamic bitset with copy-on-write storage.
 //!
 //! [`BitVecSet`] is the backing representation for sets of states over a
 //! finite universe: each state has an index, and a concrete property is the
 //! bitset of indices it contains. All binary operations require both
 //! operands to have the same capacity (they always do in practice because a
 //! universe fixes the capacity once).
+//!
+//! # Storage and cost model
+//!
+//! The word block lives behind an [`Arc`], so `clone()` is one reference
+//! bump — cache keys, memo values and the point vectors of the repair
+//! engines copy sets constantly, and none of those copies touch the words.
+//! Mutating methods ([`insert`](BitVecSet::insert),
+//! [`union_with`](BitVecSet::union_with), …) copy the block first only when
+//! it is shared (`Arc::make_mut`).
+//!
+//! The block also carries a lazily computed, cached hash: the first
+//! [`Hash`] of a set walks the words once, every later hash of any clone is
+//! a single load. Equality short-circuits on pointer identity and on
+//! *differing* cached hashes before it ever compares words. Both make
+//! memo-table lookups keyed on sets O(1) in the set size after first use.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::order::{JoinSemilattice, MeetSemilattice, Poset};
 
 const WORD_BITS: usize = 64;
 
-/// A fixed-capacity set of `usize` indices backed by a `Vec<u64>`.
+/// The shared word block: the bits plus a cached hash of the whole set
+/// (`0` = not computed yet; a computed hash of `0` is stored as `1`).
+struct Words {
+    bits: Vec<u64>,
+    hash: AtomicU64,
+}
+
+impl Clone for Words {
+    fn clone(&self) -> Self {
+        Words {
+            bits: self.bits.clone(),
+            // The copy holds identical bits, so the cached hash stays valid;
+            // mutators reset it after `make_mut` regardless.
+            hash: AtomicU64::new(self.hash.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A fixed-capacity set of `usize` indices backed by a shared `Vec<u64>`.
 ///
 /// # Example
 ///
@@ -27,29 +62,38 @@ const WORD_BITS: usize = 64;
 /// assert!(s.contains(97));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct BitVecSet {
     nbits: usize,
-    words: Vec<u64>,
+    words: Arc<Words>,
 }
 
 impl BitVecSet {
-    /// Creates an empty set with capacity for indices `0..nbits`.
-    pub fn new(nbits: usize) -> Self {
+    fn from_words(nbits: usize, bits: Vec<u64>) -> Self {
         BitVecSet {
             nbits,
-            words: vec![0; nbits.div_ceil(WORD_BITS)],
+            words: Arc::new(Words {
+                bits,
+                hash: AtomicU64::new(0),
+            }),
         }
+    }
+
+    /// Creates an empty set with capacity for indices `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        Self::from_words(nbits, vec![0; nbits.div_ceil(WORD_BITS)])
     }
 
     /// Creates the full set `{0, …, nbits-1}`.
     pub fn full(nbits: usize) -> Self {
-        let mut s = Self::new(nbits);
-        for w in &mut s.words {
-            *w = u64::MAX;
+        let mut bits = vec![u64::MAX; nbits.div_ceil(WORD_BITS)];
+        let rem = nbits % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
         }
-        s.trim();
-        s
+        Self::from_words(nbits, bits)
     }
 
     /// Creates a set from an iterator of indices.
@@ -70,11 +114,42 @@ impl BitVecSet {
         self.nbits
     }
 
+    /// The words, read-only.
+    #[inline]
+    fn bits(&self) -> &[u64] {
+        &self.words.bits
+    }
+
+    /// The words for mutation: unshares the block if needed and resets the
+    /// cached hash (the caller is about to change the contents).
+    #[inline]
+    fn bits_mut(&mut self) -> &mut Vec<u64> {
+        let w = Arc::make_mut(&mut self.words);
+        *w.hash.get_mut() = 0;
+        &mut w.bits
+    }
+
+    /// The cached whole-set hash, computing and storing it on first use.
+    /// A pure function of `(nbits, words)`, so equal sets always agree.
+    fn cached_hash(&self) -> u64 {
+        let h = self.words.hash.load(Ordering::Relaxed);
+        if h != 0 {
+            return h;
+        }
+        let mut hasher = std::hash::DefaultHasher::new();
+        self.nbits.hash(&mut hasher);
+        self.words.bits.hash(&mut hasher);
+        let h = hasher.finish().max(1); // 0 is the "unset" sentinel
+        self.words.hash.store(h, Ordering::Relaxed);
+        h
+    }
+
     /// Zeroes any bits beyond `nbits` in the last word.
     fn trim(&mut self) {
-        let rem = self.nbits % WORD_BITS;
+        let nbits = self.nbits;
+        let rem = nbits % WORD_BITS;
         if rem != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.bits_mut().last_mut() {
                 *last &= (1u64 << rem) - 1;
             }
         }
@@ -92,9 +167,11 @@ impl BitVecSet {
             self.nbits
         );
         let (w, b) = (index / WORD_BITS, index % WORD_BITS);
-        let fresh = self.words[w] & (1 << b) == 0;
-        self.words[w] |= 1 << b;
-        fresh
+        if self.bits()[w] & (1 << b) != 0 {
+            return false; // already present: no unsharing, no hash reset
+        }
+        self.bits_mut()[w] |= 1 << b;
+        true
     }
 
     /// Removes `index`, returning `true` if it was present.
@@ -109,27 +186,30 @@ impl BitVecSet {
             self.nbits
         );
         let (w, b) = (index / WORD_BITS, index % WORD_BITS);
-        let present = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
-        present
+        if self.bits()[w] & (1 << b) == 0 {
+            return false;
+        }
+        self.bits_mut()[w] &= !(1 << b);
+        true
     }
 
     /// Returns `true` if `index` is in the set.
+    #[inline]
     pub fn contains(&self, index: usize) -> bool {
         if index >= self.nbits {
             return false;
         }
-        self.words[index / WORD_BITS] & (1 << (index % WORD_BITS)) != 0
+        self.bits()[index / WORD_BITS] & (1 << (index % WORD_BITS)) != 0
     }
 
-    /// Number of elements.
+    /// Number of elements (word-parallel popcount).
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.bits().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Returns `true` if the set has no elements.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.bits().iter().all(|&w| w == 0)
     }
 
     /// Returns `true` if the set contains every index in `0..capacity()`.
@@ -152,16 +232,16 @@ impl BitVecSet {
     /// Panics if the capacities differ.
     pub fn union(&self, other: &Self) -> Self {
         self.check_same_capacity(other);
+        if Arc::ptr_eq(&self.words, &other.words) {
+            return self.clone();
+        }
         let words = self
-            .words
+            .bits()
             .iter()
-            .zip(&other.words)
+            .zip(other.bits())
             .map(|(a, b)| a | b)
             .collect();
-        BitVecSet {
-            nbits: self.nbits,
-            words,
-        }
+        Self::from_words(self.nbits, words)
     }
 
     /// Set intersection.
@@ -171,16 +251,16 @@ impl BitVecSet {
     /// Panics if the capacities differ.
     pub fn intersection(&self, other: &Self) -> Self {
         self.check_same_capacity(other);
+        if Arc::ptr_eq(&self.words, &other.words) {
+            return self.clone();
+        }
         let words = self
-            .words
+            .bits()
             .iter()
-            .zip(&other.words)
+            .zip(other.bits())
             .map(|(a, b)| a & b)
             .collect();
-        BitVecSet {
-            nbits: self.nbits,
-            words,
-        }
+        Self::from_words(self.nbits, words)
     }
 
     /// Set difference `self \ other`.
@@ -191,23 +271,17 @@ impl BitVecSet {
     pub fn difference(&self, other: &Self) -> Self {
         self.check_same_capacity(other);
         let words = self
-            .words
+            .bits()
             .iter()
-            .zip(&other.words)
+            .zip(other.bits())
             .map(|(a, b)| a & !b)
             .collect();
-        BitVecSet {
-            nbits: self.nbits,
-            words,
-        }
+        Self::from_words(self.nbits, words)
     }
 
     /// Complement within the capacity.
     pub fn complement(&self) -> Self {
-        let mut s = BitVecSet {
-            nbits: self.nbits,
-            words: self.words.iter().map(|w| !w).collect(),
-        };
+        let mut s = Self::from_words(self.nbits, self.bits().iter().map(|w| !w).collect());
         s.trim();
         s
     }
@@ -217,11 +291,15 @@ impl BitVecSet {
     /// # Panics
     ///
     /// Panics if the capacities differ.
+    #[inline]
     pub fn is_subset(&self, other: &Self) -> bool {
         self.check_same_capacity(other);
-        self.words
+        if Arc::ptr_eq(&self.words, &other.words) {
+            return true;
+        }
+        self.bits()
             .iter()
-            .zip(&other.words)
+            .zip(other.bits())
             .all(|(a, b)| a & !b == 0)
     }
 
@@ -232,7 +310,10 @@ impl BitVecSet {
     /// Panics if the capacities differ.
     pub fn is_disjoint(&self, other: &Self) -> bool {
         self.check_same_capacity(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+        self.bits()
+            .iter()
+            .zip(other.bits())
+            .all(|(a, b)| a & b == 0)
     }
 
     /// In-place union.
@@ -242,7 +323,10 @@ impl BitVecSet {
     /// Panics if the capacities differ.
     pub fn union_with(&mut self, other: &Self) {
         self.check_same_capacity(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        if Arc::ptr_eq(&self.words, &other.words) {
+            return;
+        }
+        for (a, b) in self.bits_mut().iter_mut().zip(other.bits()) {
             *a |= b;
         }
     }
@@ -254,23 +338,47 @@ impl BitVecSet {
     /// Panics if the capacities differ.
     pub fn intersect_with(&mut self, other: &Self) {
         self.check_same_capacity(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        if Arc::ptr_eq(&self.words, &other.words) {
+            return;
+        }
+        for (a, b) in self.bits_mut().iter_mut().zip(other.bits()) {
             *a &= b;
         }
     }
 
     /// Iterates over the indices in ascending order.
     pub fn iter(&self) -> Iter<'_> {
+        let words = self.bits();
         Iter {
-            set: self,
+            words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Calls `f` on every index in ascending order. The word-chunked inner
+    /// loop avoids the iterator's per-element state machine — use this in
+    /// hot paths that visit whole sets (transfer functions, α/γ sweeps).
+    #[inline]
+    pub fn for_each_index(&self, mut f: impl FnMut(usize)) {
+        for (wi, &w) in self.bits().iter().enumerate() {
+            let mut cur = w;
+            let base = wi * WORD_BITS;
+            while cur != 0 {
+                let b = cur.trailing_zeros() as usize;
+                cur &= cur - 1;
+                f(base + b);
+            }
         }
     }
 
     /// The smallest index in the set, if any.
     pub fn min_index(&self) -> Option<usize> {
-        self.iter().next()
+        self.bits()
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, &w)| wi * WORD_BITS + w.trailing_zeros() as usize)
     }
 }
 
@@ -280,10 +388,30 @@ impl fmt::Debug for BitVecSet {
     }
 }
 
+impl PartialEq for BitVecSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.nbits != other.nbits {
+            return false;
+        }
+        if Arc::ptr_eq(&self.words, &other.words) {
+            return true;
+        }
+        let (ha, hb) = (
+            self.words.hash.load(Ordering::Relaxed),
+            other.words.hash.load(Ordering::Relaxed),
+        );
+        if ha != 0 && hb != 0 && ha != hb {
+            return false;
+        }
+        self.bits() == other.bits()
+    }
+}
+
+impl Eq for BitVecSet {}
+
 impl Hash for BitVecSet {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.nbits.hash(state);
-        self.words.hash(state);
+        state.write_u64(self.cached_hash());
     }
 }
 
@@ -300,13 +428,13 @@ impl Ord for BitVecSet {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.nbits
             .cmp(&other.nbits)
-            .then_with(|| self.words.cmp(&other.words))
+            .then_with(|| self.bits().cmp(other.bits()))
     }
 }
 
 /// Iterator over set indices in ascending order.
 pub struct Iter<'a> {
-    set: &'a BitVecSet,
+    words: &'a [u64],
     word_idx: usize,
     current: u64,
 }
@@ -315,18 +443,16 @@ impl Iterator for Iter<'_> {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        loop {
-            if self.current != 0 {
-                let bit = self.current.trailing_zeros() as usize;
-                self.current &= self.current - 1;
-                return Some(self.word_idx * WORD_BITS + bit);
-            }
+        while self.current == 0 {
             self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.set.words[self.word_idx];
+            self.current = self.words[self.word_idx];
         }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
     }
 }
 
@@ -438,6 +564,63 @@ mod tests {
         assert_eq!(a, BitVecSet::from_indices(10, [1, 2, 3]));
         a.intersect_with(&BitVecSet::from_indices(10, [3, 4]));
         assert_eq!(a, BitVecSet::from_indices(10, [3]));
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutation() {
+        let mut a = BitVecSet::from_indices(200, [5, 100]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.words, &b.words));
+        a.insert(7);
+        assert!(!Arc::ptr_eq(&a.words, &b.words), "mutation unshares");
+        assert!(!b.contains(7), "the clone is unaffected");
+        assert!(a.contains(7));
+        // Re-inserting a present bit is a no-op and must not unshare.
+        let c = a.clone();
+        let mut d = a.clone();
+        assert!(!d.insert(7));
+        assert!(Arc::ptr_eq(&c.words, &d.words));
+    }
+
+    #[test]
+    fn cached_hash_tracks_mutation() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(s: &BitVecSet) -> u64 {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        }
+        let mut a = BitVecSet::from_indices(100, [1, 2, 3]);
+        let before = h(&a);
+        assert_eq!(before, h(&a.clone()), "clones hash equal");
+        a.insert(50);
+        assert_ne!(before, h(&a), "hash invalidated by mutation");
+        a.remove(50);
+        assert_eq!(before, h(&a), "equal contents, equal hash");
+        assert_eq!(a, BitVecSet::from_indices(100, [1, 2, 3]));
+    }
+
+    #[test]
+    fn equality_after_hashing_both_sides() {
+        // Exercise the differing-cached-hash fast path.
+        let a = BitVecSet::from_indices(100, [1]);
+        let b = BitVecSet::from_indices(100, [2]);
+        let _ = a.cached_hash();
+        let _ = b.cached_hash();
+        assert_ne!(a, b);
+        let c = BitVecSet::from_indices(100, [1]);
+        let _ = c.cached_hash();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn for_each_index_matches_iter() {
+        let s = BitVecSet::from_indices(300, [0, 1, 63, 64, 65, 128, 299]);
+        let mut via_fn = Vec::new();
+        s.for_each_index(|i| via_fn.push(i));
+        assert_eq!(via_fn, s.iter().collect::<Vec<_>>());
+        let empty = BitVecSet::new(300);
+        empty.for_each_index(|_| panic!("no indices in the empty set"));
     }
 
     #[test]

@@ -92,16 +92,37 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// One lock stripe with its own hit/miss counters, padded to a cache
+/// line: under a parallel sweep every worker hammers the counters of the
+/// shards it touches, and without the alignment two adjacent shards'
+/// counters land on one line and ping-pong between cores (false sharing).
+/// Padding costs a few bytes per shard and makes each stripe's hot state
+/// — lock word and counters — private to the cores using that stripe.
+#[repr(align(64))]
+struct Shard<K, V> {
+    map: RwLock<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
 struct MemoInner<K, V> {
-    shards: Vec<RwLock<HashMap<K, V>>>,
+    shards: Box<[Shard<K, V>]>,
     /// Fixed-seed shard selector: the key→shard mapping must be the same
     /// in every process so that observable per-shard effects (chaos
     /// poisoning, quarantine counts) are run-to-run deterministic. The
     /// maps inside the shards keep `RandomState` — their iteration order
     /// never leaks into results.
     hasher: BuildHasherDefault<DefaultHasher>,
-    hits: AtomicU64,
-    misses: AtomicU64,
     /// Shards rebuilt after a writer panicked while holding their lock.
     quarantines: AtomicU64,
     /// Set at most once (by [`MemoTable::set_tracer`]); when present,
@@ -138,12 +159,8 @@ impl<K, V> MemoTable<K, V> {
     pub fn new() -> Self {
         MemoTable {
             inner: Arc::new(MemoInner {
-                shards: (0..NUM_SHARDS)
-                    .map(|_| RwLock::new(HashMap::new()))
-                    .collect(),
+                shards: (0..NUM_SHARDS).map(|_| Shard::default()).collect(),
                 hasher: BuildHasherDefault::default(),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
                 quarantines: AtomicU64::new(0),
                 trace: OnceLock::new(),
             }),
@@ -178,7 +195,7 @@ impl<K, V> MemoTable<K, V> {
     /// propagating the poison panic. Purity of memoized functions makes
     /// this sound — losing entries only costs recomputation.
     fn shard_read(&self, idx: usize) -> RwLockReadGuard<'_, HashMap<K, V>> {
-        let shard = &self.inner.shards[idx];
+        let shard = &self.inner.shards[idx].map;
         match shard.read() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -193,7 +210,7 @@ impl<K, V> MemoTable<K, V> {
 
     /// Write-lock counterpart of [`shard_read`](Self::shard_read).
     fn shard_write(&self, idx: usize) -> RwLockWriteGuard<'_, HashMap<K, V>> {
-        let shard = &self.inner.shards[idx];
+        let shard = &self.inner.shards[idx].map;
         match shard.write() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -207,7 +224,7 @@ impl<K, V> MemoTable<K, V> {
     /// Clears a poisoned shard and counts/traces the quarantine.
     #[cold]
     fn quarantine(&self, idx: usize) {
-        let shard = &self.inner.shards[idx];
+        let shard = &self.inner.shards[idx].map;
         shard.clear_poison();
         let mut guard = shard.write().unwrap_or_else(|p| {
             shard.clear_poison();
@@ -233,7 +250,7 @@ impl<K, V> MemoTable<K, V> {
     /// writer would. The next access quarantines and rebuilds the shard.
     /// Used by the chaos harness; harmless (one cleared shard) otherwise.
     pub fn chaos_poison_shard(&self, idx: usize) {
-        let shard = &self.inner.shards[idx % NUM_SHARDS];
+        let shard = &self.inner.shards[idx % NUM_SHARDS].map;
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _guard = shard.write().unwrap_or_else(PoisonError::into_inner);
             panic!("chaos: poisoning memo shard {idx}");
@@ -259,11 +276,16 @@ impl<K, V> MemoTable<K, V> {
         }
     }
 
-    /// Snapshot of the hit/miss/entry counters.
+    /// Snapshot of the hit/miss/entry counters (summed across shards).
     pub fn stats(&self) -> CacheStats {
+        let (mut hits, mut misses) = (0, 0);
+        for shard in self.inner.shards.iter() {
+            hits += shard.hits.load(Ordering::Relaxed);
+            misses += shard.misses.load(Ordering::Relaxed);
+        }
         CacheStats {
-            hits: self.inner.hits.load(Ordering::Relaxed),
-            misses: self.inner.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
             bypasses: 0,
             entries: self.len(),
         }
@@ -290,11 +312,13 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
     pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
         let idx = self.shard_index(key);
         if let Some(v) = self.shard_read(idx).get(key) {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.shards[idx].hits.fetch_add(1, Ordering::Relaxed);
             self.trace_lookup(true);
             return v.clone();
         }
-        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.shards[idx]
+            .misses
+            .fetch_add(1, Ordering::Relaxed);
         self.trace_lookup(false);
         let value = compute();
         self.shard_write(idx)
@@ -318,11 +342,13 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoTable<K, V> {
     ) -> Result<V, E> {
         let idx = self.shard_index(key);
         if let Some(v) = self.shard_read(idx).get(key) {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.shards[idx].hits.fetch_add(1, Ordering::Relaxed);
             self.trace_lookup(true);
             return Ok(v.clone());
         }
-        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.shards[idx]
+            .misses
+            .fetch_add(1, Ordering::Relaxed);
         self.trace_lookup(false);
         let value = compute()?;
         self.shard_write(idx)

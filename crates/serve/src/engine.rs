@@ -17,13 +17,15 @@
 //!   each request clones it (sharing the base memo, copying the points
 //!   list) and adds points only to its private clone.
 
-use crate::protocol::{CacheSnapshot, JobKind, JobRequest, Response};
+use crate::protocol::{CacheSnapshot, JobKind, JobRequest, Response, ReuseSnapshot};
 use air_core::summarize::display_set;
 use air_core::{EnumDomain, RepairError, Verifier};
 use air_domains::{
     AffineDomain, CongruenceEnv, ConstantEnv, IntervalEnv, OctagonDomain, ParityEnv, SignEnv,
 };
-use air_lang::{parse_bexp, parse_program, Concrete, SemCache, SemError, StateSet, Universe};
+use air_lang::{
+    parse_bexp, parse_program, Concrete, SemCache, SemError, StateSet, TermArena, Universe,
+};
 use air_lattice::{Budget, Exhaustion, Governor};
 use air_metrics::MetricsRegistry;
 use air_trace::{json, EventKind, Tracer};
@@ -421,7 +423,18 @@ impl ServeEngine {
             .tracer(self.tracer.clone())
             .governor(governor.clone());
         match req.job {
-            JobKind::Verify | JobKind::Repair => {
+            JobKind::Verify | JobKind::Repair | JobKind::Reverify => {
+                // `reverify` measures the edit before the run: interning
+                // into the warm arena counts exactly the nodes this
+                // revision adds on top of everything the tenant's tables
+                // have seen (0 for a resubmission).
+                let reuse = (req.job == JobKind::Reverify).then(|| {
+                    let outcome = sem.intern(&prog);
+                    ReuseSnapshot {
+                        program_nodes: TermArena::new().intern(&prog).fresh_nodes,
+                        fresh_nodes: outcome.fresh_nodes,
+                    }
+                });
                 let result = if req.strategy == "forward" {
                     verifier.forward(domain, &prog, &pre, &spec)
                 } else {
@@ -457,6 +470,7 @@ impl ServeEngine {
                     warm,
                     duration_ns: started.elapsed().as_nanos() as u64,
                     cache: snapshot(&sem),
+                    reuse,
                 }
             }
             JobKind::Analyze => {
@@ -698,6 +712,52 @@ mod tests {
         };
         assert!(points > 0);
         assert_eq!(points_detail.len(), points);
+    }
+
+    #[test]
+    fn reverify_reports_node_reuse_and_identical_verdicts() {
+        let eng = engine();
+        let base = job(ABSVAL);
+        let Response::Verdict { ref report, .. } = eng.handle(&base, &eng.admit(&base).unwrap())
+        else {
+            panic!("expected verdict");
+        };
+        let base_report = report.clone();
+        // Resubmitting the unchanged program as `reverify`: full reuse.
+        let resubmit = job(&ABSVAL.replace("\"job\":\"verify\"", "\"job\":\"reverify\""));
+        let resp = eng.handle(&resubmit, &eng.admit(&resubmit).unwrap());
+        let Response::Verdict {
+            warm: true,
+            reuse: Some(reuse),
+            report: ref report2,
+            ..
+        } = resp
+        else {
+            panic!("expected warm reverify verdict with reuse, got {resp:?}");
+        };
+        assert_eq!(reuse.fresh_nodes, 0, "unchanged program: full reuse");
+        assert!(reuse.program_nodes > 0);
+        assert_eq!(
+            &base_report, report2,
+            "reverify must not change the verdict"
+        );
+        // An edited revision pays only its structural distance.
+        let edited = job(r#"{"id":"e2","job":"reverify","vars":"x:-8..8",
+               "code":"if (x > 0) then { skip } else { x := 0 - x }",
+               "pre":"x != 0","spec":"x != 0"}"#);
+        let resp = eng.handle(&edited, &eng.admit(&edited).unwrap());
+        let Response::Verdict {
+            reuse: Some(edit_reuse),
+            ..
+        } = resp
+        else {
+            panic!("expected reverify verdict with reuse, got {resp:?}");
+        };
+        assert!(edit_reuse.fresh_nodes > 0);
+        assert!(
+            edit_reuse.fresh_nodes < edit_reuse.program_nodes,
+            "the unchanged branch must stay warm"
+        );
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub use admission::{Admission, JobQueue, QuotaRejection, TenantQuotas};
 pub use engine::{Admitted, ServeEngine};
 pub use protocol::{
     read_frame, write_frame, CacheSnapshot, FrameError, JobKind, JobRequest, Request, Response,
-    DEFAULT_MAX_FRAME,
+    ReuseSnapshot, DEFAULT_MAX_FRAME,
 };
 pub use server::{start, RunningServer, ServeConfig, ServeReport};

@@ -147,7 +147,7 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
     w.flush()
 }
 
-/// The three engine-backed job kinds a request can name.
+/// The engine-backed job kinds a request can name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum JobKind {
     /// Prove or refute `⟦code⟧pre ≤ spec` (the `air verify` path).
@@ -156,6 +156,11 @@ pub enum JobKind {
     Analyze,
     /// Verify and additionally return the repaired domain's added points.
     Repair,
+    /// Incrementally re-verify an edited revision against the tenant's
+    /// warm tables (the `air repair --edit` path): the verdict is
+    /// byte-identical to `verify`, and the response reports how many of
+    /// the program's nodes were already warm.
+    Reverify,
 }
 
 impl JobKind {
@@ -165,6 +170,7 @@ impl JobKind {
             JobKind::Verify => "verify",
             JobKind::Analyze => "analyze",
             JobKind::Repair => "repair",
+            JobKind::Reverify => "reverify",
         }
     }
 }
@@ -351,9 +357,10 @@ pub fn parse_request(text: &str) -> Result<Request, ProtoError> {
         "verify" => JobKind::Verify,
         "analyze" => JobKind::Analyze,
         "repair" => JobKind::Repair,
+        "reverify" => JobKind::Reverify,
         other => {
             return Err(ProtoError::usage(format!(
-                "unknown job `{other}` (known: verify, analyze, repair, ping, stats, metrics, flush, cancel, shutdown)"
+                "unknown job `{other}` (known: verify, analyze, repair, reverify, ping, stats, metrics, flush, cancel, shutdown)"
             )))
         }
     };
@@ -389,6 +396,17 @@ pub fn parse_request(text: &str) -> Result<Request, ProtoError> {
         fuel: get_u64(&doc, "fuel")?,
         timeout_ms: get_u64(&doc, "timeout_ms")?,
     })))
+}
+
+/// Node-reuse accounting echoed on `reverify` verdicts: how much of the
+/// submitted revision was already interned in the tenant's warm tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseSnapshot {
+    /// Distinct structural nodes in the submitted program.
+    pub program_nodes: usize,
+    /// Nodes this request added to the warm arena (the structural
+    /// distance of the edit; `0` for a resubmitted program).
+    pub fresh_nodes: usize,
 }
 
 /// Semantic-cache counters echoed on every engine response, cumulative
@@ -428,6 +446,8 @@ pub enum Response {
         duration_ns: u64,
         /// Cumulative cache counters of the warm table.
         cache: CacheSnapshot,
+        /// Node-reuse accounting (`reverify` jobs only).
+        reuse: Option<ReuseSnapshot>,
     },
     /// A completed `analyze` job.
     Alarms {
@@ -541,6 +561,7 @@ impl Response {
                 warm,
                 duration_ns,
                 cache,
+                reuse,
                 ..
             } => {
                 out.push_str(&format!(",\"job\":\"{}\",\"report\":", job.name()));
@@ -549,6 +570,14 @@ impl Response {
                     ",\"points\":{points},\"warm\":{warm},\"duration_ns\":{duration_ns}"
                 ));
                 push_cache(&mut out, cache);
+                if let Some(r) = reuse {
+                    out.push_str(&format!(
+                        ",\"reuse\":{{\"program_nodes\":{},\"fresh_nodes\":{},\"reused_nodes\":{}}}",
+                        r.program_nodes,
+                        r.fresh_nodes,
+                        r.program_nodes - r.fresh_nodes
+                    ));
+                }
                 if let Some(w) = witness {
                     out.push_str(",\"witness\":");
                     json::escape_str(w, &mut out);
@@ -805,6 +834,7 @@ mod tests {
                     exec_hits: 3,
                     exec_misses: 4,
                 },
+                reuse: None,
             },
             Response::Alarms {
                 id: "r2".into(),
@@ -850,6 +880,7 @@ mod tests {
             warm: false,
             duration_ns: 0,
             cache: CacheSnapshot::default(),
+            reuse: None,
         };
         assert_eq!(refuted.status(), "refuted");
         let doc = json::parse(&refuted.to_json()).unwrap();
@@ -864,5 +895,43 @@ mod tests {
             cache: CacheSnapshot::default(),
         };
         assert_eq!(clean.status(), "clean");
+    }
+
+    #[test]
+    fn reverify_parses_and_renders_reuse() {
+        let req = parse_request(
+            r#"{"id":"e1","job":"reverify","vars":"x:0..3","code":"skip","spec":"true"}"#,
+        )
+        .unwrap();
+        let Request::Job(job) = req else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.job, JobKind::Reverify);
+        assert_eq!(job.job.name(), "reverify");
+        let resp = Response::Verdict {
+            id: "e1".into(),
+            job: JobKind::Reverify,
+            proved: true,
+            report: "PROVED\n".into(),
+            points: 0,
+            witness: None,
+            points_detail: vec![],
+            warm: true,
+            duration_ns: 9,
+            cache: CacheSnapshot::default(),
+            reuse: Some(ReuseSnapshot {
+                program_nodes: 8,
+                fresh_nodes: 3,
+            }),
+        };
+        let doc = json::parse(&resp.to_json()).unwrap();
+        assert_eq!(doc.get("job").and_then(Value::as_str), Some("reverify"));
+        let reuse = doc.get("reuse").expect("reuse object");
+        assert_eq!(
+            reuse.get("program_nodes").and_then(Value::as_num),
+            Some(8.0)
+        );
+        assert_eq!(reuse.get("fresh_nodes").and_then(Value::as_num), Some(3.0));
+        assert_eq!(reuse.get("reused_nodes").and_then(Value::as_num), Some(5.0));
     }
 }

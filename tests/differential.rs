@@ -12,7 +12,7 @@ use std::sync::Arc;
 use air::cegar::driver::{Cegar, Heuristic};
 use air::cegar::partition::Partition;
 use air::cegar::ts::TransitionSystem;
-use air::core::{EnumDomain, Lcl, Verdict, Verifier};
+use air::core::{EnumDomain, Lcl, RepairSession, Verdict, Verifier};
 use air::domains::IntervalEnv;
 use air::lang::gen::{GenConfig, ProgramGen, XorShift};
 use air::lang::{parse_bexp, parse_program, Concrete, Reg, SemCache, StateSet, Universe, Wlp};
@@ -257,6 +257,126 @@ fn trace_stream_parallel_cegar_matches_sequential() {
             );
         }
     }
+}
+
+/// All single-statement edits of `r`: for each basic command, one
+/// variant with that command replaced by `skip`.
+fn single_statement_edits(r: &Reg) -> Vec<Reg> {
+    fn count(r: &Reg) -> usize {
+        match r {
+            Reg::Basic(_) => 1,
+            Reg::Seq(a, b) | Reg::Choice(a, b) => count(a) + count(b),
+            Reg::Star(body) => count(body),
+        }
+    }
+    fn replace(r: &Reg, target: usize, next: &mut usize) -> Reg {
+        match r {
+            Reg::Basic(e) => {
+                let here = *next;
+                *next += 1;
+                if here == target {
+                    Reg::Basic(air::lang::Exp::Skip)
+                } else {
+                    Reg::Basic(e.clone())
+                }
+            }
+            Reg::Seq(a, b) => Reg::Seq(
+                Box::new(replace(a, target, next)),
+                Box::new(replace(b, target, next)),
+            ),
+            Reg::Choice(a, b) => Reg::Choice(
+                Box::new(replace(a, target, next)),
+                Box::new(replace(b, target, next)),
+            ),
+            Reg::Star(body) => Reg::Star(Box::new(replace(body, target, next))),
+        }
+    }
+    (0..count(r))
+        .map(|target| {
+            let mut next = 0;
+            replace(r, target, &mut next)
+        })
+        .collect()
+}
+
+/// Incremental re-repair is invisible in the answer: for every corpus
+/// program and every single-statement edit of it, a warm
+/// [`RepairSession`] (which verified the base program first) produces a
+/// verdict byte-identical to a from-scratch run of the edited program —
+/// report text included. The warm path must only be faster, never
+/// different.
+#[test]
+fn edited_programs_reverify_byte_identical_to_scratch() {
+    for (name, decls, pre, spec) in corpus_cases() {
+        let u = Universe::new(&decls).unwrap();
+        let prog = load(name);
+        let pre = sat(&u, pre);
+        let spec = sat(&u, spec);
+        let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+        let mut session = RepairSession::new(u.clone(), dom.clone());
+        session.verify(&prog, &pre, &spec).unwrap();
+        for (k, edited) in single_statement_edits(&prog).iter().enumerate() {
+            let label = format!("{name} edit {k}");
+            let warm = session.verify(edited, &pre, &spec).unwrap();
+            assert!(
+                warm.reuse.incremental && warm.reuse.reused_nodes() > 0,
+                "{label}: the session reused nothing — the axis is vacuous"
+            );
+            let scratch = Verifier::new(&u)
+                .backward(dom.clone_fresh_caches(), edited, &pre, &spec)
+                .unwrap();
+            assert_verdict_eq(&label, &warm.verdict, &scratch);
+            assert_eq!(
+                warm.verdict.report(&u),
+                scratch.report(&u),
+                "{label}: reports must be byte-identical"
+            );
+        }
+        // Re-verifying the unchanged base at the end of the edit chain
+        // still reproduces the from-scratch verdict with full node reuse.
+        let back = session.verify(&prog, &pre, &spec).unwrap();
+        assert_eq!(back.reuse.fresh_nodes, 0, "{name}: base fully interned");
+        let scratch = Verifier::new(&u)
+            .backward(dom.clone_fresh_caches(), &prog, &pre, &spec)
+            .unwrap();
+        assert_eq!(back.verdict.report(&u), scratch.report(&u), "{name}: base");
+    }
+}
+
+/// The closure-memo idempotence fix, pinned (the small-universe
+/// `parity_flip` residue): closing an already-closed set must hit the
+/// memo, which lifts the program's cold closure hit rate above the
+/// broken 25%, and a warm re-verification through the same domain must
+/// add **zero** new closure misses — every set the repair closes is
+/// already memoized.
+#[test]
+fn parity_flip_closure_hit_rate_regression() {
+    let (name, decls, pre, spec) = corpus_cases().swap_remove(4);
+    assert_eq!(name, "parity_flip");
+    let u = Universe::new(&decls).unwrap();
+    let prog = load(name);
+    let pre = sat(&u, pre);
+    let spec = sat(&u, spec);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let cold = Verifier::new(&u)
+        .backward(dom.clone(), &prog, &pre, &spec)
+        .unwrap();
+    let stats = cold.domain().cache_stats();
+    let rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+    assert!(
+        rate > 0.30,
+        "closure hit rate regressed to {rate:.2} ({stats}) — idempotence seeding broken?"
+    );
+    // Warm re-verify over the shared memo: no new closure misses at all.
+    let warm = Verifier::new(&u)
+        .backward(dom.clone(), &prog, &pre, &spec)
+        .unwrap();
+    let warm_stats = warm.domain().cache_stats();
+    assert_eq!(
+        warm_stats.misses, stats.misses,
+        "a warm re-verification recomputed closures the memo already holds"
+    );
+    assert!(warm_stats.hits > stats.hits, "warm run produced no hits");
 }
 
 proptest! {

@@ -7,16 +7,16 @@ pub const USAGE: &str = "\
 usage:
   air verify  --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP
               [--domain int|oct|sign|parity|const|cong|karr] [--strategy backward|forward]
-              [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
-              [--fuel N] [--timeout-ms N]
+              [--engine enumerative|symbolic] [--stats] [--stats-json] [--uncached]
+              [--trace FILE] [--profile] [--fuel N] [--timeout-ms N]
   air analyze --vars SPEC --code PROG|--file PATH --pre BEXP --spec BEXP [--domain ...]
-              [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
-              [--fuel N] [--timeout-ms N]
+              [--engine ...] [--stats] [--stats-json] [--uncached] [--trace FILE]
+              [--profile] [--fuel N] [--timeout-ms N]
   air prove   --vars SPEC --code PROG|--file PATH --pre BEXP [--spec BEXP] [--domain ...]
-              [--stats] [--stats-json] [--uncached] [--trace FILE]
+              [--engine ...] [--stats] [--stats-json] [--uncached] [--trace FILE]
               [--trace-format jsonl|dot] [--profile] [--fuel N] [--timeout-ms N]
-  air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--stats]
-              [--stats-json] [--uncached] [--trace FILE] [--profile]
+  air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--engine ...]
+              [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
               [--fuel N] [--timeout-ms N] [--checkpoint FILE] [--resume]
   air repair  FILE [--edit FILE]... [--domain ...] [--stats] [--stats-json]
               [--trace FILE] [--fuel N] [--timeout-ms N]
@@ -38,6 +38,11 @@ usage:
   BEXP is a boolean expression over the variables, e.g. \"x != 0 && y <= 5\"
   corpus sweeps every *.imp under --dir (default `corpus/`), reading each
   file's `# Verified with:` header, fanning programs out over --jobs threads
+  --engine selects the semantic backend: `enumerative` (explicit bitsets,
+  the default) or `symbolic` (interval decision diagrams — same verdicts,
+  scales to universes far beyond the enumerable bound); --engine symbolic
+  is incompatible with --uncached (the symbolic backend lives behind the
+  semantic cache)
   --stats prints cache hit/miss counters and timings; --stats-json prints the
   same as one JSON object; --uncached disables the memo tables (the
   reference path)
@@ -125,6 +130,26 @@ pub enum TraceFormat {
     Jsonl,
     /// Graphviz DOT of the LCL derivation tree (`prove` only).
     Dot,
+}
+
+/// The semantic engine backend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// Explicit bitset enumeration. Default.
+    #[default]
+    Enumerative,
+    /// Symbolic interval-decision-diagram evaluation.
+    Symbolic,
+}
+
+impl EngineKind {
+    pub(crate) fn parse(s: &str) -> Result<Self, ArgError> {
+        Ok(match s {
+            "enumerative" => EngineKind::Enumerative,
+            "symbolic" => EngineKind::Symbolic,
+            other => return Err(ArgError(format!("unknown engine `{other}`"))),
+        })
+    }
 }
 
 /// The repair strategy for `verify`.
@@ -283,6 +308,8 @@ pub struct Task {
     pub domain: DomainKind,
     /// Repair strategy.
     pub strategy: StrategyKind,
+    /// Semantic engine backend.
+    pub engine: EngineKind,
     /// Print cache hit/miss counters and timings after the run.
     pub stats: bool,
     /// Print the same statistics as one machine-readable JSON object.
@@ -335,6 +362,8 @@ pub struct CorpusTask {
     pub domain: DomainKind,
     /// Repair strategy.
     pub strategy: StrategyKind,
+    /// Semantic engine backend.
+    pub engine: EngineKind,
     /// Print per-program timings and cache counters.
     pub stats: bool,
     /// Print aggregate statistics as one machine-readable JSON object.
@@ -752,6 +781,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut spec = None;
     let mut domain = DomainKind::default();
     let mut strategy = StrategyKind::default();
+    let mut engine = EngineKind::default();
     let mut stats = false;
     let mut stats_json = false;
     let mut uncached = false;
@@ -784,6 +814,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
                     other => return Err(ArgError(format!("unknown strategy `{other}`"))),
                 }
             }
+            "--engine" => engine = EngineKind::parse(&value()?)?,
             "--stats" => stats = true,
             "--stats-json" => stats_json = true,
             "--uncached" => uncached = true,
@@ -839,12 +870,20 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
         ));
     }
     let trace_format = trace_format.unwrap_or_default();
+    if engine == EngineKind::Symbolic && uncached {
+        return Err(ArgError(
+            "--engine symbolic is incompatible with --uncached (the symbolic \
+             backend lives behind the semantic cache)"
+                .into(),
+        ));
+    }
     if sub == "corpus" {
         return Ok(Command::Corpus(CorpusTask {
             dir,
             jobs,
             domain,
             strategy,
+            engine,
             stats,
             stats_json,
             uncached,
@@ -870,6 +909,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
         spec: spec.clone(),
         domain,
         strategy,
+        engine,
         stats,
         stats_json,
         uncached,
@@ -1460,6 +1500,31 @@ mod tests {
             panic!("expected top");
         };
         assert_eq!(task.interval_ms, 1);
+    }
+
+    #[test]
+    fn parses_engine_flag() {
+        let Command::Verify(task) = parse(&argv(&[
+            "verify", "--vars", "x:0..3", "--code", "skip", "--pre", "true", "--spec", "true",
+            "--engine", "symbolic",
+        ]))
+        .unwrap() else {
+            panic!("expected verify");
+        };
+        assert_eq!(task.engine, EngineKind::Symbolic);
+        // Default is enumerative.
+        let Command::Corpus(task) = parse(&argv(&["corpus"])).unwrap() else {
+            panic!("expected corpus");
+        };
+        assert_eq!(task.engine, EngineKind::Enumerative);
+        let Command::Corpus(task) = parse(&argv(&["corpus", "--engine", "symbolic"])).unwrap()
+        else {
+            panic!("expected corpus");
+        };
+        assert_eq!(task.engine, EngineKind::Symbolic);
+        assert!(parse(&argv(&["corpus", "--engine", "quantum"])).is_err());
+        // The symbolic backend lives behind the cache: --uncached conflicts.
+        assert!(parse(&argv(&["corpus", "--engine", "symbolic", "--uncached"])).is_err());
     }
 
     #[test]

@@ -71,6 +71,7 @@ fn prepare_corpus(dir: &str) -> Result<Vec<Prepared>, AirError> {
         jobs: 1,
         domain: DomainKind::Int,
         strategy: StrategyKind::Backward,
+        engine: crate::args::EngineKind::Enumerative,
         stats: false,
         stats_json: false,
         uncached: false,

@@ -16,8 +16,8 @@ use air_resilience::Checkpointer;
 use air_trace::{json, EventKind, JsonlSink, MultiSink, Profiler, Sink, Summary, Tracer};
 
 use crate::args::{
-    Command, CorpusTask, DomainKind, FuzzCmd, RepairTask, ServeTask, StrategyKind, Task,
-    TraceFormat,
+    Command, CorpusTask, DomainKind, EngineKind, FuzzCmd, RepairTask, ServeTask, StrategyKind,
+    Task, TraceFormat,
 };
 
 /// The sign of a completed run (drives the exit code).
@@ -453,11 +453,21 @@ fn trace_summarize(file: &str) -> Result<Outcome, AirError> {
     Ok(Outcome::Positive)
 }
 
-fn build_verifier<'u>(u: &'u Universe, uncached: bool) -> Verifier<'u> {
-    if uncached {
-        Verifier::uncached(u)
-    } else {
-        Verifier::new(u)
+/// The semantic cache a task's `--engine` flag asks for. `--uncached`
+/// returns `None` (the reference path); args parsing already rejects
+/// `--uncached --engine symbolic`.
+fn build_cache(engine: EngineKind, uncached: bool) -> Option<SemCache> {
+    match (engine, uncached) {
+        (_, true) => None,
+        (EngineKind::Enumerative, false) => Some(SemCache::new()),
+        (EngineKind::Symbolic, false) => Some(SemCache::symbolic()),
+    }
+}
+
+fn build_verifier<'u>(u: &'u Universe, engine: EngineKind, uncached: bool) -> Verifier<'u> {
+    match build_cache(engine, uncached) {
+        Some(cache) => Verifier::with_cache(u, cache),
+        None => Verifier::uncached(u),
     }
 }
 
@@ -536,7 +546,7 @@ fn verify(task: Task) -> Result<Outcome, AirError> {
     println!("domain:    {}\n", dom.base_name());
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
     let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
-    let verifier = build_verifier(&u, task.uncached)
+    let verifier = build_verifier(&u, task.engine, task.uncached)
         .tracer(session.tracer())
         .governor(governor);
     let started = Instant::now();
@@ -577,7 +587,7 @@ fn analyze(task: Task) -> Result<Outcome, AirError> {
     };
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
     let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
-    let verifier = build_verifier(&u, task.uncached)
+    let verifier = build_verifier(&u, task.engine, task.uncached)
         .tracer(session.tracer())
         .governor(governor);
     let started = Instant::now();
@@ -621,10 +631,9 @@ fn prove(task: Task) -> Result<Outcome, AirError> {
     };
     let session = TraceSession::open(jsonl_path, task.profile)?;
     let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
-    let lcl = if task.uncached {
-        Lcl::uncached(&u)
-    } else {
-        Lcl::new(&u)
+    let lcl = match build_cache(task.engine, task.uncached) {
+        Some(cache) => Lcl::with_cache(&u, cache),
+        None => Lcl::uncached(&u),
     }
     .tracer(session.tracer())
     .governor(governor);
@@ -766,6 +775,7 @@ fn repair(task: RepairTask) -> Result<Outcome, AirError> {
         jobs: 0,
         domain: task.domain,
         strategy: StrategyKind::Backward,
+        engine: EngineKind::Enumerative,
         stats: false,
         stats_json: false,
         uncached: false,
@@ -935,6 +945,7 @@ pub(crate) fn parse_corpus_file(
             spec: Some(spec),
             domain,
             strategy: task.strategy,
+            engine: task.engine,
             stats: task.stats,
             stats_json: false,
             uncached: task.uncached,
@@ -980,7 +991,7 @@ fn run_corpus_program(
             "{name}: corpus header produced no spec"
         )));
     };
-    let verifier = build_verifier(&u, task.uncached)
+    let verifier = build_verifier(&u, task.engine, task.uncached)
         .tracer(tracer)
         .governor(governor);
     let verdict = match task.strategy {
@@ -1193,10 +1204,15 @@ fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
         task.jobs
     };
     println!(
-        "corpus sweep: {} programs, {} job(s), strategy {:?}{}",
+        "corpus sweep: {} programs, {} job(s), strategy {:?}{}{}",
         programs.len(),
         jobs,
         task.strategy,
+        if task.engine == EngineKind::Symbolic {
+            ", symbolic engine"
+        } else {
+            ""
+        },
         if task.uncached { ", uncached" } else { "" }
     );
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
@@ -1353,6 +1369,7 @@ mod tests {
             spec: spec.map(str::to_owned),
             domain: DomainKind::Int,
             strategy: StrategyKind::Backward,
+            engine: EngineKind::Enumerative,
             stats: false,
             stats_json: false,
             uncached: false,
@@ -1370,6 +1387,7 @@ mod tests {
             jobs: 0, // one worker per program
             domain: DomainKind::Int,
             strategy: StrategyKind::Backward,
+            engine: EngineKind::Enumerative,
             stats: false,
             stats_json: false,
             uncached: false,
@@ -1464,6 +1482,35 @@ mod tests {
         };
         assert_eq!(reason, "fuel");
         assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn symbolic_engine_matches_enumerative_verdicts() {
+        let mut proved = task(
+            "if (x >= 1) then { skip } else { x := 1 - x }",
+            "x != 0",
+            Some("x >= 1"),
+        );
+        proved.engine = EngineKind::Symbolic;
+        assert_eq!(verify(proved).unwrap(), Outcome::Positive);
+        let mut refuted = task("x := x + 1", "x >= 0 && x <= 5", Some("x <= 3"));
+        refuted.engine = EngineKind::Symbolic;
+        assert_eq!(verify(refuted).unwrap(), Outcome::Negative);
+        let mut alarms = task(
+            "if (x >= 0) then { skip } else { x := 0 - x }",
+            "x != 0",
+            Some("x != 0"),
+        );
+        alarms.engine = EngineKind::Symbolic;
+        assert_eq!(analyze(alarms).unwrap(), Outcome::Negative);
+    }
+
+    #[test]
+    fn corpus_sweep_with_symbolic_engine_proves_all_programs() {
+        let mut t = corpus_task(corpus_dir());
+        t.engine = EngineKind::Symbolic;
+        let out = corpus(t).unwrap();
+        assert_eq!(out, Outcome::Positive);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod local;
 pub mod oracles;
 pub mod session;
 pub mod summarize;
+pub mod symbolic;
 pub mod verify;
 
 pub use absint::{AbstractSemantics, StarStrategy};
@@ -85,4 +86,5 @@ pub use local::{LocalCompleteness, ShellResult};
 pub use oracles::{run_oracle, OracleInstance, OracleOutcome, ORACLES};
 pub use session::{RepairSession, ReuseStats, SessionOutcome};
 pub use summarize::{summarize, BoxSummary};
+pub use symbolic::{SymDomain, SymbolicAbsint, SymbolicBackward};
 pub use verify::{Verdict, Verifier};

@@ -34,7 +34,7 @@
 //! always a bug, either in the engine or in the oracle itself.
 
 use air_lang::gen::XorShift;
-use air_lang::{BExp, Concrete, Reg, SemError, StateSet, Universe, Wlp};
+use air_lang::{BExp, Concrete, Reg, SemCache, SemError, StateSet, Universe, Wlp};
 
 use crate::absint::AbstractSemantics;
 use crate::backward::BackwardRepair;
@@ -85,6 +85,13 @@ pub struct OracleInstance<'u> {
     /// Seed for oracle-internal randomness (growth sets, widening
     /// chains); derived deterministically from the case seed.
     pub aux_seed: u64,
+    /// The semantic cache — and with it the engine backend — every
+    /// repair engine in an oracle run memoizes through. The default
+    /// [`SemCache::new`] runs the enumerative engine; pass
+    /// [`SemCache::symbolic`] to check the same theorems against the
+    /// symbolic backend. Ground-truth sides ([`Concrete`], [`Wlp`])
+    /// always stay enumerative — that asymmetry is the point.
+    pub cache: SemCache,
 }
 
 /// Name and paper artifact of every oracle in this module, in the order
@@ -153,11 +160,10 @@ fn random_set(u: &Universe, seed: u64) -> StateSet {
 /// the repaired domain computes `A'(⟦r⟧P)`.
 pub fn forward_repair_postconditions(inst: &OracleInstance<'_>) -> Result<OracleOutcome, SemError> {
     let u = inst.universe;
-    let out = match ForwardRepair::new(u).max_repairs(4_000).repair(
-        inst.domain.clone(),
-        &inst.program,
-        &inst.pre,
-    ) {
+    let out = match ForwardRepair::with_cache(u, inst.cache.clone())
+        .max_repairs(4_000)
+        .repair(inst.domain.clone(), &inst.program, &inst.pre)
+    {
         Ok(out) => out,
         Err(e) => return lift(e),
     };
@@ -166,11 +172,11 @@ pub fn forward_repair_postconditions(inst: &OracleInstance<'_>) -> Result<Oracle
     if out.under != exact {
         return violation("Thm 7.1: under-approximation Q differs from ⟦r⟧P");
     }
-    let lc = LocalCompleteness::new(u);
+    let lc = LocalCompleteness::with_cache(u, inst.cache.clone());
     if !lc.check(&out.domain, &inst.program, &inst.pre)? {
         return violation("Thm 7.1: repaired domain is not locally complete on P");
     }
-    let asem = AbstractSemantics::new(u);
+    let asem = AbstractSemantics::with_cache(u, inst.cache.clone());
     let abs = asem.exec(&out.domain, &inst.program, &out.domain.close(&inst.pre))?;
     if abs != out.domain.close(&out.under) {
         return violation("Thm 7.1: abstract analysis disagrees with A'(⟦r⟧P)");
@@ -185,16 +191,20 @@ pub fn backward_repair_postconditions(
     inst: &OracleInstance<'_>,
 ) -> Result<OracleOutcome, SemError> {
     let u = inst.universe;
-    let out =
-        match BackwardRepair::new(u).repair(&inst.domain, &inst.pre, &inst.program, &inst.spec) {
-            Ok(out) => out,
-            Err(e) => return lift(e),
-        };
+    let out = match BackwardRepair::with_cache(u, inst.cache.clone()).repair(
+        &inst.domain,
+        &inst.pre,
+        &inst.program,
+        &inst.spec,
+    ) {
+        Ok(out) => out,
+        Err(e) => return lift(e),
+    };
     let repaired = out.domain(&inst.domain);
     if !repaired.is_expressible(&out.valid_input) {
         return violation("Thm 7.6: valid input is not expressible in A ⊞ N'");
     }
-    let asem = AbstractSemantics::new(u);
+    let asem = AbstractSemantics::with_cache(u, inst.cache.clone());
     let abs = asem.exec(&repaired, &inst.program, &repaired.close(&out.valid_input))?;
     if !abs.is_subset(&inst.spec) {
         return violation("Thm 7.6: abstract run from V is not certified under Spec");
@@ -220,7 +230,7 @@ pub fn abstract_soundness(inst: &OracleInstance<'_>) -> Result<OracleOutcome, Se
     let u = inst.universe;
     let sem = Concrete::new(u);
     let conc = sem.exec(&inst.program, &inst.pre)?;
-    let asem = AbstractSemantics::new(u);
+    let asem = AbstractSemantics::with_cache(u, inst.cache.clone());
     let abs = asem.exec(&inst.domain, &inst.program, &inst.domain.close(&inst.pre))?;
     if !conc.is_subset(&abs) {
         return violation(format!(
@@ -234,7 +244,7 @@ pub fn abstract_soundness(inst: &OracleInstance<'_>) -> Result<OracleOutcome, Se
 /// Theorem 4.4: the direct completeness check (defect emptiness) agrees
 /// with the `∨L`-expressibility characterization, and `∨L ≤ A(c)`.
 pub fn sup_l_characterization(inst: &OracleInstance<'_>) -> Result<OracleOutcome, SemError> {
-    let lc = LocalCompleteness::new(inst.universe);
+    let lc = LocalCompleteness::with_cache(inst.universe, inst.cache.clone());
     let direct = lc.check(&inst.domain, &inst.program, &inst.pre)?;
     let via_sup = lc.check_via_sup(&inst.domain, &inst.program, &inst.pre)?;
     if direct != via_sup {
@@ -252,7 +262,7 @@ pub fn sup_l_characterization(inst: &OracleInstance<'_>) -> Result<OracleOutcome
 /// Theorem 4.9: when the pointed shell exists, adding its point restores
 /// local completeness; the point is `∨L` itself.
 pub fn pointed_shell_restores(inst: &OracleInstance<'_>) -> Result<OracleOutcome, SemError> {
-    let lc = LocalCompleteness::new(inst.universe);
+    let lc = LocalCompleteness::with_cache(inst.universe, inst.cache.clone());
     match lc.pointed_shell(&inst.domain, &inst.program, &inst.pre)? {
         ShellResult::Shell { point } => {
             let sup = lc.sup_l(&inst.domain, &inst.program, &inst.pre)?;
@@ -281,7 +291,7 @@ pub fn pointed_shell_restores(inst: &OracleInstance<'_>) -> Result<OracleOutcome
 /// Theorem 4.11: the Boolean-guard shell restores local completeness for
 /// both `b?` and `¬b?` on `P`.
 pub fn guard_shell_restores(inst: &OracleInstance<'_>) -> Result<OracleOutcome, SemError> {
-    let lc = LocalCompleteness::new(inst.universe);
+    let lc = LocalCompleteness::with_cache(inst.universe, inst.cache.clone());
     let shell = lc.guard_shell(&inst.domain, &inst.guard, &inst.pre)?;
     let refined = inst.domain.with_point(shell);
     let pos = Reg::assume(inst.guard.clone());
@@ -298,7 +308,7 @@ pub fn guard_shell_restores(inst: &OracleInstance<'_>) -> Result<OracleOutcome, 
 /// Convexity remark after Definition 4.1: local completeness on `c`
 /// implies local completeness on every `x` with `c ≤ x ≤ A(c)`.
 pub fn completeness_convexity(inst: &OracleInstance<'_>) -> Result<OracleOutcome, SemError> {
-    let lc = LocalCompleteness::new(inst.universe);
+    let lc = LocalCompleteness::with_cache(inst.universe, inst.cache.clone());
     if !lc.check(&inst.domain, &inst.program, &inst.pre)? {
         return Ok(OracleOutcome::Pass); // premise empty: vacuously true
     }
@@ -351,7 +361,7 @@ pub fn pointed_widening_laws(inst: &OracleInstance<'_>) -> Result<OracleOutcome,
 /// witness is a reachable store outside the spec.
 pub fn lcl_spec_decision(inst: &OracleInstance<'_>) -> Result<OracleOutcome, SemError> {
     let u = inst.universe;
-    let lcl = Lcl::new(u);
+    let lcl = Lcl::with_cache(u, inst.cache.clone());
     let verdict = match lcl.prove_spec(inst.domain.clone(), &inst.pre, &inst.program, &inst.spec) {
         Ok(v) => v,
         Err(e) => return lift(e),
@@ -389,6 +399,7 @@ mod tests {
             spec: u.filter(|s| s[0] != 0),
             guard: air_lang::parse_bexp("x >= 0").unwrap(),
             aux_seed: 7,
+            cache: SemCache::new(),
         }
     }
 
@@ -401,6 +412,22 @@ mod tests {
                 .expect("registered oracle")
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(out, OracleOutcome::Pass, "{name} ({theorem})");
+        }
+    }
+
+    #[test]
+    fn all_oracles_pass_on_absval_with_symbolic_backend() {
+        // The same theorem statements, with every engine routed through
+        // the symbolic backend while Concrete/Wlp ground truth stays
+        // enumerative: a backend bug breaks the theorem, not the oracle.
+        let u = Universe::new(&[("x", -8, 8)]).unwrap();
+        let mut inst = instance(&u);
+        inst.cache = SemCache::symbolic();
+        for (name, theorem) in ORACLES {
+            let out = run_oracle(name, &inst)
+                .expect("registered oracle")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(out, OracleOutcome::Pass, "{name} ({theorem}) [symbolic]");
         }
     }
 

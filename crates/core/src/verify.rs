@@ -14,14 +14,15 @@
 //! `⟦r⟧P' ≤ Spec ⇔ P' ≤ V` for every `P' ≤ A(P)` at once.
 
 use air_lang::ast::Reg;
-use air_lang::{Concrete, SemCache, StateSet, Store, Universe};
+use air_lang::{Concrete, EngineBackend, SemCache, StateSet, Store, Universe};
 use air_lattice::Governor;
 use air_trace::{EventKind, Tracer};
 
-use crate::backward::BackwardRepair;
+use crate::backward::{BackwardOutcome, BackwardRepair};
 use crate::domain::EnumDomain;
 use crate::forward::{ForwardRepair, RepairError};
 use crate::summarize::display_set;
+use crate::symbolic::SymbolicBackward;
 
 /// The verification result.
 #[derive(Clone, Debug)]
@@ -206,8 +207,41 @@ impl<'u> Verifier<'u> {
         });
     }
 
+    /// `true` when backward verification runs on the native symbolic
+    /// pipeline: the semantic cache selects the symbolic backend and the
+    /// base domain is `Int`, the one base whose closure has a cheap
+    /// diagram form ([`SymDomain`](crate::SymDomain)). Other bases keep
+    /// the enumerative engines (their semantic queries still route
+    /// through the symbolic cache backend).
+    fn backward_is_symbolic(&self, domain: &EnumDomain) -> bool {
+        self.cache
+            .as_ref()
+            .is_some_and(|c| c.backend() == EngineBackend::Symbolic)
+            && domain.base_name() == "Int"
+    }
+
+    fn backward_outcome(
+        &self,
+        domain: &EnumDomain,
+        r: &Reg,
+        input: &StateSet,
+        spec: &StateSet,
+    ) -> Result<BackwardOutcome, RepairError> {
+        if self.backward_is_symbolic(domain) {
+            SymbolicBackward::new(self.universe)
+                .tracer(self.trace.clone())
+                .governor(self.governor.clone())
+                .repair(domain.points(), input, r, spec)
+        } else {
+            self.backward_engine().repair(domain, input, r, spec)
+        }
+    }
+
     /// Verifies `⟦r⟧input ≤ spec` by backward repair (Algorithm 2 +
-    /// Corollary 7.7).
+    /// Corollary 7.7), dispatching to the native symbolic pipeline when
+    /// this verifier's cache selects the symbolic backend and the base
+    /// domain is `Int` — same verdict either way, the symbolic path just
+    /// scales to universes the bitset engine cannot enumerate.
     ///
     /// # Errors
     ///
@@ -220,7 +254,7 @@ impl<'u> Verifier<'u> {
         spec: &StateSet,
     ) -> Result<Verdict, RepairError> {
         let _span = self.trace.span(|| "verify.backward".to_string());
-        let out = self.backward_engine().repair(&domain, input, r, spec)?;
+        let out = self.backward_outcome(&domain, r, input, spec)?;
         let repaired = out.domain(&domain);
         if input.is_subset(&out.valid_input) {
             self.trace_verdict("verify.backward", true);

@@ -4,11 +4,13 @@
 //! ROADMAP exposes — cached vs uncached [`SemCache`](air_lang::SemCache), governed vs
 //! ungoverned, sequential vs [`par_map_governed`] parallelism, the
 //! `LCL_A` prover vs the repair engines, (axis 7) a fault-injected
-//! run recovered by the [`Supervisor`] vs the fault-free run, and
+//! run recovered by the [`Supervisor`] vs the fault-free run,
 //! (axis 8) a warm [`RepairSession`] incrementally re-verifying the
 //! unchanged program and a single-statement edit of it vs from-scratch
-//! runs — and any observable disagreement is reported as a
-//! human-readable message. An empty result is agreement everywhere.
+//! runs, and (axis 9) the symbolic engine backend vs the enumerative
+//! one on enumerable universes — and any observable disagreement is
+//! reported as a human-readable message. An empty result is agreement
+//! everywhere.
 //!
 //! Budget cutoffs are *not* disagreements: a tightly-governed run may
 //! legitimately stop early, but its partial invariant must still be a
@@ -19,7 +21,7 @@ use std::sync::Arc;
 
 use crate::case::BuiltCase;
 use air_core::{BackwardRepair, ForwardRepair, Lcl, RepairError, RepairSession, Verifier};
-use air_lang::{Concrete, Exp, Reg, SemError, StateSet};
+use air_lang::{Concrete, Exp, Reg, SemCache, SemError, StateSet};
 use air_lattice::{par_map_governed, Budget, Governor};
 use air_resilience::{
     FailSwitch, FaultInjector, FaultKind, FaultPlan, FaultSpec, InjectSink, RetryPolicy, Supervisor,
@@ -264,8 +266,75 @@ pub fn differential_sweep(b: &BuiltCase) -> Result<Vec<String>, SemError> {
         }
     }
 
+    // Axis 9 — symbolic vs enumerative engine backend. Fuzz universes
+    // are enumerable by construction, so both backends apply (the gate
+    // below is belt-and-braces for future, larger generators); the
+    // strategy-iteration backend must reproduce the Kleene-enumeration
+    // results byte for byte: same verdict report, same valid input,
+    // same repair points, and the same forward under-approximation.
+    if u.size() <= SYMBOLIC_DIFF_BOUND {
+        let symbolic = Verifier::with_cache(u, SemCache::symbolic()).backward(
+            b.domain.clone(),
+            r,
+            &b.pre,
+            &b.spec,
+        );
+        match (&plain, &symbolic) {
+            (Ok(p), Ok(s)) => {
+                if p.report(u) != s.report(u) {
+                    diffs.push("symbolic axis: backward verdict reports differ byte-wise".into());
+                }
+                if p.valid_input() != s.valid_input() || p.added_points() != s.added_points() {
+                    diffs.push(
+                        "symbolic axis: symbolic backend changed the valid input or repair points"
+                            .into(),
+                    );
+                }
+            }
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
+                if let Some(msg) = repair_error_diff("symbolic axis asymmetry", e)? {
+                    diffs.push(msg);
+                }
+            }
+            (Err(a), Err(b2)) => {
+                check_repair_error(a)?;
+                check_repair_error(b2)?;
+            }
+        }
+        let fwd_symbolic = ForwardRepair::with_cache(u, SemCache::symbolic())
+            .max_repairs(4_000)
+            .repair(b.domain.clone(), r, &b.pre);
+        let fwd_plain =
+            ForwardRepair::uncached(u)
+                .max_repairs(4_000)
+                .repair(b.domain.clone(), r, &b.pre);
+        match (fwd_symbolic, fwd_plain) {
+            (Ok(s), Ok(p)) => {
+                if s.under != p.under {
+                    diffs.push(
+                        "symbolic axis: fRepair under-approximations differ across backends".into(),
+                    );
+                }
+            }
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
+                if let Some(msg) = repair_error_diff("symbolic axis fRepair asymmetry", &e)? {
+                    diffs.push(msg);
+                }
+            }
+            (Err(a), Err(b2)) => {
+                check_repair_error(&a)?;
+                check_repair_error(&b2)?;
+            }
+        }
+    }
+
     Ok(diffs)
 }
+
+/// Axis 9 only compares backends on universes the enumerative engine
+/// can enumerate comfortably; beyond this the symbolic backend is the
+/// only one that applies and there is nothing to differentiate against.
+pub const SYMBOLIC_DIFF_BOUND: usize = 1 << 16;
 
 /// A deterministic single-statement edit: the `seed`-chosen basic
 /// command is replaced by `skip`, leaving every other node untouched —

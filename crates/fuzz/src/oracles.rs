@@ -4,7 +4,7 @@
 
 use crate::case::BuiltCase;
 use air_core::oracles::{OracleInstance, OracleOutcome};
-use air_lang::SemError;
+use air_lang::{SemCache, SemError};
 
 /// CEGAR instances blow up as `locations × stores`; beyond this many
 /// product states the oracle is skipped (counted, not hidden).
@@ -22,7 +22,7 @@ pub fn theorem_of(name: &str) -> Option<&'static str> {
     registry().iter().find(|(n, _)| *n == name).map(|(_, t)| *t)
 }
 
-fn instance(b: &BuiltCase) -> OracleInstance<'_> {
+fn instance(b: &BuiltCase, cache: SemCache) -> OracleInstance<'_> {
     OracleInstance {
         universe: &b.universe,
         domain: b.domain.clone(),
@@ -31,12 +31,28 @@ fn instance(b: &BuiltCase) -> OracleInstance<'_> {
         spec: b.spec.clone(),
         guard: b.case.pre.clone(),
         aux_seed: b.case.seed ^ 0x5DEE_CE66_D5DE_ECE6,
+        cache,
     }
 }
 
-/// Runs one oracle by name. `None` for unknown names;
-/// `Err(SemError)` marks an unevaluable instance (a skip).
+/// Runs one oracle by name with the default (enumerative) engine
+/// backend. `None` for unknown names; `Err(SemError)` marks an
+/// unevaluable instance (a skip).
 pub fn run(name: &str, b: &BuiltCase) -> Option<Result<OracleOutcome, SemError>> {
+    run_with_cache(name, b, SemCache::new())
+}
+
+/// Runs one oracle with the engines memoizing through `cache` — pass
+/// [`SemCache::symbolic`] to check the theorem against the symbolic
+/// backend (fuzz universes are enumerable by construction, so the
+/// enumerative ground truth inside each oracle still applies). The
+/// CEGAR oracle runs its own transition-system machinery and is
+/// backend-independent.
+pub fn run_with_cache(
+    name: &str,
+    b: &BuiltCase,
+    cache: SemCache,
+) -> Option<Result<OracleOutcome, SemError>> {
     if name == "cegar_spuriousness" {
         let states = b.universe.size() * (b.case.program.basic_count() + 2);
         if states > MAX_CEGAR_STATES {
@@ -55,7 +71,7 @@ pub fn run(name: &str, b: &BuiltCase) -> Option<Result<OracleOutcome, SemError>>
             &b.spec,
         ));
     }
-    air_core::run_oracle(name, &instance(b))
+    air_core::run_oracle(name, &instance(b, cache))
 }
 
 #[cfg(test)]
@@ -90,5 +106,37 @@ mod tests {
             assert_eq!(verdict, OracleOutcome::Pass, "{name}");
         }
         assert!(run("unknown", &built).is_none());
+    }
+
+    #[test]
+    fn symbolic_backend_agrees_with_enumerative_on_all_oracles() {
+        // Satellite of the symbolic-engine work: every registered oracle
+        // must return the same verdict whether its engines run the
+        // enumerative or the symbolic backend, across a spread of
+        // generated cases (all enumerable by construction).
+        let mut agreed = 0;
+        for seed in 0..12 {
+            let case = FuzzCase::generate(seed);
+            let Ok(built) = case.build() else { continue };
+            for (name, _) in registry() {
+                let enumerative =
+                    run_with_cache(name, &built, SemCache::new()).expect("registered");
+                let symbolic =
+                    run_with_cache(name, &built, SemCache::symbolic()).expect("registered");
+                match (enumerative, symbolic) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "seed {seed} oracle {name}: verdicts diverge");
+                        agreed += 1;
+                    }
+                    // Skips (unevaluable instances) must also agree on
+                    // being skips; the exhaustion detail may differ.
+                    (Err(_), Err(_)) => {}
+                    (a, b) => {
+                        panic!("seed {seed} oracle {name}: skip asymmetry: {a:?} vs {b:?}")
+                    }
+                }
+            }
+        }
+        assert!(agreed >= 30, "only {agreed} oracle runs compared");
     }
 }

@@ -39,7 +39,26 @@ use crate::arena::{TermArena, TermId, TermNode};
 use crate::ast::{BExp, Exp, Reg};
 use crate::semantics::{Concrete, SemError};
 use crate::store::StateSet;
+use crate::sym::SymEngine;
 use crate::wlp::Wlp;
+
+/// Which engine answers the semantic queries behind a [`SemCache`].
+///
+/// The cache's *interface* (and its memo tables, keyed on explicit state
+/// sets) is backend-agnostic: with [`EngineBackend::Symbolic`], misses are
+/// answered by running the whole query natively on
+/// [`SymState`](air_lattice::SymState) diagrams via [`SymEngine`] and
+/// materializing the result, instead of enumerating bitsets. Because the
+/// symbolic engine is exact, the two backends produce byte-identical
+/// results — the property differential fuzz axis 9 checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineBackend {
+    /// Explicit bitset enumeration (the paper's pilot design point).
+    #[default]
+    Enumerative,
+    /// Symbolic interval-decision-diagram evaluation ([`SymEngine`]).
+    Symbolic,
+}
 
 /// Default universe-size cutoff below which memoization is skipped.
 ///
@@ -76,6 +95,7 @@ pub struct SemCache {
     bypass_threshold: usize,
     bypasses: Arc<AtomicU64>,
     trace: Arc<OnceLock<Tracer>>,
+    backend: EngineBackend,
 }
 
 impl Default for SemCache {
@@ -101,7 +121,24 @@ impl SemCache {
             bypass_threshold: threshold,
             bypasses: Arc::new(AtomicU64::new(0)),
             trace: Arc::new(OnceLock::new()),
+            backend: EngineBackend::Enumerative,
         }
+    }
+
+    /// An empty cache whose misses are answered by the symbolic backend
+    /// ([`SymEngine`]) instead of bitset enumeration. The small-universe
+    /// bypass is disabled: bypassing would route calls to the enumerative
+    /// reference path, which is exactly what a symbolic run must not do.
+    pub fn symbolic() -> Self {
+        SemCache {
+            backend: EngineBackend::Symbolic,
+            ..SemCache::with_bypass_threshold(DEFAULT_BYPASS_THRESHOLD)
+        }
+    }
+
+    /// The backend answering this cache's misses.
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
     }
 
     /// The universe-size cutoff below which calls skip the tables.
@@ -112,8 +149,10 @@ impl SemCache {
     /// `true` if calls over `universe_size` states take the direct path.
     /// Pure probe: nothing is counted or traced (see
     /// [`demote_for`](Self::demote_for) for the recording variant).
+    /// Always `false` on a symbolic cache — the direct path is the
+    /// enumerative reference engine.
     pub fn is_bypassed(&self, universe_size: usize) -> bool {
-        universe_size <= self.bypass_threshold
+        self.backend == EngineBackend::Enumerative && universe_size <= self.bypass_threshold
     }
 
     /// Empties the exec/wlp/sat tables in place, through the shared
@@ -157,15 +196,17 @@ impl SemCache {
     /// once up front and, when demoted, run their unmemoized reference
     /// path for the entire call: the hot loop then contains no cache code
     /// at all. One bypass is counted (and traced, when a tracer is
-    /// attached) for the whole run.
+    /// attached) for the whole run. A symbolic cache never demotes: its
+    /// callers must keep every semantic query on the cache so it reaches
+    /// the symbolic engine.
     pub fn demote_for(&self, universe_size: usize) -> bool {
-        self.bypass("engine", universe_size)
+        self.backend == EngineBackend::Enumerative && self.bypass("engine", universe_size)
     }
 
     /// `true` (counting and tracing the fact) if a call over
     /// `universe_size` states should run unmemoized.
     fn bypass(&self, table: &'static str, universe_size: usize) -> bool {
-        if universe_size > self.bypass_threshold {
+        if self.backend == EngineBackend::Symbolic || universe_size > self.bypass_threshold {
             return false;
         }
         self.bypasses.fetch_add(1, Ordering::Relaxed);
@@ -203,6 +244,14 @@ impl SemCache {
         e: &Exp,
         s: &StateSet,
     ) -> Result<StateSet, SemError> {
+        if self.backend == EngineBackend::Symbolic {
+            let key = (sem.is_strict(), self.arena.intern_exp(e), s.clone());
+            return self.exec.try_get_or_insert_with(&key, || {
+                let eng = SymEngine::new(sem.universe());
+                eng.exec_exp(sem.is_strict(), e, &eng.from_set(s))
+                    .map(|out| eng.to_set(&out))
+            });
+        }
         if self.bypass("exec", sem.universe().size()) {
             return sem.exec_exp(e, s);
         }
@@ -219,6 +268,9 @@ impl SemCache {
     ///
     /// Propagates [`SemError`]; errors are not cached.
     pub fn exec(&self, sem: &Concrete<'_>, r: &Reg, s: &StateSet) -> Result<StateSet, SemError> {
+        if self.backend == EngineBackend::Symbolic {
+            return self.sym_exec(sem, self.arena.intern(r).root, s);
+        }
         if self.bypass("exec", sem.universe().size()) {
             return sem.exec(r, s);
         }
@@ -237,10 +289,26 @@ impl SemCache {
         id: TermId,
         s: &StateSet,
     ) -> Result<StateSet, SemError> {
+        if self.backend == EngineBackend::Symbolic {
+            return self.sym_exec(sem, id, s);
+        }
         if self.bypass("exec", sem.universe().size()) {
             return sem.exec(&self.arena.resolve(id), s);
         }
         self.exec_node(sem, id, s)
+    }
+
+    /// Symbolic-backend execution: the whole term is run natively on
+    /// decision diagrams and only the final image is materialized (and
+    /// memoized under the same key the enumerative walk would use).
+    /// Sub-term images are *not* cached — they never exist as bitsets.
+    fn sym_exec(&self, sem: &Concrete<'_>, id: TermId, s: &StateSet) -> Result<StateSet, SemError> {
+        let key = (sem.is_strict(), id, s.clone());
+        self.exec.try_get_or_insert_with(&key, || {
+            let eng = SymEngine::new(sem.universe());
+            eng.exec(sem.is_strict(), &self.arena.resolve(id), &eng.from_set(s))
+                .map(|out| eng.to_set(&out))
+        })
     }
 
     fn exec_node(
@@ -283,6 +351,14 @@ impl SemCache {
     ///
     /// Propagates [`SemError`] from [`Wlp::exp`]; errors are not cached.
     pub fn wlp_exp(&self, wlp: &Wlp<'_>, e: &Exp, post: &StateSet) -> Result<StateSet, SemError> {
+        if self.backend == EngineBackend::Symbolic {
+            let key = (self.arena.intern_exp(e), post.clone());
+            return self.wlp.try_get_or_insert_with(&key, || {
+                let eng = SymEngine::new(wlp.universe());
+                eng.wlp_exp(e, &eng.from_set(post))
+                    .map(|out| eng.to_set(&out))
+            });
+        }
         if self.bypass("wlp", wlp.universe().size()) {
             return wlp.exp(e, post);
         }
@@ -297,6 +373,9 @@ impl SemCache {
     ///
     /// Propagates [`SemError`]; errors are not cached.
     pub fn wlp_reg(&self, wlp: &Wlp<'_>, r: &Reg, post: &StateSet) -> Result<StateSet, SemError> {
+        if self.backend == EngineBackend::Symbolic {
+            return self.sym_wlp(wlp, self.arena.intern(r).root, post);
+        }
         if self.bypass("wlp", wlp.universe().size()) {
             return wlp.reg(r, post);
         }
@@ -310,10 +389,25 @@ impl SemCache {
     ///
     /// Propagates [`SemError`]; errors are not cached.
     pub fn wlp_id(&self, wlp: &Wlp<'_>, id: TermId, post: &StateSet) -> Result<StateSet, SemError> {
+        if self.backend == EngineBackend::Symbolic {
+            return self.sym_wlp(wlp, id, post);
+        }
         if self.bypass("wlp", wlp.universe().size()) {
             return wlp.reg(&self.arena.resolve(id), post);
         }
         self.wlp_node(wlp, id, post)
+    }
+
+    /// Symbolic-backend `wlp`: the whole term runs natively on decision
+    /// diagrams; only the final precondition set is materialized and
+    /// memoized (same key as the enumerative walk's top-level entry).
+    fn sym_wlp(&self, wlp: &Wlp<'_>, id: TermId, post: &StateSet) -> Result<StateSet, SemError> {
+        let key = (id, post.clone());
+        self.wlp.try_get_or_insert_with(&key, || {
+            let eng = SymEngine::new(wlp.universe());
+            eng.wlp_reg(&self.arena.resolve(id), &eng.from_set(post))
+                .map(|out| eng.to_set(&out))
+        })
     }
 
     fn wlp_node(&self, wlp: &Wlp<'_>, id: TermId, post: &StateSet) -> Result<StateSet, SemError> {
@@ -351,6 +445,12 @@ impl SemCache {
     ///
     /// Propagates [`SemError`]; errors are not cached.
     pub fn sat(&self, sem: &Concrete<'_>, b: &BExp) -> Result<StateSet, SemError> {
+        if self.backend == EngineBackend::Symbolic {
+            return self.sat.try_get_or_insert_with(b, || {
+                let eng = SymEngine::new(sem.universe());
+                eng.sat(b).map(|out| eng.to_set(&out))
+            });
+        }
         if self.bypass("sat", sem.universe().size()) {
             return sem.sat(b);
         }
@@ -533,6 +633,57 @@ mod tests {
         assert_eq!(cache.clone().bypass_count(), 2);
         let kinds: Vec<&'static str> = sink.drain().iter().map(|e| e.kind.kind_name()).collect();
         assert_eq!(kinds, ["cache_bypass", "cache_bypass"]);
+    }
+
+    #[test]
+    fn symbolic_backend_matches_enumerative_cache() {
+        let u = Universe::new(&[("x", -6, 6), ("y", 0, 4)]).unwrap();
+        let sem = Concrete::new(&u);
+        let strict = Concrete::strict(&u);
+        let wlp = Wlp::new(&u);
+        let plain = SemCache::with_bypass_threshold(0);
+        let symbolic = SemCache::symbolic();
+        assert_eq!(symbolic.backend(), EngineBackend::Symbolic);
+        assert_eq!(plain.backend(), EngineBackend::Enumerative);
+        // Symbolic caches never bypass or demote — every query must reach
+        // the symbolic engine.
+        assert!(!symbolic.is_bypassed(1));
+        assert!(!symbolic.demote_for(1));
+        assert_eq!(symbolic.bypass_count(), 0);
+        let prog = parse_program(
+            "x := 0 - x; star { assume x < 6; x := x + 1; y := y + 1 }; assume y <= 4",
+        )
+        .unwrap();
+        let inputs = [
+            u.full(),
+            u.empty(),
+            u.filter(|s| s[0] * s[0] <= 9 && s[1] % 2 == 0),
+        ];
+        for s in &inputs {
+            assert_eq!(
+                symbolic.exec(&sem, &prog, s).unwrap(),
+                plain.exec(&sem, &prog, s).unwrap()
+            );
+            assert_eq!(
+                symbolic.wlp_reg(&wlp, &prog, s).unwrap(),
+                plain.wlp_reg(&wlp, &prog, s).unwrap()
+            );
+        }
+        // Strict-mode errors agree too (and neither is cached).
+        let esc = parse_program("x := x * 7").unwrap();
+        assert_eq!(
+            format!("{:?}", symbolic.exec(&strict, &esc, &u.full())),
+            format!("{:?}", plain.exec(&strict, &esc, &u.full()))
+        );
+        let b = parse_bexp("x * y > 3 || x = 0 - 6").unwrap();
+        assert_eq!(
+            symbolic.sat(&sem, &b).unwrap(),
+            plain.sat(&sem, &b).unwrap()
+        );
+        // Top-level results are memoized: re-querying hits.
+        let before = symbolic.stats().hits;
+        symbolic.exec(&sem, &prog, &u.full()).unwrap();
+        assert!(symbolic.stats().hits > before);
     }
 
     #[test]

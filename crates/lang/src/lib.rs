@@ -47,12 +47,14 @@ pub mod parser;
 pub mod pretty;
 pub mod semantics;
 pub mod store;
+pub mod sym;
 pub mod wlp;
 
 pub use arena::{InternOutcome, TermArena, TermId, TermNode};
 pub use ast::{AExp, BExp, Exp, Reg};
-pub use cache::{SemCache, DEFAULT_BYPASS_THRESHOLD};
+pub use cache::{EngineBackend, SemCache, DEFAULT_BYPASS_THRESHOLD};
 pub use parser::{parse_bexp, parse_program, ParseError};
 pub use semantics::{Concrete, SemError};
 pub use store::{StateSet, Store, Universe, UniverseError};
+pub use sym::SymEngine;
 pub use wlp::Wlp;

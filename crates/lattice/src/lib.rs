@@ -49,6 +49,7 @@ pub mod governor;
 pub mod order;
 pub mod parallel;
 pub mod powerset;
+pub mod symbolic;
 
 pub use bitset::BitVecSet;
 pub use cache::{CacheStats, Interner, MemoTable};
@@ -59,3 +60,4 @@ pub use governor::{Budget, ExhaustReason, Exhaustion, Governor};
 pub use order::{BoundedLattice, JoinSemilattice, Lattice, MeetSemilattice, Poset};
 pub use parallel::{available_jobs, par_map, par_map_governed, par_map_indexed};
 pub use powerset::PowersetLattice;
+pub use symbolic::{SymShape, SymState};

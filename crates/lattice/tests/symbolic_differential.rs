@@ -1,0 +1,318 @@
+//! Differential property tests for the symbolic state sets (IDDs).
+//!
+//! Every [`SymState`] operation is checked against a naive per-store
+//! reference model (a sorted list of value tuples, every op an explicit
+//! loop) on randomly generated shapes and sets, mirroring what
+//! `bitset_differential.rs` does for the bitset kernels. A diagram bug
+//! that mishandles segment merging, canonicalization, shared children or
+//! the mixed-radix index order shows up as a divergence from the model —
+//! and because structural equality of canonical IDDs must coincide with
+//! set equality, the model also cross-checks `==` itself.
+
+use air_lattice::bitset::BitVecSet;
+use air_lattice::symbolic::{SymShape, SymState};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The reference model: the explicit set of member stores (value tuples),
+/// ordered; plus the shape's ranges for the per-store transforms.
+#[derive(Clone, Debug, PartialEq)]
+struct Naive {
+    ranges: Vec<(i64, i64)>,
+    stores: BTreeSet<Vec<i64>>,
+}
+
+impl Naive {
+    /// All stores of the shape in index order (level 0 most significant).
+    fn universe(ranges: &[(i64, i64)]) -> Vec<Vec<i64>> {
+        let mut out = vec![Vec::new()];
+        for &(lo, hi) in ranges {
+            let mut next = Vec::new();
+            for prefix in &out {
+                for v in lo..=hi {
+                    let mut s = prefix.clone();
+                    s.push(v);
+                    next.push(s);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn new(ranges: &[(i64, i64)], picks: &[usize]) -> Self {
+        let all = Self::universe(ranges);
+        let stores = picks.iter().map(|&i| all[i % all.len()].clone()).collect();
+        Naive {
+            ranges: ranges.to_vec(),
+            stores,
+        }
+    }
+
+    /// The mixed-radix index of `store` (matches `SymShape` strides).
+    fn index_of(&self, store: &[i64]) -> u128 {
+        let mut idx = 0u128;
+        for (&v, &(lo, hi)) in store.iter().zip(&self.ranges) {
+            let radix = (hi as i128 - lo as i128 + 1) as u128;
+            idx = idx * radix + (v as i128 - lo as i128) as u128;
+        }
+        idx
+    }
+
+    fn indices(&self) -> Vec<u128> {
+        // BTreeSet of tuples iterates in lexicographic order, which is
+        // exactly the mixed-radix index order.
+        self.stores.iter().map(|s| self.index_of(s)).collect()
+    }
+
+    fn filter(&self, f: impl Fn(&[i64]) -> bool) -> Self {
+        Naive {
+            ranges: self.ranges.clone(),
+            stores: self.stores.iter().filter(|s| f(s)).cloned().collect(),
+        }
+    }
+
+    /// Applies a store transform, dropping stores mapped to `None`.
+    fn map(&self, f: impl Fn(&[i64]) -> Option<Vec<i64>>) -> Self {
+        Naive {
+            ranges: self.ranges.clone(),
+            stores: self.stores.iter().filter_map(|s| f(s)).collect(),
+        }
+    }
+
+    fn complement(&self) -> Self {
+        self.universe_where(|s| !self.stores.contains(s))
+    }
+
+    /// The subset of the whole universe satisfying `f` (for preimage-style
+    /// ops whose result is not a subset of `self`).
+    fn universe_where(&self, f: impl Fn(&[i64]) -> bool) -> Self {
+        Naive {
+            ranges: self.ranges.clone(),
+            stores: Self::universe(&self.ranges)
+                .into_iter()
+                .filter(|s| f(s))
+                .collect(),
+        }
+    }
+
+    fn union_with(&self, other: &Self) -> Self {
+        Naive {
+            ranges: self.ranges.clone(),
+            stores: self.stores.union(&other.stores).cloned().collect(),
+        }
+    }
+}
+
+fn build(ranges: &[(i64, i64)], picks: &[usize]) -> (SymShape, SymState, Naive) {
+    let shape = SymShape::new(ranges);
+    let model = Naive::new(ranges, picks);
+    let nbits = usize::try_from(shape.size()).unwrap();
+    let bits = BitVecSet::from_indices(
+        nbits,
+        model
+            .indices()
+            .iter()
+            .map(|&i| i as usize)
+            .collect::<Vec<_>>(),
+    );
+    (shape.clone(), SymState::from_bitset(&shape, &bits), model)
+}
+
+fn assert_matches(set: &SymState, model: &Naive, what: &str) {
+    assert_eq!(
+        set.indices(),
+        model.indices(),
+        "{what}: diagram disagrees with per-store reference"
+    );
+}
+
+/// Builds a small shape from raw draws: `levels` variables with signed
+/// lower bounds `los` and spans ≤ 5 (the proptest shim has no tuple or
+/// mapped strategies, so shapes are assembled in the test body).
+fn make_ranges(levels: usize, los: &[i64], spans: &[i64]) -> Vec<(i64, i64)> {
+    (0..levels).map(|i| (los[i], los[i] + spans[i])).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lattice ops (union/intersect/difference/complement), the subset
+    /// order, membership, and canonical equality against per-store loops.
+    #[test]
+    fn lattice_ops_match_reference(
+        levels in 1usize..4,
+        los in proptest::collection::vec(-5i64..6, 3..4),
+        spans in proptest::collection::vec(0i64..6, 3..4),
+        xs in proptest::collection::vec(0usize..4096, 0..40),
+        ys in proptest::collection::vec(0usize..4096, 0..40),
+    ) {
+        let ranges = make_ranges(levels, &los, &spans);
+        let (_, a, ma) = build(&ranges, &xs);
+        let (_, b, mb) = build(&ranges, &ys);
+
+        assert_matches(&a.union(&b), &ma.union_with(&mb), "union");
+        assert_matches(&a.intersect(&b), &ma.filter(|s| mb.stores.contains(s)), "intersect");
+        assert_matches(&a.difference(&b), &ma.filter(|s| !mb.stores.contains(s)), "difference");
+        assert_matches(&a.complement(), &ma.complement(), "complement");
+
+        prop_assert_eq!(a.is_subset(&b), ma.stores.is_subset(&mb.stores));
+        prop_assert_eq!(a.count(), ma.stores.len() as u128);
+        prop_assert_eq!(a.is_empty(), ma.stores.is_empty());
+        prop_assert_eq!(a.is_full(), ma.stores.len() == Naive::universe(&ranges).len());
+        // Canonical form: structural equality must coincide with set
+        // equality even when the two diagrams were built from different
+        // insertion orders.
+        prop_assert_eq!(a == b, ma.stores == mb.stores);
+
+        for s in Naive::universe(&ranges) {
+            prop_assert_eq!(a.contains(&s), ma.stores.contains(&s));
+        }
+    }
+
+    /// Index enumeration, min_index/min_values, the bitset bridge and the
+    /// interval hull against the model.
+    #[test]
+    fn enumeration_and_bridges_match_reference(
+        levels in 1usize..4,
+        los in proptest::collection::vec(-5i64..6, 3..4),
+        spans in proptest::collection::vec(0i64..6, 3..4),
+        xs in proptest::collection::vec(0usize..4096, 0..40),
+    ) {
+        let ranges = make_ranges(levels, &los, &spans);
+        let (shape, a, ma) = build(&ranges, &xs);
+
+        prop_assert_eq!(a.indices(), ma.indices());
+        let mut walked = Vec::new();
+        a.for_each_index(|i| walked.push(i));
+        prop_assert_eq!(walked, ma.indices());
+        prop_assert_eq!(a.min_index(), ma.indices().first().copied());
+        prop_assert_eq!(
+            a.min_values(),
+            ma.stores.iter().next().cloned()
+        );
+
+        // Round-trip through the explicit representation is lossless.
+        let bits = a.to_bitset();
+        prop_assert_eq!(
+            bits.iter().map(|i| i as u128).collect::<Vec<_>>(),
+            ma.indices()
+        );
+        prop_assert_eq!(SymState::from_bitset(&shape, &bits), a.clone());
+
+        // hull() is the per-level [min, max] box of the members.
+        match a.hull() {
+            None => prop_assert!(ma.stores.is_empty()),
+            Some(h) => {
+                for (lvl, &(lo, hi)) in h.iter().enumerate() {
+                    let vals: Vec<i64> = ma.stores.iter().map(|s| s[lvl]).collect();
+                    prop_assert_eq!(lo, *vals.iter().min().unwrap());
+                    prop_assert_eq!(hi, *vals.iter().max().unwrap());
+                }
+                // The box from_box(hull) contains the set.
+                prop_assert!(a.is_subset(&SymState::from_box(&shape, &h)));
+            }
+        }
+    }
+
+    /// The level transforms the symbolic transfer functions are built on,
+    /// each against its one-line per-store definition.
+    #[test]
+    fn level_transforms_match_reference(
+        levels in 1usize..4,
+        los in proptest::collection::vec(-5i64..6, 3..4),
+        spans in proptest::collection::vec(0i64..6, 3..4),
+        xs in proptest::collection::vec(0usize..4096, 0..40),
+        level_pick in 0usize..3,
+        lo_pick in -6i64..6,
+        hi_pick in -6i64..6,
+        v_pick in -7i64..7,
+        delta in -4i64..=4,
+    ) {
+        let ranges = make_ranges(levels, &los, &spans);
+        let (_, a, ma) = build(&ranges, &xs);
+        let level = level_pick % ranges.len();
+        let (rlo, rhi) = ranges[level];
+
+        // restrict: keep stores with σ(x) ∈ [lo, hi].
+        assert_matches(
+            &a.restrict(level, lo_pick, hi_pick),
+            &ma.filter(|s| lo_pick <= s[level] && s[level] <= hi_pick),
+            "restrict",
+        );
+
+        // cylindrify: {σ[x := v] | σ ∈ self, v ∈ range} — equivalently
+        // every store whose fiber through x meets the set.
+        assert_matches(
+            &a.cylindrify(level),
+            &ma.universe_where(|s| {
+                (rlo..=rhi).any(|v| {
+                    let mut t = s.to_vec();
+                    t[level] = v;
+                    ma.stores.contains(&t)
+                })
+            }),
+            "cylindrify",
+        );
+
+        // assign_value: {σ[x := v] | σ ∈ self}, empty out of range.
+        let assigned = a.assign_value(level, v_pick);
+        if v_pick < rlo || v_pick > rhi {
+            prop_assert!(assigned.is_empty());
+        } else {
+            assert_matches(
+                &assigned,
+                &ma.map(|s| {
+                    let mut t = s.to_vec();
+                    t[level] = v_pick;
+                    Some(t)
+                }),
+                "assign_value",
+            );
+        }
+
+        // fiber: {σ | σ[x := v] ∈ self}, empty out of range. The result
+        // ranges over the whole universe, not just the set.
+        let fibered = a.fiber(level, v_pick);
+        if v_pick < rlo || v_pick > rhi {
+            prop_assert!(fibered.is_empty());
+        } else {
+            assert_matches(
+                &fibered,
+                &ma.universe_where(|s| {
+                    let mut t = s.to_vec();
+                    t[level] = v_pick;
+                    ma.stores.contains(&t)
+                }),
+                "fiber",
+            );
+        }
+
+        // shift: {σ[x := σ(x)+δ] | σ(x)+δ ∈ range}.
+        assert_matches(
+            &a.shift(level, delta),
+            &ma.map(|s| {
+                let nv = s[level] + delta;
+                (rlo <= nv && nv <= rhi).then(|| {
+                    let mut t = s.to_vec();
+                    t[level] = nv;
+                    t
+                })
+            }),
+            "shift",
+        );
+
+        // meet_over_level: {σ | ∀ v ∈ range. σ[x := v] ∈ self}.
+        assert_matches(
+            &a.meet_over_level(level),
+            &ma.universe_where(|s| {
+                (rlo..=rhi).all(|v| {
+                    let mut t = s.to_vec();
+                    t[level] = v;
+                    ma.stores.contains(&t)
+                })
+            }),
+            "meet_over_level",
+        );
+    }
+}

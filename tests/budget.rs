@@ -7,7 +7,7 @@
 
 use air::core::{BackwardRepair, EnumDomain, ForwardRepair, RepairError, Verifier};
 use air::domains::IntervalEnv;
-use air::lang::{parse_program, Concrete, Universe};
+use air::lang::{parse_program, Concrete, SemCache, Universe};
 use air::lattice::{Budget, ExhaustReason, Governor};
 use std::time::Duration;
 
@@ -212,6 +212,119 @@ fn every_fuel_level_yields_a_sound_partial_or_the_full_answer() {
                     assert!(
                         conc.is_subset(inv),
                         "fuel {fuel}: partial invariant must over-approximate"
+                    );
+                }
+            }
+            Err(e) => panic!("fuel {fuel}: unexpected error {e:?}"),
+        }
+    }
+    assert!(exhausted >= 3, "the tight fuel levels must actually trip");
+}
+
+#[test]
+fn symbolic_backward_exhausts_with_sound_partial_invariant() {
+    // The symbolic fixpoint loop obeys the same governor contract as the
+    // enumerative one: fuel running out mid-iteration surfaces
+    // RepairError::Exhausted with a sound partial result — never a panic.
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let sem = Concrete::new(&u);
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let verifier =
+        Verifier::with_cache(&u, SemCache::symbolic()).governor(Governor::new(Budget::fuel(5)));
+    let err = verifier.backward(dom, &prog, &input, &spec).unwrap_err();
+    let RepairError::Exhausted(partial) = err else {
+        panic!("expected exhaustion, got {err:?}");
+    };
+    assert_eq!(partial.exhaustion.reason, ExhaustReason::Fuel);
+    assert!(partial.exhaustion.spent >= 5);
+    let inv = partial
+        .invariant
+        .expect("symbolic partial carries an invariant");
+    let conc = sem.exec(&prog, &input).unwrap();
+    assert!(
+        conc.is_subset(&inv),
+        "symbolic partial invariant must over-approximate the concrete semantics"
+    );
+}
+
+#[test]
+fn symbolic_zero_fuel_exhausts_before_any_work() {
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let verifier =
+        Verifier::with_cache(&u, SemCache::symbolic()).governor(Governor::new(Budget::fuel(0)));
+    let err = verifier.backward(dom, &prog, &input, &spec).unwrap_err();
+    let RepairError::Exhausted(partial) = err else {
+        panic!("expected exhaustion, got {err:?}");
+    };
+    assert_eq!(partial.exhaustion.reason, ExhaustReason::Fuel);
+    assert!(
+        partial.points.is_empty(),
+        "no repair points can be found on zero fuel"
+    );
+}
+
+#[test]
+fn symbolic_cancellation_stops_the_engine() {
+    let (u, code) = slow_instance();
+    let prog = parse_program(code).unwrap();
+    let input = u.filter(|s| s[0] == 0 && s[1] == 120);
+    let spec = u.filter(|s| s[0] == 120 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let governor = Governor::cancellable();
+    governor.cancel();
+    let verifier = Verifier::with_cache(&u, SemCache::symbolic()).governor(governor);
+    let err = verifier.backward(dom, &prog, &input, &spec).unwrap_err();
+    let ex = err.exhaustion().expect("cancellation cutoff");
+    assert_eq!(ex.reason, ExhaustReason::Cancelled);
+}
+
+#[test]
+fn symbolic_fuel_sweep_yields_sound_partial_or_the_enumerative_answer() {
+    // Sweep the cutoff across the symbolic run: every exhaustion must
+    // carry a sound invariant, and every completion must agree with the
+    // *enumerative* unbudgeted answer — soundness and backend agreement
+    // in one pass.
+    let u = Universe::new(&[("x", 0, 30), ("y", 0, 30)]).unwrap();
+    let code = "while (y >= 1) do { x := x + 1; y := y - 1 }";
+    let prog = parse_program(code).unwrap();
+    let sem = Concrete::new(&u);
+    let input = u.filter(|s| s[0] == 0 && s[1] == 30);
+    let spec = u.filter(|s| s[0] == 30 && s[1] == 0);
+    let dom = EnumDomain::from_abstraction(&u, IntervalEnv::new(&u));
+    let conc = sem.exec(&prog, &input).unwrap();
+    let unbudgeted = BackwardRepair::new(&u)
+        .repair(&dom, &input, &prog, &spec)
+        .unwrap();
+    let mut exhausted = 0;
+    for fuel in [0, 1, 2, 3, 5, 8, 1_000_000] {
+        let verifier = Verifier::with_cache(&u, SemCache::symbolic())
+            .governor(Governor::new(Budget::fuel(fuel)));
+        match verifier.backward(dom.clone(), &prog, &input, &spec) {
+            Ok(v) => {
+                assert_eq!(
+                    v.valid_input(),
+                    &unbudgeted.valid_input,
+                    "fuel {fuel}: completed symbolic run must match the enumerative answer"
+                );
+            }
+            Err(RepairError::Exhausted(partial)) => {
+                exhausted += 1;
+                assert_eq!(
+                    partial.exhaustion.reason,
+                    ExhaustReason::Fuel,
+                    "fuel {fuel}"
+                );
+                if let Some(inv) = &partial.invariant {
+                    assert!(
+                        conc.is_subset(inv),
+                        "fuel {fuel}: symbolic partial invariant must over-approximate"
                     );
                 }
             }

@@ -47,6 +47,38 @@ fn every_checked_in_seed_replays_clean() {
 }
 
 #[test]
+fn every_seed_agrees_across_engine_backends() {
+    // The explicit form of differential axis 9: each checked-in seed's
+    // ten oracle verdicts must be identical whether the engines run the
+    // enumerative or the symbolic backend. `symbolic-star.imp` is the
+    // dedicated regression for this axis (a star over a product
+    // universe); the rest of the corpus rides along for free.
+    use air::fuzz::oracles::{registry, run_with_cache};
+    use air::lang::SemCache;
+    let files = corpus_files();
+    assert!(
+        files.iter().any(|p| p.ends_with("symbolic-star.imp")),
+        "the axis-9 regression seed is missing: {files:?}"
+    );
+    for path in files {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let case = seed::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let built = case.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (oracle, _) in registry() {
+            let enumerative = run_with_cache(oracle, &built, SemCache::new()).expect("registered");
+            let symbolic =
+                run_with_cache(oracle, &built, SemCache::symbolic()).expect("registered");
+            match (enumerative, symbolic) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{name}: {oracle} verdicts diverge"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("{name}: {oracle} skip asymmetry: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
 fn corpus_seeds_round_trip_through_the_renderer() {
     for path in corpus_files() {
         let name = path.display();

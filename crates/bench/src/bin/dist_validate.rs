@@ -1,0 +1,289 @@
+//! Validate an air-dist `--dist-frame-log` JSONL file against the
+//! checked-in wire schema (`schemas/dist-frame.schema.json`).
+//!
+//! ```text
+//! dist_validate <frames.jsonl> [schema.json]
+//! ```
+//!
+//! Each log line is one JSON object: the envelope (`dir`, `shard`) plus
+//! a nested `frame` object tagged by its `"frame"` field. The validator
+//! fails (exit code 1) on:
+//!
+//! - a schema whose frame set disagrees with
+//!   [`air_dist::KNOWN_FRAMES`] (catches a schema file that drifted
+//!   from the code, in either direction),
+//! - a line that is not a JSON object, or whose `dir` is not `"send"`
+//!   or `"recv"`,
+//! - a missing or mistyped envelope/frame field,
+//! - an unknown frame tag, or a frame field the schema does not list,
+//! - a frame flowing in the wrong direction (e.g. a `lease` the
+//!   coordinator *received*).
+//!
+//! Frame tags are a *closed* set: adding a [`air_dist::Frame`] variant
+//! without updating the schema (and vice versa) is a CI failure by
+//! design.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use air_dist::KNOWN_FRAMES;
+use air_trace::json::{self, Value};
+
+const DEFAULT_SCHEMA: &str = "schemas/dist-frame.schema.json";
+
+/// Frames the coordinator sends; everything else it receives.
+const SENT_BY_COORDINATOR: &[&str] = &["lease", "truncate", "shutdown"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (log_path, schema_path) = match args.as_slice() {
+        [log] => (log.as_str(), DEFAULT_SCHEMA),
+        [log, schema] => (log.as_str(), schema.as_str()),
+        _ => {
+            eprintln!("usage: dist_validate <frames.jsonl> [schema.json]");
+            return ExitCode::from(2);
+        }
+    };
+    match validate(log_path, schema_path) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dist_validate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Required fields of one frame tag: field name -> JSON type name
+/// (`"string"` or `"number"`).
+type FieldSpec = BTreeMap<String, String>;
+
+struct Schema {
+    envelope: FieldSpec,
+    frames: BTreeMap<String, FieldSpec>,
+}
+
+fn validate(log_path: &str, schema_path: &str) -> Result<String, String> {
+    let schema = load_schema(schema_path)?;
+
+    // The schema must name exactly the frames the code can speak.
+    for frame in KNOWN_FRAMES {
+        if !schema.frames.contains_key(*frame) {
+            return Err(format!(
+                "{schema_path}: frame {frame:?} is spoken by air-dist but missing from the schema"
+            ));
+        }
+    }
+    for frame in schema.frames.keys() {
+        if !KNOWN_FRAMES.contains(&frame.as_str()) {
+            return Err(format!(
+                "{schema_path}: frame {frame:?} is in the schema but unknown to air-dist"
+            ));
+        }
+    }
+
+    let text =
+        std::fs::read_to_string(log_path).map_err(|e| format!("cannot read {log_path}: {e}"))?;
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry =
+            json::parse(line).map_err(|e| format!("{log_path}:{lineno}: malformed JSON: {e}"))?;
+        let tag = check_entry(&schema, &entry).map_err(|e| format!("{log_path}:{lineno}: {e}"))?;
+        *counts.entry(tag).or_default() += 1;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{log_path}: frame log is empty"));
+    }
+
+    let mut report = format!("{log_path}: {lines} frames valid");
+    for (tag, n) in &counts {
+        report.push_str(&format!("\n  {tag:<12} {n}"));
+    }
+    Ok(report)
+}
+
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let envelope = field_spec(
+        doc.get("envelope")
+            .ok_or(format!("{path}: no \"envelope\""))?,
+    )
+    .map_err(|e| format!("{path}: envelope: {e}"))?;
+    let frames_obj = doc
+        .get("frames")
+        .and_then(Value::as_obj)
+        .ok_or(format!("{path}: no \"frames\" object"))?;
+    let mut frames = BTreeMap::new();
+    for (tag, fields) in frames_obj {
+        let spec = field_spec(fields).map_err(|e| format!("{path}: frame {tag:?}: {e}"))?;
+        frames.insert(tag.clone(), spec);
+    }
+    Ok(Schema { envelope, frames })
+}
+
+fn field_spec(v: &Value) -> Result<FieldSpec, String> {
+    let obj = v.as_obj().ok_or("expected an object of field -> type")?;
+    let mut spec = FieldSpec::new();
+    for (field, ty) in obj {
+        let ty = ty
+            .as_str()
+            .ok_or_else(|| format!("field {field:?}: type must be a string"))?;
+        if ty != "string" && ty != "number" {
+            return Err(format!("field {field:?}: unsupported type {ty:?}"));
+        }
+        spec.insert(field.clone(), ty.to_string());
+    }
+    Ok(spec)
+}
+
+/// Check one parsed log line; returns the frame tag on success.
+fn check_entry(schema: &Schema, entry: &Value) -> Result<String, String> {
+    let obj = entry.as_obj().ok_or("log line is not a JSON object")?;
+    for (field, ty) in &schema.envelope {
+        check_field(obj, field, ty)?;
+    }
+    let dir = obj.get("dir").and_then(Value::as_str).unwrap_or_default();
+    if dir != "send" && dir != "recv" {
+        return Err(format!("\"dir\" must be \"send\" or \"recv\", got {dir:?}"));
+    }
+    // Envelope is closed too: dir, shard, frame — nothing else.
+    for field in obj.keys() {
+        if field != "frame" && !schema.envelope.contains_key(field) {
+            return Err(format!("unexpected envelope field {field:?}"));
+        }
+    }
+    let frame = obj
+        .get("frame")
+        .and_then(Value::as_obj)
+        .ok_or("missing \"frame\" object")?;
+    let tag = frame
+        .get("frame")
+        .and_then(Value::as_str)
+        .ok_or("frame object missing its \"frame\" tag")?;
+    let fields = schema
+        .frames
+        .get(tag)
+        .ok_or_else(|| format!("unknown frame tag {tag:?}"))?;
+    for (field, ty) in fields {
+        check_field(frame, field, ty)?;
+    }
+    // Closed schema: any field beyond the tag + payload is a violation.
+    for field in frame.keys() {
+        if field != "frame" && !fields.contains_key(field) {
+            return Err(format!("frame {tag:?}: unexpected field {field:?}"));
+        }
+    }
+    let coordinator_sends = SENT_BY_COORDINATOR.contains(&tag);
+    if coordinator_sends != (dir == "send") {
+        return Err(format!("frame {tag:?} cannot flow in direction {dir:?}"));
+    }
+    Ok(tag.to_string())
+}
+
+fn check_field(obj: &BTreeMap<String, Value>, field: &str, ty: &str) -> Result<(), String> {
+    let value = obj
+        .get(field)
+        .ok_or_else(|| format!("missing field {field:?}"))?;
+    let ok = match ty {
+        "string" => matches!(value, Value::Str(_)),
+        "number" => matches!(value, Value::Num(_)),
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("field {field:?} is not a {ty}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_schema() -> Schema {
+        load_schema(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/dist-frame.schema.json"
+        ))
+        .unwrap()
+    }
+
+    fn check(line: &str) -> Result<String, String> {
+        check_entry(&test_schema(), &json::parse(line).unwrap())
+    }
+
+    #[test]
+    fn schema_covers_exactly_the_known_frames() {
+        let schema = test_schema();
+        for frame in KNOWN_FRAMES {
+            assert!(schema.frames.contains_key(*frame), "schema missing {frame}");
+        }
+        assert_eq!(schema.frames.len(), KNOWN_FRAMES.len());
+    }
+
+    #[test]
+    fn every_rendered_frame_passes_the_schema() {
+        use air_dist::Frame;
+        let frames = [
+            ("recv", Frame::Hello { shard: 1, pid: 42 }),
+            (
+                "send",
+                Frame::Lease {
+                    lease: 0,
+                    lo: 0,
+                    hi: 16,
+                },
+            ),
+            ("send", Frame::Truncate { lease: 0, hi: 8 }),
+            ("recv", Frame::Heartbeat { lease: 0, next: 4 }),
+            (
+                "recv",
+                Frame::Result {
+                    lease: 0,
+                    lo: 0,
+                    stopped: 8,
+                    payload: "x".to_string(),
+                },
+            ),
+            (
+                "recv",
+                Frame::Error {
+                    message: "boom".to_string(),
+                },
+            ),
+            ("send", Frame::Shutdown),
+        ];
+        for (dir, frame) in frames {
+            let line = format!(
+                "{{\"dir\":\"{dir}\",\"shard\":1,\"frame\":{}}}",
+                frame.render()
+            );
+            let tag = check(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(tag, frame.name());
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_direction_unknown_tags_and_extra_fields() {
+        let wrong_dir = "{\"dir\":\"recv\",\"shard\":0,\"frame\":{\"frame\":\"lease\",\"lease\":0,\"lo\":0,\"hi\":4}}";
+        assert!(check(wrong_dir).unwrap_err().contains("direction"));
+        let unknown = "{\"dir\":\"recv\",\"shard\":0,\"frame\":{\"frame\":\"warp\"}}";
+        assert!(check(unknown).unwrap_err().contains("unknown frame tag"));
+        let extra = "{\"dir\":\"send\",\"shard\":0,\"frame\":{\"frame\":\"shutdown\",\"x\":1}}";
+        assert!(check(extra).unwrap_err().contains("unexpected field"));
+        let bad_dir = "{\"dir\":\"up\",\"shard\":0,\"frame\":{\"frame\":\"shutdown\"}}";
+        assert!(check(bad_dir).unwrap_err().contains("dir"));
+        let missing =
+            "{\"dir\":\"recv\",\"shard\":0,\"frame\":{\"frame\":\"heartbeat\",\"lease\":0}}";
+        assert!(check(missing).unwrap_err().contains("missing field"));
+    }
+}

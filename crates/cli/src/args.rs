@@ -18,16 +18,21 @@ usage:
   air corpus  [--dir PATH] [--jobs N] [--domain ...] [--strategy ...] [--engine ...]
               [--stats] [--stats-json] [--uncached] [--trace FILE] [--profile]
               [--fuel N] [--timeout-ms N] [--checkpoint FILE] [--resume]
+              [--shards N] [--lease N] [--hang-timeout-ms N]
+              [--kill-workers N] [--kill-seed N] [--dist-frame-log FILE]
   air repair  FILE [--edit FILE]... [--domain ...] [--stats] [--stats-json]
               [--trace FILE] [--fuel N] [--timeout-ms N]
   air trace summarize FILE
   air fuzz run      [--seed N] [--cases N] [--oracle NAME] [--corpus-dir PATH]
                     [--no-shrink] [--stats-json] [--trace FILE]
                     [--checkpoint FILE] [--resume]
+                    [--shards N] [--lease N] [--hang-timeout-ms N]
+                    [--kill-workers N] [--kill-seed N] [--dist-frame-log FILE]
   air fuzz replay   FILE [--oracle NAME]
   air fuzz minimize FILE
   air chaos   [--dir PATH] [--plans N] [--seed N] [--fuel N] [--stats-json]
-              [--trace FILE]
+              [--trace FILE] [--shards N] [--lease N] [--hang-timeout-ms N]
+              [--kill-workers N] [--kill-seed N] [--dist-frame-log FILE]
   air serve   [--stdio] [--tcp ADDR] [--workers N] [--quota FUEL]
               [--max-frame BYTES] [--trace FILE] [--metrics-addr ADDR]
               [--no-metrics]
@@ -66,6 +71,13 @@ usage:
   minimize shrinks a failing seed file and prints the result
   --checkpoint FILE atomically saves sweep progress every few items so a
   killed run can restart with --resume and produce the identical report
+  --shards N distributes a fuzz/corpus/chaos campaign over N worker OS
+  processes with crash-tolerant leases and work-stealing; the merged
+  report is byte-identical to the single-process run (see FUZZING.md);
+  --lease sizes one lease in items (0 = auto), --hang-timeout-ms bounds
+  worker silence before a restart, --kill-workers N SIGKILLs N workers
+  mid-campaign as a chaos axis (--kill-seed picks the schedule), and
+  --dist-frame-log FILE records every coordinator frame as JSONL
   chaos reruns the corpus under --plans seeded fault-injection plans
   (worker panics, cache poisoning, sink failures, budget cancellation)
   and checks that every run degrades cleanly: structured exit codes, no
@@ -235,6 +247,87 @@ pub struct ServeTask {
     pub metrics: bool,
 }
 
+/// Distributed-campaign flags shared by `fuzz run`, `corpus` and
+/// `chaos` (see `crates/dist`). All default to off; `--shards N` with
+/// `N >= 1` switches the command into coordinator mode.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DistOpts {
+    /// Worker OS processes (`0` = single-process).
+    pub shards: u64,
+    /// Items per lease (`0` = auto-sized from the campaign).
+    pub lease: u64,
+    /// Heartbeat hang timeout in milliseconds (`0` = default 30 000).
+    pub hang_ms: u64,
+    /// Chaos axis: SIGKILL this many workers mid-campaign.
+    pub kill_workers: u64,
+    /// Seed of the deterministic kill schedule.
+    pub kill_seed: u64,
+    /// Record every coordinator frame as JSONL to this file.
+    pub frame_log: Option<String>,
+    /// Hidden (`--dist-worker N`): run as the worker for shard N,
+    /// speaking the dist-frame protocol on stdin/stdout.
+    pub worker: Option<u64>,
+}
+
+impl DistOpts {
+    /// True when the user asked for a distributed run.
+    pub fn requested(&self) -> bool {
+        self.shards > 0
+    }
+
+    /// True when any dist flag besides `--shards`/`--dist-worker` was
+    /// given (used to reject them without `--shards`).
+    fn any_tuning(&self) -> bool {
+        self.lease > 0
+            || self.hang_ms > 0
+            || self.kill_workers > 0
+            || self.kill_seed > 0
+            || self.frame_log.is_some()
+    }
+}
+
+/// Consumes one distributed-campaign flag into `opts`; returns
+/// `Ok(false)` when `flag` is not a dist flag.
+fn dist_flag(
+    opts: &mut DistOpts,
+    flag: &str,
+    value: &mut dyn FnMut() -> Result<String, ArgError>,
+) -> Result<bool, ArgError> {
+    let num = |v: String, flag: &str| -> Result<u64, ArgError> {
+        v.parse()
+            .map_err(|_| ArgError(format!("bad {flag} value `{v}`")))
+    };
+    match flag {
+        "--shards" => opts.shards = num(value()?, flag)?,
+        "--lease" => opts.lease = num(value()?, flag)?,
+        "--hang-timeout-ms" => opts.hang_ms = num(value()?, flag)?,
+        "--kill-workers" => opts.kill_workers = num(value()?, flag)?,
+        "--kill-seed" => opts.kill_seed = num(value()?, flag)?,
+        "--dist-frame-log" => opts.frame_log = Some(value()?),
+        "--dist-worker" => opts.worker = Some(num(value()?, flag)?),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Rejects dist tuning flags without `--shards`, and `--shards`
+/// together with `--dist-worker` (a process is one or the other).
+fn check_dist(opts: &DistOpts) -> Result<(), ArgError> {
+    if opts.worker.is_some() && opts.requested() {
+        return Err(ArgError(
+            "--dist-worker is mutually exclusive with --shards".into(),
+        ));
+    }
+    if !opts.requested() && opts.worker.is_none() && opts.any_tuning() {
+        return Err(ArgError(
+            "distributed flags (--lease, --hang-timeout-ms, --kill-workers, --kill-seed, \
+             --dist-frame-log) require --shards N"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
 /// The `air chaos` payload.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ChaosTask {
@@ -250,6 +343,8 @@ pub struct ChaosTask {
     pub stats_json: bool,
     /// Write a structured JSONL trace of the whole sweep to this file.
     pub trace: Option<String>,
+    /// Distributed-campaign options (`--shards N`, see crates/dist).
+    pub dist: DistOpts,
 }
 
 /// The `air fuzz` actions.
@@ -278,6 +373,8 @@ pub enum FuzzCmd {
         /// Hidden: exit(0) after N cases, simulating a crash (CI uses
         /// this to exercise `--resume` deterministically).
         halt_after: Option<u64>,
+        /// Distributed-campaign options (`--shards N`, see crates/dist).
+        dist: DistOpts,
     },
     /// Re-check one seed file.
     Replay {
@@ -382,6 +479,8 @@ pub struct CorpusTask {
     pub checkpoint: Option<String>,
     /// Resume from `checkpoint` instead of starting over.
     pub resume: bool,
+    /// Distributed-campaign options (`--shards N`, see crates/dist).
+    pub dist: DistOpts,
 }
 
 /// A parse failure.
@@ -446,6 +545,7 @@ fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError
             let mut checkpoint = None;
             let mut resume = false;
             let mut halt_after = None;
+            let mut dist = DistOpts::default();
             while let Some(flag) = it.next() {
                 let mut value = || {
                     it.next()
@@ -479,12 +579,17 @@ fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError
                                 .map_err(|_| ArgError(format!("bad --halt-after value `{v}`")))?,
                         );
                     }
-                    other => return Err(ArgError(format!("unknown fuzz flag `{other}`"))),
+                    other => {
+                        if !dist_flag(&mut dist, other, &mut value)? {
+                            return Err(ArgError(format!("unknown fuzz flag `{other}`")));
+                        }
+                    }
                 }
             }
             if resume && checkpoint.is_none() {
                 return Err(ArgError("--resume requires --checkpoint".into()));
             }
+            check_dist(&dist)?;
             Ok(Command::Fuzz(FuzzCmd::Run {
                 seed,
                 cases,
@@ -496,6 +601,7 @@ fn parse_fuzz(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgError
                 checkpoint,
                 resume,
                 halt_after,
+                dist,
             }))
         }
         "replay" | "minimize" => {
@@ -535,6 +641,7 @@ fn parse_chaos(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
     let mut fuel = None;
     let mut stats_json = false;
     let mut trace = None;
+    let mut dist = DistOpts::default();
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -564,8 +671,18 @@ fn parse_chaos(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
             }
             "--stats-json" => stats_json = true,
             "--trace" => trace = Some(value()?),
-            other => return Err(ArgError(format!("unknown chaos flag `{other}`"))),
+            other => {
+                if !dist_flag(&mut dist, other, &mut value)? {
+                    return Err(ArgError(format!("unknown chaos flag `{other}`")));
+                }
+            }
         }
+    }
+    check_dist(&dist)?;
+    if dist.requested() && trace.is_some() {
+        return Err(ArgError(
+            "--shards is incompatible with chaos --trace (workers own their sinks)".into(),
+        ));
     }
     Ok(Command::Chaos(ChaosTask {
         dir,
@@ -574,6 +691,7 @@ fn parse_chaos(it: &mut std::slice::Iter<'_, String>) -> Result<Command, ArgErro
         fuel,
         stats_json,
         trace,
+        dist,
     }))
 }
 
@@ -794,6 +912,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
     let mut timeout_ms = None;
     let mut checkpoint = None;
     let mut resume = false;
+    let mut dist = DistOpts::default();
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -850,7 +969,11 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             }
             "--checkpoint" => checkpoint = Some(value()?),
             "--resume" => resume = true,
-            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+            other => {
+                if sub != "corpus" || !dist_flag(&mut dist, other, &mut value)? {
+                    return Err(ArgError(format!("unknown flag `{other}`")));
+                }
+            }
         }
     }
     if (checkpoint.is_some() || resume) && sub != "corpus" {
@@ -878,6 +1001,26 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
         ));
     }
     if sub == "corpus" {
+        check_dist(&dist)?;
+        if dist.requested() || dist.worker.is_some() {
+            // Sharded sweeps fork per-lease processes: a single shared
+            // fuel meter, the sequential checkpoint file and the trace/
+            // profile sinks have no cross-process analogue.
+            let conflict = [
+                (checkpoint.is_some(), "--checkpoint"),
+                (fuel.is_some(), "--fuel"),
+                (timeout_ms.is_some(), "--timeout-ms"),
+                (trace.is_some(), "--trace"),
+                (profile, "--profile"),
+            ]
+            .iter()
+            .find_map(|(on, name)| on.then_some(*name));
+            if let Some(name) = conflict {
+                return Err(ArgError(format!(
+                    "{name} is incompatible with corpus --shards/--dist-worker"
+                )));
+            }
+        }
         return Ok(Command::Corpus(CorpusTask {
             dir,
             jobs,
@@ -893,6 +1036,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             timeout_ms,
             checkpoint,
             resume,
+            dist,
         }));
     }
     let code = match (code, file) {
@@ -1186,6 +1330,7 @@ mod tests {
                 checkpoint: None,
                 resume: false,
                 halt_after: None,
+                dist: DistOpts::default(),
             })
         );
         assert_eq!(
@@ -1217,6 +1362,7 @@ mod tests {
                 checkpoint: None,
                 resume: false,
                 halt_after: None,
+                dist: DistOpts::default(),
             })
         );
         assert!(parse(&argv(&["fuzz"])).is_err());
@@ -1366,6 +1512,7 @@ mod tests {
                 fuel: None,
                 stats_json: false,
                 trace: None,
+                dist: DistOpts::default(),
             })
         );
         assert_eq!(
@@ -1391,6 +1538,7 @@ mod tests {
                 fuel: Some(5000),
                 stats_json: true,
                 trace: Some("c.jsonl".into()),
+                dist: DistOpts::default(),
             })
         );
         assert!(parse(&argv(&["chaos", "--plans", "x"])).is_err());

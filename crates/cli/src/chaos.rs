@@ -35,19 +35,21 @@ use crate::run::{AirError, Outcome};
 /// Fuel per program run when `--fuel` is absent: generous enough that
 /// only an injected cancel (never organic exhaustion) cuts corpus-sized
 /// programs short, keeping the default sweep's outcome mix readable.
-const DEFAULT_CHAOS_FUEL: u64 = 5_000_000;
+pub(crate) const DEFAULT_CHAOS_FUEL: u64 = 5_000_000;
 
 /// One corpus program prepared once and replayed under every plan.
-struct Prepared {
+pub(crate) struct Prepared {
     name: String,
     task: Task,
     /// Ground truth from the concrete semantics: `⟦r⟧pre ⊆ spec`.
     truth_proved: bool,
 }
 
-/// Per-plan tallies; everything here is seed-deterministic.
+/// Per-plan tallies; everything here is seed-deterministic, which is
+/// what lets `--shards N` merge worker rows into a byte-identical
+/// report.
 #[derive(Default)]
-struct PlanRow {
+pub(crate) struct PlanRow {
     seed: u64,
     faults: String,
     injected: u64,
@@ -65,7 +67,7 @@ struct PlanRow {
 /// Reads every `*.imp` program under `dir` and precomputes its concrete
 /// ground truth (the fault-free referee every faulted run is judged
 /// against).
-fn prepare_corpus(dir: &str) -> Result<Vec<Prepared>, AirError> {
+pub(crate) fn prepare_corpus(dir: &str) -> Result<Vec<Prepared>, AirError> {
     let corpus_task = CorpusTask {
         dir: dir.to_string(),
         jobs: 1,
@@ -81,6 +83,7 @@ fn prepare_corpus(dir: &str) -> Result<Vec<Prepared>, AirError> {
         timeout_ms: None,
         checkpoint: None,
         resume: false,
+        dist: crate::args::DistOpts::default(),
     };
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| usage(format!("cannot read corpus dir `{dir}`: {e}")))?
@@ -250,30 +253,108 @@ fn render_report(task: &ChaosTask, fuel: u64, programs: usize, rows: &[PlanRow])
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("{{\"seed\":{},\"faults\":", r.seed));
-        json::escape_str(&r.faults, &mut out);
-        out.push_str(&format!(
-            ",\"injected\":{},\"retries\":{},\"proved\":{},\"refuted\":{},\"budget\":{},\"errors\":{},\"aborts\":{},\"quarantined\":{},\"sinks_degraded\":{},\"soundness_violations\":{}}}",
-            r.injected,
-            r.retries,
-            r.proved,
-            r.refuted,
-            r.budget,
-            r.errors,
-            r.aborts,
-            r.quarantined,
-            r.sinks_degraded,
-            r.soundness_violations
-        ));
+        render_plan_row(r, &mut out);
     }
     out.push_str("]}");
     out
 }
 
+/// One plan row as a JSON object (shared by the campaign report and the
+/// worker lease payload).
+fn render_plan_row(r: &PlanRow, out: &mut String) {
+    out.push_str(&format!("{{\"seed\":{},\"faults\":", r.seed));
+    json::escape_str(&r.faults, out);
+    out.push_str(&format!(
+        ",\"injected\":{},\"retries\":{},\"proved\":{},\"refuted\":{},\"budget\":{},\"errors\":{},\"aborts\":{},\"quarantined\":{},\"sinks_degraded\":{},\"soundness_violations\":{}}}",
+        r.injected,
+        r.retries,
+        r.proved,
+        r.refuted,
+        r.budget,
+        r.errors,
+        r.aborts,
+        r.quarantined,
+        r.sinks_degraded,
+        r.soundness_violations
+    ));
+}
+
+/// Renders a worker's plan rows as one lease payload line
+/// (`air-chaos-rows/1`). Rows carry no wall-clock data, so the
+/// distributed merge is byte-deterministic.
+pub(crate) fn render_rows(rows: &[PlanRow]) -> String {
+    let mut out = String::from("{\"schema\":\"air-chaos-rows/1\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_plan_row(r, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a lease payload written by [`render_rows`]. `None` on any
+/// malformed row: a worker bug must surface as a coordinator error, not
+/// shrink the sweep.
+pub(crate) fn parse_rows(text: &str) -> Option<Vec<PlanRow>> {
+    let doc = json::parse(text.trim()).ok()?;
+    if doc.get("schema")?.as_str()? != "air-chaos-rows/1" {
+        return None;
+    }
+    let mut out = Vec::new();
+    for row in doc.get("rows")?.as_arr()? {
+        let num = |key: &str| row.get(key).and_then(json::Value::as_num).map(|n| n as u64);
+        out.push(PlanRow {
+            seed: num("seed")?,
+            faults: row.get("faults")?.as_str()?.to_string(),
+            injected: num("injected")?,
+            retries: num("retries")?,
+            proved: num("proved")?,
+            refuted: num("refuted")?,
+            budget: num("budget")?,
+            errors: num("errors")?,
+            aborts: num("aborts")?,
+            quarantined: num("quarantined")?,
+            sinks_degraded: num("sinks_degraded")?,
+            soundness_violations: num("soundness_violations")?,
+        });
+    }
+    Some(out)
+}
+
+/// Runs every prepared program under the fault plan derived from `seed`
+/// and returns the plan's tally row. The unit of work a distributed
+/// lease hands out.
+pub(crate) fn run_plan(
+    programs: &[Prepared],
+    seed: u64,
+    fuel: u64,
+    sweep_sink: Option<&Arc<dyn Sink>>,
+) -> PlanRow {
+    let plan = FaultPlan::from_seed(seed);
+    let mut row = PlanRow {
+        seed,
+        faults: plan.describe(),
+        ..PlanRow::default()
+    };
+    for p in programs {
+        run_one(p, &plan, fuel, sweep_sink, &mut row);
+    }
+    row
+}
+
 /// `air chaos` — sweep the corpus under seeded fault plans and assert
 /// zero aborts and zero soundness violations.
 pub(crate) fn chaos(task: ChaosTask) -> Result<Outcome, AirError> {
+    if let Some(shard) = task.dist.worker {
+        return crate::dist::chaos_worker(shard, &task);
+    }
+    if task.dist.requested() {
+        return crate::dist::chaos_dist(&task);
+    }
     install_quiet_fault_hook();
+    crate::signal::install();
     let programs = prepare_corpus(&task.dir)?;
     let fuel = task.fuel.unwrap_or(DEFAULT_CHAOS_FUEL);
     let sweep_sink: Option<Arc<dyn Sink>> = match &task.trace {
@@ -292,18 +373,33 @@ pub(crate) fn chaos(task: ChaosTask) -> Result<Outcome, AirError> {
     );
     let mut rows: Vec<PlanRow> = Vec::with_capacity(task.plans as usize);
     for i in 0..task.plans {
-        let seed = task.seed.saturating_add(i);
-        let plan = FaultPlan::from_seed(seed);
-        let mut row = PlanRow {
-            seed,
-            faults: plan.describe(),
-            ..PlanRow::default()
-        };
-        for p in &programs {
-            run_one(p, &plan, fuel, sweep_sink.as_ref(), &mut row);
+        if crate::signal::interrupted() {
+            eprintln!("interrupted after {i} of {} plan(s)", task.plans);
+            return Err(AirError::Budget {
+                phase: "chaos.sweep".to_string(),
+                spent: i,
+                reason: "cancelled".to_string(),
+            });
         }
-        rows.push(row);
+        rows.push(run_plan(
+            &programs,
+            task.seed.saturating_add(i),
+            fuel,
+            sweep_sink.as_ref(),
+        ));
     }
+    finish_chaos(&task, fuel, programs.len(), &rows)
+}
+
+/// Prints the outcome/resilience/soundness summary (and `--stats-json`)
+/// and folds aborts or soundness violations into the exit code. Shared
+/// by the in-process sweep and the distributed merge.
+pub(crate) fn finish_chaos(
+    task: &ChaosTask,
+    fuel: u64,
+    programs: usize,
+    rows: &[PlanRow],
+) -> Result<Outcome, AirError> {
     let total = |f: fn(&PlanRow) -> u64| rows.iter().map(f).sum::<u64>();
     let (aborts, violations) = (total(|r| r.aborts), total(|r| r.soundness_violations));
     println!(
@@ -323,7 +419,7 @@ pub(crate) fn chaos(task: ChaosTask) -> Result<Outcome, AirError> {
     );
     println!("  soundness: {violations} violation(s)");
     if task.stats_json {
-        println!("{}", render_report(&task, fuel, programs.len(), &rows));
+        println!("{}", render_report(task, fuel, programs, rows));
     }
     if aborts > 0 || violations > 0 {
         return Err(AirError::Internal(format!(

@@ -28,7 +28,9 @@ use std::process::ExitCode;
 
 mod args;
 mod chaos;
+mod dist;
 mod run;
+mod signal;
 mod top;
 
 fn main() -> ExitCode {

@@ -205,7 +205,29 @@ fn serve(task: ServeTask) -> Result<Outcome, AirError> {
         config.max_frame = max_frame;
     }
     let server = air_serve::start(config, session.tracer()).map_err(AirError::Usage)?;
+    // SIGINT/SIGTERM drain the daemon gracefully: intake stops, queued
+    // jobs finish, then `join` returns the final counters.
+    crate::signal::install();
+    let stop_handle = server.stop_handle();
+    let drained = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = std::thread::spawn({
+        let drained = Arc::clone(&drained);
+        move || {
+            while !drained.load(std::sync::atomic::Ordering::Relaxed) {
+                if crate::signal::interrupted() {
+                    stop_handle.stop();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    });
     let report = server.join();
+    drained.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = watcher.join();
+    if crate::signal::interrupted() {
+        eprintln!("air-serve: interrupted; drained gracefully");
+    }
     // Stdout belongs to the stdio transport; the drain summary goes to
     // stderr with the readiness banner.
     eprintln!(
@@ -245,6 +267,60 @@ fn read_seed_file(file: &str) -> Result<air_fuzz::FuzzCase, AirError> {
     air_fuzz::seed::parse(&text).map_err(|e| usage(format!("{file}: {e}")))
 }
 
+/// Prints the campaign banner, per-oracle rows, failure seed files and
+/// the optional `--stats-json` line. Shared verbatim by the
+/// single-process and distributed (`--shards N`) paths — one printer is
+/// what makes the byte-identical-report guarantee checkable with `diff`.
+pub(crate) fn print_fuzz_report(
+    report: &air_fuzz::CampaignReport,
+    corpus_dir: &str,
+    stats_json: bool,
+) -> Result<Outcome, AirError> {
+    println!(
+        "fuzz campaign: seeds {}..{}, {} built, {} build skip(s), {} eval skip(s)",
+        report.base_seed,
+        report.base_seed.saturating_add(report.cases),
+        report.built,
+        report.build_skips,
+        report.eval_skips
+    );
+    for (name, row) in &report.oracle_rows {
+        let theorem = air_fuzz::oracles::theorem_of(name).unwrap_or("");
+        println!(
+            "  {name:<18} {theorem:<38} {:>6} run(s) {:>3} violation(s) {:>4} skip(s)",
+            row.runs, row.violations, row.skips
+        );
+    }
+    println!(
+        "violations: {}, disagreements: {}",
+        report.violations, report.disagreements
+    );
+    if !report.failures.is_empty() {
+        std::fs::create_dir_all(corpus_dir)
+            .map_err(|e| usage(format!("cannot create `{corpus_dir}`: {e}")))?;
+        for f in &report.failures {
+            let path = format!("{corpus_dir}/fuzz-{}-{}.imp", f.seed, f.oracle);
+            std::fs::write(&path, f.to_seed_file())
+                .map_err(|e| usage(format!("cannot write `{path}`: {e}")))?;
+            println!(
+                "failure: seed {} oracle {} — {} (shrunk to {} command(s), saved {path})",
+                f.seed,
+                f.oracle,
+                f.message,
+                f.shrunk.commands()
+            );
+        }
+    }
+    if stats_json {
+        println!("{}", report.to_json());
+    }
+    Ok(if report.is_clean() {
+        Outcome::Positive
+    } else {
+        Outcome::Negative
+    })
+}
+
 /// `air fuzz ...` — theorem-oracle fuzzing (see FUZZING.md).
 fn fuzz(cmd: FuzzCmd) -> Result<Outcome, AirError> {
     match cmd {
@@ -259,12 +335,42 @@ fn fuzz(cmd: FuzzCmd) -> Result<Outcome, AirError> {
             checkpoint,
             resume,
             halt_after,
+            dist,
         } => {
             check_oracle_name(oracle.as_deref())?;
+            if let Some(shard) = dist.worker {
+                return crate::dist::fuzz_worker(shard, oracle, checkpoint);
+            }
+            if dist.requested() {
+                return crate::dist::fuzz_dist(crate::dist::FuzzDist {
+                    seed,
+                    cases,
+                    oracle,
+                    corpus_dir,
+                    shrink,
+                    stats_json,
+                    trace,
+                    checkpoint,
+                    resume,
+                    halt_after,
+                    dist,
+                });
+            }
             // The fault-injection differential axis panics on purpose in
             // every case; keep those backtraces out of the report.
             air_resilience::install_quiet_fault_hook();
+            crate::signal::install();
             let session = TraceSession::open(trace.as_deref(), false)?;
+            // SIGINT/SIGTERM turn into a cooperative truncation at the
+            // next case boundary; the campaign then writes its final
+            // checkpoint through the normal cut-off path.
+            let watch = air_fuzz::CampaignWatch::new();
+            let observer = watch.clone();
+            let watch = watch.with_progress(move |done| {
+                if crate::signal::interrupted() {
+                    observer.truncate(done);
+                }
+            });
             let opts = air_fuzz::FuzzOptions {
                 base_seed: seed,
                 cases,
@@ -274,63 +380,31 @@ fn fuzz(cmd: FuzzCmd) -> Result<Outcome, AirError> {
                 checkpoint: checkpoint.map(std::path::PathBuf::from),
                 resume,
                 halt_after,
+                watch: Some(watch),
                 ..air_fuzz::FuzzOptions::default()
             };
             let report = air_fuzz::run_campaign(&opts);
-            let halted =
-                halt_after.is_some_and(|_| report.built + report.build_skips < report.cases);
-            if halted {
-                println!(
-                    "halted after {} case(s); checkpoint saved, restart with --resume",
-                    report.built + report.build_skips
+            let done = report.built + report.build_skips;
+            if crate::signal::interrupted() && done < report.cases {
+                eprintln!(
+                    "interrupted after {done} case(s); checkpoint saved, restart with --resume"
                 );
+                session.finish()?;
+                return Err(AirError::Budget {
+                    phase: "fuzz.campaign".to_string(),
+                    spent: done,
+                    reason: "cancelled".to_string(),
+                });
+            }
+            let halted = halt_after.is_some_and(|_| done < report.cases);
+            if halted {
+                println!("halted after {done} case(s); checkpoint saved, restart with --resume");
                 session.finish()?;
                 return Ok(Outcome::Positive);
             }
-            println!(
-                "fuzz campaign: seeds {}..{}, {} built, {} build skip(s), {} eval skip(s)",
-                report.base_seed,
-                report.base_seed.saturating_add(report.cases),
-                report.built,
-                report.build_skips,
-                report.eval_skips
-            );
-            for (name, row) in &report.oracle_rows {
-                let theorem = air_fuzz::oracles::theorem_of(name).unwrap_or("");
-                println!(
-                    "  {name:<18} {theorem:<38} {:>6} run(s) {:>3} violation(s) {:>4} skip(s)",
-                    row.runs, row.violations, row.skips
-                );
-            }
-            println!(
-                "violations: {}, disagreements: {}",
-                report.violations, report.disagreements
-            );
-            if !report.failures.is_empty() {
-                std::fs::create_dir_all(&corpus_dir)
-                    .map_err(|e| usage(format!("cannot create `{corpus_dir}`: {e}")))?;
-                for f in &report.failures {
-                    let path = format!("{corpus_dir}/fuzz-{}-{}.imp", f.seed, f.oracle);
-                    std::fs::write(&path, f.to_seed_file())
-                        .map_err(|e| usage(format!("cannot write `{path}`: {e}")))?;
-                    println!(
-                        "failure: seed {} oracle {} — {} (shrunk to {} command(s), saved {path})",
-                        f.seed,
-                        f.oracle,
-                        f.message,
-                        f.shrunk.commands()
-                    );
-                }
-            }
-            if stats_json {
-                println!("{}", report.to_json());
-            }
+            let outcome = print_fuzz_report(&report, &corpus_dir, stats_json)?;
             session.finish()?;
-            Ok(if report.is_clean() {
-                Outcome::Positive
-            } else {
-                Outcome::Negative
-            })
+            Ok(outcome)
         }
         FuzzCmd::Replay { file, oracle } => {
             check_oracle_name(oracle.as_deref())?;
@@ -785,6 +859,7 @@ fn repair(task: RepairTask) -> Result<Outcome, AirError> {
         timeout_ms: None,
         checkpoint: None,
         resume: false,
+        dist: crate::args::DistOpts::default(),
     };
     let (name, base_task) = parse_corpus_file(std::path::Path::new(&task.file), &corpus_defaults)?;
     let u = build_universe(&base_task)?;
@@ -847,7 +922,7 @@ fn repair(task: RepairTask) -> Result<Outcome, AirError> {
 /// and the remaining programs still run (or are marked skipped once a
 /// shared budget cancels the sweep).
 #[derive(Clone, Debug)]
-enum ProgramStatus {
+pub(crate) enum ProgramStatus {
     /// Spec proved.
     Proved,
     /// Spec refuted.
@@ -876,7 +951,7 @@ impl ProgramStatus {
 }
 
 /// One corpus program's result row.
-struct ProgramReport {
+pub(crate) struct ProgramReport {
     name: String,
     status: ProgramStatus,
     points: usize,
@@ -886,7 +961,7 @@ struct ProgramReport {
 }
 
 impl ProgramReport {
-    fn bare(name: &str, status: ProgramStatus, millis: f64) -> ProgramReport {
+    pub(crate) fn bare(name: &str, status: ProgramStatus, millis: f64) -> ProgramReport {
         ProgramReport {
             name: name.to_string(),
             status,
@@ -966,7 +1041,7 @@ pub(crate) fn parse_corpus_file(
 /// therefore its own caches — semantic caches must never be shared across
 /// universes (equal-looking state sets would alias different store
 /// enumerations).
-fn run_corpus_program(
+pub(crate) fn run_corpus_program(
     name: &str,
     task: &Task,
     tracer: Tracer,
@@ -1028,7 +1103,7 @@ fn run_corpus_program(
 }
 
 /// Renders a panic payload (the argument of `panic!`) as text.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1039,8 +1114,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Renders completed sweep rows as one crash-safe checkpoint line
-/// (`air-corpus-checkpoint/1`).
-fn render_corpus_checkpoint(dir: &str, rows: &[ProgramReport]) -> String {
+/// (`air-corpus-checkpoint/1`). The same format doubles as the worker
+/// lease payload of `corpus --shards N` (see crates/dist), which is why
+/// every status — including budget and panic rows — round-trips through
+/// [`parse_corpus_rows`].
+pub(crate) fn render_corpus_checkpoint(dir: &str, rows: &[ProgramReport]) -> String {
     let mut out = String::from("{\"schema\":\"air-corpus-checkpoint/1\",\"dir\":");
     json::escape_str(dir, &mut out);
     out.push_str(",\"rows\":[");
@@ -1051,9 +1129,10 @@ fn render_corpus_checkpoint(dir: &str, rows: &[ProgramReport]) -> String {
         out.push_str("{\"name\":");
         json::escape_str(&r.name, &mut out);
         out.push_str(&format!(
-            ",\"status\":\"{}\",\"points\":{}",
+            ",\"status\":\"{}\",\"points\":{},\"millis\":{:.3}",
             r.status.label(),
-            r.points
+            r.points,
+            r.millis
         ));
         match &r.status {
             ProgramStatus::Budget(ex) => {
@@ -1131,6 +1210,57 @@ fn parse_corpus_checkpoint(
     out
 }
 
+/// Parses a worker lease payload (`air-corpus-checkpoint/1`) back into
+/// ordered report rows. Unlike [`parse_corpus_checkpoint`] — which
+/// deliberately drops budget/skipped rows so a resumed sweep retries
+/// them — the distributed merge needs every status to round-trip, and
+/// `None` on any malformed row (a worker bug must surface, not shrink
+/// the corpus).
+pub(crate) fn parse_corpus_rows(text: &str, dir: &str) -> Option<Vec<ProgramReport>> {
+    let doc = json::parse(text.trim()).ok()?;
+    if doc.get("schema")?.as_str()? != "air-corpus-checkpoint/1" || doc.get("dir")?.as_str()? != dir
+    {
+        return None;
+    }
+    let mut out = Vec::new();
+    for row in doc.get("rows")?.as_arr()? {
+        let name = row.get("name")?.as_str()?.to_string();
+        let detail = || {
+            row.get("detail")
+                .and_then(json::Value::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        let status = match row.get("status")?.as_str()? {
+            "proved" => ProgramStatus::Proved,
+            "refuted" => ProgramStatus::Refuted,
+            "budget" => ProgramStatus::Budget(Exhaustion {
+                phase: row.get("phase")?.as_str()?.to_string(),
+                spent: row.get("spent")?.as_num()? as u64,
+                reason: match row.get("reason")?.as_str()? {
+                    "fuel" => air_lattice::ExhaustReason::Fuel,
+                    "deadline" => air_lattice::ExhaustReason::Deadline,
+                    "cancelled" => air_lattice::ExhaustReason::Cancelled,
+                    _ => return None,
+                },
+            }),
+            "error" => ProgramStatus::Error(detail()),
+            "panic" => ProgramStatus::Panicked(detail()),
+            "skipped" => ProgramStatus::Skipped,
+            _ => return None,
+        };
+        out.push(ProgramReport {
+            name,
+            status,
+            points: row.get("points")?.as_num()? as usize,
+            millis: row.get("millis")?.as_num()?,
+            exec_cache: String::new(),
+            closure_cache: String::new(),
+        });
+    }
+    Some(out)
+}
+
 /// The crash-safe sequential sweep behind `corpus --checkpoint`: after
 /// every program the completed rows are atomically checkpointed, and
 /// `--resume` restores them instead of re-verifying. Checkpoint I/O
@@ -1185,19 +1315,13 @@ fn corpus_checkpointed(
 /// row (and `--stats-json`) while the others continue — pending programs
 /// after a budget cancellation are marked skipped.
 fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
-    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&task.dir)
-        .map_err(|e| usage(format!("cannot read corpus dir `{}`: {e}", task.dir)))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "imp"))
-        .collect();
-    files.sort();
-    if files.is_empty() {
-        return Err(usage(format!("no *.imp programs under `{}`", task.dir)));
+    if let Some(shard) = task.dist.worker {
+        return crate::dist::corpus_worker(shard, &task);
     }
-    let programs: Vec<(String, Task)> = files
-        .iter()
-        .map(|p| parse_corpus_file(p, &task))
-        .collect::<Result<_, _>>()?;
+    if task.dist.requested() {
+        return crate::dist::corpus_dist(&task);
+    }
+    let programs = load_corpus_programs(&task)?;
     let jobs = if task.jobs == 0 {
         programs.len()
     } else {
@@ -1216,7 +1340,29 @@ fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
         if task.uncached { ", uncached" } else { "" }
     );
     let session = TraceSession::open(task.trace.as_deref(), task.profile)?;
-    let governor = Governor::new(build_budget(task.fuel, task.timeout_ms));
+    // An ungoverned sweep still gets a cancellable governor so SIGINT
+    // stops it at the next engine loop head instead of mid-program.
+    let budget = build_budget(task.fuel, task.timeout_ms);
+    let governor = if budget.is_unlimited() {
+        Governor::cancellable()
+    } else {
+        Governor::new(budget)
+    };
+    crate::signal::install();
+    let sweep_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = std::thread::spawn({
+        let sweep_done = Arc::clone(&sweep_done);
+        let governor = governor.clone();
+        move || {
+            while !sweep_done.load(std::sync::atomic::Ordering::Relaxed) {
+                if crate::signal::interrupted() {
+                    governor.cancel();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        }
+    });
     let started = Instant::now();
     let reports: Vec<ProgramReport> = if let Some(path) = &task.checkpoint {
         // Crash-safe mode runs sequentially: a checkpoint after every
@@ -1249,8 +1395,37 @@ fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
             })
             .collect()
     };
+    sweep_done.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = watcher.join();
     let total_ms = started.elapsed().as_secs_f64() * 1e3;
-    for report in &reports {
+    print_corpus_rows(&task, &reports, total_ms);
+    session.finish()?;
+    corpus_outcome(&reports, governor.spent())
+}
+
+/// Lists and parses every `*.imp` program under the corpus directory,
+/// in sorted file order (the canonical item order of `--shards N`).
+pub(crate) fn load_corpus_programs(task: &CorpusTask) -> Result<Vec<(String, Task)>, AirError> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&task.dir)
+        .map_err(|e| usage(format!("cannot read corpus dir `{}`: {e}", task.dir)))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "imp"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(usage(format!("no *.imp programs under `{}`", task.dir)));
+    }
+    files
+        .iter()
+        .map(|p| parse_corpus_file(p, task))
+        .collect::<Result<_, _>>()
+}
+
+/// Prints the per-program rows, the wall total and the optional
+/// `--stats-json` object. Shared by the in-process sweep and the
+/// distributed merge.
+pub(crate) fn print_corpus_rows(task: &CorpusTask, reports: &[ProgramReport], total_ms: f64) {
+    for report in reports {
         print!(
             "  {:<14} {:<7} {:>2} point(s) {:>9.3} ms",
             report.name,
@@ -1275,7 +1450,7 @@ fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
     if task.stats_json {
         let mut out = format!("{{\"label\":\"corpus\",\"wall_ms\":{total_ms:.3},\"programs\":[");
         let mut first = true;
-        for report in &reports {
+        for report in reports {
             if !first {
                 out.push(',');
             }
@@ -1309,13 +1484,18 @@ fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
         out.push_str("]}");
         println!("{out}");
     }
-    session.finish()?;
-    // Exit precedence: internal (4) > budget (3) > refuted (1) > proved (0).
+}
+
+/// Folds the sweep rows into the process outcome. Exit precedence:
+/// internal (4) > budget (3) > refuted (1) > proved (0). `spent` labels
+/// a budget-less cancellation (SIGINT, a dead fleet) with how much work
+/// was done before the stop.
+pub(crate) fn corpus_outcome(reports: &[ProgramReport], spent: u64) -> Result<Outcome, AirError> {
     let mut internal = Vec::new();
     let mut first_budget: Option<Exhaustion> = None;
     let mut any_skipped = false;
     let mut any_refuted = false;
-    for report in &reports {
+    for report in reports {
         match &report.status {
             ProgramStatus::Proved => {}
             ProgramStatus::Refuted => any_refuted = true,
@@ -1341,7 +1521,7 @@ fn corpus(task: CorpusTask) -> Result<Outcome, AirError> {
         // cancel): still a budget-class stop.
         return Err(AirError::Budget {
             phase: "corpus.sweep".to_string(),
-            spent: governor.spent(),
+            spent,
             reason: "cancelled".to_string(),
         });
     }
@@ -1397,6 +1577,7 @@ mod tests {
             timeout_ms: None,
             checkpoint: None,
             resume: false,
+            dist: crate::args::DistOpts::default(),
         }
     }
 
@@ -1690,6 +1871,7 @@ mod tests {
             checkpoint: None,
             resume: false,
             halt_after: None,
+            dist: crate::args::DistOpts::default(),
         })
         .unwrap();
         assert_eq!(out, Outcome::Positive);
@@ -1708,6 +1890,7 @@ mod tests {
             checkpoint: None,
             resume: false,
             halt_after: None,
+            dist: crate::args::DistOpts::default(),
         })
         .unwrap_err();
         assert!(matches!(err, AirError::Usage(_)), "{err:?}");

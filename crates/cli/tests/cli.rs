@@ -413,3 +413,152 @@ fn serve_without_transport_is_usage_exit_two() {
     let out = air(&["serve"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+/// Shared driver for the resume-correctness sweeps below: run an
+/// uninterrupted reference campaign, then for every halt index kill
+/// the campaign there (`--halt-after`), resume it, and require the
+/// resumed stdout to be byte-identical to the reference. `extra` adds
+/// the distribution flags for the sharded variant.
+fn resume_sweep_matches(tag: &str, extra: &[&str]) {
+    let tmp = std::env::temp_dir().join(format!("air_cli_resume_sweep_{tag}"));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let cases = "6";
+    let base: Vec<&str> = [
+        "fuzz",
+        "run",
+        "--seed",
+        "11",
+        "--cases",
+        cases,
+        "--stats-json",
+    ]
+    .into_iter()
+    .chain(extra.iter().copied())
+    .collect();
+    let reference = air(&base);
+    assert_eq!(reference.status.code(), Some(0), "{reference:?}");
+    let want = String::from_utf8_lossy(&reference.stdout).to_string();
+    for halt in 1..=5u64 {
+        let cp = tmp.join(format!("cp{halt}.json"));
+        let cp_s = cp.display().to_string();
+        let halt_s = halt.to_string();
+        let mut halted_args = base.clone();
+        halted_args.extend(["--checkpoint", &cp_s, "--halt-after", &halt_s]);
+        let halted = air(&halted_args);
+        assert_eq!(halted.status.code(), Some(0), "halt {halt}: {halted:?}");
+        if !cp.exists() {
+            // The halt landed at campaign end (sharded leases can
+            // overshoot the halt index); nothing to resume.
+            assert_eq!(
+                String::from_utf8_lossy(&halted.stdout),
+                want,
+                "halt {halt} completed but the report differs"
+            );
+            continue;
+        }
+        let mut resume_args = base.clone();
+        resume_args.extend(["--checkpoint", &cp_s, "--resume"]);
+        let resumed = air(&resume_args);
+        assert_eq!(resumed.status.code(), Some(0), "resume {halt}: {resumed:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&resumed.stdout),
+            want,
+            "resume after halt {halt} is not byte-identical"
+        );
+        assert!(!cp.exists(), "halt {halt}: checkpoint left behind");
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn fuzz_resume_sweep_every_halt_index_matches_uninterrupted() {
+    resume_sweep_matches("single", &[]);
+}
+
+#[test]
+fn fuzz_sharded_resume_sweep_every_halt_index_matches_uninterrupted() {
+    resume_sweep_matches("sharded", &["--shards", "2", "--lease", "2"]);
+}
+
+#[test]
+fn fuzz_sharded_report_is_byte_identical_to_single_process() {
+    let base = [
+        "fuzz",
+        "run",
+        "--seed",
+        "3",
+        "--cases",
+        "24",
+        "--stats-json",
+    ];
+    let single = air(&base);
+    assert_eq!(single.status.code(), Some(0), "{single:?}");
+    for shards in ["1", "4"] {
+        let mut args = base.to_vec();
+        args.extend(["--shards", shards]);
+        let sharded = air(&args);
+        assert_eq!(
+            sharded.status.code(),
+            Some(0),
+            "shards {shards}: {sharded:?}"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&sharded.stdout),
+            String::from_utf8_lossy(&single.stdout),
+            "--shards {shards} report differs from single-process"
+        );
+    }
+}
+
+#[test]
+fn fuzz_sharded_survives_chaos_worker_kills_byte_identically() {
+    let base = [
+        "fuzz",
+        "run",
+        "--seed",
+        "3",
+        "--cases",
+        "24",
+        "--stats-json",
+    ];
+    let single = air(&base);
+    assert_eq!(single.status.code(), Some(0), "{single:?}");
+    let mut args = base.to_vec();
+    args.extend([
+        "--shards",
+        "4",
+        "--lease",
+        "2",
+        "--kill-workers",
+        "2",
+        "--kill-seed",
+        "7",
+    ]);
+    let killed = air(&args);
+    assert_eq!(killed.status.code(), Some(0), "{killed:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&killed.stdout),
+        String::from_utf8_lossy(&single.stdout),
+        "report under worker SIGKILLs differs from single-process"
+    );
+    let stderr = String::from_utf8_lossy(&killed.stderr);
+    assert!(stderr.contains("killed"), "{stderr}");
+}
+
+#[test]
+fn chaos_sharded_report_is_byte_identical_to_single_process() {
+    let dir = corpus_dir("corpus");
+    let base = ["chaos", "--dir", &dir, "--plans", "6", "--seed", "5"];
+    let single = air(&base);
+    assert_eq!(single.status.code(), Some(0), "{single:?}");
+    let mut args = base.to_vec();
+    args.extend(["--shards", "2"]);
+    let sharded = air(&args);
+    assert_eq!(sharded.status.code(), Some(0), "{sharded:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&sharded.stdout),
+        String::from_utf8_lossy(&single.stdout),
+        "--shards 2 chaos report differs from single-process"
+    );
+}

@@ -1,0 +1,418 @@
+//! Worker side of the distributed campaign protocol.
+//!
+//! A worker is an ordinary `air` process spawned with a hidden
+//! `--dist-worker SHARD` flag. [`run_worker`] owns the protocol: it
+//! sends `hello`, then loops pulling `lease` frames from stdin and
+//! running the caller's closure over each `[lo, hi)` range. A reader
+//! thread applies `truncate` frames to the *active* lease's cap (an
+//! atomic shared with [`LeaseCtx`]) without blocking the sweep, so
+//! work-stealing and campaign halts take effect at the next case
+//! boundary.
+//!
+//! The closure reports where it actually stopped; that value is echoed
+//! back in the `result` frame and is authoritative — a truncation that
+//! arrives after the worker passed the cut point is simply ignored by
+//! both sides.
+
+use std::io::{BufReader, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use air_serve::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+use crate::protocol::Frame;
+
+/// Cheap clonable, thread-safe frame sender (stdout is shared between
+/// the sweep thread's heartbeats and the main loop's results).
+#[derive(Clone)]
+pub struct FrameWriter {
+    inner: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl FrameWriter {
+    pub fn new(w: impl Write + Send + 'static) -> Self {
+        FrameWriter {
+            inner: Arc::new(Mutex::new(Box::new(w))),
+        }
+    }
+
+    /// Sends one frame; returns `false` when the pipe is gone (the
+    /// coordinator died), which workers treat as a shutdown.
+    pub fn send(&self, frame: &Frame) -> bool {
+        let mut w = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(&mut *w, &frame.render()).is_ok()
+    }
+}
+
+/// Handle a lease closure uses to heartbeat and observe truncation.
+#[derive(Clone)]
+pub struct LeaseCtx {
+    pub lease: u64,
+    pub lo: u64,
+    pub hi: u64,
+    cap: Arc<AtomicU64>,
+    out: FrameWriter,
+}
+
+impl LeaseCtx {
+    /// Current effective end of the lease: `hi`, lowered by any
+    /// `truncate` frames received so far.
+    pub fn cap(&self) -> u64 {
+        self.cap.load(Ordering::SeqCst).min(self.hi)
+    }
+
+    /// Reports liveness and progress (`next` = next item to run) and
+    /// returns the effective lease end, so sweeps fold the truncation
+    /// check into their heartbeat cadence.
+    pub fn heartbeat(&self, next: u64) -> u64 {
+        self.out.send(&Frame::Heartbeat {
+            lease: self.lease,
+            next,
+        });
+        self.cap()
+    }
+}
+
+/// What a lease closure produced: the first item it did **not** run
+/// (authoritative, `lo <= stopped <= hi`) and the partial-result
+/// payload covering `[lo, stopped)`.
+pub struct LeaseDone {
+    pub stopped: u64,
+    pub payload: String,
+}
+
+/// `(lease id, cap)` of the lease currently being swept, shared with
+/// the reader thread so truncations land mid-sweep.
+type ActiveLease = Arc<Mutex<Option<(u64, Arc<AtomicU64>)>>>;
+
+enum Inbound {
+    Lease {
+        lease: u64,
+        lo: u64,
+        hi: u64,
+        /// Created (and registered as the active lease) by the reader
+        /// thread *before* the lease is handed to the sweep, so a
+        /// truncate arriving immediately after the lease frame cannot
+        /// be lost in the hand-off.
+        cap: Arc<AtomicU64>,
+    },
+    Shutdown,
+    /// Pipe closed or protocol error; carries a human-readable reason.
+    Gone(String),
+}
+
+/// Runs the worker protocol until shutdown. `run` is invoked once per
+/// lease; an `Err` from it is reported to the coordinator as an `error`
+/// frame and aborts the worker with the same message.
+pub fn run_worker(
+    shard: u64,
+    input: impl Read + Send + 'static,
+    output: impl Write + Send + 'static,
+    mut run: impl FnMut(&LeaseCtx) -> Result<LeaseDone, String>,
+) -> Result<(), String> {
+    let out = FrameWriter::new(output);
+    if !out.send(&Frame::Hello {
+        shard,
+        pid: u64::from(std::process::id()),
+    }) {
+        return Ok(()); // coordinator already gone; nothing to do
+    }
+
+    // The reader thread applies truncations directly to the active
+    // lease's cap so they land even while `run` is mid-sweep.
+    let active: ActiveLease = Arc::new(Mutex::new(None));
+    let (tx, rx): (Sender<Inbound>, Receiver<Inbound>) = channel();
+    {
+        let active = Arc::clone(&active);
+        thread::spawn(move || read_loop(input, &tx, &active));
+    }
+
+    loop {
+        let msg = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return Ok(()), // reader thread ended after Gone/Shutdown
+        };
+        match msg {
+            Inbound::Shutdown => return Ok(()),
+            Inbound::Gone(_reason) => {
+                // Coordinator vanished (crashed or was killed). The
+                // worker has no one to report to; exit quietly and let
+                // the on-disk checkpoint carry any partial progress.
+                return Ok(());
+            }
+            Inbound::Lease { lease, lo, hi, cap } => {
+                let ctx = LeaseCtx {
+                    lease,
+                    lo,
+                    hi,
+                    cap,
+                    out: out.clone(),
+                };
+                let outcome = run(&ctx);
+                {
+                    let mut guard = active.lock().unwrap_or_else(|e| e.into_inner());
+                    if guard.as_ref().is_some_and(|(l, _)| *l == lease) {
+                        *guard = None;
+                    }
+                }
+                match outcome {
+                    Ok(done) => {
+                        out.send(&Frame::Result {
+                            lease,
+                            lo,
+                            stopped: done.stopped.clamp(lo, hi),
+                            payload: done.payload,
+                        });
+                    }
+                    Err(message) => {
+                        out.send(&Frame::Error {
+                            message: message.clone(),
+                        });
+                        return Err(message);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read_loop(
+    input: impl Read,
+    tx: &Sender<Inbound>,
+    active: &Mutex<Option<(u64, Arc<AtomicU64>)>>,
+) {
+    let mut reader = BufReader::new(input);
+    loop {
+        let payload = match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                let _ = tx.send(Inbound::Gone("eof".to_string()));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Inbound::Gone(format!("frame error: {e}")));
+                return;
+            }
+        };
+        match Frame::parse(&payload) {
+            Ok(Frame::Lease { lease, lo, hi }) => {
+                let cap = Arc::new(AtomicU64::new(hi));
+                *active.lock().unwrap_or_else(|e| e.into_inner()) = Some((lease, Arc::clone(&cap)));
+                if tx.send(Inbound::Lease { lease, lo, hi, cap }).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Truncate { lease, hi }) => {
+                let guard = active.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some((active_lease, cap)) = guard.as_ref() {
+                    if *active_lease == lease {
+                        cap.fetch_min(hi, Ordering::SeqCst);
+                    }
+                }
+                // A truncate for a finished lease raced its result;
+                // the coordinator resolves the race from `stopped`.
+            }
+            Ok(Frame::Shutdown) => {
+                let _ = tx.send(Inbound::Shutdown);
+                return;
+            }
+            Ok(other) => {
+                let _ = tx.send(Inbound::Gone(format!(
+                    "unexpected {} frame from coordinator",
+                    other.name()
+                )));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Inbound::Gone(format!("bad frame: {e}")));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// In-memory pipe end the tests use to capture worker output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn frames_of(buf: &SharedBuf) -> Vec<Frame> {
+        let bytes = buf.0.lock().unwrap().clone();
+        let mut reader = BufReader::new(Cursor::new(bytes));
+        let mut frames = Vec::new();
+        while let Some(p) = read_frame(&mut reader, DEFAULT_MAX_FRAME).unwrap() {
+            frames.push(Frame::parse(&p).unwrap());
+        }
+        frames
+    }
+
+    fn script(frames: &[Frame]) -> Cursor<Vec<u8>> {
+        let mut buf = Vec::new();
+        for f in frames {
+            write_frame(&mut buf, &f.render()).unwrap();
+        }
+        Cursor::new(buf)
+    }
+
+    #[test]
+    fn worker_runs_leases_and_reports_results() {
+        let input = script(&[
+            Frame::Lease {
+                lease: 1,
+                lo: 10,
+                hi: 14,
+            },
+            Frame::Lease {
+                lease: 2,
+                lo: 14,
+                hi: 16,
+            },
+            Frame::Shutdown,
+        ]);
+        let out = SharedBuf::default();
+        let mut seen = Vec::new();
+        run_worker(5, input, out.clone(), |ctx| {
+            seen.push((ctx.lease, ctx.lo, ctx.hi));
+            Ok(LeaseDone {
+                stopped: ctx.hi,
+                payload: format!("tile-{}", ctx.lease),
+            })
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(1, 10, 14), (2, 14, 16)]);
+        let frames = frames_of(&out);
+        assert_eq!(frames.len(), 3);
+        assert!(matches!(frames[0], Frame::Hello { shard: 5, .. }));
+        assert_eq!(
+            frames[1],
+            Frame::Result {
+                lease: 1,
+                lo: 10,
+                stopped: 14,
+                payload: "tile-1".to_string(),
+            }
+        );
+        assert_eq!(
+            frames[2],
+            Frame::Result {
+                lease: 2,
+                lo: 14,
+                stopped: 16,
+                payload: "tile-2".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn truncate_lowers_the_active_cap() {
+        let input = script(&[
+            Frame::Lease {
+                lease: 1,
+                lo: 0,
+                hi: 100,
+            },
+            Frame::Truncate { lease: 1, hi: 3 },
+            Frame::Shutdown,
+        ]);
+        let out = SharedBuf::default();
+        run_worker(0, input, out.clone(), |ctx| {
+            // Walk one item at a time until the heartbeat says stop.
+            let mut next = ctx.lo;
+            while next < ctx.heartbeat(next) {
+                next += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Ok(LeaseDone {
+                stopped: next,
+                payload: String::new(),
+            })
+        })
+        .unwrap();
+        let frames = frames_of(&out);
+        let stopped = frames
+            .iter()
+            .find_map(|f| match f {
+                Frame::Result { stopped, .. } => Some(*stopped),
+                _ => None,
+            })
+            .expect("result frame");
+        assert!(stopped < 100, "truncate should stop the sweep early");
+    }
+
+    #[test]
+    fn truncate_for_other_lease_is_ignored() {
+        let input = script(&[
+            Frame::Lease {
+                lease: 1,
+                lo: 0,
+                hi: 4,
+            },
+            Frame::Truncate { lease: 9, hi: 1 },
+            Frame::Shutdown,
+        ]);
+        let out = SharedBuf::default();
+        run_worker(0, input, out.clone(), |ctx| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            Ok(LeaseDone {
+                stopped: ctx.cap(),
+                payload: String::new(),
+            })
+        })
+        .unwrap();
+        let frames = frames_of(&out);
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::Result { stopped: 4, .. })));
+    }
+
+    #[test]
+    fn lease_error_is_reported_and_aborts() {
+        let input = script(&[Frame::Lease {
+            lease: 1,
+            lo: 0,
+            hi: 4,
+        }]);
+        let out = SharedBuf::default();
+        let err = run_worker(
+            0,
+            input,
+            out.clone(),
+            |_| Err("engine exploded".to_string()),
+        )
+        .expect_err("worker should abort");
+        assert_eq!(err, "engine exploded");
+        let frames = frames_of(&out);
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::Error { message } if message == "engine exploded")));
+    }
+
+    #[test]
+    fn eof_is_a_clean_exit() {
+        let input = script(&[]);
+        let out = SharedBuf::default();
+        run_worker(0, input, out, |_| {
+            Ok(LeaseDone {
+                stopped: 0,
+                payload: String::new(),
+            })
+        })
+        .unwrap();
+    }
+}

@@ -8,20 +8,26 @@
 //! uninterrupted run — both are pure functions of the same seeds.
 //!
 //! Writes go through [`air_resilience::atomic_write`] (write to
-//! `<path>.tmp`, fsync, rename), so a reader — including a resumed run
-//! after SIGKILL — sees either the previous checkpoint or the new one,
-//! never a torn file.
+//! `<path>.tmp`, fsync file and parent directory, rename), so a reader
+//! — including a resumed run after SIGKILL — sees either the previous
+//! checkpoint or the new one, never a torn file.
+//!
+//! The same format doubles as the *partial-result* payload of the
+//! distributed campaign protocol (crates/dist): a worker's lease result
+//! is exactly the checkpoint a crash at the lease boundary would have
+//! left behind, so the coordinator merges lease results and crash
+//! checkpoints with one code path.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use air_trace::json::{self, Value};
+use air_trace::json::{self, str_lit as json_str, Value};
 
 use crate::runner::{CampaignReport, FuzzOptions, OracleRow};
 
 /// Counters restored from a checkpoint file.
 #[derive(Clone, Debug)]
-pub(crate) struct CheckpointState {
+pub struct CheckpointState {
     /// First seed the resumed run should execute.
     pub next_seed: u64,
     pub built: u64,
@@ -36,28 +42,62 @@ pub(crate) struct CheckpointState {
 }
 
 /// Renders the current progress as one deterministic JSON line.
-pub(crate) fn render(report: &CampaignReport, next_seed: u64, opts: &FuzzOptions) -> String {
+pub fn render(report: &CampaignReport, next_seed: u64, opts: &FuzzOptions) -> String {
+    let mut failure_seeds = Vec::new();
+    for f in &report.failures {
+        if failure_seeds.last() != Some(&f.seed) {
+            failure_seeds.push(f.seed); // one seed can fail several oracles
+        }
+    }
+    let state = CheckpointState {
+        next_seed,
+        built: report.built,
+        build_skips: report.build_skips,
+        eval_skips: report.eval_skips,
+        violations: report.violations,
+        disagreements: report.disagreements,
+        rows: report.oracle_rows.clone(),
+        failure_seeds,
+    };
+    render_state(
+        &state,
+        report.base_seed,
+        report.cases,
+        opts.oracle.as_deref(),
+    )
+}
+
+/// Renders a [`CheckpointState`] as one deterministic JSON line stamped
+/// with the campaign's identity (`base_seed`/`cases`/`oracle`). Used by
+/// [`render`] and by the distributed coordinator when it writes a merged
+/// prefix checkpoint without holding full [`crate::Failure`] records.
+pub fn render_state(
+    state: &CheckpointState,
+    base_seed: u64,
+    cases: u64,
+    oracle: Option<&str>,
+) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
         "{{\"schema\":\"air-fuzz-checkpoint/1\",\"base_seed\":{},\"cases\":{},\"oracle\":{},\
          \"next_seed\":{},\"built\":{},\"build_skips\":{},\"eval_skips\":{},\
          \"violations\":{},\"disagreements\":{}",
-        report.base_seed,
-        report.cases,
-        match &opts.oracle {
+        base_seed,
+        cases,
+        match oracle {
             Some(o) => json_str(o),
             None => "null".to_string(),
         },
-        next_seed,
-        report.built,
-        report.build_skips,
-        report.eval_skips,
-        report.violations,
-        report.disagreements
+        state.next_seed,
+        state.built,
+        state.build_skips,
+        state.eval_skips,
+        state.violations,
+        state.disagreements
     );
     out.push_str(",\"rows\":[");
-    for (i, (name, row)) in report.oracle_rows.iter().enumerate() {
+    for (i, (name, row)) in state.rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -71,18 +111,11 @@ pub(crate) fn render(report: &CampaignReport, next_seed: u64, opts: &FuzzOptions
         );
     }
     out.push_str("],\"failure_seeds\":[");
-    let mut prev: Option<u64> = None;
-    let mut first = true;
-    for f in &report.failures {
-        if prev == Some(f.seed) {
-            continue; // one seed can fail several oracles
-        }
-        prev = Some(f.seed);
-        if !first {
+    for (i, seed) in state.failure_seeds.iter().enumerate() {
+        if i > 0 {
             out.push(',');
         }
-        first = false;
-        let _ = write!(out, "{}", f.seed);
+        let _ = write!(out, "{seed}");
     }
     out.push_str("]}");
     out
@@ -90,11 +123,8 @@ pub(crate) fn render(report: &CampaignReport, next_seed: u64, opts: &FuzzOptions
 
 /// Parses a checkpoint, returning `None` (fresh start) when the file is
 /// malformed or was written by a campaign with different options.
-pub(crate) fn parse(text: &str, opts: &FuzzOptions) -> Option<CheckpointState> {
+pub fn parse(text: &str, opts: &FuzzOptions) -> Option<CheckpointState> {
     let doc = json::parse(text.trim()).ok()?;
-    if doc.get("schema")?.as_str()? != "air-fuzz-checkpoint/1" {
-        return None;
-    }
     if num(&doc, "base_seed")? != opts.base_seed || num(&doc, "cases")? != opts.cases {
         return None;
     }
@@ -103,6 +133,22 @@ pub(crate) fn parse(text: &str, opts: &FuzzOptions) -> Option<CheckpointState> {
         (Some(want), Some(have)) if want == have => {}
         (None, None) if *oracle == Value::Null => {}
         _ => return None,
+    }
+    state_of(&doc)
+}
+
+/// Parses a checkpoint without validating the campaign identity it was
+/// stamped with. The distributed merge uses this: a worker's lease
+/// payload is a checkpoint whose `base_seed`/`cases` describe the
+/// *lease*, not the global campaign, and the coordinator has already
+/// pinned the payload to its tile of the seed space.
+pub fn parse_any(text: &str) -> Option<CheckpointState> {
+    state_of(&json::parse(text.trim()).ok()?)
+}
+
+fn state_of(doc: &Value) -> Option<CheckpointState> {
+    if doc.get("schema")?.as_str()? != "air-fuzz-checkpoint/1" {
+        return None;
     }
     let mut rows = BTreeMap::new();
     for row in doc.get("rows")?.as_arr()? {
@@ -122,12 +168,12 @@ pub(crate) fn parse(text: &str, opts: &FuzzOptions) -> Option<CheckpointState> {
         .map(|v| v.as_num().map(|n| n as u64))
         .collect::<Option<Vec<u64>>>()?;
     Some(CheckpointState {
-        next_seed: num(&doc, "next_seed")?,
-        built: num(&doc, "built")?,
-        build_skips: num(&doc, "build_skips")?,
-        eval_skips: num(&doc, "eval_skips")?,
-        violations: num(&doc, "violations")?,
-        disagreements: num(&doc, "disagreements")?,
+        next_seed: num(doc, "next_seed")?,
+        built: num(doc, "built")?,
+        build_skips: num(doc, "build_skips")?,
+        eval_skips: num(doc, "eval_skips")?,
+        violations: num(doc, "violations")?,
+        disagreements: num(doc, "disagreements")?,
         rows,
         failure_seeds,
     })
@@ -135,10 +181,4 @@ pub(crate) fn parse(text: &str, opts: &FuzzOptions) -> Option<CheckpointState> {
 
 fn num(v: &Value, key: &str) -> Option<u64> {
     v.get(key)?.as_num().map(|n| n as u64)
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::new();
-    json::escape_str(s, &mut out);
-    out
 }

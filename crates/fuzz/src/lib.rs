@@ -22,7 +22,7 @@
 //! [`run_campaign`], [`replay_case`] and [`minimize`].
 
 pub mod case;
-mod checkpoint;
+pub mod checkpoint;
 pub mod diff;
 pub mod oracles;
 pub mod runner;
@@ -31,7 +31,7 @@ pub mod shrink;
 
 pub use case::{build_domain, BuiltCase, FuzzCase};
 pub use runner::{
-    minimize, replay_case, run_campaign, CampaignReport, CaseOutcome, Failure, FuzzOptions,
-    OracleRow,
+    minimize, rebuild_failures, replay_case, run_campaign, CampaignReport, CampaignWatch,
+    CaseOutcome, Failure, FuzzOptions, OracleRow,
 };
 pub use shrink::shrink;

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use air_resilience::Checkpointer;
 use air_trace::{EventKind, Tracer};
@@ -17,6 +19,72 @@ use crate::checkpoint;
 use crate::oracles::{registry, run as run_oracle};
 use crate::shrink::shrink;
 use crate::{diff, seed};
+
+/// Cooperative observation and truncation of a running campaign, for
+/// callers that drive `run_campaign` from another thread (the signal
+/// handler, the distributed worker).
+///
+/// `cap` is a dynamic case budget: the campaign stops after at least
+/// `cap` completed cases — checked between cases, so an in-flight case
+/// always finishes — writing a final checkpoint exactly like the hidden
+/// `--halt-after` crash stand-in. `u64::MAX` (the default) means
+/// unlimited; storing `0` requests "stop at the next case boundary".
+/// `progress` is invoked after every completed case (built *or*
+/// build-skipped) with the number of cases done so far.
+#[derive(Clone)]
+pub struct CampaignWatch {
+    cap: Arc<AtomicU64>,
+    progress: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+}
+
+impl CampaignWatch {
+    /// A watch with no progress callback and an unlimited cap.
+    pub fn new() -> Self {
+        CampaignWatch {
+            cap: Arc::new(AtomicU64::new(u64::MAX)),
+            progress: None,
+        }
+    }
+
+    /// Attaches a per-case progress callback.
+    #[must_use]
+    pub fn with_progress(mut self, f: impl Fn(u64) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Lowers the case budget to `cases` (never raises it: a truncation
+    /// that lost a race with a smaller one must not resurrect work).
+    pub fn truncate(&self, cases: u64) {
+        self.cap.fetch_min(cases, Ordering::SeqCst);
+    }
+
+    /// Current case budget (`u64::MAX` = unlimited).
+    pub fn cap(&self) -> u64 {
+        self.cap.load(Ordering::SeqCst)
+    }
+
+    fn report(&self, done: u64) {
+        if let Some(f) = &self.progress {
+            f(done);
+        }
+    }
+}
+
+impl std::fmt::Debug for CampaignWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignWatch")
+            .field("cap", &self.cap())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Default for CampaignWatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Options for one campaign.
 #[derive(Clone, Debug)]
@@ -45,6 +113,9 @@ pub struct FuzzOptions {
     /// checkpoint and returning the partial report — a deterministic
     /// stand-in for a crash (the CLI's hidden `--halt-after`).
     pub halt_after: Option<u64>,
+    /// Cooperative observation/truncation hook (`None` = run to the end
+    /// unobserved). See [`CampaignWatch`].
+    pub watch: Option<CampaignWatch>,
 }
 
 impl Default for FuzzOptions {
@@ -59,6 +130,7 @@ impl Default for FuzzOptions {
             checkpoint_every: 16,
             resume: false,
             halt_after: None,
+            watch: None,
         }
     }
 }
@@ -177,11 +249,7 @@ impl CampaignReport {
     }
 }
 
-fn json_str(s: &str) -> String {
-    let mut out = String::new();
-    air_trace::json::escape_str(s, &mut out);
-    out
-}
+use air_trace::json::str_lit as json_str;
 
 /// The verdicts of one case replay (used by `run_campaign`, the CLI's
 /// `fuzz replay`, and the regression test).
@@ -276,11 +344,7 @@ pub fn run_campaign(opts: &FuzzOptions) -> CampaignReport {
             // Failures are rebuilt by replay rather than deserialized:
             // the same seed yields the same case, verdicts and shrink,
             // so the resumed report matches an uninterrupted run.
-            for &failed in &state.failure_seeds {
-                let case = FuzzCase::generate(failed);
-                let outcome = replay_case(&case, opts.oracle.as_deref());
-                push_failures(&mut report, &case, &outcome, opts);
-            }
+            rebuild_failures(&mut report, &state.failure_seeds, opts);
         }
     }
     for seed_v in start..opts.base_seed.saturating_add(opts.cases) {
@@ -289,45 +353,42 @@ pub fn run_campaign(opts: &FuzzOptions) -> CampaignReport {
         let done = seed_v - opts.base_seed + 1;
         if outcome.case_skip.is_some() {
             report.build_skips += 1;
-            write_checkpoint(&mut checkpointer, &report, done, seed_v + 1, opts);
-            if opts.halt_after.is_some_and(|h| done >= h) {
-                if let Some(cp) = &mut checkpointer {
-                    let _ = cp.write_now(done, || checkpoint::render(&report, seed_v + 1, opts));
+        } else {
+            report.built += 1;
+            for (name, row) in report.oracle_rows.iter_mut() {
+                let skipped = outcome.skips.iter().any(|(n, _)| n == name);
+                let violated = outcome.violations.iter().any(|(n, _)| n == name);
+                if skipped {
+                    row.skips += 1;
+                    report.eval_skips += 1;
+                } else {
+                    row.runs += 1;
                 }
-                return report; // simulated crash: checkpoint retained
+                if violated {
+                    row.violations += 1;
+                }
             }
-            continue;
-        }
-        report.built += 1;
-        for (name, row) in report.oracle_rows.iter_mut() {
-            let skipped = outcome.skips.iter().any(|(n, _)| n == name);
-            let violated = outcome.violations.iter().any(|(n, _)| n == name);
-            if skipped {
-                row.skips += 1;
-                report.eval_skips += 1;
-            } else {
-                row.runs += 1;
+            report.violations += outcome.violations.len() as u64;
+            report.disagreements += outcome.disagreements.len() as u64;
+            if let Some(tracer) = &opts.tracer {
+                tracer.emit_with(|| EventKind::FuzzCase {
+                    seed: seed_v,
+                    violations: outcome.violations.len() as u64,
+                    disagreements: outcome.disagreements.len() as u64,
+                });
             }
-            if violated {
-                row.violations += 1;
-            }
+            push_failures(&mut report, &case, &outcome, opts);
         }
-        report.violations += outcome.violations.len() as u64;
-        report.disagreements += outcome.disagreements.len() as u64;
-        if let Some(tracer) = &opts.tracer {
-            tracer.emit_with(|| EventKind::FuzzCase {
-                seed: seed_v,
-                violations: outcome.violations.len() as u64,
-                disagreements: outcome.disagreements.len() as u64,
-            });
-        }
-        push_failures(&mut report, &case, &outcome, opts);
         write_checkpoint(&mut checkpointer, &report, done, seed_v + 1, opts);
-        if opts.halt_after.is_some_and(|h| done >= h) {
+        if let Some(watch) = &opts.watch {
+            watch.report(done);
+        }
+        let truncated = opts.watch.as_ref().is_some_and(|w| done >= w.cap());
+        if truncated || opts.halt_after.is_some_and(|h| done >= h) {
             if let Some(cp) = &mut checkpointer {
                 let _ = cp.write_now(done, || checkpoint::render(&report, seed_v + 1, opts));
             }
-            return report; // simulated crash: checkpoint retained
+            return report; // halted or truncated: checkpoint retained
         }
     }
     // A completed campaign's checkpoint is stale state: drop it so the
@@ -362,6 +423,22 @@ fn push_failures(
             message: outcome.disagreements.join("; "),
             shrunk,
         });
+    }
+}
+
+/// Replays `seeds` and appends their minimized failures to `report`.
+///
+/// Shared by checkpoint resume and the distributed merge: both persist
+/// only the failing seeds and rebuild the full [`Failure`] records by
+/// replay, which keeps the wire/disk formats tiny and guarantees the
+/// rebuilt report is byte-identical to an uninterrupted run — both are
+/// pure functions of the same seeds. Callers pass seeds in ascending
+/// order to preserve the report's seed-ordered failure list.
+pub fn rebuild_failures(report: &mut CampaignReport, seeds: &[u64], opts: &FuzzOptions) {
+    for &failed in seeds {
+        let case = FuzzCase::generate(failed);
+        let outcome = replay_case(&case, opts.oracle.as_deref());
+        push_failures(report, &case, &outcome, opts);
     }
 }
 

@@ -4,16 +4,25 @@
 //! half-written checkpoint behind, or resume would corrupt the very run
 //! it was meant to save. The discipline here is the classic one: write
 //! the full contents to `<path>.tmp`, `fsync`, then `rename` over the
-//! destination — readers observe either the old snapshot or the new one,
-//! never a torn file.
+//! destination, then `fsync` the parent directory — readers observe
+//! either the old snapshot or the new one, never a torn file, and the
+//! rename itself survives power loss.
 
 use air_trace::{EventKind, Tracer};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
-/// Atomically replaces `path` with `contents` (write-tmp-rename, with a
-/// best-effort `fsync` of the temporary file first).
+/// Atomically replaces `path` with `contents` (write-tmp-rename, with an
+/// `fsync` of the temporary file before the rename and of the parent
+/// directory after it).
+///
+/// Syncing the file alone is not enough: the `rename` lives in the
+/// directory, and until the directory entry itself is durable a power
+/// loss can roll the whole checkpoint back to *absent* — exactly the
+/// state resume must never see after it reported a checkpoint written.
+/// The directory sync is best-effort on platforms where directories
+/// cannot be opened for syncing.
 ///
 /// # Errors
 ///
@@ -27,7 +36,24 @@ pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
         file.write_all(contents.as_bytes())?;
         file.sync_all()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Best-effort `fsync` of `path`'s parent directory, making a completed
+/// `rename` durable. Failures are swallowed: some filesystems (and
+/// non-Unix platforms) refuse to open or sync directories, and an
+/// already-renamed checkpoint is still crash-*consistent* without the
+/// sync — just not yet crash-*durable*.
+fn sync_parent_dir(path: &Path) {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
 }
 
 /// Writes periodic checkpoints for a sweep, emitting `checkpoint_written`

@@ -34,4 +34,4 @@ pub use protocol::{
     read_frame, write_frame, CacheSnapshot, FrameError, JobKind, JobRequest, Request, Response,
     ReuseSnapshot, DEFAULT_MAX_FRAME,
 };
-pub use server::{start, RunningServer, ServeConfig, ServeReport};
+pub use server::{start, RunningServer, ServeConfig, ServeReport, StopHandle};

@@ -433,6 +433,20 @@ fn fail_job(shared: &Arc<Shared>, job: Job, failure: TaskFailure) {
     shared.finish(&inflight_key(&job.request), job.received, &job.out, &resp);
 }
 
+/// Clonable shutdown trigger for a running server (see
+/// [`RunningServer::stop_handle`]). Stopping is idempotent.
+#[derive(Clone)]
+pub struct StopHandle {
+    shared: Arc<Shared>,
+}
+
+impl StopHandle {
+    /// Signals shutdown, exactly like [`RunningServer::stop`].
+    pub fn stop(&self) {
+        self.shared.initiate_shutdown();
+    }
+}
+
 /// Handle to a running server. Dropping it does *not* stop the daemon;
 /// call [`RunningServer::stop`] then [`RunningServer::join`], or let a
 /// `shutdown` frame / stdio EOF drain it.
@@ -460,6 +474,15 @@ impl RunningServer {
     /// Signals shutdown: intake stops, queued jobs still drain.
     pub fn stop(&self) {
         self.shared.initiate_shutdown();
+    }
+
+    /// A shutdown trigger detached from the server's lifetime, so a
+    /// signal-watcher thread can stop the daemon while the main thread
+    /// blocks in [`RunningServer::join`].
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Blocks until the server drains (shutdown frame, stdio EOF or

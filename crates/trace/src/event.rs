@@ -113,6 +113,32 @@ pub enum EventKind {
         status: String,
         duration_ns: u64,
     },
+    /// The distributed coordinator spawned a worker process into `shard`
+    /// (0-based slot); `pid` is the OS process id.
+    WorkerSpawned { shard: u64, pid: u64 },
+    /// A lease — the half-open item range `[lo, hi)` of the campaign's
+    /// deterministic seed/program space — was issued to `shard`.
+    LeaseIssued {
+        lease: u64,
+        shard: u64,
+        lo: u64,
+        hi: u64,
+    },
+    /// A straggler's unfinished tail was resplit: the old lease now ends
+    /// at `at` on `from_shard`, and `[at, hi)` was reissued to `to_shard`.
+    LeaseStolen {
+        lease: u64,
+        from_shard: u64,
+        to_shard: u64,
+        at: u64,
+    },
+    /// A worker died or hung (`reason` is `exit`, `killed`, `hang` or
+    /// `protocol`); its unfinished lease range is reissued from the
+    /// shard's last crash-safe checkpoint.
+    WorkerLost { shard: u64, reason: String },
+    /// The supervisor restarted a lost worker in `shard`; `attempt` is
+    /// the 1-based restart number for that slot.
+    WorkerRestarted { shard: u64, attempt: u64 },
 }
 
 /// Every wire-format `kind` value the engine can emit, in one place so
@@ -142,6 +168,11 @@ pub const KNOWN_KINDS: &[&str] = &[
     "checkpoint_written",
     "request_received",
     "request_completed",
+    "worker_spawned",
+    "lease_issued",
+    "lease_stolen",
+    "worker_lost",
+    "worker_restarted",
 ];
 
 impl EventKind {
@@ -172,6 +203,11 @@ impl EventKind {
             EventKind::CheckpointWritten { .. } => "checkpoint_written",
             EventKind::RequestReceived { .. } => "request_received",
             EventKind::RequestCompleted { .. } => "request_completed",
+            EventKind::WorkerSpawned { .. } => "worker_spawned",
+            EventKind::LeaseIssued { .. } => "lease_issued",
+            EventKind::LeaseStolen { .. } => "lease_stolen",
+            EventKind::WorkerLost { .. } => "worker_lost",
+            EventKind::WorkerRestarted { .. } => "worker_restarted",
         }
     }
 
@@ -313,6 +349,38 @@ impl Event {
                 field_str(out, "status", status);
                 let _ = write!(out, ",\"duration_ns\":{duration_ns}");
             }
+            EventKind::WorkerSpawned { shard, pid } => {
+                let _ = write!(out, ",\"shard\":{shard},\"pid\":{pid}");
+            }
+            EventKind::LeaseIssued {
+                lease,
+                shard,
+                lo,
+                hi,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lease\":{lease},\"shard\":{shard},\"lo\":{lo},\"hi\":{hi}"
+                );
+            }
+            EventKind::LeaseStolen {
+                lease,
+                from_shard,
+                to_shard,
+                at,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lease\":{lease},\"from_shard\":{from_shard},\"to_shard\":{to_shard},\"at\":{at}"
+                );
+            }
+            EventKind::WorkerLost { shard, reason } => {
+                let _ = write!(out, ",\"shard\":{shard}");
+                field_str(out, "reason", reason);
+            }
+            EventKind::WorkerRestarted { shard, attempt } => {
+                let _ = write!(out, ",\"shard\":{shard},\"attempt\":{attempt}");
+            }
         }
         out.push('}');
     }
@@ -430,6 +498,30 @@ mod tests {
                 id: "req-1".into(),
                 status: "ok".into(),
                 duration_ns: 1234,
+            },
+            EventKind::WorkerSpawned {
+                shard: 0,
+                pid: 4242,
+            },
+            EventKind::LeaseIssued {
+                lease: 3,
+                shard: 1,
+                lo: 96,
+                hi: 128,
+            },
+            EventKind::LeaseStolen {
+                lease: 3,
+                from_shard: 1,
+                to_shard: 0,
+                at: 112,
+            },
+            EventKind::WorkerLost {
+                shard: 1,
+                reason: "killed".into(),
+            },
+            EventKind::WorkerRestarted {
+                shard: 1,
+                attempt: 1,
             },
         ];
         assert_eq!(samples.len(), KNOWN_KINDS.len(), "sample per kind");

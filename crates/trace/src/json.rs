@@ -24,6 +24,15 @@ pub fn escape_str(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Renders `s` as a freestanding JSON string literal (including the
+/// quotes). Convenience over [`escape_str`] for `write!`-style renderers
+/// that want an expression rather than an out-parameter.
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::new();
+    escape_str(s, &mut out);
+    out
+}
+
 /// A parsed JSON value. Numbers are kept as `f64`, which is exact for the
 /// integer ranges the trace format uses (< 2^53).
 #[derive(Debug, Clone, PartialEq)]
